@@ -1,0 +1,38 @@
+//! `knor-baselines` — every comparator the paper evaluates against.
+//!
+//! * [`serial`] — iterative serial Lloyd's variants standing in for the
+//!   Table 3 row set (R / Scikit-learn / MLpack style loops).
+//! * [`gemm`] — k-means over our own blocked matrix multiply, the
+//!   MATLAB/BLAS GEMM formulation of Table 3.
+//! * [`elkan`] — the *full* triangle-inequality algorithm with the `O(nk)`
+//!   lower-bound matrix that MTI deliberately drops (Table 1's memory
+//!   contrast, and the pruning-rate comparison).
+//! * [`yinyang`] — Ding et al.'s group-filtering competitor discussed in
+//!   Related Work (`O(nt)` bounds, `t = k/10`).
+//! * [`minibatch`] — Sculley's web-scale approximation (Related Work; the
+//!   paper avoids approximations — we include it to show the quality gap).
+//! * [`spherical`] / [`semisupervised`] — the first two §9 future-work
+//!   variants (spherical k-means; semi-supervised k-means++), showing the
+//!   ||Lloyd's structure generalizes as the paper claims.
+//! * [`mapreduce`] — a small map/combine/shuffle/reduce engine with
+//!   framework personas (MLlib-like, H2O-like, Turi-like) that are
+//!   *algorithmically identical* to Lloyd's but pay the framework taxes
+//!   the paper attributes the 10–100x gaps to (DESIGN.md §3.4).
+
+pub mod elkan;
+pub mod gemm;
+pub mod mapreduce;
+pub mod minibatch;
+pub mod semisupervised;
+pub mod serial;
+pub mod spherical;
+pub mod yinyang;
+
+pub use elkan::elkan_full_ti;
+pub use gemm::gemm_lloyd;
+pub use mapreduce::{FrameworkProfile, MapReduceKmeans};
+pub use minibatch::minibatch_kmeans;
+pub use semisupervised::semisupervised_kmeanspp;
+pub use serial::{alloc_heavy_lloyd, naive_indexed_lloyd};
+pub use spherical::spherical_kmeans;
+pub use yinyang::yinyang_kmeans;

@@ -1,0 +1,94 @@
+//! Sculley's mini-batch k-means (Related Work, [36]).
+//!
+//! The paper avoids approximations "owing to questions of cluster quality";
+//! we include the approximation so the harness can show that gap on the
+//! same workloads.
+
+use knor_core::centroids::Centroids;
+use knor_core::distance::nearest;
+use knor_matrix::DMatrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Result of a mini-batch run.
+#[derive(Debug, Clone)]
+pub struct MiniBatchRun {
+    /// Final centroids.
+    pub centroids: DMatrix,
+    /// Assignments from one final full pass.
+    pub assignments: Vec<u32>,
+    /// Batches processed.
+    pub batches: usize,
+}
+
+/// Run mini-batch k-means: `batches` batches of `batch_size` sampled rows,
+/// with per-center learning-rate `1/count` updates (Sculley 2010).
+pub fn minibatch_kmeans(
+    data: &DMatrix,
+    init: &DMatrix,
+    batch_size: usize,
+    batches: usize,
+    seed: u64,
+) -> MiniBatchRun {
+    let n = data.nrow();
+    let d = data.ncol();
+    let k = init.nrow();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut cents = Centroids::from_matrix(init);
+    let mut counts = vec![0u64; k];
+
+    for _ in 0..batches {
+        // Sample the batch, cache assignments against the current centroids.
+        let rows: Vec<usize> = (0..batch_size).map(|_| rng.gen_range(0..n)).collect();
+        let picks: Vec<usize> =
+            rows.iter().map(|&r| nearest(data.row(r), &cents.means, k).0).collect();
+        // Gradient step per sample.
+        for (&r, &c) in rows.iter().zip(&picks) {
+            counts[c] += 1;
+            let eta = 1.0 / counts[c] as f64;
+            let mean = &mut cents.means[c * d..(c + 1) * d];
+            for (m, x) in mean.iter_mut().zip(data.row(r)) {
+                *m = (1.0 - eta) * *m + eta * x;
+            }
+        }
+    }
+
+    let assignments: Vec<u32> =
+        data.rows().map(|v| nearest(v, &cents.means, k).0 as u32).collect();
+    MiniBatchRun { centroids: cents.to_matrix(), assignments, batches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knor_core::init::InitMethod;
+    use knor_core::quality::sse;
+    use knor_core::serial::lloyd_serial;
+    use knor_workloads::MixtureSpec;
+
+    #[test]
+    fn minibatch_reduces_sse_but_exact_wins() {
+        let data = MixtureSpec::friendster_like(2000, 8, 61).generate().data;
+        let k = 8;
+        let init = InitMethod::Forgy.initialize(&data, k, 8).to_matrix();
+        let before = sse(&data, &init, &data
+            .rows()
+            .map(|v| knor_core::distance::nearest(v, init.as_slice(), k).0 as u32)
+            .collect::<Vec<_>>());
+        let mb = minibatch_kmeans(&data, &init, 64, 100, 9);
+        let mb_sse = sse(&data, &mb.centroids, &mb.assignments);
+        assert!(mb_sse < before, "minibatch should improve on init");
+        let exact = lloyd_serial(&data, k, &InitMethod::Given(init), 0, 100, 0.0);
+        // Exact Lloyd's matches or beats the approximation.
+        assert!(exact.sse.unwrap() <= mb_sse * 1.001);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = MixtureSpec::friendster_like(300, 4, 62).generate().data;
+        let init = InitMethod::Forgy.initialize(&data, 4, 1).to_matrix();
+        let a = minibatch_kmeans(&data, &init, 32, 20, 5);
+        let b = minibatch_kmeans(&data, &init, 32, 20, 5);
+        assert_eq!(a.centroids, b.centroids);
+    }
+}

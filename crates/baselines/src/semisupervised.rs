@@ -1,0 +1,206 @@
+//! Semi-supervised k-means++ — the second §9 future-work entry
+//! (Yoder & Priebe, arXiv:1602.00360).
+//!
+//! A fraction of points carry known labels. Seeding: each labeled class
+//! contributes the mean of its labeled members as a fixed seed; remaining
+//! seeds come from D²-weighted k-means++ over the unlabeled mass.
+//! Iteration: labeled points keep their class assignment (their centroids
+//! absorb them every round); unlabeled points move freely.
+
+use knor_core::centroids::{finalize_means, Centroids, LocalAccum};
+use knor_core::distance::{nearest, sqdist};
+use knor_matrix::DMatrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Result of a semi-supervised run.
+#[derive(Debug, Clone)]
+pub struct SemiSupervisedRun {
+    /// Final centroids; cluster `c < nclasses` corresponds to class `c`.
+    pub centroids: DMatrix,
+    /// Final assignments (labeled rows keep their class).
+    pub assignments: Vec<u32>,
+    /// Iterations executed.
+    pub niters: usize,
+}
+
+/// Run semi-supervised k-means++.
+///
+/// `labels[i] = Some(class)` pins row `i` to `class` (`class < nclasses`);
+/// `k >= nclasses` total clusters. Unlabeled rows cluster freely.
+pub fn semisupervised_kmeanspp(
+    data: &DMatrix,
+    labels: &[Option<u32>],
+    nclasses: usize,
+    k: usize,
+    seed: u64,
+    max_iters: usize,
+) -> SemiSupervisedRun {
+    let n = data.nrow();
+    let d = data.ncol();
+    assert_eq!(labels.len(), n);
+    assert!(k >= nclasses && nclasses >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Seed classes at their labeled means.
+    let mut cents = Centroids::zeros(k, d);
+    let mut class_counts = vec![0u64; nclasses];
+    for (i, l) in labels.iter().enumerate() {
+        if let Some(c) = l {
+            let c = *c as usize;
+            assert!(c < nclasses, "label out of range");
+            for (m, x) in cents.means[c * d..(c + 1) * d].iter_mut().zip(data.row(i)) {
+                *m += x;
+            }
+            class_counts[c] += 1;
+        }
+    }
+    for c in 0..nclasses {
+        assert!(class_counts[c] > 0, "class {c} has no labeled points");
+        let inv = 1.0 / class_counts[c] as f64;
+        for m in cents.means[c * d..(c + 1) * d].iter_mut() {
+            *m *= inv;
+        }
+    }
+    // Remaining seeds: D²-weighted over unlabeled points vs current seeds.
+    for next_c in nclasses..k {
+        let weights: Vec<f64> = (0..n)
+            .map(|i| {
+                if labels[i].is_some() {
+                    return 0.0;
+                }
+                (0..next_c)
+                    .map(|c| sqdist(data.row(i), cents.mean(c)))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, w) in weights.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        cents.means[next_c * d..(next_c + 1) * d].copy_from_slice(data.row(pick));
+    }
+
+    // Constrained Lloyd's.
+    let mut next = Centroids::zeros(k, d);
+    let mut assignments: Vec<u32> =
+        labels.iter().map(|l| l.unwrap_or(u32::MAX)).collect();
+    let mut accum = LocalAccum::new(k, d);
+    let mut iters = 0usize;
+    for _ in 0..max_iters {
+        accum.reset();
+        let mut changed = 0u64;
+        for (i, row) in data.rows().enumerate() {
+            let a = match labels[i] {
+                Some(c) => c as usize, // pinned
+                None => {
+                    let (a, _) = nearest(row, &cents.means, k);
+                    a
+                }
+            };
+            if assignments[i] != a as u32 {
+                assignments[i] = a as u32;
+                changed += 1;
+            }
+            accum.add(a, row);
+        }
+        finalize_means(&accum.sums, &accum.counts, &cents, &mut next);
+        std::mem::swap(&mut cents, &mut next);
+        iters += 1;
+        if changed == 0 {
+            break;
+        }
+    }
+
+    SemiSupervisedRun { centroids: cents.to_matrix(), assignments, niters: iters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knor_core::quality::agreement;
+    use knor_workloads::{Balance, MixtureSpec};
+
+    fn labeled_mixture(
+        n: usize,
+        frac: f64,
+        seed: u64,
+    ) -> (DMatrix, Vec<Option<u32>>, Vec<u32>) {
+        let planted = MixtureSpec {
+            n,
+            d: 6,
+            k: 4,
+            separation: 8.0,
+            sigma: 0.5,
+            balance: Balance::Equal,
+            noise: 0.0,
+            seed,
+        }
+        .generate();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 99);
+        let labels: Vec<Option<u32>> = planted
+            .labels
+            .iter()
+            .map(|&l| (rng.gen::<f64>() < frac).then_some(l))
+            .collect();
+        (planted.data, labels, planted.labels)
+    }
+
+    #[test]
+    fn labeled_points_stay_pinned() {
+        let (data, labels, _) = labeled_mixture(600, 0.2, 7);
+        let r = semisupervised_kmeanspp(&data, &labels, 4, 4, 1, 50);
+        for (i, l) in labels.iter().enumerate() {
+            if let Some(c) = l {
+                assert_eq!(r.assignments[i], *c, "pinned row {i} moved");
+            }
+        }
+        assert!(r.niters < 50);
+    }
+
+    #[test]
+    fn supervision_recovers_planted_classes() {
+        let (data, labels, truth) = labeled_mixture(800, 0.1, 8);
+        let r = semisupervised_kmeanspp(&data, &labels, 4, 4, 2, 80);
+        // Class c == cluster c by construction: direct agreement, no
+        // permutation matching needed.
+        let correct = r
+            .assignments
+            .iter()
+            .zip(&truth)
+            .filter(|(a, t)| a == t)
+            .count();
+        assert!(
+            correct as f64 / truth.len() as f64 > 0.95,
+            "only {correct}/{} recovered",
+            truth.len()
+        );
+        // And it is at least as consistent as what label permutation
+        // matching would report.
+        assert!(agreement(&r.assignments, &truth, 4) > 0.95);
+    }
+
+    #[test]
+    fn extra_unsupervised_clusters_allowed() {
+        let (data, labels, _) = labeled_mixture(500, 0.3, 9);
+        // k=6 > 4 classes: two free clusters.
+        let r = semisupervised_kmeanspp(&data, &labels, 4, 6, 3, 50);
+        assert_eq!(r.centroids.nrow(), 6);
+        for (i, l) in labels.iter().enumerate() {
+            if let Some(c) = l {
+                assert_eq!(r.assignments[i], *c);
+            }
+        }
+    }
+}

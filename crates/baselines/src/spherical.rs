@@ -1,0 +1,148 @@
+//! Spherical k-means — the first entry in the paper's §9 future-work list
+//! ("The initial phase will target other variants of k-means like
+//! spherical k-means, semi-supervised k-means++ etc.").
+//!
+//! Points and centroids live on the unit hypersphere; similarity is cosine
+//! (equivalently, squared Euclidean distance of normalized vectors), and
+//! the centroid update renormalizes the mean direction. The ||Lloyd's
+//! structure carries over unchanged — per-thread accumulators, one merge —
+//! which is the §9 claim this module demonstrates.
+
+use knor_core::centroids::{Centroids, LocalAccum};
+use knor_matrix::DMatrix;
+
+/// Result of a spherical k-means run.
+#[derive(Debug, Clone)]
+pub struct SphericalRun {
+    /// Final unit-norm centroids.
+    pub centroids: DMatrix,
+    /// Final assignments.
+    pub assignments: Vec<u32>,
+    /// Iterations executed.
+    pub niters: usize,
+    /// Mean within-cluster cosine similarity (higher is better; in [-1,1]).
+    pub mean_cosine: f64,
+}
+
+/// Normalize every row of `m` to unit L2 norm (zero rows are left as-is).
+pub fn normalize_rows(m: &DMatrix) -> DMatrix {
+    let mut out = m.clone();
+    for i in 0..out.nrow() {
+        let row = out.row_mut(i);
+        let norm: f64 = row.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for x in row.iter_mut() {
+                *x /= norm;
+            }
+        }
+    }
+    out
+}
+
+/// Run spherical k-means. `data` is normalized internally; `init` must be
+/// `k x d` (it is normalized too).
+pub fn spherical_kmeans(
+    data: &DMatrix,
+    init: &DMatrix,
+    max_iters: usize,
+) -> SphericalRun {
+    let data = normalize_rows(data);
+    let n = data.nrow();
+    let d = data.ncol();
+    let k = init.nrow();
+    let mut cents = Centroids::from_matrix(&normalize_rows(init));
+    let mut assignments = vec![u32::MAX; n];
+    let mut accum = LocalAccum::new(k, d);
+    let mut iters = 0usize;
+
+    for _ in 0..max_iters {
+        accum.reset();
+        let mut changed = 0u64;
+        for (i, row) in data.rows().enumerate() {
+            // Max cosine == max dot product for unit vectors.
+            let mut best = 0usize;
+            let mut best_dot = f64::NEG_INFINITY;
+            for c in 0..k {
+                let dot: f64 = row.iter().zip(cents.mean(c)).map(|(a, b)| a * b).sum();
+                if dot > best_dot {
+                    best_dot = dot;
+                    best = c;
+                }
+            }
+            if assignments[i] != best as u32 {
+                assignments[i] = best as u32;
+                changed += 1;
+            }
+            accum.add(best, row);
+        }
+        // Update: renormalized mean direction; empty clusters keep position.
+        for c in 0..k {
+            if accum.counts[c] <= 0 {
+                continue;
+            }
+            let sum = &accum.sums[c * d..(c + 1) * d];
+            let norm: f64 = sum.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for (m, s) in cents.means[c * d..(c + 1) * d].iter_mut().zip(sum) {
+                    *m = s / norm;
+                }
+            }
+            cents.counts[c] = accum.counts[c] as u64;
+        }
+        iters += 1;
+        if changed == 0 {
+            break;
+        }
+    }
+
+    let mean_cosine = data
+        .rows()
+        .zip(&assignments)
+        .map(|(row, &a)| {
+            row.iter().zip(cents.mean(a as usize)).map(|(x, y)| x * y).sum::<f64>()
+        })
+        .sum::<f64>()
+        / n as f64;
+
+    SphericalRun { centroids: cents.to_matrix(), assignments, niters: iters, mean_cosine }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knor_core::init::InitMethod;
+    use knor_workloads::MixtureSpec;
+
+    #[test]
+    fn normalization_is_unit_norm() {
+        let m = DMatrix::from_vec(vec![3.0, 4.0, 0.0, 0.0, 1.0, 1.0], 3, 2);
+        let n = normalize_rows(&m);
+        assert!((n.row(0)[0] - 0.6).abs() < 1e-12);
+        assert!((n.row(0)[1] - 0.8).abs() < 1e-12);
+        assert_eq!(n.row(1), &[0.0, 0.0], "zero rows untouched");
+        let norm2: f64 = n.row(2).iter().map(|x| x * x).sum();
+        assert!((norm2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_and_centroids_are_unit() {
+        let data = MixtureSpec::friendster_like(800, 8, 91).generate().data;
+        let init = InitMethod::PlusPlus.initialize(&data, 8, 3).to_matrix();
+        let r = spherical_kmeans(&data, &init, 100);
+        assert!(r.niters < 100, "should converge");
+        for c in 0..8 {
+            let norm: f64 = r.centroids.row(c).iter().map(|x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-9, "centroid {c} not unit");
+        }
+        assert!(r.mean_cosine > 0.8, "clusters should be directionally tight");
+    }
+
+    #[test]
+    fn improves_cosine_over_init() {
+        let data = MixtureSpec::friendster_like(500, 6, 92).generate().data;
+        let init = InitMethod::Forgy.initialize(&data, 6, 1).to_matrix();
+        let one = spherical_kmeans(&data, &init, 1);
+        let full = spherical_kmeans(&data, &init, 50);
+        assert!(full.mean_cosine >= one.mean_cosine - 1e-12);
+    }
+}

@@ -1,0 +1,244 @@
+//! Yinyang k-means (Ding et al., ICML'15) — the `O(nt)` group-bound
+//! competitor discussed in Related Work.
+//!
+//! Centroids are clustered into `t = max(1, k/10)` groups once at start;
+//! each point keeps one lower bound per *group* plus a global upper bound.
+//! Memory sits between Lloyd's and full Elkan — exactly the trade-off the
+//! paper positions MTI against.
+
+use knor_core::centroids::{finalize_means, Centroids, LocalAccum};
+use knor_core::distance::{dist, nearest};
+use knor_core::pruning::PruneCounters;
+use knor_matrix::DMatrix;
+
+/// Result of a Yinyang run.
+#[derive(Debug, Clone)]
+pub struct YinyangRun {
+    /// Final centroids.
+    pub centroids: DMatrix,
+    /// Final assignments.
+    pub assignments: Vec<u32>,
+    /// Iterations executed.
+    pub niters: usize,
+    /// Computation counters.
+    pub prune: PruneCounters,
+    /// Bytes of bound state (`n·t` lower + `n` upper).
+    pub bound_bytes: u64,
+    /// Number of centroid groups `t`.
+    pub ngroups: usize,
+}
+
+/// Run Yinyang k-means to convergence.
+pub fn yinyang_kmeans(data: &DMatrix, init: &DMatrix, max_iters: usize) -> YinyangRun {
+    let n = data.nrow();
+    let d = data.ncol();
+    let k = init.nrow();
+    let t = (k / 10).max(1);
+
+    // Group centroids once by clustering the initial centroids (the paper
+    // uses 5 Lloyd iterations on the centers themselves).
+    let group_of: Vec<usize> = if t == 1 {
+        vec![0; k]
+    } else {
+        let r = knor_core::serial::lloyd_serial(
+            init,
+            t,
+            &knor_core::init::InitMethod::Forgy,
+            1,
+            5,
+            0.0,
+        );
+        r.assignments.iter().map(|&g| g as usize).collect()
+    };
+
+    let mut cents = Centroids::from_matrix(init);
+    let mut next = Centroids::zeros(k, d);
+    let mut assignments = vec![0u32; n];
+    let mut upper = vec![0.0f64; n];
+    let mut lower = vec![0.0f64; n * t];
+    let mut drift = vec![0.0f64; k];
+    let mut group_drift = vec![0.0f64; t];
+    let mut accum = LocalAccum::new(k, d);
+    let mut counters = PruneCounters::default();
+    let mut iters = 0usize;
+
+    // Initial full pass.
+    for i in 0..n {
+        let v = data.row(i);
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for g in 0..t {
+            lower[i * t + g] = f64::INFINITY;
+        }
+        for c in 0..k {
+            let dc = dist(v, cents.mean(c));
+            counters.dist_computations += 1;
+            if dc < best_d {
+                best_d = dc;
+                best = c;
+            }
+        }
+        // Second-pass group lower bounds (min distance to any non-assigned
+        // centroid of the group).
+        for c in 0..k {
+            if c == best {
+                continue;
+            }
+            let dc = dist(v, cents.mean(c));
+            counters.dist_computations += 1;
+            let g = group_of[c];
+            if dc < lower[i * t + g] {
+                lower[i * t + g] = dc;
+            }
+        }
+        assignments[i] = best as u32;
+        upper[i] = best_d;
+        accum.add(best, v);
+    }
+    finalize_means(&accum.sums, &accum.counts, &cents, &mut next);
+    for c in 0..k {
+        drift[c] = dist(cents.mean(c), next.mean(c));
+    }
+    std::mem::swap(&mut cents, &mut next);
+    iters += 1;
+
+    for _ in 1..max_iters {
+        for g in 0..t {
+            group_drift[g] = 0.0;
+        }
+        for c in 0..k {
+            let g = group_of[c];
+            if drift[c] > group_drift[g] {
+                group_drift[g] = drift[c];
+            }
+        }
+        accum.reset();
+        let mut changed = 0u64;
+        for i in 0..n {
+            let v = data.row(i);
+            let mut a = assignments[i] as usize;
+            let mut u = upper[i] + drift[a];
+            // Loosen group bounds by the max group drift.
+            let mut global_lower = f64::INFINITY;
+            for g in 0..t {
+                lower[i * t + g] = (lower[i * t + g] - group_drift[g]).max(0.0);
+                if lower[i * t + g] < global_lower {
+                    global_lower = lower[i * t + g];
+                }
+            }
+            // Global filter.
+            if u <= global_lower {
+                counters.clause1_rows += 1;
+                upper[i] = u;
+                accum.add(a, v);
+                continue;
+            }
+            // Tighten and re-test.
+            u = dist(v, cents.mean(a));
+            counters.dist_computations += 1;
+            if u <= global_lower {
+                counters.clause3_prunes += 1;
+                upper[i] = u;
+                accum.add(a, v);
+                continue;
+            }
+            // Group filter: only scan groups whose bound is violated.
+            for g in 0..t {
+                if u <= lower[i * t + g] {
+                    counters.clause2_prunes += 1;
+                    continue;
+                }
+                let mut new_group_lower = f64::INFINITY;
+                for c in 0..k {
+                    if group_of[c] != g || c == a {
+                        continue;
+                    }
+                    let dc = dist(v, cents.mean(c));
+                    counters.dist_computations += 1;
+                    if dc < u {
+                        // Old assignment's distance becomes a bound for
+                        // its group.
+                        let old_g = group_of[a];
+                        if u < lower[i * t + old_g] {
+                            lower[i * t + old_g] = u;
+                        }
+                        a = c;
+                        u = dc;
+                    } else if dc < new_group_lower {
+                        new_group_lower = dc;
+                    }
+                }
+                if new_group_lower < lower[i * t + g] {
+                    lower[i * t + g] = new_group_lower;
+                }
+            }
+            if assignments[i] != a as u32 {
+                assignments[i] = a as u32;
+                changed += 1;
+            }
+            upper[i] = u;
+            accum.add(a, v);
+        }
+        finalize_means(&accum.sums, &accum.counts, &cents, &mut next);
+        for c in 0..k {
+            drift[c] = dist(cents.mean(c), next.mean(c));
+        }
+        std::mem::swap(&mut cents, &mut next);
+        iters += 1;
+        if changed == 0 {
+            break;
+        }
+    }
+
+    // Yinyang's bounds are conservative: validate the final assignment with
+    // one exact pass (counted), matching how the reference implementation
+    // reports results.
+    for (i, slot) in assignments.iter_mut().enumerate() {
+        let (a, _) = nearest(data.row(i), &cents.means, k);
+        counters.dist_computations += k as u64;
+        *slot = a as u32;
+    }
+
+    YinyangRun {
+        centroids: cents.to_matrix(),
+        assignments,
+        niters: iters,
+        prune: counters,
+        bound_bytes: (n * t * 8 + n * 8) as u64,
+        ngroups: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knor_core::init::InitMethod;
+    use knor_core::quality::sse;
+    use knor_core::serial::lloyd_serial;
+    use knor_workloads::MixtureSpec;
+
+    #[test]
+    fn yinyang_reaches_lloyd_quality() {
+        let data = MixtureSpec::friendster_like(1000, 8, 71).generate().data;
+        let k = 20; // t = 2 groups
+        let init = InitMethod::PlusPlus.initialize(&data, k, 9).to_matrix();
+        let reference =
+            lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 80, 0.0);
+        let y = yinyang_kmeans(&data, &init, 80);
+        assert_eq!(y.ngroups, 2);
+        let y_sse = sse(&data, &y.centroids, &y.assignments);
+        let rel = (y_sse - reference.sse.unwrap()).abs() / reference.sse.unwrap();
+        assert!(rel < 0.05, "Yinyang quality diverged: {rel}");
+    }
+
+    #[test]
+    fn bound_state_between_lloyd_and_elkan() {
+        let data = MixtureSpec::friendster_like(500, 4, 72).generate().data;
+        let k = 20;
+        let init = InitMethod::Forgy.initialize(&data, k, 2).to_matrix();
+        let y = yinyang_kmeans(&data, &init, 10);
+        // O(nt) with t=2: far less than Elkan's O(nk).
+        assert_eq!(y.bound_bytes, 500 * 2 * 8 + 500 * 8);
+        assert!(y.bound_bytes < (500 * k * 8) as u64);
+    }
+}

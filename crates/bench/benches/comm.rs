@@ -1,0 +1,41 @@
+//! Collective benchmarks: ring vs star all-reduce across rank counts and
+//! payload sizes (the DESIGN.md §6.4 ablation behind knord's design).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knor_mpi::collectives::allreduce_f64;
+use knor_mpi::{LocalCluster, ReduceAlgo};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce");
+    for ranks in [2usize, 4, 8] {
+        for len in [320usize, 3200] {
+            // k*d payloads: k=10/100 at d=32.
+            for (name, algo) in [("ring", ReduceAlgo::Ring), ("star", ReduceAlgo::Star)] {
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{name}_r{ranks}"), len),
+                    &len,
+                    |b, &len| {
+                        b.iter(|| {
+                            LocalCluster::run(ranks, |comm| {
+                                let mut buf = vec![comm.rank() as f64; len];
+                                allreduce_f64(&comm, &mut buf, algo);
+                                buf[0]
+                            })
+                        })
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_allreduce
+);
+criterion_main!(benches);

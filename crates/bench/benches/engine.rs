@@ -1,0 +1,87 @@
+//! Whole-engine benchmarks: knori per-iteration cost across pruning,
+//! scheduler, and task-size choices (the DESIGN.md §6 ablations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knor_core::{InitMethod, Kmeans, KmeansConfig, Pruning};
+use knor_matrix::DMatrix;
+use knor_sched::SchedulerKind;
+use knor_workloads::MixtureSpec;
+
+fn workload(n: usize, d: usize) -> (DMatrix, DMatrix) {
+    let data = MixtureSpec::friendster_like(n, d, 7).generate().data;
+    let init = InitMethod::PlusPlus.initialize(&data, 16, 3).to_matrix();
+    (data, init)
+}
+
+fn run(data: &DMatrix, init: &DMatrix, cfg: KmeansConfig) {
+    let _ = Kmeans::new(cfg.with_init(InitMethod::Given(init.clone()))).fit(data);
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let (data, init) = workload(20_000, 8);
+    let mut g = c.benchmark_group("engine_pruning");
+    for (name, p) in [("mti", Pruning::Mti), ("none", Pruning::None)] {
+        g.bench_function(BenchmarkId::new("knori_10iters", name), |b| {
+            b.iter(|| {
+                run(
+                    &data,
+                    &init,
+                    KmeansConfig::new(16).with_pruning(p).with_max_iters(10).with_sse(false),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let (data, init) = workload(20_000, 8);
+    let mut g = c.benchmark_group("engine_scheduler");
+    for sched in [SchedulerKind::NumaAware, SchedulerKind::Fifo, SchedulerKind::Static] {
+        g.bench_function(BenchmarkId::new("10iters", sched.name()), |b| {
+            b.iter(|| {
+                run(
+                    &data,
+                    &init,
+                    KmeansConfig::new(16)
+                        .with_scheduler(sched)
+                        .with_task_size(512)
+                        .with_max_iters(10)
+                        .with_sse(false),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_task_size(c: &mut Criterion) {
+    // The paper's 8192-row task size vs smaller/larger (DESIGN.md §6.5).
+    let (data, init) = workload(40_000, 8);
+    let mut g = c.benchmark_group("engine_task_size");
+    for ts in [512usize, 2048, 8192, 40_000] {
+        g.bench_function(BenchmarkId::from_parameter(ts), |b| {
+            b.iter(|| {
+                run(
+                    &data,
+                    &init,
+                    KmeansConfig::new(16)
+                        .with_task_size(ts)
+                        .with_max_iters(8)
+                        .with_sse(false),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_pruning, bench_schedulers, bench_task_size
+);
+criterion_main!(benches);

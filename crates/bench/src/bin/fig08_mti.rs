@@ -1,0 +1,103 @@
+//! Figure 8: MTI on vs off across modules — time/iter for knori, knori-,
+//! knors, knors-- on Friendster-8 (8a) and Friendster-32 (8b), k in
+//! {10, 20, 50, 100}; memory comparison (8c).
+
+use knor_bench::{fmt_bytes, fmt_ns, save_results, steady_iter_ns, HarnessArgs};
+use knor_core::{InitMethod, Kmeans, KmeansConfig, Pruning};
+use knor_sem::{SemConfig, SemInit, SemKmeans};
+use knor_workloads::PaperDataset;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut out = String::from("dataset\tk\tknori\tknori-\tknors\tknors--\n");
+    let mut mem_rows = Vec::new();
+
+    for ds in [PaperDataset::Friendster8, PaperDataset::Friendster32] {
+        let data = ds.generate(args.scale, args.seed).data;
+        let n = data.nrow();
+        let d = data.ncol();
+        let mut path = std::env::temp_dir();
+        path.push(format!("knor-fig08-{}-{}.knor", std::process::id(), d));
+        knor_matrix::io::write_matrix(&path, &data).unwrap();
+        println!(
+            "\nFigure 8{}: {} at scale {} (n={n}, d={d}), time per iteration",
+            if d == 8 { 'a' } else { 'b' },
+            ds.name(),
+            args.scale
+        );
+        println!(
+            "{:>5} {:>12} {:>12} {:>12} {:>12}",
+            "k", "knori", "knori-", "knors", "knors--"
+        );
+        for k in [10usize, 20, 50, 100] {
+            let init = InitMethod::PlusPlus.initialize(&data, k, args.seed).to_matrix();
+            let knori = |pruning: Pruning| {
+                Kmeans::new(
+                    KmeansConfig::new(k)
+                        .with_init(InitMethod::Given(init.clone()))
+                        .with_threads(args.threads)
+                        .with_pruning(pruning)
+                        .with_max_iters(args.iters)
+                        .with_sse(false),
+                )
+                .fit(&data)
+            };
+            let knors = |pruning: Pruning, rc: u64| {
+                SemKmeans::new(
+                    SemConfig::new(k)
+                        .with_init(SemInit::Given(init.clone()))
+                        .with_threads(args.threads)
+                        .with_pruning(pruning)
+                        .with_row_cache_bytes(rc)
+                        .with_page_cache_bytes(((n * d * 8) / 16) as u64)
+                        .with_task_size((n / (args.threads * 8)).max(256))
+                        .with_max_iters(args.iters),
+                )
+                .fit(&path)
+                .unwrap()
+            };
+            let rc = ((n * d * 8) / 32) as u64;
+            let a = knori(Pruning::Mti);
+            let b = knori(Pruning::None);
+            let c = knors(Pruning::Mti, rc);
+            let e = knors(Pruning::None, 0);
+            let (ta, tb) = (steady_iter_ns(&a), steady_iter_ns(&b));
+            let (tc, te) = (steady_iter_ns(&c.kmeans), steady_iter_ns(&e.kmeans));
+            println!(
+                "{k:>5} {:>12} {:>12} {:>12} {:>12}",
+                fmt_ns(ta),
+                fmt_ns(tb),
+                fmt_ns(tc),
+                fmt_ns(te)
+            );
+            out.push_str(&format!("{}\t{k}\t{ta}\t{tb}\t{tc}\t{te}\n", ds.name()));
+            if k == 10 {
+                mem_rows.push((
+                    ds.name(),
+                    a.memory.total(),
+                    b.memory.total(),
+                    c.kmeans.memory.total(),
+                    e.kmeans.memory.total(),
+                ));
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    println!("\nFigure 8c: memory at k=10 (engine-accounted bytes)");
+    println!(
+        "{:<15} {:>12} {:>12} {:>12} {:>12}",
+        "dataset", "knori", "knori-", "knors", "knors--"
+    );
+    for (name, a, b, c, e) in &mem_rows {
+        println!(
+            "{name:<15} {:>12} {:>12} {:>12} {:>12}",
+            fmt_bytes(*a as f64),
+            fmt_bytes(*b as f64),
+            fmt_bytes(*c as f64),
+            fmt_bytes(*e as f64)
+        );
+    }
+    println!("\nShape check (paper: MTI costs negligible extra memory; knors holds O(n), not O(nd)).");
+    save_results("fig08_mti.tsv", &out);
+}

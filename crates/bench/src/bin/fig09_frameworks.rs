@@ -1,0 +1,114 @@
+//! Figure 9: knori and knors vs the framework personas (H2O-like,
+//! MLlib-like, Turi-like), Friendster-8 (9a) / Friendster-32 (9b),
+//! k in {10, 20, 50, 100}; peak memory at k=10 (9c).
+//!
+//! Persona time = measured map/shuffle/reduce wall time + modeled dispatch
+//! overhead (DESIGN.md §3.4); knor time is fully measured.
+
+use knor_baselines::mapreduce::{FrameworkProfile, MapReduceKmeans};
+use knor_bench::{fmt_bytes, fmt_ns, save_results, steady_iter_ns, HarnessArgs};
+use knor_core::{InitMethod, Kmeans, KmeansConfig};
+use knor_sem::{SemConfig, SemInit, SemKmeans};
+use knor_workloads::PaperDataset;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut out = String::from("dataset\tk\tknori\tknors\th2o\tmllib\tturi\n");
+    let mut mem_rows = Vec::new();
+
+    for ds in [PaperDataset::Friendster8, PaperDataset::Friendster32] {
+        let data = ds.generate(args.scale, args.seed).data;
+        let n = data.nrow();
+        let d = data.ncol();
+        let mut path = std::env::temp_dir();
+        path.push(format!("knor-fig09-{}-{}.knor", std::process::id(), d));
+        knor_matrix::io::write_matrix(&path, &data).unwrap();
+        println!(
+            "\nFigure 9{}: {} at scale {} (n={n}, d={d}), time per iteration",
+            if d == 8 { 'a' } else { 'b' },
+            ds.name(),
+            args.scale
+        );
+        println!(
+            "{:>5} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "k", "knori", "knors", "H2O", "MLlib", "Turi"
+        );
+        for k in [10usize, 20, 50, 100] {
+            let init = InitMethod::PlusPlus.initialize(&data, k, args.seed).to_matrix();
+            let knori = Kmeans::new(
+                KmeansConfig::new(k)
+                    .with_init(InitMethod::Given(init.clone()))
+                    .with_threads(args.threads)
+                    .with_max_iters(args.iters)
+                    .with_sse(false),
+            )
+            .fit(&data);
+            let knors = SemKmeans::new(
+                SemConfig::new(k)
+                    .with_init(SemInit::Given(init.clone()))
+                    .with_threads(args.threads)
+                    .with_row_cache_bytes(((n * d * 8) / 32) as u64)
+                    .with_page_cache_bytes(((n * d * 8) / 16) as u64)
+                    .with_task_size((n / (args.threads * 8)).max(256))
+                    .with_max_iters(args.iters),
+            )
+            .fit(&path)
+            .unwrap();
+            let persona = |p: FrameworkProfile| {
+                let r = MapReduceKmeans::new(p, args.threads).fit(&data, &init, args.iters);
+                let mean = r.iters.iter().map(|i| i.total_ns() as f64).sum::<f64>()
+                    / r.niters as f64;
+                (mean, r.memory_bytes)
+            };
+            let (h2o, h2o_mem) = persona(FrameworkProfile::h2o_like());
+            let (mllib, mllib_mem) = persona(FrameworkProfile::mllib_like());
+            let (turi, turi_mem) = persona(FrameworkProfile::turi_like());
+            let t_knori = steady_iter_ns(&knori);
+            let t_knors = steady_iter_ns(&knors.kmeans);
+            println!(
+                "{k:>5} {:>11} {:>11} {:>11} {:>11} {:>11}",
+                fmt_ns(t_knori),
+                fmt_ns(t_knors),
+                fmt_ns(h2o),
+                fmt_ns(mllib),
+                fmt_ns(turi)
+            );
+            out.push_str(&format!(
+                "{}\t{k}\t{t_knori}\t{t_knors}\t{h2o}\t{mllib}\t{turi}\n",
+                ds.name()
+            ));
+            if k == 10 {
+                // The paper reports framework memory with JVM slack; our
+                // accounting is the conservative floor — still well above
+                // knor's engine state.
+                mem_rows.push((
+                    ds.name(),
+                    knori.memory.total(),
+                    knors.kmeans.memory.total(),
+                    h2o_mem,
+                    mllib_mem,
+                    turi_mem,
+                ));
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    println!("\nFigure 9c: peak accounted memory at k=10");
+    println!(
+        "{:<15} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "dataset", "knori", "knors", "H2O", "MLlib", "Turi"
+    );
+    for (name, a, b, c, d_, e) in &mem_rows {
+        println!(
+            "{name:<15} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            fmt_bytes(*a as f64),
+            fmt_bytes(*b as f64),
+            fmt_bytes(*c as f64),
+            fmt_bytes(*d_ as f64),
+            fmt_bytes(*e as f64)
+        );
+    }
+    println!("\nShape check (paper: knori >= 10x faster than every framework; knors >= 2x).");
+    save_results("fig09_frameworks.tsv", &out);
+}

@@ -1,0 +1,102 @@
+//! Table 1: asymptotic memory complexity of knor routines — analytic
+//! formulas alongside *measured* accounted bytes at harness scale.
+
+use knor_bench::{fmt_bytes, HarnessArgs};
+use knor_core::{InitMethod, Kmeans, KmeansConfig, Pruning};
+use knor_sem::{SemConfig, SemInit, SemKmeans};
+use knor_workloads::PaperDataset;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let k = 10;
+    let ds = PaperDataset::Friendster8.generate(args.scale, args.seed);
+    let data = ds.data;
+    let (n, d) = (data.nrow(), data.ncol());
+    let t = args.threads;
+    println!(
+        "Table 1: memory complexity (measured on {} at scale {}: n={n}, d={d}, k={k}, T={t})\n",
+        PaperDataset::Friendster8.name(),
+        args.scale
+    );
+    println!("{:<18} {:<22} {:>14}", "Module", "Complexity", "Measured");
+    println!("{:-<18} {:-<22} {:->14}", "", "", "");
+
+    // Naive Lloyd's: O(nd + kd).
+    let naive = (n * d * 8 + k * d * 8) as u64;
+    println!("{:<18} {:<22} {:>14}", "Naive Lloyd's", "O(nd + kd)", fmt_bytes(naive as f64));
+
+    let init = InitMethod::PlusPlus.initialize(&data, k, args.seed).to_matrix();
+
+    // knori- / knord-: O(nd + Tkd).
+    let r = Kmeans::new(
+        KmeansConfig::new(k)
+            .with_init(InitMethod::Given(init.clone()))
+            .with_threads(t)
+            .with_pruning(Pruning::None)
+            .with_max_iters(3)
+            .with_sse(false),
+    )
+    .fit(&data);
+    println!(
+        "{:<18} {:<22} {:>14}",
+        "knori-, knord-",
+        "O(nd + Tkd)",
+        fmt_bytes(r.memory.total() as f64)
+    );
+
+    // knori / knord: O(nd + Tkd + n + k^2).
+    let r = Kmeans::new(
+        KmeansConfig::new(k)
+            .with_init(InitMethod::Given(init.clone()))
+            .with_threads(t)
+            .with_max_iters(3)
+            .with_sse(false),
+    )
+    .fit(&data);
+    println!(
+        "{:<18} {:<22} {:>14}",
+        "knori, knord",
+        "O(nd + Tkd + n + k^2)",
+        fmt_bytes(r.memory.total() as f64)
+    );
+
+    // SEM variants from a file.
+    let mut path = std::env::temp_dir();
+    path.push(format!("knor-tab1-{}.knor", std::process::id()));
+    knor_matrix::io::write_matrix(&path, &data).unwrap();
+    let sem = |pruning: Pruning, rc: u64| {
+        SemKmeans::new(
+            SemConfig::new(k)
+                .with_init(SemInit::Given(init.clone()))
+                .with_threads(t)
+                .with_pruning(pruning)
+                .with_row_cache_bytes(rc)
+                .with_page_cache_bytes(1 << 20)
+                .with_max_iters(3),
+        )
+        .fit(&path)
+        .unwrap()
+    };
+    let minus = sem(Pruning::None, 0);
+    println!(
+        "{:<18} {:<22} {:>14}",
+        "knors-, knors--",
+        "O(n + Tkd)",
+        fmt_bytes((minus.kmeans.memory.total() - minus.kmeans.memory.cache_bytes) as f64)
+    );
+    let full = sem(Pruning::Mti, 1 << 20);
+    println!(
+        "{:<18} {:<22} {:>14}",
+        "knors",
+        "O(2n + Tkd + k^2)",
+        fmt_bytes((full.kmeans.memory.total() - full.kmeans.memory.cache_bytes) as f64)
+    );
+    std::fs::remove_file(&path).unwrap();
+
+    println!(
+        "\nNote: SEM rows exclude the configurable caches ({} row + {} page here);",
+        fmt_bytes((1u64 << 20) as f64),
+        fmt_bytes((1u64 << 20) as f64)
+    );
+    println!("the O(nd) data term is absent for SEM — the point of Table 1.");
+}

@@ -1,0 +1,68 @@
+//! Table 3: serial time/iteration of k-means implementations on
+//! Friendster-8, k=10, all distances computed (pruning disabled for
+//! fairness, as in the paper).
+
+use knor_baselines::gemm::gemm_lloyd;
+use knor_baselines::serial::{alloc_heavy_lloyd, naive_indexed_lloyd};
+use knor_bench::{fmt_ns, save_results, steady_iter_ns, HarnessArgs};
+use knor_core::{InitMethod, Kmeans, KmeansConfig, Pruning};
+use knor_sched::SchedulerKind;
+use knor_workloads::PaperDataset;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let k = 10;
+    let data = PaperDataset::Friendster8.generate(args.scale, args.seed).data;
+    let n = data.nrow();
+    let init = InitMethod::PlusPlus.initialize(&data, k, args.seed).to_matrix();
+    let iters = args.iters;
+    println!(
+        "Table 3: serial performance, Friendster-8 at scale {} (n={n}, d=8, k={k})\n",
+        args.scale
+    );
+    println!("{:<28} {:<10} {:>14}", "Implementation", "Type", "Time/iter");
+    println!("{:-<28} {:-<10} {:->14}", "", "", "");
+
+    let mut rows: Vec<(String, &str, f64)> = Vec::new();
+
+    // knori at 1 thread, MTI disabled (the paper's fairness condition).
+    let r = Kmeans::new(
+        KmeansConfig::new(k)
+            .with_init(InitMethod::Given(init.clone()))
+            .with_threads(1)
+            .with_scheduler(SchedulerKind::Static)
+            .with_pruning(Pruning::None)
+            .with_max_iters(iters)
+            .with_sse(false),
+    )
+    .fit(&data);
+    rows.push(("knori (1 thread)".into(), "Iterative", steady_iter_ns(&r)));
+
+    // GEMM formulation (the MATLAB/BLAS rows).
+    let g = gemm_lloyd(&data, &init, iters);
+    rows.push(("GEMM Lloyd's (own matmul)".into(), "GEMM", g.mean_iter_ns));
+
+    // Indexed C-style loops (the R / MLpack shape).
+    let a = naive_indexed_lloyd(&data, &init, iters);
+    rows.push(("indexed-loop Lloyd's".into(), "Iterative", a.mean_iter_ns));
+
+    // Allocation-heavy loops (the wrapped-runtime shape).
+    let b = alloc_heavy_lloyd(&data, &init, iters);
+    rows.push(("alloc-heavy Lloyd's".into(), "Iterative", b.mean_iter_ns));
+
+    let mut out = String::new();
+    for (name, ty, ns) in &rows {
+        println!("{name:<28} {ty:<10} {:>14}", fmt_ns(*ns));
+        out.push_str(&format!("{name}\t{ty}\t{ns}\n"));
+    }
+
+    let fastest = rows.iter().cloned().fold(f64::INFINITY, |acc, r| acc.min(r.2));
+    println!("\nShape check (paper: knori tops the serial field, GEMM ~2.8x slower):");
+    println!(
+        "  knori/fastest = {:.2}x, GEMM/knori = {:.2}x, alloc-heavy/knori = {:.2}x",
+        rows[0].2 / fastest,
+        rows[1].2 / rows[0].2,
+        rows[3].2 / rows[0].2
+    );
+    save_results("tab3_serial.tsv", &out);
+}

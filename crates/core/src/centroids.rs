@@ -1,0 +1,194 @@
+//! Centroid containers: the read-only global set and per-thread accumulators.
+
+use knor_matrix::DMatrix;
+
+/// The global centroid set for one iteration (`C^t` in the paper):
+/// `k` means of dimension `d` plus member counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Centroids {
+    /// Row-major `k x d` means.
+    pub means: Vec<f64>,
+    /// Members assigned to each centroid in the previous update.
+    pub counts: Vec<u64>,
+    /// Dimensionality.
+    pub d: usize,
+}
+
+impl Centroids {
+    /// Zeroed set of `k` centroids of dimension `d`.
+    pub fn zeros(k: usize, d: usize) -> Self {
+        Self { means: vec![0.0; k * d], counts: vec![0; k], d }
+    }
+
+    /// Build from a `k x d` matrix of initial means.
+    pub fn from_matrix(m: &DMatrix) -> Self {
+        Self { means: m.as_slice().to_vec(), counts: vec![0; m.nrow()], d: m.ncol() }
+    }
+
+    /// Number of centroids, `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Borrow centroid `c`'s mean.
+    #[inline]
+    pub fn mean(&self, c: usize) -> &[f64] {
+        &self.means[c * self.d..(c + 1) * self.d]
+    }
+
+    /// Export as a `k x d` matrix.
+    pub fn to_matrix(&self) -> DMatrix {
+        DMatrix::from_vec(self.means.clone(), self.k(), self.d)
+    }
+}
+
+/// One thread's private accumulator (`ptC^t` in Algorithm 1): running sums
+/// and counts of the points it assigned this iteration.
+///
+/// Counts are signed because under MTI the accumulator holds *deltas*: a
+/// Clause-1-skipped point contributes nothing (its data is never read —
+/// that is where knors saves its I/O), while a reassigned point subtracts
+/// itself from its old cluster and adds itself to the new one. Without
+/// pruning the accumulator holds plain full sums and counts stay
+/// non-negative.
+///
+/// Buffers are independently heap-allocated per thread, so there is no
+/// false sharing between workers on the hot `add` path.
+#[derive(Debug, Clone)]
+pub struct LocalAccum {
+    /// Row-major `k x d` running sums (or sum deltas).
+    pub sums: Vec<f64>,
+    /// Membership counts (or count deltas).
+    pub counts: Vec<i64>,
+    d: usize,
+}
+
+impl LocalAccum {
+    /// Zeroed accumulator for `k` clusters of dimension `d`.
+    pub fn new(k: usize, d: usize) -> Self {
+        Self { sums: vec![0.0; k * d], counts: vec![0; k], d }
+    }
+
+    /// Add point `v` to cluster `c` (Algorithm 1 line 14).
+    #[inline]
+    pub fn add(&mut self, c: usize, v: &[f64]) {
+        debug_assert_eq!(v.len(), self.d);
+        let dst = &mut self.sums[c * self.d..(c + 1) * self.d];
+        for (s, x) in dst.iter_mut().zip(v) {
+            *s += x;
+        }
+        self.counts[c] += 1;
+    }
+
+    /// Remove point `v` from cluster `c` (delta mode: point moved away).
+    #[inline]
+    pub fn sub(&mut self, c: usize, v: &[f64]) {
+        debug_assert_eq!(v.len(), self.d);
+        let dst = &mut self.sums[c * self.d..(c + 1) * self.d];
+        for (s, x) in dst.iter_mut().zip(v) {
+            *s -= x;
+        }
+        self.counts[c] -= 1;
+    }
+
+    /// Zero all sums and counts for the next iteration.
+    pub fn reset(&mut self) {
+        self.sums.iter_mut().for_each(|x| *x = 0.0);
+        self.counts.iter_mut().for_each(|x| *x = 0);
+    }
+
+    /// Merge `other` into `self` (serial reduction step; the engine uses a
+    /// dimension-sliced parallel equivalent).
+    pub fn merge(&mut self, other: &LocalAccum) {
+        debug_assert_eq!(self.sums.len(), other.sums.len());
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Heap bytes held (Table 1 accounting: `O(Tkd)` across threads).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.sums.len() * 8 + self.counts.len() * 8) as u64
+    }
+}
+
+/// Finalize merged sums/counts into the next iteration's means.
+///
+/// Empty clusters keep their previous mean (zero drift), matching knor's
+/// behaviour and keeping MTI bounds valid.
+///
+/// # Panics
+/// Panics (debug) if any count is negative — delta bookkeeping went wrong.
+pub fn finalize_means(sums: &[f64], counts: &[i64], prev: &Centroids, next: &mut Centroids) {
+    let k = prev.k();
+    let d = prev.d;
+    debug_assert_eq!(sums.len(), k * d);
+    for c in 0..k {
+        debug_assert!(counts[c] >= 0, "negative membership for cluster {c}");
+        let dst = &mut next.means[c * d..(c + 1) * d];
+        if counts[c] <= 0 {
+            dst.copy_from_slice(prev.mean(c));
+        } else {
+            let inv = 1.0 / counts[c] as f64;
+            for (j, m) in dst.iter_mut().enumerate() {
+                *m = sums[c * d + j] * inv;
+            }
+        }
+        next.counts[c] = counts[c].max(0) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accum_add_and_merge() {
+        let mut a = LocalAccum::new(2, 3);
+        a.add(0, &[1.0, 2.0, 3.0]);
+        a.add(0, &[1.0, 0.0, 1.0]);
+        a.add(1, &[5.0, 5.0, 5.0]);
+        let mut b = LocalAccum::new(2, 3);
+        b.add(1, &[1.0, 1.0, 1.0]);
+        a.merge(&b);
+        assert_eq!(a.counts, vec![2, 2]);
+        assert_eq!(&a.sums[0..3], &[2.0, 2.0, 4.0]);
+        assert_eq!(&a.sums[3..6], &[6.0, 6.0, 6.0]);
+        a.reset();
+        assert!(a.sums.iter().all(|&x| x == 0.0));
+        assert_eq!(a.counts, vec![0, 0]);
+    }
+
+    #[test]
+    fn delta_add_sub_round_trips() {
+        let mut a = LocalAccum::new(2, 2);
+        a.add(1, &[3.0, 4.0]);
+        a.sub(0, &[3.0, 4.0]); // point moved from cluster 0 to 1
+        assert_eq!(a.counts, vec![-1, 1]);
+        assert_eq!(&a.sums[0..2], &[-3.0, -4.0]);
+        assert_eq!(&a.sums[2..4], &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn finalize_handles_empty_clusters() {
+        let prev = Centroids { means: vec![1.0, 1.0, 9.0, 9.0], counts: vec![3, 0], d: 2 };
+        let mut next = Centroids::zeros(2, 2);
+        finalize_means(&[4.0, 8.0, 0.0, 0.0], &[2, 0], &prev, &mut next);
+        assert_eq!(next.mean(0), &[2.0, 4.0]);
+        assert_eq!(next.mean(1), &[9.0, 9.0], "empty cluster keeps its mean");
+        assert_eq!(next.counts, vec![2, 0]);
+    }
+
+    #[test]
+    fn centroids_round_trip_matrix() {
+        let m = DMatrix::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let c = Centroids::from_matrix(&m);
+        assert_eq!(c.k(), 2);
+        assert_eq!(c.mean(1), &[3.0, 4.0]);
+        assert_eq!(c.to_matrix(), m);
+    }
+}

@@ -1,0 +1,146 @@
+//! Euclidean distance kernels.
+//!
+//! These are the innermost loops of every knor module. The squared-distance
+//! kernel is written over `chunks_exact(4)` so LLVM vectorizes it without
+//! `unsafe`; callers that need true distances take one `sqrt` at the end
+//! (MTI bound arithmetic is performed on *distances*, not squares, exactly
+//! as in Elkan's formulation).
+
+/// Squared Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn sqdist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        for i in 0..4 {
+            let d = ca[i] - cb[i];
+            acc[i] += d * d;
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    sqdist(a, b).sqrt()
+}
+
+/// Index and distance of the nearest row of `centroids` (`k x d`,
+/// row-major) to `v`, scanning all `k` candidates.
+///
+/// Ties break toward the lower index, matching the serial reference so the
+/// pruned and unpruned paths produce identical assignments.
+#[inline]
+pub fn nearest(v: &[f64], centroids: &[f64], k: usize) -> (usize, f64) {
+    let d = v.len();
+    let mut best = 0usize;
+    let mut best_sq = f64::INFINITY;
+    for (c, row) in centroids.chunks_exact(d).enumerate().take(k) {
+        let s = sqdist(v, row);
+        if s < best_sq {
+            best_sq = s;
+            best = c;
+        }
+    }
+    (best, best_sq.sqrt())
+}
+
+/// Fill `out[i*k + j]` (`j > i`) with `d(centroid_i, centroid_j)` and
+/// `half_min[i] = ½·min_{j≠i} d(c_i, c_j)` — the `O(k²)` structure MTI
+/// maintains each iteration. `out` is a full `k x k` buffer for O(1)
+/// symmetric lookup; only the strict upper triangle is computed and
+/// mirrored.
+pub fn centroid_distances(centroids: &[f64], k: usize, d: usize, out: &mut [f64], half_min: &mut [f64]) {
+    debug_assert_eq!(centroids.len(), k * d);
+    debug_assert_eq!(out.len(), k * k);
+    debug_assert_eq!(half_min.len(), k);
+    for x in half_min.iter_mut() {
+        *x = f64::INFINITY;
+    }
+    for i in 0..k {
+        out[i * k + i] = 0.0;
+        for j in (i + 1)..k {
+            let dij = dist(&centroids[i * d..(i + 1) * d], &centroids[j * d..(j + 1) * d]);
+            out[i * k + j] = dij;
+            out[j * k + i] = dij;
+            if dij < half_min[i] {
+                half_min[i] = dij;
+            }
+            if dij < half_min[j] {
+                half_min[j] = dij;
+            }
+        }
+    }
+    for x in half_min.iter_mut() {
+        *x *= 0.5;
+        if !x.is_finite() {
+            // k == 1: no other centroid, Clause 1 can never fire.
+            *x = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqdist_matches_naive() {
+        let a: Vec<f64> = (0..13).map(|x| x as f64 * 0.3).collect();
+        let b: Vec<f64> = (0..13).map(|x| (x as f64).sin()).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert!((sqdist(&a, &b) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_zero_on_self() {
+        let a = [1.0, -2.0, 3.5];
+        assert_eq!(dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn nearest_picks_minimum_with_low_index_ties() {
+        let cents = [0.0, 0.0, 5.0, 0.0, 0.0, 0.0]; // c0 == c2
+        let (idx, d) = nearest(&[0.1, 0.0], &cents, 3);
+        assert_eq!(idx, 0, "tie must break to lower index");
+        assert!((d - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_distance_matrix_symmetric_and_halved() {
+        let cents = [0.0, 0.0, 3.0, 4.0, 0.0, 8.0]; // pairwise: 5, 8, 5
+        let mut out = vec![0.0; 9];
+        let mut half = vec![0.0; 3];
+        centroid_distances(&cents, 3, 2, &mut out, &mut half);
+        assert!((out[1] - 5.0).abs() < 1e-12);
+        assert!((out[3] - 5.0).abs() < 1e-12);
+        assert!((out[2] - 8.0).abs() < 1e-12);
+        assert!((out[5] - 5.0).abs() < 1e-12);
+        assert_eq!(half, vec![2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn single_centroid_half_min_is_zero() {
+        let mut out = vec![0.0; 1];
+        let mut half = vec![9.9; 1];
+        centroid_distances(&[1.0, 2.0], 1, 2, &mut out, &mut half);
+        assert_eq!(half[0], 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        // d(a,c) <= d(a,b) + d(b,c) on random-ish data.
+        let a = [0.3, 1.0, -2.0, 4.4, 0.0];
+        let b = [1.3, -1.0, 2.0, 0.4, 2.0];
+        let c = [-0.3, 0.0, 1.0, 2.4, 1.0];
+        assert!(dist(&a, &c) <= dist(&a, &b) + dist(&b, &c) + 1e-12);
+    }
+}

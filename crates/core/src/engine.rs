@@ -1,0 +1,887 @@
+//! The parallel ||Lloyd's engine (knori).
+//!
+//! # Iteration protocol
+//!
+//! Workers are spawned once and live for the whole run. Each iteration is
+//! organized around three barriers:
+//!
+//! ```text
+//! A ─ compute super-phase ─ B ─ parallel merge ─ C ─ coordinator window ─ A
+//! ```
+//!
+//! * **compute** — workers drain the task queue; for each row they find the
+//!   nearest centroid (via MTI or a full scan) and update their *private*
+//!   accumulator. No locks, no shared writes except disjoint per-row state.
+//! * **merge** — the per-thread accumulators are reduced in parallel: the
+//!   `k·d` accumulator dimensions are sliced across workers, so each worker
+//!   sums one slice across all `T` accumulators (a balanced, barrier-free
+//!   substitute for the paper's funnelsort-like pairwise reduction with the
+//!   same O(T·k·d / T) per-thread cost).
+//! * **coordinator window** — worker 0 finalizes means, drifts and the MTI
+//!   distance matrix, records statistics, decides convergence and refills
+//!   the queue. The `A` barrier publishes everything for the next round.
+//!
+//! Under MTI the accumulators hold *deltas* (subtract from the old cluster,
+//! add to the new one) against persistent global sums, so a Clause-1 skip
+//! really touches no row data — the property knors turns into I/O savings.
+//!
+//! # NUMA modes
+//!
+//! `numa_aware = true` (default) distributes the matrix into per-node
+//! arenas (Fig. 1), binds workers to nodes, and uses the configured task
+//! queue. `numa_aware = false` reproduces the paper's *NUMA-oblivious*
+//! baseline: one contiguous allocation homed on node 0, threads spread
+//! round-robin by the "OS", FIFO scheduling. Exact access tallies are kept
+//! either way so the cost model can compare the two (Fig. 4).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+use knor_matrix::shared::SharedRows;
+use knor_matrix::DMatrix;
+use knor_numa::bind::bind_current_thread;
+use knor_numa::{AccessTally, NodeId, NumaMatrix, Placement, Topology};
+use knor_sched::{SchedulerKind, TaskQueue, DEFAULT_TASK_SIZE};
+
+use crate::centroids::{finalize_means, Centroids, LocalAccum};
+use crate::distance::{dist, nearest};
+use crate::init::InitMethod;
+use crate::pruning::{mti_assign, MtiIterState, PruneCounters, Pruning};
+use crate::stats::{IterStats, KmeansResult, MemoryFootprint};
+use crate::sync::ExclusiveCell;
+
+/// Configuration for a [`Kmeans`] run.
+#[derive(Debug, Clone)]
+pub struct KmeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Iteration cap (counting the initial assignment pass).
+    pub max_iters: usize,
+    /// Stop when the maximum centroid drift falls to or below this value
+    /// (0.0 = stop only on zero reassignments).
+    pub tol: f64,
+    /// Centroid initialization.
+    pub init: InitMethod,
+    /// Seed for initialization randomness.
+    pub seed: u64,
+    /// MTI pruning on (knori) or off (knori-).
+    pub pruning: Pruning,
+    /// Task queue policy (Fig. 5).
+    pub scheduler: SchedulerKind,
+    /// Worker threads; `None` = all available CPUs.
+    pub threads: Option<usize>,
+    /// Machine topology; `None` = detect the host.
+    pub topology: Option<Topology>,
+    /// Rows per scheduler task.
+    pub task_size: usize,
+    /// NUMA-aware placement/binding (true) or the oblivious baseline.
+    pub numa_aware: bool,
+    /// Record per-iteration [`AccessTally`]s for the cost model.
+    pub track_tallies: bool,
+    /// Compute the final SSE (one extra serial pass).
+    pub compute_sse: bool,
+}
+
+impl KmeansConfig {
+    /// Defaults matching the paper's knori: MTI on, NUMA-aware scheduler,
+    /// all CPUs, task size 8192.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 100,
+            tol: 0.0,
+            init: InitMethod::Forgy,
+            seed: 0,
+            pruning: Pruning::Mti,
+            scheduler: SchedulerKind::NumaAware,
+            threads: None,
+            topology: None,
+            task_size: DEFAULT_TASK_SIZE,
+            numa_aware: true,
+            track_tallies: false,
+            compute_sse: true,
+        }
+    }
+
+    /// Set the iteration cap.
+    pub fn with_max_iters(mut self, v: usize) -> Self {
+        self.max_iters = v;
+        self
+    }
+
+    /// Set the drift tolerance.
+    pub fn with_tol(mut self, v: f64) -> Self {
+        self.tol = v;
+        self
+    }
+
+    /// Set the initialization method.
+    pub fn with_init(mut self, v: InitMethod) -> Self {
+        self.init = v;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, v: u64) -> Self {
+        self.seed = v;
+        self
+    }
+
+    /// Enable/disable MTI pruning.
+    pub fn with_pruning(mut self, v: Pruning) -> Self {
+        self.pruning = v;
+        self
+    }
+
+    /// Choose the scheduler policy.
+    pub fn with_scheduler(mut self, v: SchedulerKind) -> Self {
+        self.scheduler = v;
+        self
+    }
+
+    /// Set the worker thread count.
+    pub fn with_threads(mut self, v: usize) -> Self {
+        self.threads = Some(v.max(1));
+        self
+    }
+
+    /// Supply a topology (synthetic topologies enable modeled scaling runs).
+    pub fn with_topology(mut self, v: Topology) -> Self {
+        self.topology = Some(v);
+        self
+    }
+
+    /// Set rows per task.
+    pub fn with_task_size(mut self, v: usize) -> Self {
+        self.task_size = v.max(1);
+        self
+    }
+
+    /// Toggle NUMA-aware placement (false = oblivious baseline).
+    pub fn with_numa_aware(mut self, v: bool) -> Self {
+        self.numa_aware = v;
+        self
+    }
+
+    /// Toggle access-tally tracking.
+    pub fn with_tallies(mut self, v: bool) -> Self {
+        self.track_tallies = v;
+        self
+    }
+
+    /// Toggle the final SSE pass.
+    pub fn with_sse(mut self, v: bool) -> Self {
+        self.compute_sse = v;
+        self
+    }
+}
+
+/// How the dataset is laid out in memory for a run.
+enum Layout<'a> {
+    /// Fig. 1 per-node arenas.
+    Aware(NumaMatrix),
+    /// One contiguous allocation, logically homed on node 0 (what `malloc`
+    /// first-touch gives a single-threaded loader).
+    Oblivious(&'a DMatrix),
+}
+
+impl Layout<'_> {
+    #[inline]
+    fn row(&self, r: usize) -> (&[f64], NodeId) {
+        match self {
+            Layout::Aware(m) => m.row(r),
+            Layout::Oblivious(m) => (m.row(r), NodeId(0)),
+        }
+    }
+
+    fn data_bytes(&self) -> u64 {
+        match self {
+            Layout::Aware(m) => m.heap_bytes(),
+            Layout::Oblivious(m) => (m.len() * 8) as u64,
+        }
+    }
+}
+
+/// Results a worker publishes after its compute phase.
+#[derive(Debug, Clone, Default)]
+struct WorkerScratch {
+    counters: PruneCounters,
+    reassigned: u64,
+    rows_accessed: u64,
+    tally: Option<AccessTally>,
+}
+
+/// The knori solver.
+pub struct Kmeans {
+    config: KmeansConfig,
+}
+
+impl Kmeans {
+    /// Create a solver from a configuration.
+    pub fn new(config: KmeansConfig) -> Self {
+        assert!(config.k >= 1, "k must be positive");
+        assert!(config.max_iters >= 1, "need at least one iteration");
+        Self { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &KmeansConfig {
+        &self.config
+    }
+
+    /// Cluster `data`, consuming one full engine run.
+    pub fn fit(&self, data: &DMatrix) -> KmeansResult {
+        let cfg = &self.config;
+        let n = data.nrow();
+        let d = data.ncol();
+        let k = cfg.k;
+        assert!(k <= n, "k = {k} exceeds n = {n}");
+
+        let topo = cfg.topology.clone().unwrap_or_else(Topology::detect);
+        let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let nthreads = cfg.threads.unwrap_or(hw).max(1);
+        let placement = Placement::new(&topo, n, nthreads);
+        let nnodes = topo.nodes();
+
+        // Thread-to-node assignment: Fig. 1 groups when aware, round-robin
+        // spread (what an oblivious OS scheduler converges to) otherwise.
+        let thread_node: Vec<NodeId> = (0..nthreads)
+            .map(|t| {
+                if cfg.numa_aware {
+                    placement.node_of_thread(t)
+                } else {
+                    NodeId(t % nnodes)
+                }
+            })
+            .collect();
+
+        let layout = if cfg.numa_aware {
+            Layout::Aware(NumaMatrix::from_dmatrix(&topo, &placement, data))
+        } else {
+            Layout::Oblivious(data)
+        };
+        let row_bytes = (d * 8) as u64;
+
+        let init_cents = cfg.init.initialize(data, k, cfg.seed);
+
+        // Shared engine state (see module docs for the barrier protocol).
+        let centroids = ExclusiveCell::new(init_cents);
+        let next_cents = ExclusiveCell::new(Centroids::zeros(k, d));
+        let mti = ExclusiveCell::new(MtiIterState::new(k));
+        let assign: SharedRows<u32> = SharedRows::new(n, u32::MAX);
+        let upper: SharedRows<f64> = SharedRows::new(n, f64::INFINITY);
+        let merged_sums: SharedRows<f64> = SharedRows::new(k * d, 0.0);
+        let merged_counts = ExclusiveCell::new(vec![0i64; k]);
+        // Persistent global sums/counts for MTI delta accumulation.
+        let persistent = ExclusiveCell::new((vec![0.0f64; k * d], vec![0i64; k]));
+        let accums: Vec<ExclusiveCell<LocalAccum>> =
+            (0..nthreads).map(|_| ExclusiveCell::new(LocalAccum::new(k, d))).collect();
+        let scratch: Vec<ExclusiveCell<WorkerScratch>> =
+            (0..nthreads).map(|_| ExclusiveCell::new(WorkerScratch::default())).collect();
+        let stop = AtomicBool::new(false);
+        let converged = AtomicBool::new(false);
+        let barrier = Barrier::new(nthreads);
+
+        let queue = TaskQueue::new(cfg.scheduler, &placement);
+        queue.refill(&placement, cfg.task_size);
+
+        // Dimension slices for the parallel merge.
+        let dim_slices = knor_matrix::partition_rows(k * d, nthreads);
+
+        let mut iter_stats: Vec<IterStats> = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nthreads);
+            for w in 0..nthreads {
+                let topo = &topo;
+                let placement = &placement;
+                let layout = &layout;
+                let thread_node = &thread_node;
+                let centroids = &centroids;
+                let next_cents = &next_cents;
+                let mti = &mti;
+                let assign = &assign;
+                let upper = &upper;
+                let merged_sums = &merged_sums;
+                let merged_counts = &merged_counts;
+                let persistent = &persistent;
+                let accums = &accums;
+                let scratch = &scratch;
+                let stop = &stop;
+                let converged = &converged;
+                let barrier = &barrier;
+                let queue = &queue;
+                let dim_slice = dim_slices[w].clone();
+                handles.push(s.spawn(move || {
+                    worker_loop(WorkerCtx {
+                        w,
+                        cfg,
+                        topo,
+                        placement,
+                        layout,
+                        my_node: thread_node[w],
+                        nnodes,
+                        row_bytes,
+                        centroids,
+                        next_cents,
+                        mti,
+                        assign,
+                        upper,
+                        merged_sums,
+                        merged_counts,
+                        persistent,
+                        accums,
+                        scratch,
+                        stop,
+                        converged,
+                        barrier,
+                        queue,
+                        dim_slice,
+                    })
+                }));
+            }
+            for (w, h) in handles.into_iter().enumerate() {
+                let stats = h.join().expect("engine worker panicked");
+                if w == 0 {
+                    iter_stats = stats;
+                }
+            }
+        });
+
+        let assignments = assign.snapshot();
+        let final_cents = centroids.into_inner();
+        let centroids_m = final_cents.to_matrix();
+        let sse =
+            cfg.compute_sse.then(|| crate::quality::sse(data, &centroids_m, &assignments));
+
+        let pruning_on = cfg.pruning.enabled();
+        let memory = MemoryFootprint {
+            data_bytes: layout.data_bytes(),
+            centroid_bytes: (2 * k * d * 8) as u64
+                + if pruning_on { (k * d * 8 + k * 8) as u64 } else { 0 },
+            accum_bytes: (nthreads * (k * d * 8 + k * 8)) as u64,
+            per_row_bytes: (n * 4) as u64 + if pruning_on { (n * 8) as u64 } else { 0 },
+            pruning_bytes: if pruning_on { ((k * k + 2 * k) * 8) as u64 } else { 0 },
+            cache_bytes: 0,
+        };
+
+        let niters = iter_stats.len();
+        KmeansResult {
+            centroids: centroids_m,
+            assignments,
+            niters,
+            converged: converged.load(Ordering::Acquire),
+            iters: iter_stats,
+            memory,
+            sse,
+        }
+    }
+}
+
+/// Everything a worker thread needs, bundled to keep the spawn readable.
+struct WorkerCtx<'a, 'data> {
+    w: usize,
+    cfg: &'a KmeansConfig,
+    topo: &'a Topology,
+    placement: &'a Placement,
+    layout: &'a Layout<'data>,
+    my_node: NodeId,
+    nnodes: usize,
+    row_bytes: u64,
+    centroids: &'a ExclusiveCell<Centroids>,
+    next_cents: &'a ExclusiveCell<Centroids>,
+    mti: &'a ExclusiveCell<MtiIterState>,
+    assign: &'a SharedRows<u32>,
+    upper: &'a SharedRows<f64>,
+    merged_sums: &'a SharedRows<f64>,
+    merged_counts: &'a ExclusiveCell<Vec<i64>>,
+    persistent: &'a ExclusiveCell<(Vec<f64>, Vec<i64>)>,
+    accums: &'a [ExclusiveCell<LocalAccum>],
+    scratch: &'a [ExclusiveCell<WorkerScratch>],
+    stop: &'a AtomicBool,
+    converged: &'a AtomicBool,
+    barrier: &'a Barrier,
+    queue: &'a TaskQueue,
+    dim_slice: std::ops::Range<usize>,
+}
+
+fn worker_loop(ctx: WorkerCtx<'_, '_>) -> Vec<IterStats> {
+    let WorkerCtx {
+        w,
+        cfg,
+        topo,
+        placement,
+        layout,
+        my_node,
+        nnodes,
+        row_bytes,
+        centroids,
+        next_cents,
+        mti,
+        assign,
+        upper,
+        merged_sums,
+        merged_counts,
+        persistent,
+        accums,
+        scratch,
+        stop,
+        converged,
+        barrier,
+        queue,
+        dim_slice,
+    } = ctx;
+
+    if cfg.numa_aware {
+        let _ = bind_current_thread(topo, my_node);
+    }
+    let k = cfg.k;
+    let d = merged_sums.len() / k;
+    let nthreads = accums.len();
+    let pruning = cfg.pruning.enabled();
+    let mut stats: Vec<IterStats> = Vec::new();
+    let mut iter = 0usize;
+
+    loop {
+        barrier.wait(); // A — state published by coordinator
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let t0 = std::time::Instant::now();
+
+        // ---- compute super-phase -------------------------------------
+        // Safety: barrier A separates us from the coordinator's writes;
+        // nobody writes these cells during compute.
+        let cents = unsafe { centroids.get() };
+        let mti_state = unsafe { mti.get() };
+        let accum = unsafe { accums[w].get_mut() };
+        let mut counters = PruneCounters::default();
+        let mut reassigned = 0u64;
+        let mut rows_accessed = 0u64;
+        let mut tally =
+            cfg.track_tallies.then(|| AccessTally::new(my_node, nnodes));
+
+        while let Some(task) = queue.next(w) {
+            for r in task.rows {
+                // Safety: the scheduler hands each row to exactly one task.
+                let cur_a = unsafe { *assign.get(r) };
+                if iter > 0 && pruning {
+                    let a = cur_a as usize;
+                    let mut ub = unsafe { *upper.get(r) } + mti_state.drift[a];
+                    // Clause 1: decided before touching row data.
+                    if ub <= mti_state.half_min[a] {
+                        counters.clause1_rows += 1;
+                        unsafe { *upper.get_mut(r) = ub };
+                        continue;
+                    }
+                    let (v, home) = layout.row(r);
+                    rows_accessed += 1;
+                    if let Some(t) = tally.as_mut() {
+                        t.record_access(home, row_bytes);
+                    }
+                    let (new_a, new_ub) =
+                        mti_assign(v, cents, mti_state, a, ub, &mut counters);
+                    if new_a != a {
+                        reassigned += 1;
+                        accum.sub(a, v);
+                        accum.add(new_a, v);
+                        unsafe { *assign.get_mut(r) = new_a as u32 };
+                    }
+                    ub = new_ub;
+                    unsafe { *upper.get_mut(r) = ub };
+                } else {
+                    // Full scan: first iteration, or pruning disabled.
+                    let (v, home) = layout.row(r);
+                    rows_accessed += 1;
+                    if let Some(t) = tally.as_mut() {
+                        t.record_access(home, row_bytes);
+                    }
+                    let (a, da) = nearest(v, &cents.means, k);
+                    counters.dist_computations += k as u64;
+                    if pruning {
+                        // Delta accumulation against persistent sums.
+                        if cur_a == u32::MAX {
+                            accum.add(a, v);
+                            reassigned += 1;
+                        } else if cur_a as usize != a {
+                            accum.sub(cur_a as usize, v);
+                            accum.add(a, v);
+                            reassigned += 1;
+                        }
+                        unsafe { *upper.get_mut(r) = da };
+                    } else {
+                        // Full re-accumulation every iteration.
+                        accum.add(a, v);
+                        if cur_a != a as u32 {
+                            reassigned += 1;
+                        }
+                    }
+                    unsafe { *assign.get_mut(r) = a as u32 };
+                }
+            }
+        }
+        if let Some(t) = tally.as_mut() {
+            // Distance kernels + accumulator adds, d fused ops each.
+            t.record_flops((counters.dist_computations + rows_accessed) * d as u64);
+        }
+        // Safety: own scratch slot; read by worker 0 only after barrier B.
+        unsafe {
+            *scratch[w].get_mut() =
+                WorkerScratch { counters, reassigned, rows_accessed, tally };
+        }
+
+        barrier.wait(); // B — all accumulators and scratch final
+
+        // ---- parallel merge (dimension-sliced) ------------------------
+        for j in dim_slice.clone() {
+            let mut sum = 0.0;
+            for a in accums.iter().take(nthreads) {
+                // Safety: accumulators are read-only between B and C.
+                sum += unsafe { a.get() }.sums[j];
+            }
+            // Safety: dim slices are disjoint across workers.
+            unsafe { *merged_sums.get_mut(j) = sum };
+        }
+        if w == 0 {
+            // Safety: coordinator-only write between B and C.
+            let mc = unsafe { merged_counts.get_mut() };
+            for c in 0..k {
+                let mut sum = 0i64;
+                for a in accums.iter().take(nthreads) {
+                    sum += unsafe { a.get() }.counts[c];
+                }
+                mc[c] = sum;
+            }
+        }
+
+        barrier.wait(); // C — merged sums/counts complete
+
+        if w == 0 {
+            // ---- coordinator window -----------------------------------
+            // Safety: exclusive window between C and next A.
+            let cents = unsafe { centroids.get_mut() };
+            let next = unsafe { next_cents.get_mut() };
+            let mc = unsafe { merged_counts.get() };
+            let (psums, pcounts) = unsafe { persistent.get_mut() };
+
+            if pruning {
+                for j in 0..k * d {
+                    psums[j] += unsafe { *merged_sums.get(j) };
+                }
+                for c in 0..k {
+                    pcounts[c] += mc[c];
+                }
+                finalize_means(psums, pcounts, cents, next);
+            } else {
+                let sums: Vec<f64> =
+                    (0..k * d).map(|j| unsafe { *merged_sums.get(j) }).collect();
+                finalize_means(&sums, mc, cents, next);
+            }
+
+            let max_drift =
+                (0..k).map(|c| dist(cents.mean(c), next.mean(c))).fold(0.0f64, f64::max);
+            if pruning {
+                // Safety: coordinator window.
+                unsafe { mti.get_mut() }.update(cents, next);
+            }
+            std::mem::swap(cents, next);
+
+            // Aggregate worker scratch.
+            let mut counters = PruneCounters::default();
+            let mut reassigned = 0u64;
+            let mut rows_accessed = 0u64;
+            let mut tallies = cfg.track_tallies.then(Vec::new);
+            for sc in scratch {
+                // Safety: workers finished writing scratch before B.
+                let sc = unsafe { sc.get() };
+                counters.merge(&sc.counters);
+                reassigned += sc.reassigned;
+                rows_accessed += sc.rows_accessed;
+                if let (Some(ts), Some(t)) = (tallies.as_mut(), sc.tally.as_ref()) {
+                    ts.push(t.clone());
+                }
+            }
+            stats.push(IterStats {
+                iter,
+                reassigned,
+                rows_accessed,
+                prune: counters,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+                queue: queue.stats(),
+                tallies,
+                max_drift,
+            });
+            queue.reset_stats();
+
+            let done_iters = iter + 1;
+            let is_converged =
+                reassigned == 0 || (cfg.tol > 0.0 && max_drift <= cfg.tol);
+            if is_converged {
+                converged.store(true, Ordering::Release);
+            }
+            if is_converged || done_iters >= cfg.max_iters {
+                stop.store(true, Ordering::Release);
+            } else {
+                queue.refill(placement, cfg.task_size);
+            }
+        }
+
+        // Reset own accumulator for the next iteration (consumed before C).
+        accum.reset();
+        iter += 1;
+    }
+
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{agreement, sse};
+    use crate::serial::lloyd_serial;
+    use knor_workloads::MixtureSpec;
+
+    fn mixture(n: usize, d: usize, seed: u64) -> DMatrix {
+        MixtureSpec::friendster_like(n, d, seed).generate().data
+    }
+
+    fn forgy_centroids(data: &DMatrix, k: usize, seed: u64) -> DMatrix {
+        InitMethod::Forgy.initialize(data, k, seed).to_matrix()
+    }
+
+    #[test]
+    fn single_thread_static_matches_serial_exactly() {
+        let data = mixture(600, 6, 1);
+        let k = 8;
+        let init = forgy_centroids(&data, k, 7);
+        let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 50, 0.0);
+        let par = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init))
+                .with_threads(1)
+                .with_scheduler(SchedulerKind::Static)
+                .with_pruning(Pruning::None)
+                .with_max_iters(50),
+        )
+        .fit(&data);
+        assert_eq!(par.assignments, serial.assignments);
+        assert_eq!(par.niters, serial.niters);
+        assert_eq!(par.centroids, serial.centroids);
+        assert!(par.converged);
+    }
+
+    #[test]
+    fn multithreaded_matches_serial_clustering() {
+        let data = mixture(2000, 8, 2);
+        let k = 8;
+        let init = forgy_centroids(&data, k, 3);
+        let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 80, 0.0);
+        let par = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init))
+                .with_threads(4)
+                .with_pruning(Pruning::None)
+                .with_max_iters(80),
+        )
+        .fit(&data);
+        assert!(par.converged && serial.converged);
+        // FP merge order may differ: compare clusterings, not bits.
+        assert!(agreement(&par.assignments, &serial.assignments, k) > 0.999);
+        let s_par = sse(&data, &par.centroids, &par.assignments);
+        assert!((s_par - serial.sse.unwrap()).abs() / serial.sse.unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn mti_matches_unpruned_run() {
+        let data = mixture(1500, 8, 4);
+        let k = 10;
+        let init = forgy_centroids(&data, k, 11);
+        let base = KmeansConfig::new(k)
+            .with_init(InitMethod::Given(init))
+            .with_threads(2)
+            .with_max_iters(60);
+        let pruned = Kmeans::new(base.clone().with_pruning(Pruning::Mti)).fit(&data);
+        let full = Kmeans::new(base.with_pruning(Pruning::None)).fit(&data);
+        assert_eq!(pruned.niters, full.niters, "pruning must not change the trajectory");
+        assert!(agreement(&pruned.assignments, &full.assignments, k) > 0.999);
+        let rel = (pruned.sse.unwrap() - full.sse.unwrap()).abs() / full.sse.unwrap();
+        assert!(rel < 1e-9, "SSE diverged by {rel}");
+        // And pruning must actually prune on clustered data.
+        let p = pruned.total_prune();
+        assert!(p.clause1_rows > 0, "no clause-1 skips on separated mixtures?");
+        assert!(
+            p.dist_computations < full.total_prune().dist_computations / 2,
+            "MTI saved too little: {} vs {}",
+            p.dist_computations,
+            full.total_prune().dist_computations
+        );
+    }
+
+    #[test]
+    fn numa_oblivious_mode_same_result() {
+        let data = mixture(1200, 4, 9);
+        let k = 6;
+        let init = forgy_centroids(&data, k, 2);
+        let aware = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init.clone()))
+                .with_threads(4)
+                .with_max_iters(60),
+        )
+        .fit(&data);
+        let oblivious = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init))
+                .with_threads(4)
+                .with_numa_aware(false)
+                .with_max_iters(60),
+        )
+        .fit(&data);
+        assert!(aware.converged && oblivious.converged);
+        assert!(agreement(&aware.assignments, &oblivious.assignments, k) > 0.999);
+    }
+
+    #[test]
+    fn tallies_track_every_access() {
+        let topo = Topology::synthetic(4, 2);
+        let data = mixture(800, 8, 5);
+        let k = 5;
+        let r = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_threads(8)
+                .with_topology(topo)
+                .with_tallies(true)
+                .with_seed(1)
+                .with_max_iters(30),
+        )
+        .fit(&data);
+        for it in &r.iters {
+            let tallies = it.tallies.as_ref().expect("tallies requested");
+            assert_eq!(tallies.len(), 8);
+            let accesses: u64 =
+                tallies.iter().map(|t| t.local_accesses + t.remote_accesses).sum();
+            assert_eq!(accesses, it.rows_accessed, "iter {}", it.iter);
+            let bytes: u64 = tallies.iter().map(|t| t.total_bytes()).sum();
+            assert_eq!(bytes, it.rows_accessed * 8 * 8);
+        }
+        // Static scheduling pins every worker to its own block: with aware
+        // placement all accesses must be local. (Stealing schedulers may
+        // legitimately go remote on a host with fewer CPUs than workers.)
+        let r_static = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_threads(8)
+                .with_topology(Topology::synthetic(4, 2))
+                .with_scheduler(SchedulerKind::Static)
+                .with_tallies(true)
+                .with_seed(1)
+                .with_max_iters(10),
+        )
+        .fit(&data);
+        for it in &r_static.iters {
+            for t in it.tallies.as_ref().unwrap() {
+                assert_eq!(t.remote_accesses, 0, "static+aware must be fully local");
+            }
+        }
+    }
+
+    #[test]
+    fn oblivious_tallies_hit_node_zero() {
+        let topo = Topology::synthetic(4, 2);
+        let data = mixture(400, 4, 6);
+        let r = Kmeans::new(
+            KmeansConfig::new(4)
+                .with_threads(8)
+                .with_topology(topo)
+                .with_numa_aware(false)
+                .with_tallies(true)
+                .with_seed(2)
+                .with_max_iters(10),
+        )
+        .fit(&data);
+        for it in &r.iters {
+            for t in it.tallies.as_ref().unwrap() {
+                let non_zero_banks =
+                    t.bytes_from_node.iter().skip(1).filter(|&&b| b > 0).count();
+                assert_eq!(non_zero_banks, 0, "oblivious data must live on node 0");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_max_iters_and_reports_unconverged() {
+        let data = mixture(500, 4, 8);
+        let r = Kmeans::new(KmeansConfig::new(12).with_max_iters(2).with_seed(3)).fit(&data);
+        assert_eq!(r.niters, 2);
+        assert_eq!(r.iters.len(), 2);
+    }
+
+    #[test]
+    fn k_exceeding_natural_clusters_keeps_all_centroids_finite() {
+        let data = mixture(300, 4, 10);
+        let r = Kmeans::new(KmeansConfig::new(40).with_seed(4).with_max_iters(40)).fit(&data);
+        assert!(r.centroids.as_slice().iter().all(|x| x.is_finite()));
+        assert_eq!(r.centroids.nrow(), 40);
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let data = mixture(10, 3, 12);
+        let r = Kmeans::new(
+            KmeansConfig::new(2).with_threads(16).with_seed(5).with_max_iters(20),
+        )
+        .fit(&data);
+        assert!(r.converged);
+        assert_eq!(r.assignments.len(), 10);
+    }
+
+    #[test]
+    fn tol_stops_early() {
+        let data = mixture(2000, 8, 13);
+        let strict = Kmeans::new(KmeansConfig::new(8).with_seed(6).with_max_iters(100)).fit(&data);
+        let loose = Kmeans::new(
+            KmeansConfig::new(8).with_seed(6).with_tol(0.5).with_max_iters(100),
+        )
+        .fit(&data);
+        assert!(loose.niters <= strict.niters);
+        assert!(loose.converged);
+    }
+
+    #[test]
+    fn memory_footprint_accounts_pruning() {
+        let data = mixture(1000, 8, 14);
+        let with = Kmeans::new(KmeansConfig::new(4).with_threads(2).with_max_iters(5)).fit(&data);
+        let without = Kmeans::new(
+            KmeansConfig::new(4)
+                .with_threads(2)
+                .with_pruning(Pruning::None)
+                .with_max_iters(5),
+        )
+        .fit(&data);
+        assert!(with.memory.per_row_bytes > without.memory.per_row_bytes);
+        assert!(with.memory.pruning_bytes > 0);
+        assert_eq!(without.memory.pruning_bytes, 0);
+        assert_eq!(with.memory.data_bytes, 1000 * 8 * 8);
+    }
+
+    #[test]
+    fn all_scheduler_kinds_agree() {
+        let data = mixture(1500, 6, 15);
+        let k = 8;
+        let init = forgy_centroids(&data, k, 9);
+        let mut results = Vec::new();
+        for sched in [SchedulerKind::NumaAware, SchedulerKind::Fifo, SchedulerKind::Static] {
+            let r = Kmeans::new(
+                KmeansConfig::new(k)
+                    .with_init(InitMethod::Given(init.clone()))
+                    .with_threads(4)
+                    .with_scheduler(sched)
+                    .with_max_iters(60),
+            )
+            .fit(&data);
+            assert!(r.converged, "{} did not converge", sched.name());
+            results.push(r);
+        }
+        for r in &results[1..] {
+            assert!(agreement(&r.assignments, &results[0].assignments, k) > 0.999);
+        }
+    }
+}

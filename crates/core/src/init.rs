@@ -1,0 +1,219 @@
+//! Centroid initialization: random partition, Forgy, k-means++ and
+//! user-provided seeds.
+
+use crate::centroids::Centroids;
+use crate::distance::sqdist;
+use knor_matrix::DMatrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Initialization strategy for the first iteration's centroids.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitMethod {
+    /// Assign every point to a random cluster and take the means
+    /// (knor's `random` init).
+    RandomPartition,
+    /// Pick `k` distinct random rows as the initial centroids
+    /// (knor's `forgy` init).
+    Forgy,
+    /// k-means++ D²-weighted seeding (knor's `kmeanspp` init).
+    PlusPlus,
+    /// Explicit `k x d` means supplied by the caller (knor's `none` init —
+    /// used by every cross-module equivalence test in this repo).
+    Given(DMatrix),
+}
+
+impl InitMethod {
+    /// Compute initial centroids for `data` with `k` clusters.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero, `k > n`, or (for [`InitMethod::Given`]) the
+    /// supplied matrix shape is not `k x d`.
+    pub fn initialize(&self, data: &DMatrix, k: usize, seed: u64) -> Centroids {
+        assert!(k >= 1, "k must be positive");
+        assert!(k <= data.nrow(), "k = {k} exceeds n = {}", data.nrow());
+        let d = data.ncol();
+        match self {
+            InitMethod::Given(m) => {
+                assert_eq!((m.nrow(), m.ncol()), (k, d), "Given init has wrong shape");
+                Centroids::from_matrix(m)
+            }
+            InitMethod::Forgy => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let rows = sample_distinct(&mut rng, data.nrow(), k);
+                let mut c = Centroids::zeros(k, d);
+                for (i, &r) in rows.iter().enumerate() {
+                    c.means[i * d..(i + 1) * d].copy_from_slice(data.row(r));
+                }
+                c
+            }
+            InitMethod::RandomPartition => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut sums = vec![0.0f64; k * d];
+                let mut counts = vec![0u64; k];
+                for row in data.rows() {
+                    let c = rng.gen_range(0..k);
+                    for (s, x) in sums[c * d..(c + 1) * d].iter_mut().zip(row) {
+                        *s += x;
+                    }
+                    counts[c] += 1;
+                }
+                let mut cents = Centroids::zeros(k, d);
+                for c in 0..k {
+                    if counts[c] == 0 {
+                        // Degenerate (tiny n): fall back to a sample row.
+                        let r = rng.gen_range(0..data.nrow());
+                        cents.means[c * d..(c + 1) * d].copy_from_slice(data.row(r));
+                    } else {
+                        let inv = 1.0 / counts[c] as f64;
+                        for j in 0..d {
+                            cents.means[c * d + j] = sums[c * d + j] * inv;
+                        }
+                    }
+                }
+                cents
+            }
+            InitMethod::PlusPlus => plus_plus(data, k, seed),
+        }
+    }
+}
+
+fn sample_distinct<R: Rng>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    // Floyd's algorithm: k distinct samples in O(k) expected time.
+    let mut chosen = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen
+}
+
+fn plus_plus(data: &DMatrix, k: usize, seed: u64) -> Centroids {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = data.nrow();
+    let d = data.ncol();
+    let mut c = Centroids::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    c.means[0..d].copy_from_slice(data.row(first));
+
+    // dist2[i] = squared distance of row i to its nearest chosen center.
+    let mut dist2: Vec<f64> = (0..n).map(|i| sqdist(data.row(i), data.row(first))).collect();
+    for chosen in 1..k {
+        let total: f64 = dist2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n) // all points coincide with a center
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in dist2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        c.means[chosen * d..(chosen + 1) * d].copy_from_slice(data.row(next));
+        if chosen + 1 < k {
+            for (i, cur) in dist2.iter_mut().enumerate() {
+                let s = sqdist(data.row(i), data.row(next));
+                if s < *cur {
+                    *cur = s;
+                }
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> DMatrix {
+        DMatrix::from_vec(
+            vec![0.0, 0.0, 0.1, 0.1, 10.0, 10.0, 10.1, 9.9, -10.0, 0.0, -10.1, 0.1],
+            6,
+            2,
+        )
+    }
+
+    #[test]
+    fn forgy_picks_distinct_rows() {
+        let data = toy();
+        let c = InitMethod::Forgy.initialize(&data, 3, 7);
+        // Every centroid equals some data row.
+        for i in 0..3 {
+            assert!((0..6).any(|r| data.row(r) == c.mean(i)));
+        }
+        // Distinct.
+        assert!(c.mean(0) != c.mean(1) && c.mean(1) != c.mean(2) && c.mean(0) != c.mean(2));
+    }
+
+    #[test]
+    fn plus_plus_spreads_centers() {
+        let data = toy();
+        let c = InitMethod::PlusPlus.initialize(&data, 3, 3);
+        // Centers must come from different natural blobs with overwhelming
+        // probability: pairwise distances all large.
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(sqdist(c.mean(i), c.mean(j)) > 1.0, "centers {i},{j} too close");
+            }
+        }
+    }
+
+    #[test]
+    fn random_partition_centroids_near_global_mean() {
+        let data = toy();
+        let c = InitMethod::RandomPartition.initialize(&data, 2, 11);
+        assert_eq!(c.k(), 2);
+        for i in 0..2 {
+            assert!(c.mean(i).iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn given_passes_through() {
+        let data = toy();
+        let m = DMatrix::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let c = InitMethod::Given(m.clone()).initialize(&data, 2, 0);
+        assert_eq!(c.to_matrix(), m);
+    }
+
+    #[test]
+    #[should_panic]
+    fn given_shape_checked() {
+        let data = toy();
+        let m = DMatrix::from_vec(vec![1.0, 2.0], 1, 2);
+        let _ = InitMethod::Given(m).initialize(&data, 2, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = toy();
+        for m in [InitMethod::Forgy, InitMethod::PlusPlus, InitMethod::RandomPartition] {
+            let a = m.initialize(&data, 3, 5);
+            let b = m.initialize(&data, 3, 5);
+            assert_eq!(a.means, b.means, "{m:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = sample_distinct(&mut rng, 20, 10);
+            let mut t = s.clone();
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(t.len(), 10);
+            assert!(t.iter().all(|&x| x < 20));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Minimal Triangle Inequality (MTI) pruning state.
+//!
+//! MTI keeps per point only an upper bound `u(x) >= d(x, assigned(x))`
+//! (`O(n)` memory) and per iteration an `O(k²)` centroid–centroid distance
+//! matrix with per-centroid `s(c) = ½·min_{c'≠c} d(c, c')`. After each
+//! centroid update the bounds are *loosened* by the assigned centroid's
+//! drift `f(c) = d(c^t, c^{t-1})` — the triangle inequality guarantees the
+//! loosened bound still dominates the true distance. The three clauses are
+//! applied by the engines (in-memory and SEM) through [`MtiIterState`].
+
+use crate::centroids::Centroids;
+use crate::distance::{centroid_distances, dist};
+
+/// Which pruning scheme an engine applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pruning {
+    /// No pruning: every point computes all `k` distances each iteration
+    /// (the `-` suffix modules: knori-, knors-, knord-).
+    None,
+    /// Minimal triangle inequality (the paper's contribution).
+    #[default]
+    Mti,
+}
+
+impl Pruning {
+    /// True when MTI is enabled.
+    pub fn enabled(&self) -> bool {
+        matches!(self, Pruning::Mti)
+    }
+}
+
+/// Per-iteration global MTI state, rebuilt by the coordinator after every
+/// centroid update and read-only during the compute super-phase.
+#[derive(Debug, Clone)]
+pub struct MtiIterState {
+    /// Full `k x k` centroid–centroid distances (symmetric).
+    pub ccdist: Vec<f64>,
+    /// `s(c) = ½·min_{c'≠c} d(c, c')` per centroid (Clause 1 threshold).
+    pub half_min: Vec<f64>,
+    /// Drift `f(c) = d(c^t, c^{t-1})` per centroid.
+    pub drift: Vec<f64>,
+    k: usize,
+}
+
+impl MtiIterState {
+    /// Zeroed state for `k` centroids.
+    pub fn new(k: usize) -> Self {
+        Self { ccdist: vec![0.0; k * k], half_min: vec![0.0; k], drift: vec![0.0; k], k }
+    }
+
+    /// Number of centroids.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Recompute the distance matrix and thresholds for `next`, and the
+    /// drifts from `prev` to `next`.
+    pub fn update(&mut self, prev: &Centroids, next: &Centroids) {
+        debug_assert_eq!(prev.k(), self.k);
+        for c in 0..self.k {
+            self.drift[c] = dist(prev.mean(c), next.mean(c));
+        }
+        centroid_distances(&next.means, self.k, next.d, &mut self.ccdist, &mut self.half_min);
+    }
+
+    /// `½·d(a, c)` — the Clause 2/3 threshold for candidate `c` against
+    /// current assignment `a`.
+    #[inline]
+    pub fn half_cc(&self, a: usize, c: usize) -> f64 {
+        0.5 * self.ccdist[a * self.k + c]
+    }
+
+    /// Heap bytes held (`O(k²)` of Table 1's knori/knord rows).
+    pub fn heap_bytes(&self) -> u64 {
+        ((self.ccdist.len() + self.half_min.len() + self.drift.len()) * 8) as u64
+    }
+}
+
+/// Outcome counters for pruning effectiveness (reported per iteration).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PruneCounters {
+    /// Rows skipped entirely by Clause 1 (no data access / no I/O).
+    pub clause1_rows: u64,
+    /// Candidate distance computations pruned by Clause 2.
+    pub clause2_prunes: u64,
+    /// Candidate distance computations pruned by Clause 3 (post-tighten).
+    pub clause3_prunes: u64,
+    /// Exact distance computations performed.
+    pub dist_computations: u64,
+}
+
+impl PruneCounters {
+    /// Merge counters from another worker.
+    pub fn merge(&mut self, o: &PruneCounters) {
+        self.clause1_rows += o.clause1_rows;
+        self.clause2_prunes += o.clause2_prunes;
+        self.clause3_prunes += o.clause3_prunes;
+        self.dist_computations += o.dist_computations;
+    }
+
+    /// Total pruned candidate computations (clauses 2+3).
+    pub fn pruned_candidates(&self) -> u64 {
+        self.clause2_prunes + self.clause3_prunes
+    }
+}
+
+/// Evaluate one point under MTI against the current centroids.
+///
+/// `a` is the current assignment, `ub` the (already drift-loosened) upper
+/// bound. Returns the new `(assignment, upper_bound)`; `counters` records
+/// pruning outcomes. The caller has already decided Clause 1 did not fire
+/// (Clause 1 is checked *before* the row data is fetched — that is where
+/// knors saves its I/O).
+#[inline]
+pub fn mti_assign(
+    v: &[f64],
+    cents: &Centroids,
+    state: &MtiIterState,
+    a: usize,
+    ub: f64,
+    counters: &mut PruneCounters,
+) -> (usize, f64) {
+    let k = cents.k();
+    let mut cur = a;
+    let mut bound = ub;
+    let mut tight = false;
+    for c in 0..k {
+        if c == cur {
+            continue;
+        }
+        let threshold = state.half_cc(cur, c);
+        if bound <= threshold {
+            counters.clause2_prunes += 1;
+            continue;
+        }
+        if !tight {
+            // U(u_t): fully tighten the upper bound with one exact distance.
+            bound = dist(v, cents.mean(cur));
+            counters.dist_computations += 1;
+            tight = true;
+            if bound <= threshold {
+                counters.clause3_prunes += 1;
+                continue;
+            }
+        }
+        let dc = dist(v, cents.mean(c));
+        counters.dist_computations += 1;
+        if dc < bound {
+            cur = c;
+            bound = dc; // exact: reassignment keeps the bound tight
+        }
+    }
+    (cur, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::nearest;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_centroids(k: usize, d: usize, rng: &mut impl Rng) -> Centroids {
+        let mut c = Centroids::zeros(k, d);
+        for x in c.means.iter_mut() {
+            *x = rng.gen_range(-5.0..5.0);
+        }
+        c
+    }
+
+    #[test]
+    fn mti_matches_exact_nearest() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let k = 8;
+        let d = 6;
+        let prev = random_centroids(k, d, &mut rng);
+        let mut cents = prev.clone();
+        // Perturb slightly to create non-zero drift.
+        for x in cents.means.iter_mut() {
+            *x += rng.gen_range(-0.1..0.1);
+        }
+        let mut state = MtiIterState::new(k);
+        state.update(&prev, &cents);
+
+        for _ in 0..500 {
+            let v: Vec<f64> = (0..d).map(|_| rng.gen_range(-6.0..6.0)).collect();
+            // Simulate a prior assignment against prev with valid bound.
+            let (a_prev, d_prev) = nearest(&v, &prev.means, k);
+            let ub = d_prev + state.drift[a_prev]; // loosened bound
+            let mut counters = PruneCounters::default();
+            let (a_new, ub_new) = mti_assign(&v, &cents, &state, a_prev, ub, &mut counters);
+            let (a_exact, d_exact) = nearest(&v, &cents.means, k);
+            let d_new = dist(&v, cents.mean(a_new));
+            assert!(
+                (d_new - d_exact).abs() < 1e-10,
+                "MTI picked a non-nearest centroid: {d_new} vs {d_exact}"
+            );
+            assert_eq!(a_new, a_exact);
+            // Upper bound invariant.
+            assert!(ub_new + 1e-10 >= d_new, "bound {ub_new} below true {d_new}");
+        }
+    }
+
+    #[test]
+    fn clause1_threshold_is_safe() {
+        // If ub <= half_min[a], a must be the exact nearest.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let k = 6;
+        let d = 4;
+        let cents = random_centroids(k, d, &mut rng);
+        let mut state = MtiIterState::new(k);
+        state.update(&cents.clone(), &cents);
+        let mut checked = 0;
+        for _ in 0..2000 {
+            let v: Vec<f64> = (0..d).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let (a, da) = nearest(&v, &cents.means, k);
+            if da <= state.half_min[a] {
+                checked += 1;
+                // Verify no other centroid is nearer.
+                for c in 0..k {
+                    assert!(dist(&v, cents.mean(c)) + 1e-12 >= da);
+                }
+            }
+        }
+        assert!(checked > 0, "test never exercised clause 1");
+    }
+
+    #[test]
+    fn counters_account_for_all_candidates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let k = 10;
+        let d = 4;
+        let cents = random_centroids(k, d, &mut rng);
+        let mut state = MtiIterState::new(k);
+        state.update(&cents.clone(), &cents);
+        let v: Vec<f64> = (0..d).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let (a, da) = nearest(&v, &cents.means, k);
+        let mut counters = PruneCounters::default();
+        let _ = mti_assign(&v, &cents, &state, a, da, &mut counters);
+        // Each of the k-1 candidates is pruned (2 or 3) or computed; plus at
+        // most one tighten computation.
+        let candidates = counters.clause2_prunes
+            + counters.clause3_prunes
+            + counters.dist_computations.saturating_sub(
+                u64::from(counters.dist_computations > 0 && counters.clause3_prunes > 0),
+            );
+        assert!(candidates >= (k - 1) as u64 - 1, "counters {counters:?}");
+    }
+
+    #[test]
+    fn update_computes_drift() {
+        let prev = Centroids { means: vec![0.0, 0.0, 3.0, 0.0], counts: vec![1, 1], d: 2 };
+        let next = Centroids { means: vec![0.0, 4.0, 3.0, 0.0], counts: vec![1, 1], d: 2 };
+        let mut s = MtiIterState::new(2);
+        s.update(&prev, &next);
+        assert!((s.drift[0] - 4.0).abs() < 1e-12);
+        assert_eq!(s.drift[1], 0.0);
+        // ccdist between (0,4) and (3,0) is 5.
+        assert!((s.half_cc(0, 1) - 2.5).abs() < 1e-12);
+        assert_eq!(s.half_min, vec![2.5, 2.5]);
+    }
+}

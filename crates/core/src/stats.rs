@@ -1,0 +1,154 @@
+//! Per-iteration statistics, memory accounting and the result type.
+
+use crate::pruning::PruneCounters;
+use knor_matrix::DMatrix;
+use knor_numa::AccessTally;
+use knor_sched::QueueStats;
+
+/// Statistics for one ||Lloyd's iteration.
+#[derive(Debug, Clone)]
+pub struct IterStats {
+    /// Iteration number, 0-based (iteration 0 is the initial assignment).
+    pub iter: usize,
+    /// Points whose assignment changed this iteration.
+    pub reassigned: u64,
+    /// Rows whose data was actually touched (n minus Clause 1 skips).
+    pub rows_accessed: u64,
+    /// Pruning outcome counters.
+    pub prune: PruneCounters,
+    /// Measured wall time of the iteration on the host.
+    pub wall_ns: u64,
+    /// Task-queue dispatch statistics for the iteration.
+    pub queue: QueueStats,
+    /// Exact per-worker access/compute tallies (input to the NUMA cost
+    /// model); present when the engine was configured to track them.
+    pub tallies: Option<Vec<AccessTally>>,
+    /// Maximum centroid drift after the update.
+    pub max_drift: f64,
+}
+
+/// Heap-memory footprint of a run, following Table 1's decomposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// The dataset itself: `O(nd)` for in-memory modules, `0` for SEM
+    /// (rows stream from disk), or the row-cache budget for knors.
+    pub data_bytes: u64,
+    /// Global centroid structures: `O(kd)` (current + next).
+    pub centroid_bytes: u64,
+    /// Per-thread accumulators: `O(Tkd)`.
+    pub accum_bytes: u64,
+    /// Per-row engine state: assignments `O(n)` (4 bytes/row), plus — when
+    /// MTI is on — upper bounds (8 bytes/row).
+    pub per_row_bytes: u64,
+    /// MTI `O(k²)` centroid-distance structures.
+    pub pruning_bytes: u64,
+    /// Caches (row cache + page cache) for SEM runs.
+    pub cache_bytes: u64,
+}
+
+impl MemoryFootprint {
+    /// Total accounted bytes.
+    pub fn total(&self) -> u64 {
+        self.data_bytes
+            + self.centroid_bytes
+            + self.accum_bytes
+            + self.per_row_bytes
+            + self.pruning_bytes
+            + self.cache_bytes
+    }
+}
+
+/// The outcome of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Final `k x d` centroids.
+    pub centroids: DMatrix,
+    /// Final assignment of each row.
+    pub assignments: Vec<u32>,
+    /// Number of iterations executed (including the initial assignment).
+    pub niters: usize,
+    /// True if assignments stabilized (or drift fell below tolerance)
+    /// before the iteration cap.
+    pub converged: bool,
+    /// Per-iteration statistics.
+    pub iters: Vec<IterStats>,
+    /// Accounted memory footprint.
+    pub memory: MemoryFootprint,
+    /// Final within-cluster sum of squared distances, when requested.
+    pub sse: Option<f64>,
+}
+
+impl KmeansResult {
+    /// Mean measured wall time per iteration, in nanoseconds.
+    pub fn mean_iter_ns(&self) -> f64 {
+        if self.iters.is_empty() {
+            return 0.0;
+        }
+        self.iters.iter().map(|i| i.wall_ns as f64).sum::<f64>() / self.iters.len() as f64
+    }
+
+    /// Sum of pruning counters across iterations.
+    pub fn total_prune(&self) -> PruneCounters {
+        let mut total = PruneCounters::default();
+        for it in &self.iters {
+            total.merge(&it.prune);
+        }
+        total
+    }
+
+    /// Fraction of candidate distance computations avoided across the run,
+    /// relative to the unpruned `n·k` per iteration.
+    pub fn prune_fraction(&self, n: u64, k: u64) -> f64 {
+        let total_possible = n * k * self.iters.len() as u64;
+        if total_possible == 0 {
+            return 0.0;
+        }
+        let done = self.total_prune().dist_computations;
+        1.0 - done as f64 / total_possible as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_total_sums_fields() {
+        let f = MemoryFootprint {
+            data_bytes: 100,
+            centroid_bytes: 10,
+            accum_bytes: 20,
+            per_row_bytes: 30,
+            pruning_bytes: 5,
+            cache_bytes: 7,
+        };
+        assert_eq!(f.total(), 172);
+    }
+
+    #[test]
+    fn result_helpers() {
+        let mk_iter = |wall: u64, comps: u64| IterStats {
+            iter: 0,
+            reassigned: 0,
+            rows_accessed: 0,
+            prune: PruneCounters { dist_computations: comps, ..Default::default() },
+            wall_ns: wall,
+            queue: QueueStats::default(),
+            tallies: None,
+            max_drift: 0.0,
+        };
+        let r = KmeansResult {
+            centroids: DMatrix::zeros(1, 1),
+            assignments: vec![],
+            niters: 2,
+            converged: true,
+            iters: vec![mk_iter(100, 50), mk_iter(300, 50)],
+            memory: MemoryFootprint::default(),
+            sse: None,
+        };
+        assert_eq!(r.mean_iter_ns(), 200.0);
+        assert_eq!(r.total_prune().dist_computations, 100);
+        // n=10, k=10, 2 iters -> 200 possible, 100 done -> 0.5 pruned.
+        assert!((r.prune_fraction(10, 10) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Barrier-disciplined shared state for the engine.
+//!
+//! The ||Lloyd's iteration protocol gives worker 0 an exclusive window
+//! (between the merge barrier and the next iteration's start barrier) in
+//! which it finalizes centroids, drifts and the centroid–centroid distance
+//! matrix while all other workers only touch their own private state. The
+//! barriers establish the necessary happens-before edges; [`ExclusiveCell`]
+//! is the minimal wrapper that lets that protocol be expressed without
+//! per-access locking on the hot path.
+
+use std::cell::UnsafeCell;
+
+/// A cell written by exactly one thread during its exclusive window and
+/// read by many threads only after a barrier separates them from the write.
+///
+/// # Safety contract
+/// * `get_mut` may only be called by the coordinating thread, in a phase
+///   where no other thread accesses the cell.
+/// * `get` may only be called in phases separated from any `get_mut` by a
+///   barrier (or other happens-before edge).
+pub struct ExclusiveCell<T> {
+    inner: UnsafeCell<T>,
+}
+
+// Safety: the discipline above ensures data-race freedom; Send bound keeps
+// non-thread-safe interior types out.
+unsafe impl<T: Send> Sync for ExclusiveCell<T> {}
+unsafe impl<T: Send> Send for ExclusiveCell<T> {}
+
+impl<T> ExclusiveCell<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Self { inner: UnsafeCell::new(value) }
+    }
+
+    /// Shared read access.
+    ///
+    /// # Safety
+    /// Caller must be in a phase barrier-separated from all writes.
+    #[inline]
+    pub unsafe fn get(&self) -> &T {
+        &*self.inner.get()
+    }
+
+    /// Exclusive write access.
+    ///
+    /// # Safety
+    /// Caller must be the coordinator inside its exclusive window.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self) -> &mut T {
+        &mut *self.inner.get()
+    }
+
+    /// Consume the cell (single-threaded teardown).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn coordinator_protocol() {
+        let cell = ExclusiveCell::new(0u64);
+        let barrier = Barrier::new(4);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cell = &cell;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    for round in 0..100u64 {
+                        if t == 0 {
+                            // Exclusive window for worker 0.
+                            unsafe { *cell.get_mut() = round * 10 };
+                        }
+                        barrier.wait();
+                        // Read phase: all workers observe the write.
+                        assert_eq!(unsafe { *cell.get() }, round * 10);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(cell.into_inner(), 990);
+    }
+}

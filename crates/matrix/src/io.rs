@@ -1,0 +1,185 @@
+//! The knor flat binary matrix format.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! offset 0   : magic  b"KNOR" (4 bytes)
+//! offset 4   : format version u32          (currently 1)
+//! offset 8   : nrow u64
+//! offset 16  : ncol u64
+//! offset 24  : row-major f64 payload, nrow * ncol * 8 bytes
+//! ```
+//!
+//! The payload region is what the semi-external-memory module reads at page
+//! granularity; [`HEADER_LEN`] is the fixed payload offset. The original knor
+//! consumes raw row-major doubles; we add a tiny header so files are
+//! self-describing, and expose [`read_matrix`]/[`write_matrix`] for in-memory
+//! use plus header-only probing for out-of-core use.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::DMatrix;
+
+/// Fixed byte offset of the row-major payload.
+pub const HEADER_LEN: u64 = 24;
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"KNOR";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Parsed file header: shape of the stored matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Number of rows (data points).
+    pub nrow: u64,
+    /// Number of columns (dimensions).
+    pub ncol: u64,
+}
+
+impl Header {
+    /// Size in bytes of one row of payload.
+    pub fn row_bytes(&self) -> u64 {
+        self.ncol * 8
+    }
+
+    /// Byte offset of row `i`'s payload within the file.
+    pub fn row_offset(&self, i: u64) -> u64 {
+        HEADER_LEN + i * self.row_bytes()
+    }
+
+    /// Total file size implied by this header.
+    pub fn file_len(&self) -> u64 {
+        HEADER_LEN + self.nrow * self.row_bytes()
+    }
+}
+
+/// Write `m` to `path` in knor binary format.
+pub fn write_matrix(path: &Path, m: &DMatrix) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(m.nrow() as u64).to_le_bytes())?;
+    w.write_all(&(m.ncol() as u64).to_le_bytes())?;
+    // Row-at-a-time keeps the intermediate buffer small for huge matrices.
+    let mut buf = Vec::with_capacity(m.ncol() * 8);
+    for row in m.rows() {
+        buf.clear();
+        for &x in row {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()
+}
+
+/// Read just the header of a knor binary file.
+pub fn read_header(path: &Path) -> io::Result<Header> {
+    let mut r = File::open(path)?;
+    let mut hdr = [0u8; HEADER_LEN as usize];
+    r.read_exact(&mut hdr)?;
+    parse_header(&hdr)
+}
+
+/// Parse a header from its raw 24 bytes.
+pub fn parse_header(hdr: &[u8]) -> io::Result<Header> {
+    if hdr.len() < HEADER_LEN as usize {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short knor header"));
+    }
+    if hdr[0..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad knor magic"));
+    }
+    let version = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported knor format version {version}"),
+        ));
+    }
+    let nrow = u64::from_le_bytes(hdr[8..16].try_into().unwrap());
+    let ncol = u64::from_le_bytes(hdr[16..24].try_into().unwrap());
+    Ok(Header { nrow, ncol })
+}
+
+/// Read a whole matrix into memory.
+pub fn read_matrix(path: &Path) -> io::Result<DMatrix> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut hdr = [0u8; HEADER_LEN as usize];
+    r.read_exact(&mut hdr)?;
+    let h = parse_header(&hdr)?;
+    let n = (h.nrow * h.ncol) as usize;
+    let mut data = vec![0.0f64; n];
+    let mut buf = [0u8; 8];
+    for x in data.iter_mut() {
+        r.read_exact(&mut buf)?;
+        *x = f64::from_le_bytes(buf);
+    }
+    Ok(DMatrix::from_vec(data, h.nrow as usize, h.ncol as usize))
+}
+
+/// Decode a contiguous byte region of payload into `f64`s.
+///
+/// `bytes.len()` must be a multiple of 8.
+pub fn decode_f64(bytes: &[u8], out: &mut Vec<f64>) {
+    debug_assert_eq!(bytes.len() % 8, 0);
+    out.clear();
+    out.reserve(bytes.len() / 8);
+    for c in bytes.chunks_exact(8) {
+        out.push(f64::from_le_bytes(c.try_into().unwrap()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("knor-matrix-io-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_file() {
+        let m = DMatrix::from_vec((0..30).map(|x| x as f64 * 0.5).collect(), 10, 3);
+        let p = tmp("rt.knor");
+        write_matrix(&p, &m).unwrap();
+        let h = read_header(&p).unwrap();
+        assert_eq!(h, Header { nrow: 10, ncol: 3 });
+        assert_eq!(h.row_offset(0), HEADER_LEN);
+        assert_eq!(h.row_offset(2), HEADER_LEN + 48);
+        let back = read_matrix(&p).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let p = tmp("bad.knor");
+        std::fs::write(&p, vec![0u8; 64]).unwrap();
+        assert!(read_header(&p).is_err());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn header_math() {
+        let h = Header { nrow: 100, ncol: 8 };
+        assert_eq!(h.row_bytes(), 64);
+        assert_eq!(h.file_len(), HEADER_LEN + 6400);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let xs = [1.5f64, -2.25, 0.0, f64::MAX];
+        let mut bytes = Vec::new();
+        for x in xs {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        let mut out = Vec::new();
+        decode_f64(&bytes, &mut out);
+        assert_eq!(out, xs);
+    }
+}

@@ -1,0 +1,319 @@
+//! Collective operations: ring and star all-reduce, broadcast, gather.
+//!
+//! knord's per-iteration global state is one all-reduce of `k·d` sums plus
+//! `k` counts. A bandwidth-optimal ring moves `2·(R-1)/R` of the payload
+//! per rank regardless of `R`; the star (driver aggregation, Spark-style)
+//! funnels `(R-1)` payloads through one root — the structural reason the
+//! paper's decentralized design beats master-centric frameworks as clusters
+//! grow.
+
+use crate::cluster::{decode_f64, decode_i64, encode_f64, encode_i64, Comm};
+
+/// Which all-reduce algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReduceAlgo {
+    /// Chunked ring: reduce-scatter + all-gather, `2(R-1)` steps.
+    #[default]
+    Ring,
+    /// Root gathers, reduces, broadcasts (the master/driver pattern).
+    Star,
+}
+
+/// Split `len` into `parts` near-equal chunk ranges (ring chunking).
+fn chunks(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    knor_chunks(len, parts)
+}
+
+fn knor_chunks(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let l = base + usize::from(i < extra);
+        out.push(start..start + l);
+        start += l;
+    }
+    out
+}
+
+/// Sum-all-reduce `buf` across all ranks in place.
+pub fn allreduce_f64(comm: &Comm, buf: &mut [f64], algo: ReduceAlgo) {
+    match algo {
+        ReduceAlgo::Ring => ring_allreduce(comm, buf),
+        ReduceAlgo::Star => star_allreduce(comm, buf),
+    }
+}
+
+/// Sum-all-reduce an `i64` buffer (cluster counts).
+pub fn allreduce_i64(comm: &Comm, buf: &mut [i64]) {
+    // Counts are tiny (k entries): star is fine and simplest.
+    let r = comm.size();
+    if r == 1 {
+        return;
+    }
+    if comm.rank() == 0 {
+        for from in 1..r {
+            let other = decode_i64(&comm.recv(from));
+            for (a, b) in buf.iter_mut().zip(&other) {
+                *a += b;
+            }
+        }
+        let bytes = encode_i64(buf);
+        for to in 1..r {
+            comm.send(to, bytes.clone());
+        }
+    } else {
+        comm.send(0, encode_i64(buf));
+        let reduced = decode_i64(&comm.recv(0));
+        buf.copy_from_slice(&reduced);
+    }
+}
+
+fn ring_allreduce(comm: &Comm, buf: &mut [f64]) {
+    let r = comm.size();
+    if r == 1 || buf.is_empty() {
+        return;
+    }
+    let rank = comm.rank();
+    let right = (rank + 1) % r;
+    let left = (rank + r - 1) % r;
+    let ranges = chunks(buf.len(), r);
+
+    // Phase 1: reduce-scatter. After step s, chunk (rank - s) has been
+    // partially accumulated along the ring; after R-1 steps, chunk
+    // (rank + 1) mod R holds the full sum at this rank.
+    for s in 0..r - 1 {
+        let send_idx = (rank + r - s) % r;
+        let recv_idx = (rank + r - s - 1) % r;
+        comm.send(right, encode_f64(&buf[ranges[send_idx].clone()]));
+        let incoming = decode_f64(&comm.recv(left));
+        for (a, b) in buf[ranges[recv_idx].clone()].iter_mut().zip(&incoming) {
+            *a += b;
+        }
+    }
+    // Phase 2: all-gather the reduced chunks around the ring.
+    for s in 0..r - 1 {
+        let send_idx = (rank + 1 + r - s) % r;
+        let recv_idx = (rank + r - s) % r;
+        comm.send(right, encode_f64(&buf[ranges[send_idx].clone()]));
+        let incoming = decode_f64(&comm.recv(left));
+        buf[ranges[recv_idx].clone()].copy_from_slice(&incoming);
+    }
+}
+
+fn star_allreduce(comm: &Comm, buf: &mut [f64]) {
+    let r = comm.size();
+    if r == 1 {
+        return;
+    }
+    if comm.rank() == 0 {
+        for from in 1..r {
+            let other = decode_f64(&comm.recv(from));
+            for (a, b) in buf.iter_mut().zip(&other) {
+                *a += b;
+            }
+        }
+        let bytes = encode_f64(buf);
+        for to in 1..r {
+            comm.send(to, bytes.clone());
+        }
+    } else {
+        comm.send(0, encode_f64(buf));
+        let reduced = decode_f64(&comm.recv(0));
+        buf.copy_from_slice(&reduced);
+    }
+}
+
+/// Broadcast `buf` from `root` to all ranks (binomial tree).
+pub fn broadcast_f64(comm: &Comm, buf: &mut [f64], root: usize) {
+    let r = comm.size();
+    if r == 1 {
+        return;
+    }
+    // Rotate so the root is virtual rank 0.
+    let vrank = (comm.rank() + r - root) % r;
+    let mut mask = 1usize;
+    // Receive phase: find our parent.
+    while mask < r {
+        if vrank & mask != 0 {
+            let parent = (vrank - mask + root) % r;
+            let data = decode_f64(&comm.recv(parent % r));
+            buf.copy_from_slice(&data);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Send phase: forward to children below our set bit.
+    let mut child_mask = if vrank == 0 {
+        let mut m = 1;
+        while m < r {
+            m <<= 1;
+        }
+        m >> 1
+    } else {
+        mask >> 1
+    };
+    while child_mask > 0 {
+        let vchild = vrank | child_mask;
+        if vchild < r && vchild != vrank {
+            let child = (vchild + root) % r;
+            comm.send(child, encode_f64(buf));
+        }
+        child_mask >>= 1;
+    }
+}
+
+/// Gather each rank's `Vec<u32>` at the root (rank 0); returns `Some(parts)`
+/// in rank order at root, `None` elsewhere.
+pub fn gather_u32(comm: &Comm, mine: &[u32]) -> Option<Vec<Vec<u32>>> {
+    let r = comm.size();
+    if comm.rank() == 0 {
+        let mut all = Vec::with_capacity(r);
+        all.push(mine.to_vec());
+        for from in 1..r {
+            let bytes = comm.recv(from);
+            all.push(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            );
+        }
+        Some(all)
+    } else {
+        let mut bytes = Vec::with_capacity(mine.len() * 4);
+        for x in mine {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        comm.send(0, bytes);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::LocalCluster;
+
+    fn check_allreduce(nranks: usize, len: usize, algo: ReduceAlgo) {
+        let results = LocalCluster::run(nranks, |c| {
+            let mut buf: Vec<f64> =
+                (0..len).map(|i| (c.rank() * len + i) as f64 * 0.5).collect();
+            allreduce_f64(&c, &mut buf, algo);
+            buf
+        });
+        // Expected: elementwise sum of every rank's initial buffer.
+        let expected: Vec<f64> = (0..len)
+            .map(|i| (0..nranks).map(|r| (r * len + i) as f64 * 0.5).sum())
+            .collect();
+        for (rank, buf) in results.iter().enumerate() {
+            for (j, (&got, &want)) in buf.iter().zip(&expected).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "{algo:?} R={nranks} len={len} rank {rank} idx {j}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_sums() {
+        for r in [1, 2, 3, 4, 7] {
+            for len in [1usize, 5, 64, 1000] {
+                check_allreduce(r, len, ReduceAlgo::Ring);
+            }
+        }
+    }
+
+    #[test]
+    fn star_allreduce_sums() {
+        for r in [1, 2, 5] {
+            for len in [1usize, 17, 256] {
+                check_allreduce(r, len, ReduceAlgo::Star);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_i64_sums() {
+        let results = LocalCluster::run(4, |c| {
+            let mut buf = vec![c.rank() as i64 + 1, -(c.rank() as i64)];
+            allreduce_i64(&c, &mut buf);
+            buf
+        });
+        for buf in results {
+            assert_eq!(buf, vec![10, -6]);
+        }
+    }
+
+    #[test]
+    fn ring_traffic_is_bandwidth_optimal() {
+        // Each rank sends 2(R-1)/R of the payload (+/- chunk rounding).
+        let len = 1024usize;
+        let r = 4;
+        let stats = LocalCluster::run(r, |c| {
+            let mut buf = vec![1.0f64; len];
+            allreduce_f64(&c, &mut buf, ReduceAlgo::Ring);
+            c.stats().snapshot().0
+        });
+        let payload = (len * 8) as u64;
+        let expect = 2 * (r as u64 - 1) / r as u64 * payload; // = 1.5 * payload
+        for sent in stats {
+            let ratio = sent as f64 / payload as f64;
+            assert!((ratio - 1.5).abs() < 0.1, "ratio {ratio}");
+            let _ = expect;
+        }
+    }
+
+    #[test]
+    fn star_concentrates_traffic_at_root() {
+        let len = 1024usize;
+        let r = 4;
+        let stats = LocalCluster::run(r, |c| {
+            let mut buf = vec![1.0f64; len];
+            allreduce_f64(&c, &mut buf, ReduceAlgo::Star);
+            c.stats().snapshot()
+        });
+        let payload = (len * 8) as u64;
+        // Root receives (R-1) payloads and sends (R-1).
+        assert_eq!(stats[0].1, 3 * payload);
+        assert_eq!(stats[0].0, 3 * payload);
+        // Leaves each send/receive exactly one payload.
+        for s in &stats[1..] {
+            assert_eq!(s.0, payload);
+            assert_eq!(s.1, payload);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_any_root() {
+        for r in [1usize, 2, 3, 5, 8] {
+            for root in 0..r {
+                let results = LocalCluster::run(r, |c| {
+                    let mut buf = if c.rank() == root {
+                        vec![3.25f64, -1.0, 7.5]
+                    } else {
+                        vec![0.0; 3]
+                    };
+                    broadcast_f64(&c, &mut buf, root);
+                    buf
+                });
+                for (rank, buf) in results.iter().enumerate() {
+                    assert_eq!(buf, &vec![3.25, -1.0, 7.5], "R={r} root={root} rank={rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = LocalCluster::run(3, |c| {
+            let mine = vec![c.rank() as u32 * 10, c.rank() as u32 * 10 + 1];
+            gather_u32(&c, &mine)
+        });
+        let at_root = results[0].as_ref().unwrap();
+        assert_eq!(at_root, &vec![vec![0, 1], vec![10, 11], vec![20, 21]]);
+        assert!(results[1].is_none() && results[2].is_none());
+    }
+}

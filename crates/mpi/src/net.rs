@@ -1,0 +1,94 @@
+//! Analytic network model for the EC2-like cluster (DESIGN.md §3.3).
+//!
+//! The in-process substrate measures exact byte counts; this model converts
+//! them into modeled wire time for the paper's environment: c4.8xlarge
+//! instances on a 10-Gigabit interconnect within one placement group.
+//! Standard alpha-beta (latency + bandwidth) cost formulation.
+
+/// Latency/bandwidth model of one cluster interconnect.
+#[derive(Debug, Clone, Copy)]
+pub struct NetModel {
+    /// One-way small-message latency, microseconds.
+    pub latency_us: f64,
+    /// Per-link bandwidth, gigabytes per second (== bytes/ns).
+    pub bandwidth_gbps: f64,
+}
+
+impl NetModel {
+    /// EC2 placement-group defaults: ~50us latency, 10 GbE (1.25 GB/s).
+    pub fn ec2_10gbe() -> Self {
+        Self { latency_us: 50.0, bandwidth_gbps: 1.25 }
+    }
+
+    /// Time to push `bytes` over one link, nanoseconds.
+    pub fn transfer_ns(&self, bytes: u64) -> f64 {
+        self.latency_us * 1_000.0 + bytes as f64 / self.bandwidth_gbps
+    }
+
+    /// Ring all-reduce of a `bytes` payload over `r` ranks: `2(R-1)` steps,
+    /// each moving `bytes / R`.
+    pub fn ring_allreduce_ns(&self, bytes: u64, r: usize) -> f64 {
+        if r <= 1 {
+            return 0.0;
+        }
+        let steps = 2 * (r - 1);
+        steps as f64 * self.transfer_ns(bytes / r as u64)
+    }
+
+    /// Star all-reduce: the root serializes `R-1` receives then `R-1`
+    /// sends of the full payload (the driver bottleneck).
+    pub fn star_allreduce_ns(&self, bytes: u64, r: usize) -> f64 {
+        if r <= 1 {
+            return 0.0;
+        }
+        2.0 * (r as f64 - 1.0) * self.transfer_ns(bytes)
+    }
+
+    /// Binomial-tree broadcast: `ceil(log2 R)` rounds of the full payload.
+    pub fn broadcast_ns(&self, bytes: u64, r: usize) -> f64 {
+        if r <= 1 {
+            return 0.0;
+        }
+        (r as f64).log2().ceil() * self.transfer_ns(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_beats_star_at_scale() {
+        let m = NetModel::ec2_10gbe();
+        let payload = 8 * 100 * 32; // k=100 x d=32 sums
+        for r in [4usize, 8, 16] {
+            assert!(
+                m.ring_allreduce_ns(payload, r) < m.star_allreduce_ns(payload, r),
+                "ring should win at R={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn star_grows_linearly_with_ranks() {
+        let m = NetModel::ec2_10gbe();
+        let t4 = m.star_allreduce_ns(1 << 20, 4);
+        let t8 = m.star_allreduce_ns(1 << 20, 8);
+        assert!((t8 / t4 - 7.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        let m = NetModel::ec2_10gbe();
+        assert_eq!(m.ring_allreduce_ns(1 << 20, 1), 0.0);
+        assert_eq!(m.star_allreduce_ns(1 << 20, 1), 0.0);
+        assert_eq!(m.broadcast_ns(1 << 20, 1), 0.0);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let m = NetModel::ec2_10gbe();
+        let small = m.transfer_ns(8);
+        assert!((small - 50_006.4).abs() < 1.0);
+    }
+}

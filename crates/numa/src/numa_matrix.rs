@@ -1,0 +1,185 @@
+//! NUMA-partitioned matrix storage.
+//!
+//! [`NumaMatrix`] holds the dataset as one arena per NUMA node, with each
+//! thread's Fig. 1 row block stored contiguously inside its node's arena.
+//! On hosts that really have multiple nodes the arenas are first-touched by
+//! a thread bound to the owning node, which — under Linux's default
+//! first-touch page placement policy — physically places the pages on that
+//! node's bank without needing `mbind`. On synthetic topologies the arenas
+//! are plain allocations and placement is purely logical (it still drives
+//! access classification for the cost model).
+
+use crate::bind::bind_current_thread;
+use crate::placement::Placement;
+use crate::topology::{NodeId, Topology};
+use knor_matrix::DMatrix;
+
+/// A matrix partitioned across NUMA-node arenas (Fig. 1 layout).
+#[derive(Debug)]
+pub struct NumaMatrix {
+    /// One contiguous arena per node; rows of threads bound to the node, in
+    /// thread order.
+    arenas: Vec<Vec<f64>>,
+    ncol: usize,
+    placement: Placement,
+    /// Starting row offset (within the node arena) of each thread's block.
+    thread_arena_base: Vec<usize>,
+}
+
+impl NumaMatrix {
+    /// Distribute `m` across nodes according to `placement`.
+    ///
+    /// When `topo` is detected and has more than one node, arena pages are
+    /// first-touched from a thread bound to the owning node.
+    pub fn from_dmatrix(topo: &Topology, placement: &Placement, m: &DMatrix) -> Self {
+        assert_eq!(m.nrow(), placement.nrow());
+        let ncol = m.ncol();
+        let nnodes = placement.nnodes();
+
+        // Arena size per node and per-thread base offsets within its arena.
+        let mut arena_rows = vec![0usize; nnodes];
+        let mut thread_arena_base = vec![0usize; placement.nthreads()];
+        for t in 0..placement.nthreads() {
+            let node = placement.node_of_thread(t).0;
+            thread_arena_base[t] = arena_rows[node];
+            arena_rows[node] += placement.range_of_thread(t).len();
+        }
+
+        let do_bind = topo.is_detected() && topo.nodes() > 1;
+        let mut arenas: Vec<Vec<f64>> = Vec::with_capacity(nnodes);
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nnodes);
+            for node in 0..nnodes {
+                let rows = arena_rows[node];
+                let placement = &placement;
+                let thread_arena_base = &thread_arena_base;
+                handles.push(s.spawn(move || {
+                    if do_bind {
+                        let _ = bind_current_thread(topo, NodeId(node));
+                    }
+                    // First touch happens here, on the (possibly bound) thread.
+                    let mut arena = vec![0.0f64; rows * ncol];
+                    for t in 0..placement.nthreads() {
+                        if placement.node_of_thread(t).0 != node {
+                            continue;
+                        }
+                        let range = placement.range_of_thread(t);
+                        let base = thread_arena_base[t] * ncol;
+                        let src = &m.as_slice()[range.start * ncol..range.end * ncol];
+                        arena[base..base + src.len()].copy_from_slice(src);
+                    }
+                    arena
+                }));
+            }
+            for h in handles {
+                arenas.push(h.join().expect("arena population thread panicked"));
+            }
+        });
+
+        Self { arenas, ncol, placement: placement.clone(), thread_arena_base }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrow(&self) -> usize {
+        self.placement.nrow()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncol(&self) -> usize {
+        self.ncol
+    }
+
+    /// Bytes of one row (for cost accounting).
+    #[inline]
+    pub fn row_bytes(&self) -> u64 {
+        (self.ncol * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// The placement this matrix was built with.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Home node of `row`.
+    #[inline]
+    pub fn node_of_row(&self, row: usize) -> NodeId {
+        self.placement.node_of_row(row)
+    }
+
+    /// Borrow `row`, returning the slice and the node whose bank served it.
+    #[inline]
+    pub fn row(&self, row: usize) -> (&[f64], NodeId) {
+        let t = self.placement.thread_of_row(row);
+        let node = self.placement.node_of_thread(t);
+        let local = self.thread_arena_base[t] + (row - self.placement.range_of_thread(t).start);
+        let a = &self.arenas[node.0];
+        (&a[local * self.ncol..(local + 1) * self.ncol], node)
+    }
+
+    /// Copy back into a contiguous [`DMatrix`] (tests / export).
+    pub fn to_dmatrix(&self) -> DMatrix {
+        let mut out = DMatrix::zeros(self.nrow(), self.ncol);
+        for r in 0..self.nrow() {
+            let (src, _) = self.row(r);
+            out.row_mut(r).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Total heap bytes held by the arenas.
+    pub fn heap_bytes(&self) -> u64 {
+        self.arenas.iter().map(|a| (a.len() * 8) as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_matrix(nrow: usize, ncol: usize) -> DMatrix {
+        DMatrix::from_vec((0..nrow * ncol).map(|x| x as f64).collect(), nrow, ncol)
+    }
+
+    #[test]
+    fn round_trip_preserves_rows() {
+        let topo = Topology::synthetic(4, 2);
+        let m = seq_matrix(103, 3);
+        let p = Placement::new(&topo, 103, 8);
+        let nm = NumaMatrix::from_dmatrix(&topo, &p, &m);
+        assert_eq!(nm.to_dmatrix(), m);
+    }
+
+    #[test]
+    fn rows_live_on_their_home_node() {
+        let topo = Topology::synthetic(2, 4);
+        let m = seq_matrix(100, 4);
+        let p = Placement::new(&topo, 100, 4);
+        let nm = NumaMatrix::from_dmatrix(&topo, &p, &m);
+        for r in 0..100 {
+            let (slice, node) = nm.row(r);
+            assert_eq!(node, p.node_of_row(r));
+            assert_eq!(slice, m.row(r));
+        }
+    }
+
+    #[test]
+    fn heap_accounting() {
+        let topo = Topology::synthetic(2, 2);
+        let m = seq_matrix(10, 4);
+        let p = Placement::new(&topo, 10, 2);
+        let nm = NumaMatrix::from_dmatrix(&topo, &p, &m);
+        assert_eq!(nm.heap_bytes(), 10 * 4 * 8);
+        assert_eq!(nm.row_bytes(), 32);
+    }
+
+    #[test]
+    fn works_with_detected_topology() {
+        let topo = Topology::detect();
+        let m = seq_matrix(64, 2);
+        let p = Placement::new(&topo, 64, 4);
+        let nm = NumaMatrix::from_dmatrix(&topo, &p, &m);
+        assert_eq!(nm.to_dmatrix(), m);
+    }
+}

@@ -1,0 +1,180 @@
+//! Machine topology: NUMA nodes and the CPUs attached to them.
+
+use std::fmt;
+use std::path::Path;
+
+/// Identifier of a NUMA node (memory bank + attached CPUs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A machine topology: which logical CPUs belong to which NUMA node.
+///
+/// `Topology` is either *detected* from the running host (`/sys`) or
+/// *synthetic* — e.g. the paper's evaluation machine, four Xeon E7-4860
+/// sockets with 12 cores each ([`Topology::paper_machine`]). Synthetic
+/// topologies drive the cost-model experiments; detected ones drive real
+/// thread binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// `cpus[node]` lists the logical CPU ids on that node.
+    cpus: Vec<Vec<usize>>,
+    /// Whether node/cpu ids correspond to the running host.
+    detected: bool,
+}
+
+impl Topology {
+    /// Build a synthetic topology of `nodes` NUMA nodes with
+    /// `cpus_per_node` logical CPUs each, numbered contiguously.
+    pub fn synthetic(nodes: usize, cpus_per_node: usize) -> Self {
+        assert!(nodes > 0 && cpus_per_node > 0);
+        let cpus = (0..nodes)
+            .map(|n| (n * cpus_per_node..(n + 1) * cpus_per_node).collect())
+            .collect();
+        Self { cpus, detected: false }
+    }
+
+    /// The paper's single-node evaluation machine: 4 NUMA nodes x 12
+    /// physical cores, 2-way SMT (64-thread experiments use SMT contexts).
+    pub fn paper_machine() -> Self {
+        Self::synthetic(4, 24)
+    }
+
+    /// A single-node topology covering `ncpus` CPUs.
+    pub fn flat(ncpus: usize) -> Self {
+        Self::synthetic(1, ncpus.max(1))
+    }
+
+    /// Detect the host topology from `/sys/devices/system/node`.
+    ///
+    /// Falls back to a single flat node covering
+    /// `std::thread::available_parallelism()` CPUs when sysfs is missing
+    /// (non-Linux, containers with masked sysfs).
+    pub fn detect() -> Self {
+        match Self::detect_from_sysfs(Path::new("/sys/devices/system/node")) {
+            Some(t) => t,
+            None => {
+                let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+                let mut t = Self::flat(n);
+                t.detected = true;
+                t
+            }
+        }
+    }
+
+    fn detect_from_sysfs(base: &Path) -> Option<Self> {
+        let mut nodes: Vec<(usize, Vec<usize>)> = Vec::new();
+        for entry in std::fs::read_dir(base).ok()? {
+            let entry = entry.ok()?;
+            let name = entry.file_name();
+            let name = name.to_str()?;
+            let Some(idx) = name.strip_prefix("node").and_then(|s| s.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            let list = std::fs::read_to_string(entry.path().join("cpulist")).ok()?;
+            let cpus = parse_cpulist(list.trim())?;
+            if !cpus.is_empty() {
+                nodes.push((idx, cpus));
+            }
+        }
+        if nodes.is_empty() {
+            return None;
+        }
+        nodes.sort_by_key(|(idx, _)| *idx);
+        Some(Self { cpus: nodes.into_iter().map(|(_, c)| c).collect(), detected: true })
+    }
+
+    /// Number of NUMA nodes, `N`.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Total logical CPUs, `P`.
+    #[inline]
+    pub fn ncpus(&self) -> usize {
+        self.cpus.iter().map(Vec::len).sum()
+    }
+
+    /// CPUs attached to `node`.
+    pub fn cpus_of(&self, node: NodeId) -> &[usize] {
+        &self.cpus[node.0]
+    }
+
+    /// Whether this topology reflects the running host.
+    pub fn is_detected(&self) -> bool {
+        self.detected
+    }
+
+    /// Iterate node ids.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        (0..self.nodes()).map(NodeId)
+    }
+}
+
+/// Parse a Linux `cpulist` string such as `"0-3,8,10-11"`.
+pub fn parse_cpulist(s: &str) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    if s.is_empty() {
+        return Some(out);
+    }
+    for part in s.split(',') {
+        let part = part.trim();
+        if let Some((a, b)) = part.split_once('-') {
+            let a: usize = a.trim().parse().ok()?;
+            let b: usize = b.trim().parse().ok()?;
+            if b < a {
+                return None;
+            }
+            out.extend(a..=b);
+        } else {
+            out.push(part.parse().ok()?);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_shapes() {
+        let t = Topology::synthetic(4, 12);
+        assert_eq!(t.nodes(), 4);
+        assert_eq!(t.ncpus(), 48);
+        assert_eq!(t.cpus_of(NodeId(1)), &(12..24).collect::<Vec<_>>()[..]);
+        assert!(!t.is_detected());
+    }
+
+    #[test]
+    fn paper_machine_is_4x24() {
+        let t = Topology::paper_machine();
+        assert_eq!(t.nodes(), 4);
+        assert_eq!(t.ncpus(), 96);
+    }
+
+    #[test]
+    fn cpulist_parses() {
+        assert_eq!(parse_cpulist("0-3"), Some(vec![0, 1, 2, 3]));
+        assert_eq!(parse_cpulist("0,2,4"), Some(vec![0, 2, 4]));
+        assert_eq!(parse_cpulist("0-1,4-5"), Some(vec![0, 1, 4, 5]));
+        assert_eq!(parse_cpulist(""), Some(vec![]));
+        assert_eq!(parse_cpulist("3-1"), None);
+        assert_eq!(parse_cpulist("x"), None);
+    }
+
+    #[test]
+    fn detect_never_panics_and_has_cpus() {
+        let t = Topology::detect();
+        assert!(t.nodes() >= 1);
+        assert!(t.ncpus() >= 1);
+        assert!(t.is_detected());
+    }
+}

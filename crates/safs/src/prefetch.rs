@@ -1,0 +1,121 @@
+//! Asynchronous prefetch pool — the I/O/compute overlap of FlashGraph.
+//!
+//! Workers hand the pool the page list of their *next* task before
+//! computing the current one; pool threads pull those pages into the page
+//! cache in the background. Prefetching is best-effort: a missed prefetch
+//! only costs a synchronous read later, never correctness.
+
+use std::sync::Arc;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+use crate::reader::SafsReader;
+
+enum Msg {
+    Fetch(Vec<u64>),
+    Shutdown,
+}
+
+/// A handle to a running prefetch pool.
+pub struct Prefetcher {
+    tx: Sender<Msg>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawn `threads` background I/O threads serving `reader`.
+    pub fn spawn(reader: Arc<SafsReader>, threads: usize) -> Self {
+        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
+        let handles = (0..threads.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let reader = Arc::clone(&reader);
+                std::thread::spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Msg::Fetch(pages) => {
+                                // Best effort: I/O errors surface on the
+                                // synchronous path with proper context.
+                                let _ = reader.prefetch_pages(&pages);
+                            }
+                            Msg::Shutdown => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        Self { tx, handles }
+    }
+
+    /// Queue a page list for background fetch.
+    pub fn request(&self, pages: Vec<u64>) {
+        if !pages.is_empty() {
+            let _ = self.tx.send(Msg::Fetch(pages));
+        }
+    }
+
+    /// Drain and stop the pool (blocks until I/O threads exit).
+    pub fn shutdown(mut self) {
+        for _ in 0..self.handles.len() {
+            let _ = self.tx.send(Msg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        for _ in 0..self.handles.len() {
+            let _ = self.tx.send(Msg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::RowStore;
+    use knor_matrix::io::write_matrix;
+    use knor_matrix::DMatrix;
+
+    #[test]
+    fn background_prefetch_lands_in_cache() {
+        let m = DMatrix::from_vec((0..4000).map(|x| x as f64).collect(), 500, 8);
+        let mut p = std::env::temp_dir();
+        p.push(format!("knor-safs-prefetch-{}.knor", std::process::id()));
+        write_matrix(&p, &m).unwrap();
+        let reader =
+            Arc::new(SafsReader::new(RowStore::open(&p, 512).unwrap(), 1 << 20, 4));
+        let pool = Prefetcher::spawn(Arc::clone(&reader), 2);
+        let rows: Vec<usize> = (0..500).collect();
+        let pages = reader.pages_for_rows(&rows);
+        pool.request(pages.clone());
+        pool.shutdown(); // waits for the fetch to complete
+        for pg in pages {
+            assert!(reader.cache().contains(pg), "page {pg} not prefetched");
+        }
+        let s = reader.stats().snapshot();
+        assert!(s.prefetched_pages > 0);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn drop_terminates_threads() {
+        let m = DMatrix::zeros(10, 2);
+        let mut p = std::env::temp_dir();
+        p.push(format!("knor-safs-prefetch-drop-{}.knor", std::process::id()));
+        write_matrix(&p, &m).unwrap();
+        let reader =
+            Arc::new(SafsReader::new(RowStore::open(&p, 256).unwrap(), 1 << 16, 2));
+        {
+            let pool = Prefetcher::spawn(Arc::clone(&reader), 2);
+            pool.request(vec![0]);
+        } // drop joins
+        std::fs::remove_file(p).unwrap();
+    }
+}

@@ -1,0 +1,266 @@
+//! The SAFS-lite request path: rows → pages → merge → cache → assembly.
+
+use std::io;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::cache::PageCache;
+use crate::stats::IoStats;
+use crate::store::RowStore;
+
+/// Maximum page gap bridged when merging requests into one `pread`
+/// (SAFS merges "requests made for data located near one another").
+pub const DEFAULT_MERGE_GAP: u64 = 2;
+
+/// A shared, thread-safe reader combining a [`RowStore`], a [`PageCache`]
+/// and [`IoStats`] accounting.
+#[derive(Debug)]
+pub struct SafsReader {
+    store: RowStore,
+    cache: PageCache,
+    stats: Arc<IoStats>,
+    merge_gap: u64,
+}
+
+impl SafsReader {
+    /// Build a reader over `store` with a cache of `cache_bytes`.
+    pub fn new(store: RowStore, cache_bytes: u64, shards: usize) -> Self {
+        let page_size = store.page_size();
+        Self {
+            store,
+            cache: PageCache::new(cache_bytes, page_size, shards),
+            stats: Arc::new(IoStats::new()),
+            merge_gap: DEFAULT_MERGE_GAP,
+        }
+    }
+
+    /// Set the request-merge gap (pages).
+    pub fn with_merge_gap(mut self, gap: u64) -> Self {
+        self.merge_gap = gap;
+        self
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &RowStore {
+        &self.store
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The page cache (prefetchers insert into it directly).
+    pub fn cache(&self) -> &PageCache {
+        &self.cache
+    }
+
+    /// Compute the deduplicated, sorted page list covering `rows`
+    /// (rows must be sorted ascending for efficient merging; any order is
+    /// accepted).
+    pub fn pages_for_rows(&self, rows: &[usize]) -> Vec<u64> {
+        let mut pages = Vec::with_capacity(rows.len() + 1);
+        for &r in rows {
+            let (a, b) = self.store.pages_of_row(r);
+            for p in a..=b {
+                pages.push(p);
+            }
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        pages
+    }
+
+    /// Merge a sorted page list into runs bridging gaps up to `merge_gap`.
+    pub fn merge_runs(&self, pages: &[u64]) -> Vec<(u64, usize)> {
+        let mut runs: Vec<(u64, usize)> = Vec::new();
+        for &p in pages {
+            match runs.last_mut() {
+                Some((start, count)) if p <= *start + *count as u64 + self.merge_gap => {
+                    // Extend the run (including bridged gap pages).
+                    *count = (p - *start + 1) as usize;
+                }
+                _ => runs.push((p, 1)),
+            }
+        }
+        runs
+    }
+
+    /// Fetch `rows` (gathering each into `out`, `rows.len() * d` values),
+    /// going through cache and merged device reads. Returns the number of
+    /// device reads issued.
+    pub fn fetch_rows(&self, rows: &[usize], out: &mut Vec<f64>) -> io::Result<usize> {
+        let d = self.store.ncol();
+        let rb = self.store.row_bytes() as usize;
+        out.clear();
+        out.reserve(rows.len() * d);
+
+        self.stats
+            .bytes_requested
+            .fetch_add(rows.len() as u64 * rb as u64, Ordering::Relaxed);
+
+        // 1. Which pages do we need, and which are missing from cache?
+        let pages = self.pages_for_rows(rows);
+        let ps = self.store.page_size();
+        let mut resident: std::collections::HashMap<u64, Vec<u8>> =
+            std::collections::HashMap::with_capacity(pages.len());
+        let mut missing: Vec<u64> = Vec::new();
+        for &p in &pages {
+            let mut buf = vec![0u8; ps];
+            if self.cache.get(p, &mut buf) {
+                self.stats.page_hits.fetch_add(1, Ordering::Relaxed);
+                resident.insert(p, buf);
+            } else {
+                self.stats.page_misses.fetch_add(1, Ordering::Relaxed);
+                missing.push(p);
+            }
+        }
+
+        // 2. Merge missing pages into runs and read them.
+        let runs = self.merge_runs(&missing);
+        self.stats.merged_runs.fetch_add(runs.len() as u64, Ordering::Relaxed);
+        let mut device_reads = 0usize;
+        for (first, count) in runs {
+            let bytes = self.store.read_page_run(first, count)?;
+            device_reads += 1;
+            self.stats.device_reads.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_read_device
+                .fetch_add((count * ps) as u64, Ordering::Relaxed);
+            for i in 0..count {
+                let p = first + i as u64;
+                let page = &bytes[i * ps..(i + 1) * ps];
+                self.cache.insert(p, page);
+                // Bridged gap pages may not be in `pages`; keep them cached
+                // but only index the ones we need.
+                resident.entry(p).or_insert_with(|| page.to_vec());
+            }
+        }
+
+        // 3. Assemble rows from page buffers.
+        let mut row_buf = vec![0u8; rb];
+        for &r in rows {
+            self.store.assemble_row(
+                r,
+                |p| resident.get(&p).map(|v| &v[..]).expect("page fetched above"),
+                &mut row_buf,
+            );
+            for c in row_buf.chunks_exact(8) {
+                out.push(f64::from_le_bytes(c.try_into().unwrap()));
+            }
+        }
+        Ok(device_reads)
+    }
+
+    /// Prefetch `pages` into the cache (used by [`crate::Prefetcher`]);
+    /// already-resident pages are skipped.
+    pub fn prefetch_pages(&self, pages: &[u64]) -> io::Result<()> {
+        let ps = self.store.page_size();
+        let missing: Vec<u64> =
+            pages.iter().copied().filter(|&p| !self.cache.contains(p)).collect();
+        for (first, count) in self.merge_runs(&missing) {
+            let bytes = self.store.read_page_run(first, count)?;
+            self.stats.device_reads.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_read_device
+                .fetch_add((count * ps) as u64, Ordering::Relaxed);
+            self.stats.prefetched_pages.fetch_add(count as u64, Ordering::Relaxed);
+            for i in 0..count {
+                self.cache.insert(first + i as u64, &bytes[i * ps..(i + 1) * ps]);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knor_matrix::io::write_matrix;
+    use knor_matrix::DMatrix;
+    use std::path::PathBuf;
+
+    fn reader(nrow: usize, ncol: usize, page: usize, cache_bytes: u64) -> (SafsReader, DMatrix, PathBuf) {
+        let m = DMatrix::from_vec(
+            (0..nrow * ncol).map(|x| (x as f64).sin()).collect(),
+            nrow,
+            ncol,
+        );
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "knor-safs-reader-{}-{nrow}x{ncol}-{page}-{cache_bytes}.knor",
+            std::process::id()
+        ));
+        write_matrix(&p, &m).unwrap();
+        let store = RowStore::open(&p, page).unwrap();
+        (SafsReader::new(store, cache_bytes, 4), m, p)
+    }
+
+    #[test]
+    fn fetch_returns_exact_rows() {
+        let (r, m, p) = reader(300, 6, 256, 1 << 16);
+        let rows = [0usize, 5, 17, 42, 299];
+        let mut out = Vec::new();
+        r.fetch_rows(&rows, &mut out).unwrap();
+        assert_eq!(out.len(), rows.len() * 6);
+        for (i, &row) in rows.iter().enumerate() {
+            assert_eq!(&out[i * 6..(i + 1) * 6], m.row(row), "row {row}");
+        }
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn second_fetch_is_all_cache_hits() {
+        let (r, _, p) = reader(200, 4, 256, 1 << 20);
+        let rows: Vec<usize> = (0..50).collect();
+        let mut out = Vec::new();
+        r.fetch_rows(&rows, &mut out).unwrap();
+        let after_first = r.stats().snapshot();
+        assert!(after_first.page_misses > 0);
+        r.fetch_rows(&rows, &mut out).unwrap();
+        let after_second = r.stats().snapshot();
+        let delta = after_second.delta_since(&after_first);
+        assert_eq!(delta.page_misses, 0, "everything should be cached");
+        assert_eq!(delta.bytes_read_device, 0);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn merging_bridges_small_gaps() {
+        let (r, _, p) = reader(4000, 4, 256, 0);
+        // Pages 0,1,3 with merge gap 2 -> a single run of length 4.
+        let runs = r.merge_runs(&[0, 1, 3]);
+        assert_eq!(runs, vec![(0, 4)]);
+        // A distant page starts a new run.
+        let runs = r.merge_runs(&[0, 1, 100]);
+        assert_eq!(runs, vec![(0, 2), (100, 1)]);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn read_amplification_visible_for_sparse_requests() {
+        // 32-byte rows on 4KB pages: one row requested -> one page read.
+        let (r, _, p) = reader(10_000, 4, 4096, 0);
+        let mut out = Vec::new();
+        r.fetch_rows(&[5000], &mut out).unwrap();
+        let s = r.stats().snapshot();
+        assert_eq!(s.bytes_requested, 32);
+        assert!(s.bytes_read_device >= 4096);
+        assert!(s.amplification() > 100.0);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn prefetch_populates_cache() {
+        let (r, _, p) = reader(1000, 8, 512, 1 << 20);
+        let rows: Vec<usize> = (100..200).collect();
+        let pages = r.pages_for_rows(&rows);
+        r.prefetch_pages(&pages).unwrap();
+        let before = r.stats().snapshot();
+        let mut out = Vec::new();
+        r.fetch_rows(&rows, &mut out).unwrap();
+        let delta = r.stats().snapshot().delta_since(&before);
+        assert_eq!(delta.page_misses, 0, "prefetched fetch must not touch device");
+        std::fs::remove_file(p).unwrap();
+    }
+}

@@ -1,0 +1,906 @@
+//! The knors SEM engine.
+//!
+//! Mirrors the in-memory ||Lloyd's protocol (see `knor_core::engine`) with
+//! row data pulled through the SAFS-lite stack instead of NUMA arenas:
+//!
+//! ```text
+//! row needed? ── Clause 1 ──> skipped: no I/O at all
+//!      │ yes
+//!      ├── row cache hit ───> compute (in-memory speed)
+//!      ├── page cache hit ──> assemble row, compute
+//!      └── device read (merged) ─> assemble, maybe cache, compute
+//! ```
+//!
+//! Workers pipeline at depth 2: the Clause-1 filter for the *next* task is
+//! run and its pages submitted to the prefetcher before the *current* task
+//! computes, overlapping I/O with computation as FlashGraph does.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use knor_core::centroids::{finalize_means, Centroids, LocalAccum};
+use knor_core::distance::{dist, nearest};
+use knor_core::pruning::{mti_assign, MtiIterState, PruneCounters, Pruning};
+use knor_core::stats::{IterStats, KmeansResult, MemoryFootprint};
+use knor_core::sync::ExclusiveCell;
+use knor_matrix::shared::SharedRows;
+use knor_matrix::DMatrix;
+use knor_numa::{Placement, Topology};
+use knor_safs::{Prefetcher, RowStore, SafsReader, DEFAULT_PAGE_SIZE};
+use knor_sched::{SchedulerKind, Task, TaskQueue, DEFAULT_TASK_SIZE};
+
+use crate::row_cache::{RefreshSchedule, RowCache};
+use crate::IoIterStats;
+
+/// Initialization for SEM runs (only methods that avoid full-data passes).
+#[derive(Debug, Clone)]
+pub enum SemInit {
+    /// `k` distinct random rows read from the device.
+    Forgy,
+    /// Explicit `k x d` means.
+    Given(DMatrix),
+}
+
+/// Configuration for a [`SemKmeans`] run.
+#[derive(Debug, Clone)]
+pub struct SemConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Drift tolerance (0.0 = reassignment-only convergence).
+    pub tol: f64,
+    /// Initialization.
+    pub init: SemInit,
+    /// RNG seed.
+    pub seed: u64,
+    /// MTI on (knors) or off (knors-).
+    pub pruning: Pruning,
+    /// Worker threads.
+    pub threads: Option<usize>,
+    /// Rows per scheduler task.
+    pub task_size: usize,
+    /// Task queue policy.
+    pub scheduler: SchedulerKind,
+    /// SAFS page size (paper: 4KB).
+    pub page_size: usize,
+    /// Page cache budget in bytes.
+    pub page_cache_bytes: u64,
+    /// Row cache budget in bytes (0 = knors--).
+    pub row_cache_bytes: u64,
+    /// Row-cache update interval `I_cache` (paper: 5).
+    pub cache_interval: usize,
+    /// Lazy exponential refresh (paper) vs fixed-period (ablation).
+    pub lazy_refresh: bool,
+    /// Overlap I/O with compute via the prefetch pool. Off by default so
+    /// per-iteration I/O accounting is exactly attributable (Fig. 6);
+    /// enable for throughput runs.
+    pub prefetch: bool,
+    /// Prefetch pool threads (when `prefetch`).
+    pub prefetch_threads: usize,
+    /// Stream the file once at the end to compute SSE.
+    pub compute_sse: bool,
+}
+
+impl SemConfig {
+    /// Paper-default knors configuration.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 100,
+            tol: 0.0,
+            init: SemInit::Forgy,
+            seed: 0,
+            pruning: Pruning::Mti,
+            threads: None,
+            task_size: DEFAULT_TASK_SIZE,
+            scheduler: SchedulerKind::NumaAware,
+            page_size: DEFAULT_PAGE_SIZE,
+            page_cache_bytes: 1 << 30,
+            row_cache_bytes: 512 << 20,
+            cache_interval: 5,
+            lazy_refresh: true,
+            prefetch: false,
+            prefetch_threads: 2,
+            compute_sse: false,
+        }
+    }
+
+    /// Set the iteration cap.
+    pub fn with_max_iters(mut self, v: usize) -> Self {
+        self.max_iters = v;
+        self
+    }
+
+    /// Set the initialization.
+    pub fn with_init(mut self, v: SemInit) -> Self {
+        self.init = v;
+        self
+    }
+
+    /// Set the seed.
+    pub fn with_seed(mut self, v: u64) -> Self {
+        self.seed = v;
+        self
+    }
+
+    /// Enable/disable MTI (off = knors-).
+    pub fn with_pruning(mut self, v: Pruning) -> Self {
+        self.pruning = v;
+        self
+    }
+
+    /// Set worker threads.
+    pub fn with_threads(mut self, v: usize) -> Self {
+        self.threads = Some(v.max(1));
+        self
+    }
+
+    /// Set rows per task.
+    pub fn with_task_size(mut self, v: usize) -> Self {
+        self.task_size = v.max(1);
+        self
+    }
+
+    /// Set the page size.
+    pub fn with_page_size(mut self, v: usize) -> Self {
+        self.page_size = v;
+        self
+    }
+
+    /// Set the page-cache budget.
+    pub fn with_page_cache_bytes(mut self, v: u64) -> Self {
+        self.page_cache_bytes = v;
+        self
+    }
+
+    /// Set the row-cache budget (0 = knors--).
+    pub fn with_row_cache_bytes(mut self, v: u64) -> Self {
+        self.row_cache_bytes = v;
+        self
+    }
+
+    /// Set `I_cache`.
+    pub fn with_cache_interval(mut self, v: usize) -> Self {
+        self.cache_interval = v.max(1);
+        self
+    }
+
+    /// Lazy (true) vs fixed-period (false) refresh.
+    pub fn with_lazy_refresh(mut self, v: bool) -> Self {
+        self.lazy_refresh = v;
+        self
+    }
+
+    /// Enable the prefetch pipeline.
+    pub fn with_prefetch(mut self, v: bool) -> Self {
+        self.prefetch = v;
+        self
+    }
+
+    /// Compute SSE at the end.
+    pub fn with_sse(mut self, v: bool) -> Self {
+        self.compute_sse = v;
+        self
+    }
+}
+
+/// Result of a knors run: the clustering plus per-iteration I/O stats.
+#[derive(Debug, Clone)]
+pub struct SemResult {
+    /// Standard clustering result (wall times, pruning, convergence).
+    pub kmeans: KmeansResult,
+    /// Per-iteration I/O statistics (Figs. 6a, 7).
+    pub io: Vec<IoIterStats>,
+}
+
+/// The knors solver.
+pub struct SemKmeans {
+    config: SemConfig,
+}
+
+/// A task whose Clause-1 filter has run; `needed` are the rows that must be
+/// fetched (the rest were skipped without I/O).
+struct FilteredTask {
+    needed: Vec<usize>,
+}
+
+impl SemKmeans {
+    /// Create a solver.
+    pub fn new(config: SemConfig) -> Self {
+        assert!(config.k >= 1);
+        assert!(config.max_iters >= 1);
+        Self { config }
+    }
+
+    /// Cluster the on-disk matrix at `path`.
+    pub fn fit(&self, path: &Path) -> std::io::Result<SemResult> {
+        let cfg = &self.config;
+        let store = RowStore::open(path, cfg.page_size)?;
+        let n = store.nrow();
+        let d = store.ncol();
+        let k = cfg.k;
+        assert!(k <= n, "k = {k} exceeds n = {n}");
+
+        let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let nthreads = cfg.threads.unwrap_or(hw).max(1);
+        let reader = Arc::new(SafsReader::new(store, cfg.page_cache_bytes, nthreads.max(4)));
+        let io_stats = reader.stats();
+        let row_cache = RowCache::new(cfg.row_cache_bytes, n, d, nthreads);
+        let prefetcher =
+            cfg.prefetch.then(|| Prefetcher::spawn(Arc::clone(&reader), cfg.prefetch_threads));
+
+        // Initial centroids.
+        let init_cents = match &cfg.init {
+            SemInit::Given(m) => {
+                assert_eq!((m.nrow(), m.ncol()), (k, d), "Given init has wrong shape");
+                Centroids::from_matrix(m)
+            }
+            SemInit::Forgy => {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed);
+                let mut rows: Vec<usize> = Vec::with_capacity(k);
+                while rows.len() < k {
+                    let r = rng.gen_range(0..n);
+                    if !rows.contains(&r) {
+                        rows.push(r);
+                    }
+                }
+                let mut buf = Vec::new();
+                reader.fetch_rows(&rows, &mut buf)?;
+                io_stats.reset(); // init I/O is not part of the iteration accounting
+                Centroids::from_matrix(&DMatrix::from_vec(buf, k, d))
+            }
+        };
+
+        let topo = Topology::detect();
+        let placement = Placement::new(&topo, n, nthreads);
+        let queue = TaskQueue::new(cfg.scheduler, &placement);
+        queue.refill(&placement, cfg.task_size);
+
+        // Shared engine state (same barrier protocol as knor-core).
+        let centroids = ExclusiveCell::new(init_cents);
+        let next_cents = ExclusiveCell::new(Centroids::zeros(k, d));
+        let mti = ExclusiveCell::new(MtiIterState::new(k));
+        let assign: SharedRows<u32> = SharedRows::new(n, u32::MAX);
+        let upper: SharedRows<f64> = SharedRows::new(n, f64::INFINITY);
+        let merged_sums: SharedRows<f64> = SharedRows::new(k * d, 0.0);
+        let merged_counts = ExclusiveCell::new(vec![0i64; k]);
+        let persistent = ExclusiveCell::new((vec![0.0f64; k * d], vec![0i64; k]));
+        let accums: Vec<ExclusiveCell<LocalAccum>> =
+            (0..nthreads).map(|_| ExclusiveCell::new(LocalAccum::new(k, d))).collect();
+        let scratch: Vec<ExclusiveCell<(PruneCounters, u64, u64, u64)>> =
+            (0..nthreads).map(|_| ExclusiveCell::new(Default::default())).collect();
+        let stop = AtomicBool::new(false);
+        let converged = AtomicBool::new(false);
+        let refresh_now = AtomicBool::new(false);
+        let barrier = Barrier::new(nthreads);
+        let dim_slices = knor_matrix::partition_rows(k * d, nthreads);
+        let pruning = cfg.pruning.enabled();
+
+        let mut out_iters: Vec<IterStats> = Vec::new();
+        let mut out_io: Vec<IoIterStats> = Vec::new();
+
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nthreads);
+            for w in 0..nthreads {
+                let reader = Arc::clone(&reader);
+                let row_cache = &row_cache;
+                let prefetcher = prefetcher.as_ref();
+                let centroids = &centroids;
+                let next_cents = &next_cents;
+                let mti = &mti;
+                let assign = &assign;
+                let upper = &upper;
+                let merged_sums = &merged_sums;
+                let merged_counts = &merged_counts;
+                let persistent = &persistent;
+                let accums = &accums;
+                let scratch = &scratch;
+                let stop = &stop;
+                let converged = &converged;
+                let refresh_now = &refresh_now;
+                let barrier = &barrier;
+                let queue = &queue;
+                let placement = &placement;
+                let io_stats = Arc::clone(&io_stats);
+                let dim_slice = dim_slices[w].clone();
+                handles.push(s.spawn(move || {
+                    let mut iters: Vec<IterStats> = Vec::new();
+                    let mut ios: Vec<IoIterStats> = Vec::new();
+                    let mut schedule = if cfg.lazy_refresh {
+                        RefreshSchedule::lazy(cfg.cache_interval)
+                    } else {
+                        RefreshSchedule::fixed(cfg.cache_interval)
+                    };
+                    let mut prev_io = io_stats.snapshot();
+                    let mut iter = 0usize;
+                    let mut fetch_buf: Vec<f64> = Vec::new();
+                    let mut row_buf = vec![0.0f64; d];
+
+                    loop {
+                        if w == 0 {
+                            // Coordinator decides the refresh before A.
+                            let refresh = schedule.should_refresh(iter);
+                            if refresh {
+                                row_cache.flush();
+                            }
+                            refresh_now.store(refresh, Ordering::Release);
+                        }
+                        barrier.wait(); // A
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let t0 = std::time::Instant::now();
+                        let refreshing = refresh_now.load(Ordering::Acquire);
+                        // Safety: barrier A separates coordinator writes.
+                        let cents = unsafe { centroids.get() };
+                        let mti_state = unsafe { mti.get() };
+                        let accum = unsafe { accums[w].get_mut() };
+                        let mut counters = PruneCounters::default();
+                        let mut reassigned = 0u64;
+                        let mut rows_accessed = 0u64;
+                        let mut rc_hits = 0u64;
+
+                        // Depth-2 pipeline: filter next, compute current.
+                        let mut pending: Option<FilteredTask> = None;
+                        loop {
+                            let next = queue.next(w).map(|task| {
+                                let needed = filter_task(
+                                    &task,
+                                    iter,
+                                    pruning,
+                                    assign,
+                                    upper,
+                                    mti_state,
+                                    &mut counters,
+                                );
+                                if let Some(pf) = prefetcher {
+                                    if !needed.is_empty() {
+                                        pf.request(reader.pages_for_rows(&needed));
+                                    }
+                                }
+                                FilteredTask { needed }
+                            });
+                            let current = pending.take();
+                            pending = next;
+                            let Some(ft) = current else {
+                                if pending.is_none() {
+                                    break;
+                                }
+                                continue;
+                            };
+                            compute_task(
+                                &ft,
+                                iter,
+                                pruning,
+                                refreshing,
+                                &reader,
+                                row_cache,
+                                cents,
+                                mti_state,
+                                assign,
+                                upper,
+                                accum,
+                                &mut counters,
+                                &mut reassigned,
+                                &mut rows_accessed,
+                                &mut rc_hits,
+                                &mut fetch_buf,
+                                &mut row_buf,
+                            );
+                        }
+                        // Safety: own scratch slot, read after barrier B.
+                        unsafe {
+                            *scratch[w].get_mut() =
+                                (counters, reassigned, rows_accessed, rc_hits);
+                        }
+
+                        barrier.wait(); // B
+
+                        for j in dim_slice.clone() {
+                            let mut sum = 0.0;
+                            for a in accums.iter() {
+                                sum += unsafe { a.get() }.sums[j];
+                            }
+                            unsafe { *merged_sums.get_mut(j) = sum };
+                        }
+                        if w == 0 {
+                            let mc = unsafe { merged_counts.get_mut() };
+                            for c in 0..k {
+                                mc[c] =
+                                    accums.iter().map(|a| unsafe { a.get() }.counts[c]).sum();
+                            }
+                        }
+
+                        barrier.wait(); // C
+
+                        if w == 0 {
+                            let cents = unsafe { centroids.get_mut() };
+                            let next = unsafe { next_cents.get_mut() };
+                            let mc = unsafe { merged_counts.get() };
+                            let (psums, pcounts) = unsafe { persistent.get_mut() };
+                            if pruning {
+                                for j in 0..k * d {
+                                    psums[j] += unsafe { *merged_sums.get(j) };
+                                }
+                                for c in 0..k {
+                                    pcounts[c] += mc[c];
+                                }
+                                finalize_means(psums, pcounts, cents, next);
+                            } else {
+                                let sums: Vec<f64> =
+                                    (0..k * d).map(|j| unsafe { *merged_sums.get(j) }).collect();
+                                finalize_means(&sums, mc, cents, next);
+                            }
+                            let max_drift = (0..k)
+                                .map(|c| dist(cents.mean(c), next.mean(c)))
+                                .fold(0.0f64, f64::max);
+                            if pruning {
+                                unsafe { mti.get_mut() }.update(cents, next);
+                            }
+                            std::mem::swap(cents, next);
+
+                            let mut counters = PruneCounters::default();
+                            let mut reassigned = 0u64;
+                            let mut rows_accessed = 0u64;
+                            let mut rc_hits_total = 0u64;
+                            for sc in scratch.iter() {
+                                let (c, r, ra, rh) = unsafe { sc.get() };
+                                counters.merge(c);
+                                reassigned += r;
+                                rows_accessed += ra;
+                                rc_hits_total += rh;
+                            }
+                            let io_now = io_stats.snapshot();
+                            let delta = io_now.delta_since(&prev_io);
+                            prev_io = io_now;
+                            ios.push(IoIterStats {
+                                iter,
+                                active_rows: rows_accessed,
+                                rc_hits: rc_hits_total,
+                                rc_misses: rows_accessed - rc_hits_total,
+                                bytes_requested: delta.bytes_requested,
+                                bytes_read: delta.bytes_read_device,
+                                page_hits: delta.page_hits,
+                                page_misses: delta.page_misses,
+                                rc_resident_rows: row_cache.resident_rows(),
+                                rc_refreshed: refreshing,
+                            });
+                            iters.push(IterStats {
+                                iter,
+                                reassigned,
+                                rows_accessed,
+                                prune: counters,
+                                wall_ns: t0.elapsed().as_nanos() as u64,
+                                queue: queue.stats(),
+                                tallies: None,
+                                max_drift,
+                            });
+                            queue.reset_stats();
+                            row_cache.reset_counters();
+
+                            let done = iter + 1;
+                            let is_converged =
+                                reassigned == 0 || (cfg.tol > 0.0 && max_drift <= cfg.tol);
+                            if is_converged {
+                                converged.store(true, Ordering::Release);
+                            }
+                            if is_converged || done >= cfg.max_iters {
+                                stop.store(true, Ordering::Release);
+                            } else {
+                                queue.refill(placement, cfg.task_size);
+                            }
+                        }
+                        accum.reset();
+                        iter += 1;
+                    }
+                    (iters, ios)
+                }));
+            }
+            for (w, h) in handles.into_iter().enumerate() {
+                let (iters, ios) = h.join().expect("SEM worker panicked");
+                if w == 0 {
+                    out_iters = iters;
+                    out_io = ios;
+                }
+            }
+        });
+
+        if let Some(pf) = prefetcher {
+            pf.shutdown();
+        }
+
+        let assignments = assign.snapshot();
+        let final_cents = centroids.into_inner().to_matrix();
+        let sse = if cfg.compute_sse {
+            Some(streamed_sse(&reader, &final_cents, &assignments)?)
+        } else {
+            None
+        };
+
+        let memory = MemoryFootprint {
+            data_bytes: 0, // O(nd) stays on the device — the point of SEM
+            centroid_bytes: (2 * k * d * 8) as u64
+                + if pruning { (k * d * 8 + k * 8) as u64 } else { 0 },
+            accum_bytes: (nthreads * (k * d * 8 + k * 8)) as u64,
+            per_row_bytes: (n * 4) as u64 + if pruning { (n * 8) as u64 } else { 0 },
+            pruning_bytes: if pruning { ((k * k + 2 * k) * 8) as u64 } else { 0 },
+            cache_bytes: cfg.row_cache_bytes + cfg.page_cache_bytes,
+        };
+
+        let niters = out_iters.len();
+        Ok(SemResult {
+            kmeans: KmeansResult {
+                centroids: final_cents,
+                assignments,
+                niters,
+                converged: converged.load(Ordering::Acquire),
+                iters: out_iters,
+                memory,
+                sse,
+            },
+            io: out_io,
+        })
+    }
+}
+
+/// Clause-1 filter for a task: returns the rows that must be fetched and
+/// drift-updates the bounds of the skipped ones.
+fn filter_task(
+    task: &Task,
+    iter: usize,
+    pruning: bool,
+    assign: &SharedRows<u32>,
+    upper: &SharedRows<f64>,
+    mti_state: &MtiIterState,
+    counters: &mut PruneCounters,
+) -> Vec<usize> {
+    let mut needed = Vec::with_capacity(task.len());
+    if iter == 0 || !pruning {
+        needed.extend(task.rows.clone());
+        return needed;
+    }
+    for r in task.rows.clone() {
+        // Safety: each row belongs to exactly one task per iteration.
+        let a = unsafe { *assign.get(r) } as usize;
+        let ub = unsafe { *upper.get(r) } + mti_state.drift[a];
+        unsafe { *upper.get_mut(r) = ub };
+        if ub <= mti_state.half_min[a] {
+            counters.clause1_rows += 1;
+        } else {
+            needed.push(r);
+        }
+    }
+    needed
+}
+
+/// Fetch and process the needed rows of a filtered task.
+#[allow(clippy::too_many_arguments)]
+fn compute_task(
+    ft: &FilteredTask,
+    iter: usize,
+    pruning: bool,
+    refreshing: bool,
+    reader: &SafsReader,
+    row_cache: &RowCache,
+    cents: &Centroids,
+    mti_state: &MtiIterState,
+    assign: &SharedRows<u32>,
+    upper: &SharedRows<f64>,
+    accum: &mut LocalAccum,
+    counters: &mut PruneCounters,
+    reassigned: &mut u64,
+    rows_accessed: &mut u64,
+    rc_hits: &mut u64,
+    fetch_buf: &mut Vec<f64>,
+    row_buf: &mut [f64],
+) {
+    let d = row_buf.len();
+    let k = cents.k();
+    // Split needed rows into row-cache hits and misses.
+    let mut misses: Vec<usize> = Vec::with_capacity(ft.needed.len());
+    let mut hit_rows: Vec<(usize, Vec<f64>)> = Vec::new();
+    for &r in &ft.needed {
+        if row_cache.get(r as u32, row_buf) {
+            *rc_hits += 1;
+            hit_rows.push((r, row_buf.to_vec()));
+        } else {
+            misses.push(r);
+        }
+    }
+    // One merged fetch for the misses.
+    if !misses.is_empty() {
+        reader.fetch_rows(&misses, fetch_buf).expect("SEM device read failed");
+    }
+
+    let mut process = |r: usize, v: &[f64]| {
+        *rows_accessed += 1;
+        let cur_a = unsafe { *assign.get(r) };
+        if iter > 0 && pruning {
+            let a = cur_a as usize;
+            let ub = unsafe { *upper.get(r) }; // already drift-updated in filter
+            let (new_a, new_ub) = mti_assign(v, cents, mti_state, a, ub, counters);
+            if new_a != a {
+                *reassigned += 1;
+                accum.sub(a, v);
+                accum.add(new_a, v);
+                unsafe { *assign.get_mut(r) = new_a as u32 };
+            }
+            unsafe { *upper.get_mut(r) = new_ub };
+        } else {
+            let (a, da) = nearest(v, &cents.means, k);
+            counters.dist_computations += k as u64;
+            if pruning {
+                if cur_a == u32::MAX {
+                    accum.add(a, v);
+                    *reassigned += 1;
+                } else if cur_a as usize != a {
+                    accum.sub(cur_a as usize, v);
+                    accum.add(a, v);
+                    *reassigned += 1;
+                }
+                unsafe { *upper.get_mut(r) = da };
+            } else {
+                accum.add(a, v);
+                if cur_a != a as u32 {
+                    *reassigned += 1;
+                }
+            }
+            unsafe { *assign.get_mut(r) = a as u32 };
+        }
+    };
+
+    for (r, v) in &hit_rows {
+        process(*r, v);
+    }
+    for (i, &r) in misses.iter().enumerate() {
+        let v = &fetch_buf[i * d..(i + 1) * d];
+        process(r, v);
+        if refreshing {
+            row_cache.insert(r as u32, v);
+        }
+    }
+}
+
+/// Stream the file once to compute the final SSE.
+fn streamed_sse(
+    reader: &Arc<SafsReader>,
+    centroids: &DMatrix,
+    assignments: &[u32],
+) -> std::io::Result<f64> {
+    let n = reader.store().nrow();
+    let d = reader.store().ncol();
+    let chunk = 8192usize;
+    let mut total = 0.0;
+    let mut buf = Vec::new();
+    let mut rows: Vec<usize> = Vec::with_capacity(chunk);
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        rows.clear();
+        rows.extend(start..end);
+        reader.fetch_rows(&rows, &mut buf)?;
+        for (i, r) in (start..end).enumerate() {
+            let v = &buf[i * d..(i + 1) * d];
+            total +=
+                knor_core::distance::sqdist(v, centroids.row(assignments[r] as usize));
+        }
+        start = end;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knor_core::quality::agreement;
+    use knor_core::serial::lloyd_serial;
+    use knor_core::InitMethod;
+    use knor_matrix::io::write_matrix;
+    use knor_workloads::MixtureSpec;
+    use std::path::PathBuf;
+
+    fn write_mixture(n: usize, d: usize, seed: u64, tag: &str) -> (DMatrix, PathBuf) {
+        let data = MixtureSpec::friendster_like(n, d, seed).generate().data;
+        let mut p = std::env::temp_dir();
+        p.push(format!("knor-sem-{tag}-{}-{n}x{d}.knor", std::process::id()));
+        write_matrix(&p, &data).unwrap();
+        (data, p)
+    }
+
+    fn forgy(data: &DMatrix, k: usize, seed: u64) -> DMatrix {
+        InitMethod::Forgy.initialize(data, k, seed).to_matrix()
+    }
+
+    #[test]
+    fn sem_matches_serial_clustering() {
+        let (data, path) = write_mixture(1200, 8, 21, "match");
+        let k = 8;
+        let init = forgy(&data, k, 5);
+        let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 60, 0.0);
+        let sem = SemKmeans::new(
+            SemConfig::new(k)
+                .with_init(SemInit::Given(init))
+                .with_threads(2)
+                .with_task_size(64)
+                .with_page_size(256)
+                .with_row_cache_bytes(1 << 20)
+                .with_max_iters(60)
+                .with_sse(true),
+        )
+        .fit(&path)
+        .unwrap();
+        assert!(sem.kmeans.converged);
+        assert_eq!(sem.kmeans.niters, serial.niters);
+        assert!(agreement(&sem.kmeans.assignments, &serial.assignments, k) > 0.999);
+        let rel =
+            (sem.kmeans.sse.unwrap() - serial.sse.unwrap()).abs() / serial.sse.unwrap();
+        assert!(rel < 1e-9, "SSE diverged: {rel}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn clause1_actually_saves_io() {
+        // k matches the 16 planted clusters, so points root firmly and
+        // Clause 1 dominates — the regime the paper's Friendster data is in.
+        let (data, path) = write_mixture(2000, 8, 22, "clause1");
+        let k = 16;
+        // k-means++ spreads the seeds across the planted blobs, the regime
+        // where points root firmly and Clause 1 dominates.
+        let init = InitMethod::PlusPlus.initialize(&data, k, 1).to_matrix();
+        let run = |pruning: Pruning| {
+            SemKmeans::new(
+                SemConfig::new(k)
+                    .with_init(SemInit::Given(init.clone()))
+                    .with_threads(2)
+                    .with_task_size(128)
+                    .with_page_size(256)
+                    .with_pruning(pruning)
+                    .with_row_cache_bytes(0) // isolate the Clause-1 effect
+                    .with_max_iters(40),
+            )
+            .fit(&path)
+            .unwrap()
+        };
+        let knors = run(Pruning::Mti);
+        let knors_minus = run(Pruning::None);
+        let req: u64 = knors.io.iter().map(|i| i.bytes_requested).sum();
+        let req_minus: u64 = knors_minus.io.iter().map(|i| i.bytes_requested).sum();
+        assert!(
+            req * 2 < req_minus,
+            "MTI should cut requested bytes substantially: {req} vs {req_minus}"
+        );
+        // Without pruning every iteration requests the full matrix.
+        let per_iter = 2000u64 * 8 * 8;
+        for it in &knors_minus.io {
+            assert_eq!(it.bytes_requested, per_iter);
+            assert_eq!(it.active_rows, 2000);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn row_cache_reduces_device_reads() {
+        let (data, path) = write_mixture(2000, 16, 23, "rc");
+        let k = 6;
+        let init = forgy(&data, k, 2);
+        let run = |rc_bytes: u64| {
+            SemKmeans::new(
+                SemConfig::new(k)
+                    .with_init(SemInit::Given(init.clone()))
+                    .with_threads(2)
+                    .with_task_size(128)
+                    .with_page_size(4096)
+                    .with_page_cache_bytes(16 * 4096) // small: rows >> page cache
+                    .with_row_cache_bytes(rc_bytes)
+                    .with_cache_interval(2)
+                    .with_max_iters(40),
+            )
+            .fit(&path)
+            .unwrap()
+        };
+        let with_rc = run(4 << 20);
+        let without_rc = run(0);
+        let read_with: u64 = with_rc.io.iter().map(|i| i.bytes_read).sum();
+        let read_without: u64 = without_rc.io.iter().map(|i| i.bytes_read).sum();
+        assert!(
+            read_with < read_without,
+            "row cache should cut device bytes: {read_with} vs {read_without}"
+        );
+        // RC hits happen after the first refresh.
+        let hits: u64 = with_rc.io.iter().map(|i| i.rc_hits).sum();
+        assert!(hits > 0);
+        assert_eq!(without_rc.io.iter().map(|i| i.rc_hits).sum::<u64>(), 0);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn active_set_collapses_on_rooted_clusters() {
+        // The Fig. 6a/7 premise: once clusters root, the Clause-1 active set
+        // shrinks to a small, stable subset.
+        let (data, path) = write_mixture(2000, 8, 22, "dyn");
+        let k = 16;
+        let init = InitMethod::PlusPlus.initialize(&data, k, 1).to_matrix();
+        let r = SemKmeans::new(
+            SemConfig::new(k)
+                .with_init(SemInit::Given(init))
+                .with_threads(2)
+                .with_task_size(128)
+                .with_page_size(256)
+                .with_pruning(Pruning::Mti)
+                .with_row_cache_bytes(0)
+                .with_max_iters(40),
+        )
+        .fit(&path)
+        .unwrap();
+        assert_eq!(r.io[0].active_rows, 2000, "first pass touches everything");
+        for io in &r.io[1..] {
+            // Steady active set = diffuse noise + boundary points + any
+            // split-seeded cluster; well under half the data either way.
+            assert!(
+                io.active_rows < 2000 * 35 / 100,
+                "iter {}: active set did not collapse ({} rows)",
+                io.iter,
+                io.active_rows
+            );
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn forgy_init_from_device_works() {
+        let (_, path) = write_mixture(800, 4, 24, "forgy");
+        let r = SemKmeans::new(
+            SemConfig::new(5)
+                .with_threads(2)
+                .with_page_size(256)
+                .with_task_size(64)
+                .with_seed(9)
+                .with_max_iters(50),
+        )
+        .fit(&path)
+        .unwrap();
+        assert!(r.kmeans.converged);
+        assert_eq!(r.kmeans.assignments.len(), 800);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn prefetch_pipeline_matches_unprefetched() {
+        let (data, path) = write_mixture(1000, 8, 25, "prefetch");
+        let k = 6;
+        let init = forgy(&data, k, 3);
+        let base = SemConfig::new(k)
+            .with_init(SemInit::Given(init))
+            .with_threads(2)
+            .with_task_size(64)
+            .with_page_size(512)
+            .with_max_iters(40);
+        let plain = SemKmeans::new(base.clone()).fit(&path).unwrap();
+        let pre = SemKmeans::new(base.with_prefetch(true)).fit(&path).unwrap();
+        assert_eq!(plain.kmeans.niters, pre.kmeans.niters);
+        assert!(agreement(&plain.kmeans.assignments, &pre.kmeans.assignments, k) > 0.999);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn sem_memory_is_o_of_n_not_nd() {
+        let (_, path) = write_mixture(1000, 32, 26, "mem");
+        let r = SemKmeans::new(
+            SemConfig::new(4)
+                .with_threads(2)
+                .with_page_size(4096)
+                .with_row_cache_bytes(1 << 16)
+                .with_page_cache_bytes(1 << 16)
+                .with_max_iters(5),
+        )
+        .fit(&path)
+        .unwrap();
+        assert_eq!(r.kmeans.memory.data_bytes, 0);
+        // per-row state is 12 bytes/row regardless of d.
+        assert_eq!(r.kmeans.memory.per_row_bytes, 1000 * 12);
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,53 @@
+//! Uniform / univariate random matrices — the paper's RM/RU worst-case
+//! convergence workloads (§8.8).
+
+use knor_matrix::DMatrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// `n x d` matrix with i.i.d. `U(0, 1)` entries ("Rand-Multivariate" style:
+/// no natural clusters, many points near several centroids).
+pub fn uniform_matrix(n: usize, d: usize, seed: u64) -> DMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..n * d).map(|_| rng.gen::<f64>()).collect();
+    DMatrix::from_vec(data, n, d)
+}
+
+/// `n x d` matrix where each *column* is drawn from its own uniform range
+/// (`U(0, j+1)` for column `j`) — a univariate-per-feature analogue of the
+/// paper's "Rand-Univariate" RU dataset.
+pub fn univariate_matrix(n: usize, d: usize, seed: u64) -> DMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut m = DMatrix::zeros(n, d);
+    for i in 0..n {
+        let row = m.row_mut(i);
+        for (j, x) in row.iter_mut().enumerate() {
+            *x = rng.gen_range(0.0..(j + 1) as f64);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_in_unit_cube_and_deterministic() {
+        let a = uniform_matrix(1000, 4, 9);
+        let b = uniform_matrix(1000, 4, 9);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = a.as_slice().iter().sum::<f64>() / a.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn univariate_column_ranges() {
+        let m = univariate_matrix(500, 3, 11);
+        for i in 0..500 {
+            let r = m.row(i);
+            assert!(r[0] < 1.0 && r[1] < 2.0 && r[2] < 3.0);
+        }
+    }
+}

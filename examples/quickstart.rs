@@ -1,0 +1,55 @@
+//! Quickstart: cluster a planted mixture with knori and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use knor::prelude::*;
+
+fn main() {
+    // A Friendster-eigenvector-like workload: 50K points, 8 dims, 16
+    // power-law-sized natural clusters (Table 2 at 1/1320 scale).
+    let planted = MixtureSpec::friendster_like(50_000, 8, 42).generate();
+    let k = 16;
+
+    let config = KmeansConfig::new(k)
+        .with_init(InitMethod::PlusPlus)
+        .with_seed(7)
+        .with_max_iters(100);
+    let t0 = std::time::Instant::now();
+    let result = Kmeans::new(config).fit(&planted.data);
+    let elapsed = t0.elapsed();
+
+    println!("knori quickstart");
+    println!("  n = {}, d = {}, k = {k}", planted.data.nrow(), planted.data.ncol());
+    println!(
+        "  converged = {} after {} iterations in {elapsed:.2?}",
+        result.converged, result.niters
+    );
+    println!("  SSE = {:.3}", result.sse.unwrap());
+    println!(
+        "  pruned {:.1}% of distance computations (MTI)",
+        100.0 * result.prune_fraction(planted.data.nrow() as u64, k as u64)
+    );
+    println!(
+        "  memory: {:.1} MB data + {:.2} MB engine state",
+        result.memory.data_bytes as f64 / 1e6,
+        (result.memory.total() - result.memory.data_bytes) as f64 / 1e6
+    );
+
+    // How well did we recover the planted centers?
+    let err = knor::core::quality::max_center_error(&result.centroids, &planted.centers);
+    println!("  max recovered-center error vs planted centers = {err:.3}");
+
+    // Per-iteration trace.
+    println!("\n  iter  reassigned  rows-touched  clause-1 skips");
+    for it in result.iters.iter().take(8) {
+        println!(
+            "  {:>4}  {:>10}  {:>12}  {:>14}",
+            it.iter, it.reassigned, it.rows_accessed, it.prune.clause1_rows
+        );
+    }
+    if result.niters > 8 {
+        println!("  ... ({} more iterations)", result.niters - 8);
+    }
+}

@@ -1,0 +1,196 @@
+//! The `knor` command-line utility: cluster a knor-format binary matrix
+//! with the in-memory, semi-external-memory, or simulated-distributed
+//! engine — mirroring the original project's `knori`/`knors`/`knord`
+//! binaries.
+//!
+//! ```text
+//! knor im   <file.knor> -k 10 [-i 100] [-t N] [--no-prune] [--init pp|forgy|random]
+//! knor sem  <file.knor> -k 10 [--row-cache MB] [--page-cache MB]
+//! knor dist <file.knor> -k 10 [--ranks R] [--star]
+//! knor gen  <file.knor> --dataset friendster8|friendster32|rm856m|rm1b|ru2b --scale f
+//! ```
+
+use knor::prelude::*;
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Opts {
+    file: PathBuf,
+    k: usize,
+    iters: usize,
+    threads: Option<usize>,
+    prune: bool,
+    init: String,
+    seed: u64,
+    row_cache_mb: u64,
+    page_cache_mb: u64,
+    ranks: usize,
+    star: bool,
+    dataset: String,
+    scale: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: knor <im|sem|dist|gen> <file.knor> [-k K] [-i ITERS] [-t THREADS]\n\
+         \x20          [--no-prune] [--init pp|forgy|random] [--seed S]\n\
+         \x20          [--row-cache MB] [--page-cache MB]   (sem)\n\
+         \x20          [--ranks R] [--star]                 (dist)\n\
+         \x20          [--dataset NAME] [--scale F]         (gen)"
+    );
+    exit(2)
+}
+
+fn parse(args: &[String]) -> (String, Opts) {
+    if args.len() < 2 {
+        usage();
+    }
+    let mode = args[0].clone();
+    let mut o = Opts {
+        file: PathBuf::from(&args[1]),
+        k: 10,
+        iters: 100,
+        threads: None,
+        prune: true,
+        init: "pp".into(),
+        seed: 1,
+        row_cache_mb: 512,
+        page_cache_mb: 1024,
+        ranks: 4,
+        star: false,
+        dataset: "friendster8".into(),
+        scale: 0.001,
+    };
+    let mut i = 2;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let val = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match flag {
+            "-k" => o.k = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "-i" | "--iters" => o.iters = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "-t" | "--threads" => {
+                o.threads = Some(val(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--no-prune" => o.prune = false,
+            "--init" => o.init = val(&mut i),
+            "--seed" => o.seed = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--row-cache" => o.row_cache_mb = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--page-cache" => {
+                o.page_cache_mb = val(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--ranks" => o.ranks = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--star" => o.star = true,
+            "--dataset" => o.dataset = val(&mut i),
+            "--scale" => o.scale = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    (mode, o)
+}
+
+fn init_method(o: &Opts) -> InitMethod {
+    match o.init.as_str() {
+        "pp" | "kmeanspp" => InitMethod::PlusPlus,
+        "forgy" => InitMethod::Forgy,
+        "random" => InitMethod::RandomPartition,
+        other => {
+            eprintln!("unknown init '{other}'");
+            usage()
+        }
+    }
+}
+
+fn pruning(o: &Opts) -> Pruning {
+    if o.prune {
+        Pruning::Mti
+    } else {
+        Pruning::None
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, o) = parse(&args);
+    match mode.as_str() {
+        "gen" => {
+            let ds = match o.dataset.to_lowercase().as_str() {
+                "friendster8" => PaperDataset::Friendster8,
+                "friendster32" => PaperDataset::Friendster32,
+                "rm856m" => PaperDataset::RM856M,
+                "rm1b" => PaperDataset::RM1B,
+                "ru2b" => PaperDataset::RU2B,
+                other => {
+                    eprintln!("unknown dataset '{other}'");
+                    usage()
+                }
+            };
+            let g = ds.generate(o.scale, o.seed);
+            matrix_io::write_matrix(&o.file, &g.data).expect("write failed");
+            println!(
+                "wrote {} ({} x {}, {:.1} MB) to {}",
+                ds.name(),
+                g.data.nrow(),
+                g.data.ncol(),
+                g.bytes() as f64 / 1e6,
+                o.file.display()
+            );
+        }
+        "im" => {
+            let data = matrix_io::read_matrix(&o.file).expect("read failed");
+            let mut cfg = KmeansConfig::new(o.k)
+                .with_init(init_method(&o))
+                .with_seed(o.seed)
+                .with_pruning(pruning(&o))
+                .with_max_iters(o.iters);
+            if let Some(t) = o.threads {
+                cfg = cfg.with_threads(t);
+            }
+            let t0 = std::time::Instant::now();
+            let r = Kmeans::new(cfg).fit(&data);
+            report("knori", r.niters, r.converged, r.sse, t0.elapsed());
+        }
+        "sem" => {
+            let mut cfg = SemConfig::new(o.k)
+                .with_seed(o.seed)
+                .with_pruning(pruning(&o))
+                .with_row_cache_bytes(o.row_cache_mb << 20)
+                .with_page_cache_bytes(o.page_cache_mb << 20)
+                .with_max_iters(o.iters)
+                .with_sse(true);
+            if let Some(t) = o.threads {
+                cfg = cfg.with_threads(t);
+            }
+            let t0 = std::time::Instant::now();
+            let r = SemKmeans::new(cfg).fit(&o.file).expect("SEM run failed");
+            report("knors", r.kmeans.niters, r.kmeans.converged, r.kmeans.sse, t0.elapsed());
+            let read: u64 = r.io.iter().map(|i| i.bytes_read).sum();
+            println!("device bytes read: {:.1} MB", read as f64 / 1e6);
+        }
+        "dist" => {
+            let data = matrix_io::read_matrix(&o.file).expect("read failed");
+            let threads = o.threads.unwrap_or(2);
+            let cfg = DistConfig::new(o.k, o.ranks, threads)
+                .with_init(init_method(&o))
+                .with_seed(o.seed)
+                .with_pruning(pruning(&o))
+                .with_reduce(if o.star { ReduceAlgo::Star } else { ReduceAlgo::Ring })
+                .with_max_iters(o.iters)
+                .with_sse(true);
+            let t0 = std::time::Instant::now();
+            let r = DistKmeans::new(cfg).fit(&data);
+            report("knord", r.niters, r.converged, r.sse, t0.elapsed());
+        }
+        _ => usage(),
+    }
+}
+
+fn report(name: &str, niters: usize, converged: bool, sse: Option<f64>, t: std::time::Duration) {
+    println!("{name}: {niters} iterations in {t:.2?} (converged = {converged})");
+    if let Some(s) = sse {
+        println!("SSE = {s:.4}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Cross-module equivalence: every knor module and baseline must produce
+//! the *same clustering* from the same initialization — the paper's claim
+//! that knori/knors/knord and the frameworks run identical algorithms.
+
+use knor::prelude::*;
+use knor_baselines::gemm::gemm_lloyd;
+use knor_baselines::mapreduce::{FrameworkProfile, MapReduceKmeans};
+use knor_core::quality::{agreement, max_center_error, sse};
+use knor_core::serial::lloyd_serial;
+
+fn workload(n: usize, d: usize, seed: u64) -> (DMatrix, DMatrix) {
+    let planted = MixtureSpec::friendster_like(n, d, seed).generate();
+    (planted.data, planted.centers)
+}
+
+#[test]
+fn all_modules_agree_on_one_init() {
+    let (data, _) = workload(3000, 8, 101);
+    let k = 12;
+    let init = InitMethod::PlusPlus.initialize(&data, k, 17).to_matrix();
+    let max_iters = 80;
+
+    let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, max_iters, 0.0);
+    assert!(serial.converged, "reference run must converge");
+    let reference_sse = serial.sse.unwrap();
+
+    // knori, pruned and unpruned.
+    for pruning in [Pruning::Mti, Pruning::None] {
+        let r = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init.clone()))
+                .with_pruning(pruning)
+                .with_threads(3)
+                .with_max_iters(max_iters),
+        )
+        .fit(&data);
+        assert_eq!(r.niters, serial.niters, "knori({pruning:?}) trajectory diverged");
+        assert!(agreement(&r.assignments, &serial.assignments, k) > 0.999);
+        let rel = (r.sse.unwrap() - reference_sse).abs() / reference_sse;
+        assert!(rel < 1e-9, "knori({pruning:?}) SSE off by {rel}");
+    }
+
+    // knors from a file.
+    let mut path = std::env::temp_dir();
+    path.push(format!("knor-cross-{}.knor", std::process::id()));
+    matrix_io::write_matrix(&path, &data).unwrap();
+    let sem = SemKmeans::new(
+        SemConfig::new(k)
+            .with_init(SemInit::Given(init.clone()))
+            .with_threads(2)
+            .with_page_size(512)
+            .with_task_size(256)
+            .with_max_iters(max_iters)
+            .with_sse(true),
+    )
+    .fit(&path)
+    .unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(sem.kmeans.niters, serial.niters, "knors trajectory diverged");
+    assert!(agreement(&sem.kmeans.assignments, &serial.assignments, k) > 0.999);
+
+    // knord across 3 ranks.
+    let dist = DistKmeans::new(
+        DistConfig::new(k, 3, 2)
+            .with_init(InitMethod::Given(init.clone()))
+            .with_max_iters(max_iters)
+            .with_sse(true),
+    )
+    .fit(&data);
+    assert_eq!(dist.niters, serial.niters, "knord trajectory diverged");
+    assert!(agreement(&dist.assignments, &serial.assignments, k) > 0.999);
+
+    // GEMM and framework personas.
+    let g = gemm_lloyd(&data, &init, max_iters);
+    assert!(agreement(&g.assignments, &serial.assignments, k) > 0.999);
+    let mr = MapReduceKmeans::new(FrameworkProfile::mllib_like(), 4)
+        .fit(&data, &init, max_iters);
+    assert!(agreement(&mr.assignments, &serial.assignments, k) > 0.999);
+    let mr_sse = sse(&data, &mr.centroids, &mr.assignments);
+    assert!((mr_sse - reference_sse).abs() / reference_sse < 1e-9);
+}
+
+#[test]
+fn planted_centers_recovered_by_every_module() {
+    // Noise-free mixture: center recovery is only well-posed when every
+    // point belongs to a component (the default spec carries 2% diffuse
+    // background mass, under which a centroid may legitimately park on a
+    // noise pocket).
+    let planted = knor_workloads::MixtureSpec {
+        noise: 0.0,
+        ..knor_workloads::MixtureSpec::friendster_like(4000, 8, 202)
+    }
+    .generate();
+    let (data, centers) = (planted.data, planted.centers);
+    let k = 16;
+    let init = InitMethod::PlusPlus.initialize(&data, k, 4).to_matrix();
+
+    let knori = Kmeans::new(
+        KmeansConfig::new(k).with_init(InitMethod::Given(init.clone())).with_max_iters(100),
+    )
+    .fit(&data);
+    // Recovered centers should sit within a small multiple of sigma (0.5)
+    // of the planted ones.
+    let err = max_center_error(&knori.centroids, &centers);
+    assert!(err < 1.5, "knori center error {err}");
+
+    let dist = DistKmeans::new(
+        DistConfig::new(k, 2, 2).with_init(InitMethod::Given(init)).with_max_iters(100),
+    )
+    .fit(&data);
+    let err = max_center_error(&dist.centroids, &centers);
+    assert!(err < 1.5, "knord center error {err}");
+}
+
+#[test]
+fn sem_under_tight_memory_budget_still_correct() {
+    // knors with pathologically small caches must stay correct (only
+    // slower) — correctness never depends on cache hits.
+    let (data, _) = workload(1500, 16, 303);
+    let k = 8;
+    let init = InitMethod::PlusPlus.initialize(&data, k, 2).to_matrix();
+    let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 60, 0.0);
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("knor-tight-{}.knor", std::process::id()));
+    matrix_io::write_matrix(&path, &data).unwrap();
+    let sem = SemKmeans::new(
+        SemConfig::new(k)
+            .with_init(SemInit::Given(init))
+            .with_threads(2)
+            .with_page_size(256)
+            .with_page_cache_bytes(1024) // 4 pages
+            .with_row_cache_bytes(512) // 4 rows
+            .with_task_size(64)
+            .with_max_iters(60),
+    )
+    .fit(&path)
+    .unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(sem.kmeans.niters, serial.niters);
+    assert!(agreement(&sem.kmeans.assignments, &serial.assignments, k) > 0.999);
+}
+
+#[test]
+fn uniform_worst_case_converges_everywhere() {
+    // RM-style uniform data: the paper's worst case for convergence. Cap
+    // iterations and verify every module walks the same trajectory.
+    let data = knor_workloads::uniform_matrix(2000, 8, 404);
+    let k = 10;
+    let init = InitMethod::Forgy.initialize(&data, k, 9).to_matrix();
+    let iters = 15;
+
+    let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, iters, 0.0);
+    let knori = Kmeans::new(
+        KmeansConfig::new(k)
+            .with_init(InitMethod::Given(init.clone()))
+            .with_threads(2)
+            .with_max_iters(iters),
+    )
+    .fit(&data);
+    let dist = DistKmeans::new(
+        DistConfig::new(k, 2, 1).with_init(InitMethod::Given(init)).with_max_iters(iters),
+    )
+    .fit(&data);
+    assert_eq!(knori.niters, serial.niters);
+    assert_eq!(dist.niters, serial.niters);
+    assert!(agreement(&knori.assignments, &serial.assignments, k) > 0.995);
+    assert!(agreement(&dist.assignments, &serial.assignments, k) > 0.995);
+}

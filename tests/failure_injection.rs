@@ -1,0 +1,88 @@
+//! Failure injection: corrupted inputs and degenerate configurations must
+//! fail loudly and cleanly, never silently mis-cluster.
+
+use knor::prelude::*;
+use knor_safs::RowStore;
+use std::io::Write;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("knor-failinj-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn corrupt_magic_is_rejected() {
+    let p = tmp("magic.knor");
+    std::fs::write(&p, b"NOTAKNORFILE____________________").unwrap();
+    assert!(RowStore::open(&p, 4096).is_err());
+    assert!(SemKmeans::new(SemConfig::new(2)).fit(&p).is_err());
+    std::fs::remove_file(&p).unwrap();
+}
+
+#[test]
+fn truncated_payload_errors_on_read() {
+    // Valid header claiming 1000 rows, but payload cut short.
+    let data = MixtureSpec::friendster_like(1000, 4, 1).generate().data;
+    let p = tmp("trunc.knor");
+    matrix_io::write_matrix(&p, &data).unwrap();
+    let full = std::fs::read(&p).unwrap();
+    let mut f = std::fs::File::create(&p).unwrap();
+    f.write_all(&full[..full.len() / 2]).unwrap();
+    drop(f);
+    // Open succeeds (header intact); reading the missing tail must error.
+    let store = RowStore::open(&p, 256).unwrap();
+    let mut buf = vec![0u8; 256];
+    let last_page = store.npages() - 1;
+    assert!(store.read_page(last_page, &mut buf).is_err());
+    // And a full SEM run surfaces the failure rather than mis-clustering.
+    let result = std::panic::catch_unwind(|| {
+        SemKmeans::new(SemConfig::new(2).with_threads(1).with_page_size(256)).fit(&p)
+    });
+    match result {
+        Ok(Ok(_)) => panic!("truncated file must not cluster successfully"),
+        Ok(Err(_)) | Err(_) => {} // io error or engine panic: both loud
+    }
+    std::fs::remove_file(&p).unwrap();
+}
+
+#[test]
+fn missing_file_is_an_error() {
+    let p = tmp("missing.knor");
+    assert!(SemKmeans::new(SemConfig::new(2)).fit(&p).is_err());
+    assert!(matrix_io::read_matrix(&p).is_err());
+}
+
+#[test]
+#[should_panic(expected = "exceeds n")]
+fn k_larger_than_n_panics() {
+    let data = DMatrix::zeros(3, 2);
+    let _ = Kmeans::new(KmeansConfig::new(5)).fit(&data);
+}
+
+#[test]
+#[should_panic]
+fn given_init_with_wrong_shape_panics() {
+    let data = MixtureSpec::friendster_like(100, 4, 2).generate().data;
+    let bad = DMatrix::zeros(3, 7); // wrong d
+    let _ = Kmeans::new(KmeansConfig::new(3).with_init(InitMethod::Given(bad))).fit(&data);
+}
+
+#[test]
+fn zero_rows_of_noise_only_data_still_terminates() {
+    // Pathological: all points identical. Must converge, not spin.
+    let data = DMatrix::from_vec(vec![1.0; 50 * 4], 50, 4);
+    let r = Kmeans::new(KmeansConfig::new(3).with_seed(1).with_max_iters(10)).fit(&data);
+    assert!(r.niters <= 10);
+    assert!(r.centroids.as_slice().iter().all(|x| x.is_finite()));
+    assert!(r.sse.unwrap() < 1e-18);
+}
+
+#[test]
+fn dist_with_more_ranks_than_rows_is_clean() {
+    let data = MixtureSpec::friendster_like(6, 3, 3).generate().data;
+    let r = DistKmeans::new(DistConfig::new(2, 4, 1).with_seed(2).with_max_iters(20))
+        .fit(&data);
+    assert_eq!(r.assignments.len(), 6);
+    assert!(r.converged);
+}

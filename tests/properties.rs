@@ -1,0 +1,126 @@
+//! Property-based tests over the public API.
+
+use knor::prelude::*;
+use knor_core::quality::agreement;
+use knor_core::serial::lloyd_serial;
+use proptest::prelude::*;
+
+fn arb_matrix(max_n: usize, max_d: usize) -> impl Strategy<Value = DMatrix> {
+    (2usize..max_n, 1usize..max_d).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-100.0f64..100.0, n * d)
+            .prop_map(move |v| DMatrix::from_vec(v, n, d))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MTI pruning is exact: pruned and unpruned runs walk identical
+    /// trajectories on arbitrary data (ties are measure-zero for random
+    /// floats).
+    #[test]
+    fn mti_never_changes_the_result(data in arb_matrix(120, 6), k in 2usize..8) {
+        prop_assume!(k <= data.nrow());
+        let init = InitMethod::Forgy.initialize(&data, k, 1).to_matrix();
+        let base = KmeansConfig::new(k)
+            .with_init(InitMethod::Given(init))
+            .with_threads(1)
+            .with_scheduler(SchedulerKind::Static)
+            .with_max_iters(30);
+        let pruned = Kmeans::new(base.clone().with_pruning(Pruning::Mti)).fit(&data);
+        let full = Kmeans::new(base.with_pruning(Pruning::None)).fit(&data);
+        prop_assert_eq!(pruned.niters, full.niters);
+        prop_assert_eq!(&pruned.assignments, &full.assignments);
+        for (a, b) in pruned.centroids.as_slice().iter().zip(full.centroids.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-9_f64.max(b.abs() * 1e-9));
+        }
+    }
+
+    /// The parallel engine at one thread reproduces serial Lloyd's
+    /// bit-for-bit.
+    #[test]
+    fn one_thread_engine_is_serial(data in arb_matrix(100, 5), k in 1usize..6) {
+        prop_assume!(k <= data.nrow());
+        let init = InitMethod::Forgy.initialize(&data, k, 2).to_matrix();
+        let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 25, 0.0);
+        let par = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init))
+                .with_threads(1)
+                .with_scheduler(SchedulerKind::Static)
+                .with_pruning(Pruning::None)
+                .with_max_iters(25),
+        )
+        .fit(&data);
+        prop_assert_eq!(par.assignments, serial.assignments);
+        prop_assert_eq!(par.centroids, serial.centroids);
+    }
+
+    /// SSE never increases across Lloyd's iterations (the monotone
+    /// convergence invariant), checked through the serial reference.
+    #[test]
+    fn lloyds_descends(data in arb_matrix(80, 4), k in 1usize..5) {
+        prop_assume!(k <= data.nrow());
+        let r = lloyd_serial(&data, k, &InitMethod::Forgy, 3, 20, 0.0);
+        // Recompute SSE against the final centroids with optimal
+        // assignment: must not beat the reported one by more than epsilon.
+        let opt = knor_core::quality::sse_optimal_assignment(&data, &r.centroids);
+        prop_assert!(opt <= r.sse.unwrap() * (1.0 + 1e-12) + 1e-9);
+    }
+
+    /// Matrix binary format round-trips arbitrary finite data.
+    #[test]
+    fn matrix_io_round_trips(data in arb_matrix(60, 6)) {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "knor-prop-io-{}-{}.knor",
+            std::process::id(),
+            data.nrow() * 31 + data.ncol()
+        ));
+        matrix_io::write_matrix(&path, &data).unwrap();
+        let back = matrix_io::read_matrix(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Thread count never changes the clustering (only the schedule).
+    #[test]
+    fn thread_count_invariance(seed in 0u64..500, threads in 2usize..6) {
+        let data = MixtureSpec::friendster_like(400, 4, seed).generate().data;
+        let k = 5;
+        let init = InitMethod::Forgy.initialize(&data, k, seed).to_matrix();
+        let a = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init.clone()))
+                .with_threads(1)
+                .with_max_iters(40),
+        )
+        .fit(&data);
+        let b = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init))
+                .with_threads(threads)
+                .with_max_iters(40),
+        )
+        .fit(&data);
+        prop_assert_eq!(a.niters, b.niters);
+        prop_assert!(agreement(&a.assignments, &b.assignments, k) > 0.999);
+    }
+
+    /// Distributed rank count never changes the clustering.
+    #[test]
+    fn rank_count_invariance(seed in 0u64..200, ranks in 1usize..5) {
+        let data = MixtureSpec::friendster_like(300, 4, seed).generate().data;
+        let k = 4;
+        let init = InitMethod::Forgy.initialize(&data, k, seed ^ 7).to_matrix();
+        let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 30, 0.0);
+        let dist = DistKmeans::new(
+            DistConfig::new(k, ranks, 1)
+                .with_init(InitMethod::Given(init))
+                .with_max_iters(30),
+        )
+        .fit(&data);
+        prop_assert_eq!(dist.niters, serial.niters);
+        prop_assert!(agreement(&dist.assignments, &serial.assignments, k) > 0.999);
+    }
+}
