@@ -68,8 +68,8 @@ pub fn elkan_full_ti(data: &DMatrix, init: &DMatrix, max_iters: usize) -> ElkanR
             accum.add(best, v);
         }
         finalize_means(&accum.sums, &accum.counts, &cents, &mut next);
-        for c in 0..k {
-            drift[c] = dist(cents.mean(c), next.mean(c));
+        for (c, dr) in drift.iter_mut().enumerate() {
+            *dr = dist(cents.mean(c), next.mean(c));
         }
         std::mem::swap(&mut cents, &mut next);
         total_ns += t0.elapsed().as_nanos() as u64;
@@ -136,8 +136,8 @@ pub fn elkan_full_ti(data: &DMatrix, init: &DMatrix, max_iters: usize) -> ElkanR
             accum.add(a, v);
         }
         finalize_means(&accum.sums, &accum.counts, &cents, &mut next);
-        for c in 0..k {
-            drift[c] = dist(cents.mean(c), next.mean(c));
+        for (c, dr) in drift.iter_mut().enumerate() {
+            *dr = dist(cents.mean(c), next.mean(c));
         }
         std::mem::swap(&mut cents, &mut next);
         total_ns += t0.elapsed().as_nanos() as u64;

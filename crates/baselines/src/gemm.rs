@@ -47,17 +47,15 @@ pub fn gemm_lloyd(data: &DMatrix, init: &DMatrix, max_iters: usize) -> SerialRun
     let mut assignments = vec![u32::MAX; n];
     let mut accum = LocalAccum::new(k, d);
     let mut prod = vec![0.0f64; n * k];
-    let x_norms: Vec<f64> =
-        data.rows().map(|r| r.iter().map(|v| v * v).sum::<f64>()).collect();
+    let x_norms: Vec<f64> = data.rows().map(|r| r.iter().map(|v| v * v).sum::<f64>()).collect();
     let mut iters = 0usize;
     let mut total_ns = 0u64;
 
     for _ in 0..max_iters {
         let t0 = std::time::Instant::now();
         accum.reset();
-        let c_norms: Vec<f64> = (0..k)
-            .map(|c| cents.mean(c).iter().map(|v| v * v).sum::<f64>())
-            .collect();
+        let c_norms: Vec<f64> =
+            (0..k).map(|c| cents.mean(c).iter().map(|v| v * v).sum::<f64>()).collect();
         matmul_nt(data.as_slice(), n, d, &cents.means, k, &mut prod);
         let mut changed = 0u64;
         for i in 0..n {

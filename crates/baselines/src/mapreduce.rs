@@ -158,16 +158,14 @@ impl MapReduceKmeans {
                 .collect();
 
             // Map phase: one task per partition, parallel.
-            let mut partials: Vec<(LocalAccum, Vec<u32>)> =
-                Vec::with_capacity(self.partitions);
+            let mut partials: Vec<(LocalAccum, Vec<u32>)> = Vec::with_capacity(self.partitions);
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for (p, range) in parts.iter().enumerate() {
                     let cents_copy = &broadcast[p];
                     let range = range.clone();
-                    handles.push(s.spawn(move || {
-                        map_task(data, range, cents_copy, k, d, &profile)
-                    }));
+                    handles
+                        .push(s.spawn(move || map_task(data, range, cents_copy, k, d, &profile)));
                 }
                 for h in handles {
                     partials.push(h.join().expect("map task panicked"));
@@ -249,16 +247,11 @@ fn map_task(
 }
 
 fn roundtrip_bytes(xs: &[f64]) -> Vec<f64> {
-    use bytes::{BufMut, BytesMut};
-    let mut buf = BytesMut::with_capacity(xs.len() * 8);
+    let mut buf = Vec::with_capacity(xs.len() * 8);
     for x in xs {
-        buf.put_f64_le(*x);
+        buf.extend_from_slice(&x.to_le_bytes());
     }
-    let frozen = buf.freeze();
-    frozen
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    buf.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
 }
 
 #[cfg(test)]

@@ -53,8 +53,7 @@ pub fn minibatch_kmeans(
         }
     }
 
-    let assignments: Vec<u32> =
-        data.rows().map(|v| nearest(v, &cents.means, k).0 as u32).collect();
+    let assignments: Vec<u32> = data.rows().map(|v| nearest(v, &cents.means, k).0 as u32).collect();
     MiniBatchRun { centroids: cents.to_matrix(), assignments, batches }
 }
 
@@ -71,10 +70,14 @@ mod tests {
         let data = MixtureSpec::friendster_like(2000, 8, 61).generate().data;
         let k = 8;
         let init = InitMethod::Forgy.initialize(&data, k, 8).to_matrix();
-        let before = sse(&data, &init, &data
-            .rows()
-            .map(|v| knor_core::distance::nearest(v, init.as_slice(), k).0 as u32)
-            .collect::<Vec<_>>());
+        let before = sse(
+            &data,
+            &init,
+            &data
+                .rows()
+                .map(|v| knor_core::distance::nearest(v, init.as_slice(), k).0 as u32)
+                .collect::<Vec<_>>(),
+        );
         let mb = minibatch_kmeans(&data, &init, 64, 100, 9);
         let mb_sse = sse(&data, &mb.centroids, &mb.assignments);
         assert!(mb_sse < before, "minibatch should improve on init");

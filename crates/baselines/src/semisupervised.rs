@@ -55,9 +55,9 @@ pub fn semisupervised_kmeanspp(
             class_counts[c] += 1;
         }
     }
-    for c in 0..nclasses {
-        assert!(class_counts[c] > 0, "class {c} has no labeled points");
-        let inv = 1.0 / class_counts[c] as f64;
+    for (c, &count) in class_counts.iter().enumerate().take(nclasses) {
+        assert!(count > 0, "class {c} has no labeled points");
+        let inv = 1.0 / count as f64;
         for m in cents.means[c * d..(c + 1) * d].iter_mut() {
             *m *= inv;
         }
@@ -94,8 +94,7 @@ pub fn semisupervised_kmeanspp(
 
     // Constrained Lloyd's.
     let mut next = Centroids::zeros(k, d);
-    let mut assignments: Vec<u32> =
-        labels.iter().map(|l| l.unwrap_or(u32::MAX)).collect();
+    let mut assignments: Vec<u32> = labels.iter().map(|l| l.unwrap_or(u32::MAX)).collect();
     let mut accum = LocalAccum::new(k, d);
     let mut iters = 0usize;
     for _ in 0..max_iters {
@@ -132,11 +131,7 @@ mod tests {
     use knor_core::quality::agreement;
     use knor_workloads::{Balance, MixtureSpec};
 
-    fn labeled_mixture(
-        n: usize,
-        frac: f64,
-        seed: u64,
-    ) -> (DMatrix, Vec<Option<u32>>, Vec<u32>) {
+    fn labeled_mixture(n: usize, frac: f64, seed: u64) -> (DMatrix, Vec<Option<u32>>, Vec<u32>) {
         let planted = MixtureSpec {
             n,
             d: 6,
@@ -149,11 +144,8 @@ mod tests {
         }
         .generate();
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 99);
-        let labels: Vec<Option<u32>> = planted
-            .labels
-            .iter()
-            .map(|&l| (rng.gen::<f64>() < frac).then_some(l))
-            .collect();
+        let labels: Vec<Option<u32>> =
+            planted.labels.iter().map(|&l| (rng.gen::<f64>() < frac).then_some(l)).collect();
         (planted.data, labels, planted.labels)
     }
 
@@ -175,12 +167,7 @@ mod tests {
         let r = semisupervised_kmeanspp(&data, &labels, 4, 4, 2, 80);
         // Class c == cluster c by construction: direct agreement, no
         // permutation matching needed.
-        let correct = r
-            .assignments
-            .iter()
-            .zip(&truth)
-            .filter(|(a, t)| a == t)
-            .count();
+        let correct = r.assignments.iter().zip(&truth).filter(|(a, t)| a == t).count();
         assert!(
             correct as f64 / truth.len() as f64 > 0.95,
             "only {correct}/{} recovered",

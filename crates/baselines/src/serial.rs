@@ -29,11 +29,7 @@ pub struct SerialRun {
 }
 
 /// C-style indexed-loop Lloyd's (no iterator fusion, per-element indexing).
-pub fn naive_indexed_lloyd(
-    data: &DMatrix,
-    init: &DMatrix,
-    max_iters: usize,
-) -> SerialRun {
+pub fn naive_indexed_lloyd(data: &DMatrix, init: &DMatrix, max_iters: usize) -> SerialRun {
     let n = data.nrow();
     let d = data.ncol();
     let k = init.nrow();
@@ -49,7 +45,7 @@ pub fn naive_indexed_lloyd(
         let t0 = std::time::Instant::now();
         accum.reset();
         let mut changed = 0u64;
-        for i in 0..n {
+        for (i, assigned) in assignments.iter_mut().enumerate().take(n) {
             let mut best = 0usize;
             let mut best_d = f64::INFINITY;
             for c in 0..k {
@@ -63,8 +59,8 @@ pub fn naive_indexed_lloyd(
                     best = c;
                 }
             }
-            if assignments[i] != best as u32 {
-                assignments[i] = best as u32;
+            if *assigned != best as u32 {
+                *assigned = best as u32;
                 changed += 1;
             }
             accum.add(best, &x[i * d..(i + 1) * d]);
@@ -103,15 +99,10 @@ pub fn alloc_heavy_lloyd(data: &DMatrix, init: &DMatrix, max_iters: usize) -> Se
         let t0 = std::time::Instant::now();
         accum.reset();
         let mut changed = 0u64;
-        for i in 0..n {
+        for (i, assigned) in assignments.iter_mut().enumerate().take(n) {
             let row: Vec<f64> = data.row(i).to_vec(); // per-record box
             let dists: Vec<f64> = (0..k)
-                .map(|c| {
-                    row.iter()
-                        .zip(cents.mean(c))
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum::<f64>()
-                })
+                .map(|c| row.iter().zip(cents.mean(c)).map(|(a, b)| (a - b) * (a - b)).sum::<f64>())
                 .collect(); // per-record temporary
             let best = dists
                 .iter()
@@ -119,8 +110,8 @@ pub fn alloc_heavy_lloyd(data: &DMatrix, init: &DMatrix, max_iters: usize) -> Se
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .map(|(c, _)| c)
                 .unwrap();
-            if assignments[i] != best as u32 {
-                assignments[i] = best as u32;
+            if *assigned != best as u32 {
+                *assigned = best as u32;
                 changed += 1;
             }
             accum.add(best, &row);

@@ -41,11 +41,7 @@ pub fn normalize_rows(m: &DMatrix) -> DMatrix {
 
 /// Run spherical k-means. `data` is normalized internally; `init` must be
 /// `k x d` (it is normalized too).
-pub fn spherical_kmeans(
-    data: &DMatrix,
-    init: &DMatrix,
-    max_iters: usize,
-) -> SphericalRun {
+pub fn spherical_kmeans(data: &DMatrix, init: &DMatrix, max_iters: usize) -> SphericalRun {
     let data = normalize_rows(data);
     let n = data.nrow();
     let d = data.ncol();
@@ -98,9 +94,7 @@ pub fn spherical_kmeans(
     let mean_cosine = data
         .rows()
         .zip(&assignments)
-        .map(|(row, &a)| {
-            row.iter().zip(cents.mean(a as usize)).map(|(x, y)| x * y).sum::<f64>()
-        })
+        .map(|(row, &a)| row.iter().zip(cents.mean(a as usize)).map(|(x, y)| x * y).sum::<f64>())
         .sum::<f64>()
         / n as f64;
 

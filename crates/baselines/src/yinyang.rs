@@ -80,13 +80,12 @@ pub fn yinyang_kmeans(data: &DMatrix, init: &DMatrix, max_iters: usize) -> Yinya
         }
         // Second-pass group lower bounds (min distance to any non-assigned
         // centroid of the group).
-        for c in 0..k {
+        for (c, &g) in group_of.iter().enumerate() {
             if c == best {
                 continue;
             }
             let dc = dist(v, cents.mean(c));
             counters.dist_computations += 1;
-            let g = group_of[c];
             if dc < lower[i * t + g] {
                 lower[i * t + g] = dc;
             }
@@ -96,16 +95,14 @@ pub fn yinyang_kmeans(data: &DMatrix, init: &DMatrix, max_iters: usize) -> Yinya
         accum.add(best, v);
     }
     finalize_means(&accum.sums, &accum.counts, &cents, &mut next);
-    for c in 0..k {
-        drift[c] = dist(cents.mean(c), next.mean(c));
+    for (c, dr) in drift.iter_mut().enumerate() {
+        *dr = dist(cents.mean(c), next.mean(c));
     }
     std::mem::swap(&mut cents, &mut next);
     iters += 1;
 
     for _ in 1..max_iters {
-        for g in 0..t {
-            group_drift[g] = 0.0;
-        }
+        group_drift.fill(0.0);
         for c in 0..k {
             let g = group_of[c];
             if drift[c] > group_drift[g] {
@@ -180,8 +177,8 @@ pub fn yinyang_kmeans(data: &DMatrix, init: &DMatrix, max_iters: usize) -> Yinya
             accum.add(a, v);
         }
         finalize_means(&accum.sums, &accum.counts, &cents, &mut next);
-        for c in 0..k {
-            drift[c] = dist(cents.mean(c), next.mean(c));
+        for (c, dr) in drift.iter_mut().enumerate() {
+            *dr = dist(cents.mean(c), next.mean(c));
         }
         std::mem::swap(&mut cents, &mut next);
         iters += 1;
@@ -222,8 +219,7 @@ mod tests {
         let data = MixtureSpec::friendster_like(1000, 8, 71).generate().data;
         let k = 20; // t = 2 groups
         let init = InitMethod::PlusPlus.initialize(&data, k, 9).to_matrix();
-        let reference =
-            lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 80, 0.0);
+        let reference = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 80, 0.0);
         let y = yinyang_kmeans(&data, &init, 80);
         assert_eq!(y.ngroups, 2);
         let y_sse = sse(&data, &y.centroids, &y.assignments);

@@ -65,10 +65,7 @@ fn bench_task_size(c: &mut Criterion) {
                 run(
                     &data,
                     &init,
-                    KmeansConfig::new(16)
-                        .with_task_size(ts)
-                        .with_max_iters(8)
-                        .with_sse(false),
+                    KmeansConfig::new(16).with_task_size(ts).with_max_iters(8).with_sse(false),
                 )
             })
         });

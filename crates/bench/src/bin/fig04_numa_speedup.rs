@@ -58,9 +58,7 @@ fn main() {
     let init = InitMethod::PlusPlus.initialize(&data, k, args.seed).to_matrix();
     let iters = args.iters.min(8);
 
-    println!(
-        "Figure 4: modeled speedup on the paper machine (4 nodes x 12 cores, SMT to 64)"
-    );
+    println!("Figure 4: modeled speedup on the paper machine (4 nodes x 12 cores, SMT to 64)");
     println!("workload: Friendster-8 at scale {} (n={}), k={k}\n", args.scale, data.nrow());
 
     let thread_counts = [1usize, 2, 4, 8, 16, 32, 48, 64];
@@ -78,17 +76,11 @@ fn main() {
         let obl = modeled_iter_ns(&data, &init, t, false, iters);
         let sa = base_aware / aware;
         let so = base_obl / obl;
-        println!(
-            "{t:>7} {:>14} {sa:>9.2} {:>14} {so:>11.2} {t:>7}",
-            fmt_ns(aware),
-            fmt_ns(obl)
-        );
+        println!("{t:>7} {:>14} {sa:>9.2} {:>14} {so:>11.2} {t:>7}", fmt_ns(aware), fmt_ns(obl));
         out.push_str(&format!("{t}\t{aware}\t{sa}\t{obl}\t{so}\n"));
         last = (aware, obl);
     }
-    println!(
-        "\nShape check (paper: NUMA-aware ~6x faster than oblivious at 64 threads):"
-    );
+    println!("\nShape check (paper: NUMA-aware ~6x faster than oblivious at 64 threads):");
     println!("  oblivious/aware time ratio at 64 threads = {:.2}x", last.1 / last.0);
     save_results("fig04_numa_speedup.tsv", &out);
 }

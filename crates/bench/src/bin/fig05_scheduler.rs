@@ -33,10 +33,9 @@ fn main() {
         let init = InitMethod::PlusPlus.initialize(&data, k, args.seed).to_matrix();
         let mut row = [0.0f64; 3];
         let mut steal_note = String::new();
-        for (i, sched) in
-            [SchedulerKind::NumaAware, SchedulerKind::Fifo, SchedulerKind::Static]
-                .into_iter()
-                .enumerate()
+        for (i, sched) in [SchedulerKind::NumaAware, SchedulerKind::Fifo, SchedulerKind::Static]
+            .into_iter()
+            .enumerate()
         {
             let r = Kmeans::new(
                 KmeansConfig::new(k)

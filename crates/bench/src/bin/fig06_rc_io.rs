@@ -52,7 +52,11 @@ fn main() {
         args.scale,
         fmt_bytes(data_bytes as f64)
     );
-    println!("row cache = {}, page cache = {}\n", fmt_bytes(rc_bytes as f64), fmt_bytes(pc_bytes as f64));
+    println!(
+        "row cache = {}, page cache = {}\n",
+        fmt_bytes(rc_bytes as f64),
+        fmt_bytes(pc_bytes as f64)
+    );
 
     let knors = run(Pruning::Mti, rc_bytes);
     let no_rc = run(Pruning::Mti, 0); // knors-
@@ -96,13 +100,27 @@ fn main() {
 
     println!("\n(6b) run totals (log scale in the paper):");
     println!("{:<10} {:>14} {:>14}", "variant", "requested", "read from dev");
-    println!("{:<10} {:>14} {:>14}", "knors", fmt_bytes(req_full as f64), fmt_bytes(read_full as f64));
-    println!("{:<10} {:>14} {:>14}", "knors-", fmt_bytes(req_norc as f64), fmt_bytes(read_norc as f64));
-    println!("{:<10} {:>14} {:>14}", "knors--", fmt_bytes(req_mm as f64), fmt_bytes(read_mm as f64));
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "knors",
+        fmt_bytes(req_full as f64),
+        fmt_bytes(read_full as f64)
+    );
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "knors-",
+        fmt_bytes(req_norc as f64),
+        fmt_bytes(read_norc as f64)
+    );
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "knors--",
+        fmt_bytes(req_mm as f64),
+        fmt_bytes(read_mm as f64)
+    );
     // Steady state: the last iterations, where the RC is populated.
-    let steady = |r: &SemResult| {
-        r.io.iter().rev().take(2).map(|i| i.bytes_read).sum::<u64>() as f64 / 2.0
-    };
+    let steady =
+        |r: &SemResult| r.io.iter().rev().take(2).map(|i| i.bytes_read).sum::<u64>() as f64 / 2.0;
     let ratio = steady(&no_rc) / steady(&knors).max(1.0);
     let ratio_str =
         if ratio > 100.0 { ">100x (reads hit zero)".to_string() } else { format!("{ratio:.1}x") };

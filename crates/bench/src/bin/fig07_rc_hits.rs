@@ -36,13 +36,17 @@ fn main() {
     std::fs::remove_file(&path).unwrap();
 
     println!(
-        "Figure 7: row-cache hits vs active points, Friendster-32 at scale {} (n={n}), k={k}", args.scale
+        "Figure 7: row-cache hits vs active points, Friendster-32 at scale {} (n={n}), k={k}",
+        args.scale
     );
     println!(
         "refresh schedule: {} (I_cache = 2 at harness scale)\n",
         if lazy { "lazy exponential (paper)" } else { "fixed period (ablation)" }
     );
-    println!("{:>5} {:>12} {:>12} {:>8} {:>9}", "iter", "active pts", "cache hits", "hit %", "refresh");
+    println!(
+        "{:>5} {:>12} {:>12} {:>8} {:>9}",
+        "iter", "active pts", "cache hits", "hit %", "refresh"
+    );
     let mut out = String::from("iter\tactive\thits\n");
     for io in &result.io {
         let pct = if io.active_rows > 0 {

@@ -25,10 +25,7 @@ fn main() {
             ds.name(),
             args.scale
         );
-        println!(
-            "{:>5} {:>12} {:>12} {:>12} {:>12}",
-            "k", "knori", "knori-", "knors", "knors--"
-        );
+        println!("{:>5} {:>12} {:>12} {:>12} {:>12}", "k", "knori", "knori-", "knors", "knors--");
         for k in [10usize, 20, 50, 100] {
             let init = InitMethod::PlusPlus.initialize(&data, k, args.seed).to_matrix();
             let knori = |pruning: Pruning| {
@@ -98,6 +95,8 @@ fn main() {
             fmt_bytes(*e as f64)
         );
     }
-    println!("\nShape check (paper: MTI costs negligible extra memory; knors holds O(n), not O(nd)).");
+    println!(
+        "\nShape check (paper: MTI costs negligible extra memory; knors holds O(n), not O(nd))."
+    );
     save_results("fig08_mti.tsv", &out);
 }

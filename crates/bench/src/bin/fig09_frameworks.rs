@@ -56,8 +56,8 @@ fn main() {
             .unwrap();
             let persona = |p: FrameworkProfile| {
                 let r = MapReduceKmeans::new(p, args.threads).fit(&data, &init, args.iters);
-                let mean = r.iters.iter().map(|i| i.total_ns() as f64).sum::<f64>()
-                    / r.niters as f64;
+                let mean =
+                    r.iters.iter().map(|i| i.total_ns() as f64).sum::<f64>() / r.niters as f64;
                 (mean, r.memory_bytes)
             };
             let (h2o, h2o_mem) = persona(FrameworkProfile::h2o_like());

@@ -23,7 +23,14 @@ fn main() {
     );
     println!(
         "{:<8} {:>10} | {:>11} {:>11} {:>11} {:>11} | {:>11} {:>11}",
-        "dataset", "size", "knori t/it", "knors t/it", "MLlib t/it", "Turi t/it", "knori mem", "knors mem"
+        "dataset",
+        "size",
+        "knori t/it",
+        "knors t/it",
+        "MLlib t/it",
+        "Turi t/it",
+        "knori mem",
+        "knors mem"
     );
     let mut out = String::from("dataset\tknori_ns\tknors_ns\tmllib_ns\tturi_ns\n");
 
@@ -55,9 +62,8 @@ fn main() {
         let persona = |p: FrameworkProfile, slack: f64| {
             let r = MapReduceKmeans::new(p, args.threads).fit(&data, &init, iters);
             let need = (r.memory_bytes as f64 * slack) as u64;
-            (need <= ram_budget).then(|| {
-                r.iters.iter().map(|i| i.total_ns() as f64).sum::<f64>() / r.niters as f64
-            })
+            (need <= ram_budget)
+                .then(|| r.iters.iter().map(|i| i.total_ns() as f64).sum::<f64>() / r.niters as f64)
         };
         let mllib = persona(FrameworkProfile::mllib_like(), 2.5);
         let turi = persona(FrameworkProfile::turi_like(), 3.5);

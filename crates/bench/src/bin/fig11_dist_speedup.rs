@@ -24,11 +24,9 @@ fn measured_work(ds: PaperDataset, k: usize, args: &HarnessArgs, pruning: Prunin
     .fit(&data);
     // Steady-state per-iteration work, skipping the cold full pass.
     let later = &r.iters[1.min(r.iters.len() - 1)..];
-    let flops: u64 = later
-        .iter()
-        .map(|i| (i.prune.dist_computations + i.reassigned) * d as u64)
-        .sum::<u64>()
-        / later.len() as u64;
+    let flops: u64 =
+        later.iter().map(|i| (i.prune.dist_computations + i.reassigned) * d as u64).sum::<u64>()
+            / later.len() as u64;
     let rows: u64 = later
         .iter()
         .map(|i| i.prune.dist_computations / k as u64 + i.prune.clause1_rows / 4)

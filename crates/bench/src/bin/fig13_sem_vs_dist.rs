@@ -92,11 +92,9 @@ fn main() {
         )
         .fit(&data);
         let dl = &r.iters[1.min(r.iters.len() - 1)..];
-        let dflops: u64 = dl
-            .iter()
-            .map(|i| (i.prune.dist_computations + i.reassigned) * d as u64)
-            .sum::<u64>()
-            / dl.len() as u64;
+        let dflops: u64 =
+            dl.iter().map(|i| (i.prune.dist_computations + i.reassigned) * d as u64).sum::<u64>()
+                / dl.len() as u64;
         let drows: u64 = dl
             .iter()
             .map(|i| i.prune.dist_computations / k as u64 + i.prune.clause1_rows / 4)
@@ -121,10 +119,7 @@ fn main() {
             fmt_ns(knord),
             fmt_ns(mpi)
         );
-        out.push_str(&format!(
-            "{}\t{knors_ns}\t{mllib}\t{knord}\t{mpi}\n",
-            ds.name()
-        ));
+        out.push_str(&format!("{}\t{knors_ns}\t{mllib}\t{knord}\t{mpi}\n", ds.name()));
     }
     println!("\n(*cluster cores for MLlib/knord/MPI; knors uses one 48-thread machine)");
     println!(

@@ -11,7 +11,10 @@ fn main() {
         "{:<15} {:<22} {:>12} {:>4} {:>10} | {:>10} {:>10}",
         "Data", "Matrix", "n (paper)", "d", "Size", "n (here)", "Size"
     );
-    println!("{:-<15} {:-<22} {:->12} {:->4} {:->10} | {:->10} {:->10}", "", "", "", "", "", "", "");
+    println!(
+        "{:-<15} {:-<22} {:->12} {:->4} {:->10} | {:->10} {:->10}",
+        "", "", "", "", "", "", ""
+    );
     for ds in PaperDataset::all() {
         let kind = match ds {
             PaperDataset::Friendster8 | PaperDataset::Friendster32 => "eigenvectors",

@@ -89,9 +89,7 @@ pub fn modeled_iter_ns(imp: DistImpl, work: IterWork, threads: usize, net: NetMo
 
     // Communication.
     let (ranks, comm) = match imp {
-        DistImpl::Knord => {
-            (machines, net.ring_allreduce_ns(work.reduce_bytes, machines.max(1)))
-        }
+        DistImpl::Knord => (machines, net.ring_allreduce_ns(work.reduce_bytes, machines.max(1))),
         DistImpl::PureMpi => (threads, net.ring_allreduce_ns(work.reduce_bytes, threads)),
         DistImpl::MllibLike => {
             // Star aggregation of per-partition partials at the driver plus
@@ -116,10 +114,7 @@ pub fn speedup_series(
     net: NetModel,
 ) -> Vec<(usize, f64)> {
     let base = modeled_iter_ns(imp, work, 1, net);
-    thread_counts
-        .iter()
-        .map(|&t| (t, base / modeled_iter_ns(imp, work, t, net)))
-        .collect()
+    thread_counts.iter().map(|&t| (t, base / modeled_iter_ns(imp, work, t, net))).collect()
 }
 
 /// Which all-reduce a [`DistImpl`] uses (for reporting).
@@ -159,10 +154,7 @@ mod tests {
             let knord = modeled_iter_ns(DistImpl::Knord, work(), t, net);
             let mpi = modeled_iter_ns(DistImpl::PureMpi, work(), t, net);
             let ratio = mpi / knord;
-            assert!(
-                (1.05..2.5).contains(&ratio),
-                "paper: 20-50% NUMA benefit, got {ratio} at {t}"
-            );
+            assert!((1.05..2.5).contains(&ratio), "paper: 20-50% NUMA benefit, got {ratio} at {t}");
         }
     }
 

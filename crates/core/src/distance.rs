@@ -58,7 +58,13 @@ pub fn nearest(v: &[f64], centroids: &[f64], k: usize) -> (usize, f64) {
 /// maintains each iteration. `out` is a full `k x k` buffer for O(1)
 /// symmetric lookup; only the strict upper triangle is computed and
 /// mirrored.
-pub fn centroid_distances(centroids: &[f64], k: usize, d: usize, out: &mut [f64], half_min: &mut [f64]) {
+pub fn centroid_distances(
+    centroids: &[f64],
+    k: usize,
+    d: usize,
+    out: &mut [f64],
+    half_min: &mut [f64],
+) {
     debug_assert_eq!(centroids.len(), k * d);
     debug_assert_eq!(out.len(), k * k);
     debug_assert_eq!(half_min.len(), k);

@@ -1,0 +1,695 @@
+//! The shared ||Lloyd's iteration driver.
+//!
+//! All three knor engines — knori (in-memory), knors (semi-external-memory)
+//! and knord (distributed) — run the *same* iteration protocol; only the
+//! row-access path differs (NUMA arenas, the SAFS row-cache stack, or a
+//! per-rank slice of the matrix). clusterNOR's observation is that the
+//! protocol itself is the reusable asset, so it lives here once and each
+//! engine plugs in a [`LloydBackend`]:
+//!
+//! ```text
+//! pre_iteration (coordinator)
+//!   A ─ compute super-phase (backend) ─ B ─ parallel merge ─ C ─
+//!       [reduce (backend: knord's allreduce window)]
+//!       coordinator window: finalize means, drift, MTI update,
+//!       convergence, stats, end_iteration (backend), queue refill ─ A
+//! ```
+//!
+//! * **compute** — each worker drains the task queue and fills its private
+//!   [`LocalAccum`]; the backend decides how a row's bytes are obtained.
+//!   The helpers [`filter_row`], [`process_row_mti`] and
+//!   [`process_row_full`] implement the per-row MTI/full-scan state machine
+//!   so backends share that logic too.
+//! * **merge** — the `k·d` accumulator dimensions are sliced across
+//!   workers; each worker sums one slice across all `T` accumulators.
+//! * **reduce** — a hook between the local merge and the centroid update.
+//!   Single-machine engines leave it as the identity; knord allreduces the
+//!   merged sums/counts (and the convergence scalars) across ranks here, so
+//!   every rank finalizes identical centroids — the paper's decentralized
+//!   §3.3 design.
+//! * **coordinator window** — worker 0 finalizes means, drifts and the MTI
+//!   distance matrix, records statistics, decides convergence and refills
+//!   the queue.
+//!
+//! Under MTI the accumulators hold *deltas* against persistent global sums
+//! (maintained by the driver), so a Clause-1 skip touches no row data.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+use knor_matrix::shared::SharedRows;
+use knor_numa::{AccessTally, Placement};
+use knor_sched::TaskQueue;
+
+use crate::centroids::{finalize_means, Centroids, LocalAccum};
+use crate::distance::{dist, nearest};
+use crate::pruning::{mti_assign, MtiIterState, PruneCounters};
+use crate::stats::IterStats;
+use crate::sync::ExclusiveCell;
+
+/// Backend-independent parameters of a driver run.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Dimensionality.
+    pub d: usize,
+    /// Rows this engine instance owns (a rank's slice for knord).
+    pub n: usize,
+    /// Worker threads.
+    pub nthreads: usize,
+    /// Iteration cap (counting the initial assignment pass).
+    pub max_iters: usize,
+    /// Drift tolerance (0.0 = reassignment-only convergence).
+    pub tol: f64,
+    /// MTI pruning on/off.
+    pub pruning: bool,
+    /// Rows per scheduler task.
+    pub task_size: usize,
+}
+
+/// What one worker reports after its compute super-phase.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerReport {
+    /// Pruning outcome counters.
+    pub counters: PruneCounters,
+    /// Assignments changed by this worker.
+    pub reassigned: u64,
+    /// Rows whose data was actually touched.
+    pub rows_accessed: u64,
+    /// Exact access tally, when the backend tracks them (knori cost model).
+    pub tally: Option<AccessTally>,
+    /// Backend-defined auxiliary counter (knors: row-cache hits).
+    pub aux: u64,
+}
+
+impl WorkerReport {
+    /// Fold another worker's report into this aggregate (tallies collect
+    /// into a vector at the call site, not here).
+    fn absorb(&mut self, o: &WorkerReport) {
+        self.counters.merge(&o.counters);
+        self.reassigned += o.reassigned;
+        self.rows_accessed += o.rows_accessed;
+        self.aux += o.aux;
+    }
+}
+
+/// Read-only view of the iteration state handed to [`LloydBackend::compute`].
+pub struct IterView<'a> {
+    /// Current iteration, 0-based.
+    pub iter: usize,
+    /// Whether MTI pruning is active.
+    pub pruning: bool,
+    /// Current centroids (`C^t`).
+    pub cents: &'a Centroids,
+    /// MTI drift/threshold state for this iteration.
+    pub mti: &'a MtiIterState,
+    /// Per-row assignments (disjoint task ownership).
+    pub assign: &'a SharedRows<u32>,
+    /// Per-row MTI upper bounds.
+    pub upper: &'a SharedRows<f64>,
+    /// The iteration's task queue.
+    pub queue: &'a TaskQueue,
+}
+
+/// What a [`LloydBackend::reduce`] implementation reports about the global
+/// reduction it performed (all zeros for single-machine engines).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReduceReport {
+    /// Wire bytes this process sent during the reduction.
+    pub comm_bytes: u64,
+    /// Maximum wire bytes any rank sent during the reduction.
+    pub max_rank_comm_bytes: u64,
+    /// Modeled wire time of the reduction on the reference cluster.
+    pub modeled_comm_ns: f64,
+}
+
+/// The per-engine plug-in: how rows are fetched and what happens at the
+/// engine-specific protocol points.
+pub trait LloydBackend: Sync {
+    /// Called once per worker thread before the first iteration
+    /// (knori binds the thread to its NUMA node here).
+    fn worker_start(&self, _w: usize) {}
+
+    /// Coordinator-only hook before barrier A of each iteration
+    /// (knors decides row-cache refreshes here).
+    fn pre_iteration(&self, _iter: usize) {}
+
+    /// The compute super-phase for worker `w`: drain `view.queue`, fetch
+    /// row data however this engine does, and update `accum` plus the
+    /// shared per-row state via the driver's row helpers.
+    fn compute(&self, w: usize, view: &IterView<'_>, accum: &mut LocalAccum) -> WorkerReport;
+
+    /// Coordinator hook between the local merge and the centroid update.
+    /// knord allreduces `sums`, `counts` and the scalar totals in `totals`
+    /// across ranks here; the defaults leave everything local.
+    fn reduce(
+        &self,
+        _iter: usize,
+        _sums: &mut [f64],
+        _counts: &mut [i64],
+        _totals: &mut WorkerReport,
+    ) -> ReduceReport {
+        ReduceReport::default()
+    }
+
+    /// Coordinator hook after the iteration's statistics are final
+    /// (knors records its I/O statistics here). `aux_total` is the sum of
+    /// the workers' backend-defined [`WorkerReport::aux`] counters.
+    fn end_iteration(&self, _iter: usize, _stats: &IterStats, _aux_total: u64) {}
+}
+
+/// Everything a finished driver run hands back to the engine.
+#[derive(Debug)]
+pub struct DriverOutcome {
+    /// Final centroids.
+    pub centroids: Centroids,
+    /// Final per-row assignments.
+    pub assignments: Vec<u32>,
+    /// Per-iteration statistics.
+    pub iters: Vec<IterStats>,
+    /// Per-iteration reduction reports (meaningful for knord).
+    pub reduces: Vec<ReduceReport>,
+    /// Whether the run converged before the iteration cap.
+    pub converged: bool,
+}
+
+/// Run the full ||Lloyd's protocol: spawn `cfg.nthreads` workers, iterate
+/// until convergence or the cap, and return the outcome.
+///
+/// `queue` must be empty; the driver fills it from `placement` each
+/// iteration. `init` supplies the starting centroids.
+pub fn run_lloyd<B: LloydBackend>(
+    cfg: &DriverConfig,
+    init: Centroids,
+    placement: &Placement,
+    queue: &TaskQueue,
+    backend: &B,
+) -> DriverOutcome {
+    let (k, d, n, nthreads) = (cfg.k, cfg.d, cfg.n, cfg.nthreads);
+    assert_eq!(init.k(), k, "init centroid count mismatch");
+    assert_eq!(init.d, d, "init dimensionality mismatch");
+    assert_eq!(placement.nthreads(), nthreads);
+    assert_eq!(placement.nrow(), n);
+
+    // Shared engine state (see module docs for the barrier protocol).
+    let centroids = ExclusiveCell::new(init);
+    let next_cents = ExclusiveCell::new(Centroids::zeros(k, d));
+    let mti = ExclusiveCell::new(MtiIterState::new(k));
+    let assign: SharedRows<u32> = SharedRows::new(n, u32::MAX);
+    let upper: SharedRows<f64> = SharedRows::new(n, f64::INFINITY);
+    let merged_sums: SharedRows<f64> = SharedRows::new(k * d, 0.0);
+    let merged_counts = ExclusiveCell::new(vec![0i64; k]);
+    // Persistent global sums/counts for MTI delta accumulation.
+    let persistent = ExclusiveCell::new((vec![0.0f64; k * d], vec![0i64; k]));
+    let accums: Vec<ExclusiveCell<LocalAccum>> =
+        (0..nthreads).map(|_| ExclusiveCell::new(LocalAccum::new(k, d))).collect();
+    let reports: Vec<ExclusiveCell<WorkerReport>> =
+        (0..nthreads).map(|_| ExclusiveCell::new(WorkerReport::default())).collect();
+    let stop = AtomicBool::new(false);
+    let converged = AtomicBool::new(false);
+    let barrier = Barrier::new(nthreads);
+    let dim_slices = knor_matrix::partition_rows(k * d, nthreads);
+
+    queue.refill(placement, cfg.task_size);
+
+    let mut iter_stats: Vec<IterStats> = Vec::new();
+    let mut reduce_reports: Vec<ReduceReport> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(nthreads);
+        for w in 0..nthreads {
+            let centroids = &centroids;
+            let next_cents = &next_cents;
+            let mti = &mti;
+            let assign = &assign;
+            let upper = &upper;
+            let merged_sums = &merged_sums;
+            let merged_counts = &merged_counts;
+            let persistent = &persistent;
+            let accums = &accums;
+            let reports = &reports;
+            let stop = &stop;
+            let converged = &converged;
+            let barrier = &barrier;
+            let backend = &backend;
+            let dim_slice = dim_slices[w].clone();
+            handles.push(s.spawn(move || {
+                backend.worker_start(w);
+                let pruning = cfg.pruning;
+                let mut stats: Vec<IterStats> = Vec::new();
+                let mut reduces: Vec<ReduceReport> = Vec::new();
+                let mut iter = 0usize;
+
+                loop {
+                    if w == 0 {
+                        backend.pre_iteration(iter);
+                    }
+                    barrier.wait(); // A — state published by coordinator
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let t0 = std::time::Instant::now();
+
+                    // ---- compute super-phase (backend-specific) ----------
+                    // Safety: barrier A separates us from the coordinator's
+                    // writes; nobody writes these cells during compute.
+                    let view = IterView {
+                        iter,
+                        pruning,
+                        cents: unsafe { centroids.get() },
+                        mti: unsafe { mti.get() },
+                        assign,
+                        upper,
+                        queue,
+                    };
+                    let accum = unsafe { accums[w].get_mut() };
+                    let report = backend.compute(w, &view, accum);
+                    // Safety: own slot; read by worker 0 only after B.
+                    unsafe { *reports[w].get_mut() = report };
+
+                    barrier.wait(); // B — all accumulators and reports final
+
+                    // ---- parallel merge (dimension-sliced) ---------------
+                    for j in dim_slice.clone() {
+                        let mut sum = 0.0;
+                        for a in accums.iter() {
+                            // Safety: accumulators are read-only between B and C.
+                            sum += unsafe { a.get() }.sums[j];
+                        }
+                        // Safety: dim slices are disjoint across workers.
+                        unsafe { *merged_sums.get_mut(j) = sum };
+                    }
+                    if w == 0 {
+                        // Safety: coordinator-only write between B and C.
+                        let mc = unsafe { merged_counts.get_mut() };
+                        for (c, m) in mc.iter_mut().enumerate() {
+                            *m = accums.iter().map(|a| unsafe { a.get() }.counts[c]).sum();
+                        }
+                    }
+
+                    barrier.wait(); // C — merged sums/counts complete
+
+                    if w == 0 {
+                        // ---- coordinator window --------------------------
+                        // Safety: exclusive window between C and next A.
+                        let cents = unsafe { centroids.get_mut() };
+                        let next = unsafe { next_cents.get_mut() };
+                        let mc = unsafe { merged_counts.get_mut() };
+                        let (psums, pcounts) = unsafe { persistent.get_mut() };
+
+                        // Aggregate worker reports before the reduce so the
+                        // backend can globalize the convergence scalars.
+                        let mut totals = WorkerReport::default();
+                        let mut tallies: Option<Vec<AccessTally>> = None;
+                        for rep in reports.iter() {
+                            // Safety: workers finished their reports before B.
+                            let rep = unsafe { rep.get() };
+                            totals.absorb(rep);
+                            if let Some(t) = rep.tally.as_ref() {
+                                tallies.get_or_insert_with(Vec::new).push(t.clone());
+                            }
+                        }
+
+                        // Engine-specific global reduction (knord's
+                        // allreduce); identity for single-machine engines.
+                        let mut sums_view: Vec<f64> =
+                            (0..k * d).map(|j| unsafe { *merged_sums.get(j) }).collect();
+                        let reduce_report = backend.reduce(iter, &mut sums_view, mc, &mut totals);
+
+                        if pruning {
+                            for (p, s) in psums.iter_mut().zip(&sums_view) {
+                                *p += s;
+                            }
+                            for (p, c) in pcounts.iter_mut().zip(mc.iter()) {
+                                *p += c;
+                            }
+                            finalize_means(psums, pcounts, cents, next);
+                        } else {
+                            finalize_means(&sums_view, mc, cents, next);
+                        }
+
+                        let max_drift = (0..k)
+                            .map(|c| dist(cents.mean(c), next.mean(c)))
+                            .fold(0.0f64, f64::max);
+                        if pruning {
+                            // Safety: coordinator window.
+                            unsafe { mti.get_mut() }.update(cents, next);
+                        }
+                        std::mem::swap(cents, next);
+
+                        stats.push(IterStats {
+                            iter,
+                            reassigned: totals.reassigned,
+                            rows_accessed: totals.rows_accessed,
+                            prune: totals.counters,
+                            wall_ns: t0.elapsed().as_nanos() as u64,
+                            queue: queue.stats(),
+                            tallies,
+                            max_drift,
+                        });
+                        reduces.push(reduce_report);
+                        backend.end_iteration(iter, stats.last().expect("just pushed"), totals.aux);
+                        queue.reset_stats();
+
+                        let done_iters = iter + 1;
+                        let is_converged =
+                            totals.reassigned == 0 || (cfg.tol > 0.0 && max_drift <= cfg.tol);
+                        if is_converged {
+                            converged.store(true, Ordering::Release);
+                        }
+                        if is_converged || done_iters >= cfg.max_iters {
+                            stop.store(true, Ordering::Release);
+                        } else {
+                            queue.refill(placement, cfg.task_size);
+                        }
+                    }
+
+                    // Reset own accumulator for the next iteration.
+                    accum.reset();
+                    iter += 1;
+                }
+
+                (stats, reduces)
+            }));
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            let (stats, reduces) = h.join().expect("engine worker panicked");
+            if w == 0 {
+                iter_stats = stats;
+                reduce_reports = reduces;
+            }
+        }
+    });
+
+    DriverOutcome {
+        centroids: centroids.into_inner(),
+        assignments: assign.snapshot(),
+        iters: iter_stats,
+        reduces: reduce_reports,
+        converged: converged.load(Ordering::Acquire),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-row state machine
+// ---------------------------------------------------------------------------
+
+/// Drain worker `w`'s share of the task queue, dispatching every row
+/// through the shared MTI/full-scan state machine. `fetch` supplies a
+/// row's data (and may record backend bookkeeping like access tallies);
+/// it is only called for rows that survive the Clause-1 filter.
+///
+/// Backends with per-row data access (knori, knord) build their whole
+/// compute super-phase from this; knors cannot, because it filters whole
+/// tasks ahead of batched I/O, but it shares the per-row helpers below.
+pub fn drain_queue<'data, F>(
+    w: usize,
+    view: &IterView<'_>,
+    accum: &mut LocalAccum,
+    rep: &mut WorkerReport,
+    mut fetch: F,
+) where
+    F: FnMut(usize) -> &'data [f64],
+{
+    while let Some(task) = view.queue.next(w) {
+        for r in task.rows {
+            if view.iter > 0 && view.pruning {
+                // Clause 1: decided before touching row data.
+                if !filter_row(r, view.assign, view.upper, view.mti, &mut rep.counters) {
+                    continue;
+                }
+                let v = fetch(r);
+                rep.rows_accessed += 1;
+                rep.reassigned += u64::from(process_row_mti(
+                    r,
+                    v,
+                    view.cents,
+                    view.mti,
+                    view.assign,
+                    view.upper,
+                    accum,
+                    &mut rep.counters,
+                ));
+            } else {
+                // Full scan: first iteration, or pruning disabled.
+                let v = fetch(r);
+                rep.rows_accessed += 1;
+                rep.reassigned += u64::from(process_row_full(
+                    r,
+                    v,
+                    view.cents,
+                    view.pruning,
+                    view.assign,
+                    view.upper,
+                    accum,
+                    &mut rep.counters,
+                ));
+            }
+        }
+    }
+}
+
+/// Clause-1 filter for one row of a task (`iter > 0`, pruning on).
+///
+/// Loosens the row's upper bound by its centroid's drift and writes it
+/// back. Returns `true` when the row's data must be fetched (Clause 1 did
+/// not fire).
+///
+/// # Safety contract
+/// The caller's task must own row `r` for this iteration (the scheduler
+/// hands each row to exactly one task).
+#[inline]
+pub fn filter_row(
+    r: usize,
+    assign: &SharedRows<u32>,
+    upper: &SharedRows<f64>,
+    mti: &MtiIterState,
+    counters: &mut PruneCounters,
+) -> bool {
+    // Safety: task-exclusive row ownership (see doc).
+    let a = unsafe { *assign.get(r) } as usize;
+    let ub = unsafe { *upper.get(r) } + mti.drift[a];
+    unsafe { *upper.get_mut(r) = ub };
+    if ub <= mti.half_min[a] {
+        counters.clause1_rows += 1;
+        false
+    } else {
+        true
+    }
+}
+
+/// Process a fetched row under MTI (`iter > 0`): the row's upper bound has
+/// already been drift-loosened by [`filter_row`]. Returns `true` when the
+/// assignment changed. Accumulates *deltas* into `accum`.
+///
+/// # Safety contract
+/// As [`filter_row`]: the caller's task owns row `r`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn process_row_mti(
+    r: usize,
+    v: &[f64],
+    cents: &Centroids,
+    mti: &MtiIterState,
+    assign: &SharedRows<u32>,
+    upper: &SharedRows<f64>,
+    accum: &mut LocalAccum,
+    counters: &mut PruneCounters,
+) -> bool {
+    // Safety: task-exclusive row ownership (see doc).
+    let a = unsafe { *assign.get(r) } as usize;
+    let ub = unsafe { *upper.get(r) };
+    let (new_a, new_ub) = mti_assign(v, cents, mti, a, ub, counters);
+    let reassigned = new_a != a;
+    if reassigned {
+        accum.sub(a, v);
+        accum.add(new_a, v);
+        unsafe { *assign.get_mut(r) = new_a as u32 };
+    }
+    unsafe { *upper.get_mut(r) = new_ub };
+    reassigned
+}
+
+/// Process a row with a full `k`-way scan (iteration 0, or pruning off).
+/// With pruning on this is the delta-establishing first pass; without, the
+/// accumulator collects plain full sums. Returns `true` on reassignment.
+///
+/// # Safety contract
+/// As [`filter_row`]: the caller's task owns row `r`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn process_row_full(
+    r: usize,
+    v: &[f64],
+    cents: &Centroids,
+    pruning: bool,
+    assign: &SharedRows<u32>,
+    upper: &SharedRows<f64>,
+    accum: &mut LocalAccum,
+    counters: &mut PruneCounters,
+) -> bool {
+    let k = cents.k();
+    // Safety: task-exclusive row ownership (see doc).
+    let cur_a = unsafe { *assign.get(r) };
+    let (a, da) = nearest(v, &cents.means, k);
+    counters.dist_computations += k as u64;
+    let reassigned;
+    if pruning {
+        // Delta accumulation against the persistent sums.
+        if cur_a == u32::MAX {
+            accum.add(a, v);
+            reassigned = true;
+        } else if cur_a as usize != a {
+            accum.sub(cur_a as usize, v);
+            accum.add(a, v);
+            reassigned = true;
+        } else {
+            reassigned = false;
+        }
+        unsafe { *upper.get_mut(r) = da };
+    } else {
+        // Full re-accumulation every iteration.
+        accum.add(a, v);
+        reassigned = cur_a != a as u32;
+    }
+    unsafe { *assign.get_mut(r) = a as u32 };
+    reassigned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knor_numa::Topology;
+    use knor_sched::SchedulerKind;
+
+    /// A trivial in-memory backend over a plain slice, exercising the
+    /// driver protocol without any engine machinery.
+    struct SliceBackend<'a> {
+        data: &'a [f64],
+        d: usize,
+    }
+
+    impl LloydBackend for SliceBackend<'_> {
+        fn compute(&self, w: usize, view: &IterView<'_>, accum: &mut LocalAccum) -> WorkerReport {
+            let mut rep = WorkerReport::default();
+            drain_queue(w, view, accum, &mut rep, |r| &self.data[r * self.d..(r + 1) * self.d]);
+            rep
+        }
+    }
+
+    fn run(
+        data: &[f64],
+        n: usize,
+        d: usize,
+        k: usize,
+        pruning: bool,
+        threads: usize,
+    ) -> DriverOutcome {
+        let topo = Topology::flat(threads);
+        let placement = Placement::new(&topo, n, threads);
+        let queue = TaskQueue::new(SchedulerKind::Static, &placement);
+        let cfg = DriverConfig {
+            k,
+            d,
+            n,
+            nthreads: threads,
+            max_iters: 50,
+            tol: 0.0,
+            pruning,
+            task_size: 16,
+        };
+        let init =
+            Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(data[..k * d].to_vec(), k, d));
+        let backend = SliceBackend { data, d };
+        run_lloyd(&cfg, init, &placement, &queue, &backend)
+    }
+
+    #[test]
+    fn driver_clusters_separated_points() {
+        // Three tight groups in 1-D.
+        let mut data = Vec::new();
+        for c in [0.0f64, 10.0, -10.0] {
+            for i in 0..20 {
+                data.push(c + (i % 5) as f64 * 0.01);
+            }
+        }
+        let n = data.len();
+        let out = run(&data, n, 1, 3, false, 3);
+        assert!(out.converged);
+        assert_eq!(out.assignments.len(), n);
+        // All members of a block share an assignment.
+        for block in 0..3 {
+            let first = out.assignments[block * 20];
+            assert!(out.assignments[block * 20..(block + 1) * 20].iter().all(|&a| a == first));
+        }
+    }
+
+    #[test]
+    fn pruned_and_unpruned_agree() {
+        let mut data = Vec::new();
+        for i in 0..240 {
+            let c = (i % 4) as f64 * 7.0;
+            data.push(c + (i as f64 * 0.37).sin() * 0.4);
+            data.push(-c + (i as f64 * 0.11).cos() * 0.4);
+        }
+        let n = 240;
+        let a = run(&data, n, 2, 4, true, 2);
+        let b = run(&data, n, 2, 4, false, 2);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.iters.len(), b.iters.len());
+        assert!(a.iters.iter().map(|i| i.prune.clause1_rows).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn reduce_hook_sees_every_iteration() {
+        use std::sync::atomic::AtomicUsize;
+
+        struct Counting<'a> {
+            inner: SliceBackend<'a>,
+            calls: AtomicUsize,
+        }
+        impl LloydBackend for Counting<'_> {
+            fn compute(
+                &self,
+                w: usize,
+                view: &IterView<'_>,
+                accum: &mut LocalAccum,
+            ) -> WorkerReport {
+                self.inner.compute(w, view, accum)
+            }
+            fn reduce(
+                &self,
+                _iter: usize,
+                _sums: &mut [f64],
+                _counts: &mut [i64],
+                _totals: &mut WorkerReport,
+            ) -> ReduceReport {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                ReduceReport { comm_bytes: 7, ..Default::default() }
+            }
+        }
+
+        let data: Vec<f64> = (0..60).map(|i| (i % 3) as f64 * 5.0).collect();
+        let topo = Topology::flat(2);
+        let placement = Placement::new(&topo, 60, 2);
+        let queue = TaskQueue::new(SchedulerKind::Static, &placement);
+        let cfg = DriverConfig {
+            k: 3,
+            d: 1,
+            n: 60,
+            nthreads: 2,
+            max_iters: 20,
+            tol: 0.0,
+            pruning: true,
+            task_size: 8,
+        };
+        let init =
+            Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(vec![0.0, 5.0, 10.0], 3, 1));
+        let backend =
+            Counting { inner: SliceBackend { data: &data, d: 1 }, calls: AtomicUsize::new(0) };
+        let out = run_lloyd(&cfg, init, &placement, &queue, &backend);
+        assert_eq!(backend.calls.load(Ordering::Relaxed), out.iters.len());
+        assert_eq!(out.reduces.len(), out.iters.len());
+        assert!(out.reduces.iter().all(|r| r.comm_bytes == 7));
+    }
+}

@@ -1,29 +1,10 @@
 //! The parallel ||Lloyd's engine (knori).
 //!
-//! # Iteration protocol
-//!
-//! Workers are spawned once and live for the whole run. Each iteration is
-//! organized around three barriers:
-//!
-//! ```text
-//! A ─ compute super-phase ─ B ─ parallel merge ─ C ─ coordinator window ─ A
-//! ```
-//!
-//! * **compute** — workers drain the task queue; for each row they find the
-//!   nearest centroid (via MTI or a full scan) and update their *private*
-//!   accumulator. No locks, no shared writes except disjoint per-row state.
-//! * **merge** — the per-thread accumulators are reduced in parallel: the
-//!   `k·d` accumulator dimensions are sliced across workers, so each worker
-//!   sums one slice across all `T` accumulators (a balanced, barrier-free
-//!   substitute for the paper's funnelsort-like pairwise reduction with the
-//!   same O(T·k·d / T) per-thread cost).
-//! * **coordinator window** — worker 0 finalizes means, drifts and the MTI
-//!   distance matrix, records statistics, decides convergence and refills
-//!   the queue. The `A` barrier publishes everything for the next round.
-//!
-//! Under MTI the accumulators hold *deltas* (subtract from the old cluster,
-//! add to the new one) against persistent global sums, so a Clause-1 skip
-//! really touches no row data — the property knors turns into I/O savings.
+//! The iteration protocol itself — worker lifecycle, the A/B/C barrier
+//! super-phases, the dimension-sliced merge and the coordinator window —
+//! lives in [`crate::driver`] and is shared with knors and knord. This
+//! module supplies the in-memory backend: NUMA-aware row access over
+//! per-node arenas plus exact access tallies for the cost model.
 //!
 //! # NUMA modes
 //!
@@ -34,21 +15,16 @@
 //! round-robin by the "OS", FIFO scheduling. Exact access tallies are kept
 //! either way so the cost model can compare the two (Fig. 4).
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Barrier;
-
-use knor_matrix::shared::SharedRows;
 use knor_matrix::DMatrix;
 use knor_numa::bind::bind_current_thread;
 use knor_numa::{AccessTally, NodeId, NumaMatrix, Placement, Topology};
 use knor_sched::{SchedulerKind, TaskQueue, DEFAULT_TASK_SIZE};
 
-use crate::centroids::{finalize_means, Centroids, LocalAccum};
-use crate::distance::{dist, nearest};
+use crate::centroids::LocalAccum;
+use crate::driver::{drain_queue, run_lloyd, DriverConfig, IterView, LloydBackend, WorkerReport};
 use crate::init::InitMethod;
-use crate::pruning::{mti_assign, MtiIterState, PruneCounters, Pruning};
-use crate::stats::{IterStats, KmeansResult, MemoryFootprint};
-use crate::sync::ExclusiveCell;
+use crate::pruning::Pruning;
+use crate::stats::{KmeansResult, MemoryFootprint};
 
 /// Configuration for a [`Kmeans`] run.
 #[derive(Debug, Clone)]
@@ -202,15 +178,6 @@ impl Layout<'_> {
     }
 }
 
-/// Results a worker publishes after its compute phase.
-#[derive(Debug, Clone, Default)]
-struct WorkerScratch {
-    counters: PruneCounters,
-    reassigned: u64,
-    rows_accessed: u64,
-    tally: Option<AccessTally>,
-}
-
 /// The knori solver.
 pub struct Kmeans {
     config: KmeansConfig,
@@ -246,13 +213,7 @@ impl Kmeans {
         // Thread-to-node assignment: Fig. 1 groups when aware, round-robin
         // spread (what an oblivious OS scheduler converges to) otherwise.
         let thread_node: Vec<NodeId> = (0..nthreads)
-            .map(|t| {
-                if cfg.numa_aware {
-                    placement.node_of_thread(t)
-                } else {
-                    NodeId(t % nnodes)
-                }
-            })
+            .map(|t| if cfg.numa_aware { placement.node_of_thread(t) } else { NodeId(t % nnodes) })
             .collect();
 
         let layout = if cfg.numa_aware {
@@ -264,94 +225,30 @@ impl Kmeans {
 
         let init_cents = cfg.init.initialize(data, k, cfg.seed);
 
-        // Shared engine state (see module docs for the barrier protocol).
-        let centroids = ExclusiveCell::new(init_cents);
-        let next_cents = ExclusiveCell::new(Centroids::zeros(k, d));
-        let mti = ExclusiveCell::new(MtiIterState::new(k));
-        let assign: SharedRows<u32> = SharedRows::new(n, u32::MAX);
-        let upper: SharedRows<f64> = SharedRows::new(n, f64::INFINITY);
-        let merged_sums: SharedRows<f64> = SharedRows::new(k * d, 0.0);
-        let merged_counts = ExclusiveCell::new(vec![0i64; k]);
-        // Persistent global sums/counts for MTI delta accumulation.
-        let persistent = ExclusiveCell::new((vec![0.0f64; k * d], vec![0i64; k]));
-        let accums: Vec<ExclusiveCell<LocalAccum>> =
-            (0..nthreads).map(|_| ExclusiveCell::new(LocalAccum::new(k, d))).collect();
-        let scratch: Vec<ExclusiveCell<WorkerScratch>> =
-            (0..nthreads).map(|_| ExclusiveCell::new(WorkerScratch::default())).collect();
-        let stop = AtomicBool::new(false);
-        let converged = AtomicBool::new(false);
-        let barrier = Barrier::new(nthreads);
-
         let queue = TaskQueue::new(cfg.scheduler, &placement);
-        queue.refill(&placement, cfg.task_size);
+        let driver_cfg = DriverConfig {
+            k,
+            d,
+            n,
+            nthreads,
+            max_iters: cfg.max_iters,
+            tol: cfg.tol,
+            pruning: cfg.pruning.enabled(),
+            task_size: cfg.task_size,
+        };
+        let backend = ImBackend {
+            cfg,
+            topo: &topo,
+            layout: &layout,
+            thread_node: &thread_node,
+            nnodes,
+            row_bytes,
+        };
+        let outcome = run_lloyd(&driver_cfg, init_cents, &placement, &queue, &backend);
 
-        // Dimension slices for the parallel merge.
-        let dim_slices = knor_matrix::partition_rows(k * d, nthreads);
-
-        let mut iter_stats: Vec<IterStats> = Vec::new();
-        std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(nthreads);
-            for w in 0..nthreads {
-                let topo = &topo;
-                let placement = &placement;
-                let layout = &layout;
-                let thread_node = &thread_node;
-                let centroids = &centroids;
-                let next_cents = &next_cents;
-                let mti = &mti;
-                let assign = &assign;
-                let upper = &upper;
-                let merged_sums = &merged_sums;
-                let merged_counts = &merged_counts;
-                let persistent = &persistent;
-                let accums = &accums;
-                let scratch = &scratch;
-                let stop = &stop;
-                let converged = &converged;
-                let barrier = &barrier;
-                let queue = &queue;
-                let dim_slice = dim_slices[w].clone();
-                handles.push(s.spawn(move || {
-                    worker_loop(WorkerCtx {
-                        w,
-                        cfg,
-                        topo,
-                        placement,
-                        layout,
-                        my_node: thread_node[w],
-                        nnodes,
-                        row_bytes,
-                        centroids,
-                        next_cents,
-                        mti,
-                        assign,
-                        upper,
-                        merged_sums,
-                        merged_counts,
-                        persistent,
-                        accums,
-                        scratch,
-                        stop,
-                        converged,
-                        barrier,
-                        queue,
-                        dim_slice,
-                    })
-                }));
-            }
-            for (w, h) in handles.into_iter().enumerate() {
-                let stats = h.join().expect("engine worker panicked");
-                if w == 0 {
-                    iter_stats = stats;
-                }
-            }
-        });
-
-        let assignments = assign.snapshot();
-        let final_cents = centroids.into_inner();
-        let centroids_m = final_cents.to_matrix();
-        let sse =
-            cfg.compute_sse.then(|| crate::quality::sse(data, &centroids_m, &assignments));
+        let assignments = outcome.assignments;
+        let centroids_m = outcome.centroids.to_matrix();
+        let sse = cfg.compute_sse.then(|| crate::quality::sse(data, &centroids_m, &assignments));
 
         let pruning_on = cfg.pruning.enabled();
         let memory = MemoryFootprint {
@@ -364,273 +261,57 @@ impl Kmeans {
             cache_bytes: 0,
         };
 
-        let niters = iter_stats.len();
+        let niters = outcome.iters.len();
         KmeansResult {
             centroids: centroids_m,
             assignments,
             niters,
-            converged: converged.load(Ordering::Acquire),
-            iters: iter_stats,
+            converged: outcome.converged,
+            iters: outcome.iters,
             memory,
             sse,
         }
     }
 }
 
-/// Everything a worker thread needs, bundled to keep the spawn readable.
-struct WorkerCtx<'a, 'data> {
-    w: usize,
+/// The in-memory backend: NUMA-aware (or oblivious) row access with exact
+/// access tallies, plugged into the shared [`crate::driver`] protocol.
+struct ImBackend<'a, 'data> {
     cfg: &'a KmeansConfig,
     topo: &'a Topology,
-    placement: &'a Placement,
     layout: &'a Layout<'data>,
-    my_node: NodeId,
+    thread_node: &'a [NodeId],
     nnodes: usize,
     row_bytes: u64,
-    centroids: &'a ExclusiveCell<Centroids>,
-    next_cents: &'a ExclusiveCell<Centroids>,
-    mti: &'a ExclusiveCell<MtiIterState>,
-    assign: &'a SharedRows<u32>,
-    upper: &'a SharedRows<f64>,
-    merged_sums: &'a SharedRows<f64>,
-    merged_counts: &'a ExclusiveCell<Vec<i64>>,
-    persistent: &'a ExclusiveCell<(Vec<f64>, Vec<i64>)>,
-    accums: &'a [ExclusiveCell<LocalAccum>],
-    scratch: &'a [ExclusiveCell<WorkerScratch>],
-    stop: &'a AtomicBool,
-    converged: &'a AtomicBool,
-    barrier: &'a Barrier,
-    queue: &'a TaskQueue,
-    dim_slice: std::ops::Range<usize>,
 }
 
-fn worker_loop(ctx: WorkerCtx<'_, '_>) -> Vec<IterStats> {
-    let WorkerCtx {
-        w,
-        cfg,
-        topo,
-        placement,
-        layout,
-        my_node,
-        nnodes,
-        row_bytes,
-        centroids,
-        next_cents,
-        mti,
-        assign,
-        upper,
-        merged_sums,
-        merged_counts,
-        persistent,
-        accums,
-        scratch,
-        stop,
-        converged,
-        barrier,
-        queue,
-        dim_slice,
-    } = ctx;
-
-    if cfg.numa_aware {
-        let _ = bind_current_thread(topo, my_node);
+impl LloydBackend for ImBackend<'_, '_> {
+    fn worker_start(&self, w: usize) {
+        if self.cfg.numa_aware {
+            let _ = bind_current_thread(self.topo, self.thread_node[w]);
+        }
     }
-    let k = cfg.k;
-    let d = merged_sums.len() / k;
-    let nthreads = accums.len();
-    let pruning = cfg.pruning.enabled();
-    let mut stats: Vec<IterStats> = Vec::new();
-    let mut iter = 0usize;
 
-    loop {
-        barrier.wait(); // A — state published by coordinator
-        if stop.load(Ordering::Acquire) {
-            break;
-        }
-        let t0 = std::time::Instant::now();
-
-        // ---- compute super-phase -------------------------------------
-        // Safety: barrier A separates us from the coordinator's writes;
-        // nobody writes these cells during compute.
-        let cents = unsafe { centroids.get() };
-        let mti_state = unsafe { mti.get() };
-        let accum = unsafe { accums[w].get_mut() };
-        let mut counters = PruneCounters::default();
-        let mut reassigned = 0u64;
-        let mut rows_accessed = 0u64;
+    fn compute(&self, w: usize, view: &IterView<'_>, accum: &mut LocalAccum) -> WorkerReport {
+        let d = view.cents.d;
+        let mut rep = WorkerReport::default();
         let mut tally =
-            cfg.track_tallies.then(|| AccessTally::new(my_node, nnodes));
+            self.cfg.track_tallies.then(|| AccessTally::new(self.thread_node[w], self.nnodes));
 
-        while let Some(task) = queue.next(w) {
-            for r in task.rows {
-                // Safety: the scheduler hands each row to exactly one task.
-                let cur_a = unsafe { *assign.get(r) };
-                if iter > 0 && pruning {
-                    let a = cur_a as usize;
-                    let mut ub = unsafe { *upper.get(r) } + mti_state.drift[a];
-                    // Clause 1: decided before touching row data.
-                    if ub <= mti_state.half_min[a] {
-                        counters.clause1_rows += 1;
-                        unsafe { *upper.get_mut(r) = ub };
-                        continue;
-                    }
-                    let (v, home) = layout.row(r);
-                    rows_accessed += 1;
-                    if let Some(t) = tally.as_mut() {
-                        t.record_access(home, row_bytes);
-                    }
-                    let (new_a, new_ub) =
-                        mti_assign(v, cents, mti_state, a, ub, &mut counters);
-                    if new_a != a {
-                        reassigned += 1;
-                        accum.sub(a, v);
-                        accum.add(new_a, v);
-                        unsafe { *assign.get_mut(r) = new_a as u32 };
-                    }
-                    ub = new_ub;
-                    unsafe { *upper.get_mut(r) = ub };
-                } else {
-                    // Full scan: first iteration, or pruning disabled.
-                    let (v, home) = layout.row(r);
-                    rows_accessed += 1;
-                    if let Some(t) = tally.as_mut() {
-                        t.record_access(home, row_bytes);
-                    }
-                    let (a, da) = nearest(v, &cents.means, k);
-                    counters.dist_computations += k as u64;
-                    if pruning {
-                        // Delta accumulation against persistent sums.
-                        if cur_a == u32::MAX {
-                            accum.add(a, v);
-                            reassigned += 1;
-                        } else if cur_a as usize != a {
-                            accum.sub(cur_a as usize, v);
-                            accum.add(a, v);
-                            reassigned += 1;
-                        }
-                        unsafe { *upper.get_mut(r) = da };
-                    } else {
-                        // Full re-accumulation every iteration.
-                        accum.add(a, v);
-                        if cur_a != a as u32 {
-                            reassigned += 1;
-                        }
-                    }
-                    unsafe { *assign.get_mut(r) = a as u32 };
-                }
+        drain_queue(w, view, accum, &mut rep, |r| {
+            let (v, home) = self.layout.row(r);
+            if let Some(t) = tally.as_mut() {
+                t.record_access(home, self.row_bytes);
             }
-        }
+            v
+        });
         if let Some(t) = tally.as_mut() {
             // Distance kernels + accumulator adds, d fused ops each.
-            t.record_flops((counters.dist_computations + rows_accessed) * d as u64);
+            t.record_flops((rep.counters.dist_computations + rep.rows_accessed) * d as u64);
         }
-        // Safety: own scratch slot; read by worker 0 only after barrier B.
-        unsafe {
-            *scratch[w].get_mut() =
-                WorkerScratch { counters, reassigned, rows_accessed, tally };
-        }
-
-        barrier.wait(); // B — all accumulators and scratch final
-
-        // ---- parallel merge (dimension-sliced) ------------------------
-        for j in dim_slice.clone() {
-            let mut sum = 0.0;
-            for a in accums.iter().take(nthreads) {
-                // Safety: accumulators are read-only between B and C.
-                sum += unsafe { a.get() }.sums[j];
-            }
-            // Safety: dim slices are disjoint across workers.
-            unsafe { *merged_sums.get_mut(j) = sum };
-        }
-        if w == 0 {
-            // Safety: coordinator-only write between B and C.
-            let mc = unsafe { merged_counts.get_mut() };
-            for c in 0..k {
-                let mut sum = 0i64;
-                for a in accums.iter().take(nthreads) {
-                    sum += unsafe { a.get() }.counts[c];
-                }
-                mc[c] = sum;
-            }
-        }
-
-        barrier.wait(); // C — merged sums/counts complete
-
-        if w == 0 {
-            // ---- coordinator window -----------------------------------
-            // Safety: exclusive window between C and next A.
-            let cents = unsafe { centroids.get_mut() };
-            let next = unsafe { next_cents.get_mut() };
-            let mc = unsafe { merged_counts.get() };
-            let (psums, pcounts) = unsafe { persistent.get_mut() };
-
-            if pruning {
-                for j in 0..k * d {
-                    psums[j] += unsafe { *merged_sums.get(j) };
-                }
-                for c in 0..k {
-                    pcounts[c] += mc[c];
-                }
-                finalize_means(psums, pcounts, cents, next);
-            } else {
-                let sums: Vec<f64> =
-                    (0..k * d).map(|j| unsafe { *merged_sums.get(j) }).collect();
-                finalize_means(&sums, mc, cents, next);
-            }
-
-            let max_drift =
-                (0..k).map(|c| dist(cents.mean(c), next.mean(c))).fold(0.0f64, f64::max);
-            if pruning {
-                // Safety: coordinator window.
-                unsafe { mti.get_mut() }.update(cents, next);
-            }
-            std::mem::swap(cents, next);
-
-            // Aggregate worker scratch.
-            let mut counters = PruneCounters::default();
-            let mut reassigned = 0u64;
-            let mut rows_accessed = 0u64;
-            let mut tallies = cfg.track_tallies.then(Vec::new);
-            for sc in scratch {
-                // Safety: workers finished writing scratch before B.
-                let sc = unsafe { sc.get() };
-                counters.merge(&sc.counters);
-                reassigned += sc.reassigned;
-                rows_accessed += sc.rows_accessed;
-                if let (Some(ts), Some(t)) = (tallies.as_mut(), sc.tally.as_ref()) {
-                    ts.push(t.clone());
-                }
-            }
-            stats.push(IterStats {
-                iter,
-                reassigned,
-                rows_accessed,
-                prune: counters,
-                wall_ns: t0.elapsed().as_nanos() as u64,
-                queue: queue.stats(),
-                tallies,
-                max_drift,
-            });
-            queue.reset_stats();
-
-            let done_iters = iter + 1;
-            let is_converged =
-                reassigned == 0 || (cfg.tol > 0.0 && max_drift <= cfg.tol);
-            if is_converged {
-                converged.store(true, Ordering::Release);
-            }
-            if is_converged || done_iters >= cfg.max_iters {
-                stop.store(true, Ordering::Release);
-            } else {
-                queue.refill(placement, cfg.task_size);
-            }
-        }
-
-        // Reset own accumulator for the next iteration (consumed before C).
-        accum.reset();
-        iter += 1;
+        rep.tally = tally;
+        rep
     }
-
-    stats
 }
 
 #[cfg(test)]
@@ -757,8 +438,7 @@ mod tests {
         for it in &r.iters {
             let tallies = it.tallies.as_ref().expect("tallies requested");
             assert_eq!(tallies.len(), 8);
-            let accesses: u64 =
-                tallies.iter().map(|t| t.local_accesses + t.remote_accesses).sum();
+            let accesses: u64 = tallies.iter().map(|t| t.local_accesses + t.remote_accesses).sum();
             assert_eq!(accesses, it.rows_accessed, "iter {}", it.iter);
             let bytes: u64 = tallies.iter().map(|t| t.total_bytes()).sum();
             assert_eq!(bytes, it.rows_accessed * 8 * 8);
@@ -799,8 +479,7 @@ mod tests {
         .fit(&data);
         for it in &r.iters {
             for t in it.tallies.as_ref().unwrap() {
-                let non_zero_banks =
-                    t.bytes_from_node.iter().skip(1).filter(|&&b| b > 0).count();
+                let non_zero_banks = t.bytes_from_node.iter().skip(1).filter(|&&b| b > 0).count();
                 assert_eq!(non_zero_banks, 0, "oblivious data must live on node 0");
             }
         }
@@ -825,10 +504,8 @@ mod tests {
     #[test]
     fn more_threads_than_rows() {
         let data = mixture(10, 3, 12);
-        let r = Kmeans::new(
-            KmeansConfig::new(2).with_threads(16).with_seed(5).with_max_iters(20),
-        )
-        .fit(&data);
+        let r = Kmeans::new(KmeansConfig::new(2).with_threads(16).with_seed(5).with_max_iters(20))
+            .fit(&data);
         assert!(r.converged);
         assert_eq!(r.assignments.len(), 10);
     }
@@ -837,10 +514,9 @@ mod tests {
     fn tol_stops_early() {
         let data = mixture(2000, 8, 13);
         let strict = Kmeans::new(KmeansConfig::new(8).with_seed(6).with_max_iters(100)).fit(&data);
-        let loose = Kmeans::new(
-            KmeansConfig::new(8).with_seed(6).with_tol(0.5).with_max_iters(100),
-        )
-        .fit(&data);
+        let loose =
+            Kmeans::new(KmeansConfig::new(8).with_seed(6).with_tol(0.5).with_max_iters(100))
+                .fit(&data);
         assert!(loose.niters <= strict.niters);
         assert!(loose.converged);
     }
@@ -850,10 +526,7 @@ mod tests {
         let data = mixture(1000, 8, 14);
         let with = Kmeans::new(KmeansConfig::new(4).with_threads(2).with_max_iters(5)).fit(&data);
         let without = Kmeans::new(
-            KmeansConfig::new(4)
-                .with_threads(2)
-                .with_pruning(Pruning::None)
-                .with_max_iters(5),
+            KmeansConfig::new(4).with_threads(2).with_pruning(Pruning::None).with_max_iters(5),
         )
         .fit(&data);
         assert!(with.memory.per_row_bytes > without.memory.per_row_bytes);

@@ -47,6 +47,7 @@
 
 pub mod centroids;
 pub mod distance;
+pub mod driver;
 pub mod engine;
 pub mod init;
 pub mod pruning;
@@ -56,6 +57,7 @@ pub mod stats;
 pub mod sync;
 
 pub use centroids::{Centroids, LocalAccum};
+pub use driver::{DriverConfig, DriverOutcome, IterView, LloydBackend, ReduceReport, WorkerReport};
 pub use engine::{Kmeans, KmeansConfig};
 pub use init::InitMethod;
 pub use pruning::Pruning;

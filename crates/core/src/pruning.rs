@@ -241,9 +241,9 @@ mod tests {
         // most one tighten computation.
         let candidates = counters.clause2_prunes
             + counters.clause3_prunes
-            + counters.dist_computations.saturating_sub(
-                u64::from(counters.dist_computations > 0 && counters.clause3_prunes > 0),
-            );
+            + counters.dist_computations.saturating_sub(u64::from(
+                counters.dist_computations > 0 && counters.clause3_prunes > 0,
+            ));
         assert!(candidates >= (k - 1) as u64 - 1, "counters {counters:?}");
     }
 

@@ -8,10 +8,7 @@ use knor_matrix::DMatrix;
 pub fn sse(data: &DMatrix, centroids: &DMatrix, assignments: &[u32]) -> f64 {
     assert_eq!(data.nrow(), assignments.len());
     assert_eq!(data.ncol(), centroids.ncol());
-    data.rows()
-        .zip(assignments)
-        .map(|(row, &a)| sqdist(row, centroids.row(a as usize)))
-        .sum()
+    data.rows().zip(assignments).map(|(row, &a)| sqdist(row, centroids.row(a as usize))).sum()
 }
 
 /// SSE under the *optimal* assignment to the given centroids (recomputes
@@ -82,8 +79,8 @@ pub fn max_center_error(computed: &DMatrix, reference: &DMatrix) -> f64 {
     for i in 0..k {
         let mut best = f64::INFINITY;
         let mut best_j = 0;
-        for j in 0..reference.nrow() {
-            if used[j] {
+        for (j, &in_use) in used.iter().enumerate() {
+            if in_use {
                 continue;
             }
             let d = sqdist(computed.row(i), reference.row(j)).sqrt();

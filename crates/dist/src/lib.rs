@@ -1,0 +1,549 @@
+//! `knor-dist` — knord, the distributed k-means engine (paper §3.3).
+//!
+//! knord runs one ||Lloyd's engine instance per *rank* (machine), each over
+//! its contiguous slice of the rows, and reduces the per-iteration centroid
+//! state — `k·d` accumulator sums plus `k` counts — with an all-reduce.
+//! There is no driver/master: after the all-reduce every rank holds the
+//! same merged state, finalizes the same centroids, and makes the same
+//! convergence decision. That decentralization is the structural reason
+//! knord outscales master-centric frameworks (Figs. 11–12).
+//!
+//! The iteration protocol is the shared [`knor_core::driver`]; this crate
+//! plugs in a backend whose [`LloydBackend::reduce`] hook performs the
+//! global reduction over [`knor_mpi::LocalCluster`]'s in-process ranks.
+//! Both all-reduce algorithms ([`ReduceAlgo::Ring`] and
+//! [`ReduceAlgo::Star`]) accumulate in canonical rank order, so the two
+//! produce bitwise-identical centroids — the run's trajectory depends only
+//! on the data, never on the transport topology.
+//!
+//! Under MTI pruning the reduced quantities are *deltas* against persistent
+//! sums each rank maintains identically, so Clause-1-skipped rows cost
+//! neither data access nor wire bytes.
+//!
+//! ```
+//! use knor_dist::{DistConfig, DistKmeans};
+//! use knor_workloads::MixtureSpec;
+//!
+//! let data = MixtureSpec::friendster_like(600, 4, 7).generate().data;
+//! let r = DistKmeans::new(DistConfig::new(4, 2, 2).with_seed(1)).fit(&data);
+//! assert!(r.converged);
+//! assert_eq!(r.assignments.len(), 600);
+//! ```
+
+use std::ops::Range;
+
+use knor_core::centroids::LocalAccum;
+use knor_core::driver::{
+    drain_queue, run_lloyd, DriverConfig, IterView, LloydBackend, ReduceReport, WorkerReport,
+};
+use knor_core::init::InitMethod;
+use knor_core::pruning::{PruneCounters, Pruning};
+use knor_core::sync::ExclusiveCell;
+use knor_matrix::{DMatrix, RowView};
+use knor_mpi::collectives::{allreduce_f64, allreduce_max_u64};
+use knor_mpi::{Comm, LocalCluster, NetModel, ReduceAlgo};
+use knor_numa::{Placement, Topology};
+use knor_sched::{SchedulerKind, TaskQueue, DEFAULT_TASK_SIZE};
+
+/// Configuration for a [`DistKmeans`] run.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Ranks (simulated machines).
+    pub ranks: usize,
+    /// Worker threads inside each rank's engine.
+    pub threads_per_rank: usize,
+    /// Iteration cap (counting the initial assignment pass).
+    pub max_iters: usize,
+    /// Drift tolerance (0.0 = reassignment-only convergence).
+    pub tol: f64,
+    /// Centroid initialization (computed once over the full data, then
+    /// shared by all ranks — knor seeds every machine identically).
+    pub init: InitMethod,
+    /// Seed for initialization randomness.
+    pub seed: u64,
+    /// MTI pruning on (knord) or off (knord-).
+    pub pruning: Pruning,
+    /// All-reduce algorithm for the per-iteration centroid+count state.
+    pub reduce: ReduceAlgo,
+    /// Task queue policy inside each rank.
+    pub scheduler: SchedulerKind,
+    /// Rows per scheduler task.
+    pub task_size: usize,
+    /// Network model used to price each iteration's reduction (Figs. 11–13).
+    pub net: NetModel,
+    /// Compute the final SSE (one extra serial pass over the full data).
+    pub compute_sse: bool,
+}
+
+impl DistConfig {
+    /// knord defaults: MTI on, ring all-reduce, `ranks` engines of
+    /// `threads_per_rank` workers each.
+    pub fn new(k: usize, ranks: usize, threads_per_rank: usize) -> Self {
+        Self {
+            k,
+            ranks: ranks.max(1),
+            threads_per_rank: threads_per_rank.max(1),
+            max_iters: 100,
+            tol: 0.0,
+            init: InitMethod::Forgy,
+            seed: 0,
+            pruning: Pruning::Mti,
+            reduce: ReduceAlgo::Ring,
+            scheduler: SchedulerKind::NumaAware,
+            task_size: DEFAULT_TASK_SIZE,
+            net: NetModel::ec2_10gbe(),
+            compute_sse: false,
+        }
+    }
+
+    /// The paper's pure-MPI baseline shape: one single-threaded rank per
+    /// "core" (each rank owns one contiguous block, so there is nothing to
+    /// place NUMA-wise inside it).
+    pub fn pure_mpi(k: usize, ranks: usize) -> Self {
+        Self::new(k, ranks, 1)
+    }
+
+    /// Set the iteration cap.
+    pub fn with_max_iters(mut self, v: usize) -> Self {
+        self.max_iters = v;
+        self
+    }
+
+    /// Set the drift tolerance.
+    pub fn with_tol(mut self, v: f64) -> Self {
+        self.tol = v;
+        self
+    }
+
+    /// Set the initialization method.
+    pub fn with_init(mut self, v: InitMethod) -> Self {
+        self.init = v;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, v: u64) -> Self {
+        self.seed = v;
+        self
+    }
+
+    /// Enable/disable MTI pruning.
+    pub fn with_pruning(mut self, v: Pruning) -> Self {
+        self.pruning = v;
+        self
+    }
+
+    /// Choose the all-reduce algorithm.
+    pub fn with_reduce(mut self, v: ReduceAlgo) -> Self {
+        self.reduce = v;
+        self
+    }
+
+    /// Choose the per-rank scheduler policy.
+    pub fn with_scheduler(mut self, v: SchedulerKind) -> Self {
+        self.scheduler = v;
+        self
+    }
+
+    /// Set rows per task.
+    pub fn with_task_size(mut self, v: usize) -> Self {
+        self.task_size = v.max(1);
+        self
+    }
+
+    /// Supply a network model for the modeled wire times.
+    pub fn with_net(mut self, v: NetModel) -> Self {
+        self.net = v;
+        self
+    }
+
+    /// Toggle the final SSE pass.
+    pub fn with_sse(mut self, v: bool) -> Self {
+        self.compute_sse = v;
+        self
+    }
+}
+
+/// Statistics for one knord iteration: the engine counters (globalized
+/// across ranks by the all-reduce) plus the reduction's wire accounting.
+#[derive(Debug, Clone)]
+pub struct DistIterStats {
+    /// Iteration number, 0-based.
+    pub iter: usize,
+    /// Points reassigned this iteration, across all ranks.
+    pub reassigned: u64,
+    /// Rows touched this iteration, across all ranks.
+    pub rows_accessed: u64,
+    /// Pruning counters, across all ranks.
+    pub prune: PruneCounters,
+    /// Measured wall time of the iteration at rank 0.
+    pub wall_ns: u64,
+    /// Maximum centroid drift after the update.
+    pub max_drift: f64,
+    /// Wire bytes rank 0 sent in this iteration's reduction.
+    pub comm_bytes: u64,
+    /// Maximum wire bytes any rank sent in this iteration's reduction.
+    pub max_rank_comm_bytes: u64,
+    /// Modeled wire time of the reduction on the configured network.
+    pub modeled_comm_ns: f64,
+}
+
+/// Per-rank communication totals for a whole run.
+#[derive(Debug, Clone, Copy)]
+pub struct RankComm {
+    /// The rank id.
+    pub rank: usize,
+    /// Rows this rank owned.
+    pub rows: usize,
+    /// Total bytes this rank put on the wire.
+    pub bytes_sent: u64,
+    /// Total bytes this rank received.
+    pub bytes_received: u64,
+    /// Messages this rank sent.
+    pub messages_sent: u64,
+}
+
+/// The outcome of a knord run.
+#[derive(Debug, Clone)]
+pub struct DistResult {
+    /// Final `k x d` centroids (identical on every rank).
+    pub centroids: DMatrix,
+    /// Final assignment of each row, in global row order.
+    pub assignments: Vec<u32>,
+    /// Number of iterations executed.
+    pub niters: usize,
+    /// True if assignments stabilized before the iteration cap.
+    pub converged: bool,
+    /// Per-iteration statistics.
+    pub iters: Vec<DistIterStats>,
+    /// Per-rank communication totals.
+    pub rank_comm: Vec<RankComm>,
+    /// Final within-cluster sum of squared distances, when requested.
+    pub sse: Option<f64>,
+}
+
+impl DistResult {
+    /// Mean measured wall time per iteration at rank 0, nanoseconds.
+    pub fn mean_iter_ns(&self) -> f64 {
+        if self.iters.is_empty() {
+            return 0.0;
+        }
+        self.iters.iter().map(|i| i.wall_ns as f64).sum::<f64>() / self.iters.len() as f64
+    }
+
+    /// Sum of pruning counters across iterations.
+    pub fn total_prune(&self) -> PruneCounters {
+        let mut total = PruneCounters::default();
+        for it in &self.iters {
+            total.merge(&it.prune);
+        }
+        total
+    }
+}
+
+/// The knord solver.
+pub struct DistKmeans {
+    config: DistConfig,
+}
+
+impl DistKmeans {
+    /// Create a solver from a configuration.
+    pub fn new(config: DistConfig) -> Self {
+        assert!(config.k >= 1, "k must be positive");
+        assert!(config.max_iters >= 1, "need at least one iteration");
+        Self { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &DistConfig {
+        &self.config
+    }
+
+    /// Cluster `data` across `ranks` in-process ranks.
+    pub fn fit(&self, data: &DMatrix) -> DistResult {
+        let cfg = &self.config;
+        let n = data.nrow();
+        let d = data.ncol();
+        let k = cfg.k;
+        assert!(k <= n, "k = {k} exceeds n = {n}");
+
+        // Initialization happens once over the full matrix; every rank
+        // starts from identical centroids, as knor does by seeding each
+        // machine's generator identically.
+        let init = cfg.init.initialize(data, k, cfg.seed);
+        let ranges = knor_matrix::partition_rows(n, cfg.ranks);
+        let pruning = cfg.pruning.enabled();
+
+        let ranges_ref = &ranges;
+        let init_ref = &init;
+        let mut results = LocalCluster::run(cfg.ranks, |comm| {
+            let rows: Range<usize> = ranges_ref[comm.rank()].clone();
+            let local = data.view(rows.start, rows.end);
+            let topo = Topology::flat(cfg.threads_per_rank);
+            let placement = Placement::new(&topo, rows.len(), cfg.threads_per_rank);
+            let queue = TaskQueue::new(cfg.scheduler, &placement);
+            let driver_cfg = DriverConfig {
+                k,
+                d,
+                n: rows.len(),
+                nthreads: cfg.threads_per_rank,
+                max_iters: cfg.max_iters,
+                tol: cfg.tol,
+                pruning,
+                task_size: cfg.task_size,
+            };
+            let backend = RankBackend {
+                rows: local,
+                comm: &comm,
+                algo: cfg.reduce,
+                net: cfg.net,
+                reduce_payload: ((k * d + k + SCALARS) * 8) as u64,
+                prev_sent: ExclusiveCell::new(0),
+            };
+            let outcome = run_lloyd(&driver_cfg, init_ref.clone(), &placement, &queue, &backend);
+            (outcome, comm.stats().snapshot())
+        });
+
+        // Assemble the global result. Ranks hold identical centroids and
+        // iteration trajectories; assignments concatenate in rank order
+        // because the row partition is contiguous.
+        let mut assignments = Vec::with_capacity(n);
+        for (outcome, _) in &results {
+            assignments.extend_from_slice(&outcome.assignments);
+        }
+        let rank_comm = results
+            .iter()
+            .enumerate()
+            .map(|(rank, (_, (sent, received, msgs)))| RankComm {
+                rank,
+                rows: ranges[rank].len(),
+                bytes_sent: *sent,
+                bytes_received: *received,
+                messages_sent: *msgs,
+            })
+            .collect();
+
+        let (outcome0, _) = results.swap_remove(0);
+        let iters: Vec<DistIterStats> = outcome0
+            .iters
+            .into_iter()
+            .zip(outcome0.reduces)
+            .map(|(s, r)| DistIterStats {
+                iter: s.iter,
+                reassigned: s.reassigned,
+                rows_accessed: s.rows_accessed,
+                prune: s.prune,
+                wall_ns: s.wall_ns,
+                max_drift: s.max_drift,
+                comm_bytes: r.comm_bytes,
+                max_rank_comm_bytes: r.max_rank_comm_bytes,
+                modeled_comm_ns: r.modeled_comm_ns,
+            })
+            .collect();
+
+        let centroids = outcome0.centroids.to_matrix();
+        let sse = cfg.compute_sse.then(|| knor_core::quality::sse(data, &centroids, &assignments));
+
+        DistResult {
+            centroids,
+            assignments,
+            niters: iters.len(),
+            converged: outcome0.converged,
+            iters,
+            rank_comm,
+            sse,
+        }
+    }
+}
+
+/// One rank's backend: plain row-slice access plus the all-reduce window.
+struct RankBackend<'a> {
+    rows: RowView<'a>,
+    comm: &'a Comm,
+    algo: ReduceAlgo,
+    net: NetModel,
+    /// Modeled payload of one reduction: centroid sums + counts + the
+    /// convergence scalars, `(k·d + k + SCALARS) * 8` bytes — what the
+    /// engine actually puts on the wire each iteration.
+    reduce_payload: u64,
+    /// Bytes-sent watermark for per-iteration deltas (coordinator-only).
+    prev_sent: ExclusiveCell<u64>,
+}
+
+/// Scalar totals folded into the all-reduce payload so every rank shares
+/// the convergence decision and the global counters. All are integer-valued
+/// and well under 2^53, so the f64 transport is exact.
+const SCALARS: usize = 6;
+
+impl RankBackend<'_> {
+    fn pack_scalars(totals: &WorkerReport) -> [f64; SCALARS] {
+        [
+            totals.reassigned as f64,
+            totals.rows_accessed as f64,
+            totals.counters.clause1_rows as f64,
+            totals.counters.clause2_prunes as f64,
+            totals.counters.clause3_prunes as f64,
+            totals.counters.dist_computations as f64,
+        ]
+    }
+
+    fn unpack_scalars(totals: &mut WorkerReport, s: &[f64]) {
+        totals.reassigned = s[0] as u64;
+        totals.rows_accessed = s[1] as u64;
+        totals.counters.clause1_rows = s[2] as u64;
+        totals.counters.clause2_prunes = s[3] as u64;
+        totals.counters.clause3_prunes = s[4] as u64;
+        totals.counters.dist_computations = s[5] as u64;
+    }
+}
+
+impl LloydBackend for RankBackend<'_> {
+    fn compute(&self, w: usize, view: &IterView<'_>, accum: &mut LocalAccum) -> WorkerReport {
+        let mut rep = WorkerReport::default();
+        drain_queue(w, view, accum, &mut rep, |r| self.rows.row(r));
+        rep
+    }
+
+    fn reduce(
+        &self,
+        _iter: usize,
+        sums: &mut [f64],
+        counts: &mut [i64],
+        totals: &mut WorkerReport,
+    ) -> ReduceReport {
+        let r = self.comm.size();
+        let modeled_comm_ns = match self.algo {
+            ReduceAlgo::Ring => self.net.ring_allreduce_ns(self.reduce_payload, r),
+            ReduceAlgo::Star => self.net.star_allreduce_ns(self.reduce_payload, r),
+        };
+        if r == 1 {
+            return ReduceReport { comm_bytes: 0, max_rank_comm_bytes: 0, modeled_comm_ns };
+        }
+
+        // One all-reduce carries sums, counts, and the convergence scalars.
+        // Counts and scalars are integers, exact in f64 transport.
+        let k = counts.len();
+        let mut buf: Vec<f64> = Vec::with_capacity(sums.len() + k + SCALARS);
+        buf.extend_from_slice(sums);
+        buf.extend(counts.iter().map(|&c| c as f64));
+        buf.extend_from_slice(&Self::pack_scalars(totals));
+        allreduce_f64(self.comm, &mut buf, self.algo);
+        sums.copy_from_slice(&buf[..sums.len()]);
+        for (c, v) in counts.iter_mut().zip(&buf[sums.len()..sums.len() + k]) {
+            *c = v.round() as i64;
+        }
+        Self::unpack_scalars(totals, &buf[sums.len() + k..]);
+
+        // Per-iteration wire accounting: delta since the previous
+        // reduction, then the cluster-wide max (the slowest rank bounds the
+        // iteration). The max exchange itself is excluded from the delta by
+        // re-snapshotting afterwards.
+        // Safety: reduce runs in the coordinator's exclusive window.
+        let prev_sent = unsafe { self.prev_sent.get_mut() };
+        let sent_now = self.comm.stats().snapshot().0;
+        let comm_bytes = sent_now - *prev_sent;
+        let max_rank_comm_bytes = allreduce_max_u64(self.comm, comm_bytes);
+        *prev_sent = self.comm.stats().snapshot().0;
+
+        ReduceReport { comm_bytes, max_rank_comm_bytes, modeled_comm_ns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knor_core::quality::agreement;
+    use knor_core::serial::lloyd_serial;
+    use knor_workloads::MixtureSpec;
+
+    fn mixture(n: usize, d: usize, seed: u64) -> DMatrix {
+        MixtureSpec::friendster_like(n, d, seed).generate().data
+    }
+
+    #[test]
+    fn single_rank_matches_serial() {
+        let data = mixture(500, 6, 11);
+        let k = 6;
+        let init = InitMethod::Forgy.initialize(&data, k, 3).to_matrix();
+        let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 60, 0.0);
+        let dist = DistKmeans::new(
+            DistConfig::new(k, 1, 2)
+                .with_init(InitMethod::Given(init))
+                .with_max_iters(60)
+                .with_sse(true),
+        )
+        .fit(&data);
+        assert_eq!(dist.niters, serial.niters);
+        assert!(agreement(&dist.assignments, &serial.assignments, k) > 0.999);
+        let rel = (dist.sse.unwrap() - serial.sse.unwrap()).abs() / serial.sse.unwrap();
+        assert!(rel < 1e-9);
+    }
+
+    #[test]
+    fn ranks_partition_all_rows() {
+        let data = mixture(997, 4, 5);
+        let r =
+            DistKmeans::new(DistConfig::new(5, 3, 1).with_seed(2).with_max_iters(40)).fit(&data);
+        assert_eq!(r.assignments.len(), 997);
+        assert_eq!(r.rank_comm.iter().map(|c| c.rows).sum::<usize>(), 997);
+        assert!(r.rank_comm.iter().all(|c| c.bytes_sent > 0));
+    }
+
+    #[test]
+    fn mti_and_unpruned_walk_identical_trajectories() {
+        let data = mixture(1200, 6, 9);
+        let k = 8;
+        let init = InitMethod::PlusPlus.initialize(&data, k, 1).to_matrix();
+        let base = DistConfig::new(k, 3, 2)
+            .with_init(InitMethod::Given(init))
+            .with_max_iters(60)
+            .with_sse(true);
+        let mti = DistKmeans::new(base.clone()).fit(&data);
+        let full = DistKmeans::new(base.with_pruning(Pruning::None)).fit(&data);
+        assert_eq!(mti.niters, full.niters);
+        // FP merge order differs between delta and full accumulation:
+        // compare clusterings, not bits.
+        assert!(agreement(&mti.assignments, &full.assignments, k) > 0.999);
+        let rel = (mti.sse.unwrap() - full.sse.unwrap()).abs() / full.sse.unwrap();
+        assert!(rel < 1e-9);
+        assert!(mti.total_prune().clause1_rows > 0, "MTI never pruned");
+    }
+
+    #[test]
+    fn star_concentrates_wire_traffic_at_root() {
+        let data = mixture(800, 4, 3);
+        let run = |algo: ReduceAlgo| {
+            DistKmeans::new(
+                DistConfig::new(4, 4, 1).with_seed(1).with_reduce(algo).with_max_iters(20),
+            )
+            .fit(&data)
+        };
+        let ring = run(ReduceAlgo::Ring);
+        let star = run(ReduceAlgo::Star);
+        // Same clustering, different transport shape.
+        assert_eq!(ring.assignments, star.assignments);
+        let ring_max = ring.rank_comm.iter().map(|c| c.bytes_sent).max().unwrap();
+        let ring_min = ring.rank_comm.iter().map(|c| c.bytes_sent).min().unwrap();
+        // Ring traffic is balanced across ranks…
+        assert!(ring_max < ring_min * 2, "ring skewed: {ring_max} vs {ring_min}");
+        // …while the star funnels (R-1)x payloads through rank 0.
+        let star_root = star.rank_comm[0].bytes_sent;
+        let star_leaf = star.rank_comm[1].bytes_sent;
+        assert!(star_root > 2 * star_leaf, "star root {star_root} vs leaf {star_leaf}");
+    }
+
+    #[test]
+    fn modeled_comm_times_are_populated() {
+        let data = mixture(400, 4, 8);
+        let r =
+            DistKmeans::new(DistConfig::new(4, 2, 1).with_seed(4).with_max_iters(10)).fit(&data);
+        assert!(!r.iters.is_empty());
+        for it in &r.iters {
+            assert!(it.modeled_comm_ns > 0.0);
+            assert!(it.max_rank_comm_bytes >= it.comm_bytes);
+        }
+        assert!(r.mean_iter_ns() > 0.0);
+    }
+}

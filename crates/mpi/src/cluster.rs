@@ -99,13 +99,13 @@ impl LocalCluster {
             (0..nranks).map(|_| (0..nranks).map(|_| None).collect()).collect();
         for from in 0..nranks {
             let mut row = Vec::with_capacity(nranks);
-            for to in 0..nranks {
+            for (to, rrow) in receivers.iter_mut().enumerate() {
                 if from == to {
                     row.push(None);
                 } else {
                     let (tx, rx) = unbounded();
                     row.push(Some(tx));
-                    receivers[to][from] = Some(rx);
+                    rrow[from] = Some(rx);
                 }
             }
             senders.push(row);
@@ -114,9 +114,7 @@ impl LocalCluster {
         let barrier = Arc::new(Barrier::new(nranks));
 
         let mut comms: Vec<Comm> = Vec::with_capacity(nranks);
-        for (rank, (srow, rrow)) in
-            senders.into_iter().zip(receivers).enumerate()
-        {
+        for (rank, (srow, rrow)) in senders.into_iter().zip(receivers).enumerate() {
             let (dummy_tx, dummy_rx) = unbounded();
             let senders: Vec<Sender<Vec<u8>>> =
                 srow.into_iter().map(|s| s.unwrap_or_else(|| dummy_tx.clone())).collect();
@@ -134,10 +132,7 @@ impl LocalCluster {
 
         let f = &f;
         std::thread::scope(|s| {
-            let handles: Vec<_> = comms
-                .into_iter()
-                .map(|comm| s.spawn(move || f(comm)))
-                .collect();
+            let handles: Vec<_> = comms.into_iter().map(|comm| s.spawn(move || f(comm))).collect();
             handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
         })
     }

@@ -6,6 +6,18 @@
 //! funnels `(R-1)` payloads through one root — the structural reason the
 //! paper's decentralized design beats master-centric frameworks as clusters
 //! grow.
+//!
+//! # Reproducibility
+//!
+//! Both all-reduce algorithms accumulate every chunk **in rank order**
+//! (`((a₀ + a₁) + a₂) + …`), so `allreduce_f64` is bitwise deterministic
+//! and algorithm-independent: a knord run reduces to identical centroids
+//! whether it uses the ring or the star. The ring achieves this with a
+//! *direct* reduce-scatter (each rank sends its contribution for chunk `c`
+//! straight to chunk `c`'s owner, which folds the `R` contributions in
+//! rank order) followed by a ring all-gather — the same `2·(R-1)/R`
+//! per-rank traffic as the classic incremental ring, without imposing the
+//! ring's traversal order on the floating-point sums.
 
 use crate::cluster::{decode_f64, decode_i64, encode_f64, encode_i64, Comm};
 
@@ -80,22 +92,36 @@ fn ring_allreduce(comm: &Comm, buf: &mut [f64]) {
     let left = (rank + r - 1) % r;
     let ranges = chunks(buf.len(), r);
 
-    // Phase 1: reduce-scatter. After step s, chunk (rank - s) has been
-    // partially accumulated along the ring; after R-1 steps, chunk
-    // (rank + 1) mod R holds the full sum at this rank.
+    // Phase 1: direct reduce-scatter. Every rank sends its contribution
+    // for chunk o straight to o's owner; the owner folds all R
+    // contributions in rank order (see module docs: this makes the sum
+    // bitwise identical to the star's).
+    for o in 0..r {
+        if o != rank {
+            comm.send(o, encode_f64(&buf[ranges[o].clone()]));
+        }
+    }
+    let own = ranges[rank].clone();
+    let mut acc: Vec<f64> =
+        if rank == 0 { buf[own.clone()].to_vec() } else { decode_f64(&comm.recv(0)) };
+    for from in 1..r {
+        if from == rank {
+            for (a, b) in acc.iter_mut().zip(&buf[own.clone()]) {
+                *a += b;
+            }
+        } else {
+            let incoming = decode_f64(&comm.recv(from));
+            for (a, b) in acc.iter_mut().zip(&incoming) {
+                *a += b;
+            }
+        }
+    }
+    buf[own].copy_from_slice(&acc);
+
+    // Phase 2: all-gather the reduced chunks around the ring.
     for s in 0..r - 1 {
         let send_idx = (rank + r - s) % r;
         let recv_idx = (rank + r - s - 1) % r;
-        comm.send(right, encode_f64(&buf[ranges[send_idx].clone()]));
-        let incoming = decode_f64(&comm.recv(left));
-        for (a, b) in buf[ranges[recv_idx].clone()].iter_mut().zip(&incoming) {
-            *a += b;
-        }
-    }
-    // Phase 2: all-gather the reduced chunks around the ring.
-    for s in 0..r - 1 {
-        let send_idx = (rank + 1 + r - s) % r;
-        let recv_idx = (rank + r - s) % r;
         comm.send(right, encode_f64(&buf[ranges[send_idx].clone()]));
         let incoming = decode_f64(&comm.recv(left));
         buf[ranges[recv_idx].clone()].copy_from_slice(&incoming);
@@ -122,6 +148,32 @@ fn star_allreduce(comm: &Comm, buf: &mut [f64]) {
         comm.send(0, encode_f64(buf));
         let reduced = decode_f64(&comm.recv(0));
         buf.copy_from_slice(&reduced);
+    }
+}
+
+/// Max-all-reduce a single `u64` across all ranks (star; the payload is 8
+/// bytes, so topology does not matter). knord uses this for per-iteration
+/// "slowest rank" metrics like wire bytes.
+pub fn allreduce_max_u64(comm: &Comm, value: u64) -> u64 {
+    let r = comm.size();
+    if r == 1 {
+        return value;
+    }
+    if comm.rank() == 0 {
+        let mut max = value;
+        for from in 1..r {
+            let bytes = comm.recv(from);
+            max = max.max(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+        }
+        let out = max.to_le_bytes().to_vec();
+        for to in 1..r {
+            comm.send(to, out.clone());
+        }
+        max
+    } else {
+        comm.send(0, value.to_le_bytes().to_vec());
+        let bytes = comm.recv(0);
+        u64::from_le_bytes(bytes[..8].try_into().unwrap())
     }
 }
 
@@ -174,10 +226,7 @@ pub fn gather_u32(comm: &Comm, mine: &[u32]) -> Option<Vec<Vec<u32>>> {
         for from in 1..r {
             let bytes = comm.recv(from);
             all.push(
-                bytes
-                    .chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                    .collect(),
+                bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect(),
             );
         }
         Some(all)
@@ -198,15 +247,13 @@ mod tests {
 
     fn check_allreduce(nranks: usize, len: usize, algo: ReduceAlgo) {
         let results = LocalCluster::run(nranks, |c| {
-            let mut buf: Vec<f64> =
-                (0..len).map(|i| (c.rank() * len + i) as f64 * 0.5).collect();
+            let mut buf: Vec<f64> = (0..len).map(|i| (c.rank() * len + i) as f64 * 0.5).collect();
             allreduce_f64(&c, &mut buf, algo);
             buf
         });
         // Expected: elementwise sum of every rank's initial buffer.
-        let expected: Vec<f64> = (0..len)
-            .map(|i| (0..nranks).map(|r| (r * len + i) as f64 * 0.5).sum())
-            .collect();
+        let expected: Vec<f64> =
+            (0..len).map(|i| (0..nranks).map(|r| (r * len + i) as f64 * 0.5).sum()).collect();
         for (rank, buf) in results.iter().enumerate() {
             for (j, (&got, &want)) in buf.iter().zip(&expected).enumerate() {
                 assert!(
@@ -245,6 +292,42 @@ mod tests {
         for buf in results {
             assert_eq!(buf, vec![10, -6]);
         }
+    }
+
+    #[test]
+    fn ring_and_star_are_bitwise_identical() {
+        // The engine-level guarantee: algorithm choice must not change the
+        // reduced floating-point values in any bit.
+        for r in [2usize, 3, 4, 7] {
+            let len = 257; // non-divisible by r: exercises chunk rounding
+            let mk = |algo: ReduceAlgo| {
+                LocalCluster::run(r, move |c| {
+                    let mut buf: Vec<f64> = (0..len)
+                        .map(|i| ((c.rank() * 7919 + i * 104729) as f64).sin() * 1e3)
+                        .collect();
+                    allreduce_f64(&c, &mut buf, algo);
+                    buf
+                })
+            };
+            let ring = mk(ReduceAlgo::Ring);
+            let star = mk(ReduceAlgo::Star);
+            for rank in 0..r {
+                for (a, b) in ring[rank].iter().zip(&star[rank]) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "R={r} rank={rank}: ring {a} != star {b}");
+                }
+            }
+            // And every rank agrees with every other bitwise.
+            for rank in 1..r {
+                assert_eq!(ring[0], ring[rank]);
+            }
+        }
+    }
+
+    #[test]
+    fn max_allreduce_agrees_everywhere() {
+        let out = LocalCluster::run(5, |c| allreduce_max_u64(&c, (c.rank() as u64 * 13) % 37));
+        let expect = (0..5u64).map(|r| (r * 13) % 37).max().unwrap();
+        assert_eq!(out, vec![expect; 5]);
     }
 
     #[test]
@@ -291,11 +374,8 @@ mod tests {
         for r in [1usize, 2, 3, 5, 8] {
             for root in 0..r {
                 let results = LocalCluster::run(r, |c| {
-                    let mut buf = if c.rank() == root {
-                        vec![3.25f64, -1.0, 7.5]
-                    } else {
-                        vec![0.0; 3]
-                    };
+                    let mut buf =
+                        if c.rank() == root { vec![3.25f64, -1.0, 7.5] } else { vec![0.0; 3] };
                     broadcast_f64(&c, &mut buf, root);
                     buf
                 });

@@ -83,10 +83,7 @@ mod tests {
         let t = Topology::detect();
         let out = bind_current_thread(&t, NodeId(0));
         // Must not panic; on Linux with accessible CPUs this applies.
-        assert!(matches!(
-            out,
-            BindOutcome::Applied | BindOutcome::Simulated | BindOutcome::Failed
-        ));
+        assert!(matches!(out, BindOutcome::Applied | BindOutcome::Simulated | BindOutcome::Failed));
     }
 
     #[cfg(target_os = "linux")]
@@ -107,8 +104,7 @@ mod tests {
             }
             unsafe {
                 let mut set: libc::cpu_set_t = std::mem::zeroed();
-                if libc::sched_getaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &mut set)
-                    != 0
+                if libc::sched_getaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &mut set) != 0
                 {
                     return true;
                 }

@@ -187,8 +187,7 @@ impl IterationCost {
         if self.per_thread_ns.is_empty() {
             return 1.0;
         }
-        let mean: f64 =
-            self.per_thread_ns.iter().sum::<f64>() / self.per_thread_ns.len() as f64;
+        let mean: f64 = self.per_thread_ns.iter().sum::<f64>() / self.per_thread_ns.len() as f64;
         if mean == 0.0 {
             1.0
         } else {
@@ -201,8 +200,14 @@ impl IterationCost {
 mod tests {
     use super::*;
 
-    fn tally(node: usize, nnodes: usize, local: u64, remote_node: usize, remote: u64, row: u64)
-    -> AccessTally {
+    fn tally(
+        node: usize,
+        nnodes: usize,
+        local: u64,
+        remote_node: usize,
+        remote: u64,
+        row: u64,
+    ) -> AccessTally {
         let mut t = AccessTally::new(NodeId(node), nnodes);
         for _ in 0..local {
             t.record_access(NodeId(node), row);
@@ -229,8 +234,7 @@ mod tests {
         let oblivious: Vec<_> =
             (0..8).map(|t| tally(t % nnodes, nnodes, 0, 0, 100_000, 64)).collect();
         // ...vs 8 threads each streaming from their own node.
-        let aware: Vec<_> =
-            (0..8).map(|t| tally(t % nnodes, nnodes, 100_000, 0, 0, 64)).collect();
+        let aware: Vec<_> = (0..8).map(|t| tally(t % nnodes, nnodes, 100_000, 0, 0, 64)).collect();
         let to = m.iteration_time(&oblivious, 1);
         let ta = m.iteration_time(&aware, 1);
         assert!(
@@ -253,12 +257,9 @@ mod tests {
     #[test]
     fn skew_detects_imbalance() {
         let m = CostModel::paper_default();
-        let balanced = m.iteration_time(
-            &[tally(0, 1, 100, 0, 0, 64), tally(0, 1, 100, 0, 0, 64)],
-            1,
-        );
-        let skewed =
-            m.iteration_time(&[tally(0, 1, 1000, 0, 0, 64), tally(0, 1, 10, 0, 0, 64)], 1);
+        let balanced =
+            m.iteration_time(&[tally(0, 1, 100, 0, 0, 64), tally(0, 1, 100, 0, 0, 64)], 1);
+        let skewed = m.iteration_time(&[tally(0, 1, 1000, 0, 0, 64), tally(0, 1, 10, 0, 0, 64)], 1);
         assert!(balanced.skew() < 1.01);
         assert!(skewed.skew() > 1.5);
     }

@@ -39,9 +39,9 @@ impl NumaMatrix {
         // Arena size per node and per-thread base offsets within its arena.
         let mut arena_rows = vec![0usize; nnodes];
         let mut thread_arena_base = vec![0usize; placement.nthreads()];
-        for t in 0..placement.nthreads() {
+        for (t, base) in thread_arena_base.iter_mut().enumerate() {
             let node = placement.node_of_thread(t).0;
-            thread_arena_base[t] = arena_rows[node];
+            *base = arena_rows[node];
             arena_rows[node] += placement.range_of_thread(t).len();
         }
 
@@ -49,8 +49,7 @@ impl NumaMatrix {
         let mut arenas: Vec<Vec<f64>> = Vec::with_capacity(nnodes);
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(nnodes);
-            for node in 0..nnodes {
-                let rows = arena_rows[node];
+            for (node, &rows) in arena_rows.iter().enumerate().take(nnodes) {
                 let placement = &placement;
                 let thread_arena_base = &thread_arena_base;
                 handles.push(s.spawn(move || {
@@ -59,12 +58,12 @@ impl NumaMatrix {
                     }
                     // First touch happens here, on the (possibly bound) thread.
                     let mut arena = vec![0.0f64; rows * ncol];
-                    for t in 0..placement.nthreads() {
+                    for (t, &arena_base) in thread_arena_base.iter().enumerate() {
                         if placement.node_of_thread(t).0 != node {
                             continue;
                         }
                         let range = placement.range_of_thread(t);
-                        let base = thread_arena_base[t] * ncol;
+                        let base = arena_base * ncol;
                         let src = &m.as_slice()[range.start * ncol..range.end * ncol];
                         arena[base..base + src.len()].copy_from_slice(src);
                     }

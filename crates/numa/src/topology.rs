@@ -33,9 +33,8 @@ impl Topology {
     /// `cpus_per_node` logical CPUs each, numbered contiguously.
     pub fn synthetic(nodes: usize, cpus_per_node: usize) -> Self {
         assert!(nodes > 0 && cpus_per_node > 0);
-        let cpus = (0..nodes)
-            .map(|n| (n * cpus_per_node..(n + 1) * cpus_per_node).collect())
-            .collect();
+        let cpus =
+            (0..nodes).map(|n| (n * cpus_per_node..(n + 1) * cpus_per_node).collect()).collect();
         Self { cpus, detected: false }
     }
 
@@ -73,8 +72,7 @@ impl Topology {
             let entry = entry.ok()?;
             let name = entry.file_name();
             let name = name.to_str()?;
-            let Some(idx) = name.strip_prefix("node").and_then(|s| s.parse::<usize>().ok())
-            else {
+            let Some(idx) = name.strip_prefix("node").and_then(|s| s.parse::<usize>().ok()) else {
                 continue;
             };
             let list = std::fs::read_to_string(entry.path().join("cpulist")).ok()?;

@@ -89,8 +89,7 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("knor-safs-prefetch-{}.knor", std::process::id()));
         write_matrix(&p, &m).unwrap();
-        let reader =
-            Arc::new(SafsReader::new(RowStore::open(&p, 512).unwrap(), 1 << 20, 4));
+        let reader = Arc::new(SafsReader::new(RowStore::open(&p, 512).unwrap(), 1 << 20, 4));
         let pool = Prefetcher::spawn(Arc::clone(&reader), 2);
         let rows: Vec<usize> = (0..500).collect();
         let pages = reader.pages_for_rows(&rows);
@@ -110,8 +109,7 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("knor-safs-prefetch-drop-{}.knor", std::process::id()));
         write_matrix(&p, &m).unwrap();
-        let reader =
-            Arc::new(SafsReader::new(RowStore::open(&p, 256).unwrap(), 1 << 16, 2));
+        let reader = Arc::new(SafsReader::new(RowStore::open(&p, 256).unwrap(), 1 << 16, 2));
         {
             let pool = Prefetcher::spawn(Arc::clone(&reader), 2);
             pool.request(vec![0]);

@@ -95,9 +95,7 @@ impl SafsReader {
         out.clear();
         out.reserve(rows.len() * d);
 
-        self.stats
-            .bytes_requested
-            .fetch_add(rows.len() as u64 * rb as u64, Ordering::Relaxed);
+        self.stats.bytes_requested.fetch_add(rows.len() as u64 * rb as u64, Ordering::Relaxed);
 
         // 1. Which pages do we need, and which are missing from cache?
         let pages = self.pages_for_rows(rows);
@@ -124,9 +122,7 @@ impl SafsReader {
             let bytes = self.store.read_page_run(first, count)?;
             device_reads += 1;
             self.stats.device_reads.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .bytes_read_device
-                .fetch_add((count * ps) as u64, Ordering::Relaxed);
+            self.stats.bytes_read_device.fetch_add((count * ps) as u64, Ordering::Relaxed);
             for i in 0..count {
                 let p = first + i as u64;
                 let page = &bytes[i * ps..(i + 1) * ps];
@@ -161,9 +157,7 @@ impl SafsReader {
         for (first, count) in self.merge_runs(&missing) {
             let bytes = self.store.read_page_run(first, count)?;
             self.stats.device_reads.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .bytes_read_device
-                .fetch_add((count * ps) as u64, Ordering::Relaxed);
+            self.stats.bytes_read_device.fetch_add((count * ps) as u64, Ordering::Relaxed);
             self.stats.prefetched_pages.fetch_add(count as u64, Ordering::Relaxed);
             for i in 0..count {
                 self.cache.insert(first + i as u64, &bytes[i * ps..(i + 1) * ps]);
@@ -180,12 +174,13 @@ mod tests {
     use knor_matrix::DMatrix;
     use std::path::PathBuf;
 
-    fn reader(nrow: usize, ncol: usize, page: usize, cache_bytes: u64) -> (SafsReader, DMatrix, PathBuf) {
-        let m = DMatrix::from_vec(
-            (0..nrow * ncol).map(|x| (x as f64).sin()).collect(),
-            nrow,
-            ncol,
-        );
+    fn reader(
+        nrow: usize,
+        ncol: usize,
+        page: usize,
+        cache_bytes: u64,
+    ) -> (SafsReader, DMatrix, PathBuf) {
+        let m = DMatrix::from_vec((0..nrow * ncol).map(|x| (x as f64).sin()).collect(), nrow, ncol);
         let mut p = std::env::temp_dir();
         p.push(format!(
             "knor-safs-reader-{}-{nrow}x{ncol}-{page}-{cache_bytes}.knor",

@@ -129,12 +129,12 @@ mod tests {
     use knor_matrix::io::write_matrix;
     use knor_matrix::DMatrix;
 
-    fn store_with(nrow: usize, ncol: usize, page: usize) -> (RowStore, DMatrix, std::path::PathBuf) {
-        let m = DMatrix::from_vec(
-            (0..nrow * ncol).map(|x| x as f64 * 0.25).collect(),
-            nrow,
-            ncol,
-        );
+    fn store_with(
+        nrow: usize,
+        ncol: usize,
+        page: usize,
+    ) -> (RowStore, DMatrix, std::path::PathBuf) {
+        let m = DMatrix::from_vec((0..nrow * ncol).map(|x| x as f64 * 0.25).collect(), nrow, ncol);
         let mut p = std::env::temp_dir();
         p.push(format!("knor-safs-store-{}-{nrow}x{ncol}-{page}.knor", std::process::id()));
         write_matrix(&p, &m).unwrap();

@@ -112,8 +112,7 @@ impl TaskQueue {
     /// Build an empty queue with one partition per worker in `placement`.
     pub fn new(kind: SchedulerKind, placement: &Placement) -> Self {
         let nthreads = placement.nthreads();
-        let worker_node: Vec<NodeId> =
-            (0..nthreads).map(|t| placement.node_of_thread(t)).collect();
+        let worker_node: Vec<NodeId> = (0..nthreads).map(|t| placement.node_of_thread(t)).collect();
         let mut node_workers = vec![Vec::new(); placement.nnodes()];
         for (w, n) in worker_node.iter().enumerate() {
             node_workers[n.0].push(w);

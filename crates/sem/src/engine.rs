@@ -1,7 +1,7 @@
 //! The knors SEM engine.
 //!
-//! Mirrors the in-memory ||Lloyd's protocol (see `knor_core::engine`) with
-//! row data pulled through the SAFS-lite stack instead of NUMA arenas:
+//! Runs the shared ||Lloyd's protocol (`knor_core::driver`) with row data
+//! pulled through the SAFS-lite stack instead of NUMA arenas:
 //!
 //! ```text
 //! row needed? ── Clause 1 ──> skipped: no I/O at all
@@ -13,20 +13,25 @@
 //!
 //! Workers pipeline at depth 2: the Clause-1 filter for the *next* task is
 //! run and its pages submitted to the prefetcher before the *current* task
-//! computes, overlapping I/O with computation as FlashGraph does.
+//! computes, overlapping I/O with computation as FlashGraph does. The
+//! backend's `pre_iteration` hook makes the row-cache refresh decision and
+//! `end_iteration` snapshots the per-iteration I/O counters.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
-use knor_core::centroids::{finalize_means, Centroids, LocalAccum};
-use knor_core::distance::{dist, nearest};
-use knor_core::pruning::{mti_assign, MtiIterState, PruneCounters, Pruning};
+use knor_core::centroids::{Centroids, LocalAccum};
+use knor_core::driver::{
+    filter_row, process_row_full, process_row_mti, run_lloyd, DriverConfig, IterView, LloydBackend,
+    WorkerReport,
+};
+use knor_core::pruning::{PruneCounters, Pruning};
 use knor_core::stats::{IterStats, KmeansResult, MemoryFootprint};
 use knor_core::sync::ExclusiveCell;
-use knor_matrix::shared::SharedRows;
 use knor_matrix::DMatrix;
 use knor_numa::{Placement, Topology};
+use knor_safs::stats::{IoSnapshot, IoStats};
 use knor_safs::{Prefetcher, RowStore, SafsReader, DEFAULT_PAGE_SIZE};
 use knor_sched::{SchedulerKind, Task, TaskQueue, DEFAULT_TASK_SIZE};
 
@@ -257,263 +262,46 @@ impl SemKmeans {
         let topo = Topology::detect();
         let placement = Placement::new(&topo, n, nthreads);
         let queue = TaskQueue::new(cfg.scheduler, &placement);
-        queue.refill(&placement, cfg.task_size);
-
-        // Shared engine state (same barrier protocol as knor-core).
-        let centroids = ExclusiveCell::new(init_cents);
-        let next_cents = ExclusiveCell::new(Centroids::zeros(k, d));
-        let mti = ExclusiveCell::new(MtiIterState::new(k));
-        let assign: SharedRows<u32> = SharedRows::new(n, u32::MAX);
-        let upper: SharedRows<f64> = SharedRows::new(n, f64::INFINITY);
-        let merged_sums: SharedRows<f64> = SharedRows::new(k * d, 0.0);
-        let merged_counts = ExclusiveCell::new(vec![0i64; k]);
-        let persistent = ExclusiveCell::new((vec![0.0f64; k * d], vec![0i64; k]));
-        let accums: Vec<ExclusiveCell<LocalAccum>> =
-            (0..nthreads).map(|_| ExclusiveCell::new(LocalAccum::new(k, d))).collect();
-        let scratch: Vec<ExclusiveCell<(PruneCounters, u64, u64, u64)>> =
-            (0..nthreads).map(|_| ExclusiveCell::new(Default::default())).collect();
-        let stop = AtomicBool::new(false);
-        let converged = AtomicBool::new(false);
-        let refresh_now = AtomicBool::new(false);
-        let barrier = Barrier::new(nthreads);
-        let dim_slices = knor_matrix::partition_rows(k * d, nthreads);
         let pruning = cfg.pruning.enabled();
 
-        let mut out_iters: Vec<IterStats> = Vec::new();
-        let mut out_io: Vec<IoIterStats> = Vec::new();
-
-        std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(nthreads);
-            for w in 0..nthreads {
-                let reader = Arc::clone(&reader);
-                let row_cache = &row_cache;
-                let prefetcher = prefetcher.as_ref();
-                let centroids = &centroids;
-                let next_cents = &next_cents;
-                let mti = &mti;
-                let assign = &assign;
-                let upper = &upper;
-                let merged_sums = &merged_sums;
-                let merged_counts = &merged_counts;
-                let persistent = &persistent;
-                let accums = &accums;
-                let scratch = &scratch;
-                let stop = &stop;
-                let converged = &converged;
-                let refresh_now = &refresh_now;
-                let barrier = &barrier;
-                let queue = &queue;
-                let placement = &placement;
-                let io_stats = Arc::clone(&io_stats);
-                let dim_slice = dim_slices[w].clone();
-                handles.push(s.spawn(move || {
-                    let mut iters: Vec<IterStats> = Vec::new();
-                    let mut ios: Vec<IoIterStats> = Vec::new();
-                    let mut schedule = if cfg.lazy_refresh {
-                        RefreshSchedule::lazy(cfg.cache_interval)
-                    } else {
-                        RefreshSchedule::fixed(cfg.cache_interval)
-                    };
-                    let mut prev_io = io_stats.snapshot();
-                    let mut iter = 0usize;
-                    let mut fetch_buf: Vec<f64> = Vec::new();
-                    let mut row_buf = vec![0.0f64; d];
-
-                    loop {
-                        if w == 0 {
-                            // Coordinator decides the refresh before A.
-                            let refresh = schedule.should_refresh(iter);
-                            if refresh {
-                                row_cache.flush();
-                            }
-                            refresh_now.store(refresh, Ordering::Release);
-                        }
-                        barrier.wait(); // A
-                        if stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let t0 = std::time::Instant::now();
-                        let refreshing = refresh_now.load(Ordering::Acquire);
-                        // Safety: barrier A separates coordinator writes.
-                        let cents = unsafe { centroids.get() };
-                        let mti_state = unsafe { mti.get() };
-                        let accum = unsafe { accums[w].get_mut() };
-                        let mut counters = PruneCounters::default();
-                        let mut reassigned = 0u64;
-                        let mut rows_accessed = 0u64;
-                        let mut rc_hits = 0u64;
-
-                        // Depth-2 pipeline: filter next, compute current.
-                        let mut pending: Option<FilteredTask> = None;
-                        loop {
-                            let next = queue.next(w).map(|task| {
-                                let needed = filter_task(
-                                    &task,
-                                    iter,
-                                    pruning,
-                                    assign,
-                                    upper,
-                                    mti_state,
-                                    &mut counters,
-                                );
-                                if let Some(pf) = prefetcher {
-                                    if !needed.is_empty() {
-                                        pf.request(reader.pages_for_rows(&needed));
-                                    }
-                                }
-                                FilteredTask { needed }
-                            });
-                            let current = pending.take();
-                            pending = next;
-                            let Some(ft) = current else {
-                                if pending.is_none() {
-                                    break;
-                                }
-                                continue;
-                            };
-                            compute_task(
-                                &ft,
-                                iter,
-                                pruning,
-                                refreshing,
-                                &reader,
-                                row_cache,
-                                cents,
-                                mti_state,
-                                assign,
-                                upper,
-                                accum,
-                                &mut counters,
-                                &mut reassigned,
-                                &mut rows_accessed,
-                                &mut rc_hits,
-                                &mut fetch_buf,
-                                &mut row_buf,
-                            );
-                        }
-                        // Safety: own scratch slot, read after barrier B.
-                        unsafe {
-                            *scratch[w].get_mut() =
-                                (counters, reassigned, rows_accessed, rc_hits);
-                        }
-
-                        barrier.wait(); // B
-
-                        for j in dim_slice.clone() {
-                            let mut sum = 0.0;
-                            for a in accums.iter() {
-                                sum += unsafe { a.get() }.sums[j];
-                            }
-                            unsafe { *merged_sums.get_mut(j) = sum };
-                        }
-                        if w == 0 {
-                            let mc = unsafe { merged_counts.get_mut() };
-                            for c in 0..k {
-                                mc[c] =
-                                    accums.iter().map(|a| unsafe { a.get() }.counts[c]).sum();
-                            }
-                        }
-
-                        barrier.wait(); // C
-
-                        if w == 0 {
-                            let cents = unsafe { centroids.get_mut() };
-                            let next = unsafe { next_cents.get_mut() };
-                            let mc = unsafe { merged_counts.get() };
-                            let (psums, pcounts) = unsafe { persistent.get_mut() };
-                            if pruning {
-                                for j in 0..k * d {
-                                    psums[j] += unsafe { *merged_sums.get(j) };
-                                }
-                                for c in 0..k {
-                                    pcounts[c] += mc[c];
-                                }
-                                finalize_means(psums, pcounts, cents, next);
-                            } else {
-                                let sums: Vec<f64> =
-                                    (0..k * d).map(|j| unsafe { *merged_sums.get(j) }).collect();
-                                finalize_means(&sums, mc, cents, next);
-                            }
-                            let max_drift = (0..k)
-                                .map(|c| dist(cents.mean(c), next.mean(c)))
-                                .fold(0.0f64, f64::max);
-                            if pruning {
-                                unsafe { mti.get_mut() }.update(cents, next);
-                            }
-                            std::mem::swap(cents, next);
-
-                            let mut counters = PruneCounters::default();
-                            let mut reassigned = 0u64;
-                            let mut rows_accessed = 0u64;
-                            let mut rc_hits_total = 0u64;
-                            for sc in scratch.iter() {
-                                let (c, r, ra, rh) = unsafe { sc.get() };
-                                counters.merge(c);
-                                reassigned += r;
-                                rows_accessed += ra;
-                                rc_hits_total += rh;
-                            }
-                            let io_now = io_stats.snapshot();
-                            let delta = io_now.delta_since(&prev_io);
-                            prev_io = io_now;
-                            ios.push(IoIterStats {
-                                iter,
-                                active_rows: rows_accessed,
-                                rc_hits: rc_hits_total,
-                                rc_misses: rows_accessed - rc_hits_total,
-                                bytes_requested: delta.bytes_requested,
-                                bytes_read: delta.bytes_read_device,
-                                page_hits: delta.page_hits,
-                                page_misses: delta.page_misses,
-                                rc_resident_rows: row_cache.resident_rows(),
-                                rc_refreshed: refreshing,
-                            });
-                            iters.push(IterStats {
-                                iter,
-                                reassigned,
-                                rows_accessed,
-                                prune: counters,
-                                wall_ns: t0.elapsed().as_nanos() as u64,
-                                queue: queue.stats(),
-                                tallies: None,
-                                max_drift,
-                            });
-                            queue.reset_stats();
-                            row_cache.reset_counters();
-
-                            let done = iter + 1;
-                            let is_converged =
-                                reassigned == 0 || (cfg.tol > 0.0 && max_drift <= cfg.tol);
-                            if is_converged {
-                                converged.store(true, Ordering::Release);
-                            }
-                            if is_converged || done >= cfg.max_iters {
-                                stop.store(true, Ordering::Release);
-                            } else {
-                                queue.refill(placement, cfg.task_size);
-                            }
-                        }
-                        accum.reset();
-                        iter += 1;
-                    }
-                    (iters, ios)
-                }));
-            }
-            for (w, h) in handles.into_iter().enumerate() {
-                let (iters, ios) = h.join().expect("SEM worker panicked");
-                if w == 0 {
-                    out_iters = iters;
-                    out_io = ios;
-                }
-            }
-        });
+        let driver_cfg = DriverConfig {
+            k,
+            d,
+            n,
+            nthreads,
+            max_iters: cfg.max_iters,
+            tol: cfg.tol,
+            pruning,
+            task_size: cfg.task_size,
+        };
+        let schedule = if cfg.lazy_refresh {
+            RefreshSchedule::lazy(cfg.cache_interval)
+        } else {
+            RefreshSchedule::fixed(cfg.cache_interval)
+        };
+        let backend = SemBackend {
+            reader: Arc::clone(&reader),
+            row_cache: &row_cache,
+            prefetcher: prefetcher.as_ref(),
+            d,
+            refresh_now: AtomicBool::new(false),
+            schedule: ExclusiveCell::new(schedule),
+            io_stats: Arc::clone(&io_stats),
+            prev_io: ExclusiveCell::new(io_stats.snapshot()),
+            ios: ExclusiveCell::new(Vec::new()),
+            scratch: (0..nthreads)
+                .map(|_| ExclusiveCell::new((Vec::new(), vec![0.0f64; d])))
+                .collect(),
+        };
+        let outcome = run_lloyd(&driver_cfg, init_cents, &placement, &queue, &backend);
+        let out_io = backend.ios.into_inner();
 
         if let Some(pf) = prefetcher {
             pf.shutdown();
         }
 
-        let assignments = assign.snapshot();
-        let final_cents = centroids.into_inner().to_matrix();
+        let assignments = outcome.assignments;
+        let final_cents = outcome.centroids.to_matrix();
         let sse = if cfg.compute_sse {
             Some(streamed_sse(&reader, &final_cents, &assignments)?)
         } else {
@@ -530,14 +318,14 @@ impl SemKmeans {
             cache_bytes: cfg.row_cache_bytes + cfg.page_cache_bytes,
         };
 
-        let niters = out_iters.len();
+        let niters = outcome.iters.len();
         Ok(SemResult {
             kmeans: KmeansResult {
                 centroids: final_cents,
                 assignments,
                 niters,
-                converged: converged.load(Ordering::Acquire),
-                iters: out_iters,
+                converged: outcome.converged,
+                iters: outcome.iters,
                 memory,
                 sse,
             },
@@ -546,122 +334,180 @@ impl SemKmeans {
     }
 }
 
+/// The SEM backend: Clause-1-filtered, row-cache/SAFS row access plugged
+/// into the shared `knor_core::driver` protocol.
+struct SemBackend<'a> {
+    reader: Arc<SafsReader>,
+    row_cache: &'a RowCache,
+    prefetcher: Option<&'a Prefetcher>,
+    d: usize,
+    /// Whether the row cache refreshes this iteration (set in
+    /// `pre_iteration`, read by every worker's compute).
+    refresh_now: AtomicBool,
+    /// Coordinator-only refresh schedule state.
+    schedule: ExclusiveCell<RefreshSchedule>,
+    io_stats: Arc<IoStats>,
+    /// Coordinator-only snapshot for per-iteration I/O deltas.
+    prev_io: ExclusiveCell<IoSnapshot>,
+    /// Per-iteration I/O statistics, filled in `end_iteration`.
+    ios: ExclusiveCell<Vec<IoIterStats>>,
+    /// Per-worker `(fetch_buf, row_buf)` scratch, reused across iterations
+    /// so the hot path never reallocates.
+    scratch: Vec<ExclusiveCell<(Vec<f64>, Vec<f64>)>>,
+}
+
+impl LloydBackend for SemBackend<'_> {
+    fn pre_iteration(&self, iter: usize) {
+        // Safety: coordinator-only hook; other workers are between their
+        // accumulator reset and barrier A and do not touch this cell.
+        let refresh = unsafe { self.schedule.get_mut() }.should_refresh(iter);
+        if refresh {
+            self.row_cache.flush();
+        }
+        self.refresh_now.store(refresh, Ordering::Release);
+    }
+
+    fn compute(&self, w: usize, view: &IterView<'_>, accum: &mut LocalAccum) -> WorkerReport {
+        let refreshing = self.refresh_now.load(Ordering::Acquire);
+        let mut rep = WorkerReport::default();
+        // Safety: own-worker slot, touched only inside this worker's
+        // compute super-phase.
+        let (fetch_buf, row_buf) = unsafe { self.scratch[w].get_mut() };
+
+        // Depth-2 pipeline: filter (and prefetch) next, compute current.
+        let mut pending: Option<FilteredTask> = None;
+        loop {
+            let next = view.queue.next(w).map(|task| {
+                let needed = filter_task(&task, view, &mut rep.counters);
+                if let Some(pf) = self.prefetcher {
+                    if !needed.is_empty() {
+                        pf.request(self.reader.pages_for_rows(&needed));
+                    }
+                }
+                FilteredTask { needed }
+            });
+            let current = pending.take();
+            pending = next;
+            let Some(ft) = current else {
+                if pending.is_none() {
+                    break;
+                }
+                continue;
+            };
+            self.compute_task(&ft, view, refreshing, accum, &mut rep, fetch_buf, row_buf);
+        }
+        rep
+    }
+
+    fn end_iteration(&self, iter: usize, stats: &IterStats, aux_total: u64) {
+        let refreshing = self.refresh_now.load(Ordering::Acquire);
+        let io_now = self.io_stats.snapshot();
+        // Safety: coordinator-only cells inside the exclusive window.
+        let prev_io = unsafe { self.prev_io.get_mut() };
+        let delta = io_now.delta_since(prev_io);
+        *prev_io = io_now;
+        unsafe { self.ios.get_mut() }.push(IoIterStats {
+            iter,
+            active_rows: stats.rows_accessed,
+            rc_hits: aux_total,
+            rc_misses: stats.rows_accessed - aux_total,
+            bytes_requested: delta.bytes_requested,
+            bytes_read: delta.bytes_read_device,
+            page_hits: delta.page_hits,
+            page_misses: delta.page_misses,
+            rc_resident_rows: self.row_cache.resident_rows(),
+            rc_refreshed: refreshing,
+        });
+        self.row_cache.reset_counters();
+    }
+}
+
+impl SemBackend<'_> {
+    /// Fetch and process the needed rows of a filtered task.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_task(
+        &self,
+        ft: &FilteredTask,
+        view: &IterView<'_>,
+        refreshing: bool,
+        accum: &mut LocalAccum,
+        rep: &mut WorkerReport,
+        fetch_buf: &mut Vec<f64>,
+        row_buf: &mut [f64],
+    ) {
+        let d = self.d;
+        // Split needed rows into row-cache hits and misses.
+        let mut misses: Vec<usize> = Vec::with_capacity(ft.needed.len());
+        let mut hit_rows: Vec<(usize, Vec<f64>)> = Vec::new();
+        for &r in &ft.needed {
+            if self.row_cache.get(r as u32, row_buf) {
+                rep.aux += 1; // row-cache hit
+                hit_rows.push((r, row_buf.to_vec()));
+            } else {
+                misses.push(r);
+            }
+        }
+        // One merged fetch for the misses.
+        if !misses.is_empty() {
+            self.reader.fetch_rows(&misses, fetch_buf).expect("SEM device read failed");
+        }
+
+        let mut process = |r: usize, v: &[f64], rep: &mut WorkerReport| {
+            rep.rows_accessed += 1;
+            let reassigned = if view.iter > 0 && view.pruning {
+                // Upper bound was already drift-updated in the filter.
+                process_row_mti(
+                    r,
+                    v,
+                    view.cents,
+                    view.mti,
+                    view.assign,
+                    view.upper,
+                    accum,
+                    &mut rep.counters,
+                )
+            } else {
+                process_row_full(
+                    r,
+                    v,
+                    view.cents,
+                    view.pruning,
+                    view.assign,
+                    view.upper,
+                    accum,
+                    &mut rep.counters,
+                )
+            };
+            rep.reassigned += u64::from(reassigned);
+        };
+
+        for (r, v) in &hit_rows {
+            process(*r, v, rep);
+        }
+        for (i, &r) in misses.iter().enumerate() {
+            let v = &fetch_buf[i * d..(i + 1) * d];
+            process(r, v, rep);
+            if refreshing {
+                self.row_cache.insert(r as u32, v);
+            }
+        }
+    }
+}
+
 /// Clause-1 filter for a task: returns the rows that must be fetched and
 /// drift-updates the bounds of the skipped ones.
-fn filter_task(
-    task: &Task,
-    iter: usize,
-    pruning: bool,
-    assign: &SharedRows<u32>,
-    upper: &SharedRows<f64>,
-    mti_state: &MtiIterState,
-    counters: &mut PruneCounters,
-) -> Vec<usize> {
+fn filter_task(task: &Task, view: &IterView<'_>, counters: &mut PruneCounters) -> Vec<usize> {
     let mut needed = Vec::with_capacity(task.len());
-    if iter == 0 || !pruning {
+    if view.iter == 0 || !view.pruning {
         needed.extend(task.rows.clone());
         return needed;
     }
     for r in task.rows.clone() {
-        // Safety: each row belongs to exactly one task per iteration.
-        let a = unsafe { *assign.get(r) } as usize;
-        let ub = unsafe { *upper.get(r) } + mti_state.drift[a];
-        unsafe { *upper.get_mut(r) = ub };
-        if ub <= mti_state.half_min[a] {
-            counters.clause1_rows += 1;
-        } else {
+        if filter_row(r, view.assign, view.upper, view.mti, counters) {
             needed.push(r);
         }
     }
     needed
-}
-
-/// Fetch and process the needed rows of a filtered task.
-#[allow(clippy::too_many_arguments)]
-fn compute_task(
-    ft: &FilteredTask,
-    iter: usize,
-    pruning: bool,
-    refreshing: bool,
-    reader: &SafsReader,
-    row_cache: &RowCache,
-    cents: &Centroids,
-    mti_state: &MtiIterState,
-    assign: &SharedRows<u32>,
-    upper: &SharedRows<f64>,
-    accum: &mut LocalAccum,
-    counters: &mut PruneCounters,
-    reassigned: &mut u64,
-    rows_accessed: &mut u64,
-    rc_hits: &mut u64,
-    fetch_buf: &mut Vec<f64>,
-    row_buf: &mut [f64],
-) {
-    let d = row_buf.len();
-    let k = cents.k();
-    // Split needed rows into row-cache hits and misses.
-    let mut misses: Vec<usize> = Vec::with_capacity(ft.needed.len());
-    let mut hit_rows: Vec<(usize, Vec<f64>)> = Vec::new();
-    for &r in &ft.needed {
-        if row_cache.get(r as u32, row_buf) {
-            *rc_hits += 1;
-            hit_rows.push((r, row_buf.to_vec()));
-        } else {
-            misses.push(r);
-        }
-    }
-    // One merged fetch for the misses.
-    if !misses.is_empty() {
-        reader.fetch_rows(&misses, fetch_buf).expect("SEM device read failed");
-    }
-
-    let mut process = |r: usize, v: &[f64]| {
-        *rows_accessed += 1;
-        let cur_a = unsafe { *assign.get(r) };
-        if iter > 0 && pruning {
-            let a = cur_a as usize;
-            let ub = unsafe { *upper.get(r) }; // already drift-updated in filter
-            let (new_a, new_ub) = mti_assign(v, cents, mti_state, a, ub, counters);
-            if new_a != a {
-                *reassigned += 1;
-                accum.sub(a, v);
-                accum.add(new_a, v);
-                unsafe { *assign.get_mut(r) = new_a as u32 };
-            }
-            unsafe { *upper.get_mut(r) = new_ub };
-        } else {
-            let (a, da) = nearest(v, &cents.means, k);
-            counters.dist_computations += k as u64;
-            if pruning {
-                if cur_a == u32::MAX {
-                    accum.add(a, v);
-                    *reassigned += 1;
-                } else if cur_a as usize != a {
-                    accum.sub(cur_a as usize, v);
-                    accum.add(a, v);
-                    *reassigned += 1;
-                }
-                unsafe { *upper.get_mut(r) = da };
-            } else {
-                accum.add(a, v);
-                if cur_a != a as u32 {
-                    *reassigned += 1;
-                }
-            }
-            unsafe { *assign.get_mut(r) = a as u32 };
-        }
-    };
-
-    for (r, v) in &hit_rows {
-        process(*r, v);
-    }
-    for (i, &r) in misses.iter().enumerate() {
-        let v = &fetch_buf[i * d..(i + 1) * d];
-        process(r, v);
-        if refreshing {
-            row_cache.insert(r as u32, v);
-        }
-    }
 }
 
 /// Stream the file once to compute the final SSE.
@@ -684,8 +530,7 @@ fn streamed_sse(
         reader.fetch_rows(&rows, &mut buf)?;
         for (i, r) in (start..end).enumerate() {
             let v = &buf[i * d..(i + 1) * d];
-            total +=
-                knor_core::distance::sqdist(v, centroids.row(assignments[r] as usize));
+            total += knor_core::distance::sqdist(v, centroids.row(assignments[r] as usize));
         }
         start = end;
     }
@@ -735,8 +580,7 @@ mod tests {
         assert!(sem.kmeans.converged);
         assert_eq!(sem.kmeans.niters, serial.niters);
         assert!(agreement(&sem.kmeans.assignments, &serial.assignments, k) > 0.999);
-        let rel =
-            (sem.kmeans.sse.unwrap() - serial.sse.unwrap()).abs() / serial.sse.unwrap();
+        let rel = (sem.kmeans.sse.unwrap() - serial.sse.unwrap()).abs() / serial.sse.unwrap();
         assert!(rel < 1e-9, "SSE diverged: {rel}");
         std::fs::remove_file(path).unwrap();
     }

@@ -172,8 +172,7 @@ mod tests {
     #[test]
     fn lazy_schedule_doubles() {
         let mut s = RefreshSchedule::lazy(5);
-        let refreshes: Vec<usize> =
-            (0..200).filter(|&i| s.should_refresh(i)).collect();
+        let refreshes: Vec<usize> = (0..200).filter(|&i| s.should_refresh(i)).collect();
         // 5, then +10 -> 15, +20 -> 35, +40 -> 75, +80 -> 155.
         assert_eq!(refreshes, vec![5, 15, 35, 75, 155]);
     }

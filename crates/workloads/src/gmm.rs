@@ -80,12 +80,8 @@ impl MixtureSpec {
                     *x = rng.gen_range(-half_side..=half_side);
                 }
                 let ok = (0..i).all(|j| {
-                    let s: f64 = centers
-                        .row(j)
-                        .iter()
-                        .zip(&candidate)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum();
+                    let s: f64 =
+                        centers.row(j).iter().zip(&candidate).map(|(a, b)| (a - b) * (a - b)).sum();
                     s >= min_sep_sq
                 });
                 if ok || attempt == 9_999 {
@@ -127,12 +123,8 @@ impl MixtureSpec {
             let mut best = 0u32;
             let mut best_d = f64::INFINITY;
             for c in 0..self.k {
-                let s: f64 = centers
-                    .row(c)
-                    .iter()
-                    .zip(data.row(row))
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let s: f64 =
+                    centers.row(c).iter().zip(data.row(row)).map(|(a, b)| (a - b) * (a - b)).sum();
                 if s < best_d {
                     best_d = s;
                     best = c as u32;

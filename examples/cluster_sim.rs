@@ -8,8 +8,7 @@
 use knor::prelude::*;
 
 fn main() {
-    let ranks: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+    let ranks: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
     let n = 120_000;
     let d = 16;
     let k = 32;
@@ -30,8 +29,8 @@ fn main() {
         .fit(&data);
         let elapsed = t0.elapsed();
         let comm: u64 = result.iters.iter().map(|i| i.max_rank_comm_bytes).max().unwrap();
-        let wire: f64 = result.iters.iter().map(|i| i.modeled_comm_ns).sum::<f64>()
-            / result.niters as f64;
+        let wire: f64 =
+            result.iters.iter().map(|i| i.modeled_comm_ns).sum::<f64>() / result.niters as f64;
         println!(
             "{name:<6}  {:>5}  {elapsed:>8.2?}  {:>15.1} KB  {:>14.2} ms",
             result.niters,
@@ -56,8 +55,7 @@ fn main() {
     );
 
     // All variants agree with a serial run.
-    let serial =
-        knor::core::serial::lloyd_serial(&data, k, &InitMethod::Given(init), 0, 60, 0.0);
+    let serial = knor::core::serial::lloyd_serial(&data, k, &InitMethod::Given(init), 0, 60, 0.0);
     println!(
         "serial agreement check: {} iterations (matches = {})",
         serial.niters,

@@ -24,9 +24,7 @@ fn main() {
     // knori (MTI on).
     let t0 = std::time::Instant::now();
     let knori = Kmeans::new(
-        KmeansConfig::new(k)
-            .with_init(InitMethod::Given(init.clone()))
-            .with_max_iters(100),
+        KmeansConfig::new(k).with_init(InitMethod::Given(init.clone())).with_max_iters(100),
     )
     .fit(&data);
     let t_knori = t0.elapsed();
@@ -80,7 +78,5 @@ fn main() {
     let sse_knori = knori.sse.unwrap();
     let sse_minus = knori_minus.sse.unwrap();
     let sse_elkan = knor::core::quality::sse(&data, &elkan.centroids, &elkan.assignments);
-    println!(
-        "\nSSE agreement: knori={sse_knori:.4}  knori-={sse_minus:.4}  elkan={sse_elkan:.4}"
-    );
+    println!("\nSSE agreement: knori={sse_knori:.4}  knori-={sse_minus:.4}  elkan={sse_elkan:.4}");
 }

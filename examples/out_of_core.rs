@@ -8,8 +8,7 @@
 use knor::prelude::*;
 
 fn main() -> std::io::Result<()> {
-    let n: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200_000);
     let d = 32;
     let k = 16;
 

@@ -12,10 +12,8 @@ fn main() {
     let planted = MixtureSpec::friendster_like(50_000, 8, 42).generate();
     let k = 16;
 
-    let config = KmeansConfig::new(k)
-        .with_init(InitMethod::PlusPlus)
-        .with_seed(7)
-        .with_max_iters(100);
+    let config =
+        KmeansConfig::new(k).with_init(InitMethod::PlusPlus).with_seed(7).with_max_iters(100);
     let t0 = std::time::Instant::now();
     let result = Kmeans::new(config).fit(&planted.data);
     let elapsed = t0.elapsed();

@@ -71,16 +71,12 @@ fn parse(args: &[String]) -> (String, Opts) {
         match flag {
             "-k" => o.k = val(&mut i).parse().unwrap_or_else(|_| usage()),
             "-i" | "--iters" => o.iters = val(&mut i).parse().unwrap_or_else(|_| usage()),
-            "-t" | "--threads" => {
-                o.threads = Some(val(&mut i).parse().unwrap_or_else(|_| usage()))
-            }
+            "-t" | "--threads" => o.threads = Some(val(&mut i).parse().unwrap_or_else(|_| usage())),
             "--no-prune" => o.prune = false,
             "--init" => o.init = val(&mut i),
             "--seed" => o.seed = val(&mut i).parse().unwrap_or_else(|_| usage()),
             "--row-cache" => o.row_cache_mb = val(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--page-cache" => {
-                o.page_cache_mb = val(&mut i).parse().unwrap_or_else(|_| usage())
-            }
+            "--page-cache" => o.page_cache_mb = val(&mut i).parse().unwrap_or_else(|_| usage()),
             "--ranks" => o.ranks = val(&mut i).parse().unwrap_or_else(|_| usage()),
             "--star" => o.star = true,
             "--dataset" => o.dataset = val(&mut i),

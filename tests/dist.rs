@@ -1,0 +1,117 @@
+//! knord integration tests: the distributed engine must compute the same
+//! clustering as serial Lloyd's at any rank count, and the choice of
+//! all-reduce transport (ring vs star) must not change a single bit of the
+//! result.
+
+use knor::prelude::*;
+use knor_core::quality::agreement;
+use knor_core::serial::lloyd_serial;
+
+fn workload(n: usize, d: usize, seed: u64) -> DMatrix {
+    MixtureSpec::friendster_like(n, d, seed).generate().data
+}
+
+#[test]
+fn rank_counts_1_2_4_match_serial() {
+    let data = workload(2400, 8, 51);
+    let k = 10;
+    let init = InitMethod::PlusPlus.initialize(&data, k, 5).to_matrix();
+    let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 80, 0.0);
+    assert!(serial.converged, "reference run must converge");
+
+    for ranks in [1usize, 2, 4] {
+        let dist = DistKmeans::new(
+            DistConfig::new(k, ranks, 2)
+                .with_init(InitMethod::Given(init.clone()))
+                .with_max_iters(80)
+                .with_sse(true),
+        )
+        .fit(&data);
+        assert!(dist.converged, "R={ranks} did not converge");
+        assert_eq!(dist.niters, serial.niters, "R={ranks} trajectory diverged");
+        assert!(
+            agreement(&dist.assignments, &serial.assignments, k) > 0.999,
+            "R={ranks} clustering disagrees with serial"
+        );
+        let rel = (dist.sse.unwrap() - serial.sse.unwrap()).abs() / serial.sse.unwrap();
+        assert!(rel < 1e-9, "R={ranks} SSE off by {rel}");
+    }
+}
+
+#[test]
+fn ring_and_star_give_bitwise_identical_centroids() {
+    let data = workload(1600, 6, 52);
+    let k = 8;
+    let init = InitMethod::PlusPlus.initialize(&data, k, 9).to_matrix();
+    for ranks in [2usize, 3, 4] {
+        let run = |algo: ReduceAlgo| {
+            DistKmeans::new(
+                DistConfig::new(k, ranks, 2)
+                    .with_init(InitMethod::Given(init.clone()))
+                    .with_reduce(algo)
+                    // Static scheduling pins rows to workers, so the only
+                    // varying component between the two runs is the
+                    // all-reduce transport — exactly what is under test.
+                    // (Stealing schedulers reshuffle which worker sums
+                    // which row, which perturbs FP merge order within a
+                    // rank regardless of the collective.)
+                    .with_scheduler(SchedulerKind::Static)
+                    .with_max_iters(60),
+            )
+            .fit(&data)
+        };
+        let ring = run(ReduceAlgo::Ring);
+        let star = run(ReduceAlgo::Star);
+        assert_eq!(ring.niters, star.niters, "R={ranks}: iteration counts differ");
+        assert_eq!(ring.assignments, star.assignments, "R={ranks}: assignments differ");
+        for (i, (a, b)) in
+            ring.centroids.as_slice().iter().zip(star.centroids.as_slice()).enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "R={ranks}: centroid element {i} differs bitwise: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_never_changes_the_distributed_result() {
+    let data = workload(2000, 8, 53);
+    let k = 12;
+    let init = InitMethod::PlusPlus.initialize(&data, k, 2).to_matrix();
+    let base = DistConfig::new(k, 3, 2).with_init(InitMethod::Given(init)).with_max_iters(60);
+    let knord = DistKmeans::new(base.clone()).fit(&data);
+    let knord_minus = DistKmeans::new(base.with_pruning(Pruning::None)).fit(&data);
+    assert_eq!(knord.niters, knord_minus.niters);
+    // FP merge order differs between delta and full accumulation: compare
+    // clusterings, not bits.
+    assert!(agreement(&knord.assignments, &knord_minus.assignments, k) > 0.999);
+    // knord must actually prune (Clause 1 saves both data access and the
+    // per-row compute on every rank).
+    let p = knord.total_prune();
+    assert!(p.clause1_rows > 0);
+    assert!(p.dist_computations < knord_minus.total_prune().dist_computations / 2);
+}
+
+#[test]
+fn per_iteration_comm_is_flat_in_n() {
+    // knord's wire traffic per iteration is O(k·d·R), independent of n —
+    // the property that makes the decentralized design scale (Fig. 11).
+    let k = 6;
+    let small = workload(600, 8, 54);
+    let large = workload(4800, 8, 54);
+    let run = |data: &DMatrix| {
+        DistKmeans::new(DistConfig::new(k, 3, 1).with_seed(7).with_max_iters(12)).fit(data)
+    };
+    let a = run(&small);
+    let b = run(&large);
+    let per_iter = |r: &DistResult| r.iters.iter().map(|i| i.max_rank_comm_bytes).max().unwrap();
+    let small_comm = per_iter(&a);
+    let large_comm = per_iter(&b);
+    assert_eq!(
+        small_comm, large_comm,
+        "per-iteration reduce traffic must not depend on n: {small_comm} vs {large_comm}"
+    );
+}
