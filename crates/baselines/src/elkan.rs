@@ -105,7 +105,7 @@ pub fn elkan_full_ti(data: &DMatrix, init: &DMatrix, max_iters: usize) -> ElkanR
                 }
                 // Elkan condition: candidate viable only if u > l(x,c) and
                 // u > ½ d(a,c).
-                if u <= lower[i * k + c] || u <= 0.5 * ccdist[a * k + c] {
+                if u <= lower[i * k + c] || u <= 0.5 * ccdist[a.min(c) * k + a.max(c)] {
                     counters.clause2_prunes += 1;
                     continue;
                 }
@@ -115,7 +115,7 @@ pub fn elkan_full_ti(data: &DMatrix, init: &DMatrix, max_iters: usize) -> ElkanR
                     upper[i] = u;
                     lower[i * k + a] = u;
                     tight = true;
-                    if u <= lower[i * k + c] || u <= 0.5 * ccdist[a * k + c] {
+                    if u <= lower[i * k + c] || u <= 0.5 * ccdist[a.min(c) * k + a.max(c)] {
                         counters.clause3_prunes += 1;
                         continue;
                     }

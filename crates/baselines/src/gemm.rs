@@ -1,11 +1,15 @@
 //! GEMM-formulated k-means (the MATLAB / BLAS rows of Table 3).
 //!
 //! `d(x, c)^2 = |x|^2 + |c|^2 - 2 x·c`, so the distance matrix is one
-//! `n x d` by `d x k` matrix product plus rank-1 corrections. We implement
-//! the multiply ourselves — a register-blocked, cache-tiled kernel — since
-//! BLAS itself is a substrate the paper's comparison depends on.
+//! `n x d` by `d x k` matrix product plus rank-1 corrections. The
+//! assignment pass reuses the shared norm-trick kernel from
+//! `knor_core::kernel` (the engines' fast path *is* the GEMM formulation,
+//! evaluated block-wise without materializing the `n x k` product);
+//! [`matmul_nt`] remains as the standalone register-blocked multiply the
+//! Table 3 comparison references.
 
 use knor_core::centroids::{finalize_means, Centroids, LocalAccum};
+use knor_core::kernel::{assign_rows, centroid_sqnorms, KernelKind};
 use knor_matrix::DMatrix;
 
 use crate::serial::SerialRun;
@@ -37,7 +41,7 @@ pub fn matmul_nt(a: &[f64], n: usize, d: usize, b: &[f64], k: usize, out: &mut [
     }
 }
 
-/// Lloyd's via the GEMM formulation.
+/// Lloyd's via the GEMM formulation (the shared norm-trick kernel).
 pub fn gemm_lloyd(data: &DMatrix, init: &DMatrix, max_iters: usize) -> SerialRun {
     let n = data.nrow();
     let d = data.ncol();
@@ -46,34 +50,31 @@ pub fn gemm_lloyd(data: &DMatrix, init: &DMatrix, max_iters: usize) -> SerialRun
     let mut next = Centroids::zeros(k, d);
     let mut assignments = vec![u32::MAX; n];
     let mut accum = LocalAccum::new(k, d);
-    let mut prod = vec![0.0f64; n * k];
-    let x_norms: Vec<f64> = data.rows().map(|r| r.iter().map(|v| v * v).sum::<f64>()).collect();
+    let mut c_norms = vec![0.0f64; k];
+    let rk = KernelKind::NormTrick.resolve(k, d, false);
+    let (mut best, mut best_dist) = (Vec::new(), Vec::new());
     let mut iters = 0usize;
     let mut total_ns = 0u64;
 
     for _ in 0..max_iters {
         let t0 = std::time::Instant::now();
         accum.reset();
-        let c_norms: Vec<f64> =
-            (0..k).map(|c| cents.mean(c).iter().map(|v| v * v).sum::<f64>()).collect();
-        matmul_nt(data.as_slice(), n, d, &cents.means, k, &mut prod);
+        centroid_sqnorms(&cents, &mut c_norms);
         let mut changed = 0u64;
-        for i in 0..n {
-            let prow = &prod[i * k..(i + 1) * k];
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for c in 0..k {
-                let dist2 = x_norms[i] + c_norms[c] - 2.0 * prow[c];
-                if dist2 < best_d {
-                    best_d = dist2;
-                    best = c;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + rk.row_tile).min(n);
+            let block = &data.as_slice()[start * d..end * d];
+            assign_rows(block, d, &cents, &rk, &c_norms, &mut best, &mut best_dist, false);
+            for (i, r) in (start..end).enumerate() {
+                let a = best[i];
+                if assignments[r] != a {
+                    assignments[r] = a;
+                    changed += 1;
                 }
+                accum.add(a as usize, data.row(r));
             }
-            if assignments[i] != best as u32 {
-                assignments[i] = best as u32;
-                changed += 1;
-            }
-            accum.add(best, data.row(i));
+            start = end;
         }
         finalize_means(&accum.sums, &accum.counts, &cents, &mut next);
         std::mem::swap(&mut cents, &mut next);

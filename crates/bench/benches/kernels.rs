@@ -54,6 +54,46 @@ fn bench_nearest_and_mti(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_blocked_assign(c: &mut Criterion) {
+    use knor_core::kernel::{assign_rows, centroid_sqnorms, KernelKind};
+    let mut g = c.benchmark_group("blocked_assign");
+    let (m, d) = (512usize, 32usize);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let block: Vec<f64> = (0..m * d).map(|_| rng.gen_range(-8.0..8.0)).collect();
+    for k in [16usize, 64] {
+        let mut cents = Centroids::zeros(k, d);
+        for x in cents.means.iter_mut() {
+            *x = rng.gen_range(-8.0..8.0);
+        }
+        let mut cnorms = vec![0.0; k];
+        centroid_sqnorms(&cents, &mut cnorms);
+        let (mut best, mut dist) = (Vec::new(), Vec::new());
+        for kind in [KernelKind::Scalar, KernelKind::Tiled, KernelKind::NormTrick] {
+            let rk = kind.resolve(k, d, false);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}").to_lowercase(), k),
+                &k,
+                |bench, _| {
+                    bench.iter(|| {
+                        assign_rows(
+                            black_box(&block),
+                            d,
+                            black_box(&cents),
+                            &rk,
+                            &cnorms,
+                            &mut best,
+                            &mut dist,
+                            true,
+                        );
+                        dist[0]
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_merge(c: &mut Criterion) {
     // The end-of-iteration reduction: T accumulators of k x d.
     let mut g = c.benchmark_group("merge");
@@ -103,6 +143,6 @@ criterion_group!(
         .sample_size(20)
         .measurement_time(std::time::Duration::from_millis(600))
         .warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_distance, bench_nearest_and_mti, bench_merge
+    targets = bench_distance, bench_nearest_and_mti, bench_blocked_assign, bench_merge
 );
 criterion_main!(benches);

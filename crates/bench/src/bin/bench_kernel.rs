@@ -1,0 +1,133 @@
+//! PR 2 kernel benchmark: scalar vs tiled vs norm-trick assignment across
+//! an (n, k, d) grid, seeding the perf trajectory in `results/BENCH_PR2.json`.
+//!
+//! Each configuration times complete assignment passes (every row against
+//! every centroid — the non-pruned compute super-phase) and cross-checks
+//! the kernels against each other: tiled must match the scalar scan
+//! bitwise, norm-trick within 1e-9 relative on distances.
+//!
+//! `--smoke` runs tiny shapes for CI (compile + correctness + JSON shape,
+//! no perf assertions).
+
+use knor_bench::save_results;
+use knor_core::centroids::Centroids;
+use knor_core::distance::nearest;
+use knor_core::kernel::{assign_rows, centroid_sqnorms, KernelKind, ResolvedKernel};
+use knor_workloads::uniform_matrix;
+
+struct Shape {
+    n: usize,
+    k: usize,
+    d: usize,
+}
+
+fn time_passes<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let shapes: Vec<Shape> = if smoke {
+        vec![Shape { n: 2000, k: 8, d: 5 }, Shape { n: 1000, k: 12, d: 16 }]
+    } else {
+        vec![
+            Shape { n: 100_000, k: 64, d: 32 }, // the headline workload
+            Shape { n: 100_000, k: 16, d: 16 },
+            Shape { n: 50_000, k: 32, d: 8 },
+            Shape { n: 20_000, k: 128, d: 64 },
+            Shape { n: 50_000, k: 10, d: 100 },
+        ]
+    };
+    let reps = if smoke { 2 } else { 9 };
+
+    println!(
+        "{:>8} {:>5} {:>4} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "n", "k", "d", "scalar", "tiled", "norm", "tiledX", "normX"
+    );
+    let mut rows = Vec::new();
+    for s in &shapes {
+        let data = uniform_matrix(s.n, s.d, 42);
+        let mut cents = Centroids::zeros(s.k, s.d);
+        cents.means.copy_from_slice(&data.as_slice()[..s.k * s.d]);
+        let mut cnorms = vec![0.0; s.k];
+        centroid_sqnorms(&cents, &mut cnorms);
+
+        let scalar_rk = KernelKind::Scalar.resolve(s.k, s.d, false);
+        let tiled_rk = KernelKind::Tiled.resolve(s.k, s.d, false);
+        let norm_rk = KernelKind::NormTrick.resolve(s.k, s.d, false);
+        let run = |rk: &ResolvedKernel, best: &mut Vec<u32>, dist: &mut Vec<f64>| {
+            assign_rows(data.as_slice(), s.d, &cents, rk, &cnorms, best, dist, true);
+        };
+
+        // Correctness first: tiled bitwise, norm-trick within tolerance.
+        let (mut sb, mut sd) = (Vec::new(), Vec::new());
+        let (mut tb, mut td) = (Vec::new(), Vec::new());
+        let (mut nb, mut nd) = (Vec::new(), Vec::new());
+        run(&scalar_rk, &mut sb, &mut sd);
+        run(&tiled_rk, &mut tb, &mut td);
+        run(&norm_rk, &mut nb, &mut nd);
+        assert_eq!(sb, tb, "tiled kernel diverged from scalar");
+        assert!(
+            sd.iter().zip(&td).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "tiled distances not bitwise"
+        );
+        for (i, (a, b)) in sd.iter().zip(&nd).enumerate() {
+            assert!((a - b).abs() <= 1e-9 * a.abs() + 1e-12, "norm-trick row {i}: {a} vs {b}");
+        }
+        // Spot-check the scalar reference itself.
+        let (a0, d0) = nearest(data.row(0), &cents.means, s.k);
+        assert_eq!((sb[0], sd[0]), (a0 as u32, d0));
+
+        let scalar_ns = time_passes(reps, || run(&scalar_rk, &mut sb, &mut sd));
+        let tiled_ns = time_passes(reps, || run(&tiled_rk, &mut tb, &mut td));
+        let norm_ns = time_passes(reps, || run(&norm_rk, &mut nb, &mut nd));
+        let tiled_x = scalar_ns / tiled_ns;
+        let norm_x = scalar_ns / norm_ns;
+        println!(
+            "{:>8} {:>5} {:>4} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>7.2}x {:>7.2}x",
+            s.n,
+            s.k,
+            s.d,
+            scalar_ns / 1e6,
+            tiled_ns / 1e6,
+            norm_ns / 1e6,
+            tiled_x,
+            norm_x
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"n\": {}, \"k\": {}, \"d\": {}, ",
+                "\"scalar_ns\": {:.0}, \"tiled_ns\": {:.0}, \"norm_ns\": {:.0}, ",
+                "\"tiled_speedup\": {:.3}, \"norm_speedup\": {:.3}, ",
+                "\"row_tile\": {}, \"cent_tile\": {}}}"
+            ),
+            s.n,
+            s.k,
+            s.d,
+            scalar_ns,
+            tiled_ns,
+            norm_ns,
+            tiled_x,
+            norm_x,
+            tiled_rk.row_tile,
+            tiled_rk.cent_tile
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"kernel_assign\",\n  \"pr\": 2,\n  \"mode\": \"{}\",\n",
+            "  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        reps,
+        rows.join(",\n")
+    );
+    save_results("BENCH_PR2.json", &json);
+}

@@ -53,11 +53,18 @@ pub fn nearest(v: &[f64], centroids: &[f64], k: usize) -> (usize, f64) {
     (best, best_sq.sqrt())
 }
 
+/// Above this `k`, [`centroid_distances`] stops mirroring the lower
+/// triangle: readers use `out[min(i,j)*k + max(i,j)]` instead, halving the
+/// `O(k²)` store traffic the recompute pays every iteration.
+pub const MIRROR_MAX_K: usize = 64;
+
 /// Fill `out[i*k + j]` (`j > i`) with `d(centroid_i, centroid_j)` and
 /// `half_min[i] = ½·min_{j≠i} d(c_i, c_j)` — the `O(k²)` structure MTI
-/// maintains each iteration. `out` is a full `k x k` buffer for O(1)
-/// symmetric lookup; only the strict upper triangle is computed and
-/// mirrored.
+/// maintains each iteration. `out` is a full `k x k` buffer; the strict
+/// upper triangle is always computed, and for `k <= `[`MIRROR_MAX_K`] it is
+/// also mirrored into the lower triangle for O(1) unordered lookup. Larger
+/// `k` must look up `out[min(i,j)*k + max(i,j)]` (as
+/// [`crate::pruning::MtiIterState::half_cc`] does), saving half the stores.
 pub fn centroid_distances(
     centroids: &[f64],
     k: usize,
@@ -68,6 +75,7 @@ pub fn centroid_distances(
     debug_assert_eq!(centroids.len(), k * d);
     debug_assert_eq!(out.len(), k * k);
     debug_assert_eq!(half_min.len(), k);
+    let mirror = k <= MIRROR_MAX_K;
     for x in half_min.iter_mut() {
         *x = f64::INFINITY;
     }
@@ -76,7 +84,9 @@ pub fn centroid_distances(
         for j in (i + 1)..k {
             let dij = dist(&centroids[i * d..(i + 1) * d], &centroids[j * d..(j + 1) * d]);
             out[i * k + j] = dij;
-            out[j * k + i] = dij;
+            if mirror {
+                out[j * k + i] = dij;
+            }
             if dij < half_min[i] {
                 half_min[i] = dij;
             }
@@ -131,6 +141,32 @@ mod tests {
         assert!((out[2] - 8.0).abs() < 1e-12);
         assert!((out[5] - 5.0).abs() < 1e-12);
         assert_eq!(half, vec![2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn large_k_skips_mirror_but_triangle_is_complete() {
+        let k = MIRROR_MAX_K + 6;
+        let d = 3;
+        let cents: Vec<f64> = (0..k * d).map(|x| ((x * 37) % 101) as f64 * 0.13).collect();
+        let mut out = vec![f64::NAN; k * k];
+        let mut half = vec![0.0; k];
+        centroid_distances(&cents, k, d, &mut out, &mut half);
+        for i in 0..k {
+            assert_eq!(out[i * k + i], 0.0);
+            for j in (i + 1)..k {
+                let want = dist(&cents[i * d..(i + 1) * d], &cents[j * d..(j + 1) * d]);
+                assert_eq!(out[i * k + j], want, "upper triangle ({i},{j})");
+                assert!(out[j * k + i].is_nan(), "lower triangle ({j},{i}) must be untouched");
+            }
+        }
+        // half_min still sees every pair despite the skipped mirror.
+        for i in 0..k {
+            let min: f64 = (0..k)
+                .filter(|&j| j != i)
+                .map(|j| out[i.min(j) * k + i.max(j)])
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(half[i], 0.5 * min, "half_min[{i}]");
+        }
     }
 
     #[test]

@@ -42,7 +42,10 @@ use knor_numa::{AccessTally, Placement};
 use knor_sched::TaskQueue;
 
 use crate::centroids::{finalize_means, Centroids, LocalAccum};
-use crate::distance::{dist, nearest};
+use crate::distance::{dist, nearest, MIRROR_MAX_K};
+use crate::kernel::{
+    assign_rows, centroid_sqnorms, sqnorm, KernelKind, KernelScratch, ResolvedKernel, ResolvedKind,
+};
 use crate::pruning::{mti_assign, MtiIterState, PruneCounters};
 use crate::stats::IterStats;
 use crate::sync::ExclusiveCell;
@@ -66,6 +69,16 @@ pub struct DriverConfig {
     pub pruning: bool,
     /// Rows per scheduler task.
     pub task_size: usize,
+    /// Assignment kernel for full scans (see [`crate::kernel`]).
+    pub kernel: KernelKind,
+}
+
+impl DriverConfig {
+    /// The kernel this configuration resolves to (backends use this to size
+    /// their per-worker [`KernelScratch`]).
+    pub fn resolve_kernel(&self) -> ResolvedKernel {
+        self.kernel.resolve(self.k, self.d, self.pruning)
+    }
 }
 
 /// What one worker reports after its compute super-phase.
@@ -110,6 +123,11 @@ pub struct IterView<'a> {
     pub upper: &'a SharedRows<f64>,
     /// The iteration's task queue.
     pub queue: &'a TaskQueue,
+    /// The resolved assignment kernel for this run.
+    pub kernel: ResolvedKernel,
+    /// Cached centroid squared norms (empty unless the norm-trick path is
+    /// active; maintained incrementally by the coordinator from drift).
+    pub cnorms: &'a [f64],
 }
 
 /// What a [`LloydBackend::reduce`] implementation reports about the global
@@ -159,6 +177,14 @@ pub trait LloydBackend: Sync {
     fn end_iteration(&self, _iter: usize, _stats: &IterStats, _aux_total: u64) {}
 }
 
+/// A `Send + Sync` raw pointer to a shared `f64` buffer, used for the
+/// barrier-ordered, row-disjoint parallel ccdist writes (the same manual
+/// discipline as [`ExclusiveCell`], expressed at element granularity).
+struct RawSlicePtr(*mut f64);
+// Safety: all access is disjoint-by-construction and barrier-ordered.
+unsafe impl Send for RawSlicePtr {}
+unsafe impl Sync for RawSlicePtr {}
+
 /// Everything a finished driver run hands back to the engine.
 #[derive(Debug)]
 pub struct DriverOutcome {
@@ -192,14 +218,38 @@ pub fn run_lloyd<B: LloydBackend>(
     assert_eq!(placement.nthreads(), nthreads);
     assert_eq!(placement.nrow(), n);
 
+    let rk = cfg.resolve_kernel();
+    // Norm-trick centroid-norm cache, seeded from the initial centroids and
+    // thereafter refreshed only for drifted centroids.
+    let cnorms_cell = ExclusiveCell::new(if rk.kind == ResolvedKind::NormTrick {
+        let mut v = vec![0.0f64; k];
+        centroid_sqnorms(&init, &mut v);
+        v
+    } else {
+        Vec::new()
+    });
+    // For large k the O(k²·d) distance-matrix recompute dominates the
+    // coordinator window; the workers are idling at the next barrier, so
+    // they fill disjoint row slices of the (unmirrored) triangle instead.
+    let parallel_cc = cfg.pruning && nthreads > 1 && k > MIRROR_MAX_K;
+
     // Shared engine state (see module docs for the barrier protocol).
     let centroids = ExclusiveCell::new(init);
     let next_cents = ExclusiveCell::new(Centroids::zeros(k, d));
     let mti = ExclusiveCell::new(MtiIterState::new(k));
+    // Base of the ccdist buffer for the parallel recompute phase. The
+    // coordinator re-derives this every iteration from its live exclusive
+    // borrow (keeping the pointer's provenance valid — no `&mut` to the MTI
+    // state is created between the capture and the workers' writes), and
+    // barriers D/E order the disjoint row writes against all readers.
+    let cc_base = ExclusiveCell::new(RawSlicePtr(std::ptr::null_mut()));
     let assign: SharedRows<u32> = SharedRows::new(n, u32::MAX);
     let upper: SharedRows<f64> = SharedRows::new(n, f64::INFINITY);
     let merged_sums: SharedRows<f64> = SharedRows::new(k * d, 0.0);
     let merged_counts = ExclusiveCell::new(vec![0i64; k]);
+    // Coordinator staging for the merged sums handed to `reduce` —
+    // persistent so steady-state iterations never allocate.
+    let sums_staging = ExclusiveCell::new(vec![0.0f64; k * d]);
     // Persistent global sums/counts for MTI delta accumulation.
     let persistent = ExclusiveCell::new((vec![0.0f64; k * d], vec![0i64; k]));
     let accums: Vec<ExclusiveCell<LocalAccum>> =
@@ -232,12 +282,25 @@ pub fn run_lloyd<B: LloydBackend>(
             let converged = &converged;
             let barrier = &barrier;
             let backend = &backend;
+            let cnorms_cell = &cnorms_cell;
+            let sums_staging = &sums_staging;
+            let cc_base = &cc_base;
             let dim_slice = dim_slices[w].clone();
             handles.push(s.spawn(move || {
                 backend.worker_start(w);
                 let pruning = cfg.pruning;
-                let mut stats: Vec<IterStats> = Vec::new();
-                let mut reduces: Vec<ReduceReport> = Vec::new();
+                // Only the coordinator records; reserving the cap up front
+                // keeps the iteration loop allocation-free. The reserve is
+                // clamped so an effectively-unbounded cap (run-until-
+                // convergence callers) neither overflows nor pre-allocates
+                // gigabytes; runs longer than the clamp merely fall back to
+                // amortized growth.
+                let reserve = cfg.max_iters.min(1024);
+                let (mut stats, mut reduces) = if w == 0 {
+                    (Vec::with_capacity(reserve), Vec::with_capacity(reserve))
+                } else {
+                    (Vec::new(), Vec::new())
+                };
                 let mut iter = 0usize;
 
                 loop {
@@ -261,6 +324,8 @@ pub fn run_lloyd<B: LloydBackend>(
                         assign,
                         upper,
                         queue,
+                        kernel: rk,
+                        cnorms: unsafe { cnorms_cell.get() },
                     };
                     let accum = unsafe { accums[w].get_mut() };
                     let report = backend.compute(w, &view, accum);
@@ -312,12 +377,14 @@ pub fn run_lloyd<B: LloydBackend>(
 
                         // Engine-specific global reduction (knord's
                         // allreduce); identity for single-machine engines.
-                        let mut sums_view: Vec<f64> =
-                            (0..k * d).map(|j| unsafe { *merged_sums.get(j) }).collect();
-                        let reduce_report = backend.reduce(iter, &mut sums_view, mc, &mut totals);
+                        let sums_view = unsafe { sums_staging.get_mut() };
+                        for (j, s) in sums_view.iter_mut().enumerate() {
+                            *s = unsafe { *merged_sums.get(j) };
+                        }
+                        let reduce_report = backend.reduce(iter, sums_view, mc, &mut totals);
 
                         if pruning {
-                            for (p, s) in psums.iter_mut().zip(&sums_view) {
+                            for (p, s) in psums.iter_mut().zip(sums_view.iter()) {
                                 *p += s;
                             }
                             for (p, c) in pcounts.iter_mut().zip(mc.iter()) {
@@ -325,15 +392,44 @@ pub fn run_lloyd<B: LloydBackend>(
                             }
                             finalize_means(psums, pcounts, cents, next);
                         } else {
-                            finalize_means(&sums_view, mc, cents, next);
+                            finalize_means(sums_view, mc, cents, next);
                         }
 
-                        let max_drift = (0..k)
-                            .map(|c| dist(cents.mean(c), next.mean(c)))
-                            .fold(0.0f64, f64::max);
-                        if pruning {
+                        // One drift pass feeds convergence, the MTI state
+                        // and the norm-trick cache (a zero-drift centroid
+                        // did not move, so its cached norm stays valid).
+                        let mut max_drift = 0.0f64;
+                        {
                             // Safety: coordinator window.
-                            unsafe { mti.get_mut() }.update(cents, next);
+                            let mut mti_mut = pruning.then(|| unsafe { mti.get_mut() });
+                            let mut cn = (rk.kind == ResolvedKind::NormTrick)
+                                .then(|| unsafe { cnorms_cell.get_mut() });
+                            for c in 0..k {
+                                let dr = dist(cents.mean(c), next.mean(c));
+                                max_drift = max_drift.max(dr);
+                                if let Some(m) = mti_mut.as_mut() {
+                                    m.drift[c] = dr;
+                                }
+                                if dr != 0.0 {
+                                    if let Some(cn) = cn.as_mut() {
+                                        cn[c] = sqnorm(next.mean(c));
+                                    }
+                                }
+                            }
+                            if parallel_cc {
+                                if let Some(m) = mti_mut.as_mut() {
+                                    // Publish the buffer base from the
+                                    // still-live exclusive borrow; the MTI
+                                    // state is not touched again (by
+                                    // reference) until finalize after E.
+                                    // Safety: coordinator window.
+                                    unsafe { cc_base.get_mut() }.0 = m.ccdist.as_mut_ptr();
+                                }
+                            }
+                        }
+                        if pruning && !parallel_cc {
+                            // Safety: coordinator window.
+                            unsafe { mti.get_mut() }.rebuild(next);
                         }
                         std::mem::swap(cents, next);
 
@@ -361,6 +457,39 @@ pub fn run_lloyd<B: LloydBackend>(
                             stop.store(true, Ordering::Release);
                         } else {
                             queue.refill(placement, cfg.task_size);
+                        }
+                    }
+
+                    if parallel_cc {
+                        barrier.wait(); // D — updated centroids published
+                        if !stop.load(Ordering::Acquire) {
+                            // Each worker owns rows i ≡ w (mod T) of the
+                            // distance matrix; interleaving balances the
+                            // shrinking triangle rows. Only the upper
+                            // triangle is written (k > MIRROR_MAX_K, so
+                            // lookups are ordered) — row-disjoint writes
+                            // through the captured base pointer.
+                            let cents_now = unsafe { centroids.get() };
+                            // Safety: published by the coordinator before D.
+                            let cc = unsafe { cc_base.get() }.0;
+                            let mut i = w;
+                            while i < k {
+                                let ci = cents_now.mean(i);
+                                for j in (i + 1)..k {
+                                    let dij = dist(ci, cents_now.mean(j));
+                                    // Safety: (i, j) pairs are disjoint
+                                    // across workers; D/E barriers order
+                                    // these writes against all readers.
+                                    unsafe { *cc.add(i * k + j) = dij };
+                                }
+                                i += nthreads;
+                            }
+                        }
+                        barrier.wait(); // E — distance matrix complete
+                        if w == 0 && !stop.load(Ordering::Acquire) {
+                            // Safety: coordinator-exclusive until the next
+                            // barrier A.
+                            unsafe { mti.get_mut() }.finalize_half_min();
                         }
                     }
 
@@ -394,14 +523,115 @@ pub fn run_lloyd<B: LloydBackend>(
 // Shared per-row state machine
 // ---------------------------------------------------------------------------
 
+/// Drain worker `w`'s share of the task queue through the blocked
+/// assignment kernel where the iteration allows it, falling back to the
+/// per-row state machine everywhere else.
+///
+/// Full-scan iterations (iteration 0, or pruning disabled) batch each
+/// task's rows into `row_tile`-sized blocks: rows are staged contiguously
+/// into `scratch.data` via `fetch`, assigned by the selected kernel, and
+/// post-processed in row order — so counters, accumulation order and (on
+/// the tiled path) every bit of the result match [`drain_queue`] exactly.
+/// MTI iterations (`iter > 0`, pruning on) are inherently per-row (each row
+/// carries its own bound state) and take the same path as [`drain_queue`].
+pub fn drain_queue_kernel<'data, F>(
+    w: usize,
+    view: &IterView<'_>,
+    accum: &mut LocalAccum,
+    rep: &mut WorkerReport,
+    scratch: &mut KernelScratch,
+    mut fetch: F,
+) where
+    F: FnMut(usize) -> &'data [f64],
+{
+    let full_scan = view.iter == 0 || !view.pruning;
+    if !full_scan || view.kernel.kind == ResolvedKind::Scalar {
+        drain_queue(w, view, accum, rep, fetch);
+        return;
+    }
+    let d = view.cents.d;
+    while let Some(task) = view.queue.next(w) {
+        let mut start = task.rows.start;
+        while start < task.rows.end {
+            let end = (start + view.kernel.row_tile).min(task.rows.end);
+            let m = end - start;
+            for (i, r) in (start..end).enumerate() {
+                scratch.data[i * d..(i + 1) * d].copy_from_slice(fetch(r));
+            }
+            process_block_kernel(
+                start..end,
+                &scratch.data[..m * d],
+                view,
+                accum,
+                rep,
+                &mut scratch.best,
+                &mut scratch.best_dist,
+            );
+            start = end;
+        }
+    }
+}
+
+/// Run the blocked assignment kernel over one staged contiguous block and
+/// commit its decisions in staging order: kernel dispatch, counter
+/// accounting, then [`apply_full_assign`] per row. Shared by the
+/// knori/knord drain path above and the SEM hit/miss block path so the
+/// counter semantics and commit protocol can never diverge between
+/// engines. Distances are only materialized when pruning needs the upper
+/// bounds.
+pub fn process_block_kernel<I>(
+    rows: I,
+    block: &[f64],
+    view: &IterView<'_>,
+    accum: &mut LocalAccum,
+    rep: &mut WorkerReport,
+    best: &mut Vec<u32>,
+    best_dist: &mut Vec<f64>,
+) where
+    I: ExactSizeIterator<Item = usize>,
+{
+    let m = rows.len();
+    if m == 0 {
+        return;
+    }
+    let d = view.cents.d;
+    debug_assert_eq!(block.len(), m * d);
+    assign_rows(
+        block,
+        d,
+        view.cents,
+        &view.kernel,
+        view.cnorms,
+        best,
+        best_dist,
+        view.pruning, // only the bound-establishing pass consumes distances
+    );
+    rep.rows_accessed += m as u64;
+    rep.counters.dist_computations += (m * view.cents.k()) as u64;
+    for (i, r) in rows.enumerate() {
+        let v = &block[i * d..(i + 1) * d];
+        rep.reassigned += u64::from(apply_full_assign(
+            r,
+            v,
+            best[i] as usize,
+            best_dist[i],
+            view.pruning,
+            view.assign,
+            view.upper,
+            accum,
+        ));
+    }
+}
+
 /// Drain worker `w`'s share of the task queue, dispatching every row
 /// through the shared MTI/full-scan state machine. `fetch` supplies a
 /// row's data (and may record backend bookkeeping like access tallies);
 /// it is only called for rows that survive the Clause-1 filter.
 ///
 /// Backends with per-row data access (knori, knord) build their whole
-/// compute super-phase from this; knors cannot, because it filters whole
-/// tasks ahead of batched I/O, but it shares the per-row helpers below.
+/// compute super-phase from this (through [`drain_queue_kernel`]); knors
+/// cannot, because it filters whole tasks ahead of batched I/O, but it
+/// shares the per-row helpers below.
 pub fn drain_queue<'data, F>(
     w: usize,
     view: &IterView<'_>,
@@ -529,10 +759,32 @@ pub fn process_row_full(
     counters: &mut PruneCounters,
 ) -> bool {
     let k = cents.k();
-    // Safety: task-exclusive row ownership (see doc).
-    let cur_a = unsafe { *assign.get(r) };
     let (a, da) = nearest(v, &cents.means, k);
     counters.dist_computations += k as u64;
+    apply_full_assign(r, v, a, da, pruning, assign, upper, accum)
+}
+
+/// Commit one full-scan assignment decision `(a, da)` for row `r`:
+/// accumulate (deltas under pruning, plain sums otherwise), store the
+/// assignment and — under pruning — the exact upper bound. This is the
+/// post-kernel half of [`process_row_full`], shared with the blocked paths.
+///
+/// # Safety contract
+/// As [`filter_row`]: the caller's task owns row `r`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn apply_full_assign(
+    r: usize,
+    v: &[f64],
+    a: usize,
+    da: f64,
+    pruning: bool,
+    assign: &SharedRows<u32>,
+    upper: &SharedRows<f64>,
+    accum: &mut LocalAccum,
+) -> bool {
+    // Safety: task-exclusive row ownership (see doc).
+    let cur_a = unsafe { *assign.get(r) };
     let reassigned;
     if pruning {
         // Delta accumulation against the persistent sums.
@@ -572,7 +824,11 @@ mod tests {
     impl LloydBackend for SliceBackend<'_> {
         fn compute(&self, w: usize, view: &IterView<'_>, accum: &mut LocalAccum) -> WorkerReport {
             let mut rep = WorkerReport::default();
-            drain_queue(w, view, accum, &mut rep, |r| &self.data[r * self.d..(r + 1) * self.d]);
+            // Per-call scratch is fine at test scale.
+            let mut scratch = KernelScratch::new(&view.kernel, self.d);
+            drain_queue_kernel(w, view, accum, &mut rep, &mut scratch, |r| {
+                &self.data[r * self.d..(r + 1) * self.d]
+            });
             rep
         }
     }
@@ -584,6 +840,19 @@ mod tests {
         k: usize,
         pruning: bool,
         threads: usize,
+    ) -> DriverOutcome {
+        run_kernel(data, n, d, k, pruning, threads, KernelKind::Auto)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_kernel(
+        data: &[f64],
+        n: usize,
+        d: usize,
+        k: usize,
+        pruning: bool,
+        threads: usize,
+        kernel: KernelKind,
     ) -> DriverOutcome {
         let topo = Topology::flat(threads);
         let placement = Placement::new(&topo, n, threads);
@@ -597,6 +866,7 @@ mod tests {
             tol: 0.0,
             pruning,
             task_size: 16,
+            kernel,
         };
         let init =
             Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(data[..k * d].to_vec(), k, d));
@@ -641,6 +911,82 @@ mod tests {
     }
 
     #[test]
+    fn tiled_kernel_bitwise_matches_scalar_driver_run() {
+        let mut data = Vec::new();
+        for i in 0..300 {
+            let c = (i % 5) as f64 * 6.0;
+            data.push(c + (i as f64 * 0.13).sin());
+            data.push(-c + (i as f64 * 0.29).cos());
+            data.push((i as f64 * 0.07).sin() * 2.0);
+        }
+        let n = 300;
+        for pruning in [false, true] {
+            let scalar = run_kernel(&data, n, 3, 12, pruning, 2, KernelKind::Scalar);
+            let tiled = run_kernel(&data, n, 3, 12, pruning, 2, KernelKind::Tiled);
+            assert_eq!(scalar.assignments, tiled.assignments, "pruning={pruning}");
+            assert_eq!(scalar.centroids, tiled.centroids, "pruning={pruning}");
+            assert_eq!(scalar.iters.len(), tiled.iters.len());
+            for (a, b) in scalar.iters.iter().zip(&tiled.iters) {
+                assert_eq!(a.reassigned, b.reassigned);
+                assert_eq!(a.rows_accessed, b.rows_accessed);
+                assert_eq!(a.prune.dist_computations, b.prune.dist_computations);
+            }
+        }
+    }
+
+    #[test]
+    fn normtrick_kernel_matches_clustering() {
+        let mut data = Vec::new();
+        for i in 0..400 {
+            let c = (i % 4) as f64 * 9.0;
+            data.push(c + (i as f64 * 0.41).sin() * 0.3);
+            data.push(c - (i as f64 * 0.17).cos() * 0.3);
+        }
+        let n = 400;
+        let exact = run_kernel(&data, n, 2, 16, false, 2, KernelKind::Tiled);
+        let norm = run_kernel(&data, n, 2, 16, false, 2, KernelKind::NormTrick);
+        assert_eq!(exact.assignments, norm.assignments);
+        assert_eq!(exact.iters.len(), norm.iters.len());
+        for (a, b) in exact.centroids.means.iter().zip(&norm.centroids.means) {
+            assert!((a - b).abs() <= 1e-9_f64.max(b.abs() * 1e-9));
+        }
+    }
+
+    #[test]
+    fn parallel_ccdist_recompute_matches_serial_path() {
+        // k > MIRROR_MAX_K with several threads exercises the barrier D/E
+        // parallel distance-matrix phase; one thread takes the serial path.
+        // 72 tight, well-separated blobs in round-robin row order: rows
+        // 0..k seed one centroid per blob, so every engine roots instantly
+        // and every clause decision has a huge margin — the trajectories
+        // are identical across thread counts.
+        let k = MIRROR_MAX_K + 8;
+        let per_blob = 10;
+        let n = k * per_blob;
+        let d = 2;
+        let mut data = Vec::with_capacity(n * d);
+        for i in 0..n {
+            let blob = i % k;
+            let jitter = (i / k) as f64 * 0.004;
+            data.push((blob % 9) as f64 * 50.0 + jitter);
+            data.push((blob / 9) as f64 * 50.0 - jitter);
+        }
+        let par = run_kernel(&data, n, d, k, true, 3, KernelKind::Auto);
+        let ser = run_kernel(&data, n, d, k, true, 1, KernelKind::Auto);
+        assert!(par.converged && ser.converged);
+        assert_eq!(par.assignments, ser.assignments);
+        assert_eq!(par.iters.len(), ser.iters.len());
+        for (a, b) in par.iters.iter().zip(&ser.iters) {
+            assert_eq!(a.prune.clause1_rows, b.prune.clause1_rows, "iter {}", a.iter);
+            assert_eq!(a.reassigned, b.reassigned, "iter {}", a.iter);
+        }
+        // A missed slice of the parallel triangle fill would zero half_min
+        // and kill Clause 1 entirely; rooted blobs must prune every row.
+        let last = par.iters.last().unwrap();
+        assert_eq!(last.prune.clause1_rows, n as u64, "clause 1 must cover all rooted rows");
+    }
+
+    #[test]
     fn reduce_hook_sees_every_iteration() {
         use std::sync::atomic::AtomicUsize;
 
@@ -682,6 +1028,7 @@ mod tests {
             tol: 0.0,
             pruning: true,
             task_size: 8,
+            kernel: KernelKind::Auto,
         };
         let init =
             Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(vec![0.0, 5.0, 10.0], 3, 1));

@@ -21,10 +21,14 @@ use knor_numa::{AccessTally, NodeId, NumaMatrix, Placement, Topology};
 use knor_sched::{SchedulerKind, TaskQueue, DEFAULT_TASK_SIZE};
 
 use crate::centroids::LocalAccum;
-use crate::driver::{drain_queue, run_lloyd, DriverConfig, IterView, LloydBackend, WorkerReport};
+use crate::driver::{
+    drain_queue_kernel, run_lloyd, DriverConfig, IterView, LloydBackend, WorkerReport,
+};
 use crate::init::InitMethod;
+use crate::kernel::{KernelKind, KernelScratch};
 use crate::pruning::Pruning;
 use crate::stats::{KmeansResult, MemoryFootprint};
+use crate::sync::ExclusiveCell;
 
 /// Configuration for a [`Kmeans`] run.
 #[derive(Debug, Clone)]
@@ -56,6 +60,8 @@ pub struct KmeansConfig {
     pub track_tallies: bool,
     /// Compute the final SSE (one extra serial pass).
     pub compute_sse: bool,
+    /// Assignment kernel for full scans (see [`crate::kernel`]).
+    pub kernel: KernelKind,
 }
 
 impl KmeansConfig {
@@ -76,6 +82,7 @@ impl KmeansConfig {
             numa_aware: true,
             track_tallies: false,
             compute_sse: true,
+            kernel: KernelKind::Auto,
         }
     }
 
@@ -148,6 +155,12 @@ impl KmeansConfig {
     /// Toggle the final SSE pass.
     pub fn with_sse(mut self, v: bool) -> Self {
         self.compute_sse = v;
+        self
+    }
+
+    /// Choose the full-scan assignment kernel.
+    pub fn with_kernel(mut self, v: KernelKind) -> Self {
+        self.kernel = v;
         self
     }
 }
@@ -235,7 +248,9 @@ impl Kmeans {
             tol: cfg.tol,
             pruning: cfg.pruning.enabled(),
             task_size: cfg.task_size,
+            kernel: cfg.kernel,
         };
+        let rk = driver_cfg.resolve_kernel();
         let backend = ImBackend {
             cfg,
             topo: &topo,
@@ -243,6 +258,9 @@ impl Kmeans {
             thread_node: &thread_node,
             nnodes,
             row_bytes,
+            scratch: (0..nthreads)
+                .map(|_| ExclusiveCell::new(KernelScratch::new(&rk, d)))
+                .collect(),
         };
         let outcome = run_lloyd(&driver_cfg, init_cents, &placement, &queue, &backend);
 
@@ -283,6 +301,9 @@ struct ImBackend<'a, 'data> {
     thread_node: &'a [NodeId],
     nnodes: usize,
     row_bytes: u64,
+    /// Per-worker kernel scratch, reused across iterations so the hot path
+    /// never reallocates.
+    scratch: Vec<ExclusiveCell<KernelScratch>>,
 }
 
 impl LloydBackend for ImBackend<'_, '_> {
@@ -298,7 +319,10 @@ impl LloydBackend for ImBackend<'_, '_> {
         let mut tally =
             self.cfg.track_tallies.then(|| AccessTally::new(self.thread_node[w], self.nnodes));
 
-        drain_queue(w, view, accum, &mut rep, |r| {
+        // Safety: own-worker slot, touched only inside this worker's
+        // compute super-phase.
+        let scratch = unsafe { self.scratch[w].get_mut() };
+        drain_queue_kernel(w, view, accum, &mut rep, scratch, |r| {
             let (v, home) = self.layout.row(r);
             if let Some(t) = tally.as_mut() {
                 t.record_access(home, self.row_bytes);
@@ -348,6 +372,40 @@ mod tests {
         assert_eq!(par.niters, serial.niters);
         assert_eq!(par.centroids, serial.centroids);
         assert!(par.converged);
+    }
+
+    #[test]
+    fn every_kernel_single_thread_vs_serial() {
+        // Tiled (and Auto, which resolves to it here) must be bitwise equal
+        // to the serial reference; norm-trick must agree on the clustering.
+        let data = mixture(700, 7, 21); // d % 4 != 0 exercises remainders
+        let k = 9;
+        let init = forgy_centroids(&data, k, 13);
+        let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 60, 0.0);
+        let run = |kernel: KernelKind| {
+            Kmeans::new(
+                KmeansConfig::new(k)
+                    .with_init(InitMethod::Given(init.clone()))
+                    .with_threads(1)
+                    .with_scheduler(SchedulerKind::Static)
+                    .with_pruning(Pruning::None)
+                    .with_kernel(kernel)
+                    .with_max_iters(60),
+            )
+            .fit(&data)
+        };
+        for kernel in [KernelKind::Auto, KernelKind::Scalar, KernelKind::Tiled] {
+            let r = run(kernel);
+            assert_eq!(r.assignments, serial.assignments, "{kernel:?}");
+            assert_eq!(r.centroids, serial.centroids, "{kernel:?} centroids must be bitwise");
+            assert_eq!(r.niters, serial.niters, "{kernel:?}");
+        }
+        let norm = run(KernelKind::NormTrick);
+        assert_eq!(norm.assignments, serial.assignments);
+        assert_eq!(norm.niters, serial.niters);
+        for (a, b) in norm.centroids.as_slice().iter().zip(serial.centroids.as_slice()) {
+            assert!((a - b).abs() <= 1e-9_f64.max(b.abs() * 1e-9), "norm-trick drifted");
+        }
     }
 
     #[test]

@@ -1,0 +1,877 @@
+//! The blocked assignment kernel layer.
+//!
+//! Every engine's compute super-phase bottoms out in the same operation:
+//! "assign a batch of rows to their nearest centroids". The per-row
+//! [`crate::distance::nearest`] scan re-streams the whole `k x d` centroid
+//! matrix from memory for every row and exposes only one row's worth of
+//! instruction-level parallelism. This module replaces it, for full-scan
+//! iterations, with a row-tile × centroid-tile kernel:
+//!
+//! * rows are staged in blocks that fit alongside a centroid tile in L1/L2,
+//! * the inner micro-kernel evaluates **four rows against two centroids**
+//!   at a time, amortizing every centroid load 4× and every row load 2×,
+//!   with eight independent accumulator vectors hiding the FP latency,
+//! * each `(row, centroid)` pair still performs *exactly* the arithmetic of
+//!   [`crate::distance::sqdist`] (same chunking, same summation order) and
+//!   candidates are compared in ascending index order with a strict `<`, so
+//!   the tiled kernel is **bitwise identical** to the scalar scan — and
+//!   therefore to `serial.rs`.
+//!
+//! An opt-in norm-trick path computes `‖x − c‖² = ‖x‖² − 2·x·c + ‖c‖²`
+//! from cached centroid norms (maintained incrementally by the driver: only
+//! centroids with non-zero drift are re-normed). Dot products cost half the
+//! arithmetic of difference-squares, but the cancellation re-orders floating
+//! point, so this path is only *approximately* equal to the reference
+//! (≤ 1e-9 relative on distances, see DESIGN.md §7) and is never used where
+//! MTI bound invariants require exact upper bounds.
+//!
+//! MTI iterations (`iter > 0` with pruning on) keep the per-row clause
+//! machine — each row carries its own bound state, so there is no shared
+//! centroid tile to batch against.
+
+use crate::centroids::Centroids;
+use crate::distance::{nearest, sqdist};
+
+/// Which assignment kernel a run requests (the `DriverConfig` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// Pick per shape: scalar for tiny `k·d`, tiled otherwise.
+    #[default]
+    Auto,
+    /// The per-row `nearest` scan (the pre-kernel behaviour).
+    Scalar,
+    /// Row-tile × centroid-tile blocked scan; bitwise equal to `Scalar`.
+    Tiled,
+    /// `‖x‖² − 2x·c + ‖c‖²` with cached centroid norms; fastest, but only
+    /// approximately equal (and ignored while MTI needs exact bounds).
+    NormTrick,
+}
+
+/// The kernel actually selected for a run, after the heuristic resolved
+/// `Auto` and legality downgraded `NormTrick` where bounds must be exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedKind {
+    /// Per-row scans.
+    Scalar,
+    /// Blocked, bitwise-exact scans.
+    Tiled,
+    /// Blocked dot-product scans with cached norms.
+    NormTrick,
+}
+
+/// A resolved kernel selection: the path plus the tile shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedKernel {
+    /// Which code path full scans take.
+    pub kind: ResolvedKind,
+    /// Rows staged per block.
+    pub row_tile: usize,
+    /// Centroids per inner tile (kept hot while a row block is scanned).
+    pub cent_tile: usize,
+}
+
+/// Below this many multiply-adds per row (`k·d`), staging a tile costs more
+/// than it saves and `Auto` falls back to the scalar path.
+pub const SCALAR_CUTOFF: usize = 64;
+
+/// L1 budget (bytes) each of the centroid tile and the row tile should fit
+/// in — half a typical 32 KB L1d apiece.
+const TILE_BYTES: usize = 16 * 1024;
+
+impl KernelKind {
+    /// Resolve the requested kernel for a `(k, d)` problem. `pruning`
+    /// downgrades `NormTrick` to `Tiled`: the MTI clauses compare *upper
+    /// bounds* against exact thresholds, and a norm-trick distance can land
+    /// a hair below the true distance, silently invalidating Clause 1.
+    pub fn resolve(self, k: usize, d: usize, pruning: bool) -> ResolvedKernel {
+        let row_bytes = (d.max(1)) * 8;
+        let row_tile = (TILE_BYTES / row_bytes).clamp(8, 128);
+        let cent_tile = (TILE_BYTES / row_bytes).max(4).min(k.max(1));
+        let kind = match self {
+            KernelKind::Scalar => ResolvedKind::Scalar,
+            KernelKind::Tiled => ResolvedKind::Tiled,
+            KernelKind::NormTrick => {
+                if pruning {
+                    ResolvedKind::Tiled
+                } else {
+                    ResolvedKind::NormTrick
+                }
+            }
+            KernelKind::Auto => {
+                if k * d <= SCALAR_CUTOFF {
+                    ResolvedKind::Scalar
+                } else {
+                    ResolvedKind::Tiled
+                }
+            }
+        };
+        ResolvedKernel { kind, row_tile, cent_tile }
+    }
+}
+
+/// Per-worker reusable kernel scratch. Allocated once per worker before the
+/// first iteration; every buffer is grow-only, so steady-state iterations
+/// never touch the heap.
+#[derive(Debug)]
+pub struct KernelScratch {
+    /// Row staging area (`row_tile × d`, contiguous).
+    pub data: Vec<f64>,
+    /// Per-row best centroid index for the current block.
+    pub best: Vec<u32>,
+    /// Per-row best *distance* (already square-rooted) for the block.
+    pub best_dist: Vec<f64>,
+}
+
+impl KernelScratch {
+    /// Scratch sized for `rk`'s row tile at dimensionality `d`.
+    pub fn new(rk: &ResolvedKernel, d: usize) -> Self {
+        Self {
+            data: vec![0.0; rk.row_tile * d],
+            best: Vec::with_capacity(rk.row_tile),
+            best_dist: Vec::with_capacity(rk.row_tile),
+        }
+    }
+}
+
+/// `‖c‖²` for every centroid, into `out` (the norm-trick cache).
+pub fn centroid_sqnorms(cents: &Centroids, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), cents.k());
+    for (c, o) in out.iter_mut().enumerate() {
+        *o = sqnorm(cents.mean(c));
+    }
+}
+
+/// `‖v‖²` with the same chunked arithmetic as [`sqdist`] against zero.
+#[inline]
+pub fn sqnorm(v: &[f64]) -> f64 {
+    let mut chunks = v.chunks_exact(4);
+    let mut acc = [0.0f64; 4];
+    for ch in chunks.by_ref() {
+        for i in 0..4 {
+            acc[i] += ch[i] * ch[i];
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for x in chunks.remainder() {
+        sum += x * x;
+    }
+    sum
+}
+
+/// Assign every row of a contiguous `m × d` block to its nearest centroid,
+/// resizing `best`/`best_dist` to `m` (grow-only). Dispatches on `rk.kind`;
+/// `cnorms` is only read on the norm-trick path and may be empty otherwise.
+///
+/// When `need_dist` is true, `best_dist` holds the exact (tiled/scalar) or
+/// reconstructed (norm-trick) distance per row. When false — the
+/// non-pruned engine paths, which only consume indices — the distance
+/// finalization pass (square roots, and the norm-trick's per-row
+/// `O(d)` norm reconstruction) is skipped and `best_dist` holds kernel-
+/// internal scores with unspecified meaning.
+#[allow(clippy::too_many_arguments)]
+pub fn assign_rows(
+    block: &[f64],
+    d: usize,
+    cents: &Centroids,
+    rk: &ResolvedKernel,
+    cnorms: &[f64],
+    best: &mut Vec<u32>,
+    best_dist: &mut Vec<f64>,
+    need_dist: bool,
+) {
+    debug_assert_eq!(block.len() % d.max(1), 0);
+    let m = block.len().checked_div(d).unwrap_or(0);
+    best.clear();
+    best.resize(m, 0);
+    best_dist.clear();
+    best_dist.resize(m, 0.0);
+    let mut start = 0usize;
+    while start < m {
+        let end = (start + rk.row_tile).min(m);
+        let sub = &block[start * d..end * d];
+        match rk.kind {
+            ResolvedKind::Scalar => {
+                for (i, row) in sub.chunks_exact(d).enumerate() {
+                    let (a, da) = nearest(row, &cents.means, cents.k());
+                    best[start + i] = a as u32;
+                    best_dist[start + i] = da;
+                }
+            }
+            ResolvedKind::Tiled => assign_tile_scored(
+                sub,
+                d,
+                cents,
+                rk.cent_tile,
+                &mut best[start..end],
+                &mut best_dist[start..end],
+            ),
+            ResolvedKind::NormTrick => normtrick_tile_scored(
+                sub,
+                d,
+                cents,
+                cnorms,
+                rk.cent_tile,
+                &mut best[start..end],
+                &mut best_dist[start..end],
+            ),
+        }
+        start = end;
+    }
+    if need_dist {
+        match rk.kind {
+            ResolvedKind::Scalar => {}
+            ResolvedKind::Tiled => {
+                for x in best_dist.iter_mut() {
+                    *x = x.sqrt();
+                }
+            }
+            ResolvedKind::NormTrick => normtrick_finalize(block, d, best_dist),
+        }
+    }
+}
+
+/// True when the AVX micro-kernels are usable on this machine (cached by
+/// `std`'s feature detection). The baseline x86-64 build targets SSE2,
+/// where the per-row scan already saturates the FP ports; the 4-wide AVX
+/// micro-kernels — deliberately **without FMA**, which would fuse rounding
+/// steps and break bitwise parity — are where the tiled speedup comes from.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx_usable() -> bool {
+    std::arch::is_x86_feature_detected!("avx")
+}
+
+/// The shared tile-scan skeleton, monomorphized per micro-kernel set.
+/// `kern4x2` evaluates four rows against two centroids (sharing the row
+/// loads), `kern4` four rows against a leftover centroid, `kern1` one
+/// remainder row, and `score` maps the raw kernel output to the minimized
+/// quantity (identity for squared distances; `‖c‖² − 2·dot` for the norm
+/// trick). Candidates are compared in ascending index order with a strict
+/// `<`, and the running best for each 4-row group lives in registers
+/// across the whole centroid tile.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile_scan(
+    block: &[f64],
+    d: usize,
+    cents: &Centroids,
+    cent_tile: usize,
+    best: &mut [u32],
+    best_dist: &mut [f64],
+    kern4x2: impl Fn(&[&[f64]; 4], &[f64], &[f64]) -> ([f64; 4], [f64; 4]),
+    kern4: impl Fn(&[&[f64]; 4], &[f64]) -> [f64; 4],
+    kern1: impl Fn(&[f64], &[f64]) -> f64,
+    score: impl Fn(usize, f64) -> f64,
+) {
+    let m = block.len() / d.max(1);
+    let k = cents.k();
+    debug_assert!(best.len() == m && best_dist.len() == m);
+    // best_dist carries the running best score until the caller finalizes.
+    best_dist.iter_mut().for_each(|x| *x = f64::INFINITY);
+    best.iter_mut().for_each(|x| *x = 0);
+
+    let mut c0 = 0usize;
+    while c0 < k {
+        let c1 = (c0 + cent_tile).min(k);
+        let ctile = &cents.means[c0 * d..c1 * d];
+        let ctile_n = c1 - c0;
+        // 4-row × 2-centroid micro-kernel: the centroid tile stays hot,
+        // every row load is amortized over two centroids and every
+        // centroid load over four rows, and eight independent accumulator
+        // sets hide the floating-point latency.
+        let mut r = 0usize;
+        while r + 4 <= m {
+            let rows = [
+                &block[r * d..(r + 1) * d],
+                &block[(r + 1) * d..(r + 2) * d],
+                &block[(r + 2) * d..(r + 3) * d],
+                &block[(r + 3) * d..(r + 4) * d],
+            ];
+            let mut bd = [best_dist[r], best_dist[r + 1], best_dist[r + 2], best_dist[r + 3]];
+            let mut bi = [best[r], best[r + 1], best[r + 2], best[r + 3]];
+            let mut ci = 0usize;
+            while ci + 2 <= ctile_n {
+                let (s0, s1) = kern4x2(
+                    &rows,
+                    &ctile[ci * d..(ci + 1) * d],
+                    &ctile[(ci + 1) * d..(ci + 2) * d],
+                );
+                // Candidate ci strictly before ci + 1: ascending order.
+                for (i, &si) in s0.iter().enumerate() {
+                    let sc = score(c0 + ci, si);
+                    if sc < bd[i] {
+                        bd[i] = sc;
+                        bi[i] = (c0 + ci) as u32;
+                    }
+                }
+                for (i, &si) in s1.iter().enumerate() {
+                    let sc = score(c0 + ci + 1, si);
+                    if sc < bd[i] {
+                        bd[i] = sc;
+                        bi[i] = (c0 + ci + 1) as u32;
+                    }
+                }
+                ci += 2;
+            }
+            while ci < ctile_n {
+                let c = c0 + ci;
+                let s = kern4(&rows, &ctile[ci * d..(ci + 1) * d]);
+                for (i, &si) in s.iter().enumerate() {
+                    let sc = score(c, si);
+                    if sc < bd[i] {
+                        bd[i] = sc;
+                        bi[i] = c as u32;
+                    }
+                }
+                ci += 1;
+            }
+            best_dist[r..r + 4].copy_from_slice(&bd);
+            best[r..r + 4].copy_from_slice(&bi);
+            r += 4;
+        }
+        // Remainder rows one at a time, same per-pair arithmetic.
+        for i in r..m {
+            let row = &block[i * d..(i + 1) * d];
+            for (ci, mean) in ctile.chunks_exact(d).enumerate() {
+                let c = c0 + ci;
+                let sc = score(c, kern1(row, mean));
+                if sc < best_dist[i] {
+                    best_dist[i] = sc;
+                    best[i] = c as u32;
+                }
+            }
+        }
+        c0 = c1;
+    }
+}
+
+/// The tiled primitive: scan one row block (`≤ row_tile` rows, contiguous)
+/// against all centroids, one centroid tile at a time. Bitwise identical to
+/// calling [`nearest`] per row.
+pub fn assign_tile(
+    block: &[f64],
+    d: usize,
+    cents: &Centroids,
+    cent_tile: usize,
+    best: &mut [u32],
+    best_dist: &mut [f64],
+) {
+    assign_tile_scored(block, d, cents, cent_tile, best, best_dist);
+    for x in best_dist.iter_mut() {
+        *x = x.sqrt();
+    }
+}
+
+/// [`assign_tile`]'s scan without the final square-root pass: `best_dist`
+/// is left holding the best *squared* distances.
+fn assign_tile_scored(
+    block: &[f64],
+    d: usize,
+    cents: &Centroids,
+    cent_tile: usize,
+    best: &mut [u32],
+    best_dist: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx_usable() {
+        // Safety: AVX support verified at runtime.
+        unsafe { x86::assign_tile_avx(block, d, cents, cent_tile, best, best_dist) };
+        return;
+    }
+    tile_scan(
+        block,
+        d,
+        cents,
+        cent_tile,
+        best,
+        best_dist,
+        |rows, a, b| (sqdist4(rows, a), sqdist4(rows, b)),
+        sqdist4,
+        sqdist,
+        |_, s| s,
+    );
+}
+
+/// AVX micro-kernels: 4-wide lanes map one-to-one onto [`sqdist`]'s four
+/// accumulator lanes, and sub/mul/add stay un-fused, so every pair's
+/// arithmetic — and therefore every result bit — matches the portable path.
+/// The whole tile scans are compiled with the feature enabled so the
+/// micro-kernels inline into them (a `target_feature` function cannot
+/// inline into a caller without the feature).
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{dot, sqdist, tile_scan, Centroids};
+
+    /// [`super::assign_tile`]'s scan, AVX-enabled.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX support at runtime.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn assign_tile_avx(
+        block: &[f64],
+        d: usize,
+        cents: &Centroids,
+        cent_tile: usize,
+        best: &mut [u32],
+        best_dist: &mut [f64],
+    ) {
+        // Safety: closures inherit the enclosing function's target features.
+        tile_scan(
+            block,
+            d,
+            cents,
+            cent_tile,
+            best,
+            best_dist,
+            |rows, a, b| unsafe { sqdist4x2_avx(rows, a, b) },
+            |rows, c| unsafe { sqdist4_avx(rows, c) },
+            sqdist,
+            |_, s| s,
+        );
+    }
+
+    /// [`super::assign_tile_normtrick`]'s scan, AVX-enabled.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX support at runtime.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn normtrick_tile_avx(
+        block: &[f64],
+        d: usize,
+        cents: &Centroids,
+        cnorms: &[f64],
+        cent_tile: usize,
+        best: &mut [u32],
+        best_dist: &mut [f64],
+    ) {
+        tile_scan(
+            block,
+            d,
+            cents,
+            cent_tile,
+            best,
+            best_dist,
+            |rows, a, b| unsafe { dot4x2_avx(rows, a, b) },
+            |rows, c| unsafe { dot4_avx(rows, c) },
+            dot,
+            |c, dp| cnorms[c] - 2.0 * dp,
+        );
+    }
+
+    /// Squared distances of four rows to two centroids, sharing every row
+    /// load (AVX lanes; each pair's arithmetic matches `sqdist` exactly).
+    ///
+    /// `#[inline(always)]` rather than `#[target_feature]`: the two are
+    /// mutually exclusive, and a non-inlined call per two centroids (with
+    /// its by-memory tuple return) costs ~30% of the kernel. Inlining into
+    /// the `target_feature` scans above compiles the intrinsics in an
+    /// AVX-enabled context.
+    ///
+    /// # Safety
+    /// Must only execute under AVX — guaranteed by being called only from
+    /// the feature-gated scans above.
+    #[inline(always)]
+    unsafe fn sqdist4x2_avx(rows: &[&[f64]; 4], c0: &[f64], c1: &[f64]) -> ([f64; 4], [f64; 4]) {
+        use std::arch::x86_64::*;
+        let d = c0.len();
+        let full = d - d % 4;
+        let mut acc0 = [_mm256_setzero_pd(); 4];
+        let mut acc1 = [_mm256_setzero_pd(); 4];
+        let mut j = 0usize;
+        while j < full {
+            let cv0 = _mm256_loadu_pd(c0.as_ptr().add(j));
+            let cv1 = _mm256_loadu_pd(c1.as_ptr().add(j));
+            for (r, row) in rows.iter().enumerate() {
+                let rv = _mm256_loadu_pd(row.as_ptr().add(j));
+                let d0 = _mm256_sub_pd(rv, cv0);
+                acc0[r] = _mm256_add_pd(acc0[r], _mm256_mul_pd(d0, d0));
+                let d1 = _mm256_sub_pd(rv, cv1);
+                acc1[r] = _mm256_add_pd(acc1[r], _mm256_mul_pd(d1, d1));
+            }
+            j += 4;
+        }
+        let mut out0 = [0.0f64; 4];
+        let mut out1 = [0.0f64; 4];
+        for (r, row) in rows.iter().enumerate() {
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc0[r]);
+            let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+            for jj in full..d {
+                let diff = row[jj] - c0[jj];
+                sum += diff * diff;
+            }
+            out0[r] = sum;
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc1[r]);
+            let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+            for jj in full..d {
+                let diff = row[jj] - c1[jj];
+                sum += diff * diff;
+            }
+            out1[r] = sum;
+        }
+        (out0, out1)
+    }
+
+    /// Dot products of four rows with two centroids, sharing row loads.
+    ///
+    /// # Safety
+    /// As `sqdist4x2_avx`: only reachable from the feature-gated scans.
+    #[inline(always)]
+    unsafe fn dot4x2_avx(rows: &[&[f64]; 4], c0: &[f64], c1: &[f64]) -> ([f64; 4], [f64; 4]) {
+        use std::arch::x86_64::*;
+        let d = c0.len();
+        let full = d - d % 4;
+        let mut acc0 = [_mm256_setzero_pd(); 4];
+        let mut acc1 = [_mm256_setzero_pd(); 4];
+        let mut j = 0usize;
+        while j < full {
+            let cv0 = _mm256_loadu_pd(c0.as_ptr().add(j));
+            let cv1 = _mm256_loadu_pd(c1.as_ptr().add(j));
+            for (r, row) in rows.iter().enumerate() {
+                let rv = _mm256_loadu_pd(row.as_ptr().add(j));
+                acc0[r] = _mm256_add_pd(acc0[r], _mm256_mul_pd(rv, cv0));
+                acc1[r] = _mm256_add_pd(acc1[r], _mm256_mul_pd(rv, cv1));
+            }
+            j += 4;
+        }
+        let mut out0 = [0.0f64; 4];
+        let mut out1 = [0.0f64; 4];
+        for (r, row) in rows.iter().enumerate() {
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc0[r]);
+            let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+            for jj in full..d {
+                sum += row[jj] * c0[jj];
+            }
+            out0[r] = sum;
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc1[r]);
+            let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+            for jj in full..d {
+                sum += row[jj] * c1[jj];
+            }
+            out1[r] = sum;
+        }
+        (out0, out1)
+    }
+
+    /// Squared distances of four rows to one centroid (AVX lanes).
+    ///
+    /// # Safety
+    /// As `sqdist4x2_avx`: only reachable from the feature-gated scans.
+    #[inline(always)]
+    unsafe fn sqdist4_avx(rows: &[&[f64]; 4], c: &[f64]) -> [f64; 4] {
+        use std::arch::x86_64::*;
+        let d = c.len();
+        let full = d - d % 4;
+        let mut acc = [_mm256_setzero_pd(); 4];
+        let mut j = 0usize;
+        while j < full {
+            let cv = _mm256_loadu_pd(c.as_ptr().add(j));
+            for (r, row) in rows.iter().enumerate() {
+                let rv = _mm256_loadu_pd(row.as_ptr().add(j));
+                let diff = _mm256_sub_pd(rv, cv);
+                acc[r] = _mm256_add_pd(acc[r], _mm256_mul_pd(diff, diff));
+            }
+            j += 4;
+        }
+        let mut out = [0.0f64; 4];
+        for (r, row) in rows.iter().enumerate() {
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc[r]);
+            // Same summation order as `sqdist`: ((l0 + l1) + l2) + l3.
+            let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+            for jj in full..d {
+                let diff = row[jj] - c[jj];
+                sum += diff * diff;
+            }
+            out[r] = sum;
+        }
+        out
+    }
+
+    /// Dot products of four rows with one centroid (AVX lanes).
+    ///
+    /// # Safety
+    /// As `sqdist4x2_avx`: only reachable from the feature-gated scans.
+    #[inline(always)]
+    unsafe fn dot4_avx(rows: &[&[f64]; 4], c: &[f64]) -> [f64; 4] {
+        use std::arch::x86_64::*;
+        let d = c.len();
+        let full = d - d % 4;
+        let mut acc = [_mm256_setzero_pd(); 4];
+        let mut j = 0usize;
+        while j < full {
+            let cv = _mm256_loadu_pd(c.as_ptr().add(j));
+            for (r, row) in rows.iter().enumerate() {
+                let rv = _mm256_loadu_pd(row.as_ptr().add(j));
+                acc[r] = _mm256_add_pd(acc[r], _mm256_mul_pd(rv, cv));
+            }
+            j += 4;
+        }
+        let mut out = [0.0f64; 4];
+        for (r, row) in rows.iter().enumerate() {
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc[r]);
+            let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+            for jj in full..d {
+                sum += row[jj] * c[jj];
+            }
+            out[r] = sum;
+        }
+        out
+    }
+}
+
+/// Squared distances of four rows to one centroid, each pair computed with
+/// exactly [`sqdist`]'s chunking and summation order.
+#[inline]
+fn sqdist4(rows: &[&[f64]; 4], c: &[f64]) -> [f64; 4] {
+    let d = c.len();
+    let full = d - d % 4;
+    let mut acc = [[0.0f64; 4]; 4];
+    let mut j = 0usize;
+    while j < full {
+        let cc = &c[j..j + 4];
+        for (r, row) in rows.iter().enumerate() {
+            let rr = &row[j..j + 4];
+            for l in 0..4 {
+                let diff = rr[l] - cc[l];
+                acc[r][l] += diff * diff;
+            }
+        }
+        j += 4;
+    }
+    let mut out = [0.0f64; 4];
+    for (r, row) in rows.iter().enumerate() {
+        let mut sum = acc[r][0] + acc[r][1] + acc[r][2] + acc[r][3];
+        for jj in full..d {
+            let diff = row[jj] - c[jj];
+            sum += diff * diff;
+        }
+        out[r] = sum;
+    }
+    out
+}
+
+/// The norm-trick primitive: per row, minimize `‖c‖² − 2·x·c` (adding `‖x‖²`
+/// is row-constant and cannot change the argmin), then reconstruct the
+/// distance as `√max(‖x‖² + score, 0)`. Half the arithmetic of the exact
+/// kernel; accurate to ≤ 1e-9 relative on non-degenerate data.
+pub fn assign_tile_normtrick(
+    block: &[f64],
+    d: usize,
+    cents: &Centroids,
+    cnorms: &[f64],
+    cent_tile: usize,
+    best: &mut [u32],
+    best_dist: &mut [f64],
+) {
+    normtrick_tile_scored(block, d, cents, cnorms, cent_tile, best, best_dist);
+    normtrick_finalize(block, d, best_dist);
+}
+
+/// [`assign_tile_normtrick`]'s scan without the distance reconstruction:
+/// `best_dist` is left holding the best scores `‖c‖² − 2·x·c`.
+fn normtrick_tile_scored(
+    block: &[f64],
+    d: usize,
+    cents: &Centroids,
+    cnorms: &[f64],
+    cent_tile: usize,
+    best: &mut [u32],
+    best_dist: &mut [f64],
+) {
+    debug_assert_eq!(cnorms.len(), cents.k());
+    #[cfg(target_arch = "x86_64")]
+    if avx_usable() {
+        // Safety: AVX support verified at runtime.
+        unsafe { x86::normtrick_tile_avx(block, d, cents, cnorms, cent_tile, best, best_dist) };
+        return;
+    }
+    tile_scan(
+        block,
+        d,
+        cents,
+        cent_tile,
+        best,
+        best_dist,
+        |rows, a, b| (dot4(rows, a), dot4(rows, b)),
+        dot4,
+        dot,
+        |c, dp| cnorms[c] - 2.0 * dp,
+    );
+}
+
+/// Reconstruct distances from the winning norm-trick scores.
+fn normtrick_finalize(block: &[f64], d: usize, best_dist: &mut [f64]) {
+    for (i, x) in best_dist.iter_mut().enumerate() {
+        let row = &block[i * d..(i + 1) * d];
+        *x = (sqnorm(row) + *x).max(0.0).sqrt();
+    }
+}
+
+/// Chunked dot product (same shape as [`sqdist`] for vectorization).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let mut acc = [0.0f64; 4];
+    for (x, y) in ca.by_ref().zip(cb.by_ref()) {
+        for i in 0..4 {
+            acc[i] += x[i] * y[i];
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// Dot products of four rows with one centroid.
+#[inline]
+fn dot4(rows: &[&[f64]; 4], c: &[f64]) -> [f64; 4] {
+    let d = c.len();
+    let full = d - d % 4;
+    let mut acc = [[0.0f64; 4]; 4];
+    let mut j = 0usize;
+    while j < full {
+        let cc = &c[j..j + 4];
+        for (r, row) in rows.iter().enumerate() {
+            let rr = &row[j..j + 4];
+            for l in 0..4 {
+                acc[r][l] += rr[l] * cc[l];
+            }
+        }
+        j += 4;
+    }
+    let mut out = [0.0f64; 4];
+    for (r, row) in rows.iter().enumerate() {
+        let mut sum = acc[r][0] + acc[r][1] + acc[r][2] + acc[r][3];
+        for jj in full..d {
+            sum += row[jj] * c[jj];
+        }
+        out[r] = sum;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_case(m: usize, k: usize, d: usize, seed: u64) -> (Vec<f64>, Centroids) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let block: Vec<f64> = (0..m * d).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let mut cents = Centroids::zeros(k, d);
+        for x in cents.means.iter_mut() {
+            *x = rng.gen_range(-5.0..5.0);
+        }
+        (block, cents)
+    }
+
+    fn scalar_reference(block: &[f64], d: usize, cents: &Centroids) -> (Vec<u32>, Vec<f64>) {
+        block
+            .chunks_exact(d)
+            .map(|row| {
+                let (a, da) = nearest(row, &cents.means, cents.k());
+                (a as u32, da)
+            })
+            .unzip()
+    }
+
+    #[test]
+    fn tiled_is_bitwise_identical_to_scalar() {
+        // Shapes straddle the 4-row micro-kernel, tile boundaries and
+        // d % 4 != 0 remainders.
+        for (m, k, d, seed) in
+            [(1, 1, 3, 1u64), (3, 5, 7, 2), (4, 8, 8, 3), (67, 13, 6, 4), (130, 40, 9, 5)]
+        {
+            let (block, cents) = random_case(m, k, d, seed);
+            let rk = KernelKind::Tiled.resolve(k, d, false);
+            let (mut best, mut dist) = (Vec::new(), Vec::new());
+            assign_rows(&block, d, &cents, &rk, &[], &mut best, &mut dist, true);
+            let (rbest, rdist) = scalar_reference(&block, d, &cents);
+            assert_eq!(best, rbest, "case {m}x{k}x{d}");
+            assert_eq!(
+                dist.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                rdist.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "distances must match bitwise in case {m}x{k}x{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_cent_tile_still_exact() {
+        let (block, cents) = random_case(21, 17, 5, 9);
+        let rk = ResolvedKernel { kind: ResolvedKind::Tiled, row_tile: 8, cent_tile: 4 };
+        let (mut best, mut dist) = (Vec::new(), Vec::new());
+        assign_rows(&block, 5, &cents, &rk, &[], &mut best, &mut dist, true);
+        let (rbest, rdist) = scalar_reference(&block, 5, &cents);
+        assert_eq!(best, rbest);
+        assert_eq!(dist, rdist);
+    }
+
+    #[test]
+    fn normtrick_within_tolerance() {
+        for (m, k, d, seed) in [(50, 9, 6, 7u64), (33, 16, 11, 8), (4, 1, 5, 9)] {
+            let (block, cents) = random_case(m, k, d, seed);
+            let mut cnorms = vec![0.0; k];
+            centroid_sqnorms(&cents, &mut cnorms);
+            let rk = KernelKind::NormTrick.resolve(k, d, false);
+            assert_eq!(rk.kind, ResolvedKind::NormTrick);
+            let (mut best, mut dist) = (Vec::new(), Vec::new());
+            assign_rows(&block, d, &cents, &rk, &cnorms, &mut best, &mut dist, true);
+            let (_, rdist) = scalar_reference(&block, d, &cents);
+            for i in 0..m {
+                let tol = 1e-9 * rdist[i].abs() + 1e-12;
+                assert!(
+                    (dist[i] - rdist[i]).abs() <= tol,
+                    "row {i}: norm-trick {} vs exact {}",
+                    dist[i],
+                    rdist[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_to_lower_index() {
+        // Two identical centroids: the tiled scan must pick index 0, like
+        // `nearest`.
+        let block = vec![0.5, 0.5, 0.5, 0.5, 1.5, 1.5, 1.5, 1.5];
+        let cents = Centroids { means: vec![1.0; 8], counts: vec![0; 2], d: 4 };
+        let rk = KernelKind::Tiled.resolve(2, 4, false);
+        let (mut best, mut dist) = (Vec::new(), Vec::new());
+        assign_rows(&block, 4, &cents, &rk, &[], &mut best, &mut dist, true);
+        assert_eq!(best, vec![0, 0]);
+    }
+
+    #[test]
+    fn auto_resolution_heuristics() {
+        // Tiny k·d falls back to scalar; larger problems tile.
+        assert_eq!(KernelKind::Auto.resolve(4, 8, false).kind, ResolvedKind::Scalar);
+        assert_eq!(KernelKind::Auto.resolve(64, 32, false).kind, ResolvedKind::Tiled);
+        // Norm-trick is illegal under pruning (bounds must be exact).
+        assert_eq!(KernelKind::NormTrick.resolve(64, 32, true).kind, ResolvedKind::Tiled);
+        assert_eq!(KernelKind::NormTrick.resolve(64, 32, false).kind, ResolvedKind::NormTrick);
+        // Tile sizes shrink as d grows.
+        let small_d = KernelKind::Tiled.resolve(100, 4, false);
+        let large_d = KernelKind::Tiled.resolve(100, 500, false);
+        assert!(small_d.row_tile >= large_d.row_tile);
+        assert!(small_d.cent_tile >= large_d.cent_tile);
+        assert!(large_d.row_tile >= 8 && large_d.cent_tile >= 4);
+    }
+
+    #[test]
+    fn sqnorm_matches_naive() {
+        let v: Vec<f64> = (0..13).map(|x| (x as f64 * 0.31).sin()).collect();
+        let naive: f64 = v.iter().map(|x| x * x).sum();
+        assert!((sqnorm(&v) - naive).abs() < 1e-12);
+        let naive_dot: f64 = v.iter().zip(&v).map(|(a, b)| a * b).sum();
+        assert!((dot(&v, &v) - naive_dot).abs() < 1e-12);
+    }
+}

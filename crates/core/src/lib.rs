@@ -50,6 +50,7 @@ pub mod distance;
 pub mod driver;
 pub mod engine;
 pub mod init;
+pub mod kernel;
 pub mod pruning;
 pub mod quality;
 pub mod serial;
@@ -60,5 +61,6 @@ pub use centroids::{Centroids, LocalAccum};
 pub use driver::{DriverConfig, DriverOutcome, IterView, LloydBackend, ReduceReport, WorkerReport};
 pub use engine::{Kmeans, KmeansConfig};
 pub use init::InitMethod;
+pub use kernel::{KernelKind, KernelScratch, ResolvedKernel, ResolvedKind};
 pub use pruning::Pruning;
 pub use stats::{IterStats, KmeansResult, MemoryFootprint};

@@ -54,20 +54,59 @@ impl MtiIterState {
     }
 
     /// Recompute the distance matrix and thresholds for `next`, and the
-    /// drifts from `prev` to `next`.
+    /// drifts from `prev` to `next`. (The driver writes drifts inline from
+    /// its fused drift/convergence loop and calls [`Self::rebuild`] — or
+    /// fills the triangle in parallel and calls [`Self::finalize_half_min`]
+    /// — instead; this convenience wrapper serves tests and baselines.)
     pub fn update(&mut self, prev: &Centroids, next: &Centroids) {
         debug_assert_eq!(prev.k(), self.k);
         for c in 0..self.k {
             self.drift[c] = dist(prev.mean(c), next.mean(c));
         }
-        centroid_distances(&next.means, self.k, next.d, &mut self.ccdist, &mut self.half_min);
+        self.rebuild(next);
+    }
+
+    /// Recompute the centroid–centroid distance matrix and thresholds for
+    /// `cents`, serially.
+    pub fn rebuild(&mut self, cents: &Centroids) {
+        centroid_distances(&cents.means, self.k, cents.d, &mut self.ccdist, &mut self.half_min);
+    }
+
+    /// Derive `half_min` from an already-filled `ccdist` upper triangle.
+    /// The driver calls this after its workers filled disjoint row slices
+    /// of the triangle in parallel (large-`k` runs).
+    pub fn finalize_half_min(&mut self) {
+        let k = self.k;
+        for x in self.half_min.iter_mut() {
+            *x = f64::INFINITY;
+        }
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let dij = self.ccdist[i * k + j];
+                if dij < self.half_min[i] {
+                    self.half_min[i] = dij;
+                }
+                if dij < self.half_min[j] {
+                    self.half_min[j] = dij;
+                }
+            }
+        }
+        for x in self.half_min.iter_mut() {
+            *x *= 0.5;
+            if !x.is_finite() {
+                *x = 0.0;
+            }
+        }
     }
 
     /// `½·d(a, c)` — the Clause 2/3 threshold for candidate `c` against
-    /// current assignment `a`.
+    /// current assignment `a`. Looks up `ccdist[min*k + max]` so it works
+    /// whether or not the matrix was mirrored (it is not for
+    /// `k > `[`crate::distance::MIRROR_MAX_K`]).
     #[inline]
     pub fn half_cc(&self, a: usize, c: usize) -> f64 {
-        0.5 * self.ccdist[a * self.k + c]
+        let (lo, hi) = if a < c { (a, c) } else { (c, a) };
+        0.5 * self.ccdist[lo * self.k + hi]
     }
 
     /// Heap bytes held (`O(k²)` of Table 1's knori/knord rows).
@@ -245,6 +284,51 @@ mod tests {
                 counters.dist_computations > 0 && counters.clause3_prunes > 0,
             ));
         assert!(candidates >= (k - 1) as u64 - 1, "counters {counters:?}");
+    }
+
+    #[test]
+    fn mti_exact_beyond_mirror_cutoff() {
+        // k > MIRROR_MAX_K stores only the upper triangle; the ordered
+        // half_cc lookup must keep every clause exact.
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let k = crate::distance::MIRROR_MAX_K + 8;
+        let d = 4;
+        let prev = random_centroids(k, d, &mut rng);
+        let mut cents = prev.clone();
+        for x in cents.means.iter_mut() {
+            *x += rng.gen_range(-0.05..0.05);
+        }
+        let mut state = MtiIterState::new(k);
+        state.update(&prev, &cents);
+        for _ in 0..200 {
+            let v: Vec<f64> = (0..d).map(|_| rng.gen_range(-6.0..6.0)).collect();
+            let (a_prev, d_prev) = nearest(&v, &prev.means, k);
+            let ub = d_prev + state.drift[a_prev];
+            let mut counters = PruneCounters::default();
+            let (a_new, _) = mti_assign(&v, &cents, &state, a_prev, ub, &mut counters);
+            let (a_exact, _) = nearest(&v, &cents.means, k);
+            assert_eq!(a_new, a_exact);
+        }
+    }
+
+    #[test]
+    fn finalize_half_min_matches_serial_rebuild() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for k in [1usize, 2, 9, crate::distance::MIRROR_MAX_K + 3] {
+            let cents = random_centroids(k, 5, &mut rng);
+            let mut serial = MtiIterState::new(k);
+            serial.rebuild(&cents);
+            // Simulate the parallel path: fill only the upper triangle,
+            // then finalize.
+            let mut par = MtiIterState::new(k);
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    par.ccdist[i * k + j] = dist(cents.mean(i), cents.mean(j));
+                }
+            }
+            par.finalize_half_min();
+            assert_eq!(par.half_min, serial.half_min, "k = {k}");
+        }
     }
 
     #[test]

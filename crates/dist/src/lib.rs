@@ -34,9 +34,10 @@ use std::ops::Range;
 
 use knor_core::centroids::LocalAccum;
 use knor_core::driver::{
-    drain_queue, run_lloyd, DriverConfig, IterView, LloydBackend, ReduceReport, WorkerReport,
+    drain_queue_kernel, run_lloyd, DriverConfig, IterView, LloydBackend, ReduceReport, WorkerReport,
 };
 use knor_core::init::InitMethod;
+use knor_core::kernel::{KernelKind, KernelScratch};
 use knor_core::pruning::{PruneCounters, Pruning};
 use knor_core::sync::ExclusiveCell;
 use knor_matrix::{DMatrix, RowView};
@@ -75,6 +76,8 @@ pub struct DistConfig {
     pub net: NetModel,
     /// Compute the final SSE (one extra serial pass over the full data).
     pub compute_sse: bool,
+    /// Assignment kernel for full scans inside each rank's engine.
+    pub kernel: KernelKind,
 }
 
 impl DistConfig {
@@ -95,6 +98,7 @@ impl DistConfig {
             task_size: DEFAULT_TASK_SIZE,
             net: NetModel::ec2_10gbe(),
             compute_sse: false,
+            kernel: KernelKind::Auto,
         }
     }
 
@@ -162,6 +166,12 @@ impl DistConfig {
     /// Toggle the final SSE pass.
     pub fn with_sse(mut self, v: bool) -> Self {
         self.compute_sse = v;
+        self
+    }
+
+    /// Choose the full-scan assignment kernel.
+    pub fn with_kernel(mut self, v: KernelKind) -> Self {
+        self.kernel = v;
         self
     }
 }
@@ -293,7 +303,9 @@ impl DistKmeans {
                 tol: cfg.tol,
                 pruning,
                 task_size: cfg.task_size,
+                kernel: cfg.kernel,
             };
+            let rk = driver_cfg.resolve_kernel();
             let backend = RankBackend {
                 rows: local,
                 comm: &comm,
@@ -301,6 +313,10 @@ impl DistKmeans {
                 net: cfg.net,
                 reduce_payload: ((k * d + k + SCALARS) * 8) as u64,
                 prev_sent: ExclusiveCell::new(0),
+                scratch: (0..cfg.threads_per_rank)
+                    .map(|_| ExclusiveCell::new(KernelScratch::new(&rk, d)))
+                    .collect(),
+                reduce_buf: ExclusiveCell::new(Vec::with_capacity(k * d + k + SCALARS)),
             };
             let outcome = run_lloyd(&driver_cfg, init_ref.clone(), &placement, &queue, &backend);
             (outcome, comm.stats().snapshot())
@@ -370,6 +386,10 @@ struct RankBackend<'a> {
     reduce_payload: u64,
     /// Bytes-sent watermark for per-iteration deltas (coordinator-only).
     prev_sent: ExclusiveCell<u64>,
+    /// Per-worker kernel scratch, reused across iterations.
+    scratch: Vec<ExclusiveCell<KernelScratch>>,
+    /// Coordinator-only allreduce staging, reused across iterations.
+    reduce_buf: ExclusiveCell<Vec<f64>>,
 }
 
 /// Scalar totals folded into the all-reduce payload so every rank shares
@@ -402,7 +422,10 @@ impl RankBackend<'_> {
 impl LloydBackend for RankBackend<'_> {
     fn compute(&self, w: usize, view: &IterView<'_>, accum: &mut LocalAccum) -> WorkerReport {
         let mut rep = WorkerReport::default();
-        drain_queue(w, view, accum, &mut rep, |r| self.rows.row(r));
+        // Safety: own-worker slot, touched only during this worker's
+        // compute super-phase.
+        let scratch = unsafe { self.scratch[w].get_mut() };
+        drain_queue_kernel(w, view, accum, &mut rep, scratch, |r| self.rows.row(r));
         rep
     }
 
@@ -424,12 +447,14 @@ impl LloydBackend for RankBackend<'_> {
 
         // One all-reduce carries sums, counts, and the convergence scalars.
         // Counts and scalars are integers, exact in f64 transport.
+        // Safety: reduce runs in the coordinator's exclusive window.
         let k = counts.len();
-        let mut buf: Vec<f64> = Vec::with_capacity(sums.len() + k + SCALARS);
+        let buf = unsafe { self.reduce_buf.get_mut() };
+        buf.clear();
         buf.extend_from_slice(sums);
         buf.extend(counts.iter().map(|&c| c as f64));
         buf.extend_from_slice(&Self::pack_scalars(totals));
-        allreduce_f64(self.comm, &mut buf, self.algo);
+        allreduce_f64(self.comm, buf, self.algo);
         sums.copy_from_slice(&buf[..sums.len()]);
         for (c, v) in counts.iter_mut().zip(&buf[sums.len()..sums.len() + k]) {
             *c = v.round() as i64;
@@ -479,6 +504,25 @@ mod tests {
         assert!(agreement(&dist.assignments, &serial.assignments, k) > 0.999);
         let rel = (dist.sse.unwrap() - serial.sse.unwrap()).abs() / serial.sse.unwrap();
         assert!(rel < 1e-9);
+    }
+
+    #[test]
+    fn tiled_kernel_bitwise_matches_serial_single_rank() {
+        let data = mixture(500, 6, 31);
+        let k = 8;
+        let init = InitMethod::Forgy.initialize(&data, k, 4).to_matrix();
+        let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 60, 0.0);
+        let dist = DistKmeans::new(
+            DistConfig::new(k, 1, 1)
+                .with_init(InitMethod::Given(init))
+                .with_pruning(Pruning::None)
+                .with_kernel(KernelKind::Tiled)
+                .with_max_iters(60),
+        )
+        .fit(&data);
+        assert_eq!(dist.assignments, serial.assignments);
+        assert_eq!(dist.centroids, serial.centroids, "tiled knord must be bitwise serial");
+        assert_eq!(dist.niters, serial.niters);
     }
 
     #[test]

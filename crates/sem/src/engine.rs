@@ -23,9 +23,10 @@ use std::sync::Arc;
 
 use knor_core::centroids::{Centroids, LocalAccum};
 use knor_core::driver::{
-    filter_row, process_row_full, process_row_mti, run_lloyd, DriverConfig, IterView, LloydBackend,
-    WorkerReport,
+    filter_row, process_block_kernel, process_row_full, process_row_mti, run_lloyd, DriverConfig,
+    IterView, LloydBackend, WorkerReport,
 };
+use knor_core::kernel::{KernelKind, ResolvedKind};
 use knor_core::pruning::{PruneCounters, Pruning};
 use knor_core::stats::{IterStats, KmeansResult, MemoryFootprint};
 use knor_core::sync::ExclusiveCell;
@@ -86,6 +87,8 @@ pub struct SemConfig {
     pub prefetch_threads: usize,
     /// Stream the file once at the end to compute SSE.
     pub compute_sse: bool,
+    /// Assignment kernel for full scans (see `knor_core::kernel`).
+    pub kernel: KernelKind,
 }
 
 impl SemConfig {
@@ -109,6 +112,7 @@ impl SemConfig {
             prefetch: false,
             prefetch_threads: 2,
             compute_sse: false,
+            kernel: KernelKind::Auto,
         }
     }
 
@@ -145,6 +149,12 @@ impl SemConfig {
     /// Set rows per task.
     pub fn with_task_size(mut self, v: usize) -> Self {
         self.task_size = v.max(1);
+        self
+    }
+
+    /// Choose the task queue policy.
+    pub fn with_scheduler(mut self, v: SchedulerKind) -> Self {
+        self.scheduler = v;
         self
     }
 
@@ -187,6 +197,12 @@ impl SemConfig {
     /// Compute SSE at the end.
     pub fn with_sse(mut self, v: bool) -> Self {
         self.compute_sse = v;
+        self
+    }
+
+    /// Choose the full-scan assignment kernel.
+    pub fn with_kernel(mut self, v: KernelKind) -> Self {
+        self.kernel = v;
         self
     }
 }
@@ -273,6 +289,7 @@ impl SemKmeans {
             tol: cfg.tol,
             pruning,
             task_size: cfg.task_size,
+            kernel: cfg.kernel,
         };
         let schedule = if cfg.lazy_refresh {
             RefreshSchedule::lazy(cfg.cache_interval)
@@ -289,9 +306,7 @@ impl SemKmeans {
             io_stats: Arc::clone(&io_stats),
             prev_io: ExclusiveCell::new(io_stats.snapshot()),
             ios: ExclusiveCell::new(Vec::new()),
-            scratch: (0..nthreads)
-                .map(|_| ExclusiveCell::new((Vec::new(), vec![0.0f64; d])))
-                .collect(),
+            scratch: (0..nthreads).map(|_| ExclusiveCell::new(SemScratch::new())).collect(),
         };
         let outcome = run_lloyd(&driver_cfg, init_cents, &placement, &queue, &backend);
         let out_io = backend.ios.into_inner();
@@ -351,9 +366,46 @@ struct SemBackend<'a> {
     prev_io: ExclusiveCell<IoSnapshot>,
     /// Per-iteration I/O statistics, filled in `end_iteration`.
     ios: ExclusiveCell<Vec<IoIterStats>>,
-    /// Per-worker `(fetch_buf, row_buf)` scratch, reused across iterations
-    /// so the hot path never reallocates.
-    scratch: Vec<ExclusiveCell<(Vec<f64>, Vec<f64>)>>,
+    /// Per-worker scratch, reused across iterations so the hot path never
+    /// reallocates.
+    scratch: Vec<ExclusiveCell<SemScratch>>,
+}
+
+/// One worker's reusable buffers: device-fetch staging, contiguous
+/// row-cache hit staging, the hit/miss row-id split, kernel scratch, and
+/// the recycled Clause-1 filter buffers for the depth-2 pipeline. All
+/// grow-only — steady-state iterations never allocate here.
+struct SemScratch {
+    /// Contiguous rows fetched from the device (task misses).
+    fetch_buf: Vec<f64>,
+    /// Contiguous rows copied out of the row cache (task hits).
+    hit_buf: Vec<f64>,
+    /// Row ids staged in `hit_buf`, in staging order.
+    hit_rows: Vec<usize>,
+    /// Row ids staged in `fetch_buf`, in fetch order.
+    misses: Vec<usize>,
+    /// Blocked-kernel best-index array (rows are staged in
+    /// `hit_buf`/`fetch_buf`, so no separate tile staging is needed).
+    best: Vec<u32>,
+    /// Blocked-kernel best-distance array.
+    best_dist: Vec<f64>,
+    /// Recycled `FilteredTask::needed` buffers (two alive at pipeline
+    /// depth 2).
+    free_needed: Vec<Vec<usize>>,
+}
+
+impl SemScratch {
+    fn new() -> Self {
+        Self {
+            fetch_buf: Vec::new(),
+            hit_buf: Vec::new(),
+            hit_rows: Vec::new(),
+            misses: Vec::new(),
+            best: Vec::new(),
+            best_dist: Vec::new(),
+            free_needed: Vec::new(),
+        }
+    }
 }
 
 impl LloydBackend for SemBackend<'_> {
@@ -372,13 +424,14 @@ impl LloydBackend for SemBackend<'_> {
         let mut rep = WorkerReport::default();
         // Safety: own-worker slot, touched only inside this worker's
         // compute super-phase.
-        let (fetch_buf, row_buf) = unsafe { self.scratch[w].get_mut() };
+        let scratch = unsafe { self.scratch[w].get_mut() };
 
         // Depth-2 pipeline: filter (and prefetch) next, compute current.
         let mut pending: Option<FilteredTask> = None;
         loop {
             let next = view.queue.next(w).map(|task| {
-                let needed = filter_task(&task, view, &mut rep.counters);
+                let mut needed = scratch.free_needed.pop().unwrap_or_default();
+                filter_task_into(&task, view, &mut rep.counters, &mut needed);
                 if let Some(pf) = self.prefetcher {
                     if !needed.is_empty() {
                         pf.request(self.reader.pages_for_rows(&needed));
@@ -394,7 +447,8 @@ impl LloydBackend for SemBackend<'_> {
                 }
                 continue;
             };
-            self.compute_task(&ft, view, refreshing, accum, &mut rep, fetch_buf, row_buf);
+            self.compute_task(&ft, view, refreshing, accum, &mut rep, scratch);
+            scratch.free_needed.push(ft.needed);
         }
         rep
     }
@@ -424,7 +478,12 @@ impl LloydBackend for SemBackend<'_> {
 
 impl SemBackend<'_> {
     /// Fetch and process the needed rows of a filtered task.
-    #[allow(clippy::too_many_arguments)]
+    ///
+    /// Rows split into row-cache hits (staged contiguously into
+    /// `scratch.hit_buf`) and misses (one merged device fetch into
+    /// `scratch.fetch_buf`). Full-scan iterations then run the blocked
+    /// assignment kernel directly over each contiguous buffer; MTI
+    /// iterations keep the per-row clause machine.
     fn compute_task(
         &self,
         ft: &FilteredTask,
@@ -432,24 +491,58 @@ impl SemBackend<'_> {
         refreshing: bool,
         accum: &mut LocalAccum,
         rep: &mut WorkerReport,
-        fetch_buf: &mut Vec<f64>,
-        row_buf: &mut [f64],
+        scratch: &mut SemScratch,
     ) {
         let d = self.d;
-        // Split needed rows into row-cache hits and misses.
-        let mut misses: Vec<usize> = Vec::with_capacity(ft.needed.len());
-        let mut hit_rows: Vec<(usize, Vec<f64>)> = Vec::new();
+        scratch.hit_rows.clear();
+        scratch.misses.clear();
+        if scratch.hit_buf.len() < ft.needed.len() * d {
+            scratch.hit_buf.resize(ft.needed.len() * d, 0.0);
+        }
+        let mut nh = 0usize;
         for &r in &ft.needed {
-            if self.row_cache.get(r as u32, row_buf) {
+            let dst = &mut scratch.hit_buf[nh * d..(nh + 1) * d];
+            if self.row_cache.get(r as u32, dst) {
                 rep.aux += 1; // row-cache hit
-                hit_rows.push((r, row_buf.to_vec()));
+                scratch.hit_rows.push(r);
+                nh += 1;
             } else {
-                misses.push(r);
+                scratch.misses.push(r);
             }
         }
         // One merged fetch for the misses.
-        if !misses.is_empty() {
-            self.reader.fetch_rows(&misses, fetch_buf).expect("SEM device read failed");
+        if !scratch.misses.is_empty() {
+            self.reader
+                .fetch_rows(&scratch.misses, &mut scratch.fetch_buf)
+                .expect("SEM device read failed");
+        }
+
+        let full_scan = view.iter == 0 || !view.pruning;
+        if full_scan && view.kernel.kind != ResolvedKind::Scalar {
+            process_block_kernel(
+                scratch.hit_rows.iter().copied(),
+                &scratch.hit_buf[..nh * d],
+                view,
+                accum,
+                rep,
+                &mut scratch.best,
+                &mut scratch.best_dist,
+            );
+            process_block_kernel(
+                scratch.misses.iter().copied(),
+                &scratch.fetch_buf[..scratch.misses.len() * d],
+                view,
+                accum,
+                rep,
+                &mut scratch.best,
+                &mut scratch.best_dist,
+            );
+            if refreshing {
+                for (i, &r) in scratch.misses.iter().enumerate() {
+                    self.row_cache.insert(r as u32, &scratch.fetch_buf[i * d..(i + 1) * d]);
+                }
+            }
+            return;
         }
 
         let mut process = |r: usize, v: &[f64], rep: &mut WorkerReport| {
@@ -481,11 +574,11 @@ impl SemBackend<'_> {
             rep.reassigned += u64::from(reassigned);
         };
 
-        for (r, v) in &hit_rows {
-            process(*r, v, rep);
+        for (i, &r) in scratch.hit_rows.iter().enumerate() {
+            process(r, &scratch.hit_buf[i * d..(i + 1) * d], rep);
         }
-        for (i, &r) in misses.iter().enumerate() {
-            let v = &fetch_buf[i * d..(i + 1) * d];
+        for (i, &r) in scratch.misses.iter().enumerate() {
+            let v = &scratch.fetch_buf[i * d..(i + 1) * d];
             process(r, v, rep);
             if refreshing {
                 self.row_cache.insert(r as u32, v);
@@ -494,20 +587,25 @@ impl SemBackend<'_> {
     }
 }
 
-/// Clause-1 filter for a task: returns the rows that must be fetched and
-/// drift-updates the bounds of the skipped ones.
-fn filter_task(task: &Task, view: &IterView<'_>, counters: &mut PruneCounters) -> Vec<usize> {
-    let mut needed = Vec::with_capacity(task.len());
+/// Clause-1 filter for a task: collects the rows that must be fetched into
+/// `needed` (cleared first) and drift-updates the bounds of the skipped
+/// ones.
+fn filter_task_into(
+    task: &Task,
+    view: &IterView<'_>,
+    counters: &mut PruneCounters,
+    needed: &mut Vec<usize>,
+) {
+    needed.clear();
     if view.iter == 0 || !view.pruning {
         needed.extend(task.rows.clone());
-        return needed;
+        return;
     }
     for r in task.rows.clone() {
         if filter_row(r, view.assign, view.upper, view.mti, counters) {
             needed.push(r);
         }
     }
-    needed
 }
 
 /// Stream the file once to compute the final SSE.
@@ -582,6 +680,65 @@ mod tests {
         assert!(agreement(&sem.kmeans.assignments, &serial.assignments, k) > 0.999);
         let rel = (sem.kmeans.sse.unwrap() - serial.sse.unwrap()).abs() / serial.sse.unwrap();
         assert!(rel < 1e-9, "SSE diverged: {rel}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn tiled_kernel_bitwise_matches_serial() {
+        // One thread, no row cache: rows process in serial order, so the
+        // tiled kernel must reproduce the serial reference bit for bit.
+        let (data, path) = write_mixture(900, 6, 27, "tiled");
+        let k = 10;
+        let init = forgy(&data, k, 8);
+        let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, 60, 0.0);
+        let sem = SemKmeans::new(
+            SemConfig::new(k)
+                .with_init(SemInit::Given(init))
+                .with_threads(1)
+                .with_scheduler(SchedulerKind::Static)
+                .with_task_size(64)
+                .with_page_size(256)
+                .with_pruning(Pruning::None)
+                .with_row_cache_bytes(0)
+                .with_kernel(knor_core::KernelKind::Tiled)
+                .with_max_iters(60),
+        )
+        .fit(&path)
+        .unwrap();
+        assert_eq!(sem.kmeans.assignments, serial.assignments);
+        assert_eq!(sem.kmeans.centroids, serial.centroids, "tiled knors must be bitwise serial");
+        assert_eq!(sem.kmeans.niters, serial.niters);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn row_cache_path_agrees_with_kernel() {
+        // Row-cache hits flow through the contiguous hit staging + blocked
+        // kernel; the clustering must match the scalar kernel run.
+        let (data, path) = write_mixture(1500, 8, 28, "rck");
+        let k = 8;
+        let init = forgy(&data, k, 3);
+        let run = |kernel: knor_core::KernelKind| {
+            SemKmeans::new(
+                SemConfig::new(k)
+                    .with_init(SemInit::Given(init.clone()))
+                    .with_threads(2)
+                    .with_task_size(96)
+                    .with_page_size(512)
+                    .with_pruning(Pruning::None)
+                    .with_row_cache_bytes(2 << 20)
+                    .with_cache_interval(2)
+                    .with_kernel(kernel)
+                    .with_max_iters(40),
+            )
+            .fit(&path)
+            .unwrap()
+        };
+        let tiled = run(knor_core::KernelKind::Tiled);
+        let scalar = run(knor_core::KernelKind::Scalar);
+        assert_eq!(tiled.kmeans.assignments, scalar.kmeans.assignments);
+        assert_eq!(tiled.kmeans.niters, scalar.kmeans.niters);
+        assert!(tiled.io.iter().map(|i| i.rc_hits).sum::<u64>() > 0, "cache never hit");
         std::fs::remove_file(path).unwrap();
     }
 

@@ -47,7 +47,7 @@ pub use knor_sem::{SemConfig, SemInit, SemKmeans, SemResult};
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use knor_core::{InitMethod, Kmeans, KmeansConfig, KmeansResult, Pruning};
+    pub use knor_core::{InitMethod, KernelKind, Kmeans, KmeansConfig, KmeansResult, Pruning};
     pub use knor_dist::{DistConfig, DistKmeans, DistResult};
     pub use knor_matrix::{io as matrix_io, DMatrix};
     pub use knor_mpi::ReduceAlgo;

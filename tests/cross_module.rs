@@ -79,6 +79,70 @@ fn all_modules_agree_on_one_init() {
     assert!((mr_sse - reference_sse).abs() / reference_sse < 1e-9);
 }
 
+/// The tiled kernel's contract across engines: in single-worker
+/// deterministic configurations, knori, knors and knord each reproduce the
+/// serial reference *bitwise* — assignments, centroids and iteration count.
+#[test]
+fn tiled_kernel_bitwise_across_all_three_engines() {
+    let (data, _) = workload(1200, 6, 202);
+    let k = 9;
+    let init = InitMethod::Forgy.initialize(&data, k, 23).to_matrix();
+    let max_iters = 70;
+    let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, max_iters, 0.0);
+    assert!(serial.converged);
+
+    // knori.
+    let im = Kmeans::new(
+        KmeansConfig::new(k)
+            .with_init(InitMethod::Given(init.clone()))
+            .with_threads(1)
+            .with_scheduler(SchedulerKind::Static)
+            .with_pruning(Pruning::None)
+            .with_kernel(KernelKind::Tiled)
+            .with_max_iters(max_iters),
+    )
+    .fit(&data);
+    assert_eq!(im.assignments, serial.assignments, "knori assignments");
+    assert_eq!(im.centroids, serial.centroids, "knori centroids must match bitwise");
+    assert_eq!(im.niters, serial.niters);
+
+    // knors (no row cache, one thread: rows process in serial order).
+    let mut path = std::env::temp_dir();
+    path.push(format!("knor-cross-tiled-{}.knor", std::process::id()));
+    matrix_io::write_matrix(&path, &data).unwrap();
+    let sem = SemKmeans::new(
+        SemConfig::new(k)
+            .with_init(SemInit::Given(init.clone()))
+            .with_threads(1)
+            .with_scheduler(SchedulerKind::Static)
+            .with_page_size(512)
+            .with_task_size(128)
+            .with_pruning(Pruning::None)
+            .with_row_cache_bytes(0)
+            .with_kernel(KernelKind::Tiled)
+            .with_max_iters(max_iters),
+    )
+    .fit(&path)
+    .unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(sem.kmeans.assignments, serial.assignments, "knors assignments");
+    assert_eq!(sem.kmeans.centroids, serial.centroids, "knors centroids must match bitwise");
+    assert_eq!(sem.kmeans.niters, serial.niters);
+
+    // knord (one rank, one thread).
+    let dist = DistKmeans::new(
+        DistConfig::new(k, 1, 1)
+            .with_init(InitMethod::Given(init))
+            .with_pruning(Pruning::None)
+            .with_kernel(KernelKind::Tiled)
+            .with_max_iters(max_iters),
+    )
+    .fit(&data);
+    assert_eq!(dist.assignments, serial.assignments, "knord assignments");
+    assert_eq!(dist.centroids, serial.centroids, "knord centroids must match bitwise");
+    assert_eq!(dist.niters, serial.niters);
+}
+
 #[test]
 fn planted_centers_recovered_by_every_module() {
     // Noise-free mixture: center recovery is only well-posed when every

@@ -56,6 +56,69 @@ proptest! {
         prop_assert_eq!(par.centroids, serial.centroids);
     }
 
+    /// The tiled kernel is bitwise identical to the serial per-row scan on
+    /// arbitrary shapes: remainder dimensions (`d % 4 != 0`), `k == 1`,
+    /// and blocks smaller than one row tile are all covered by the ranges.
+    #[test]
+    fn tiled_kernel_bitwise_matches_serial_scan(
+        data in arb_matrix(150, 9),
+        k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= data.nrow());
+        let (n, d) = (data.nrow(), data.ncol());
+        let cents = knor_core::Centroids::from_matrix(
+            &InitMethod::Forgy.initialize(&data, k, seed).to_matrix(),
+        );
+        let rk = KernelKind::Tiled.resolve(k, d, false);
+        let (mut best, mut best_dist) = (Vec::new(), Vec::new());
+        knor_core::kernel::assign_rows(
+            data.as_slice(), d, &cents, &rk, &[], &mut best, &mut best_dist, true,
+        );
+        for r in 0..n {
+            let (a, da) = knor_core::distance::nearest(data.row(r), &cents.means, k);
+            prop_assert!(best[r] == a as u32, "row {r}: idx {} vs {}", best[r], a);
+            prop_assert!(best_dist[r].to_bits() == da.to_bits(), "row {r} distance bits differ");
+        }
+    }
+
+    /// The norm-trick kernel reproduces serial-scan distances to ≤ 1e-9
+    /// relative, across the same shape edge cases.
+    #[test]
+    fn normtrick_kernel_within_tolerance_of_serial_scan(
+        data in arb_matrix(150, 9),
+        k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= data.nrow());
+        let (n, d) = (data.nrow(), data.ncol());
+        let cents = knor_core::Centroids::from_matrix(
+            &InitMethod::Forgy.initialize(&data, k, seed).to_matrix(),
+        );
+        let mut cnorms = vec![0.0; k];
+        knor_core::kernel::centroid_sqnorms(&cents, &mut cnorms);
+        let rk = KernelKind::NormTrick.resolve(k, d, false);
+        prop_assert_eq!(rk.kind, knor_core::ResolvedKind::NormTrick);
+        let (mut best, mut best_dist) = (Vec::new(), Vec::new());
+        knor_core::kernel::assign_rows(
+            data.as_slice(), d, &cents, &rk, &cnorms, &mut best, &mut best_dist, true,
+        );
+        for (r, &bd) in best_dist.iter().enumerate().take(n) {
+            let (_, da) = knor_core::distance::nearest(data.row(r), &cents.means, k);
+            // The cancellation in ‖x‖² − 2x·c + ‖c‖² carries absolute error
+            // proportional to the norms, so compare squared distances with
+            // a norm-scaled bound (≫ 1e-9 relative whenever the distance is
+            // not vanishingly small against the operand magnitudes).
+            let xn = knor_core::kernel::sqnorm(data.row(r));
+            let cn = cnorms.iter().cloned().fold(0.0f64, f64::max);
+            let tol_sq = 1e-12 * (xn + cn + 1.0);
+            prop_assert!(
+                (bd * bd - da * da).abs() <= tol_sq,
+                "row {}: norm-trick {} vs exact {}", r, bd, da
+            );
+        }
+    }
+
     /// SSE never increases across Lloyd's iterations (the monotone
     /// convergence invariant), checked through the serial reference.
     #[test]
