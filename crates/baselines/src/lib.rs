@@ -9,11 +9,13 @@
 //!   contrast, and the pruning-rate comparison).
 //! * [`yinyang`] — Ding et al.'s group-filtering competitor discussed in
 //!   Related Work (`O(nt)` bounds, `t = k/10`).
-//! * [`minibatch`] — Sculley's web-scale approximation (Related Work; the
-//!   paper avoids approximations — we include it to show the quality gap).
+//! * [`minibatch`] — Sculley's web-scale approximation (Related Work).
+//!   Now a serial mirror of `Algorithm::MiniBatch` on the parallel driver,
+//!   kept for exact parity testing against the engines.
 //! * [`spherical`] / [`semisupervised`] — the first two §9 future-work
-//!   variants (spherical k-means; semi-supervised k-means++), showing the
-//!   ||Lloyd's structure generalizes as the paper claims.
+//!   variants. Spherical is likewise the serial mirror of
+//!   `Algorithm::Spherical` (the engines run it natively since the
+//!   `MmAlgorithm` layer landed — DESIGN.md §8).
 //! * [`mapreduce`] — a small map/combine/shuffle/reduce engine with
 //!   framework personas (MLlib-like, H2O-like, Turi-like) that are
 //!   *algorithmically identical* to Lloyd's but pay the framework taxes

@@ -3,26 +3,38 @@
 //! The paper avoids approximations "owing to questions of cluster quality";
 //! we include the approximation so the harness can show that gap on the
 //! same workloads.
+//!
+//! Since the `MmAlgorithm` layer landed, mini-batch runs natively on the
+//! parallel driver (`Algorithm::MiniBatch` on knori/knors/knord: iteration
+//! 0 is a full pass, later iterations Bernoulli-sample rows by a seeded
+//! hash *before* fetching their data, and the update is the batch form of
+//! the per-center learning rate). The old standalone loop — sequential
+//! per-sample updates that no parallel engine could reproduce — was
+//! retired; this module is now the **serial reference mirror** executing
+//! the same map/update phases in plain row order, so a single-threaded
+//! engine run must reproduce it exactly.
 
-use knor_core::centroids::Centroids;
-use knor_core::distance::nearest;
+use knor_core::algo::{Algorithm, UpdateCtx};
+use knor_core::centroids::{Centroids, LocalAccum};
 use knor_matrix::DMatrix;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 
 /// Result of a mini-batch run.
 #[derive(Debug, Clone)]
 pub struct MiniBatchRun {
     /// Final centroids.
     pub centroids: DMatrix,
-    /// Assignments from one final full pass.
+    /// Assignments from one final full map pass against the final
+    /// centroids (batch assignments would be stale for rarely-sampled
+    /// rows; the engines do the same refresh).
     pub assignments: Vec<u32>,
-    /// Batches processed.
+    /// Batches (iterations) processed.
     pub batches: usize,
 }
 
-/// Run mini-batch k-means: `batches` batches of `batch_size` sampled rows,
-/// with per-center learning-rate `1/count` updates (Sculley 2010).
+/// Run mini-batch k-means: `batches` iterations over Bernoulli-sampled
+/// ≈`batch_size`-row batches with batch learning-rate updates — the exact
+/// algorithm `Algorithm::MiniBatch` runs on the parallel driver, executed
+/// serially.
 pub fn minibatch_kmeans(
     data: &DMatrix,
     init: &DMatrix,
@@ -33,27 +45,40 @@ pub fn minibatch_kmeans(
     let n = data.nrow();
     let d = data.ncol();
     let k = init.nrow();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let algo = Algorithm::MiniBatch { batch: batch_size }.resolve(k, n, seed);
     let mut cents = Centroids::from_matrix(init);
-    let mut counts = vec![0u64; k];
+    algo.prepare_init(&mut cents);
+    let mut next = Centroids::zeros(k, d);
+    let mut assignments = vec![u32::MAX; n];
+    let mut accum = LocalAccum::new(k, d);
 
-    for _ in 0..batches {
-        // Sample the batch, cache assignments against the current centroids.
-        let rows: Vec<usize> = (0..batch_size).map(|_| rng.gen_range(0..n)).collect();
-        let picks: Vec<usize> =
-            rows.iter().map(|&r| nearest(data.row(r), &cents.means, k).0).collect();
-        // Gradient step per sample.
-        for (&r, &c) in rows.iter().zip(&picks) {
-            counts[c] += 1;
-            let eta = 1.0 / counts[c] as f64;
-            let mean = &mut cents.means[c * d..(c + 1) * d];
-            for (m, x) in mean.iter_mut().zip(data.row(r)) {
-                *m = (1.0 - eta) * *m + eta * x;
+    for iter in 0..batches {
+        accum.reset();
+        for (i, row) in data.rows().enumerate() {
+            if !algo.row_in_scope(i, iter) {
+                continue;
             }
+            let o = algo.map(row, &cents);
+            assignments[i] = o.cluster;
+            accum.add_weighted(o.cluster as usize, row, o.weight);
         }
+        algo.update(&mut UpdateCtx {
+            iter,
+            sums: &accum.sums,
+            counts: &accum.counts,
+            weights: &accum.weights,
+            prev: &cents,
+            next: &mut next,
+        });
+        std::mem::swap(&mut cents, &mut next);
     }
 
-    let assignments: Vec<u32> = data.rows().map(|v| nearest(v, &cents.means, k).0 as u32).collect();
+    // Final refresh: align every row with the final model (mirrors the
+    // engines' post-run pass for subsampling algorithms).
+    for (i, row) in data.rows().enumerate() {
+        assignments[i] = algo.map(row, &cents).cluster;
+    }
+
     MiniBatchRun { centroids: cents.to_matrix(), assignments, batches }
 }
 
@@ -93,5 +118,25 @@ mod tests {
         let a = minibatch_kmeans(&data, &init, 32, 20, 5);
         let b = minibatch_kmeans(&data, &init, 32, 20, 5);
         assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn first_iteration_is_a_full_lloyd_step() {
+        // Iteration 0 covers every row with cumulative counts starting at
+        // zero, so one batch equals one exact Lloyd iteration. (The
+        // refresh pass re-assigns against the *updated* centroids, so
+        // compare those directly, not Lloyd's pre-update assignments.)
+        let data = MixtureSpec::friendster_like(500, 6, 63).generate().data;
+        let k = 6;
+        let init = InitMethod::Forgy.initialize(&data, k, 2).to_matrix();
+        let mb = minibatch_kmeans(&data, &init, 8, 1, 7);
+        let lloyd = lloyd_serial(&data, k, &InitMethod::Given(init), 0, 1, 0.0);
+        assert_eq!(mb.centroids, lloyd.centroids);
+        let fresh: Vec<u32> = data
+            .rows()
+            .map(|v| knor_core::distance::nearest(v, mb.centroids.as_slice(), k).0 as u32)
+            .collect();
+        assert_eq!(mb.assignments, fresh, "refresh pass must match nearest under final model");
     }
 }

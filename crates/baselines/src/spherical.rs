@@ -2,13 +2,19 @@
 //! ("The initial phase will target other variants of k-means like
 //! spherical k-means, semi-supervised k-means++ etc.").
 //!
-//! Points and centroids live on the unit hypersphere; similarity is cosine
-//! (equivalently, squared Euclidean distance of normalized vectors), and
-//! the centroid update renormalizes the mean direction. The ||Lloyd's
-//! structure carries over unchanged — per-thread accumulators, one merge —
-//! which is the §9 claim this module demonstrates.
+//! Since the `MmAlgorithm` layer landed, the parallel engines run
+//! spherical k-means natively (`Algorithm::Spherical` on knori/knors/
+//! knord). This module is the **serial reference mirror**: it executes the
+//! exact same map/update phases — resolved from the same
+//! [`knor_core::algo`] instance — in plain row order, so a single-threaded
+//! static-scheduled engine run must reproduce it bit for bit, and any
+//! multi-threaded run must agree to floating-point merge noise. The
+//! original standalone loop (pre-normalized matrix, hand-rolled update)
+//! was retired in its favor.
 
+use knor_core::algo::{Algorithm, UpdateCtx};
 use knor_core::centroids::{Centroids, LocalAccum};
+use knor_core::kernel::{dot, sqnorm};
 use knor_matrix::DMatrix;
 
 /// Result of a spherical k-means run.
@@ -29,7 +35,7 @@ pub fn normalize_rows(m: &DMatrix) -> DMatrix {
     let mut out = m.clone();
     for i in 0..out.nrow() {
         let row = out.row_mut(i);
-        let norm: f64 = row.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let norm = sqnorm(row).sqrt();
         if norm > 0.0 {
             for x in row.iter_mut() {
                 *x /= norm;
@@ -39,52 +45,42 @@ pub fn normalize_rows(m: &DMatrix) -> DMatrix {
     out
 }
 
-/// Run spherical k-means. `data` is normalized internally; `init` must be
-/// `k x d` (it is normalized too).
+/// Run serial spherical k-means: the engine algorithm's map phase (max
+/// dot against unit centroids, unit-direction contribution) and update
+/// phase (renormalized mean direction), one row at a time. `init` must be
+/// `k x d`; it is normalized by the algorithm's `prepare_init`.
 pub fn spherical_kmeans(data: &DMatrix, init: &DMatrix, max_iters: usize) -> SphericalRun {
-    let data = normalize_rows(data);
     let n = data.nrow();
     let d = data.ncol();
     let k = init.nrow();
-    let mut cents = Centroids::from_matrix(&normalize_rows(init));
+    let algo = Algorithm::Spherical.resolve(k, n, 0);
+    let mut cents = Centroids::from_matrix(init);
+    algo.prepare_init(&mut cents);
+    let mut next = Centroids::zeros(k, d);
     let mut assignments = vec![u32::MAX; n];
     let mut accum = LocalAccum::new(k, d);
     let mut iters = 0usize;
 
-    for _ in 0..max_iters {
+    for iter in 0..max_iters {
         accum.reset();
         let mut changed = 0u64;
         for (i, row) in data.rows().enumerate() {
-            // Max cosine == max dot product for unit vectors.
-            let mut best = 0usize;
-            let mut best_dot = f64::NEG_INFINITY;
-            for c in 0..k {
-                let dot: f64 = row.iter().zip(cents.mean(c)).map(|(a, b)| a * b).sum();
-                if dot > best_dot {
-                    best_dot = dot;
-                    best = c;
-                }
-            }
-            if assignments[i] != best as u32 {
-                assignments[i] = best as u32;
+            let o = algo.map(row, &cents);
+            if assignments[i] != o.cluster {
+                assignments[i] = o.cluster;
                 changed += 1;
             }
-            accum.add(best, row);
+            accum.add_weighted(o.cluster as usize, row, o.weight);
         }
-        // Update: renormalized mean direction; empty clusters keep position.
-        for c in 0..k {
-            if accum.counts[c] <= 0 {
-                continue;
-            }
-            let sum = &accum.sums[c * d..(c + 1) * d];
-            let norm: f64 = sum.iter().map(|x| x * x).sum::<f64>().sqrt();
-            if norm > 0.0 {
-                for (m, s) in cents.means[c * d..(c + 1) * d].iter_mut().zip(sum) {
-                    *m = s / norm;
-                }
-            }
-            cents.counts[c] = accum.counts[c] as u64;
-        }
+        algo.update(&mut UpdateCtx {
+            iter,
+            sums: &accum.sums,
+            counts: &accum.counts,
+            weights: &accum.weights,
+            prev: &cents,
+            next: &mut next,
+        });
+        std::mem::swap(&mut cents, &mut next);
         iters += 1;
         if changed == 0 {
             break;
@@ -94,7 +90,14 @@ pub fn spherical_kmeans(data: &DMatrix, init: &DMatrix, max_iters: usize) -> Sph
     let mean_cosine = data
         .rows()
         .zip(&assignments)
-        .map(|(row, &a)| row.iter().zip(cents.mean(a as usize)).map(|(x, y)| x * y).sum::<f64>())
+        .map(|(row, &a)| {
+            let norm = sqnorm(row).sqrt();
+            if norm > 0.0 {
+                dot(row, cents.mean(a as usize)) / norm
+            } else {
+                0.0
+            }
+        })
         .sum::<f64>()
         / n as f64;
 
@@ -138,5 +141,22 @@ mod tests {
         let one = spherical_kmeans(&data, &init, 1);
         let full = spherical_kmeans(&data, &init, 50);
         assert!(full.mean_cosine >= one.mean_cosine - 1e-12);
+    }
+
+    #[test]
+    fn assignment_invariant_under_row_scale() {
+        // Cosine assignment must not care about row magnitudes.
+        let data = MixtureSpec::friendster_like(400, 5, 93).generate().data;
+        let mut scaled = data.clone();
+        for i in 0..scaled.nrow() {
+            let f = 1.0 + (i % 7) as f64;
+            for x in scaled.row_mut(i).iter_mut() {
+                *x *= f;
+            }
+        }
+        let init = InitMethod::Forgy.initialize(&data, 5, 2).to_matrix();
+        let a = spherical_kmeans(&data, &init, 60);
+        let b = spherical_kmeans(&scaled, &init, 60);
+        assert_eq!(a.assignments, b.assignments);
     }
 }

@@ -1,0 +1,137 @@
+//! PR 3 algorithm-layer benchmark: per-algorithm per-engine iteration
+//! throughput on the headline shape (n = 100k, k = 64, d = 32), seeding
+//! the perf trajectory in `results/BENCH_PR3.json`.
+//!
+//! Every `MmAlgorithm` (lloyd, spherical, fuzzy, minibatch) runs on every
+//! engine (knori, knors, knord) from the same initialization for a fixed
+//! iteration budget; the reported figure is iterations per second of the
+//! whole engine loop (map + merge + reduce + update).
+//!
+//! `--smoke` runs a tiny shape for CI (compile + wiring checks, no perf
+//! assertions) and does **not** touch `results/` — the committed JSON is
+//! always full-mode.
+
+use knor_bench::save_results;
+use knor_core::algo::Algorithm;
+use knor_core::{InitMethod, Kmeans, KmeansConfig, Pruning};
+use knor_dist::{DistConfig, DistKmeans};
+use knor_matrix::io::write_matrix;
+use knor_sem::{SemConfig, SemInit, SemKmeans};
+use knor_workloads::MixtureSpec;
+
+struct Run {
+    algo: &'static str,
+    engine: &'static str,
+    iters: usize,
+    wall_ns: u128,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, k, d, iters) = if smoke { (2000, 8, 5, 3) } else { (100_000, 64, 32, 8) };
+    let data = MixtureSpec::friendster_like(n, d, 42).generate().data;
+    let init = InitMethod::Forgy.initialize(&data, k, 7).to_matrix();
+    let batch = (n / 10).max(1);
+
+    let mut sem_path = std::env::temp_dir();
+    sem_path.push(format!("knor-bench-algos-{}.knor", std::process::id()));
+    write_matrix(&sem_path, &data).expect("stage SEM file");
+
+    let algos: [Algorithm; 4] = [
+        Algorithm::Lloyd,
+        Algorithm::Spherical,
+        Algorithm::Fuzzy { m: 2.0 },
+        Algorithm::MiniBatch { batch },
+    ];
+
+    println!("{:>10} {:>6} {:>10} {:>12} {:>10}", "algo", "engine", "iters", "wall_ms", "iter/s");
+    let mut runs: Vec<Run> = Vec::new();
+    let mut record = |algo: &'static str, engine: &'static str, iters: usize, wall_ns: u128| {
+        let ips = iters as f64 / (wall_ns as f64 / 1e9);
+        println!("{algo:>10} {engine:>6} {iters:>10} {:>10.2}ms {ips:>10.2}", wall_ns as f64 / 1e6);
+        runs.push(Run { algo, engine, iters, wall_ns });
+    };
+
+    for algo in &algos {
+        let name: &'static str = algo.name();
+
+        // knori — in-memory.
+        let t0 = std::time::Instant::now();
+        let r = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init.clone()))
+                .with_algo(algo.clone())
+                .with_seed(3)
+                .with_pruning(Pruning::None) // same work shape across algos
+                .with_sse(false)
+                .with_max_iters(iters),
+        )
+        .fit(&data);
+        record(name, "knori", r.niters, t0.elapsed().as_nanos());
+
+        // knors — semi-external.
+        let t0 = std::time::Instant::now();
+        let r = SemKmeans::new(
+            SemConfig::new(k)
+                .with_init(SemInit::Given(init.clone()))
+                .with_algo(algo.clone())
+                .with_seed(3)
+                .with_pruning(Pruning::None)
+                .with_max_iters(iters),
+        )
+        .fit(&sem_path)
+        .expect("knors run");
+        record(name, "knors", r.kmeans.niters, t0.elapsed().as_nanos());
+
+        // knord — 2 simulated ranks.
+        let t0 = std::time::Instant::now();
+        let r = DistKmeans::new(
+            DistConfig::new(k, 2, 2)
+                .with_init(InitMethod::Given(init.clone()))
+                .with_algo(algo.clone())
+                .with_seed(3)
+                .with_pruning(Pruning::None)
+                .with_max_iters(iters),
+        )
+        .fit(&data);
+        record(name, "knord", r.niters, t0.elapsed().as_nanos());
+    }
+    std::fs::remove_file(&sem_path).ok();
+
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"algo\": \"{}\", \"engine\": \"{}\", \"iters\": {}, ",
+                    "\"wall_ns\": {}, \"iters_per_sec\": {:.3}}}"
+                ),
+                r.algo,
+                r.engine,
+                r.iters,
+                r.wall_ns,
+                r.iters as f64 / (r.wall_ns as f64 / 1e9)
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"algo_engines\",\n  \"pr\": 3,\n  \"mode\": \"{}\",\n",
+            "  \"n\": {}, \"k\": {}, \"d\": {}, \"batch\": {},\n",
+            "  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        n,
+        k,
+        d,
+        batch,
+        rows.join(",\n")
+    );
+    if smoke {
+        // CI runs smoke on every build; never clobber the committed
+        // full-mode artifact with tiny-shape numbers.
+        println!("\n[smoke mode: JSON not saved]\n{json}");
+    } else {
+        save_results("BENCH_PR3.json", &json);
+    }
+}

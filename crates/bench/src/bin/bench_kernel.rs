@@ -6,8 +6,9 @@
 //! the kernels against each other: tiled must match the scalar scan
 //! bitwise, norm-trick within 1e-9 relative on distances.
 //!
-//! `--smoke` runs tiny shapes for CI (compile + correctness + JSON shape,
-//! no perf assertions).
+//! `--smoke` runs tiny shapes for CI (compile + correctness checks, no
+//! perf assertions) and does not touch `results/` — the committed JSON is
+//! always full-mode.
 
 use knor_bench::save_results;
 use knor_core::centroids::Centroids;
@@ -129,5 +130,11 @@ fn main() {
         reps,
         rows.join(",\n")
     );
-    save_results("BENCH_PR2.json", &json);
+    if smoke {
+        // CI runs smoke on every build; never clobber the committed
+        // full-mode artifact with tiny-shape numbers.
+        println!("\n[smoke mode: JSON not saved]\n{json}");
+    } else {
+        save_results("BENCH_PR2.json", &json);
+    }
 }

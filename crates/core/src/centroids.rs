@@ -61,13 +61,19 @@ pub struct LocalAccum {
     pub sums: Vec<f64>,
     /// Membership counts (or count deltas).
     pub counts: Vec<i64>,
+    /// Per-cluster contribution-weight totals. Maintained only by
+    /// [`LocalAccum::add_weighted`] (the generic algorithm path); the
+    /// Lloyd fast path's [`LocalAccum::add`]/[`LocalAccum::sub`] leave
+    /// them untouched — Lloyd never reads them, and the hot loop stays
+    /// exactly as it was.
+    pub weights: Vec<f64>,
     d: usize,
 }
 
 impl LocalAccum {
     /// Zeroed accumulator for `k` clusters of dimension `d`.
     pub fn new(k: usize, d: usize) -> Self {
-        Self { sums: vec![0.0; k * d], counts: vec![0; k], d }
+        Self { sums: vec![0.0; k * d], counts: vec![0; k], weights: vec![0.0; k], d }
     }
 
     /// Add point `v` to cluster `c` (Algorithm 1 line 14).
@@ -92,10 +98,26 @@ impl LocalAccum {
         self.counts[c] -= 1;
     }
 
+    /// Add point `v` to cluster `c` with contribution weight `w`
+    /// (the generic map/update path: `sums += w·v`, `weights += w`,
+    /// `counts += 1`). With `w = 1.0` the sums match [`LocalAccum::add`]
+    /// exactly (multiplication by 1.0 is the identity in IEEE 754).
+    #[inline]
+    pub fn add_weighted(&mut self, c: usize, v: &[f64], w: f64) {
+        debug_assert_eq!(v.len(), self.d);
+        let dst = &mut self.sums[c * self.d..(c + 1) * self.d];
+        for (s, x) in dst.iter_mut().zip(v) {
+            *s += w * x;
+        }
+        self.counts[c] += 1;
+        self.weights[c] += w;
+    }
+
     /// Zero all sums and counts for the next iteration.
     pub fn reset(&mut self) {
         self.sums.iter_mut().for_each(|x| *x = 0.0);
         self.counts.iter_mut().for_each(|x| *x = 0);
+        self.weights.iter_mut().for_each(|x| *x = 0.0);
     }
 
     /// Merge `other` into `self` (serial reduction step; the engine uses a
@@ -108,11 +130,14 @@ impl LocalAccum {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
+        for (a, b) in self.weights.iter_mut().zip(&other.weights) {
+            *a += b;
+        }
     }
 
     /// Heap bytes held (Table 1 accounting: `O(Tkd)` across threads).
     pub fn heap_bytes(&self) -> u64 {
-        (self.sums.len() * 8 + self.counts.len() * 8) as u64
+        ((self.sums.len() + self.counts.len() + self.weights.len()) * 8) as u64
     }
 }
 

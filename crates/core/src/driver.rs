@@ -41,6 +41,7 @@ use knor_matrix::shared::SharedRows;
 use knor_numa::{AccessTally, Placement};
 use knor_sched::TaskQueue;
 
+use crate::algo::{LloydAlgo, MmAlgorithm, UpdateCtx};
 use crate::centroids::{finalize_means, Centroids, LocalAccum};
 use crate::distance::{dist, nearest, MIRROR_MAX_K};
 use crate::kernel::{
@@ -71,6 +72,10 @@ pub struct DriverConfig {
     pub task_size: usize,
     /// Assignment kernel for full scans (see [`crate::kernel`]).
     pub kernel: KernelKind,
+    /// Global row id of local row 0 (knord passes its rank's slice start;
+    /// single-machine engines pass 0). Algorithms that key on global row
+    /// identity — mini-batch subsampling — see `row_offset + r`.
+    pub row_offset: usize,
 }
 
 impl DriverConfig {
@@ -128,6 +133,23 @@ pub struct IterView<'a> {
     /// Cached centroid squared norms (empty unless the norm-trick path is
     /// active; maintained incrementally by the coordinator from drift).
     pub cnorms: &'a [f64],
+    /// The clustering algorithm this run executes (see [`crate::algo`]).
+    pub algo: &'a dyn MmAlgorithm,
+    /// Global row id of local row 0 (see [`DriverConfig::row_offset`]).
+    pub row_offset: usize,
+    /// Cached `algo.is_lloyd()` — true routes the legacy bitwise paths.
+    pub is_lloyd: bool,
+    /// Cached `algo.subsamples()` — false skips the per-row scope call.
+    pub scoped: bool,
+}
+
+impl IterView<'_> {
+    /// Whether local row `r` participates in this iteration's map phase
+    /// (mini-batch subsampling; checked before any data access or I/O).
+    #[inline]
+    pub fn in_scope(&self, r: usize) -> bool {
+        !self.scoped || self.algo.row_in_scope(self.row_offset + r, self.iter)
+    }
 }
 
 /// What a [`LloydBackend::reduce`] implementation reports about the global
@@ -159,13 +181,16 @@ pub trait LloydBackend: Sync {
     fn compute(&self, w: usize, view: &IterView<'_>, accum: &mut LocalAccum) -> WorkerReport;
 
     /// Coordinator hook between the local merge and the centroid update.
-    /// knord allreduces `sums`, `counts` and the scalar totals in `totals`
-    /// across ranks here; the defaults leave everything local.
+    /// knord allreduces `sums`, `counts`, the per-cluster contribution
+    /// `weights` and the scalar totals in `totals` across ranks here; the
+    /// defaults leave everything local. (`weights` carry data only for
+    /// weighted algorithms — they are zeros on the Lloyd fast path.)
     fn reduce(
         &self,
         _iter: usize,
         _sums: &mut [f64],
         _counts: &mut [i64],
+        _weights: &mut [f64],
         _totals: &mut WorkerReport,
     ) -> ReduceReport {
         ReduceReport::default()
@@ -201,7 +226,8 @@ pub struct DriverOutcome {
 }
 
 /// Run the full ||Lloyd's protocol: spawn `cfg.nthreads` workers, iterate
-/// until convergence or the cap, and return the outcome.
+/// until convergence or the cap, and return the outcome. Equivalent to
+/// [`run_mm`] with the canonical Lloyd algorithm.
 ///
 /// `queue` must be empty; the driver fills it from `placement` each
 /// iteration. `init` supplies the starting centroids.
@@ -212,13 +238,41 @@ pub fn run_lloyd<B: LloydBackend>(
     queue: &TaskQueue,
     backend: &B,
 ) -> DriverOutcome {
+    run_mm(cfg, init, placement, queue, backend, &LloydAlgo)
+}
+
+/// Run the shared map/merge/reduce/update protocol for an arbitrary
+/// [`MmAlgorithm`]: spawn `cfg.nthreads` workers, iterate until the
+/// algorithm declares convergence or the cap, and return the outcome.
+///
+/// For the canonical Lloyd instance every code path, accumulation order
+/// and comparison is the pre-trait one — the output is bitwise identical
+/// to the historical `run_lloyd`. Non-Lloyd algorithms run the generic
+/// map/update path with pruning forced off (MTI's clauses are only sound
+/// for exact-Euclidean hard-assignment mean updates).
+pub fn run_mm<B: LloydBackend>(
+    cfg: &DriverConfig,
+    mut init: Centroids,
+    placement: &Placement,
+    queue: &TaskQueue,
+    backend: &B,
+    algo: &dyn MmAlgorithm,
+) -> DriverOutcome {
     let (k, d, n, nthreads) = (cfg.k, cfg.d, cfg.n, cfg.nthreads);
     assert_eq!(init.k(), k, "init centroid count mismatch");
     assert_eq!(init.d, d, "init dimensionality mismatch");
     assert_eq!(placement.nthreads(), nthreads);
     assert_eq!(placement.nrow(), n);
 
-    let rk = cfg.resolve_kernel();
+    // Pruning requires the algorithm's blessing (engines also gate this;
+    // the recompute here makes the invariant local).
+    let cfg_pruning = cfg.pruning && algo.prune_eligible();
+    let is_lloyd = algo.is_lloyd();
+    let scoped = algo.subsamples();
+    let uses_weights = algo.uses_weights();
+    algo.prepare_init(&mut init);
+
+    let rk = cfg.kernel.resolve(cfg.k, cfg.d, cfg_pruning);
     // Norm-trick centroid-norm cache, seeded from the initial centroids and
     // thereafter refreshed only for drifted centroids.
     let cnorms_cell = ExclusiveCell::new(if rk.kind == ResolvedKind::NormTrick {
@@ -231,7 +285,7 @@ pub fn run_lloyd<B: LloydBackend>(
     // For large k the O(k²·d) distance-matrix recompute dominates the
     // coordinator window; the workers are idling at the next barrier, so
     // they fill disjoint row slices of the (unmirrored) triangle instead.
-    let parallel_cc = cfg.pruning && nthreads > 1 && k > MIRROR_MAX_K;
+    let parallel_cc = cfg_pruning && nthreads > 1 && k > MIRROR_MAX_K;
 
     // Shared engine state (see module docs for the barrier protocol).
     let centroids = ExclusiveCell::new(init);
@@ -247,6 +301,7 @@ pub fn run_lloyd<B: LloydBackend>(
     let upper: SharedRows<f64> = SharedRows::new(n, f64::INFINITY);
     let merged_sums: SharedRows<f64> = SharedRows::new(k * d, 0.0);
     let merged_counts = ExclusiveCell::new(vec![0i64; k]);
+    let merged_weights = ExclusiveCell::new(vec![0.0f64; k]);
     // Coordinator staging for the merged sums handed to `reduce` —
     // persistent so steady-state iterations never allocate.
     let sums_staging = ExclusiveCell::new(vec![0.0f64; k * d]);
@@ -275,6 +330,7 @@ pub fn run_lloyd<B: LloydBackend>(
             let upper = &upper;
             let merged_sums = &merged_sums;
             let merged_counts = &merged_counts;
+            let merged_weights = &merged_weights;
             let persistent = &persistent;
             let accums = &accums;
             let reports = &reports;
@@ -288,7 +344,7 @@ pub fn run_lloyd<B: LloydBackend>(
             let dim_slice = dim_slices[w].clone();
             handles.push(s.spawn(move || {
                 backend.worker_start(w);
-                let pruning = cfg.pruning;
+                let pruning = cfg_pruning;
                 // Only the coordinator records; reserving the cap up front
                 // keeps the iteration loop allocation-free. The reserve is
                 // clamped so an effectively-unbounded cap (run-until-
@@ -326,6 +382,10 @@ pub fn run_lloyd<B: LloydBackend>(
                         queue,
                         kernel: rk,
                         cnorms: unsafe { cnorms_cell.get() },
+                        algo,
+                        row_offset: cfg.row_offset,
+                        is_lloyd,
+                        scoped,
                     };
                     let accum = unsafe { accums[w].get_mut() };
                     let report = backend.compute(w, &view, accum);
@@ -349,6 +409,15 @@ pub fn run_lloyd<B: LloydBackend>(
                         let mc = unsafe { merged_counts.get_mut() };
                         for (c, m) in mc.iter_mut().enumerate() {
                             *m = accums.iter().map(|a| unsafe { a.get() }.counts[c]).sum();
+                        }
+                        if uses_weights {
+                            // Only weighted updates read the lane; for
+                            // everyone else (Lloyd included) the merged
+                            // weights stay zero and cost nothing here.
+                            let mw = unsafe { merged_weights.get_mut() };
+                            for (c, m) in mw.iter_mut().enumerate() {
+                                *m = accums.iter().map(|a| unsafe { a.get() }.weights[c]).sum();
+                            }
                         }
                     }
 
@@ -381,9 +450,13 @@ pub fn run_lloyd<B: LloydBackend>(
                         for (j, s) in sums_view.iter_mut().enumerate() {
                             *s = unsafe { *merged_sums.get(j) };
                         }
-                        let reduce_report = backend.reduce(iter, sums_view, mc, &mut totals);
+                        let mw = unsafe { merged_weights.get_mut() };
+                        let reduce_report = backend.reduce(iter, sums_view, mc, mw, &mut totals);
 
                         if pruning {
+                            // MTI delta path — Lloyd only (the eligibility
+                            // hook guarantees it), so the update is the
+                            // mean over the persistent global sums.
                             for (p, s) in psums.iter_mut().zip(sums_view.iter()) {
                                 *p += s;
                             }
@@ -391,8 +464,22 @@ pub fn run_lloyd<B: LloydBackend>(
                                 *p += c;
                             }
                             finalize_means(psums, pcounts, cents, next);
-                        } else {
+                        } else if is_lloyd {
+                            // Canonical instance: the historical call,
+                            // bitwise identical to the pre-trait engine.
                             finalize_means(sums_view, mc, cents, next);
+                        } else {
+                            // Generic update phase (spherical renormalize,
+                            // fuzzy weighted mean, mini-batch learning
+                            // rate, ...), on globally-reduced state.
+                            algo.update(&mut UpdateCtx {
+                                iter,
+                                sums: sums_view,
+                                counts: mc,
+                                weights: mw,
+                                prev: cents,
+                                next,
+                            });
                         }
 
                         // One drift pass feeds convergence, the MTI state
@@ -448,8 +535,7 @@ pub fn run_lloyd<B: LloydBackend>(
                         queue.reset_stats();
 
                         let done_iters = iter + 1;
-                        let is_converged =
-                            totals.reassigned == 0 || (cfg.tol > 0.0 && max_drift <= cfg.tol);
+                        let is_converged = algo.converged(totals.reassigned, max_drift, cfg.tol);
                         if is_converged {
                             converged.store(true, Ordering::Release);
                         }
@@ -544,6 +630,13 @@ pub fn drain_queue_kernel<'data, F>(
 ) where
     F: FnMut(usize) -> &'data [f64],
 {
+    if !view.is_lloyd {
+        // Non-Lloyd algorithms take the generic map/update path (pruning
+        // is always off for them, so every iteration is a full pass over
+        // the in-scope rows).
+        drain_queue_algo(w, view, accum, rep, scratch, fetch);
+        return;
+    }
     let full_scan = view.iter == 0 || !view.pruning;
     if !full_scan || view.kernel.kind == ResolvedKind::Scalar {
         drain_queue(w, view, accum, rep, fetch);
@@ -620,6 +713,106 @@ pub fn process_block_kernel<I>(
             view.upper,
             accum,
         ));
+    }
+}
+
+/// Drain worker `w`'s share of the task queue through the generic
+/// algorithm path: in-scope rows are staged contiguously in
+/// `row_tile`-sized blocks, mapped by [`MmAlgorithm::map_block`] (which
+/// may batch through the kernel layer), and committed in staging order.
+/// Subsampled-out rows are skipped *before* `fetch` — the same no-touch
+/// discipline as a Clause-1 skip.
+pub fn drain_queue_algo<'data, F>(
+    w: usize,
+    view: &IterView<'_>,
+    accum: &mut LocalAccum,
+    rep: &mut WorkerReport,
+    scratch: &mut KernelScratch,
+    mut fetch: F,
+) where
+    F: FnMut(usize) -> &'data [f64],
+{
+    let d = view.cents.d;
+    let tile = view.kernel.row_tile.max(1);
+    debug_assert!(scratch.data.len() >= tile * d);
+    while let Some(task) = view.queue.next(w) {
+        scratch.row_ids.clear();
+        for r in task.rows {
+            if !view.in_scope(r) {
+                continue;
+            }
+            let m = scratch.row_ids.len();
+            scratch.data[m * d..(m + 1) * d].copy_from_slice(fetch(r));
+            scratch.row_ids.push(r);
+            if scratch.row_ids.len() == tile {
+                process_block_algo(
+                    scratch.row_ids.iter().copied(),
+                    &scratch.data[..tile * d],
+                    view,
+                    accum,
+                    rep,
+                    &mut scratch.best,
+                    &mut scratch.weights,
+                    &mut scratch.best_dist,
+                );
+                scratch.row_ids.clear();
+            }
+        }
+        let m = scratch.row_ids.len();
+        if m > 0 {
+            process_block_algo(
+                scratch.row_ids.iter().copied(),
+                &scratch.data[..m * d],
+                view,
+                accum,
+                rep,
+                &mut scratch.best,
+                &mut scratch.weights,
+                &mut scratch.best_dist,
+            );
+            scratch.row_ids.clear();
+        }
+    }
+}
+
+/// Run the algorithm's map phase over one staged contiguous block and
+/// commit its decisions in staging order: [`MmAlgorithm::map_block`]
+/// dispatch, counter accounting, then per row the weighted accumulation
+/// and the assignment store. Shared by the knori/knord generic drain above
+/// and the SEM hit/miss block path, so the commit protocol can never
+/// diverge between engines. `score` is reusable kernel scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn process_block_algo<I>(
+    rows: I,
+    block: &[f64],
+    view: &IterView<'_>,
+    accum: &mut LocalAccum,
+    rep: &mut WorkerReport,
+    best: &mut Vec<u32>,
+    weights: &mut Vec<f64>,
+    score: &mut Vec<f64>,
+) where
+    I: ExactSizeIterator<Item = usize>,
+{
+    let m = rows.len();
+    if m == 0 {
+        return;
+    }
+    let d = view.cents.d;
+    debug_assert_eq!(block.len(), m * d);
+    view.algo.map_block(block, d, view.cents, best, weights, score);
+    debug_assert_eq!(best.len(), m);
+    debug_assert_eq!(weights.len(), m);
+    rep.rows_accessed += m as u64;
+    // One full candidate scan per row, whatever its metric.
+    rep.counters.dist_computations += (m * view.cents.k()) as u64;
+    for (i, r) in rows.enumerate() {
+        let v = &block[i * d..(i + 1) * d];
+        accum.add_weighted(best[i] as usize, v, weights[i]);
+        // Safety: task-exclusive row ownership (see [`filter_row`]).
+        let cur = unsafe { *view.assign.get(r) };
+        rep.reassigned += u64::from(cur != best[i]);
+        unsafe { *view.assign.get_mut(r) = best[i] };
     }
 }
 
@@ -867,6 +1060,7 @@ mod tests {
             pruning,
             task_size: 16,
             kernel,
+            row_offset: 0,
         };
         let init =
             Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(data[..k * d].to_vec(), k, d));
@@ -1008,6 +1202,7 @@ mod tests {
                 _iter: usize,
                 _sums: &mut [f64],
                 _counts: &mut [i64],
+                _weights: &mut [f64],
                 _totals: &mut WorkerReport,
             ) -> ReduceReport {
                 self.calls.fetch_add(1, Ordering::Relaxed);
@@ -1029,6 +1224,7 @@ mod tests {
             pruning: true,
             task_size: 8,
             kernel: KernelKind::Auto,
+            row_offset: 0,
         };
         let init =
             Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(vec![0.0, 5.0, 10.0], 3, 1));

@@ -20,9 +20,10 @@ use knor_numa::bind::bind_current_thread;
 use knor_numa::{AccessTally, NodeId, NumaMatrix, Placement, Topology};
 use knor_sched::{SchedulerKind, TaskQueue, DEFAULT_TASK_SIZE};
 
+use crate::algo::Algorithm;
 use crate::centroids::LocalAccum;
 use crate::driver::{
-    drain_queue_kernel, run_lloyd, DriverConfig, IterView, LloydBackend, WorkerReport,
+    drain_queue_kernel, run_mm, DriverConfig, IterView, LloydBackend, WorkerReport,
 };
 use crate::init::InitMethod;
 use crate::kernel::{KernelKind, KernelScratch};
@@ -62,6 +63,9 @@ pub struct KmeansConfig {
     pub compute_sse: bool,
     /// Assignment kernel for full scans (see [`crate::kernel`]).
     pub kernel: KernelKind,
+    /// Clustering algorithm to run on the driver (see [`crate::algo`]).
+    /// Non-Lloyd algorithms force MTI pruning off.
+    pub algo: Algorithm,
 }
 
 impl KmeansConfig {
@@ -83,6 +87,7 @@ impl KmeansConfig {
             track_tallies: false,
             compute_sse: true,
             kernel: KernelKind::Auto,
+            algo: Algorithm::Lloyd,
         }
     }
 
@@ -163,6 +168,12 @@ impl KmeansConfig {
         self.kernel = v;
         self
     }
+
+    /// Choose the clustering algorithm.
+    pub fn with_algo(mut self, v: Algorithm) -> Self {
+        self.algo = v;
+        self
+    }
 }
 
 /// How the dataset is laid out in memory for a run.
@@ -236,7 +247,9 @@ impl Kmeans {
         };
         let row_bytes = (d * 8) as u64;
 
-        let init_cents = cfg.init.initialize(data, k, cfg.seed);
+        let init_cents = cfg.init.initialize_parallel(data, k, cfg.seed, nthreads);
+        let algo = cfg.algo.resolve(k, n, cfg.seed);
+        let pruning_on = cfg.pruning.enabled() && algo.prune_eligible();
 
         let queue = TaskQueue::new(cfg.scheduler, &placement);
         let driver_cfg = DriverConfig {
@@ -246,9 +259,10 @@ impl Kmeans {
             nthreads,
             max_iters: cfg.max_iters,
             tol: cfg.tol,
-            pruning: cfg.pruning.enabled(),
+            pruning: pruning_on,
             task_size: cfg.task_size,
             kernel: cfg.kernel,
+            row_offset: 0,
         };
         let rk = driver_cfg.resolve_kernel();
         let backend = ImBackend {
@@ -262,13 +276,21 @@ impl Kmeans {
                 .map(|_| ExclusiveCell::new(KernelScratch::new(&rk, d)))
                 .collect(),
         };
-        let outcome = run_lloyd(&driver_cfg, init_cents, &placement, &queue, &backend);
+        let outcome = run_mm(&driver_cfg, init_cents, &placement, &queue, &backend, &*algo);
 
-        let assignments = outcome.assignments;
+        let mut assignments = outcome.assignments;
+        if algo.subsamples() {
+            // Subsampled algorithms (mini-batch) leave each row assigned
+            // as of its last sampled batch; one final map pass makes the
+            // assignments (and the SSE below) consistent with the
+            // returned model.
+            for (i, row) in data.rows().enumerate() {
+                assignments[i] = algo.map(row, &outcome.centroids).cluster;
+            }
+        }
         let centroids_m = outcome.centroids.to_matrix();
         let sse = cfg.compute_sse.then(|| crate::quality::sse(data, &centroids_m, &assignments));
 
-        let pruning_on = cfg.pruning.enabled();
         let memory = MemoryFootprint {
             data_bytes: layout.data_bytes(),
             centroid_bytes: (2 * k * d * 8) as u64

@@ -120,6 +120,11 @@ pub struct KernelScratch {
     pub best: Vec<u32>,
     /// Per-row best *distance* (already square-rooted) for the block.
     pub best_dist: Vec<f64>,
+    /// Per-row contribution weight for the block (generic algorithm path).
+    pub weights: Vec<f64>,
+    /// Row ids staged in `data`, in staging order (generic algorithm path,
+    /// where subsampling can make a staged block non-contiguous in row id).
+    pub row_ids: Vec<usize>,
 }
 
 impl KernelScratch {
@@ -129,6 +134,8 @@ impl KernelScratch {
             data: vec![0.0; rk.row_tile * d],
             best: Vec::with_capacity(rk.row_tile),
             best_dist: Vec::with_capacity(rk.row_tile),
+            weights: Vec::with_capacity(rk.row_tile),
+            row_ids: Vec::with_capacity(rk.row_tile),
         }
     }
 }

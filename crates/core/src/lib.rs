@@ -45,6 +45,7 @@
 //! assert_eq!(result.centroids.nrow(), 3);
 //! ```
 
+pub mod algo;
 pub mod centroids;
 pub mod distance;
 pub mod driver;
@@ -57,6 +58,7 @@ pub mod serial;
 pub mod stats;
 pub mod sync;
 
+pub use algo::{Algorithm, MapOut, MmAlgorithm, UpdateCtx};
 pub use centroids::{Centroids, LocalAccum};
 pub use driver::{DriverConfig, DriverOutcome, IterView, LloydBackend, ReduceReport, WorkerReport};
 pub use engine::{Kmeans, KmeansConfig};

@@ -32,9 +32,10 @@
 
 use std::ops::Range;
 
+use knor_core::algo::Algorithm;
 use knor_core::centroids::LocalAccum;
 use knor_core::driver::{
-    drain_queue_kernel, run_lloyd, DriverConfig, IterView, LloydBackend, ReduceReport, WorkerReport,
+    drain_queue_kernel, run_mm, DriverConfig, IterView, LloydBackend, ReduceReport, WorkerReport,
 };
 use knor_core::init::InitMethod;
 use knor_core::kernel::{KernelKind, KernelScratch};
@@ -78,6 +79,9 @@ pub struct DistConfig {
     pub compute_sse: bool,
     /// Assignment kernel for full scans inside each rank's engine.
     pub kernel: KernelKind,
+    /// Clustering algorithm to run on the driver (see `knor_core::algo`).
+    /// Non-Lloyd algorithms force MTI pruning off.
+    pub algo: Algorithm,
 }
 
 impl DistConfig {
@@ -99,6 +103,7 @@ impl DistConfig {
             net: NetModel::ec2_10gbe(),
             compute_sse: false,
             kernel: KernelKind::Auto,
+            algo: Algorithm::Lloyd,
         }
     }
 
@@ -172,6 +177,12 @@ impl DistConfig {
     /// Choose the full-scan assignment kernel.
     pub fn with_kernel(mut self, v: KernelKind) -> Self {
         self.kernel = v;
+        self
+    }
+
+    /// Choose the clustering algorithm.
+    pub fn with_algo(mut self, v: Algorithm) -> Self {
+        self.algo = v;
         self
     }
 }
@@ -282,15 +293,20 @@ impl DistKmeans {
         // Initialization happens once over the full matrix; every rank
         // starts from identical centroids, as knor does by seeding each
         // machine's generator identically.
-        let init = cfg.init.initialize(data, k, cfg.seed);
+        let init = cfg.init.initialize_parallel(data, k, cfg.seed, cfg.threads_per_rank);
         let ranges = knor_matrix::partition_rows(n, cfg.ranks);
-        let pruning = cfg.pruning.enabled();
+        let algo_cfg = &cfg.algo;
+        let pruning = cfg.pruning.enabled() && algo_cfg.prune_eligible();
 
         let ranges_ref = &ranges;
         let init_ref = &init;
         let mut results = LocalCluster::run(cfg.ranks, |comm| {
             let rows: Range<usize> = ranges_ref[comm.rank()].clone();
             let local = data.view(rows.start, rows.end);
+            // Each rank resolves its own algorithm instance from identical
+            // inputs; any per-run state (mini-batch cumulative counts)
+            // advances identically because its inputs are allreduced.
+            let mm = algo_cfg.resolve(k, n, cfg.seed);
             let topo = Topology::flat(cfg.threads_per_rank);
             let placement = Placement::new(&topo, rows.len(), cfg.threads_per_rank);
             let queue = TaskQueue::new(cfg.scheduler, &placement);
@@ -304,21 +320,25 @@ impl DistKmeans {
                 pruning,
                 task_size: cfg.task_size,
                 kernel: cfg.kernel,
+                row_offset: rows.start,
             };
             let rk = driver_cfg.resolve_kernel();
+            let carry_weights = mm.uses_weights();
+            let lanes = k * d + k + if carry_weights { k } else { 0 } + SCALARS;
             let backend = RankBackend {
                 rows: local,
                 comm: &comm,
                 algo: cfg.reduce,
                 net: cfg.net,
-                reduce_payload: ((k * d + k + SCALARS) * 8) as u64,
+                reduce_payload: (lanes * 8) as u64,
+                carry_weights,
                 prev_sent: ExclusiveCell::new(0),
                 scratch: (0..cfg.threads_per_rank)
                     .map(|_| ExclusiveCell::new(KernelScratch::new(&rk, d)))
                     .collect(),
-                reduce_buf: ExclusiveCell::new(Vec::with_capacity(k * d + k + SCALARS)),
+                reduce_buf: ExclusiveCell::new(Vec::with_capacity(lanes)),
             };
-            let outcome = run_lloyd(&driver_cfg, init_ref.clone(), &placement, &queue, &backend);
+            let outcome = run_mm(&driver_cfg, init_ref.clone(), &placement, &queue, &backend, &*mm);
             (outcome, comm.stats().snapshot())
         });
 
@@ -328,6 +348,18 @@ impl DistKmeans {
         let mut assignments = Vec::with_capacity(n);
         for (outcome, _) in &results {
             assignments.extend_from_slice(&outcome.assignments);
+        }
+        // Subsampled algorithms (mini-batch) leave rows assigned as of
+        // their last sampled batch; refresh against the final model so
+        // assignments and SSE are consistent with it. (The per-rank
+        // instances were identical, so resolving a fresh one for the
+        // stateless map is too.)
+        let mm = algo_cfg.resolve(k, n, cfg.seed);
+        if mm.subsamples() {
+            let cents = &results[0].0.centroids;
+            for (i, row) in data.rows().enumerate() {
+                assignments[i] = mm.map(row, cents).cluster;
+            }
         }
         let rank_comm = results
             .iter()
@@ -380,10 +412,15 @@ struct RankBackend<'a> {
     comm: &'a Comm,
     algo: ReduceAlgo,
     net: NetModel,
-    /// Modeled payload of one reduction: centroid sums + counts + the
-    /// convergence scalars, `(k·d + k + SCALARS) * 8` bytes — what the
-    /// engine actually puts on the wire each iteration.
+    /// Modeled payload of one reduction: centroid sums + counts [+ the
+    /// per-cluster contribution weights, for weighted algorithms] + the
+    /// convergence scalars — what the engine actually puts on the wire
+    /// each iteration.
     reduce_payload: u64,
+    /// Whether the reduction carries the weights lane — true only for
+    /// algorithms whose update reads `UpdateCtx::weights` (fuzzy).
+    /// Everything else keeps the paper's `(k·d + k + SCALARS)` shape.
+    carry_weights: bool,
     /// Bytes-sent watermark for per-iteration deltas (coordinator-only).
     prev_sent: ExclusiveCell<u64>,
     /// Per-worker kernel scratch, reused across iterations.
@@ -434,6 +471,7 @@ impl LloydBackend for RankBackend<'_> {
         _iter: usize,
         sums: &mut [f64],
         counts: &mut [i64],
+        weights: &mut [f64],
         totals: &mut WorkerReport,
     ) -> ReduceReport {
         let r = self.comm.size();
@@ -445,21 +483,31 @@ impl LloydBackend for RankBackend<'_> {
             return ReduceReport { comm_bytes: 0, max_rank_comm_bytes: 0, modeled_comm_ns };
         }
 
-        // One all-reduce carries sums, counts, and the convergence scalars.
-        // Counts and scalars are integers, exact in f64 transport.
+        // One all-reduce carries sums, counts, [the contribution weights —
+        // the generalized beyond-centroid+count payload weighted
+        // algorithms need] and the convergence scalars. Counts and scalars
+        // are integers, exact in f64 transport.
         // Safety: reduce runs in the coordinator's exclusive window.
         let k = counts.len();
         let buf = unsafe { self.reduce_buf.get_mut() };
         buf.clear();
         buf.extend_from_slice(sums);
         buf.extend(counts.iter().map(|&c| c as f64));
+        if self.carry_weights {
+            buf.extend_from_slice(weights);
+        }
         buf.extend_from_slice(&Self::pack_scalars(totals));
         allreduce_f64(self.comm, buf, self.algo);
         sums.copy_from_slice(&buf[..sums.len()]);
         for (c, v) in counts.iter_mut().zip(&buf[sums.len()..sums.len() + k]) {
             *c = v.round() as i64;
         }
-        Self::unpack_scalars(totals, &buf[sums.len() + k..]);
+        let mut off = sums.len() + k;
+        if self.carry_weights {
+            weights.copy_from_slice(&buf[off..off + k]);
+            off += k;
+        }
+        Self::unpack_scalars(totals, &buf[off..]);
 
         // Per-iteration wire accounting: delta since the previous
         // reduction, then the cluster-wide max (the slowest rank bounds the

@@ -21,10 +21,11 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use knor_core::algo::Algorithm;
 use knor_core::centroids::{Centroids, LocalAccum};
 use knor_core::driver::{
-    filter_row, process_block_kernel, process_row_full, process_row_mti, run_lloyd, DriverConfig,
-    IterView, LloydBackend, WorkerReport,
+    filter_row, process_block_algo, process_block_kernel, process_row_full, process_row_mti,
+    run_mm, DriverConfig, IterView, LloydBackend, WorkerReport,
 };
 use knor_core::kernel::{KernelKind, ResolvedKind};
 use knor_core::pruning::{PruneCounters, Pruning};
@@ -89,6 +90,9 @@ pub struct SemConfig {
     pub compute_sse: bool,
     /// Assignment kernel for full scans (see `knor_core::kernel`).
     pub kernel: KernelKind,
+    /// Clustering algorithm to run on the driver (see `knor_core::algo`).
+    /// Non-Lloyd algorithms force MTI pruning off.
+    pub algo: Algorithm,
 }
 
 impl SemConfig {
@@ -113,6 +117,7 @@ impl SemConfig {
             prefetch_threads: 2,
             compute_sse: false,
             kernel: KernelKind::Auto,
+            algo: Algorithm::Lloyd,
         }
     }
 
@@ -205,6 +210,12 @@ impl SemConfig {
         self.kernel = v;
         self
     }
+
+    /// Choose the clustering algorithm.
+    pub fn with_algo(mut self, v: Algorithm) -> Self {
+        self.algo = v;
+        self
+    }
 }
 
 /// Result of a knors run: the clustering plus per-iteration I/O stats.
@@ -278,7 +289,8 @@ impl SemKmeans {
         let topo = Topology::detect();
         let placement = Placement::new(&topo, n, nthreads);
         let queue = TaskQueue::new(cfg.scheduler, &placement);
-        let pruning = cfg.pruning.enabled();
+        let algo = cfg.algo.resolve(k, n, cfg.seed);
+        let pruning = cfg.pruning.enabled() && algo.prune_eligible();
 
         let driver_cfg = DriverConfig {
             k,
@@ -290,6 +302,7 @@ impl SemKmeans {
             pruning,
             task_size: cfg.task_size,
             kernel: cfg.kernel,
+            row_offset: 0,
         };
         let schedule = if cfg.lazy_refresh {
             RefreshSchedule::lazy(cfg.cache_interval)
@@ -308,14 +321,20 @@ impl SemKmeans {
             ios: ExclusiveCell::new(Vec::new()),
             scratch: (0..nthreads).map(|_| ExclusiveCell::new(SemScratch::new())).collect(),
         };
-        let outcome = run_lloyd(&driver_cfg, init_cents, &placement, &queue, &backend);
+        let outcome = run_mm(&driver_cfg, init_cents, &placement, &queue, &backend, &*algo);
         let out_io = backend.ios.into_inner();
 
         if let Some(pf) = prefetcher {
             pf.shutdown();
         }
 
-        let assignments = outcome.assignments;
+        let mut assignments = outcome.assignments;
+        if algo.subsamples() {
+            // Subsampled algorithms (mini-batch) leave rows assigned as of
+            // their last sampled batch; one streamed map pass aligns the
+            // assignments (and SSE) with the final model.
+            streamed_refresh(&reader, &outcome.centroids, &*algo, &mut assignments)?;
+        }
         let final_cents = outcome.centroids.to_matrix();
         let sse = if cfg.compute_sse {
             Some(streamed_sse(&reader, &final_cents, &assignments)?)
@@ -389,6 +408,8 @@ struct SemScratch {
     best: Vec<u32>,
     /// Blocked-kernel best-distance array.
     best_dist: Vec<f64>,
+    /// Per-row contribution weights (generic algorithm path).
+    weights: Vec<f64>,
     /// Recycled `FilteredTask::needed` buffers (two alive at pipeline
     /// depth 2).
     free_needed: Vec<Vec<usize>>,
@@ -403,6 +424,7 @@ impl SemScratch {
             misses: Vec::new(),
             best: Vec::new(),
             best_dist: Vec::new(),
+            weights: Vec::new(),
             free_needed: Vec::new(),
         }
     }
@@ -517,6 +539,38 @@ impl SemBackend<'_> {
                 .expect("SEM device read failed");
         }
 
+        if !view.is_lloyd {
+            // Generic algorithm path: the staged hit/miss buffers are
+            // contiguous blocks, so they run the shared map_block commit
+            // protocol (spherical batches through the dot micro-kernel).
+            process_block_algo(
+                scratch.hit_rows.iter().copied(),
+                &scratch.hit_buf[..nh * d],
+                view,
+                accum,
+                rep,
+                &mut scratch.best,
+                &mut scratch.weights,
+                &mut scratch.best_dist,
+            );
+            process_block_algo(
+                scratch.misses.iter().copied(),
+                &scratch.fetch_buf[..scratch.misses.len() * d],
+                view,
+                accum,
+                rep,
+                &mut scratch.best,
+                &mut scratch.weights,
+                &mut scratch.best_dist,
+            );
+            if refreshing {
+                for (i, &r) in scratch.misses.iter().enumerate() {
+                    self.row_cache.insert(r as u32, &scratch.fetch_buf[i * d..(i + 1) * d]);
+                }
+            }
+            return;
+        }
+
         let full_scan = view.iter == 0 || !view.pruning;
         if full_scan && view.kernel.kind != ResolvedKind::Scalar {
             process_block_kernel(
@@ -598,7 +652,13 @@ fn filter_task_into(
 ) {
     needed.clear();
     if view.iter == 0 || !view.pruning {
-        needed.extend(task.rows.clone());
+        if view.scoped {
+            // Subsampling algorithms (mini-batch) skip out-of-batch rows
+            // here — before any page is requested, so no I/O is spent.
+            needed.extend(task.rows.clone().filter(|&r| view.in_scope(r)));
+        } else {
+            needed.extend(task.rows.clone());
+        }
         return;
     }
     for r in task.rows.clone() {
@@ -606,6 +666,34 @@ fn filter_task_into(
             needed.push(r);
         }
     }
+}
+
+/// Stream the file once, re-running the algorithm's map phase on every
+/// row against the final centroids (the post-run refresh pass for
+/// subsampling algorithms).
+fn streamed_refresh(
+    reader: &Arc<SafsReader>,
+    cents: &Centroids,
+    algo: &dyn knor_core::algo::MmAlgorithm,
+    assignments: &mut [u32],
+) -> std::io::Result<()> {
+    let n = reader.store().nrow();
+    let d = reader.store().ncol();
+    let chunk = 8192usize;
+    let mut buf = Vec::new();
+    let mut rows: Vec<usize> = Vec::with_capacity(chunk);
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        rows.clear();
+        rows.extend(start..end);
+        reader.fetch_rows(&rows, &mut buf)?;
+        for (i, r) in (start..end).enumerate() {
+            assignments[r] = algo.map(&buf[i * d..(i + 1) * d], cents).cluster;
+        }
+        start = end;
+    }
+    Ok(())
 }
 
 /// Stream the file once to compute the final SSE.

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! knor im   <file.knor> -k 10 [-i 100] [-t N] [--no-prune] [--init pp|forgy|random]
+//!           [--algo lloyd|spherical|fuzzy|minibatch] [--fuzz M] [--batch B]
 //! knor sem  <file.knor> -k 10 [--row-cache MB] [--page-cache MB]
 //! knor dist <file.knor> -k 10 [--ranks R] [--star]
 //! knor gen  <file.knor> --dataset friendster8|friendster32|rm856m|rm1b|ru2b --scale f
@@ -28,12 +29,17 @@ struct Opts {
     star: bool,
     dataset: String,
     scale: f64,
+    algo: String,
+    fuzz: f64,
+    batch: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: knor <im|sem|dist|gen> <file.knor> [-k K] [-i ITERS] [-t THREADS]\n\
          \x20          [--no-prune] [--init pp|forgy|random] [--seed S]\n\
+         \x20          [--algo lloyd|spherical|fuzzy|minibatch]\n\
+         \x20          [--fuzz M] [--batch B]\n\
          \x20          [--row-cache MB] [--page-cache MB]   (sem)\n\
          \x20          [--ranks R] [--star]                 (dist)\n\
          \x20          [--dataset NAME] [--scale F]         (gen)"
@@ -60,6 +66,9 @@ fn parse(args: &[String]) -> (String, Opts) {
         star: false,
         dataset: "friendster8".into(),
         scale: 0.001,
+        algo: "lloyd".into(),
+        fuzz: 2.0,
+        batch: 0,
     };
     let mut i = 2;
     while i < args.len() {
@@ -81,6 +90,9 @@ fn parse(args: &[String]) -> (String, Opts) {
             "--star" => o.star = true,
             "--dataset" => o.dataset = val(&mut i),
             "--scale" => o.scale = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--algo" => o.algo = val(&mut i),
+            "--fuzz" => o.fuzz = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--batch" => o.batch = val(&mut i).parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
         i += 1;
@@ -105,6 +117,29 @@ fn pruning(o: &Opts) -> Pruning {
         Pruning::Mti
     } else {
         Pruning::None
+    }
+}
+
+/// Resolve `--algo` (the mini-batch default batch is `n/10`, at least 1).
+fn algorithm(o: &Opts, n: usize) -> Algorithm {
+    match o.algo.as_str() {
+        "lloyd" => Algorithm::Lloyd,
+        "spherical" => Algorithm::Spherical,
+        "fuzzy" => {
+            // NaN or <= 1.0 both fail the domain check.
+            if o.fuzz.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater) {
+                eprintln!("--fuzz must exceed 1.0 (got {})", o.fuzz);
+                usage()
+            }
+            Algorithm::Fuzzy { m: o.fuzz }
+        }
+        "minibatch" | "mini-batch" => {
+            Algorithm::MiniBatch { batch: if o.batch > 0 { o.batch } else { (n / 10).max(1) } }
+        }
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            usage()
+        }
     }
 }
 
@@ -141,6 +176,7 @@ fn main() {
                 .with_init(init_method(&o))
                 .with_seed(o.seed)
                 .with_pruning(pruning(&o))
+                .with_algo(algorithm(&o, data.nrow()))
                 .with_max_iters(o.iters);
             if let Some(t) = o.threads {
                 cfg = cfg.with_threads(t);
@@ -150,9 +186,13 @@ fn main() {
             report("knori", r.niters, r.converged, r.sse, t0.elapsed());
         }
         "sem" => {
+            // The header carries n, so the mini-batch default (`n/10`)
+            // matches the other modes without a data pass.
+            let n = matrix_io::read_header(&o.file).expect("read header").nrow as usize;
             let mut cfg = SemConfig::new(o.k)
                 .with_seed(o.seed)
                 .with_pruning(pruning(&o))
+                .with_algo(algorithm(&o, n))
                 .with_row_cache_bytes(o.row_cache_mb << 20)
                 .with_page_cache_bytes(o.page_cache_mb << 20)
                 .with_max_iters(o.iters)
@@ -173,6 +213,7 @@ fn main() {
                 .with_init(init_method(&o))
                 .with_seed(o.seed)
                 .with_pruning(pruning(&o))
+                .with_algo(algorithm(&o, data.nrow()))
                 .with_reduce(if o.star { ReduceAlgo::Star } else { ReduceAlgo::Ring })
                 .with_max_iters(o.iters)
                 .with_sse(true);

@@ -40,14 +40,18 @@ pub use knor_sched as sched;
 pub use knor_sem as sem;
 pub use knor_workloads as workloads;
 
-pub use knor_core::{InitMethod, IterStats, Kmeans, KmeansConfig, KmeansResult, Pruning};
+pub use knor_core::{
+    Algorithm, InitMethod, IterStats, Kmeans, KmeansConfig, KmeansResult, Pruning,
+};
 pub use knor_dist::{DistConfig, DistKmeans, DistResult};
 pub use knor_matrix::DMatrix;
 pub use knor_sem::{SemConfig, SemInit, SemKmeans, SemResult};
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use knor_core::{InitMethod, KernelKind, Kmeans, KmeansConfig, KmeansResult, Pruning};
+    pub use knor_core::{
+        Algorithm, InitMethod, KernelKind, Kmeans, KmeansConfig, KmeansResult, Pruning,
+    };
     pub use knor_dist::{DistConfig, DistKmeans, DistResult};
     pub use knor_matrix::{io as matrix_io, DMatrix};
     pub use knor_mpi::ReduceAlgo;

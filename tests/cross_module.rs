@@ -143,6 +143,93 @@ fn tiled_kernel_bitwise_across_all_three_engines() {
     assert_eq!(dist.niters, serial.niters);
 }
 
+/// The algorithm layer's core promise: write an algorithm once, get
+/// knori + knors + knord for free. In single-worker deterministic
+/// configurations all three engines stage rows in the same order and run
+/// the same map/update arithmetic, so each non-Lloyd algorithm must
+/// reproduce the same centroids and assignments **bitwise** across
+/// engines; multi-rank knord must still agree on the clustering.
+#[test]
+fn every_algorithm_agrees_across_all_three_engines() {
+    use knor_core::algo::Algorithm;
+
+    let (data, _) = workload(1500, 6, 505);
+    let k = 8;
+    let init = InitMethod::Forgy.initialize(&data, k, 31).to_matrix();
+    let max_iters = 25;
+    let seed = 13u64; // feeds mini-batch sampling identically everywhere
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("knor-cross-algos-{}.knor", std::process::id()));
+    matrix_io::write_matrix(&path, &data).unwrap();
+
+    for algo in
+        [Algorithm::Spherical, Algorithm::Fuzzy { m: 2.0 }, Algorithm::MiniBatch { batch: 256 }]
+    {
+        let name = algo.name();
+
+        let im = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init.clone()))
+                .with_algo(algo.clone())
+                .with_seed(seed)
+                .with_threads(1)
+                .with_scheduler(SchedulerKind::Static)
+                .with_sse(false)
+                .with_max_iters(max_iters),
+        )
+        .fit(&data);
+
+        let sem = SemKmeans::new(
+            SemConfig::new(k)
+                .with_init(SemInit::Given(init.clone()))
+                .with_algo(algo.clone())
+                .with_seed(seed)
+                .with_threads(1)
+                .with_scheduler(SchedulerKind::Static)
+                .with_page_size(512)
+                .with_task_size(128)
+                .with_row_cache_bytes(0)
+                .with_max_iters(max_iters),
+        )
+        .fit(&path)
+        .unwrap();
+
+        let dist = DistKmeans::new(
+            DistConfig::new(k, 1, 1)
+                .with_init(InitMethod::Given(init.clone()))
+                .with_algo(algo.clone())
+                .with_seed(seed)
+                .with_scheduler(SchedulerKind::Static)
+                .with_max_iters(max_iters),
+        )
+        .fit(&data);
+
+        assert_eq!(im.niters, sem.kmeans.niters, "{name}: knors trajectory diverged");
+        assert_eq!(im.niters, dist.niters, "{name}: knord trajectory diverged");
+        assert_eq!(im.assignments, sem.kmeans.assignments, "{name}: knors assignments");
+        assert_eq!(im.assignments, dist.assignments, "{name}: knord assignments");
+        assert_eq!(im.centroids, sem.kmeans.centroids, "{name}: knors centroids must be bitwise");
+        assert_eq!(im.centroids, dist.centroids, "{name}: knord centroids must be bitwise");
+
+        // Multi-rank knord: the allreduced sums/counts/weights walk the
+        // same trajectory up to FP merge order.
+        let dist3 = DistKmeans::new(
+            DistConfig::new(k, 3, 2)
+                .with_init(InitMethod::Given(init.clone()))
+                .with_algo(algo.clone())
+                .with_seed(seed)
+                .with_max_iters(max_iters),
+        )
+        .fit(&data);
+        assert!(
+            agreement(&dist3.assignments, &im.assignments, k) > 0.99,
+            "{name}: multi-rank knord diverged"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
 #[test]
 fn planted_centers_recovered_by_every_module() {
     // Noise-free mixture: center recovery is only well-posed when every
