@@ -1,0 +1,195 @@
+//! The CI bench-regression gate (`bench_check`).
+//!
+//! Measures a fixed set of smoke-mode throughputs — the assignment
+//! kernels, Lloyd's on all three engines, and serve predict at batch 1
+//! and 1024 — and compares them against the committed
+//! `results/BENCH_BASELINE.json` with a generous tolerance (default
+//! 2.5×; see `knor_bench::regression`). Exit code 1 on any violation, so
+//! a hot-path regression fails the CI job instead of merging silently.
+//!
+//! ```text
+//! bench_check                      gate against results/BENCH_BASELINE.json
+//! bench_check --write-baseline     refresh the committed baseline
+//! bench_check --baseline P         gate against a specific file
+//! bench_check --tolerance X        override the slowdown tolerance
+//! ```
+
+use std::path::PathBuf;
+
+use knor_bench::regression::{compare, parse_metrics, render_metrics, Metric, DEFAULT_TOLERANCE};
+use knor_core::centroids::Centroids;
+use knor_core::kernel::{assign_rows, centroid_sqnorms, KernelKind};
+use knor_core::{Algorithm, InitMethod, Kmeans, KmeansConfig};
+use knor_dist::{DistConfig, DistKmeans};
+use knor_matrix::{io as matrix_io, DMatrix};
+use knor_sem::{SemConfig, SemKmeans};
+use knor_serve::{ServeConfig, ServeHandle};
+use knor_workloads::{uniform_matrix, MixtureSpec};
+
+/// Best-of-`reps` wall time of `f`, seconds.
+fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Kernel metrics: full-scan assignment throughput (rows/s) per kernel.
+fn kernel_metrics(out: &mut Vec<Metric>) {
+    let (n, k, d) = (20_000, 32, 16);
+    let data = uniform_matrix(n, d, 42);
+    let mut cents = Centroids::zeros(k, d);
+    cents.means.copy_from_slice(&data.as_slice()[..k * d]);
+    let mut cnorms = vec![0.0; k];
+    centroid_sqnorms(&cents, &mut cnorms);
+    let (mut best, mut dist) = (Vec::new(), Vec::new());
+    for (name, kind) in [
+        ("kernel.scalar", KernelKind::Scalar),
+        ("kernel.tiled", KernelKind::Tiled),
+        ("kernel.norm", KernelKind::NormTrick),
+    ] {
+        let rk = kind.resolve(k, d, false);
+        let secs = best_secs(3, || {
+            assign_rows(data.as_slice(), d, &cents, &rk, &cnorms, &mut best, &mut dist, true);
+        });
+        out.push(Metric { name: name.into(), per_sec: n as f64 / secs });
+    }
+}
+
+/// Engine metrics: Lloyd iterations/s on knori / knors / knord.
+fn engine_metrics(out: &mut Vec<Metric>) {
+    let (n, k, d, iters) = (20_000, 16, 8, 6);
+    let data = MixtureSpec::friendster_like(n, d, 7).generate().data;
+
+    let im = Kmeans::new(
+        KmeansConfig::new(k)
+            .with_init(InitMethod::Forgy)
+            .with_seed(3)
+            .with_max_iters(iters)
+            .with_sse(false),
+    )
+    .fit(&data);
+    out.push(Metric {
+        name: "algo.lloyd.knori".into(),
+        per_sec: 1e9 / knor_bench::steady_iter_ns(&im),
+    });
+
+    let path = std::env::temp_dir().join(format!("knor-bench-check-{}.knor", std::process::id()));
+    matrix_io::write_matrix(&path, &data).expect("write bench data");
+    let sem = SemKmeans::new(SemConfig::new(k).with_seed(3).with_max_iters(iters))
+        .fit(&path)
+        .expect("sem run");
+    let sem_ns = sem.kmeans.iters.iter().map(|i| i.wall_ns as f64).sum::<f64>()
+        / sem.kmeans.iters.len().max(1) as f64;
+    out.push(Metric { name: "algo.lloyd.knors".into(), per_sec: 1e9 / sem_ns });
+    let _ = std::fs::remove_file(&path);
+
+    let dist =
+        DistKmeans::new(DistConfig::new(k, 2, 2).with_seed(3).with_max_iters(iters)).fit(&data);
+    let dist_ns =
+        dist.iters.iter().map(|i| i.wall_ns as f64).sum::<f64>() / dist.iters.len().max(1) as f64;
+    out.push(Metric { name: "algo.lloyd.knord".into(), per_sec: 1e9 / dist_ns });
+}
+
+/// Serve metrics: predict queries/s at batch 1 and 1024.
+fn serve_metrics(out: &mut Vec<Metric>) {
+    let (k, d) = (16, 16);
+    let data = uniform_matrix(16_000, d, 42);
+    let mut cents = DMatrix::zeros(k, d);
+    cents.as_mut_slice().copy_from_slice(&data.as_slice()[..k * d]);
+    let handle = ServeHandle::start(ServeConfig::default().with_kernel(KernelKind::Tiled));
+    handle.register_model("gate", Algorithm::Lloyd, cents);
+    let flat = data.as_slice();
+    for (name, batch, rows) in
+        [("serve.batch1", 1usize, 1_000usize), ("serve.batch1024", 1024, 16_000)]
+    {
+        let secs = best_secs(2, || {
+            let mut row = 0usize;
+            while row < rows {
+                let hi = (row + batch).min(rows);
+                handle.predict_rows("gate", &flat[row * d..hi * d], d).expect("predict");
+                row = hi;
+            }
+        });
+        out.push(Metric { name: name.into(), per_sec: rows as f64 / secs });
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut write_baseline = false;
+    let mut baseline_path = PathBuf::from("results/BENCH_BASELINE.json");
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--write-baseline" => write_baseline = true,
+            "--baseline" => {
+                i += 1;
+                baseline_path = PathBuf::from(args.get(i).expect("--baseline needs a path"));
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance =
+                    args.get(i).and_then(|s| s.parse().ok()).expect("--tolerance needs a number");
+            }
+            "--smoke" => {} // always smoke-mode; accepted for CI symmetry
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!("measuring smoke-mode throughputs...");
+    let mut fresh: Vec<Metric> = Vec::new();
+    kernel_metrics(&mut fresh);
+    engine_metrics(&mut fresh);
+    serve_metrics(&mut fresh);
+    for m in &fresh {
+        println!("  {:<20} {:>14.0} /s", m.name, m.per_sec);
+    }
+
+    let rendered = render_metrics("bench_gate", "smoke", &fresh);
+    if write_baseline {
+        if let Some(dir) = baseline_path.parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        std::fs::write(&baseline_path, &rendered).expect("write baseline");
+        println!("\nbaseline written to {}", baseline_path.display());
+        return;
+    }
+
+    // Fresh numbers always land next to the baseline for artifact upload.
+    let fresh_path = baseline_path.with_file_name("BENCH_GATE_FRESH.json");
+    let _ = std::fs::write(&fresh_path, &rendered);
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "no baseline at {} ({e}); run `bench_check --write-baseline` and commit it",
+                baseline_path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    let baseline = parse_metrics(&text).expect("parse baseline");
+    let violations = compare(&baseline, &fresh, tolerance);
+    if violations.is_empty() {
+        println!("\nbench gate OK ({} metrics within {tolerance}x of baseline)", fresh.len());
+        return;
+    }
+    eprintln!("\nBENCH REGRESSION ({} metric(s) beyond {tolerance}x):", violations.len());
+    for v in &violations {
+        eprintln!(
+            "  {:<20} baseline {:>12.0}/s  fresh {:>12.0}/s  slowdown {:.2}x",
+            v.name, v.baseline, v.fresh, v.slowdown
+        );
+    }
+    std::process::exit(1);
+}

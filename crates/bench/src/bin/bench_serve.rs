@@ -1,0 +1,128 @@
+//! PR 4 serving benchmark: batched predict throughput through
+//! `knor-serve` at batch ∈ {1, 64, 1024}, seeding `results/BENCH_PR4.json`.
+//!
+//! The headline shape matches the kernel bench (n = 100k queries, k = 64,
+//! d = 32). Every batch size goes through the same handle, pool and
+//! kernel; the single-row series pays the full per-call serving overhead
+//! (dispatch, latch, stats), which is exactly the point — the batched
+//! path amortizes it over the tile-scan kernel, and the acceptance gate
+//! asserts batch=1024 clears ≥ 3× the single-row throughput on the same
+//! kernel.
+//!
+//! `--smoke` runs a small shape for CI (with the 3× assertion — it only
+//! gets easier at small d where per-row compute shrinks) and does not
+//! touch `results/`.
+
+use knor_bench::save_results;
+use knor_core::{Algorithm, KernelKind};
+use knor_matrix::DMatrix;
+use knor_serve::{predict_serial, ServeConfig, ServeHandle};
+use knor_workloads::uniform_matrix;
+
+struct Series {
+    batch: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn run_series(handle: &ServeHandle, model: &str, queries: &DMatrix, batch: usize) -> Series {
+    let (n, d) = (queries.nrow(), queries.ncol());
+    let flat = queries.as_slice();
+    let t0 = std::time::Instant::now();
+    let mut row = 0usize;
+    while row < n {
+        let hi = (row + batch).min(n);
+        handle.predict_rows(model, &flat[row * d..hi * d], d).expect("predict failed");
+        row = hi;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = handle.stats(model).expect("stats");
+    Series {
+        batch,
+        qps: n as f64 / wall,
+        p50_us: stats.p50_ns as f64 / 1e3,
+        p99_us: stats.p99_ns as f64 / 1e3,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Headline shape = the kernel bench's; smoke keeps CI under a second.
+    let (n, k, d, n1) = if smoke { (16_000, 16, 16, 1_000) } else { (100_000, 64, 32, 20_000) };
+    let batches = [1usize, 64, 1024];
+
+    let data = uniform_matrix(n, d, 42);
+    let mut cents = DMatrix::zeros(k, d);
+    cents.as_mut_slice().copy_from_slice(&data.as_slice()[..k * d]);
+
+    let handle = ServeHandle::start(ServeConfig::default().with_kernel(KernelKind::Tiled));
+    handle.register_model("bench", Algorithm::Lloyd, cents);
+
+    // Correctness first: the served answers must be bitwise identical to
+    // the serial per-row reference.
+    let sample = DMatrix::from_vec(data.as_slice()[..512 * d].to_vec(), 512, d);
+    let served = handle.predict("bench", &sample).expect("predict failed");
+    let entry = handle.registry().get("bench").unwrap();
+    let reference = predict_serial(&entry.model, sample.as_slice(), d);
+    assert_eq!(served.assignments, reference.assignments, "served assignments diverged");
+    assert!(
+        served.distances.iter().zip(&reference.distances).all(|(a, b)| a.to_bits() == b.to_bits()),
+        "served distances not bitwise"
+    );
+
+    println!("{:>6} {:>12} {:>10} {:>10}", "batch", "queries/s", "p50", "p99");
+    let mut series = Vec::new();
+    for &batch in &batches {
+        // Fresh model version per series → clean per-series stats. The
+        // single-row series uses fewer queries (it is per-call bound).
+        let name = format!("bench-b{batch}");
+        handle.register_model(&name, Algorithm::Lloyd, entry.model.centroids.to_matrix());
+        let rows = if batch == 1 { n1 } else { n };
+        let queries = DMatrix::from_vec(data.as_slice()[..rows * d].to_vec(), rows, d);
+        let s = run_series(&handle, &name, &queries, batch);
+        println!("{:>6} {:>12.0} {:>8.1}us {:>8.1}us", s.batch, s.qps, s.p50_us, s.p99_us);
+        series.push(s);
+    }
+
+    let single = series.iter().find(|s| s.batch == 1).unwrap().qps;
+    let batched = series.iter().find(|s| s.batch == 1024).unwrap().qps;
+    let speedup = batched / single;
+    println!("\nbatch=1024 vs batch=1: {speedup:.1}x");
+    assert!(
+        speedup >= 3.0,
+        "batched predict must amortize serving overhead ≥ 3x (got {speedup:.2}x)"
+    );
+
+    let rows: Vec<String> = series
+        .iter()
+        .map(|s| {
+            format!(
+                concat!(
+                    "    {{\"batch\": {}, \"qps\": {:.0}, ",
+                    "\"p50_us\": {:.1}, \"p99_us\": {:.1}}}"
+                ),
+                s.batch, s.qps, s.p50_us, s.p99_us
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"serve_predict\",\n  \"pr\": 4,\n  \"mode\": \"{}\",\n",
+            "  \"n\": {}, \"k\": {}, \"d\": {}, \"kernel\": \"tiled\",\n",
+            "  \"batched_vs_single\": {:.2},\n",
+            "  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        n,
+        k,
+        d,
+        speedup,
+        rows.join(",\n")
+    );
+    if smoke {
+        println!("\n[smoke mode: JSON not saved]\n{json}");
+    } else {
+        save_results("BENCH_PR4.json", &json);
+    }
+}

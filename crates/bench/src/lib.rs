@@ -11,6 +11,7 @@ use knor_core::stats::KmeansResult;
 use knor_mpi::NetModel;
 
 pub mod distmodel;
+pub mod regression;
 
 /// Common CLI arguments: `--scale f --threads t --seed s --iters n`.
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,418 @@
+//! The bench-regression gate: compare freshly measured throughputs
+//! against a committed baseline and fail CI on real slowdowns.
+//!
+//! Design constraints: CI runners are *noisy* (shared cores, cold caches,
+//! frequency scaling), so the gate compares like-for-like smoke-mode
+//! measurements and only fails on a slowdown larger than a generous
+//! tolerance (default 2.5×) — it catches "someone quadrupled the inner
+//! loop", not 10% jitter. The baseline lives in
+//! `results/BENCH_BASELINE.json` and is refreshed deliberately with
+//! `bench_check --write-baseline`, never implicitly.
+//!
+//! The JSON here is hand-rolled (the workspace is offline — no serde):
+//! [`Json`] is a minimal recursive-descent parser covering the subset our
+//! own artifacts use, which is also plenty for full JSON.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (as f64 — our artifacts carry nothing wider than 2^53).
+    Num(f64),
+    /// String (escapes decoded).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected , or }} at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected , or ] at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("truncated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Copy a run of plain bytes (UTF-8 passes through).
+                    let start = self.pos;
+                    while self.peek().map(|b| b != b'"' && b != b'\\').unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .map(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+/// One named throughput measurement (higher is better).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable metric name, e.g. `kernel.tiled` or `serve.batch1024`.
+    pub name: String,
+    /// Throughput in the metric's unit (rows/s, iters/s, queries/s).
+    pub per_sec: f64,
+}
+
+/// Default gate tolerance: fail only when a metric got ≥ 2.5× slower —
+/// wide enough to survive noisy shared runners, tight enough to catch a
+/// real hot-path regression.
+pub const DEFAULT_TOLERANCE: f64 = 2.5;
+
+/// One gate violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Metric name.
+    pub name: String,
+    /// Committed baseline throughput.
+    pub baseline: f64,
+    /// Fresh throughput (0.0 when the metric disappeared).
+    pub fresh: f64,
+    /// `baseline / fresh` (∞ when the metric disappeared).
+    pub slowdown: f64,
+}
+
+/// Compare fresh metrics against the baseline. A baseline metric missing
+/// from `fresh` is a violation (a silently dropped bench is how gates
+/// rot); metrics only present in `fresh` are fine — they join the gate at
+/// the next `--write-baseline`.
+pub fn compare(baseline: &[Metric], fresh: &[Metric], tolerance: f64) -> Vec<Regression> {
+    assert!(tolerance >= 1.0, "tolerance below 1.0 rejects identical runs");
+    let mut out = Vec::new();
+    for b in baseline {
+        match fresh.iter().find(|f| f.name == b.name) {
+            None => out.push(Regression {
+                name: b.name.clone(),
+                baseline: b.per_sec,
+                fresh: 0.0,
+                slowdown: f64::INFINITY,
+            }),
+            Some(f) => {
+                let slowdown = if f.per_sec > 0.0 { b.per_sec / f.per_sec } else { f64::INFINITY };
+                if slowdown > tolerance {
+                    out.push(Regression {
+                        name: b.name.clone(),
+                        baseline: b.per_sec,
+                        fresh: f.per_sec,
+                        slowdown,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Serialize metrics as a baseline/fresh-results JSON document.
+pub fn render_metrics(bench: &str, mode: &str, metrics: &[Metric]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"{bench}\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"tolerance\": {DEFAULT_TOLERANCE},");
+    let _ = writeln!(s, "  \"entries\": [");
+    for (i, m) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ =
+            writeln!(s, "    {{\"name\": \"{}\", \"per_sec\": {:.3}}}{comma}", m.name, m.per_sec);
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Parse a metrics document produced by [`render_metrics`].
+pub fn parse_metrics(text: &str) -> Result<Vec<Metric>, String> {
+    let doc = Json::parse(text)?;
+    let entries =
+        doc.get("entries").and_then(|e| e.as_arr()).ok_or("baseline missing `entries` array")?;
+    entries
+        .iter()
+        .map(|e| {
+            Ok(Metric {
+                name: e
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .ok_or("entry missing `name`")?
+                    .to_string(),
+                per_sec: e
+                    .get("per_sec")
+                    .and_then(|p| p.as_f64())
+                    .ok_or("entry missing `per_sec`")?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parses_our_artifacts() {
+        let doc = Json::parse(
+            r#"{"bench": "kernel_assign", "pr": 2, "ok": true, "none": null,
+                "results": [{"n": 100000, "speedup": 1.648}, {"n": -3, "e": 1.5e3}],
+                "text": "a\"b\\cA"}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("pr").unwrap().as_f64(), Some(2.0));
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("kernel_assign"));
+        let rs = doc.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(rs[0].get("speedup").unwrap().as_f64(), Some(1.648));
+        assert_eq!(rs[1].get("n").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(rs[1].get("e").unwrap().as_f64(), Some(1500.0));
+        assert_eq!(doc.get("text").unwrap().as_str(), Some("a\"b\\cA"));
+        assert_eq!(doc.get("ok").unwrap(), &Json::Bool(true));
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "{} trailing", "nul"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let metrics = vec![
+            Metric { name: "kernel.scalar".into(), per_sec: 4.0e6 },
+            Metric { name: "serve.batch1024".into(), per_sec: 1.25e6 },
+        ];
+        let text = render_metrics("baseline", "smoke", &metrics);
+        assert_eq!(parse_metrics(&text).unwrap(), metrics);
+        assert_eq!(
+            Json::parse(&text).unwrap().get("tolerance").unwrap().as_f64(),
+            Some(DEFAULT_TOLERANCE)
+        );
+    }
+
+    #[test]
+    fn gate_passes_on_noise_and_fails_on_fabricated_10x_regression() {
+        let baseline = vec![
+            Metric { name: "kernel.tiled".into(), per_sec: 1.0e7 },
+            Metric { name: "algo.lloyd.knori".into(), per_sec: 50.0 },
+        ];
+        // 2× noise in either direction passes at the 2.5× tolerance.
+        let noisy = vec![
+            Metric { name: "kernel.tiled".into(), per_sec: 0.5e7 },
+            Metric { name: "algo.lloyd.knori".into(), per_sec: 100.0 },
+        ];
+        assert!(compare(&baseline, &noisy, DEFAULT_TOLERANCE).is_empty());
+
+        // A fabricated 10× slowdown on one metric must trip the gate.
+        let regressed = vec![
+            Metric { name: "kernel.tiled".into(), per_sec: 1.0e6 },
+            Metric { name: "algo.lloyd.knori".into(), per_sec: 50.0 },
+        ];
+        let viol = compare(&baseline, &regressed, DEFAULT_TOLERANCE);
+        assert_eq!(viol.len(), 1);
+        assert_eq!(viol[0].name, "kernel.tiled");
+        assert!((viol[0].slowdown - 10.0).abs() < 1e-9);
+
+        // A silently dropped metric is a violation too.
+        let dropped = vec![Metric { name: "kernel.tiled".into(), per_sec: 1.0e7 }];
+        let viol = compare(&baseline, &dropped, DEFAULT_TOLERANCE);
+        assert_eq!(viol.len(), 1);
+        assert!(viol[0].slowdown.is_infinite());
+
+        // New metrics in fresh results don't fail the gate.
+        let mut extended = baseline.clone();
+        extended.push(Metric { name: "serve.batch1".into(), per_sec: 1.0e5 });
+        assert!(compare(&baseline, &extended, DEFAULT_TOLERANCE).is_empty());
+    }
+}

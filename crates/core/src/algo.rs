@@ -73,6 +73,63 @@ pub enum Algorithm {
     },
 }
 
+/// How a trained model expects incoming rows to be normalized before a
+/// nearest-centroid scan. Recorded as model metadata by the serving layer:
+/// a query must be transformed exactly like a training row was, or the
+/// model answers a different question than it was fitted to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Normalization {
+    /// Rows are used as-is (Lloyd, fuzzy, mini-batch).
+    #[default]
+    None,
+    /// Rows are scaled by `1/‖x‖` (spherical: training contributes unit
+    /// directions to unit-norm centroids, so against those centroids the
+    /// Euclidean argmin over a *unit* query equals the cosine argmax).
+    /// Zero rows are left untouched, exactly like training weighted them 0.
+    UnitRow,
+}
+
+impl Normalization {
+    /// Stable name for metadata files and the wire protocol.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Normalization::None => "none",
+            Normalization::UnitRow => "unitrow",
+        }
+    }
+
+    /// Inverse of [`Normalization::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(Normalization::None),
+            "unitrow" => Some(Normalization::UnitRow),
+            _ => None,
+        }
+    }
+
+    /// Apply to one row, writing the (possibly rescaled) row into `out`.
+    /// The arithmetic is the scaling spherical training applies: multiply
+    /// by the reciprocal norm `1/‖x‖` computed via [`sqnorm`] — the same
+    /// chunked summation, so serving and training agree bit for bit.
+    pub fn apply(&self, row: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(row.len(), out.len());
+        match self {
+            Normalization::None => out.copy_from_slice(row),
+            Normalization::UnitRow => {
+                let n = sqnorm(row).sqrt();
+                if n > 0.0 {
+                    let inv = 1.0 / n;
+                    for (o, x) in out.iter_mut().zip(row) {
+                        *o = inv * x;
+                    }
+                } else {
+                    out.copy_from_slice(row);
+                }
+            }
+        }
+    }
+}
+
 impl Algorithm {
     /// Short stable name (CLI, benchmarks, logs).
     pub fn name(&self) -> &'static str {
@@ -88,6 +145,52 @@ impl Algorithm {
     /// driver both consult this; either is sufficient to disable).
     pub fn prune_eligible(&self) -> bool {
         matches!(self, Algorithm::Lloyd)
+    }
+
+    /// The row normalization a model trained by this algorithm expects of
+    /// its queries (serving metadata).
+    pub fn normalization(&self) -> Normalization {
+        match self {
+            Algorithm::Spherical => Normalization::UnitRow,
+            _ => Normalization::None,
+        }
+    }
+
+    /// Self-describing spec string: `lloyd`, `spherical`, `fuzzy:2.0`,
+    /// `minibatch:512`. Round-trips through [`Algorithm::parse_spec`]
+    /// (metadata files, the serve wire protocol).
+    pub fn spec_string(&self) -> String {
+        match self {
+            Algorithm::Lloyd => "lloyd".into(),
+            Algorithm::Spherical => "spherical".into(),
+            Algorithm::Fuzzy { m } => format!("fuzzy:{m:?}"),
+            Algorithm::MiniBatch { batch } => format!("minibatch:{batch}"),
+        }
+    }
+
+    /// Inverse of [`Algorithm::spec_string`]. Parameterless `fuzzy` /
+    /// `minibatch` get the conventional defaults (`m = 2.0`, `batch = 0`
+    /// is rejected — a batch size is required without an `n` to derive it
+    /// from). Returns `None` on malformed or out-of-domain specs.
+    pub fn parse_spec(s: &str) -> Option<Algorithm> {
+        let (head, arg) = match s.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (s, None),
+        };
+        match (head, arg) {
+            ("lloyd", None) => Some(Algorithm::Lloyd),
+            ("spherical", None) => Some(Algorithm::Spherical),
+            ("fuzzy", None) => Some(Algorithm::Fuzzy { m: 2.0 }),
+            ("fuzzy", Some(a)) => {
+                let m: f64 = a.parse().ok()?;
+                (m > 1.0).then_some(Algorithm::Fuzzy { m })
+            }
+            ("minibatch", Some(a)) => {
+                let batch: usize = a.parse().ok()?;
+                (batch >= 1).then_some(Algorithm::MiniBatch { batch })
+            }
+            _ => None,
+        }
     }
 
     /// Build the runnable instance. `k` sizes per-cluster state, `n_total`
@@ -731,6 +834,44 @@ mod tests {
         let mb = Algorithm::MiniBatch { batch: 8 }.resolve(2, 100, 0);
         assert!(!mb.converged(0, 1.0, 0.0), "mini-batch ignores reassignments");
         assert!(mb.converged(9, 0.01, 0.05));
+    }
+
+    #[test]
+    fn spec_strings_round_trip() {
+        for algo in [
+            Algorithm::Lloyd,
+            Algorithm::Spherical,
+            Algorithm::Fuzzy { m: 1.7 },
+            Algorithm::Fuzzy { m: 2.0 },
+            Algorithm::MiniBatch { batch: 512 },
+        ] {
+            let spec = algo.spec_string();
+            assert_eq!(Algorithm::parse_spec(&spec), Some(algo.clone()), "spec {spec}");
+        }
+        assert_eq!(Algorithm::parse_spec("fuzzy"), Some(Algorithm::Fuzzy { m: 2.0 }));
+        for bad in ["", "kmedoids", "fuzzy:1.0", "fuzzy:x", "minibatch", "minibatch:0", "lloyd:3"] {
+            assert_eq!(Algorithm::parse_spec(bad), None, "spec {bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn normalization_metadata_and_apply() {
+        assert_eq!(Algorithm::Lloyd.normalization(), Normalization::None);
+        assert_eq!(Algorithm::Spherical.normalization(), Normalization::UnitRow);
+        assert_eq!(Normalization::parse("unitrow"), Some(Normalization::UnitRow));
+        assert_eq!(Normalization::parse("bogus"), None);
+
+        let row = [3.0, 4.0];
+        let mut out = [0.0; 2];
+        Normalization::UnitRow.apply(&row, &mut out);
+        // Must match the training-side arithmetic exactly: x * (1/‖x‖).
+        let inv = 1.0 / sqnorm(&row).sqrt();
+        assert_eq!(out, [3.0 * inv, 4.0 * inv]);
+        Normalization::None.apply(&row, &mut out);
+        assert_eq!(out, row);
+        let zero = [0.0, 0.0];
+        Normalization::UnitRow.apply(&zero, &mut out);
+        assert_eq!(out, zero, "zero rows pass through");
     }
 
     #[test]

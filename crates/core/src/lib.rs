@@ -58,7 +58,7 @@ pub mod serial;
 pub mod stats;
 pub mod sync;
 
-pub use algo::{Algorithm, MapOut, MmAlgorithm, UpdateCtx};
+pub use algo::{Algorithm, MapOut, MmAlgorithm, Normalization, UpdateCtx};
 pub use centroids::{Centroids, LocalAccum};
 pub use driver::{DriverConfig, DriverOutcome, IterView, LloydBackend, ReduceReport, WorkerReport};
 pub use engine::{Kmeans, KmeansConfig};

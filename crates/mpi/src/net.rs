@@ -1,9 +1,19 @@
-//! Analytic network model for the EC2-like cluster (DESIGN.md §3.3).
+//! Network plumbing: the analytic cluster model (DESIGN.md §3.3) and the
+//! real line-framed TCP transport shared by the serving front end.
 //!
-//! The in-process substrate measures exact byte counts; this model converts
-//! them into modeled wire time for the paper's environment: c4.8xlarge
-//! instances on a 10-Gigabit interconnect within one placement group.
-//! Standard alpha-beta (latency + bandwidth) cost formulation.
+//! The in-process substrate measures exact byte counts; [`NetModel`]
+//! converts them into modeled wire time for the paper's environment:
+//! c4.8xlarge instances on a 10-Gigabit interconnect within one placement
+//! group. Standard alpha-beta (latency + bandwidth) cost formulation.
+//!
+//! [`LineConn`] is the concrete counterpart: a buffered, newline-delimited
+//! framing over a `TcpStream` with exact byte accounting on both
+//! directions, so anything built on it (the `knor-serve` TCP front end, its
+//! CLI clients) can report real wire bytes — and, via [`NetModel`], a
+//! modeled wire time for the paper's interconnect.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 
 /// Latency/bandwidth model of one cluster interconnect.
 #[derive(Debug, Clone, Copy)]
@@ -53,9 +63,105 @@ impl NetModel {
     }
 }
 
+/// A newline-delimited message connection over TCP.
+///
+/// One request line, one response line: the framing the serving protocol
+/// speaks. Reads and writes are buffered; [`LineConn::send_line`] flushes,
+/// so a round trip is exactly one write burst and one read. Byte counters
+/// track the real wire traffic (including the terminating `\n`).
+pub struct LineConn {
+    r: BufReader<TcpStream>,
+    w: BufWriter<TcpStream>,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+impl LineConn {
+    /// Wrap an accepted (or connected) stream.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        let r = BufReader::new(stream.try_clone()?);
+        Ok(Self { r, w: BufWriter::new(stream), bytes_in: 0, bytes_out: 0 })
+    }
+
+    /// Connect to `addr` and wrap the stream.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Self::new(TcpStream::connect(addr)?)
+    }
+
+    /// Send one message line (a `\n` is appended; `line` must not contain
+    /// one) and flush.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        debug_assert!(!line.contains('\n'), "embedded newline breaks framing");
+        self.w.write_all(line.as_bytes())?;
+        self.w.write_all(b"\n")?;
+        self.w.flush()?;
+        self.bytes_out += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Receive one message line (without the `\n`). `Ok(None)` on a clean
+    /// peer close.
+    pub fn recv_line(&mut self) -> io::Result<Option<String>> {
+        let mut buf = String::new();
+        let n = self.r.read_line(&mut buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.bytes_in += n as u64;
+        while buf.ends_with('\n') || buf.ends_with('\r') {
+            buf.pop();
+        }
+        Ok(Some(buf))
+    }
+
+    /// Bytes received so far.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in
+    }
+
+    /// Bytes sent so far.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out
+    }
+
+    /// Modeled one-way wire time for the traffic sent so far (ns), under
+    /// `model` — ties the real transport back to the paper's interconnect.
+    pub fn modeled_send_ns(&self, model: &NetModel) -> f64 {
+        model.transfer_ns(self.bytes_out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn line_conn_round_trips_and_counts_bytes() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = LineConn::new(stream).unwrap();
+            while let Some(line) = conn.recv_line().unwrap() {
+                conn.send_line(&format!("echo {line}")).unwrap();
+            }
+            (conn.bytes_in(), conn.bytes_out())
+        });
+        let mut c = LineConn::connect(addr).unwrap();
+        c.send_line("hello").unwrap();
+        assert_eq!(c.recv_line().unwrap().as_deref(), Some("echo hello"));
+        // f64 round trip through the text framing is exact with `{:?}`.
+        let x = -0.1f64 + 0.7;
+        c.send_line(&format!("{x:?}")).unwrap();
+        let back = c.recv_line().unwrap().unwrap();
+        let parsed: f64 = back.strip_prefix("echo ").unwrap().parse().unwrap();
+        assert_eq!(parsed.to_bits(), x.to_bits());
+        assert_eq!(c.bytes_out(), 6 + format!("{x:?}").len() as u64 + 1);
+        drop(c); // clean close ends the server loop
+        let (sin, sout) = server.join().unwrap();
+        assert_eq!(sin, 6 + format!("{x:?}").len() as u64 + 1);
+        assert!(sout > sin, "echo adds a prefix");
+    }
 
     #[test]
     fn ring_beats_star_at_scale() {

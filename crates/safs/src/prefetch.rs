@@ -13,13 +13,25 @@ use crate::reader::SafsReader;
 
 enum Msg {
     Fetch(Vec<u64>),
+    /// Test hook: makes the receiving thread panic mid-loop, standing in
+    /// for a fault inside `prefetch_pages` (e.g. a poisoned cache lock).
+    #[doc(hidden)]
+    InjectPanic,
     Shutdown,
 }
 
 /// A handle to a running prefetch pool.
+///
+/// A pool thread that panics takes any queued `Msg::Fetch` work it had
+/// claimed with it — prefetching is best-effort, so that only costs
+/// synchronous reads later — but the failure must not be invisible:
+/// shutdown (or drop) joins every handle and surfaces the number of dead
+/// threads in [`crate::IoStats::panicked_io_threads`], so a run that lost
+/// its I/O overlap can tell.
 pub struct Prefetcher {
     tx: Sender<Msg>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    reader: Arc<SafsReader>,
 }
 
 impl Prefetcher {
@@ -38,13 +50,14 @@ impl Prefetcher {
                                 // synchronous path with proper context.
                                 let _ = reader.prefetch_pages(&pages);
                             }
+                            Msg::InjectPanic => panic!("injected prefetch-pool panic"),
                             Msg::Shutdown => break,
                         }
                     }
                 })
             })
             .collect();
-        Self { tx, handles }
+        Self { tx, handles, reader }
     }
 
     /// Queue a page list for background fetch.
@@ -54,25 +67,46 @@ impl Prefetcher {
         }
     }
 
-    /// Drain and stop the pool (blocks until I/O threads exit).
+    /// Make one pool thread panic (tests only — exercises the
+    /// panicked-thread accounting without a real fault).
+    #[doc(hidden)]
+    pub fn inject_panic_for_test(&self) {
+        let _ = self.tx.send(Msg::InjectPanic);
+    }
+
+    /// Drain and stop the pool (blocks until I/O threads exit). Panicked
+    /// threads are counted into the reader's
+    /// [`crate::IoStats::panicked_io_threads`].
     pub fn shutdown(mut self) {
+        self.join_all();
+    }
+
+    /// Send one `Shutdown` per thread and join everything. A thread that
+    /// died earlier never consumes its `Shutdown`, which is fine: the
+    /// leftover message sits in the channel and every *live* thread still
+    /// sees one. Join errors (panicked threads) are tallied, not ignored.
+    fn join_all(&mut self) {
         for _ in 0..self.handles.len() {
             let _ = self.tx.send(Msg::Shutdown);
         }
+        let mut panicked = 0u64;
         for h in self.handles.drain(..) {
-            let _ = h.join();
+            if h.join().is_err() {
+                panicked += 1;
+            }
+        }
+        if panicked > 0 {
+            self.reader
+                .stats()
+                .panicked_io_threads
+                .fetch_add(panicked, std::sync::atomic::Ordering::Relaxed);
         }
     }
 }
 
 impl Drop for Prefetcher {
     fn drop(&mut self) {
-        for _ in 0..self.handles.len() {
-            let _ = self.tx.send(Msg::Shutdown);
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.join_all();
     }
 }
 
@@ -100,6 +134,29 @@ mod tests {
         }
         let s = reader.stats().snapshot();
         assert!(s.prefetched_pages > 0);
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn panicked_thread_is_counted_and_pool_keeps_serving() {
+        let m = DMatrix::from_vec((0..4000).map(|x| x as f64).collect(), 500, 8);
+        let mut p = std::env::temp_dir();
+        p.push(format!("knor-safs-prefetch-panic-{}.knor", std::process::id()));
+        write_matrix(&p, &m).unwrap();
+        let reader = Arc::new(SafsReader::new(RowStore::open(&p, 512).unwrap(), 1 << 20, 4));
+        let pool = Prefetcher::spawn(Arc::clone(&reader), 2);
+        pool.inject_panic_for_test();
+        // The surviving thread must still drain fetch work queued after the
+        // panic (MPMC channel: any live thread can claim it).
+        let rows: Vec<usize> = (0..500).collect();
+        let pages = reader.pages_for_rows(&rows);
+        pool.request(pages.clone());
+        pool.shutdown();
+        for pg in pages {
+            assert!(reader.cache().contains(pg), "page {pg} lost after pool panic");
+        }
+        let s = reader.stats().snapshot();
+        assert_eq!(s.panicked_io_threads, 1, "dead thread not surfaced");
         std::fs::remove_file(p).unwrap();
     }
 

@@ -19,6 +19,10 @@ pub struct IoStats {
     pub prefetched_pages: AtomicU64,
     /// Page runs produced by merging (before cache filtering).
     pub merged_runs: AtomicU64,
+    /// Prefetch-pool threads found dead (panicked) at pool shutdown. A
+    /// non-zero value means some background fetches were silently lost and
+    /// the run fell back to synchronous reads.
+    pub panicked_io_threads: AtomicU64,
 }
 
 impl IoStats {
@@ -37,6 +41,7 @@ impl IoStats {
             page_misses: self.page_misses.load(Ordering::Relaxed),
             prefetched_pages: self.prefetched_pages.load(Ordering::Relaxed),
             merged_runs: self.merged_runs.load(Ordering::Relaxed),
+            panicked_io_threads: self.panicked_io_threads.load(Ordering::Relaxed),
         }
     }
 
@@ -49,6 +54,7 @@ impl IoStats {
         self.page_misses.store(0, Ordering::Relaxed);
         self.prefetched_pages.store(0, Ordering::Relaxed);
         self.merged_runs.store(0, Ordering::Relaxed);
+        self.panicked_io_threads.store(0, Ordering::Relaxed);
     }
 }
 
@@ -69,6 +75,8 @@ pub struct IoSnapshot {
     pub prefetched_pages: u64,
     /// Merged page runs.
     pub merged_runs: u64,
+    /// Prefetch-pool threads that had panicked by shutdown.
+    pub panicked_io_threads: u64,
 }
 
 impl IoSnapshot {
@@ -90,6 +98,7 @@ impl IoSnapshot {
             page_misses: self.page_misses - earlier.page_misses,
             prefetched_pages: self.prefetched_pages - earlier.prefetched_pages,
             merged_runs: self.merged_runs - earlier.merged_runs,
+            panicked_io_threads: self.panicked_io_threads - earlier.panicked_io_threads,
         }
     }
 }

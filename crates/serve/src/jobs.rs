@@ -1,0 +1,376 @@
+//! Asynchronous training jobs: submit a workload against any engine, poll
+//! (or wait for) its status, and find the trained model in the registry.
+//!
+//! One background runner thread executes jobs in submission order — the
+//! engines are internally parallel, so serializing jobs keeps training
+//! from oversubscribing the machine the predict pool is serving on. A job
+//! that fails (I/O error, engine panic on a degenerate spec) is reported
+//! as [`JobStatus::Failed`] with the message; it never takes the runner
+//! down.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use knor_core::{Algorithm, Kmeans, KmeansConfig};
+use knor_dist::{DistConfig, DistKmeans};
+use knor_matrix::{io as matrix_io, DMatrix};
+use knor_sem::{SemConfig, SemKmeans};
+
+use crate::registry::ModelRegistry;
+
+/// Which engine a training job runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// In-memory (knori).
+    Im,
+    /// Semi-external-memory (knors) — requires a file source.
+    Sem,
+    /// Simulated-distributed (knord).
+    Dist,
+}
+
+impl EngineKind {
+    /// Stable name (CLI, wire protocol).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Im => "im",
+            EngineKind::Sem => "sem",
+            EngineKind::Dist => "dist",
+        }
+    }
+
+    /// Inverse of [`EngineKind::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "im" => Some(EngineKind::Im),
+            "sem" => Some(EngineKind::Sem),
+            "dist" => Some(EngineKind::Dist),
+            _ => None,
+        }
+    }
+}
+
+/// Where a job's training data comes from.
+#[derive(Debug, Clone)]
+pub enum TrainSource {
+    /// A knor binary matrix on disk (the only source knors accepts).
+    File(PathBuf),
+    /// An in-memory matrix (in-process API).
+    Matrix(DMatrix),
+}
+
+/// A training job specification.
+#[derive(Debug, Clone)]
+pub struct TrainSpec {
+    /// Registry name the trained model is published under.
+    pub model: String,
+    /// Engine to train on.
+    pub engine: EngineKind,
+    /// Clustering algorithm.
+    pub algo: Algorithm,
+    /// Number of clusters.
+    pub k: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Seed for initialization.
+    pub seed: u64,
+    /// Worker threads (None = engine default).
+    pub threads: Option<usize>,
+    /// Simulated ranks for the dist engine.
+    pub ranks: usize,
+    /// Training data.
+    pub source: TrainSource,
+}
+
+impl TrainSpec {
+    /// A spec with the common defaults (im engine, Lloyd, 30 iterations).
+    pub fn new(model: &str, k: usize, source: TrainSource) -> Self {
+        Self {
+            model: model.to_string(),
+            engine: EngineKind::Im,
+            algo: Algorithm::Lloyd,
+            k,
+            max_iters: 30,
+            seed: 1,
+            threads: None,
+            ranks: 2,
+            source,
+        }
+    }
+}
+
+/// Handle to a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// Lifecycle of a training job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Submitted, not started.
+    Queued,
+    /// Training now.
+    Running,
+    /// Model registered under the job's name at this version.
+    Done {
+        /// Registry version assigned to the trained model.
+        version: u32,
+    },
+    /// Training failed; the message explains why.
+    Failed {
+        /// Failure description.
+        message: String,
+    },
+}
+
+impl JobStatus {
+    /// True once the job can make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobStatus::Done { .. } | JobStatus::Failed { .. })
+    }
+
+    /// One-line wire form (`STATUS` response payload).
+    pub fn render(&self) -> String {
+        match self {
+            JobStatus::Queued => "queued".into(),
+            JobStatus::Running => "running".into(),
+            JobStatus::Done { version } => format!("done {version}"),
+            JobStatus::Failed { message } => format!("failed {message}"),
+        }
+    }
+}
+
+struct JobState {
+    jobs: Mutex<HashMap<JobId, JobStatus>>,
+    changed: Condvar,
+}
+
+impl JobState {
+    fn set(&self, id: JobId, status: JobStatus) {
+        self.jobs.lock().expect("job table poisoned").insert(id, status);
+        self.changed.notify_all();
+    }
+}
+
+/// The job queue + runner thread.
+pub struct JobRunner {
+    tx: Sender<Option<(JobId, TrainSpec)>>,
+    state: Arc<JobState>,
+    next_id: Mutex<u64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl JobRunner {
+    /// Start the runner, publishing trained models into `registry`.
+    pub fn start(registry: Arc<ModelRegistry>) -> Self {
+        let (tx, rx): (Sender<Option<(JobId, TrainSpec)>>, Receiver<_>) = unbounded();
+        let state =
+            Arc::new(JobState { jobs: Mutex::new(HashMap::new()), changed: Condvar::new() });
+        let st = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            while let Ok(Some((id, spec))) = rx.recv() {
+                st.set(id, JobStatus::Running);
+                let status = match run_job(&registry, &spec) {
+                    Ok(version) => JobStatus::Done { version },
+                    Err(message) => JobStatus::Failed { message },
+                };
+                st.set(id, status);
+            }
+        });
+        Self { tx, state, next_id: Mutex::new(1), handle: Some(handle) }
+    }
+
+    /// Enqueue a job.
+    pub fn submit(&self, spec: TrainSpec) -> JobId {
+        let id = {
+            let mut next = self.next_id.lock().expect("job id counter poisoned");
+            let id = JobId(*next);
+            *next += 1;
+            id
+        };
+        self.state.set(id, JobStatus::Queued);
+        self.tx.send(Some((id, spec))).expect("job runner gone");
+        id
+    }
+
+    /// Current status, `None` for unknown ids.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.state.jobs.lock().expect("job table poisoned").get(&id).cloned()
+    }
+
+    /// Block until `id` reaches a terminal status.
+    pub fn wait(&self, id: JobId) -> Option<JobStatus> {
+        let mut jobs = self.state.jobs.lock().expect("job table poisoned");
+        loop {
+            match jobs.get(&id) {
+                None => return None,
+                Some(s) if s.is_terminal() => return Some(s.clone()),
+                Some(_) => jobs = self.state.changed.wait(jobs).expect("job table poisoned"),
+            }
+        }
+    }
+
+    fn stop(&mut self) {
+        let _ = self.tx.send(None);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for JobRunner {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Execute one job; returns the registered version or a failure message.
+/// Engine panics (degenerate specs trip `assert!`s, e.g. `k > n`) are
+/// caught and reported like errors.
+fn run_job(registry: &ModelRegistry, spec: &TrainSpec) -> Result<u32, String> {
+    let centroids = catch_unwind(AssertUnwindSafe(|| train(spec))).map_err(|p| match p
+        .downcast_ref::<String>()
+    {
+        Some(s) => format!("engine panicked: {s}"),
+        None => match p.downcast_ref::<&str>() {
+            Some(s) => format!("engine panicked: {s}"),
+            None => "engine panicked".to_string(),
+        },
+    })??;
+    Ok(registry.register(&spec.model, spec.algo.clone(), centroids))
+}
+
+/// Run the configured engine and return the trained centroid matrix.
+fn train(spec: &TrainSpec) -> Result<DMatrix, String> {
+    let load = |p: &PathBuf| matrix_io::read_matrix(p).map_err(|e| format!("read {p:?}: {e}"));
+    match spec.engine {
+        EngineKind::Im => {
+            let data = match &spec.source {
+                TrainSource::File(p) => load(p)?,
+                TrainSource::Matrix(m) => m.clone(),
+            };
+            let mut cfg = KmeansConfig::new(spec.k)
+                .with_seed(spec.seed)
+                .with_algo(spec.algo.clone())
+                .with_max_iters(spec.max_iters)
+                .with_sse(false);
+            if let Some(t) = spec.threads {
+                cfg = cfg.with_threads(t);
+            }
+            Ok(Kmeans::new(cfg).fit(&data).centroids)
+        }
+        EngineKind::Sem => {
+            let path = match &spec.source {
+                TrainSource::File(p) => p.clone(),
+                TrainSource::Matrix(_) => return Err("sem engine trains from a file source".into()),
+            };
+            let mut cfg = SemConfig::new(spec.k)
+                .with_seed(spec.seed)
+                .with_algo(spec.algo.clone())
+                .with_max_iters(spec.max_iters);
+            if let Some(t) = spec.threads {
+                cfg = cfg.with_threads(t);
+            }
+            let r = SemKmeans::new(cfg).fit(&path).map_err(|e| format!("sem run: {e}"))?;
+            Ok(r.kmeans.centroids)
+        }
+        EngineKind::Dist => {
+            let data = match &spec.source {
+                TrainSource::File(p) => load(p)?,
+                TrainSource::Matrix(m) => m.clone(),
+            };
+            let cfg = DistConfig::new(spec.k, spec.ranks.max(1), spec.threads.unwrap_or(2))
+                .with_seed(spec.seed)
+                .with_algo(spec.algo.clone())
+                .with_max_iters(spec.max_iters);
+            Ok(DistKmeans::new(cfg).fit(&data).centroids)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knor_workloads::MixtureSpec;
+
+    fn tiny_data(n: usize, d: usize) -> DMatrix {
+        MixtureSpec::friendster_like(n, d, 11).generate().data
+    }
+
+    #[test]
+    fn jobs_run_register_and_report() {
+        let registry = Arc::new(ModelRegistry::new());
+        let runner = JobRunner::start(Arc::clone(&registry));
+        let data = tiny_data(300, 4);
+        let id = runner.submit(TrainSpec {
+            threads: Some(2),
+            ..TrainSpec::new("gmm", 5, TrainSource::Matrix(data))
+        });
+        let status = runner.wait(id).unwrap();
+        assert_eq!(status, JobStatus::Done { version: 1 });
+        let entry = registry.get("gmm").unwrap();
+        assert_eq!(entry.model.k(), 5);
+        assert_eq!(entry.model.d(), 4);
+        assert!(runner.status(JobId(999)).is_none());
+    }
+
+    #[test]
+    fn all_engines_train_from_a_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("knor-serve-jobs-{}.knor", std::process::id()));
+        matrix_io::write_matrix(&path, &tiny_data(400, 3)).unwrap();
+        let registry = Arc::new(ModelRegistry::new());
+        let runner = JobRunner::start(Arc::clone(&registry));
+        for engine in [EngineKind::Im, EngineKind::Sem, EngineKind::Dist] {
+            let id = runner.submit(TrainSpec {
+                engine,
+                threads: Some(2),
+                ..TrainSpec::new(engine.name(), 4, TrainSource::File(path.clone()))
+            });
+            match runner.wait(id).unwrap() {
+                JobStatus::Done { version: 1 } => {}
+                other => panic!("{}: {other:?}", engine.name()),
+            }
+            assert_eq!(registry.get(engine.name()).unwrap().model.k(), 4);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failures_are_reported_not_fatal() {
+        let registry = Arc::new(ModelRegistry::new());
+        let runner = JobRunner::start(Arc::clone(&registry));
+        // Missing file → error; k > n → engine assert caught as panic.
+        let bad_file = runner.submit(TrainSpec::new(
+            "nope",
+            3,
+            TrainSource::File(PathBuf::from("/nonexistent/x.knor")),
+        ));
+        match runner.wait(bad_file).unwrap() {
+            JobStatus::Failed { message } => assert!(message.contains("read")),
+            other => panic!("{other:?}"),
+        }
+        let degenerate =
+            runner.submit(TrainSpec::new("nope2", 50, TrainSource::Matrix(tiny_data(10, 2))));
+        match runner.wait(degenerate).unwrap() {
+            JobStatus::Failed { message } => {
+                assert!(message.contains("panicked"), "{message}")
+            }
+            other => panic!("{other:?}"),
+        }
+        // The runner survives: a good job still completes.
+        let ok = runner.submit(TrainSpec::new("fine", 3, TrainSource::Matrix(tiny_data(100, 2))));
+        assert_eq!(runner.wait(ok).unwrap(), JobStatus::Done { version: 1 });
+        assert!(registry.get("nope").is_none());
+    }
+
+    #[test]
+    fn engine_kind_round_trip() {
+        for e in [EngineKind::Im, EngineKind::Sem, EngineKind::Dist] {
+            assert_eq!(EngineKind::parse(e.name()), Some(e));
+        }
+        assert_eq!(EngineKind::parse("gpu"), None);
+    }
+}

@@ -1,0 +1,402 @@
+//! The persistent, NUMA-bound predict worker pool.
+//!
+//! Queries arrive as contiguous row blocks; the pool splits them into
+//! chunks and routes every chunk through the PR-2 kernel layer
+//! ([`knor_core::kernel::assign_rows`]) — the same tile-scan micro-kernels
+//! the training engines use, so predict throughput inherits every
+//! training-kernel optimization and stays **bitwise identical** to the
+//! serial per-row [`knor_core::distance::nearest`] scan (chunk boundaries
+//! cannot change per-row results; the serve layer resolves kernels in
+//! exact mode, see [`crate::resolve_predict_kernel`]).
+//!
+//! Threads are spawned once, bound round-robin across NUMA nodes (the
+//! paper's node-granularity binding, not core pinning), and live for the
+//! pool's lifetime; per-worker scratch is grow-only, so steady-state
+//! predict calls do no per-row allocation. A worker that panics mid-chunk
+//! is caught (`catch_unwind`), the call reports an error instead of
+//! deadlocking, and the worker keeps serving later calls — mirroring the
+//! prefetch pool's no-silent-loss contract.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use knor_core::kernel::assign_rows;
+use knor_core::{Normalization, ResolvedKernel};
+use knor_matrix::shared::SharedRows;
+use knor_numa::bind::bind_current_thread;
+use knor_numa::{NodeId, Topology};
+
+use crate::registry::ModelEntry;
+
+/// Grow-only per-worker buffers (staged/normalized rows + kernel outputs).
+struct Scratch {
+    data: Vec<f64>,
+    best: Vec<u32>,
+    dist: Vec<f64>,
+}
+
+enum Task {
+    Chunk { ctx: Arc<CallCtx>, lo: usize, hi: usize },
+    Shutdown,
+}
+
+/// The caller's query block, shared with workers by raw pointer. Valid for
+/// the duration of one predict call: the submitting thread blocks on the
+/// call's latch before the borrow it was built from expires.
+struct RawRows {
+    ptr: *const f64,
+    len: usize,
+}
+
+// Safety: see `RawRows` — the pointee outlives every worker access because
+// `predict` joins the latch before returning, and workers only read.
+unsafe impl Send for RawRows {}
+unsafe impl Sync for RawRows {}
+
+/// Shared state of one in-flight predict call.
+struct CallCtx {
+    entry: Arc<ModelEntry>,
+    rk: ResolvedKernel,
+    queries: RawRows,
+    d: usize,
+    out_assign: SharedRows<u32>,
+    out_dist: SharedRows<f64>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl CallCtx {
+    /// Process rows `[lo, hi)` of the call's query block.
+    fn run_chunk(&self, lo: usize, hi: usize, scratch: &mut Scratch) {
+        let d = self.d;
+        let m = hi - lo;
+        // Safety (RawRows): the caller's block outlives the latch.
+        let rows = unsafe { std::slice::from_raw_parts(self.queries.ptr.add(lo * d), m * d) };
+        let model = &self.entry.model;
+        let block: &[f64] = match model.normalization {
+            Normalization::None => rows,
+            norm => {
+                // Stage the normalized rows; same arithmetic as training.
+                scratch.data.clear();
+                scratch.data.resize(m * d, 0.0);
+                for (src, dst) in rows.chunks_exact(d).zip(scratch.data.chunks_exact_mut(d)) {
+                    norm.apply(src, dst);
+                }
+                &scratch.data
+            }
+        };
+        assign_rows(
+            block,
+            d,
+            &model.centroids,
+            &self.rk,
+            &[],
+            &mut scratch.best,
+            &mut scratch.dist,
+            true,
+        );
+        for i in 0..m {
+            // Safety (SharedRows): chunk ranges are disjoint, and the
+            // caller reads only after the latch (lock + condvar) closes.
+            unsafe {
+                *self.out_assign.get_mut(lo + i) = scratch.best[i];
+                *self.out_dist.get_mut(lo + i) = scratch.dist[i];
+            }
+        }
+    }
+
+    /// Count a chunk done (runs even when the chunk panicked, so the
+    /// waiting caller never deadlocks).
+    fn complete_chunk(&self) {
+        let mut left = self.remaining.lock().expect("predict latch poisoned");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Why a predict call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// Query dimensionality does not match the model.
+    DimMismatch {
+        /// The model's `d`.
+        expected: usize,
+        /// The queries' `d`.
+        got: usize,
+    },
+    /// A worker panicked while computing part of this call.
+    WorkerPanic,
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::DimMismatch { expected, got } => {
+                write!(f, "query dimensionality {got} does not match model d={expected}")
+            }
+            PredictError::WorkerPanic => write!(f, "a serving worker panicked mid-batch"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// The persistent worker pool.
+pub struct WorkerPool {
+    tx: Sender<Task>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+    chunk_cap: usize,
+    panics: Arc<AtomicU64>,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers bound round-robin across `topo`'s nodes
+    /// (binding is a no-op on synthetic topologies). `chunk_cap` bounds
+    /// rows per chunk for load balance on large batches.
+    pub fn spawn(threads: usize, topo: &Topology, chunk_cap: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx): (Sender<Task>, Receiver<Task>) = unbounded();
+        let panics = Arc::new(AtomicU64::new(0));
+        let nnodes = topo.nodes().max(1);
+        let handles = (0..threads)
+            .map(|w| {
+                let rx = rx.clone();
+                let topo = topo.clone();
+                let panics = Arc::clone(&panics);
+                std::thread::spawn(move || {
+                    let _ = bind_current_thread(&topo, NodeId(w % nnodes));
+                    let mut scratch =
+                        Scratch { data: Vec::new(), best: Vec::new(), dist: Vec::new() };
+                    while let Ok(task) = rx.recv() {
+                        match task {
+                            Task::Chunk { ctx, lo, hi } => {
+                                let r = catch_unwind(AssertUnwindSafe(|| {
+                                    ctx.run_chunk(lo, hi, &mut scratch)
+                                }));
+                                if r.is_err() {
+                                    ctx.panicked.store(true, Ordering::SeqCst);
+                                    panics.fetch_add(1, Ordering::Relaxed);
+                                }
+                                ctx.complete_chunk();
+                            }
+                            Task::Shutdown => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        Self { tx, handles, threads, chunk_cap: chunk_cap.max(1), panics }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Chunks a batch would be split into (bench/diagnostics).
+    pub fn chunks_for(&self, m: usize) -> usize {
+        m.div_ceil(self.chunk_rows(m)).max(1)
+    }
+
+    fn chunk_rows(&self, m: usize) -> usize {
+        // One chunk per worker, but never smaller than 64 rows (tiny tasks
+        // are all dispatch overhead) nor larger than the cap (load
+        // balance when workers finish unevenly).
+        let min_rows = 64.min(self.chunk_cap);
+        m.div_ceil(self.threads).clamp(min_rows, self.chunk_cap)
+    }
+
+    /// Worker panics caught so far (diagnostics).
+    pub fn caught_panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Assign every row of the `m × d` query block to its nearest centroid
+    /// of `entry`'s model under resolved kernel `rk`. Blocks until every
+    /// chunk completes; bitwise identical to the serial per-row scan. The
+    /// pool serves only exact kernels: a `NormTrick`-resolved `rk`
+    /// (whose scan would need centroid norms the pool does not carry) is
+    /// downgraded to `Tiled` here, same tiles, exact arithmetic.
+    pub fn predict(
+        &self,
+        entry: &Arc<ModelEntry>,
+        mut rk: ResolvedKernel,
+        queries: &[f64],
+        d: usize,
+    ) -> Result<(Vec<u32>, Vec<f64>), PredictError> {
+        if rk.kind == knor_core::ResolvedKind::NormTrick {
+            rk.kind = knor_core::ResolvedKind::Tiled;
+        }
+        let model_d = entry.model.d();
+        if d != model_d || !queries.len().is_multiple_of(d.max(1)) {
+            return Err(PredictError::DimMismatch { expected: model_d, got: d });
+        }
+        let m = queries.len() / d.max(1);
+        if m == 0 {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        let chunk = self.chunk_rows(m);
+        let nchunks = m.div_ceil(chunk);
+        let ctx = Arc::new(CallCtx {
+            entry: Arc::clone(entry),
+            rk,
+            queries: RawRows { ptr: queries.as_ptr(), len: queries.len() },
+            d,
+            out_assign: SharedRows::new(m, 0u32),
+            out_dist: SharedRows::new(m, 0.0f64),
+            remaining: Mutex::new(nchunks),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        debug_assert_eq!(ctx.queries.len, m * d);
+        let mut lo = 0usize;
+        while lo < m {
+            let hi = (lo + chunk).min(m);
+            self.tx
+                .send(Task::Chunk { ctx: Arc::clone(&ctx), lo, hi })
+                .expect("worker pool channel closed");
+            lo = hi;
+        }
+        // The latch: predict must not return (releasing the caller's query
+        // borrow) while any worker still holds a RawRows view.
+        {
+            let mut left = ctx.remaining.lock().expect("predict latch poisoned");
+            while *left > 0 {
+                left = ctx.done.wait(left).expect("predict latch poisoned");
+            }
+        }
+        if ctx.panicked.load(Ordering::SeqCst) {
+            return Err(PredictError::WorkerPanic);
+        }
+        Ok((ctx.out_assign.snapshot(), ctx.out_dist.snapshot()))
+    }
+
+    /// Stop and join every worker.
+    pub fn shutdown(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        for _ in 0..self.handles.len() {
+            let _ = self.tx.send(Task::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.join_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use knor_core::distance::nearest;
+    use knor_core::{Algorithm, KernelKind};
+    use knor_matrix::DMatrix;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(k: usize, d: usize, seed: u64) -> (ModelRegistry, Arc<ModelEntry>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cents: Vec<f64> = (0..k * d).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let reg = ModelRegistry::new();
+        reg.register("m", Algorithm::Lloyd, DMatrix::from_vec(cents, k, d));
+        let e = reg.get("m").unwrap();
+        (reg, e)
+    }
+
+    #[test]
+    fn pool_predict_matches_serial_nearest_bitwise() {
+        let (_reg, entry) = setup(9, 7, 3);
+        let pool = WorkerPool::spawn(4, &Topology::synthetic(2, 2), 128);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let m = 501; // several chunks + a remainder
+        let q: Vec<f64> = (0..m * 7).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let rk = KernelKind::Auto.resolve(9, 7, false);
+        let (a, dist) = pool.predict(&entry, rk, &q, 7).unwrap();
+        for (i, row) in q.chunks_exact(7).enumerate() {
+            let (ra, rd) = nearest(row, &entry.model.centroids.means, 9);
+            assert_eq!(a[i], ra as u32, "row {i}");
+            assert_eq!(dist[i].to_bits(), rd.to_bits(), "row {i} distance");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn normtrick_resolved_kernel_is_served_exactly() {
+        // The pool carries no centroid norms; a NormTrick-resolved kernel
+        // must downgrade to the exact tiled scan, not panic per chunk.
+        let (_reg, entry) = setup(9, 8, 12);
+        let pool = WorkerPool::spawn(2, &Topology::synthetic(1, 2), 128);
+        let rk = KernelKind::NormTrick.resolve(9, 8, false);
+        assert_eq!(rk.kind, knor_core::ResolvedKind::NormTrick);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let q: Vec<f64> = (0..200 * 8).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let (a, dist) = pool.predict(&entry, rk, &q, 8).unwrap();
+        assert_eq!(pool.caught_panics(), 0);
+        for (i, row) in q.chunks_exact(8).enumerate() {
+            let (ra, rd) = nearest(row, &entry.model.centroids.means, 9);
+            assert_eq!(a[i], ra as u32, "row {i}");
+            assert_eq!(dist[i].to_bits(), rd.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn dim_mismatch_is_rejected() {
+        let (_reg, entry) = setup(3, 4, 5);
+        let pool = WorkerPool::spawn(2, &Topology::synthetic(1, 2), 64);
+        let rk = KernelKind::Auto.resolve(3, 4, false);
+        let err = pool.predict(&entry, rk, &[0.0; 6], 3).unwrap_err();
+        assert_eq!(err, PredictError::DimMismatch { expected: 4, got: 3 });
+        // Ragged block under the right d is rejected too.
+        assert!(pool.predict(&entry, rk, &[0.0; 6], 4).is_err());
+        // Empty block is fine.
+        let (a, dd) = pool.predict(&entry, rk, &[], 4).unwrap();
+        assert!(a.is_empty() && dd.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_fails_the_call_not_the_pool() {
+        let (_reg, entry) = setup(2, 3, 6);
+        let pool = WorkerPool::spawn(2, &Topology::synthetic(1, 2), 64);
+        let rk = KernelKind::Auto.resolve(2, 3, false);
+        // Inject a chunk that panics inside `run_chunk`: d = 0 makes the
+        // kernel see zero rows, so the output copy indexes empty scratch.
+        // (The zero-length RawRows view is never dereferenced.)
+        pool.tx
+            .send(Task::Chunk {
+                ctx: Arc::new(CallCtx {
+                    entry: Arc::clone(&entry),
+                    rk,
+                    queries: RawRows { ptr: [0.0f64; 3].as_ptr(), len: 3 },
+                    d: 0, // division by zero shape → panic inside the chunk
+                    out_assign: SharedRows::new(1, 0),
+                    out_dist: SharedRows::new(1, 0.0),
+                    remaining: Mutex::new(1),
+                    done: Condvar::new(),
+                    panicked: AtomicBool::new(false),
+                }),
+                lo: 0,
+                hi: 1,
+            })
+            .unwrap();
+        // The pool must still answer real calls afterwards.
+        let q = [0.5, 0.5, 0.5];
+        let (a, _) = pool.predict(&entry, rk, &q, 3).unwrap();
+        assert_eq!(a.len(), 1);
+        assert!(pool.caught_panics() >= 1, "injected panic was not caught");
+        pool.shutdown();
+    }
+}

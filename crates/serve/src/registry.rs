@@ -1,0 +1,265 @@
+//! The model registry: named, versioned trained models plus their serving
+//! stats, with save/load through the knor binary matrix format.
+//!
+//! A model is the durable output of a training run: the centroid set, the
+//! algorithm that produced it, and the normalization its queries must
+//! undergo ([`knor_core::Normalization`]) — querying a spherical model
+//! without renormalizing answers a different question than the model was
+//! fitted to, so the normalization travels *with* the model, not with the
+//! caller.
+//!
+//! On disk a model is two files next to each other: `<name>-v<V>.knor`
+//! (the `k × d` centroid matrix, in the same self-describing binary format
+//! the engines train from) and `<name>-v<V>.meta` (a small key=value text
+//! sidecar carrying name/version/algorithm/normalization).
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+use knor_core::{Algorithm, Centroids, Normalization};
+use knor_matrix::{io as matrix_io, DMatrix};
+
+use crate::stats::ServeStats;
+
+/// A named, versioned, servable model.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Registry name.
+    pub name: String,
+    /// Version within the name (1-based, assigned at registration).
+    pub version: u32,
+    /// Algorithm that trained the centroids (metadata; drives
+    /// normalization and is recorded on save).
+    pub algo: Algorithm,
+    /// Query-row normalization contract.
+    pub normalization: Normalization,
+    /// The trained `k × d` centroid set.
+    pub centroids: Centroids,
+}
+
+impl Model {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.k()
+    }
+
+    /// Dimensionality queries must have.
+    pub fn d(&self) -> usize {
+        self.centroids.d
+    }
+}
+
+/// A registered model plus its live serving stats.
+pub struct ModelEntry {
+    /// The immutable model.
+    pub model: Model,
+    /// Mutating serving counters.
+    pub stats: ServeStats,
+}
+
+/// Thread-safe name → versions map. Reads (the predict hot path) take a
+/// shared lock and clone one `Arc`.
+pub struct ModelRegistry {
+    inner: RwLock<HashMap<String, Vec<Arc<ModelEntry>>>>,
+}
+
+impl ModelRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self { inner: RwLock::new(HashMap::new()) }
+    }
+
+    /// Register a trained centroid matrix under `name`; the normalization
+    /// is derived from `algo`. Returns the assigned version (previous
+    /// versions stay queryable via [`ModelRegistry::get_version`]).
+    pub fn register(&self, name: &str, algo: Algorithm, centroids: DMatrix) -> u32 {
+        self.register_model(name, algo, Centroids::from_matrix(&centroids))
+    }
+
+    /// [`ModelRegistry::register`] for an already-built [`Centroids`].
+    pub fn register_model(&self, name: &str, algo: Algorithm, centroids: Centroids) -> u32 {
+        let mut map = self.inner.write().expect("registry poisoned");
+        let versions = map.entry(name.to_string()).or_default();
+        let version = versions.last().map(|e| e.model.version).unwrap_or(0) + 1;
+        let normalization = algo.normalization();
+        versions.push(Arc::new(ModelEntry {
+            model: Model { name: name.to_string(), version, algo, normalization, centroids },
+            stats: ServeStats::new(),
+        }));
+        version
+    }
+
+    /// Latest version of `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.inner.read().expect("registry poisoned").get(name)?.last().cloned()
+    }
+
+    /// A specific version of `name`.
+    pub fn get_version(&self, name: &str, version: u32) -> Option<Arc<ModelEntry>> {
+        self.inner
+            .read()
+            .expect("registry poisoned")
+            .get(name)?
+            .iter()
+            .find(|e| e.model.version == version)
+            .cloned()
+    }
+
+    /// `(name, latest version, total queries across versions)` per model,
+    /// sorted by name.
+    pub fn list(&self) -> Vec<(String, u32, u64)> {
+        let map = self.inner.read().expect("registry poisoned");
+        let mut out: Vec<(String, u32, u64)> = map
+            .iter()
+            .map(|(name, vs)| {
+                let latest = vs.last().map(|e| e.model.version).unwrap_or(0);
+                let queries = vs.iter().map(|e| e.stats.queries()).sum();
+                (name.clone(), latest, queries)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Save the latest version of `name` under `dir` as
+    /// `<name>-v<V>.knor` + `<name>-v<V>.meta`. Returns the meta path.
+    pub fn save(&self, name: &str, dir: &Path) -> io::Result<PathBuf> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no model {name}")))?;
+        std::fs::create_dir_all(dir)?;
+        let m = &entry.model;
+        let stem = format!("{}-v{}", m.name, m.version);
+        matrix_io::write_matrix(&dir.join(format!("{stem}.knor")), &m.centroids.to_matrix())?;
+        let meta = format!(
+            "knor-serve-model v1\nname={}\nversion={}\nalgo={}\nnormalization={}\nk={}\nd={}\n",
+            m.name,
+            m.version,
+            m.algo.spec_string(),
+            m.normalization.name(),
+            m.k(),
+            m.d(),
+        );
+        let meta_path = dir.join(format!("{stem}.meta"));
+        std::fs::write(&meta_path, meta)?;
+        Ok(meta_path)
+    }
+
+    /// Load a model from its `.meta` path (the `.knor` must sit next to
+    /// it) and register it. The stored name/version are kept when the name
+    /// is free; a name collision appends as the next version instead of
+    /// clobbering.
+    pub fn load(&self, meta_path: &Path) -> io::Result<(String, u32)> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let text = std::fs::read_to_string(meta_path)?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("knor-serve-model v1") => {}
+            other => return Err(bad(format!("bad meta header {other:?}"))),
+        }
+        let mut fields: HashMap<&str, &str> = HashMap::new();
+        for line in lines {
+            if let Some((key, value)) = line.split_once('=') {
+                fields.insert(key, value);
+            }
+        }
+        let field = |key: &str| {
+            fields.get(key).copied().ok_or_else(|| bad(format!("meta missing `{key}`")))
+        };
+        let name = field("name")?.to_string();
+        let version: u32 = field("version")?.parse().map_err(|e| bad(format!("version: {e}")))?;
+        let algo = Algorithm::parse_spec(field("algo")?)
+            .ok_or_else(|| bad(format!("bad algo spec {:?}", fields["algo"])))?;
+        let normalization = Normalization::parse(field("normalization")?)
+            .ok_or_else(|| bad(format!("bad normalization {:?}", fields["normalization"])))?;
+        let matrix_path = meta_path.with_extension("knor");
+        let cents = Centroids::from_matrix(&matrix_io::read_matrix(&matrix_path)?);
+        let (k, d): (usize, usize) = (field("k")?.parse().map_err(|e| bad(format!("k: {e}")))?, {
+            field("d")?.parse().map_err(|e| bad(format!("d: {e}")))?
+        });
+        if cents.k() != k || cents.d != d {
+            return Err(bad(format!("meta says {k}x{d} but matrix is {}x{}", cents.k(), cents.d)));
+        }
+        let mut map = self.inner.write().expect("registry poisoned");
+        let versions = map.entry(name.clone()).or_default();
+        let version = versions.last().map(|e| e.model.version + 1).unwrap_or(version).max(1);
+        versions.push(Arc::new(ModelEntry {
+            model: Model { name: name.clone(), version, algo, normalization, centroids: cents },
+            stats: ServeStats::new(),
+        }));
+        Ok((name, version))
+    }
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cents(k: usize, d: usize, scale: f64) -> DMatrix {
+        DMatrix::from_vec((0..k * d).map(|x| x as f64 * scale).collect(), k, d)
+    }
+
+    #[test]
+    fn register_versions_and_lookup() {
+        let r = ModelRegistry::new();
+        assert_eq!(r.register("m", Algorithm::Lloyd, cents(3, 2, 1.0)), 1);
+        assert_eq!(r.register("m", Algorithm::Lloyd, cents(3, 2, 2.0)), 2);
+        assert_eq!(r.register("other", Algorithm::Spherical, cents(2, 2, 1.0)), 1);
+        let latest = r.get("m").unwrap();
+        assert_eq!(latest.model.version, 2);
+        assert_eq!(latest.model.centroids.mean(1), &[4.0, 6.0]);
+        let v1 = r.get_version("m", 1).unwrap();
+        assert_eq!(v1.model.centroids.mean(1), &[2.0, 3.0]);
+        assert!(r.get("missing").is_none());
+        assert_eq!(
+            r.get("other").unwrap().model.normalization,
+            Normalization::UnitRow,
+            "normalization must follow the algorithm"
+        );
+        let list = r.list();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0], ("m".into(), 2, 0));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("knor-serve-reg-{}", std::process::id()));
+        let r = ModelRegistry::new();
+        r.register("trip", Algorithm::Fuzzy { m: 1.5 }, cents(4, 3, 0.25));
+        let meta = r.save("trip", &dir).unwrap();
+        assert!(meta.ends_with("trip-v1.meta"));
+
+        let fresh = ModelRegistry::new();
+        let (name, version) = fresh.load(&meta).unwrap();
+        assert_eq!((name.as_str(), version), ("trip", 1));
+        let e = fresh.get("trip").unwrap();
+        assert_eq!(e.model.algo, Algorithm::Fuzzy { m: 1.5 });
+        assert_eq!(e.model.normalization, Normalization::None);
+        assert_eq!(e.model.centroids, Centroids::from_matrix(&cents(4, 3, 0.25)));
+
+        // Loading into an occupied name appends a new version.
+        let (_, v2) = fresh.load(&meta).unwrap();
+        assert_eq!(v2, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_meta() {
+        let dir = std::env::temp_dir().join(format!("knor-serve-regbad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("x.meta");
+        std::fs::write(&p, "not a model\n").unwrap();
+        assert!(ModelRegistry::new().load(&p).is_err());
+        std::fs::write(&p, "knor-serve-model v1\nname=x\nversion=1\nalgo=wat\n").unwrap();
+        assert!(ModelRegistry::new().load(&p).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -9,9 +9,17 @@
 //! knor sem  <file.knor> -k 10 [--row-cache MB] [--page-cache MB]
 //! knor dist <file.knor> -k 10 [--ranks R] [--star]
 //! knor gen  <file.knor> --dataset friendster8|friendster32|rm856m|rm1b|ru2b --scale f
+//!
+//! knor serve --addr H:P [-t N]                      run a serving instance
+//! knor train --addr H:P --model M --file F -k 10    submit a train job
+//!            [--engine im|sem|dist] [--algo ...] [-i N] [--seed S] [--wait]
+//! knor query --addr H:P --model M --file Q.knor     stream queries, print stats
+//!            [--limit N] [--batch B]
+//! knor ctl   --addr H:P list|stats M|save M DIR|shutdown
 //! ```
 
 use knor::prelude::*;
+use knor::serve::tcp::{Client, TcpServer};
 use std::path::PathBuf;
 use std::process::exit;
 
@@ -32,6 +40,13 @@ struct Opts {
     algo: String,
     fuzz: f64,
     batch: usize,
+    addr: String,
+    model: String,
+    engine: String,
+    wait: bool,
+    limit: usize,
+    /// Positional words after the mode (the `ctl` subcommand).
+    rest: Vec<String>,
 }
 
 fn usage() -> ! {
@@ -42,18 +57,29 @@ fn usage() -> ! {
          \x20          [--fuzz M] [--batch B]\n\
          \x20          [--row-cache MB] [--page-cache MB]   (sem)\n\
          \x20          [--ranks R] [--star]                 (dist)\n\
-         \x20          [--dataset NAME] [--scale F]         (gen)"
+         \x20          [--dataset NAME] [--scale F]         (gen)\n\
+         \x20      knor serve --addr H:P [-t THREADS]\n\
+         \x20      knor train --addr H:P --model M --file F.knor [-k K] [-i N]\n\
+         \x20          [--engine im|sem|dist] [--algo A] [--seed S] [--wait]\n\
+         \x20      knor query --addr H:P --model M --file Q.knor [--limit N] [--batch B]\n\
+         \x20      knor ctl --addr H:P <list | stats MODEL | save MODEL DIR | shutdown>"
     );
     exit(2)
 }
 
 fn parse(args: &[String]) -> (String, Opts) {
-    if args.len() < 2 {
+    if args.is_empty() {
         usage();
     }
     let mode = args[0].clone();
+    // The training/generation modes take a positional file; the serving
+    // modes are flag-driven (ctl keeps trailing words as its subcommand).
+    let positional_file = matches!(mode.as_str(), "im" | "sem" | "dist" | "gen");
+    if positional_file && args.len() < 2 {
+        usage();
+    }
     let mut o = Opts {
-        file: PathBuf::from(&args[1]),
+        file: if positional_file { PathBuf::from(&args[1]) } else { PathBuf::new() },
         k: 10,
         iters: 100,
         threads: None,
@@ -69,8 +95,14 @@ fn parse(args: &[String]) -> (String, Opts) {
         algo: "lloyd".into(),
         fuzz: 2.0,
         batch: 0,
+        addr: "127.0.0.1:7979".into(),
+        model: String::new(),
+        engine: "im".into(),
+        wait: false,
+        limit: 0,
+        rest: Vec::new(),
     };
-    let mut i = 2;
+    let mut i = if positional_file { 2 } else { 1 };
     while i < args.len() {
         let flag = args[i].as_str();
         let val = |i: &mut usize| -> String {
@@ -93,6 +125,15 @@ fn parse(args: &[String]) -> (String, Opts) {
             "--algo" => o.algo = val(&mut i),
             "--fuzz" => o.fuzz = val(&mut i).parse().unwrap_or_else(|_| usage()),
             "--batch" => o.batch = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--addr" => o.addr = val(&mut i),
+            "--model" => o.model = val(&mut i),
+            "--engine" => o.engine = val(&mut i),
+            "--file" => o.file = PathBuf::from(val(&mut i)),
+            "--wait" => o.wait = true,
+            "--limit" => o.limit = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            // Only `ctl` takes trailing positional words (its subcommand);
+            // anywhere else a stray word is a mistake, not ignorable.
+            word if !word.starts_with('-') && mode == "ctl" => o.rest.push(word.to_string()),
             _ => usage(),
         }
         i += 1;
@@ -220,6 +261,102 @@ fn main() {
             let t0 = std::time::Instant::now();
             let r = DistKmeans::new(cfg).fit(&data);
             report("knord", r.niters, r.converged, r.sse, t0.elapsed());
+        }
+        "serve" => {
+            let mut cfg = ServeConfig::default();
+            if let Some(t) = o.threads {
+                cfg = cfg.with_threads(t);
+            }
+            let handle = ServeHandle::start(cfg);
+            let server = TcpServer::bind(handle, &*o.addr).expect("bind failed");
+            println!("knor-serve listening on {}", server.addr());
+            server.join();
+            println!("knor-serve stopped");
+        }
+        "train" => {
+            if o.model.is_empty() || o.file.as_os_str().is_empty() {
+                eprintln!("train needs --model and --file");
+                usage()
+            }
+            let engine = EngineKind::parse(&o.engine).unwrap_or_else(|| {
+                eprintln!("unknown engine '{}'", o.engine);
+                usage()
+            });
+            // The mini-batch default batch (`n/10`) needs n: one header read.
+            let n = matrix_io::read_header(&o.file).map(|h| h.nrow as usize).unwrap_or(0);
+            let algo = algorithm(&o, n.max(1));
+            let mut c = Client::connect(&*o.addr).expect("connect failed");
+            let job = c
+                .train(&o.model, engine, &algo, o.k, o.iters, o.seed, &o.file)
+                .expect("train submit failed");
+            println!("submitted job {job} (model {}, engine {})", o.model, engine.name());
+            if o.wait {
+                let status =
+                    c.wait(job, std::time::Duration::from_millis(50)).expect("poll failed");
+                println!("job {job}: {status}");
+                if status.starts_with("failed") {
+                    exit(1);
+                }
+            }
+        }
+        "query" => {
+            if o.model.is_empty() || o.file.as_os_str().is_empty() {
+                eprintln!("query needs --model and --file");
+                usage()
+            }
+            let data = matrix_io::read_matrix(&o.file).expect("read failed");
+            let n = if o.limit > 0 { o.limit.min(data.nrow()) } else { data.nrow() };
+            let d = data.ncol();
+            let batch = if o.batch > 0 { o.batch } else { 64 };
+            let mut c = Client::connect(&*o.addr).expect("connect failed");
+            let t0 = std::time::Instant::now();
+            let mut hist = vec![0u64; o.k.max(1)];
+            let mut sent = 0usize;
+            while sent < n {
+                let hi = (sent + batch).min(n);
+                let block = &data.as_slice()[sent * d..hi * d];
+                let out = c.query_block(&o.model, block, d).expect("query failed");
+                for (cluster, _) in out {
+                    if (cluster as usize) < hist.len() {
+                        hist[cluster as usize] += 1;
+                    } else {
+                        hist.resize(cluster as usize + 1, 0);
+                        hist[cluster as usize] = 1;
+                    }
+                }
+                sent = hi;
+            }
+            let elapsed = t0.elapsed();
+            let (wire_out, wire_in) = c.wire_bytes();
+            println!(
+                "{n} queries in {elapsed:.2?} ({:.0} q/s client-side), wire {wire_out}B out / {wire_in}B in",
+                n as f64 / elapsed.as_secs_f64().max(1e-9),
+            );
+            let nonzero = hist.iter().filter(|&&c| c > 0).count();
+            println!("assignments hit {nonzero} clusters");
+            let stats = c.stats(&o.model).expect("stats failed");
+            println!("stats: {stats}");
+        }
+        "ctl" => {
+            let mut c = Client::connect(&*o.addr).expect("connect failed");
+            let cmd = o.rest.first().map(String::as_str).unwrap_or("");
+            let out = match (cmd, o.rest.get(1), o.rest.get(2)) {
+                ("list", None, None) => c.list(),
+                ("stats", Some(model), None) => c.stats(model),
+                ("save", Some(model), Some(dir)) => c.save(model, std::path::Path::new(dir)),
+                ("shutdown", None, None) => c.shutdown().map(|()| "bye".to_string()),
+                _ => {
+                    eprintln!("ctl expects: list | stats MODEL | save MODEL DIR | shutdown");
+                    usage()
+                }
+            };
+            match out {
+                Ok(line) => println!("{line}"),
+                Err(e) => {
+                    eprintln!("ctl {cmd} failed: {e}");
+                    exit(1)
+                }
+            }
         }
         _ => usage(),
     }

@@ -38,6 +38,7 @@ pub use knor_numa as numa;
 pub use knor_safs as safs;
 pub use knor_sched as sched;
 pub use knor_sem as sem;
+pub use knor_serve as serve;
 pub use knor_workloads as workloads;
 
 pub use knor_core::{
@@ -46,6 +47,7 @@ pub use knor_core::{
 pub use knor_dist::{DistConfig, DistKmeans, DistResult};
 pub use knor_matrix::DMatrix;
 pub use knor_sem::{SemConfig, SemInit, SemKmeans, SemResult};
+pub use knor_serve::{ServeConfig, ServeHandle};
 
 /// One-stop imports for typical use.
 pub mod prelude {
@@ -57,5 +59,8 @@ pub mod prelude {
     pub use knor_mpi::ReduceAlgo;
     pub use knor_sched::SchedulerKind;
     pub use knor_sem::{SemConfig, SemInit, SemKmeans, SemResult};
+    pub use knor_serve::{
+        EngineKind, Prediction, ServeConfig, ServeHandle, StatsSnapshot, TrainSource, TrainSpec,
+    };
     pub use knor_workloads::{MixtureSpec, PaperDataset};
 }
