@@ -20,9 +20,9 @@ use knor_bench::regression::{compare, parse_metrics, render_metrics, Metric, DEF
 use knor_core::centroids::Centroids;
 use knor_core::kernel::{assign_rows, centroid_sqnorms, KernelKind};
 use knor_core::{Algorithm, InitMethod, Kmeans, KmeansConfig};
-use knor_dist::{DistConfig, DistKmeans};
+use knor_dist::{DistConfig, DistKmeans, RankPlane};
 use knor_matrix::{io as matrix_io, DMatrix};
-use knor_sem::{SemConfig, SemKmeans};
+use knor_sem::{SemConfig, SemKmeans, SemPlaneConfig};
 use knor_serve::{ServeConfig, ServeHandle};
 use knor_workloads::{uniform_matrix, MixtureSpec};
 
@@ -94,6 +94,31 @@ fn engine_metrics(out: &mut Vec<Metric>) {
     out.push(Metric { name: "algo.lloyd.knord".into(), per_sec: 1e9 / dist_ns });
 }
 
+/// Plane metrics: Lloyd iterations/s on knord with per-rank SEM planes
+/// (the PR-5 dist×Sem composition — gated so the staged plane's hot path
+/// cannot silently regress).
+fn plane_metrics(out: &mut Vec<Metric>) {
+    let (n, k, d, iters) = (20_000, 16, 8, 6);
+    let data = MixtureSpec::friendster_like(n, d, 7).generate().data;
+    let path =
+        std::env::temp_dir().join(format!("knor-bench-check-plane-{}.knor", std::process::id()));
+    matrix_io::write_matrix(&path, &data).expect("write bench data");
+    let r = DistKmeans::new(
+        DistConfig::new(k, 2, 2)
+            .with_seed(3)
+            .with_init(InitMethod::Forgy)
+            .with_plane(RankPlane::Sem(
+                SemPlaneConfig::default().with_row_cache_bytes((n * d * 8 / 2) as u64),
+            ))
+            .with_max_iters(iters),
+    )
+    .fit_file(&path)
+    .expect("dist+sem run");
+    let ns = r.iters.iter().map(|i| i.wall_ns as f64).sum::<f64>() / r.iters.len().max(1) as f64;
+    out.push(Metric { name: "plane.lloyd.dist_sem".into(), per_sec: 1e9 / ns });
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Serve metrics: predict queries/s at batch 1 and 1024.
 fn serve_metrics(out: &mut Vec<Metric>) {
     let (k, d) = (16, 16);
@@ -149,6 +174,7 @@ fn main() {
     let mut fresh: Vec<Metric> = Vec::new();
     kernel_metrics(&mut fresh);
     engine_metrics(&mut fresh);
+    plane_metrics(&mut fresh);
     serve_metrics(&mut fresh);
     for m in &fresh {
         println!("  {:<20} {:>14.0} /s", m.name, m.per_sec);

@@ -1,0 +1,146 @@
+//! PR 5 data-plane benchmark: the engine×plane matrix on the headline
+//! shape (n = 100k, k = 64, d = 32), seeding `results/BENCH_PR5.json`.
+//!
+//! Three configurations cluster the same file from the same init for a
+//! fixed iteration budget:
+//!
+//! * **knors** — the single-machine SEM engine (the pre-PR-5 baseline for
+//!   out-of-core data);
+//! * **dist+im** — knord, 2 ranks, each holding its slice in memory;
+//! * **dist+sem** — knord, 2 ranks, each streaming its own byte range
+//!   through a private SEM plane (the new memory-constrained-cluster
+//!   deployment, Fig. 13's shape).
+//!
+//! Reported: iterations/s of the whole engine loop and device read bytes
+//! (total, and per rank for dist+sem — each rank reads only its slice).
+//!
+//! `--smoke` runs a tiny shape for CI (compile + wiring checks, no perf
+//! assertions) and does **not** touch `results/` — the committed JSON is
+//! always full-mode.
+
+use knor_bench::save_results;
+use knor_core::{InitMethod, Pruning};
+use knor_dist::{DistConfig, DistKmeans, RankPlane};
+use knor_matrix::io::write_matrix;
+use knor_sem::{SemConfig, SemInit, SemKmeans, SemPlaneConfig};
+use knor_workloads::MixtureSpec;
+
+struct Run {
+    config: &'static str,
+    iters: usize,
+    wall_ns: u128,
+    read_bytes: u64,
+    per_rank_read: Vec<u64>,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, k, d, iters) = if smoke { (3000, 8, 5, 3) } else { (100_000, 64, 32, 8) };
+    let ranks = 2usize;
+    let data = MixtureSpec::friendster_like(n, d, 42).generate().data;
+    let init = InitMethod::Forgy.initialize(&data, k, 7).to_matrix();
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("knor-bench-plane-{}.knor", std::process::id()));
+    write_matrix(&path, &data).expect("stage data file");
+
+    // Identical per-plane budgets: a quarter of the data per rank fits
+    // the row cache, so the hit path is exercised without hiding I/O.
+    let rc_bytes = (n * d * 8 / 4) as u64;
+    let plane_cfg = SemPlaneConfig::default().with_row_cache_bytes(rc_bytes);
+
+    println!(
+        "{:>9} {:>10} {:>12} {:>10} {:>14} {:>20}",
+        "config", "iters", "wall_ms", "iter/s", "read_MB", "per_rank_read_MB"
+    );
+    let mut runs: Vec<Run> = Vec::new();
+    let mut record =
+        |config: &'static str, iters: usize, wall_ns: u128, read: u64, per_rank: Vec<u64>| {
+            let ips = iters as f64 / (wall_ns as f64 / 1e9);
+            let per = per_rank
+                .iter()
+                .map(|b| format!("{:.1}", *b as f64 / 1e6))
+                .collect::<Vec<_>>()
+                .join("/");
+            println!(
+                "{config:>9} {iters:>10} {:>10.2}ms {ips:>10.2} {:>14.1} {per:>20}",
+                wall_ns as f64 / 1e6,
+                read as f64 / 1e6
+            );
+            runs.push(Run { config, iters, wall_ns, read_bytes: read, per_rank_read: per_rank });
+        };
+
+    // knors — the single-machine SEM baseline.
+    let t0 = std::time::Instant::now();
+    let r = SemKmeans::new(
+        SemConfig::new(k)
+            .with_init(SemInit::Given(init.clone()))
+            .with_pruning(Pruning::None)
+            .with_row_cache_bytes(rc_bytes * ranks as u64)
+            .with_max_iters(iters),
+    )
+    .fit(&path)
+    .expect("knors run");
+    let read: u64 = r.io.iter().map(|i| i.bytes_read).sum();
+    record("knors", r.kmeans.niters, t0.elapsed().as_nanos(), read, Vec::new());
+
+    // dist + in-memory ranks.
+    let base = DistConfig::new(k, ranks, 2)
+        .with_init(InitMethod::Given(init.clone()))
+        .with_pruning(Pruning::None)
+        .with_max_iters(iters);
+    let t0 = std::time::Instant::now();
+    let r = DistKmeans::new(base.clone()).fit_file(&path).expect("dist+im run");
+    record("dist_im", r.niters, t0.elapsed().as_nanos(), 0, Vec::new());
+
+    // dist + SEM ranks, each over its own byte range.
+    let t0 = std::time::Instant::now();
+    let r = DistKmeans::new(base.with_plane(RankPlane::Sem(plane_cfg)))
+        .fit_file(&path)
+        .expect("dist+sem run");
+    let per_rank: Vec<u64> =
+        r.rank_io.iter().map(|rio| rio.io.iter().map(|i| i.bytes_read).sum()).collect();
+    let read = per_rank.iter().sum();
+    record("dist_sem", r.niters, t0.elapsed().as_nanos(), read, per_rank);
+
+    std::fs::remove_file(&path).ok();
+
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            let per = r.per_rank_read.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+            format!(
+                concat!(
+                    "    {{\"config\": \"{}\", \"iters\": {}, \"wall_ns\": {}, ",
+                    "\"iters_per_sec\": {:.3}, \"read_bytes\": {}, \"per_rank_read_bytes\": [{}]}}"
+                ),
+                r.config,
+                r.iters,
+                r.wall_ns,
+                r.iters as f64 / (r.wall_ns as f64 / 1e9),
+                r.read_bytes,
+                per
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"plane_matrix\",\n  \"pr\": 5,\n  \"mode\": \"{}\",\n",
+            "  \"n\": {}, \"k\": {}, \"d\": {}, \"ranks\": {},\n",
+            "  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        n,
+        k,
+        d,
+        ranks,
+        rows.join(",\n")
+    );
+    if smoke {
+        // CI runs smoke on every build; never clobber the committed
+        // full-mode artifact with tiny-shape numbers.
+        println!("\n[smoke mode: JSON not saved]\n{json}");
+    } else {
+        save_results("BENCH_PR5.json", &json);
+    }
+}

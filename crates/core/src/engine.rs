@@ -22,11 +22,10 @@ use knor_sched::{SchedulerKind, TaskQueue, DEFAULT_TASK_SIZE};
 
 use crate::algo::Algorithm;
 use crate::centroids::LocalAccum;
-use crate::driver::{
-    drain_queue_kernel, run_mm, DriverConfig, IterView, LloydBackend, WorkerReport,
-};
+use crate::driver::{drain_queue_kernel, run_mm, DriverConfig, IterView, WorkerReport};
 use crate::init::InitMethod;
 use crate::kernel::{KernelKind, KernelScratch};
+use crate::plane::{DataPlane, PlaneBackend};
 use crate::pruning::Pruning;
 use crate::stats::{KmeansResult, MemoryFootprint};
 use crate::sync::ExclusiveCell;
@@ -276,7 +275,8 @@ impl Kmeans {
                 .map(|_| ExclusiveCell::new(KernelScratch::new(&rk, d)))
                 .collect(),
         };
-        let outcome = run_mm(&driver_cfg, init_cents, &placement, &queue, &backend, &*algo);
+        let outcome =
+            run_mm(&driver_cfg, init_cents, &placement, &queue, &PlaneBackend(&backend), &*algo);
 
         let mut assignments = outcome.assignments;
         if algo.subsamples() {
@@ -314,8 +314,9 @@ impl Kmeans {
     }
 }
 
-/// The in-memory backend: NUMA-aware (or oblivious) row access with exact
-/// access tallies, plugged into the shared [`crate::driver`] protocol.
+/// The in-memory NUMA data plane: NUMA-aware (or oblivious) row access
+/// with exact access tallies, run through the shared [`crate::driver`]
+/// protocol via [`PlaneBackend`].
 struct ImBackend<'a, 'data> {
     cfg: &'a KmeansConfig,
     topo: &'a Topology,
@@ -328,7 +329,7 @@ struct ImBackend<'a, 'data> {
     scratch: Vec<ExclusiveCell<KernelScratch>>,
 }
 
-impl LloydBackend for ImBackend<'_, '_> {
+impl DataPlane for ImBackend<'_, '_> {
     fn worker_start(&self, w: usize) {
         if self.cfg.numa_aware {
             let _ = bind_current_thread(self.topo, self.thread_node[w]);

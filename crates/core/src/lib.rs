@@ -52,6 +52,7 @@ pub mod driver;
 pub mod engine;
 pub mod init;
 pub mod kernel;
+pub mod plane;
 pub mod pruning;
 pub mod quality;
 pub mod serial;
@@ -64,5 +65,6 @@ pub use driver::{DriverConfig, DriverOutcome, IterView, LloydBackend, ReduceRepo
 pub use engine::{Kmeans, KmeansConfig};
 pub use init::InitMethod;
 pub use kernel::{KernelKind, KernelScratch, ResolvedKernel, ResolvedKind};
+pub use plane::{DataPlane, PlaneBackend, SlicePlane, StagedScratch, StagedSource};
 pub use pruning::Pruning;
 pub use stats::{IterStats, KmeansResult, MemoryFootprint};

@@ -16,6 +16,19 @@
 //! produce bitwise-identical centroids — the run's trajectory depends only
 //! on the data, never on the transport topology.
 //!
+//! **Data planes.** The paper's knord runs *either* knori or knors on
+//! every node (§3.3, Figs. 11–13) — in-memory when each machine can hold
+//! its slice, semi-external when it cannot. The [`RankPlane`] knob selects
+//! the per-rank plane: [`RankPlane::InMemory`] mounts each rank's slice as
+//! a `knor_core::plane::SlicePlane`, [`RankPlane::Sem`] has each rank open
+//! its own byte range of the shared on-disk matrix through a private
+//! [`knor_sem::SemPlane`] (own row cache, page cache, prefetch pool and
+//! I/O counters — surfaced per rank in [`DistResult::rank_io`]). SEM ranks
+//! need a file, so they run through [`DistKmeans::fit_file`]; and because
+//! both planes stage and commit rows in task row order and the allreduce
+//! sums in canonical rank order, the trajectory is independent of where
+//! the rows physically live.
+//!
 //! Under MTI pruning the reduced quantities are *deltas* against persistent
 //! sums each rank maintains identically, so Clause-1-skipped rows cost
 //! neither data access nor wire bytes.
@@ -31,21 +44,46 @@
 //! ```
 
 use std::ops::Range;
+use std::path::Path;
+use std::sync::Mutex;
 
 use knor_core::algo::Algorithm;
-use knor_core::centroids::LocalAccum;
-use knor_core::driver::{
-    drain_queue_kernel, run_mm, DriverConfig, IterView, LloydBackend, ReduceReport, WorkerReport,
-};
+use knor_core::centroids::{Centroids, LocalAccum};
+use knor_core::driver::{run_mm, DriverConfig, IterView, LloydBackend, ReduceReport, WorkerReport};
 use knor_core::init::InitMethod;
-use knor_core::kernel::{KernelKind, KernelScratch};
+use knor_core::kernel::KernelKind;
+use knor_core::plane::{DataPlane, SlicePlane};
 use knor_core::pruning::{PruneCounters, Pruning};
+use knor_core::stats::IterStats;
 use knor_core::sync::ExclusiveCell;
-use knor_matrix::{DMatrix, RowView};
+use knor_matrix::DMatrix;
 use knor_mpi::collectives::{allreduce_f64, allreduce_max_u64};
 use knor_mpi::{Comm, LocalCluster, NetModel, ReduceAlgo};
 use knor_numa::{Placement, Topology};
 use knor_sched::{SchedulerKind, TaskQueue, DEFAULT_TASK_SIZE};
+use knor_sem::plane::{forgy_from_file, open_reader, streamed_refresh, streamed_sse};
+use knor_sem::{IoIterStats, SemPlane, SemPlaneConfig};
+
+/// Which data plane every knord rank mounts (paper §3.3: each node runs
+/// either knori or knors over its slice of the rows).
+#[derive(Debug, Clone, Default)]
+pub enum RankPlane {
+    /// Each rank holds its row slice in memory (knori per node).
+    #[default]
+    InMemory,
+    /// Each rank streams its own byte range of the shared on-disk matrix
+    /// through a private SEM stack — per-rank row cache, page cache,
+    /// prefetch pool and I/O counters (knors per node). Requires the
+    /// file-based entry point [`DistKmeans::fit_file`].
+    Sem(SemPlaneConfig),
+}
+
+impl RankPlane {
+    /// A SEM plane with the paper-default budgets.
+    pub fn sem_default() -> Self {
+        RankPlane::Sem(SemPlaneConfig::default())
+    }
+}
 
 /// Configuration for a [`DistKmeans`] run.
 #[derive(Debug, Clone)]
@@ -82,6 +120,14 @@ pub struct DistConfig {
     /// Clustering algorithm to run on the driver (see `knor_core::algo`).
     /// Non-Lloyd algorithms force MTI pruning off.
     pub algo: Algorithm,
+    /// Per-rank data plane (see [`RankPlane`]). `Sem` requires
+    /// [`DistKmeans::fit_file`].
+    pub plane: RankPlane,
+    /// Test hook: make one prefetch-pool thread of this rank's SEM plane
+    /// panic right after spawn (exercises `panicked_io_threads`
+    /// surfacing; ignored for in-memory ranks or when prefetch is off).
+    #[doc(hidden)]
+    pub inject_prefetch_panic_rank: Option<usize>,
 }
 
 impl DistConfig {
@@ -104,6 +150,8 @@ impl DistConfig {
             compute_sse: false,
             kernel: KernelKind::Auto,
             algo: Algorithm::Lloyd,
+            plane: RankPlane::InMemory,
+            inject_prefetch_panic_rank: None,
         }
     }
 
@@ -185,6 +233,19 @@ impl DistConfig {
         self.algo = v;
         self
     }
+
+    /// Choose the per-rank data plane.
+    pub fn with_plane(mut self, v: RankPlane) -> Self {
+        self.plane = v;
+        self
+    }
+
+    /// Test hook: inject a prefetch-pool panic into one SEM rank.
+    #[doc(hidden)]
+    pub fn with_inject_prefetch_panic_rank(mut self, v: usize) -> Self {
+        self.inject_prefetch_panic_rank = Some(v);
+        self
+    }
 }
 
 /// Statistics for one knord iteration: the engine counters (globalized
@@ -226,6 +287,20 @@ pub struct RankComm {
     pub messages_sent: u64,
 }
 
+/// One rank's I/O record for a SEM-plane run: its private plane's
+/// per-iteration statistics plus the prefetch-pool health at shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct RankIo {
+    /// The rank id.
+    pub rank: usize,
+    /// Per-iteration I/O statistics of this rank's plane (empty for
+    /// in-memory ranks).
+    pub io: Vec<IoIterStats>,
+    /// Prefetch-pool threads of this rank found dead at shutdown
+    /// (0 = healthy; non-zero means lost I/O overlap, never lost rows).
+    pub panicked_io_threads: u64,
+}
+
 /// The outcome of a knord run.
 #[derive(Debug, Clone)]
 pub struct DistResult {
@@ -241,6 +316,9 @@ pub struct DistResult {
     pub iters: Vec<DistIterStats>,
     /// Per-rank communication totals.
     pub rank_comm: Vec<RankComm>,
+    /// Per-rank I/O records ([`DistKmeans::fit_file`] runs; empty for
+    /// the in-memory [`DistKmeans::fit`] entry point).
+    pub rank_io: Vec<RankIo>,
     /// Final within-cluster sum of squared distances, when requested.
     pub sse: Option<f64>,
 }
@@ -282,9 +360,15 @@ impl DistKmeans {
         &self.config
     }
 
-    /// Cluster `data` across `ranks` in-process ranks.
+    /// Cluster `data` across `ranks` in-process ranks, every rank holding
+    /// its slice in memory. For SEM ranks (data larger than any rank's
+    /// memory), see [`DistKmeans::fit_file`].
     pub fn fit(&self, data: &DMatrix) -> DistResult {
         let cfg = &self.config;
+        assert!(
+            matches!(cfg.plane, RankPlane::InMemory),
+            "RankPlane::Sem streams from a file; use DistKmeans::fit_file"
+        );
         let n = data.nrow();
         let d = data.ncol();
         let k = cfg.k;
@@ -300,115 +384,242 @@ impl DistKmeans {
 
         let ranges_ref = &ranges;
         let init_ref = &init;
-        let mut results = LocalCluster::run(cfg.ranks, |comm| {
+        let results = LocalCluster::run(cfg.ranks, |comm| {
             let rows: Range<usize> = ranges_ref[comm.rank()].clone();
             let local = data.view(rows.start, rows.end);
             // Each rank resolves its own algorithm instance from identical
             // inputs; any per-run state (mini-batch cumulative counts)
             // advances identically because its inputs are allreduced.
             let mm = algo_cfg.resolve(k, n, cfg.seed);
-            let topo = Topology::flat(cfg.threads_per_rank);
-            let placement = Placement::new(&topo, rows.len(), cfg.threads_per_rank);
-            let queue = TaskQueue::new(cfg.scheduler, &placement);
-            let driver_cfg = DriverConfig {
-                k,
-                d,
-                n: rows.len(),
-                nthreads: cfg.threads_per_rank,
-                max_iters: cfg.max_iters,
-                tol: cfg.tol,
-                pruning,
-                task_size: cfg.task_size,
-                kernel: cfg.kernel,
-                row_offset: rows.start,
-            };
+            let (driver_cfg, placement, queue) = rank_driver_setup(cfg, &rows, k, d, pruning);
             let rk = driver_cfg.resolve_kernel();
-            let carry_weights = mm.uses_weights();
-            let lanes = k * d + k + if carry_weights { k } else { 0 } + SCALARS;
-            let backend = RankBackend {
-                rows: local,
-                comm: &comm,
-                algo: cfg.reduce,
-                net: cfg.net,
-                reduce_payload: (lanes * 8) as u64,
-                carry_weights,
-                prev_sent: ExclusiveCell::new(0),
-                scratch: (0..cfg.threads_per_rank)
-                    .map(|_| ExclusiveCell::new(KernelScratch::new(&rk, d)))
-                    .collect(),
-                reduce_buf: ExclusiveCell::new(Vec::with_capacity(lanes)),
-            };
+            let plane = SlicePlane::new(local, &rk, cfg.threads_per_rank);
+            let backend = RankBackend::new(cfg, &plane, &comm, mm.uses_weights(), k, d);
             let outcome = run_mm(&driver_cfg, init_ref.clone(), &placement, &queue, &backend, &*mm);
-            (outcome, comm.stats().snapshot())
+            (outcome, comm.stats().snapshot(), RankIo::default())
         });
 
-        // Assemble the global result. Ranks hold identical centroids and
-        // iteration trajectories; assignments concatenate in rank order
-        // because the row partition is contiguous.
-        let mut assignments = Vec::with_capacity(n);
-        for (outcome, _) in &results {
-            assignments.extend_from_slice(&outcome.assignments);
-        }
+        let mut out = assemble(results, &ranges, n);
         // Subsampled algorithms (mini-batch) leave rows assigned as of
         // their last sampled batch; refresh against the final model so
         // assignments and SSE are consistent with it. (The per-rank
         // instances were identical, so resolving a fresh one for the
         // stateless map is too.)
-        let mm = algo_cfg.resolve(k, n, cfg.seed);
+        let mm = cfg.algo.resolve(k, n, cfg.seed);
         if mm.subsamples() {
-            let cents = &results[0].0.centroids;
+            let cents = Centroids::from_matrix(&out.centroids);
             for (i, row) in data.rows().enumerate() {
-                assignments[i] = mm.map(row, cents).cluster;
+                out.assignments[i] = mm.map(row, &cents).cluster;
             }
         }
-        let rank_comm = results
-            .iter()
-            .enumerate()
-            .map(|(rank, (_, (sent, received, msgs)))| RankComm {
-                rank,
-                rows: ranges[rank].len(),
-                bytes_sent: *sent,
-                bytes_received: *received,
-                messages_sent: *msgs,
-            })
-            .collect();
+        out.sse = cfg
+            .compute_sse
+            .then(|| knor_core::quality::sse(data, &out.centroids, &out.assignments));
+        out.rank_io = Vec::new(); // in-memory entry point: no I/O record
+        out
+    }
 
-        let (outcome0, _) = results.swap_remove(0);
-        let iters: Vec<DistIterStats> = outcome0
-            .iters
-            .into_iter()
-            .zip(outcome0.reduces)
-            .map(|(s, r)| DistIterStats {
-                iter: s.iter,
-                reassigned: s.reassigned,
-                rows_accessed: s.rows_accessed,
-                prune: s.prune,
-                wall_ns: s.wall_ns,
-                max_drift: s.max_drift,
-                comm_bytes: r.comm_bytes,
-                max_rank_comm_bytes: r.max_rank_comm_bytes,
-                modeled_comm_ns: r.modeled_comm_ns,
-            })
-            .collect();
+    /// Cluster the on-disk matrix at `path` across `ranks` in-process
+    /// ranks **without ever materializing the full matrix in one
+    /// process**: each rank reads only its own contiguous row range —
+    /// into memory under [`RankPlane::InMemory`], or streamed on demand
+    /// through a private per-rank SEM stack under [`RankPlane::Sem`]
+    /// (the paper's memory-constrained-cluster deployment, Fig. 13).
+    ///
+    /// Initialization must avoid a full in-memory pass, so only
+    /// [`InitMethod::Forgy`] (device reads, identical picks to a knors
+    /// run with the same seed) and [`InitMethod::Given`] are accepted.
+    pub fn fit_file(&self, path: &Path) -> std::io::Result<DistResult> {
+        let cfg = &self.config;
+        let h = knor_matrix::io::read_header(path)?;
+        let (n, d) = (h.nrow as usize, h.ncol as usize);
+        let k = cfg.k;
+        assert!(k <= n, "k = {k} exceeds n = {n}");
 
-        let centroids = outcome0.centroids.to_matrix();
-        let sse = cfg.compute_sse.then(|| knor_core::quality::sse(data, &centroids, &assignments));
+        let init = match &cfg.init {
+            InitMethod::Given(m) => {
+                assert_eq!((m.nrow(), m.ncol()), (k, d), "Given init has wrong shape");
+                Centroids::from_matrix(m)
+            }
+            InitMethod::Forgy => Centroids::from_matrix(&forgy_from_file(path, k, cfg.seed)?),
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!(
+                        "{other:?} initialization needs the full matrix in memory; \
+                         use Forgy or Given with fit_file (or load the data and call fit)"
+                    ),
+                ))
+            }
+        };
 
-        DistResult {
-            centroids,
-            assignments,
-            niters: iters.len(),
-            converged: outcome0.converged,
-            iters,
-            rank_comm,
-            sse,
+        let ranges = knor_matrix::partition_rows(n, cfg.ranks);
+        let algo_cfg = &cfg.algo;
+        let pruning = cfg.pruning.enabled() && algo_cfg.prune_eligible();
+
+        // Pre-open every rank's data before any rank enters a collective,
+        // so an open/read failure is a clean error instead of a cluster
+        // deadlock.
+        enum RankData {
+            Mem(DMatrix),
+            Sem(Box<SemPlane>),
         }
+        let mut pre: Vec<Mutex<Option<RankData>>> = Vec::with_capacity(cfg.ranks);
+        for (rank, range) in ranges.iter().enumerate() {
+            let data = match &cfg.plane {
+                RankPlane::InMemory => {
+                    RankData::Mem(knor_matrix::io::read_rows(path, range.start, range.end)?)
+                }
+                RankPlane::Sem(pcfg) => {
+                    let plane =
+                        SemPlane::open_range(path, pcfg, range.clone(), cfg.threads_per_rank)?;
+                    if cfg.inject_prefetch_panic_rank == Some(rank) {
+                        plane.inject_prefetch_panic_for_test();
+                    }
+                    RankData::Sem(Box::new(plane))
+                }
+            };
+            pre.push(Mutex::new(Some(data)));
+        }
+
+        let ranges_ref = &ranges;
+        let init_ref = &init;
+        let pre_ref = &pre;
+        let results = LocalCluster::run(cfg.ranks, |comm| {
+            let rank = comm.rank();
+            let rows: Range<usize> = ranges_ref[rank].clone();
+            let mut data =
+                pre_ref[rank].lock().expect("rank data lock").take().expect("rank data taken once");
+            let mm = algo_cfg.resolve(k, n, cfg.seed);
+            let (driver_cfg, placement, queue) = rank_driver_setup(cfg, &rows, k, d, pruning);
+            let rk = driver_cfg.resolve_kernel();
+            let outcome = {
+                let mem_plane;
+                let plane: &dyn DataPlane = match &data {
+                    RankData::Mem(m) => {
+                        mem_plane = SlicePlane::new(m.as_view(), &rk, cfg.threads_per_rank);
+                        &mem_plane
+                    }
+                    RankData::Sem(p) => p.as_ref(),
+                };
+                let backend = RankBackend::new(cfg, plane, &comm, mm.uses_weights(), k, d);
+                run_mm(&driver_cfg, init_ref.clone(), &placement, &queue, &backend, &*mm)
+            };
+            let io = match &mut data {
+                RankData::Sem(p) => {
+                    let report = p.finish();
+                    RankIo { rank, io: report.io, panicked_io_threads: report.panicked_io_threads }
+                }
+                RankData::Mem(_) => RankIo { rank, ..RankIo::default() },
+            };
+            (outcome, comm.stats().snapshot(), io)
+        });
+
+        let mut out = assemble(results, &ranges, n);
+        let mm = cfg.algo.resolve(k, n, cfg.seed);
+        if mm.subsamples() || cfg.compute_sse {
+            // Final streamed pass(es) over the file: the subsampling
+            // refresh and/or the SSE — never the whole matrix in memory.
+            let reader = open_reader(path)?;
+            if mm.subsamples() {
+                let cents = Centroids::from_matrix(&out.centroids);
+                streamed_refresh(&reader, &cents, &*mm, &mut out.assignments)?;
+            }
+            if cfg.compute_sse {
+                out.sse = Some(streamed_sse(&reader, &out.centroids, &out.assignments)?);
+            }
+        }
+        Ok(out)
     }
 }
 
-/// One rank's backend: plain row-slice access plus the all-reduce window.
+/// Per-rank driver setup shared by both entry points: the rank's driver
+/// config, thread placement and task queue over its local row range.
+fn rank_driver_setup(
+    cfg: &DistConfig,
+    rows: &Range<usize>,
+    k: usize,
+    d: usize,
+    pruning: bool,
+) -> (DriverConfig, Placement, TaskQueue) {
+    let topo = Topology::flat(cfg.threads_per_rank);
+    let placement = Placement::new(&topo, rows.len(), cfg.threads_per_rank);
+    let queue = TaskQueue::new(cfg.scheduler, &placement);
+    let driver_cfg = DriverConfig {
+        k,
+        d,
+        n: rows.len(),
+        nthreads: cfg.threads_per_rank,
+        max_iters: cfg.max_iters,
+        tol: cfg.tol,
+        pruning,
+        task_size: cfg.task_size,
+        kernel: cfg.kernel,
+        row_offset: rows.start,
+    };
+    (driver_cfg, placement, queue)
+}
+
+/// Assemble rank outcomes into a [`DistResult`] (assignments concatenate
+/// in rank order because the row partition is contiguous; SSE and the
+/// subsampling refresh are the entry points' responsibility).
+fn assemble(
+    mut results: Vec<(knor_core::DriverOutcome, (u64, u64, u64), RankIo)>,
+    ranges: &[Range<usize>],
+    n: usize,
+) -> DistResult {
+    let mut assignments = Vec::with_capacity(n);
+    for (outcome, _, _) in &results {
+        assignments.extend_from_slice(&outcome.assignments);
+    }
+    let rank_comm = results
+        .iter()
+        .enumerate()
+        .map(|(rank, (_, (sent, received, msgs), _))| RankComm {
+            rank,
+            rows: ranges[rank].len(),
+            bytes_sent: *sent,
+            bytes_received: *received,
+            messages_sent: *msgs,
+        })
+        .collect();
+    let rank_io = results.iter().map(|(_, _, io)| io.clone()).collect();
+
+    let (outcome0, _, _) = results.swap_remove(0);
+    let iters: Vec<DistIterStats> = outcome0
+        .iters
+        .into_iter()
+        .zip(outcome0.reduces)
+        .map(|(s, r)| DistIterStats {
+            iter: s.iter,
+            reassigned: s.reassigned,
+            rows_accessed: s.rows_accessed,
+            prune: s.prune,
+            wall_ns: s.wall_ns,
+            max_drift: s.max_drift,
+            comm_bytes: r.comm_bytes,
+            max_rank_comm_bytes: r.max_rank_comm_bytes,
+            modeled_comm_ns: r.modeled_comm_ns,
+        })
+        .collect();
+
+    let centroids = outcome0.centroids.to_matrix();
+    DistResult {
+        centroids,
+        assignments,
+        niters: iters.len(),
+        converged: outcome0.converged,
+        iters,
+        rank_comm,
+        rank_io,
+        sse: None,
+    }
+}
+
+/// One rank's backend: its data plane (in-memory slice or private SEM
+/// stack) plus the all-reduce window.
 struct RankBackend<'a> {
-    rows: RowView<'a>,
+    plane: &'a dyn DataPlane,
     comm: &'a Comm,
     algo: ReduceAlgo,
     net: NetModel,
@@ -423,10 +634,31 @@ struct RankBackend<'a> {
     carry_weights: bool,
     /// Bytes-sent watermark for per-iteration deltas (coordinator-only).
     prev_sent: ExclusiveCell<u64>,
-    /// Per-worker kernel scratch, reused across iterations.
-    scratch: Vec<ExclusiveCell<KernelScratch>>,
     /// Coordinator-only allreduce staging, reused across iterations.
     reduce_buf: ExclusiveCell<Vec<f64>>,
+}
+
+impl<'a> RankBackend<'a> {
+    fn new(
+        cfg: &DistConfig,
+        plane: &'a dyn DataPlane,
+        comm: &'a Comm,
+        carry_weights: bool,
+        k: usize,
+        d: usize,
+    ) -> Self {
+        let lanes = k * d + k + if carry_weights { k } else { 0 } + SCALARS;
+        Self {
+            plane,
+            comm,
+            algo: cfg.reduce,
+            net: cfg.net,
+            reduce_payload: (lanes * 8) as u64,
+            carry_weights,
+            prev_sent: ExclusiveCell::new(0),
+            reduce_buf: ExclusiveCell::new(Vec::with_capacity(lanes)),
+        }
+    }
 }
 
 /// Scalar totals folded into the all-reduce payload so every rank shares
@@ -457,13 +689,20 @@ impl RankBackend<'_> {
 }
 
 impl LloydBackend for RankBackend<'_> {
+    fn worker_start(&self, w: usize) {
+        self.plane.worker_start(w);
+    }
+
+    fn pre_iteration(&self, iter: usize) {
+        self.plane.pre_iteration(iter);
+    }
+
     fn compute(&self, w: usize, view: &IterView<'_>, accum: &mut LocalAccum) -> WorkerReport {
-        let mut rep = WorkerReport::default();
-        // Safety: own-worker slot, touched only during this worker's
-        // compute super-phase.
-        let scratch = unsafe { self.scratch[w].get_mut() };
-        drain_queue_kernel(w, view, accum, &mut rep, scratch, |r| self.rows.row(r));
-        rep
+        self.plane.compute(w, view, accum)
+    }
+
+    fn end_iteration(&self, iter: usize, stats: &IterStats, aux_total: u64) {
+        self.plane.end_iteration(iter, stats, aux_total);
     }
 
     fn reduce(
@@ -624,6 +863,81 @@ mod tests {
         let star_root = star.rank_comm[0].bytes_sent;
         let star_leaf = star.rank_comm[1].bytes_sent;
         assert!(star_root > 2 * star_leaf, "star root {star_root} vs leaf {star_leaf}");
+    }
+
+    #[test]
+    fn fit_file_in_memory_matches_fit_bitwise() {
+        // Rank-local slice loading must reproduce the in-memory run bit
+        // for bit: same partition, same rows, same trajectory.
+        let data = mixture(900, 5, 17);
+        let k = 7;
+        let init = InitMethod::Forgy.initialize(&data, k, 6).to_matrix();
+        let path =
+            std::env::temp_dir().join(format!("knor-dist-fitfile-{}.knor", std::process::id()));
+        knor_matrix::io::write_matrix(&path, &data).unwrap();
+        let cfg = DistConfig::new(k, 3, 1)
+            .with_init(InitMethod::Given(init))
+            .with_scheduler(SchedulerKind::Static)
+            .with_max_iters(40)
+            .with_sse(true);
+        let mem = DistKmeans::new(cfg.clone()).fit(&data);
+        let file = DistKmeans::new(cfg).fit_file(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(file.assignments, mem.assignments);
+        assert_eq!(file.centroids, mem.centroids, "fit_file must be bitwise fit");
+        assert_eq!(file.niters, mem.niters);
+        assert_eq!(file.sse.map(f64::to_bits), mem.sse.map(f64::to_bits));
+    }
+
+    #[test]
+    fn sem_ranks_populate_rank_io_and_split_reads() {
+        let data = mixture(1200, 8, 21);
+        let k = 6;
+        let init = InitMethod::Forgy.initialize(&data, k, 2).to_matrix();
+        let path =
+            std::env::temp_dir().join(format!("knor-dist-rankio-{}.knor", std::process::id()));
+        knor_matrix::io::write_matrix(&path, &data).unwrap();
+        let r = DistKmeans::new(
+            DistConfig::new(k, 3, 2)
+                .with_init(InitMethod::Given(init))
+                .with_plane(RankPlane::Sem(
+                    SemPlaneConfig::default().with_page_size(256).with_row_cache_bytes(1 << 20),
+                ))
+                .with_max_iters(20),
+        )
+        .fit_file(&path)
+        .unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(r.assignments.len(), 1200);
+        assert_eq!(r.rank_io.len(), 3);
+        for (rank, io) in r.rank_io.iter().enumerate() {
+            assert_eq!(io.rank, rank);
+            assert_eq!(io.io.len(), r.niters, "rank {rank} must record every iteration");
+            assert_eq!(io.panicked_io_threads, 0);
+            // Every rank touched exactly its slice on the first pass.
+            assert_eq!(io.io[0].active_rows as usize, r.rank_comm[rank].rows, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn fit_file_rejects_full_pass_inits() {
+        let data = mixture(100, 3, 4);
+        let path =
+            std::env::temp_dir().join(format!("knor-dist-badinit-{}.knor", std::process::id()));
+        knor_matrix::io::write_matrix(&path, &data).unwrap();
+        let err = DistKmeans::new(DistConfig::new(3, 2, 1).with_init(InitMethod::PlusPlus))
+            .fit_file(&path)
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "fit_file")]
+    fn fit_with_sem_plane_panics_with_direction() {
+        let data = mixture(50, 2, 1);
+        let _ = DistKmeans::new(DistConfig::new(2, 2, 1).with_plane(RankPlane::sem_default()))
+            .fit(&data);
     }
 
     #[test]

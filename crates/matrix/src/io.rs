@@ -17,7 +17,7 @@
 //! use plus header-only probing for out-of-core use.
 
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use crate::DMatrix;
@@ -120,6 +120,32 @@ pub fn read_matrix(path: &Path) -> io::Result<DMatrix> {
     Ok(DMatrix::from_vec(data, h.nrow as usize, h.ncol as usize))
 }
 
+/// Read the contiguous row range `[start, end)` into memory — a rank's
+/// slice of a large on-disk matrix, so no process ever has to hold more
+/// than its own `O(n/R · d)` share.
+pub fn read_rows(path: &Path, start: usize, end: usize) -> io::Result<DMatrix> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut hdr = [0u8; HEADER_LEN as usize];
+    r.read_exact(&mut hdr)?;
+    let h = parse_header(&hdr)?;
+    if start > end || end > h.nrow as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("row range {start}..{end} exceeds file rows {}", h.nrow),
+        ));
+    }
+    r.seek(SeekFrom::Start(h.row_offset(start as u64)))?;
+    let n = (end - start) * h.ncol as usize;
+    let mut data = vec![0.0f64; n];
+    let mut buf = [0u8; 8];
+    for x in data.iter_mut() {
+        r.read_exact(&mut buf)?;
+        *x = f64::from_le_bytes(buf);
+    }
+    Ok(DMatrix::from_vec(data, end - start, h.ncol as usize))
+}
+
 /// Decode a contiguous byte region of payload into `f64`s.
 ///
 /// `bytes.len()` must be a multiple of 8.
@@ -169,6 +195,22 @@ mod tests {
         let h = Header { nrow: 100, ncol: 8 };
         assert_eq!(h.row_bytes(), 64);
         assert_eq!(h.file_len(), HEADER_LEN + 6400);
+    }
+
+    #[test]
+    fn read_rows_matches_slices() {
+        let m = DMatrix::from_vec((0..60).map(|x| x as f64 * 1.5).collect(), 20, 3);
+        let p = tmp("rows.knor");
+        write_matrix(&p, &m).unwrap();
+        let mid = read_rows(&p, 5, 12).unwrap();
+        assert_eq!((mid.nrow(), mid.ncol()), (7, 3));
+        for (i, r) in (5..12).enumerate() {
+            assert_eq!(mid.row(i), m.row(r), "row {r}");
+        }
+        assert_eq!(read_rows(&p, 0, 20).unwrap(), m);
+        assert_eq!(read_rows(&p, 8, 8).unwrap().nrow(), 0);
+        assert!(read_rows(&p, 10, 30).is_err(), "out-of-range must error");
+        std::fs::remove_file(&p).unwrap();
     }
 
     #[test]

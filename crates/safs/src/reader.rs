@@ -59,9 +59,16 @@ impl SafsReader {
     /// (rows must be sorted ascending for efficient merging; any order is
     /// accepted).
     pub fn pages_for_rows(&self, rows: &[usize]) -> Vec<u64> {
+        self.pages_for_rows_offset(rows, 0)
+    }
+
+    /// [`SafsReader::pages_for_rows`] with a base added to every row id —
+    /// for callers addressing a sub-range of the file by local ids (a
+    /// knord rank's SEM plane).
+    pub fn pages_for_rows_offset(&self, rows: &[usize], base: usize) -> Vec<u64> {
         let mut pages = Vec::with_capacity(rows.len() + 1);
         for &r in rows {
-            let (a, b) = self.store.pages_of_row(r);
+            let (a, b) = self.store.pages_of_row(base + r);
             for p in a..=b {
                 pages.push(p);
             }

@@ -11,33 +11,28 @@
 //!      └── device read (merged) ─> assemble, maybe cache, compute
 //! ```
 //!
-//! Workers pipeline at depth 2: the Clause-1 filter for the *next* task is
-//! run and its pages submitted to the prefetcher before the *current* task
-//! computes, overlapping I/O with computation as FlashGraph does. The
-//! backend's `pre_iteration` hook makes the row-cache refresh decision and
-//! `end_iteration` snapshots the per-iteration I/O counters.
+//! Since PR 5 the whole row-access stack lives in [`crate::plane`]
+//! ([`SemPlane`], mounted through `knor_core`'s `DataPlane` layer): the
+//! depth-2 filter/prefetch pipeline and the staged commit are the shared
+//! `knor_core::plane` worker loop, and this module only resolves the
+//! configuration, runs the driver, and assembles the result — which is
+//! also what lets knord mount one [`SemPlane`] per rank.
 
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
 use knor_core::algo::Algorithm;
-use knor_core::centroids::{Centroids, LocalAccum};
-use knor_core::driver::{
-    filter_row, process_block_algo, process_block_kernel, process_row_full, process_row_mti,
-    run_mm, DriverConfig, IterView, LloydBackend, WorkerReport,
-};
-use knor_core::kernel::{KernelKind, ResolvedKind};
-use knor_core::pruning::{PruneCounters, Pruning};
-use knor_core::stats::{IterStats, KmeansResult, MemoryFootprint};
-use knor_core::sync::ExclusiveCell;
+use knor_core::centroids::Centroids;
+use knor_core::driver::{run_mm, DriverConfig};
+use knor_core::kernel::KernelKind;
+use knor_core::plane::PlaneBackend;
+use knor_core::pruning::Pruning;
+use knor_core::stats::{KmeansResult, MemoryFootprint};
 use knor_matrix::DMatrix;
 use knor_numa::{Placement, Topology};
-use knor_safs::stats::{IoSnapshot, IoStats};
-use knor_safs::{Prefetcher, RowStore, SafsReader, DEFAULT_PAGE_SIZE};
-use knor_sched::{SchedulerKind, Task, TaskQueue, DEFAULT_TASK_SIZE};
+use knor_safs::DEFAULT_PAGE_SIZE;
+use knor_sched::{SchedulerKind, TaskQueue, DEFAULT_TASK_SIZE};
 
-use crate::row_cache::{RefreshSchedule, RowCache};
+use crate::plane::{streamed_refresh, streamed_sse, SemPlane, SemPlaneConfig};
 use crate::IoIterStats;
 
 /// Initialization for SEM runs (only methods that avoid full-data passes).
@@ -216,6 +211,20 @@ impl SemConfig {
         self.algo = v;
         self
     }
+
+    /// The I/O-side subset of this configuration — what a [`SemPlane`]
+    /// needs (knord builds one of these per SEM rank).
+    pub fn plane_config(&self) -> SemPlaneConfig {
+        SemPlaneConfig {
+            page_size: self.page_size,
+            page_cache_bytes: self.page_cache_bytes,
+            row_cache_bytes: self.row_cache_bytes,
+            cache_interval: self.cache_interval,
+            lazy_refresh: self.lazy_refresh,
+            prefetch: self.prefetch,
+            prefetch_threads: self.prefetch_threads,
+        }
+    }
 }
 
 /// Result of a knors run: the clustering plus per-iteration I/O stats.
@@ -225,17 +234,13 @@ pub struct SemResult {
     pub kmeans: KmeansResult,
     /// Per-iteration I/O statistics (Figs. 6a, 7).
     pub io: Vec<IoIterStats>,
+    /// Prefetch-pool threads found dead at shutdown (0 = healthy run).
+    pub panicked_io_threads: u64,
 }
 
 /// The knors solver.
 pub struct SemKmeans {
     config: SemConfig,
-}
-
-/// A task whose Clause-1 filter has run; `needed` are the rows that must be
-/// fetched (the rest were skipped without I/O).
-struct FilteredTask {
-    needed: Vec<usize>,
 }
 
 impl SemKmeans {
@@ -249,19 +254,13 @@ impl SemKmeans {
     /// Cluster the on-disk matrix at `path`.
     pub fn fit(&self, path: &Path) -> std::io::Result<SemResult> {
         let cfg = &self.config;
-        let store = RowStore::open(path, cfg.page_size)?;
-        let n = store.nrow();
-        let d = store.ncol();
-        let k = cfg.k;
-        assert!(k <= n, "k = {k} exceeds n = {n}");
-
         let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
         let nthreads = cfg.threads.unwrap_or(hw).max(1);
-        let reader = Arc::new(SafsReader::new(store, cfg.page_cache_bytes, nthreads.max(4)));
-        let io_stats = reader.stats();
-        let row_cache = RowCache::new(cfg.row_cache_bytes, n, d, nthreads);
-        let prefetcher =
-            cfg.prefetch.then(|| Prefetcher::spawn(Arc::clone(&reader), cfg.prefetch_threads));
+        let mut plane = SemPlane::open_all(path, &cfg.plane_config(), nthreads)?;
+        let n = plane.nrow();
+        let d = plane.ncol();
+        let k = cfg.k;
+        assert!(k <= n, "k = {k} exceeds n = {n}");
 
         // Initial centroids.
         let init_cents = match &cfg.init {
@@ -270,19 +269,9 @@ impl SemKmeans {
                 Centroids::from_matrix(m)
             }
             SemInit::Forgy => {
-                use rand::{Rng, SeedableRng};
-                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed);
-                let mut rows: Vec<usize> = Vec::with_capacity(k);
-                while rows.len() < k {
-                    let r = rng.gen_range(0..n);
-                    if !rows.contains(&r) {
-                        rows.push(r);
-                    }
-                }
-                let mut buf = Vec::new();
-                reader.fetch_rows(&rows, &mut buf)?;
-                io_stats.reset(); // init I/O is not part of the iteration accounting
-                Centroids::from_matrix(&DMatrix::from_vec(buf, k, d))
+                let c = plane.forgy_init(k, cfg.seed)?;
+                plane.reset_io(); // init I/O is not iteration accounting
+                c
             }
         };
 
@@ -304,43 +293,23 @@ impl SemKmeans {
             kernel: cfg.kernel,
             row_offset: 0,
         };
-        let schedule = if cfg.lazy_refresh {
-            RefreshSchedule::lazy(cfg.cache_interval)
-        } else {
-            RefreshSchedule::fixed(cfg.cache_interval)
-        };
-        let backend = SemBackend {
-            reader: Arc::clone(&reader),
-            row_cache: &row_cache,
-            prefetcher: prefetcher.as_ref(),
-            d,
-            refresh_now: AtomicBool::new(false),
-            schedule: ExclusiveCell::new(schedule),
-            io_stats: Arc::clone(&io_stats),
-            prev_io: ExclusiveCell::new(io_stats.snapshot()),
-            ios: ExclusiveCell::new(Vec::new()),
-            scratch: (0..nthreads).map(|_| ExclusiveCell::new(SemScratch::new())).collect(),
-        };
-        let outcome = run_mm(&driver_cfg, init_cents, &placement, &queue, &backend, &*algo);
-        let out_io = backend.ios.into_inner();
-
-        if let Some(pf) = prefetcher {
-            pf.shutdown();
-        }
+        let outcome =
+            run_mm(&driver_cfg, init_cents, &placement, &queue, &PlaneBackend(&plane), &*algo);
 
         let mut assignments = outcome.assignments;
         if algo.subsamples() {
             // Subsampled algorithms (mini-batch) leave rows assigned as of
             // their last sampled batch; one streamed map pass aligns the
             // assignments (and SSE) with the final model.
-            streamed_refresh(&reader, &outcome.centroids, &*algo, &mut assignments)?;
+            streamed_refresh(plane.reader(), &outcome.centroids, &*algo, &mut assignments)?;
         }
         let final_cents = outcome.centroids.to_matrix();
         let sse = if cfg.compute_sse {
-            Some(streamed_sse(&reader, &final_cents, &assignments)?)
+            Some(streamed_sse(plane.reader(), &final_cents, &assignments)?)
         } else {
             None
         };
+        let report = plane.finish();
 
         let memory = MemoryFootprint {
             data_bytes: 0, // O(nd) stays on the device — the point of SEM
@@ -363,366 +332,11 @@ impl SemKmeans {
                 memory,
                 sse,
             },
-            io: out_io,
+            io: report.io,
+            panicked_io_threads: report.panicked_io_threads,
         })
     }
 }
-
-/// The SEM backend: Clause-1-filtered, row-cache/SAFS row access plugged
-/// into the shared `knor_core::driver` protocol.
-struct SemBackend<'a> {
-    reader: Arc<SafsReader>,
-    row_cache: &'a RowCache,
-    prefetcher: Option<&'a Prefetcher>,
-    d: usize,
-    /// Whether the row cache refreshes this iteration (set in
-    /// `pre_iteration`, read by every worker's compute).
-    refresh_now: AtomicBool,
-    /// Coordinator-only refresh schedule state.
-    schedule: ExclusiveCell<RefreshSchedule>,
-    io_stats: Arc<IoStats>,
-    /// Coordinator-only snapshot for per-iteration I/O deltas.
-    prev_io: ExclusiveCell<IoSnapshot>,
-    /// Per-iteration I/O statistics, filled in `end_iteration`.
-    ios: ExclusiveCell<Vec<IoIterStats>>,
-    /// Per-worker scratch, reused across iterations so the hot path never
-    /// reallocates.
-    scratch: Vec<ExclusiveCell<SemScratch>>,
-}
-
-/// One worker's reusable buffers: device-fetch staging, contiguous
-/// row-cache hit staging, the hit/miss row-id split, kernel scratch, and
-/// the recycled Clause-1 filter buffers for the depth-2 pipeline. All
-/// grow-only — steady-state iterations never allocate here.
-struct SemScratch {
-    /// Contiguous rows fetched from the device (task misses).
-    fetch_buf: Vec<f64>,
-    /// Contiguous rows copied out of the row cache (task hits).
-    hit_buf: Vec<f64>,
-    /// Row ids staged in `hit_buf`, in staging order.
-    hit_rows: Vec<usize>,
-    /// Row ids staged in `fetch_buf`, in fetch order.
-    misses: Vec<usize>,
-    /// Blocked-kernel best-index array (rows are staged in
-    /// `hit_buf`/`fetch_buf`, so no separate tile staging is needed).
-    best: Vec<u32>,
-    /// Blocked-kernel best-distance array.
-    best_dist: Vec<f64>,
-    /// Per-row contribution weights (generic algorithm path).
-    weights: Vec<f64>,
-    /// Recycled `FilteredTask::needed` buffers (two alive at pipeline
-    /// depth 2).
-    free_needed: Vec<Vec<usize>>,
-}
-
-impl SemScratch {
-    fn new() -> Self {
-        Self {
-            fetch_buf: Vec::new(),
-            hit_buf: Vec::new(),
-            hit_rows: Vec::new(),
-            misses: Vec::new(),
-            best: Vec::new(),
-            best_dist: Vec::new(),
-            weights: Vec::new(),
-            free_needed: Vec::new(),
-        }
-    }
-}
-
-impl LloydBackend for SemBackend<'_> {
-    fn pre_iteration(&self, iter: usize) {
-        // Safety: coordinator-only hook; other workers are between their
-        // accumulator reset and barrier A and do not touch this cell.
-        let refresh = unsafe { self.schedule.get_mut() }.should_refresh(iter);
-        if refresh {
-            self.row_cache.flush();
-        }
-        self.refresh_now.store(refresh, Ordering::Release);
-    }
-
-    fn compute(&self, w: usize, view: &IterView<'_>, accum: &mut LocalAccum) -> WorkerReport {
-        let refreshing = self.refresh_now.load(Ordering::Acquire);
-        let mut rep = WorkerReport::default();
-        // Safety: own-worker slot, touched only inside this worker's
-        // compute super-phase.
-        let scratch = unsafe { self.scratch[w].get_mut() };
-
-        // Depth-2 pipeline: filter (and prefetch) next, compute current.
-        let mut pending: Option<FilteredTask> = None;
-        loop {
-            let next = view.queue.next(w).map(|task| {
-                let mut needed = scratch.free_needed.pop().unwrap_or_default();
-                filter_task_into(&task, view, &mut rep.counters, &mut needed);
-                if let Some(pf) = self.prefetcher {
-                    if !needed.is_empty() {
-                        pf.request(self.reader.pages_for_rows(&needed));
-                    }
-                }
-                FilteredTask { needed }
-            });
-            let current = pending.take();
-            pending = next;
-            let Some(ft) = current else {
-                if pending.is_none() {
-                    break;
-                }
-                continue;
-            };
-            self.compute_task(&ft, view, refreshing, accum, &mut rep, scratch);
-            scratch.free_needed.push(ft.needed);
-        }
-        rep
-    }
-
-    fn end_iteration(&self, iter: usize, stats: &IterStats, aux_total: u64) {
-        let refreshing = self.refresh_now.load(Ordering::Acquire);
-        let io_now = self.io_stats.snapshot();
-        // Safety: coordinator-only cells inside the exclusive window.
-        let prev_io = unsafe { self.prev_io.get_mut() };
-        let delta = io_now.delta_since(prev_io);
-        *prev_io = io_now;
-        unsafe { self.ios.get_mut() }.push(IoIterStats {
-            iter,
-            active_rows: stats.rows_accessed,
-            rc_hits: aux_total,
-            rc_misses: stats.rows_accessed - aux_total,
-            bytes_requested: delta.bytes_requested,
-            bytes_read: delta.bytes_read_device,
-            page_hits: delta.page_hits,
-            page_misses: delta.page_misses,
-            rc_resident_rows: self.row_cache.resident_rows(),
-            rc_refreshed: refreshing,
-        });
-        self.row_cache.reset_counters();
-    }
-}
-
-impl SemBackend<'_> {
-    /// Fetch and process the needed rows of a filtered task.
-    ///
-    /// Rows split into row-cache hits (staged contiguously into
-    /// `scratch.hit_buf`) and misses (one merged device fetch into
-    /// `scratch.fetch_buf`). Full-scan iterations then run the blocked
-    /// assignment kernel directly over each contiguous buffer; MTI
-    /// iterations keep the per-row clause machine.
-    fn compute_task(
-        &self,
-        ft: &FilteredTask,
-        view: &IterView<'_>,
-        refreshing: bool,
-        accum: &mut LocalAccum,
-        rep: &mut WorkerReport,
-        scratch: &mut SemScratch,
-    ) {
-        let d = self.d;
-        scratch.hit_rows.clear();
-        scratch.misses.clear();
-        if scratch.hit_buf.len() < ft.needed.len() * d {
-            scratch.hit_buf.resize(ft.needed.len() * d, 0.0);
-        }
-        let mut nh = 0usize;
-        for &r in &ft.needed {
-            let dst = &mut scratch.hit_buf[nh * d..(nh + 1) * d];
-            if self.row_cache.get(r as u32, dst) {
-                rep.aux += 1; // row-cache hit
-                scratch.hit_rows.push(r);
-                nh += 1;
-            } else {
-                scratch.misses.push(r);
-            }
-        }
-        // One merged fetch for the misses.
-        if !scratch.misses.is_empty() {
-            self.reader
-                .fetch_rows(&scratch.misses, &mut scratch.fetch_buf)
-                .expect("SEM device read failed");
-        }
-
-        if !view.is_lloyd {
-            // Generic algorithm path: the staged hit/miss buffers are
-            // contiguous blocks, so they run the shared map_block commit
-            // protocol (spherical batches through the dot micro-kernel).
-            process_block_algo(
-                scratch.hit_rows.iter().copied(),
-                &scratch.hit_buf[..nh * d],
-                view,
-                accum,
-                rep,
-                &mut scratch.best,
-                &mut scratch.weights,
-                &mut scratch.best_dist,
-            );
-            process_block_algo(
-                scratch.misses.iter().copied(),
-                &scratch.fetch_buf[..scratch.misses.len() * d],
-                view,
-                accum,
-                rep,
-                &mut scratch.best,
-                &mut scratch.weights,
-                &mut scratch.best_dist,
-            );
-            if refreshing {
-                for (i, &r) in scratch.misses.iter().enumerate() {
-                    self.row_cache.insert(r as u32, &scratch.fetch_buf[i * d..(i + 1) * d]);
-                }
-            }
-            return;
-        }
-
-        let full_scan = view.iter == 0 || !view.pruning;
-        if full_scan && view.kernel.kind != ResolvedKind::Scalar {
-            process_block_kernel(
-                scratch.hit_rows.iter().copied(),
-                &scratch.hit_buf[..nh * d],
-                view,
-                accum,
-                rep,
-                &mut scratch.best,
-                &mut scratch.best_dist,
-            );
-            process_block_kernel(
-                scratch.misses.iter().copied(),
-                &scratch.fetch_buf[..scratch.misses.len() * d],
-                view,
-                accum,
-                rep,
-                &mut scratch.best,
-                &mut scratch.best_dist,
-            );
-            if refreshing {
-                for (i, &r) in scratch.misses.iter().enumerate() {
-                    self.row_cache.insert(r as u32, &scratch.fetch_buf[i * d..(i + 1) * d]);
-                }
-            }
-            return;
-        }
-
-        let mut process = |r: usize, v: &[f64], rep: &mut WorkerReport| {
-            rep.rows_accessed += 1;
-            let reassigned = if view.iter > 0 && view.pruning {
-                // Upper bound was already drift-updated in the filter.
-                process_row_mti(
-                    r,
-                    v,
-                    view.cents,
-                    view.mti,
-                    view.assign,
-                    view.upper,
-                    accum,
-                    &mut rep.counters,
-                )
-            } else {
-                process_row_full(
-                    r,
-                    v,
-                    view.cents,
-                    view.pruning,
-                    view.assign,
-                    view.upper,
-                    accum,
-                    &mut rep.counters,
-                )
-            };
-            rep.reassigned += u64::from(reassigned);
-        };
-
-        for (i, &r) in scratch.hit_rows.iter().enumerate() {
-            process(r, &scratch.hit_buf[i * d..(i + 1) * d], rep);
-        }
-        for (i, &r) in scratch.misses.iter().enumerate() {
-            let v = &scratch.fetch_buf[i * d..(i + 1) * d];
-            process(r, v, rep);
-            if refreshing {
-                self.row_cache.insert(r as u32, v);
-            }
-        }
-    }
-}
-
-/// Clause-1 filter for a task: collects the rows that must be fetched into
-/// `needed` (cleared first) and drift-updates the bounds of the skipped
-/// ones.
-fn filter_task_into(
-    task: &Task,
-    view: &IterView<'_>,
-    counters: &mut PruneCounters,
-    needed: &mut Vec<usize>,
-) {
-    needed.clear();
-    if view.iter == 0 || !view.pruning {
-        if view.scoped {
-            // Subsampling algorithms (mini-batch) skip out-of-batch rows
-            // here — before any page is requested, so no I/O is spent.
-            needed.extend(task.rows.clone().filter(|&r| view.in_scope(r)));
-        } else {
-            needed.extend(task.rows.clone());
-        }
-        return;
-    }
-    for r in task.rows.clone() {
-        if filter_row(r, view.assign, view.upper, view.mti, counters) {
-            needed.push(r);
-        }
-    }
-}
-
-/// Stream the file once, re-running the algorithm's map phase on every
-/// row against the final centroids (the post-run refresh pass for
-/// subsampling algorithms).
-fn streamed_refresh(
-    reader: &Arc<SafsReader>,
-    cents: &Centroids,
-    algo: &dyn knor_core::algo::MmAlgorithm,
-    assignments: &mut [u32],
-) -> std::io::Result<()> {
-    let n = reader.store().nrow();
-    let d = reader.store().ncol();
-    let chunk = 8192usize;
-    let mut buf = Vec::new();
-    let mut rows: Vec<usize> = Vec::with_capacity(chunk);
-    let mut start = 0;
-    while start < n {
-        let end = (start + chunk).min(n);
-        rows.clear();
-        rows.extend(start..end);
-        reader.fetch_rows(&rows, &mut buf)?;
-        for (i, r) in (start..end).enumerate() {
-            assignments[r] = algo.map(&buf[i * d..(i + 1) * d], cents).cluster;
-        }
-        start = end;
-    }
-    Ok(())
-}
-
-/// Stream the file once to compute the final SSE.
-fn streamed_sse(
-    reader: &Arc<SafsReader>,
-    centroids: &DMatrix,
-    assignments: &[u32],
-) -> std::io::Result<f64> {
-    let n = reader.store().nrow();
-    let d = reader.store().ncol();
-    let chunk = 8192usize;
-    let mut total = 0.0;
-    let mut buf = Vec::new();
-    let mut rows: Vec<usize> = Vec::with_capacity(chunk);
-    let mut start = 0;
-    while start < n {
-        let end = (start + chunk).min(n);
-        rows.clear();
-        rows.extend(start..end);
-        reader.fetch_rows(&rows, &mut buf)?;
-        for (i, r) in (start..end).enumerate() {
-            let v = &buf[i * d..(i + 1) * d];
-            total += knor_core::distance::sqdist(v, centroids.row(assignments[r] as usize));
-        }
-        start = end;
-    }
-    Ok(total)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

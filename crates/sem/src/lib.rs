@@ -23,9 +23,11 @@
 //! ```
 
 pub mod engine;
+pub mod plane;
 pub mod row_cache;
 
 pub use engine::{SemConfig, SemInit, SemKmeans, SemResult};
+pub use plane::{SemPlane, SemPlaneConfig, SemPlaneReport};
 pub use row_cache::{RefreshSchedule, RowCache};
 
 /// Per-iteration I/O statistics of a knors run (Figs. 6a, 7).

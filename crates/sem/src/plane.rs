@@ -1,0 +1,478 @@
+//! The semi-external-memory data plane.
+//!
+//! [`SemPlane`] packages the whole SEM row-access stack — a private
+//! [`SafsReader`] (page cache + merged device reads) over one byte range
+//! of an on-disk matrix, the lazily-refreshed [`RowCache`], an optional
+//! background [`Prefetcher`], and per-iteration [`IoIterStats`]
+//! accounting — behind `knor_core`'s [`DataPlane`]/[`StagedSource`]
+//! abstraction. The worker-loop orchestration (depth-2 filter/prefetch
+//! pipeline, in-order hit/miss staging, shared commit) lives in
+//! `knor_core::plane`; this module only supplies the tiers.
+//!
+//! Two engines mount it:
+//!
+//! * **knors** opens one plane over the whole file (`open_all`);
+//! * **knord** opens one plane *per rank* over that rank's row range
+//!   (`open_range`) — each rank gets its own file handle, page-cache and
+//!   row-cache budget, prefetch pool and I/O counters, which is exactly
+//!   the paper's "run knors on every node" deployment (§3.3).
+
+use std::io;
+use std::ops::Range;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use knor_core::algo::MmAlgorithm;
+use knor_core::centroids::{Centroids, LocalAccum};
+use knor_core::driver::{IterView, WorkerReport};
+use knor_core::plane::{drain_queue_staged, DataPlane, StagedScratch, StagedSource};
+use knor_core::stats::IterStats;
+use knor_core::sync::ExclusiveCell;
+use knor_matrix::DMatrix;
+use knor_safs::stats::{IoSnapshot, IoStats};
+use knor_safs::{Prefetcher, RowStore, SafsReader, DEFAULT_PAGE_SIZE};
+use rand::{Rng, SeedableRng};
+
+use crate::row_cache::{RefreshSchedule, RowCache};
+use crate::IoIterStats;
+
+/// The SEM plane's knobs — the I/O-side subset of `SemConfig`, reusable
+/// by any engine that mounts a SEM plane (knord carries one inside its
+/// `RankPlane::Sem`).
+#[derive(Debug, Clone)]
+pub struct SemPlaneConfig {
+    /// SAFS page size (paper: 4KB).
+    pub page_size: usize,
+    /// Page cache budget in bytes (per plane — per rank under knord).
+    pub page_cache_bytes: u64,
+    /// Row cache budget in bytes (0 = knors--; per plane).
+    pub row_cache_bytes: u64,
+    /// Row-cache update interval `I_cache` (paper: 5).
+    pub cache_interval: usize,
+    /// Lazy exponential refresh (paper) vs fixed-period (ablation).
+    pub lazy_refresh: bool,
+    /// Overlap I/O with compute via the prefetch pool.
+    pub prefetch: bool,
+    /// Prefetch pool threads (when `prefetch`).
+    pub prefetch_threads: usize,
+}
+
+impl Default for SemPlaneConfig {
+    fn default() -> Self {
+        Self {
+            page_size: DEFAULT_PAGE_SIZE,
+            page_cache_bytes: 1 << 30,
+            row_cache_bytes: 512 << 20,
+            cache_interval: 5,
+            lazy_refresh: true,
+            prefetch: false,
+            prefetch_threads: 2,
+        }
+    }
+}
+
+impl SemPlaneConfig {
+    /// Set the row-cache budget (0 = knors--).
+    pub fn with_row_cache_bytes(mut self, v: u64) -> Self {
+        self.row_cache_bytes = v;
+        self
+    }
+
+    /// Set the page-cache budget.
+    pub fn with_page_cache_bytes(mut self, v: u64) -> Self {
+        self.page_cache_bytes = v;
+        self
+    }
+
+    /// Set the page size.
+    pub fn with_page_size(mut self, v: usize) -> Self {
+        self.page_size = v;
+        self
+    }
+
+    /// Enable the prefetch pipeline.
+    pub fn with_prefetch(mut self, v: bool) -> Self {
+        self.prefetch = v;
+        self
+    }
+}
+
+/// What a finished plane hands back: the per-iteration I/O record plus
+/// the count of prefetch-pool threads found dead at shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct SemPlaneReport {
+    /// Per-iteration I/O statistics (Figs. 6a, 7), local to this plane.
+    pub io: Vec<IoIterStats>,
+    /// Prefetch-pool threads that had panicked by shutdown. Non-zero
+    /// means some background fetches were lost and the run fell back to
+    /// synchronous reads — slower, never incorrect.
+    pub panicked_io_threads: u64,
+}
+
+/// The SEM data plane over one byte range of an on-disk matrix.
+pub struct SemPlane {
+    reader: Arc<SafsReader>,
+    io_stats: Arc<IoStats>,
+    row_cache: RowCache,
+    prefetcher: Option<Prefetcher>,
+    /// Global (on-disk) row id of local row 0.
+    base: usize,
+    n_local: usize,
+    d: usize,
+    /// Whether the row cache refreshes this iteration (set by the
+    /// coordinator in `pre_iteration`, read by every worker's compute).
+    refresh_now: AtomicBool,
+    /// Coordinator-only refresh schedule state.
+    schedule: ExclusiveCell<RefreshSchedule>,
+    /// Coordinator-only snapshot for per-iteration I/O deltas.
+    prev_io: ExclusiveCell<IoSnapshot>,
+    /// Per-iteration I/O statistics, filled in `end_iteration`.
+    ios: ExclusiveCell<Vec<IoIterStats>>,
+    /// Per-worker staging scratch, reused across iterations so the hot
+    /// path never reallocates.
+    scratch: Vec<ExclusiveCell<StagedScratch>>,
+}
+
+impl SemPlane {
+    /// Open a plane over the whole file (the knors deployment).
+    pub fn open_all(path: &Path, cfg: &SemPlaneConfig, nthreads: usize) -> io::Result<Self> {
+        Self::build(path, cfg, None, nthreads)
+    }
+
+    /// Open a plane over the row range `rows` (one knord rank's slice).
+    /// The plane only ever reads that range's byte span of the file.
+    pub fn open_range(
+        path: &Path,
+        cfg: &SemPlaneConfig,
+        rows: Range<usize>,
+        nthreads: usize,
+    ) -> io::Result<Self> {
+        Self::build(path, cfg, Some(rows), nthreads)
+    }
+
+    fn build(
+        path: &Path,
+        cfg: &SemPlaneConfig,
+        rows: Option<Range<usize>>,
+        nthreads: usize,
+    ) -> io::Result<Self> {
+        let nthreads = nthreads.max(1);
+        let store = RowStore::open(path, cfg.page_size)?;
+        let rows = rows.unwrap_or(0..store.nrow());
+        assert!(
+            rows.start <= rows.end && rows.end <= store.nrow(),
+            "row range {rows:?} exceeds file rows {}",
+            store.nrow()
+        );
+        let d = store.ncol();
+        let reader = Arc::new(SafsReader::new(store, cfg.page_cache_bytes, nthreads.max(4)));
+        let io_stats = reader.stats();
+        let row_cache = RowCache::new(cfg.row_cache_bytes, rows.len().max(1), d, nthreads);
+        let prefetcher =
+            cfg.prefetch.then(|| Prefetcher::spawn(Arc::clone(&reader), cfg.prefetch_threads));
+        let schedule = if cfg.lazy_refresh {
+            RefreshSchedule::lazy(cfg.cache_interval.max(1))
+        } else {
+            RefreshSchedule::fixed(cfg.cache_interval.max(1))
+        };
+        let prev = io_stats.snapshot();
+        Ok(Self {
+            reader,
+            io_stats,
+            row_cache,
+            prefetcher,
+            base: rows.start,
+            n_local: rows.len(),
+            d,
+            refresh_now: AtomicBool::new(false),
+            schedule: ExclusiveCell::new(schedule),
+            prev_io: ExclusiveCell::new(prev),
+            ios: ExclusiveCell::new(Vec::new()),
+            scratch: (0..nthreads).map(|_| ExclusiveCell::new(StagedScratch::new())).collect(),
+        })
+    }
+
+    /// Rows this plane serves (its slice of the file).
+    pub fn nrow(&self) -> usize {
+        self.n_local
+    }
+
+    /// Row dimensionality.
+    pub fn ncol(&self) -> usize {
+        self.d
+    }
+
+    /// The underlying reader (final-pass streaming, Forgy init reads).
+    pub fn reader(&self) -> &SafsReader {
+        &self.reader
+    }
+
+    /// Forgy initialization from the device: `k` distinct random rows of
+    /// this plane's range, read through the reader.
+    pub fn forgy_init(&self, k: usize, seed: u64) -> io::Result<Centroids> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut rows = forgy_sample(&mut rng, self.n_local, k);
+        for r in &mut rows {
+            *r += self.base;
+        }
+        let mut buf = Vec::new();
+        self.reader.fetch_rows(&rows, &mut buf)?;
+        Ok(Centroids::from_matrix(&DMatrix::from_vec(buf, k, self.d)))
+    }
+
+    /// Zero the I/O counters and re-baseline the per-iteration deltas
+    /// (called after init reads, which are not iteration I/O).
+    pub fn reset_io(&mut self) {
+        self.io_stats.reset();
+        // Safety: exclusive access through `&mut self`.
+        *unsafe { self.prev_io.get_mut() } = self.io_stats.snapshot();
+    }
+
+    /// Make one prefetch-pool thread panic (tests only — exercises the
+    /// panicked-thread surfacing without a real fault).
+    #[doc(hidden)]
+    pub fn inject_prefetch_panic_for_test(&self) {
+        if let Some(pf) = &self.prefetcher {
+            pf.inject_panic_for_test();
+        }
+    }
+
+    /// Shut the plane down after a run: joins the prefetch pool (tallying
+    /// any panicked threads) and hands back the I/O record.
+    pub fn finish(&mut self) -> SemPlaneReport {
+        drop(self.prefetcher.take()); // joins I/O threads
+                                      // Safety: exclusive access through `&mut self`.
+        let io = std::mem::take(unsafe { self.ios.get_mut() });
+        SemPlaneReport { io, panicked_io_threads: self.io_stats.snapshot().panicked_io_threads }
+    }
+}
+
+impl StagedSource for SemPlane {
+    fn d(&self) -> usize {
+        self.d
+    }
+
+    fn prefetch(&self, needed: &[usize]) {
+        let Some(pf) = &self.prefetcher else { return };
+        pf.request(self.reader.pages_for_rows_offset(needed, self.base));
+    }
+
+    fn stage(&self, _w: usize, needed: &[usize], scratch: &mut StagedScratch) -> u64 {
+        let d = self.d;
+        scratch.miss_idx.clear();
+        scratch.miss_rows.clear();
+        if scratch.data.len() < needed.len() * d {
+            scratch.data.resize(needed.len() * d, 0.0);
+        }
+        let mut hits = 0u64;
+        for (i, &r) in needed.iter().enumerate() {
+            let dst = &mut scratch.data[i * d..(i + 1) * d];
+            if self.row_cache.get(r as u32, dst) {
+                hits += 1;
+            } else {
+                scratch.miss_idx.push(i);
+                scratch.miss_rows.push(self.base + r);
+            }
+        }
+        if !scratch.miss_rows.is_empty() {
+            // One merged fetch for the misses, scattered into their
+            // task-row-order slots.
+            self.reader
+                .fetch_rows(&scratch.miss_rows, &mut scratch.fetch)
+                .expect("SEM device read failed");
+            for (j, &i) in scratch.miss_idx.iter().enumerate() {
+                scratch.data[i * d..(i + 1) * d]
+                    .copy_from_slice(&scratch.fetch[j * d..(j + 1) * d]);
+            }
+        }
+        hits
+    }
+
+    fn refreshing(&self) -> bool {
+        self.refresh_now.load(Ordering::Acquire)
+    }
+
+    fn retain(&self, r: usize, v: &[f64]) {
+        self.row_cache.insert(r as u32, v);
+    }
+}
+
+impl DataPlane for SemPlane {
+    fn pre_iteration(&self, iter: usize) {
+        // Safety: coordinator-only hook; other workers are between their
+        // accumulator reset and barrier A and do not touch this cell.
+        let refresh = unsafe { self.schedule.get_mut() }.should_refresh(iter);
+        if refresh {
+            self.row_cache.flush();
+        }
+        self.refresh_now.store(refresh, Ordering::Release);
+    }
+
+    fn compute(&self, w: usize, view: &IterView<'_>, accum: &mut LocalAccum) -> WorkerReport {
+        let mut rep = WorkerReport::default();
+        // Safety: own-worker slot, touched only inside this worker's
+        // compute super-phase.
+        let scratch = unsafe { self.scratch[w].get_mut() };
+        drain_queue_staged(self, w, view, accum, &mut rep, scratch);
+        rep
+    }
+
+    fn end_iteration(&self, iter: usize, _stats: &IterStats, _aux_total: u64) {
+        // The row-cache counters are this plane's local activity — under
+        // knord the driver's `stats.rows_accessed` is already globalized
+        // across ranks by the allreduce, so it must not be used here.
+        let refreshing = self.refresh_now.load(Ordering::Acquire);
+        let (rc_hits, rc_misses, _) = self.row_cache.counters();
+        let io_now = self.io_stats.snapshot();
+        // Safety: coordinator-only cells inside the exclusive window.
+        let prev_io = unsafe { self.prev_io.get_mut() };
+        let delta = io_now.delta_since(prev_io);
+        *prev_io = io_now;
+        unsafe { self.ios.get_mut() }.push(IoIterStats {
+            iter,
+            active_rows: rc_hits + rc_misses,
+            rc_hits,
+            rc_misses,
+            bytes_requested: delta.bytes_requested,
+            bytes_read: delta.bytes_read_device,
+            page_hits: delta.page_hits,
+            page_misses: delta.page_misses,
+            rc_resident_rows: self.row_cache.resident_rows(),
+            rc_refreshed: refreshing,
+        });
+        self.row_cache.reset_counters();
+    }
+}
+
+/// `k` distinct uniform samples from `0..n` via rejection — kept exactly
+/// as the original knors Forgy loop so seeded picks never change.
+fn forgy_sample<R: Rng>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "k = {k} exceeds n = {n}");
+    let mut rows: Vec<usize> = Vec::with_capacity(k);
+    while rows.len() < k {
+        let r = rng.gen_range(0..n);
+        if !rows.contains(&r) {
+            rows.push(r);
+        }
+    }
+    rows
+}
+
+/// Open a throwaway full-file reader for one-shot streaming passes
+/// (knord's post-run refresh/SSE over the whole matrix).
+pub fn open_reader(path: &Path) -> io::Result<SafsReader> {
+    Ok(SafsReader::new(RowStore::open(path, DEFAULT_PAGE_SIZE)?, 32 << 20, 4))
+}
+
+/// Forgy initialization straight from an on-disk matrix: `k` distinct
+/// random rows read through a throwaway reader. Identical picks to a
+/// knors `SemInit::Forgy` run with the same seed — knord's file-based
+/// entry point uses this so every plane starts from the same centroids.
+pub fn forgy_from_file(path: &Path, k: usize, seed: u64) -> io::Result<DMatrix> {
+    let store = RowStore::open(path, DEFAULT_PAGE_SIZE)?;
+    let (n, d) = (store.nrow(), store.ncol());
+    let reader = SafsReader::new(store, 32 << 20, 4);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let rows = forgy_sample(&mut rng, n, k);
+    let mut buf = Vec::new();
+    reader.fetch_rows(&rows, &mut buf)?;
+    Ok(DMatrix::from_vec(buf, k, d))
+}
+
+/// Stream the reader's file once, re-running the algorithm's map phase on
+/// every row against the final centroids (the post-run refresh pass for
+/// subsampling algorithms).
+pub fn streamed_refresh(
+    reader: &SafsReader,
+    cents: &Centroids,
+    algo: &dyn MmAlgorithm,
+    assignments: &mut [u32],
+) -> io::Result<()> {
+    let n = reader.store().nrow();
+    let d = reader.store().ncol();
+    let chunk = 8192usize;
+    let mut buf = Vec::new();
+    let mut rows: Vec<usize> = Vec::with_capacity(chunk);
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        rows.clear();
+        rows.extend(start..end);
+        reader.fetch_rows(&rows, &mut buf)?;
+        for (i, r) in (start..end).enumerate() {
+            assignments[r] = algo.map(&buf[i * d..(i + 1) * d], cents).cluster;
+        }
+        start = end;
+    }
+    Ok(())
+}
+
+/// Stream the reader's file once to compute the final SSE.
+pub fn streamed_sse(
+    reader: &SafsReader,
+    centroids: &DMatrix,
+    assignments: &[u32],
+) -> io::Result<f64> {
+    let n = reader.store().nrow();
+    let d = reader.store().ncol();
+    let chunk = 8192usize;
+    let mut total = 0.0;
+    let mut buf = Vec::new();
+    let mut rows: Vec<usize> = Vec::with_capacity(chunk);
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        rows.clear();
+        rows.extend(start..end);
+        reader.fetch_rows(&rows, &mut buf)?;
+        for (i, r) in (start..end).enumerate() {
+            let v = &buf[i * d..(i + 1) * d];
+            total += knor_core::distance::sqdist(v, centroids.row(assignments[r] as usize));
+        }
+        start = end;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knor_matrix::io::write_matrix;
+    use knor_workloads::MixtureSpec;
+
+    #[test]
+    fn range_plane_reads_only_its_slice_rows() {
+        let data = MixtureSpec::friendster_like(600, 4, 9).generate().data;
+        let mut p = std::env::temp_dir();
+        p.push(format!("knor-sem-plane-range-{}.knor", std::process::id()));
+        write_matrix(&p, &data).unwrap();
+
+        let cfg = SemPlaneConfig { page_size: 256, ..Default::default() };
+        let plane = SemPlane::open_range(&p, &cfg, 200..400, 2).unwrap();
+        assert_eq!(plane.nrow(), 200);
+        let mut scratch = StagedScratch::new();
+        let needed: Vec<usize> = (0..50).collect(); // local ids
+        let hits = plane.stage(0, &needed, &mut scratch);
+        assert_eq!(hits, 0, "cold cache");
+        for (i, &r) in needed.iter().enumerate() {
+            assert_eq!(&scratch.data[i * 4..(i + 1) * 4], data.row(200 + r), "local row {r}");
+        }
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn forgy_from_file_matches_in_memory_rows() {
+        let data = MixtureSpec::friendster_like(300, 5, 3).generate().data;
+        let mut p = std::env::temp_dir();
+        p.push(format!("knor-sem-plane-forgy-{}.knor", std::process::id()));
+        write_matrix(&p, &data).unwrap();
+        let init = forgy_from_file(&p, 7, 11).unwrap();
+        assert_eq!((init.nrow(), init.ncol()), (7, 5));
+        // Every picked centroid is bitwise one of the dataset's rows.
+        for c in init.rows() {
+            assert!(data.rows().any(|r| r == c), "centroid not a data row");
+        }
+        std::fs::remove_file(&p).unwrap();
+    }
+}

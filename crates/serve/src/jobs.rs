@@ -15,7 +15,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use knor_core::{Algorithm, Kmeans, KmeansConfig};
-use knor_dist::{DistConfig, DistKmeans};
+use knor_dist::{DistConfig, DistKmeans, RankPlane};
 use knor_matrix::{io as matrix_io, DMatrix};
 use knor_sem::{SemConfig, SemKmeans};
 
@@ -81,6 +81,9 @@ pub struct TrainSpec {
     pub threads: Option<usize>,
     /// Simulated ranks for the dist engine.
     pub ranks: usize,
+    /// Per-rank data plane for the dist engine (`Sem` streams each rank's
+    /// byte range from the file — requires a [`TrainSource::File`]).
+    pub plane: RankPlane,
     /// Training data.
     pub source: TrainSource,
 }
@@ -97,6 +100,7 @@ impl TrainSpec {
             seed: 1,
             threads: None,
             ranks: 2,
+            plane: RankPlane::InMemory,
             source,
         }
     }
@@ -277,14 +281,31 @@ fn train(spec: &TrainSpec) -> Result<DMatrix, String> {
             Ok(r.kmeans.centroids)
         }
         EngineKind::Dist => {
+            let cfg = DistConfig::new(spec.k, spec.ranks.max(1), spec.threads.unwrap_or(2))
+                .with_seed(spec.seed)
+                .with_algo(spec.algo.clone())
+                .with_plane(spec.plane.clone())
+                .with_max_iters(spec.max_iters);
+            if matches!(spec.plane, RankPlane::Sem(_)) {
+                // SEM ranks stream their byte ranges, so the job needs a
+                // file and never materializes the matrix in this process.
+                let path = match &spec.source {
+                    TrainSource::File(p) => p.clone(),
+                    TrainSource::Matrix(_) => {
+                        return Err("dist engine with a sem plane trains from a file source".into())
+                    }
+                };
+                // File-based init cannot run a full D² pass.
+                let cfg = cfg.with_init(knor_core::InitMethod::Forgy);
+                let r = DistKmeans::new(cfg)
+                    .fit_file(&path)
+                    .map_err(|e| format!("dist+sem run: {e}"))?;
+                return Ok(r.centroids);
+            }
             let data = match &spec.source {
                 TrainSource::File(p) => load(p)?,
                 TrainSource::Matrix(m) => m.clone(),
             };
-            let cfg = DistConfig::new(spec.k, spec.ranks.max(1), spec.threads.unwrap_or(2))
-                .with_seed(spec.seed)
-                .with_algo(spec.algo.clone())
-                .with_max_iters(spec.max_iters);
             Ok(DistKmeans::new(cfg).fit(&data).centroids)
         }
     }
@@ -334,6 +355,29 @@ mod tests {
                 other => panic!("{}: {other:?}", engine.name()),
             }
             assert_eq!(registry.get(engine.name()).unwrap().model.k(), 4);
+        }
+        // dist with SEM ranks: trains straight off the file, never
+        // loading the full matrix into this process.
+        let id = runner.submit(TrainSpec {
+            engine: EngineKind::Dist,
+            plane: RankPlane::sem_default(),
+            threads: Some(2),
+            ..TrainSpec::new("dist-sem", 4, TrainSource::File(path.clone()))
+        });
+        match runner.wait(id).unwrap() {
+            JobStatus::Done { version: 1 } => {}
+            other => panic!("dist-sem: {other:?}"),
+        }
+        assert_eq!(registry.get("dist-sem").unwrap().model.k(), 4);
+        // ...and refuses an in-memory source with a clear message.
+        let id = runner.submit(TrainSpec {
+            engine: EngineKind::Dist,
+            plane: RankPlane::sem_default(),
+            ..TrainSpec::new("dist-sem-mem", 4, TrainSource::Matrix(tiny_data(100, 3)))
+        });
+        match runner.wait(id).unwrap() {
+            JobStatus::Failed { message } => assert!(message.contains("file source"), "{message}"),
+            other => panic!("{other:?}"),
         }
         std::fs::remove_file(&path).unwrap();
     }

@@ -106,6 +106,18 @@ fn serve_conn(
     Ok(())
 }
 
+/// Parse a TRAIN engine token — the one place the token set is defined,
+/// shared by the server dispatch and CLI-side validation. `dist-sem`
+/// selects the dist engine with SEM-plane ranks (each rank streams its
+/// own byte range of the training file); everything else maps through
+/// [`EngineKind::parse`] with in-memory ranks.
+pub fn parse_engine_token(tok: &str) -> Option<(EngineKind, knor_dist::RankPlane)> {
+    match tok {
+        "dist-sem" => Some((EngineKind::Dist, knor_dist::RankPlane::sem_default())),
+        tok => EngineKind::parse(tok).map(|e| (e, knor_dist::RankPlane::InMemory)),
+    }
+}
+
 /// Execute one request line, producing one response line.
 pub fn dispatch(handle: &ServeHandle, line: &str) -> String {
     match try_dispatch(handle, line) {
@@ -120,8 +132,8 @@ fn try_dispatch(handle: &ServeHandle, line: &str) -> Result<String, String> {
     match verb {
         "TRAIN" => {
             let model = tokens.next().ok_or("TRAIN: missing model")?.to_string();
-            let engine = EngineKind::parse(tokens.next().ok_or("TRAIN: missing engine")?)
-                .ok_or("TRAIN: bad engine (im|sem|dist)")?;
+            let (engine, plane) = parse_engine_token(tokens.next().ok_or("TRAIN: missing engine")?)
+                .ok_or("TRAIN: bad engine (im|sem|dist|dist-sem)")?;
             let algo = Algorithm::parse_spec(tokens.next().ok_or("TRAIN: missing algo")?)
                 .ok_or("TRAIN: bad algo spec")?;
             let k: usize = parse_tok(&mut tokens, "TRAIN: k")?;
@@ -138,6 +150,7 @@ fn try_dispatch(handle: &ServeHandle, line: &str) -> Result<String, String> {
                 algo,
                 max_iters,
                 seed,
+                plane,
                 ..TrainSpec::new(&model, k, TrainSource::File(PathBuf::from(path)))
             });
             Ok(format!("job {}", id.0))
@@ -249,12 +262,13 @@ impl Client {
         }
     }
 
-    /// Submit a training job; returns the job id.
+    /// Submit a training job; returns the job id. `engine` is the wire
+    /// token (`im`, `sem`, `dist`, or `dist-sem` for SEM-plane ranks).
     #[allow(clippy::too_many_arguments)]
     pub fn train(
         &mut self,
         model: &str,
-        engine: EngineKind,
+        engine: &str,
         algo: &Algorithm,
         k: usize,
         iters: usize,
@@ -263,8 +277,7 @@ impl Client {
     ) -> io::Result<u64> {
         Self::check_name(model)?;
         let resp = self.round_trip(&format!(
-            "TRAIN {model} {} {} {k} {iters} {seed} {}",
-            engine.name(),
+            "TRAIN {model} {engine} {} {k} {iters} {seed} {}",
             algo.spec_string(),
             path.display()
         ))?;
@@ -389,7 +402,7 @@ mod tests {
         matrix_io::write_matrix(&path, &data).unwrap();
 
         let mut c = Client::connect(addr).unwrap();
-        let job = c.train("gmm", EngineKind::Im, &Algorithm::Lloyd, 5, 20, 1, &path).unwrap();
+        let job = c.train("gmm", "im", &Algorithm::Lloyd, 5, 20, 1, &path).unwrap();
         let status = c.wait(job, std::time::Duration::from_millis(5)).unwrap();
         assert!(status.starts_with("done 1"), "{status}");
 
@@ -442,6 +455,9 @@ mod tests {
         assert_eq!(dispatch(&handle, "LIST"), "OK empty");
         // Final-field paths may contain spaces (consumed to end-of-line).
         let resp = dispatch(&handle, "TRAIN m im lloyd 3 5 1 /tmp/with space.knor");
+        assert!(resp.starts_with("OK job "), "{resp}");
+        // dist-sem is a valid engine token (SEM-plane ranks).
+        let resp = dispatch(&handle, "TRAIN m2 dist-sem lloyd 3 5 1 /tmp/x.knor");
         assert!(resp.starts_with("OK job "), "{resp}");
         // Client-side: model names must be single tokens.
         let mut c = Client::connect(TcpServer::bind(handle, "127.0.0.1:0").unwrap().addr())

@@ -6,13 +6,13 @@
 //! ```text
 //! knor im   <file.knor> -k 10 [-i 100] [-t N] [--no-prune] [--init pp|forgy|random]
 //!           [--algo lloyd|spherical|fuzzy|minibatch] [--fuzz M] [--batch B]
-//! knor sem  <file.knor> -k 10 [--row-cache MB] [--page-cache MB]
-//! knor dist <file.knor> -k 10 [--ranks R] [--star]
+//! knor sem  <file.knor> -k 10 [--row-cache MB] [--page-cache MB] [--stats]
+//! knor dist <file.knor> -k 10 [--ranks R] [--star] [--plane im|sem] [--stats]
 //! knor gen  <file.knor> --dataset friendster8|friendster32|rm856m|rm1b|ru2b --scale f
 //!
 //! knor serve --addr H:P [-t N]                      run a serving instance
 //! knor train --addr H:P --model M --file F -k 10    submit a train job
-//!            [--engine im|sem|dist] [--algo ...] [-i N] [--seed S] [--wait]
+//!            [--engine im|sem|dist|dist-sem] [--algo ...] [-i N] [--seed S] [--wait]
 //! knor query --addr H:P --model M --file Q.knor     stream queries, print stats
 //!            [--limit N] [--batch B]
 //! knor ctl   --addr H:P list|stats M|save M DIR|shutdown
@@ -30,11 +30,18 @@ struct Opts {
     threads: Option<usize>,
     prune: bool,
     init: String,
+    /// Whether `--init` was passed explicitly (dist+sem defaults to forgy
+    /// only when the user expressed no preference).
+    init_set: bool,
     seed: u64,
     row_cache_mb: u64,
     page_cache_mb: u64,
     ranks: usize,
     star: bool,
+    /// Per-rank data plane for `dist` (`im` or `sem`).
+    plane: String,
+    /// Print the per-iteration I/O / wire summary after the run.
+    stats: bool,
     dataset: String,
     scale: f64,
     algo: String,
@@ -55,16 +62,47 @@ fn usage() -> ! {
          \x20          [--no-prune] [--init pp|forgy|random] [--seed S]\n\
          \x20          [--algo lloyd|spherical|fuzzy|minibatch]\n\
          \x20          [--fuzz M] [--batch B]\n\
-         \x20          [--row-cache MB] [--page-cache MB]   (sem)\n\
-         \x20          [--ranks R] [--star]                 (dist)\n\
-         \x20          [--dataset NAME] [--scale F]         (gen)\n\
+         \x20          [--row-cache MB] [--page-cache MB] [--stats]    (sem)\n\
+         \x20          [--ranks R] [--star] [--plane im|sem] [--stats] (dist)\n\
+         \x20          [--dataset NAME] [--scale F]                    (gen)\n\
          \x20      knor serve --addr H:P [-t THREADS]\n\
          \x20      knor train --addr H:P --model M --file F.knor [-k K] [-i N]\n\
-         \x20          [--engine im|sem|dist] [--algo A] [--seed S] [--wait]\n\
+         \x20          [--engine im|sem|dist|dist-sem] [--algo A] [--seed S] [--wait]\n\
          \x20      knor query --addr H:P --model M --file Q.knor [--limit N] [--batch B]\n\
          \x20      knor ctl --addr H:P <list | stats MODEL | save MODEL DIR | shutdown>"
     );
     exit(2)
+}
+
+/// One-line rejection with a nonzero exit — flag problems must never flow
+/// into the engines as degenerate values and surface as a panic later.
+fn die(msg: &str) -> ! {
+    eprintln!("knor: {msg}");
+    exit(2)
+}
+
+/// Parse a numeric flag value or reject it with a clear one-liner.
+fn num<T: std::str::FromStr>(flag: &str, s: &str) -> T {
+    s.parse().unwrap_or_else(|_| die(&format!("invalid value '{s}' for {flag}: not a number")))
+}
+
+/// Parse a numeric flag value that must be at least 1.
+fn pos(flag: &str, s: &str) -> usize {
+    let v: usize = num(flag, s);
+    if v == 0 {
+        die(&format!("invalid value '0' for {flag}: must be at least 1"));
+    }
+    v
+}
+
+/// Parse a megabyte flag value, rejecting amounts whose byte conversion
+/// (`<< 20`) would overflow instead of silently wrapping.
+fn mb(flag: &str, s: &str) -> u64 {
+    let v: u64 = num(flag, s);
+    if v > (u64::MAX >> 20) {
+        die(&format!("invalid value '{s}' for {flag}: exceeds the addressable byte range"));
+    }
+    v
 }
 
 fn parse(args: &[String]) -> (String, Opts) {
@@ -85,11 +123,14 @@ fn parse(args: &[String]) -> (String, Opts) {
         threads: None,
         prune: true,
         init: "pp".into(),
+        init_set: false,
         seed: 1,
         row_cache_mb: 512,
         page_cache_mb: 1024,
         ranks: 4,
         star: false,
+        plane: "im".into(),
+        stats: false,
         dataset: "friendster8".into(),
         scale: 0.001,
         algo: "lloyd".into(),
@@ -110,27 +151,38 @@ fn parse(args: &[String]) -> (String, Opts) {
             args.get(*i).cloned().unwrap_or_else(|| usage())
         };
         match flag {
-            "-k" => o.k = val(&mut i).parse().unwrap_or_else(|_| usage()),
-            "-i" | "--iters" => o.iters = val(&mut i).parse().unwrap_or_else(|_| usage()),
-            "-t" | "--threads" => o.threads = Some(val(&mut i).parse().unwrap_or_else(|_| usage())),
+            "-k" => o.k = pos("-k", &val(&mut i)),
+            "-i" | "--iters" => o.iters = pos("-i", &val(&mut i)),
+            "-t" | "--threads" => o.threads = Some(pos("-t", &val(&mut i))),
             "--no-prune" => o.prune = false,
-            "--init" => o.init = val(&mut i),
-            "--seed" => o.seed = val(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--row-cache" => o.row_cache_mb = val(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--page-cache" => o.page_cache_mb = val(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--ranks" => o.ranks = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--init" => {
+                o.init = val(&mut i);
+                o.init_set = true;
+            }
+            "--seed" => o.seed = num("--seed", &val(&mut i)),
+            "--row-cache" => o.row_cache_mb = mb("--row-cache", &val(&mut i)),
+            "--page-cache" => o.page_cache_mb = mb("--page-cache", &val(&mut i)),
+            "--ranks" => o.ranks = pos("--ranks", &val(&mut i)),
             "--star" => o.star = true,
+            "--plane" => o.plane = val(&mut i),
+            "--stats" => o.stats = true,
             "--dataset" => o.dataset = val(&mut i),
-            "--scale" => o.scale = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--scale" => {
+                let s = val(&mut i);
+                o.scale = num("--scale", &s);
+                if !(o.scale > 0.0 && o.scale.is_finite()) {
+                    die(&format!("invalid value '{s}' for --scale: must be a positive number"));
+                }
+            }
             "--algo" => o.algo = val(&mut i),
-            "--fuzz" => o.fuzz = val(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--batch" => o.batch = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--fuzz" => o.fuzz = num("--fuzz", &val(&mut i)),
+            "--batch" => o.batch = pos("--batch", &val(&mut i)),
             "--addr" => o.addr = val(&mut i),
             "--model" => o.model = val(&mut i),
             "--engine" => o.engine = val(&mut i),
             "--file" => o.file = PathBuf::from(val(&mut i)),
             "--wait" => o.wait = true,
-            "--limit" => o.limit = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--limit" => o.limit = num("--limit", &val(&mut i)),
             // Only `ctl` takes trailing positional words (its subcommand);
             // anywhere else a stray word is a mistake, not ignorable.
             word if !word.starts_with('-') && mode == "ctl" => o.rest.push(word.to_string()),
@@ -169,8 +221,7 @@ fn algorithm(o: &Opts, n: usize) -> Algorithm {
         "fuzzy" => {
             // NaN or <= 1.0 both fail the domain check.
             if o.fuzz.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater) {
-                eprintln!("--fuzz must exceed 1.0 (got {})", o.fuzz);
-                usage()
+                die(&format!("invalid value '{}' for --fuzz: must exceed 1.0", o.fuzz));
             }
             Algorithm::Fuzzy { m: o.fuzz }
         }
@@ -246,21 +297,56 @@ fn main() {
             report("knors", r.kmeans.niters, r.kmeans.converged, r.kmeans.sse, t0.elapsed());
             let read: u64 = r.io.iter().map(|i| i.bytes_read).sum();
             println!("device bytes read: {:.1} MB", read as f64 / 1e6);
+            if o.stats {
+                print_io_table(&r.io);
+                if r.panicked_io_threads > 0 {
+                    println!("WARNING: {} prefetch thread(s) died mid-run", r.panicked_io_threads);
+                }
+            }
         }
         "dist" => {
-            let data = matrix_io::read_matrix(&o.file).expect("read failed");
             let threads = o.threads.unwrap_or(2);
-            let cfg = DistConfig::new(o.k, o.ranks, threads)
-                .with_init(init_method(&o))
+            let mut cfg = DistConfig::new(o.k, o.ranks, threads)
                 .with_seed(o.seed)
                 .with_pruning(pruning(&o))
-                .with_algo(algorithm(&o, data.nrow()))
                 .with_reduce(if o.star { ReduceAlgo::Star } else { ReduceAlgo::Ring })
                 .with_max_iters(o.iters)
                 .with_sse(true);
             let t0 = std::time::Instant::now();
-            let r = DistKmeans::new(cfg).fit(&data);
+            let r = match o.plane.as_str() {
+                "im" => {
+                    let data = matrix_io::read_matrix(&o.file).expect("read failed");
+                    cfg = cfg.with_init(init_method(&o)).with_algo(algorithm(&o, data.nrow()));
+                    DistKmeans::new(cfg).fit(&data)
+                }
+                "sem" => {
+                    // SEM ranks stream their byte ranges from the file;
+                    // nothing is ever fully resident, so init must too
+                    // avoid a full pass (forgy reads k rows from disk).
+                    let n = matrix_io::read_header(&o.file).expect("read header").nrow as usize;
+                    match o.init.as_str() {
+                        "forgy" => {}
+                        "pp" if !o.init_set => {} // silent default swap below
+                        other => die(&format!(
+                            "--plane sem streams from disk; --init {other} needs the full \
+                             matrix (use --init forgy or --plane im)"
+                        )),
+                    }
+                    cfg = cfg.with_init(InitMethod::Forgy).with_algo(algorithm(&o, n)).with_plane(
+                        RankPlane::Sem(
+                            SemPlaneConfig::default()
+                                .with_row_cache_bytes(o.row_cache_mb << 20)
+                                .with_page_cache_bytes(o.page_cache_mb << 20),
+                        ),
+                    );
+                    DistKmeans::new(cfg).fit_file(&o.file).expect("dist+sem run failed")
+                }
+                other => die(&format!("invalid value '{other}' for --plane: expected im or sem")),
+            };
             report("knord", r.niters, r.converged, r.sse, t0.elapsed());
+            if o.stats {
+                print_dist_stats(&r);
+            }
         }
         "serve" => {
             let mut cfg = ServeConfig::default();
@@ -278,18 +364,20 @@ fn main() {
                 eprintln!("train needs --model and --file");
                 usage()
             }
-            let engine = EngineKind::parse(&o.engine).unwrap_or_else(|| {
-                eprintln!("unknown engine '{}'", o.engine);
-                usage()
-            });
+            if knor::serve::tcp::parse_engine_token(&o.engine).is_none() {
+                die(&format!(
+                    "invalid value '{}' for --engine: expected im, sem, dist or dist-sem",
+                    o.engine
+                ));
+            }
             // The mini-batch default batch (`n/10`) needs n: one header read.
             let n = matrix_io::read_header(&o.file).map(|h| h.nrow as usize).unwrap_or(0);
             let algo = algorithm(&o, n.max(1));
             let mut c = Client::connect(&*o.addr).expect("connect failed");
             let job = c
-                .train(&o.model, engine, &algo, o.k, o.iters, o.seed, &o.file)
+                .train(&o.model, &o.engine, &algo, o.k, o.iters, o.seed, &o.file)
                 .expect("train submit failed");
-            println!("submitted job {job} (model {}, engine {})", o.model, engine.name());
+            println!("submitted job {job} (model {}, engine {})", o.model, o.engine);
             if o.wait {
                 let status =
                     c.wait(job, std::time::Duration::from_millis(50)).expect("poll failed");
@@ -366,5 +454,74 @@ fn report(name: &str, niters: usize, converged: bool, sse: Option<f64>, t: std::
     println!("{name}: {niters} iterations in {t:.2?} (converged = {converged})");
     if let Some(s) = sse {
         println!("SSE = {s:.4}");
+    }
+}
+
+/// The per-iteration I/O summary engines collect (`--stats` for sem/dist).
+fn print_io_table(io: &[knor::sem::IoIterStats]) {
+    println!(
+        "{:>4} {:>9} {:>9} {:>9} {:>12} {:>12} {:>9} {:>9} {:>9} {:>5}",
+        "iter",
+        "active",
+        "rc_hit",
+        "rc_miss",
+        "req_B",
+        "read_B",
+        "pg_hit",
+        "pg_miss",
+        "rc_rows",
+        "refr"
+    );
+    for it in io {
+        println!(
+            "{:>4} {:>9} {:>9} {:>9} {:>12} {:>12} {:>9} {:>9} {:>9} {:>5}",
+            it.iter,
+            it.active_rows,
+            it.rc_hits,
+            it.rc_misses,
+            it.bytes_requested,
+            it.bytes_read,
+            it.page_hits,
+            it.page_misses,
+            it.rc_resident_rows,
+            if it.rc_refreshed { "yes" } else { "" }
+        );
+    }
+}
+
+/// `--stats` for dist: per-iteration wire traffic, per-rank totals, and —
+/// for SEM-plane runs — each rank's private I/O record.
+fn print_dist_stats(r: &DistResult) {
+    println!("{:>4} {:>10} {:>12} {:>14}", "iter", "reassign", "wire_B", "max_rank_wire_B");
+    for it in &r.iters {
+        println!(
+            "{:>4} {:>10} {:>12} {:>14}",
+            it.iter, it.reassigned, it.comm_bytes, it.max_rank_comm_bytes
+        );
+    }
+    println!("{:>4} {:>9} {:>12} {:>12} {:>9}", "rank", "rows", "sent_B", "recv_B", "msgs");
+    for c in &r.rank_comm {
+        println!(
+            "{:>4} {:>9} {:>12} {:>12} {:>9}",
+            c.rank, c.rows, c.bytes_sent, c.bytes_received, c.messages_sent
+        );
+    }
+    for rio in &r.rank_io {
+        if rio.io.is_empty() {
+            continue;
+        }
+        let read: u64 = rio.io.iter().map(|i| i.bytes_read).sum();
+        let hits: u64 = rio.io.iter().map(|i| i.rc_hits).sum();
+        let misses: u64 = rio.io.iter().map(|i| i.rc_misses).sum();
+        println!(
+            "rank {} io: {:.1} MB read, rc {hits} hits / {misses} misses{}",
+            rio.rank,
+            read as f64 / 1e6,
+            if rio.panicked_io_threads > 0 {
+                format!(", {} prefetch thread(s) DIED", rio.panicked_io_threads)
+            } else {
+                String::new()
+            }
+        );
     }
 }

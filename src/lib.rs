@@ -44,9 +44,9 @@ pub use knor_workloads as workloads;
 pub use knor_core::{
     Algorithm, InitMethod, IterStats, Kmeans, KmeansConfig, KmeansResult, Pruning,
 };
-pub use knor_dist::{DistConfig, DistKmeans, DistResult};
+pub use knor_dist::{DistConfig, DistKmeans, DistResult, RankIo, RankPlane};
 pub use knor_matrix::DMatrix;
-pub use knor_sem::{SemConfig, SemInit, SemKmeans, SemResult};
+pub use knor_sem::{SemConfig, SemInit, SemKmeans, SemPlaneConfig, SemResult};
 pub use knor_serve::{ServeConfig, ServeHandle};
 
 /// One-stop imports for typical use.
@@ -54,11 +54,11 @@ pub mod prelude {
     pub use knor_core::{
         Algorithm, InitMethod, KernelKind, Kmeans, KmeansConfig, KmeansResult, Pruning,
     };
-    pub use knor_dist::{DistConfig, DistKmeans, DistResult};
+    pub use knor_dist::{DistConfig, DistKmeans, DistResult, RankIo, RankPlane};
     pub use knor_matrix::{io as matrix_io, DMatrix};
     pub use knor_mpi::ReduceAlgo;
     pub use knor_sched::SchedulerKind;
-    pub use knor_sem::{SemConfig, SemInit, SemKmeans, SemResult};
+    pub use knor_sem::{SemConfig, SemInit, SemKmeans, SemPlaneConfig, SemResult};
     pub use knor_serve::{
         EngineKind, Prediction, ServeConfig, ServeHandle, StatsSnapshot, TrainSource, TrainSpec,
     };

@@ -1,0 +1,92 @@
+//! CLI input validation: degenerate numeric flags must be rejected with a
+//! clear one-line error and a nonzero exit *before* any engine runs —
+//! never flow into an engine and surface as a downstream panic.
+
+use std::process::Command;
+
+fn knor() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_knor"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("knor-cli-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn degenerate_numeric_flags_are_rejected_before_any_io() {
+    // None of these files exist; every rejection must fire at parse time.
+    for args in [
+        vec!["im", "/nonexistent/x.knor", "-k", "0"],
+        vec!["im", "/nonexistent/x.knor", "-k", "banana"],
+        vec!["im", "/nonexistent/x.knor", "-i", "0"],
+        vec!["im", "/nonexistent/x.knor", "-t", "0"],
+        vec!["im", "/nonexistent/x.knor", "--seed", "eleven"],
+        vec!["im", "/nonexistent/x.knor", "--batch", "0"],
+        vec!["sem", "/nonexistent/x.knor", "--row-cache", "lots"],
+        vec!["dist", "/nonexistent/x.knor", "--ranks", "0"],
+        vec!["dist", "/nonexistent/x.knor", "--plane", "gpu"],
+        vec!["gen", "/nonexistent/x.knor", "--scale", "0"],
+        vec!["gen", "/nonexistent/x.knor", "--scale", "-0.5"],
+        vec!["gen", "/nonexistent/x.knor", "--scale", "NaN"],
+        vec!["train", "--model", "m", "--file", "f", "--engine", "gpu"],
+    ] {
+        let out = knor().args(&args).output().expect("spawn knor");
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.starts_with("knor: "), "{args:?} → {err:?}");
+        assert_eq!(err.trim_end().lines().count(), 1, "{args:?}: one-line error, got {err:?}");
+    }
+}
+
+#[test]
+fn valid_flags_still_run_end_to_end() {
+    let file = tmp("ok.knor");
+    let gen = knor()
+        .args(["gen", file.to_str().unwrap(), "--dataset", "friendster8", "--scale", "0.0002"])
+        .output()
+        .expect("spawn gen");
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+
+    let im = knor()
+        .args(["im", file.to_str().unwrap(), "-k", "4", "-i", "5", "-t", "2"])
+        .output()
+        .expect("spawn im");
+    assert!(im.status.success(), "{}", String::from_utf8_lossy(&im.stderr));
+
+    // Post-parse domain checks still reject cleanly (fuzzifier domain).
+    let fuzz = knor()
+        .args(["im", file.to_str().unwrap(), "-k", "2", "--algo", "fuzzy", "--fuzz", "1.0"])
+        .output()
+        .expect("spawn fuzzy");
+    assert_eq!(fuzz.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&fuzz.stderr).contains("--fuzz"));
+
+    // dist over SEM ranks straight from the CLI, with the I/O summary.
+    let dist = knor()
+        .args([
+            "dist",
+            file.to_str().unwrap(),
+            "-k",
+            "4",
+            "-i",
+            "5",
+            "--ranks",
+            "2",
+            "--plane",
+            "sem",
+            "--row-cache",
+            "4",
+            "--stats",
+        ])
+        .output()
+        .expect("spawn dist+sem");
+    assert!(dist.status.success(), "{}", String::from_utf8_lossy(&dist.stderr));
+    let stdout = String::from_utf8_lossy(&dist.stdout);
+    assert!(stdout.contains("knord:"), "{stdout}");
+    assert!(stdout.contains("rank 0 io:"), "--stats must print per-rank I/O: {stdout}");
+    assert!(stdout.contains("rank 1 io:"), "{stdout}");
+
+    std::fs::remove_file(&file).unwrap();
+}

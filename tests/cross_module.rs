@@ -230,6 +230,212 @@ fn every_algorithm_agrees_across_all_three_engines() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// The PR-5 plane matrix, part 1: knord with a single SEM rank *is*
+/// knors — same plane code, same file, same budgets ⇒ bitwise-identical
+/// assignments, centroids, trajectory and per-iteration I/O record, for
+/// every kernel with MTI on and off.
+#[test]
+fn dist_sem_single_rank_bitwise_matches_knors() {
+    let (data, _) = workload(1600, 6, 606);
+    let k = 8;
+    let init = InitMethod::Forgy.initialize(&data, k, 41).to_matrix();
+    let max_iters = 40;
+    let mut path = std::env::temp_dir();
+    path.push(format!("knor-cross-plane1-{}.knor", std::process::id()));
+    matrix_io::write_matrix(&path, &data).unwrap();
+
+    for pruning in [Pruning::Mti, Pruning::None] {
+        for kernel in [KernelKind::Scalar, KernelKind::Tiled, KernelKind::NormTrick] {
+            let tag = format!("pruning={pruning:?} kernel={kernel:?}");
+            let sem = SemKmeans::new(
+                SemConfig::new(k)
+                    .with_init(SemInit::Given(init.clone()))
+                    .with_threads(2)
+                    .with_scheduler(SchedulerKind::Static)
+                    .with_page_size(512)
+                    .with_task_size(128)
+                    .with_pruning(pruning)
+                    .with_row_cache_bytes(1 << 20)
+                    .with_cache_interval(2)
+                    .with_kernel(kernel)
+                    .with_max_iters(max_iters),
+            )
+            .fit(&path)
+            .unwrap();
+
+            // Match knors' budgets and cache interval exactly, so the
+            // refresh schedules align.
+            let mut pcfg =
+                SemPlaneConfig::default().with_page_size(512).with_row_cache_bytes(1 << 20);
+            pcfg.cache_interval = 2;
+            let dist = DistKmeans::new(
+                DistConfig::new(k, 1, 2)
+                    .with_init(InitMethod::Given(init.clone()))
+                    .with_scheduler(SchedulerKind::Static)
+                    .with_task_size(128)
+                    .with_pruning(pruning)
+                    .with_kernel(kernel)
+                    .with_plane(RankPlane::Sem(pcfg))
+                    .with_max_iters(max_iters),
+            )
+            .fit_file(&path)
+            .unwrap();
+
+            assert_eq!(dist.assignments, sem.kmeans.assignments, "{tag}: assignments");
+            assert_eq!(dist.centroids, sem.kmeans.centroids, "{tag}: centroids must be bitwise");
+            assert_eq!(dist.niters, sem.kmeans.niters, "{tag}: trajectory");
+            // The single rank's private I/O record is knors' record.
+            assert_eq!(dist.rank_io.len(), 1, "{tag}");
+            assert_eq!(dist.rank_io[0].io.len(), sem.io.len(), "{tag}");
+            for (a, b) in dist.rank_io[0].io.iter().zip(&sem.io) {
+                assert_eq!(a.active_rows, b.active_rows, "{tag} iter {}", a.iter);
+                assert_eq!(a.rc_hits, b.rc_hits, "{tag} iter {}", a.iter);
+                assert_eq!(a.bytes_requested, b.bytes_requested, "{tag} iter {}", a.iter);
+                assert_eq!(a.bytes_read, b.bytes_read, "{tag} iter {}", a.iter);
+            }
+            // The row cache must actually have engaged, or this proved
+            // nothing about the hit/miss staging path.
+            let hits: u64 = sem.io.iter().map(|i| i.rc_hits).sum();
+            assert!(hits > 0, "{tag}: row cache never hit");
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The PR-5 plane matrix, part 2: at R ∈ {2, 4}, knord over SEM ranks is
+/// bitwise-identical to knord over in-memory ranks — the canonical
+/// rank-order allreduce plus in-order staged commits make the trajectory
+/// independent of where the rows physically live. Every kernel, MTI on
+/// and off.
+#[test]
+fn dist_sem_bitwise_matches_dist_in_memory_across_ranks() {
+    let (data, _) = workload(1800, 6, 707);
+    let k = 9;
+    let init = InitMethod::Forgy.initialize(&data, k, 5).to_matrix();
+    let max_iters = 30;
+    let mut path = std::env::temp_dir();
+    path.push(format!("knor-cross-plane2-{}.knor", std::process::id()));
+    matrix_io::write_matrix(&path, &data).unwrap();
+
+    for ranks in [2usize, 4] {
+        for pruning in [Pruning::Mti, Pruning::None] {
+            for kernel in [KernelKind::Scalar, KernelKind::Tiled, KernelKind::NormTrick] {
+                let tag = format!("R={ranks} pruning={pruning:?} kernel={kernel:?}");
+                let base = DistConfig::new(k, ranks, 2)
+                    .with_init(InitMethod::Given(init.clone()))
+                    .with_scheduler(SchedulerKind::Static)
+                    .with_task_size(128)
+                    .with_pruning(pruning)
+                    .with_kernel(kernel)
+                    .with_max_iters(max_iters)
+                    .with_sse(true);
+                let mem = DistKmeans::new(base.clone()).fit(&data);
+                let sem = DistKmeans::new(base.with_plane(RankPlane::Sem(
+                    SemPlaneConfig::default().with_page_size(512).with_row_cache_bytes(1 << 20),
+                )))
+                .fit_file(&path)
+                .unwrap();
+                assert_eq!(sem.assignments, mem.assignments, "{tag}: assignments");
+                assert_eq!(sem.centroids, mem.centroids, "{tag}: centroids must be bitwise");
+                assert_eq!(sem.niters, mem.niters, "{tag}: trajectory");
+                assert_eq!(
+                    sem.sse.map(f64::to_bits),
+                    mem.sse.map(f64::to_bits),
+                    "{tag}: SSE must be bitwise"
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The PR-5 plane matrix, part 3: every non-Lloyd algorithm walks the
+/// same bitwise trajectory on SEM ranks as on in-memory ranks.
+#[test]
+fn every_algorithm_bitwise_across_rank_planes() {
+    use knor_core::algo::Algorithm;
+
+    let (data, _) = workload(1500, 6, 808);
+    let k = 8;
+    let init = InitMethod::Forgy.initialize(&data, k, 9).to_matrix();
+    let max_iters = 20;
+    let mut path = std::env::temp_dir();
+    path.push(format!("knor-cross-plane3-{}.knor", std::process::id()));
+    matrix_io::write_matrix(&path, &data).unwrap();
+
+    for algo in
+        [Algorithm::Spherical, Algorithm::Fuzzy { m: 2.0 }, Algorithm::MiniBatch { batch: 256 }]
+    {
+        let name = algo.name();
+        let base = DistConfig::new(k, 2, 2)
+            .with_init(InitMethod::Given(init.clone()))
+            .with_algo(algo.clone())
+            .with_seed(13)
+            .with_scheduler(SchedulerKind::Static)
+            .with_task_size(128)
+            .with_max_iters(max_iters);
+        let mem = DistKmeans::new(base.clone()).fit(&data);
+        let sem = DistKmeans::new(base.with_plane(RankPlane::Sem(
+            SemPlaneConfig::default().with_page_size(512).with_row_cache_bytes(1 << 20),
+        )))
+        .fit_file(&path)
+        .unwrap();
+        assert_eq!(sem.assignments, mem.assignments, "{name}: assignments");
+        assert_eq!(sem.centroids, mem.centroids, "{name}: centroids must be bitwise");
+        assert_eq!(sem.niters, mem.niters, "{name}: trajectory");
+        if matches!(algo, Algorithm::MiniBatch { .. }) {
+            // The subsampling filter runs before any I/O: SEM ranks must
+            // have fetched only the in-batch rows.
+            let active: u64 =
+                sem.rank_io.iter().flat_map(|r| r.io.iter()).map(|i| i.active_rows).sum();
+            assert!(
+                active < (sem.niters as u64) * 1500,
+                "mini-batch SEM ranks fetched more than the sampled batches"
+            );
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A dataset larger than any single rank's row-cache budget must still
+/// complete under SEM ranks — correctness never depends on cache hits —
+/// and still match the in-memory plane bitwise.
+#[test]
+fn dist_sem_handles_data_larger_than_rank_caches() {
+    let (data, _) = workload(4000, 16, 909); // 512 KB of rows
+    let k = 8;
+    let init = InitMethod::Forgy.initialize(&data, k, 3).to_matrix();
+    let mut path = std::env::temp_dir();
+    path.push(format!("knor-cross-plane4-{}.knor", std::process::id()));
+    matrix_io::write_matrix(&path, &data).unwrap();
+
+    let base = DistConfig::new(k, 2, 2)
+        .with_init(InitMethod::Given(init))
+        .with_scheduler(SchedulerKind::Static)
+        .with_max_iters(30)
+        .with_sse(true);
+    let mem = DistKmeans::new(base.clone()).fit(&data);
+    // 8 KB row cache + 8 KB page cache per rank: ~3% of a rank's slice.
+    let sem = DistKmeans::new(
+        base.with_plane(RankPlane::Sem(
+            SemPlaneConfig::default()
+                .with_page_size(4096)
+                .with_row_cache_bytes(8 << 10)
+                .with_page_cache_bytes(8 << 10),
+        )),
+    )
+    .fit_file(&path)
+    .unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(sem.assignments, mem.assignments);
+    assert_eq!(sem.centroids, mem.centroids, "tight-budget SEM ranks must stay bitwise");
+    assert_eq!(sem.niters, mem.niters);
+    // The budget really was too small to hold a slice: device reads far
+    // exceed one pass's worth of a fully-cached run.
+    let read: u64 = sem.rank_io.iter().flat_map(|r| r.io.iter()).map(|i| i.bytes_read).sum();
+    assert!(read as usize > 4000 * 16 * 8, "caches absorbed everything; budget not tight");
+}
+
 #[test]
 fn planted_centers_recovered_by_every_module() {
     // Noise-free mixture: center recovery is only well-posed when every
