@@ -7,6 +7,10 @@
 //! 2.5×; see `knor_bench::regression`). Exit code 1 on any violation, so
 //! a hot-path regression fails the CI job instead of merging silently.
 //!
+//! PR 6 adds `kernel.assign.gemm` plus a hard floor independent of the
+//! baseline file: the blocked-GEMM path must hold ≥ 1.5× rows/s over PR 2's
+//! committed tiled *and* norm-trick headline numbers (k = 64, d = 32).
+//!
 //! ```text
 //! bench_check                      gate against results/BENCH_BASELINE.json
 //! bench_check --write-baseline     refresh the committed baseline
@@ -49,6 +53,7 @@ fn kernel_metrics(out: &mut Vec<Metric>) {
     for (name, kind) in [
         ("kernel.scalar", KernelKind::Scalar),
         ("kernel.tiled", KernelKind::Tiled),
+        ("kernel.fma", KernelKind::Fma),
         ("kernel.norm", KernelKind::NormTrick),
     ] {
         let rk = kind.resolve(k, d, false);
@@ -56,6 +61,51 @@ fn kernel_metrics(out: &mut Vec<Metric>) {
             assign_rows(data.as_slice(), d, &cents, &rk, &cnorms, &mut best, &mut dist, true);
         });
         out.push(Metric { name: name.into(), per_sec: n as f64 / secs });
+    }
+}
+
+/// PR 2's committed headline numbers (`results/BENCH_PR2.json`, n = 100 000,
+/// k = 64, d = 32): the exact tiled scan and the norm-trick scan, in ns per
+/// full assignment pass. The PR 6 acceptance bar is the blocked-GEMM path
+/// beating *both* by ≥ 1.5× in rows/s at the same (k, d).
+const PR2_ROWS: f64 = 100_000.0;
+const PR2_TILED_NS: f64 = 25_292_684.0;
+const PR2_NORM_NS: f64 = 23_011_200.0;
+const GEMM_SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Measure the GEMM path at the headline (k, d) — CI-friendly n, rows/s is
+/// n-invariant for a full scan — record `kernel.assign.gemm`, and enforce
+/// the ≥ 1.5× bar against PR 2's committed tiled/norm throughputs.
+fn gemm_headline_gate(out: &mut Vec<Metric>) {
+    let (n, k, d) = (20_000, 64, 32);
+    let data = uniform_matrix(n, d, 42);
+    let mut cents = Centroids::zeros(k, d);
+    cents.means.copy_from_slice(&data.as_slice()[..k * d]);
+    let mut cnorms = vec![0.0; k];
+    centroid_sqnorms(&cents, &mut cnorms);
+    let rk = KernelKind::Gemm.resolve(k, d, false);
+    let (mut best, mut dist) = (Vec::new(), Vec::new());
+    let secs = best_secs(5, || {
+        assign_rows(data.as_slice(), d, &cents, &rk, &cnorms, &mut best, &mut dist, true);
+    });
+    let gemm_rate = n as f64 / secs;
+    out.push(Metric { name: "kernel.assign.gemm".into(), per_sec: gemm_rate });
+
+    let tiled_rate = PR2_ROWS / (PR2_TILED_NS * 1e-9);
+    let norm_rate = PR2_ROWS / (PR2_NORM_NS * 1e-9);
+    let vs_tiled = gemm_rate / tiled_rate;
+    let vs_norm = gemm_rate / norm_rate;
+    println!(
+        "  gemm headline ({k}x{d}): {:.2}x vs PR2 tiled, {:.2}x vs PR2 norm (floor {GEMM_SPEEDUP_FLOOR}x)",
+        vs_tiled, vs_norm
+    );
+    if vs_tiled < GEMM_SPEEDUP_FLOOR || vs_norm < GEMM_SPEEDUP_FLOOR {
+        eprintln!(
+            "GEMM SPEEDUP GATE FAILED: {:.0} rows/s is {:.2}x PR2 tiled / {:.2}x PR2 norm; \
+             the floor is {GEMM_SPEEDUP_FLOOR}x for both",
+            gemm_rate, vs_tiled, vs_norm
+        );
+        std::process::exit(1);
     }
 }
 
@@ -173,6 +223,7 @@ fn main() {
     println!("measuring smoke-mode throughputs...");
     let mut fresh: Vec<Metric> = Vec::new();
     kernel_metrics(&mut fresh);
+    gemm_headline_gate(&mut fresh);
     engine_metrics(&mut fresh);
     plane_metrics(&mut fresh);
     serve_metrics(&mut fresh);

@@ -1,25 +1,39 @@
-//! PR 2 kernel benchmark: scalar vs tiled vs norm-trick assignment across
-//! an (n, k, d) grid, seeding the perf trajectory in `results/BENCH_PR2.json`.
+//! Kernel benchmark: scalar vs tiled vs FMA vs norm-trick vs blocked-GEMM
+//! assignment across an (n, k, d) grid. PR 2 seeded the trajectory in
+//! `results/BENCH_PR2.json`; PR 6 adds the FMA micro-kernel, the GEMM
+//! path and the autotuner, recording per-kernel ns, the autotuned tile
+//! choice and FMA availability in `results/BENCH_PR6.json`.
 //!
 //! Each configuration times complete assignment passes (every row against
 //! every centroid — the non-pruned compute super-phase) and cross-checks
 //! the kernels against each other: tiled must match the scalar scan
-//! bitwise, norm-trick within 1e-9 relative on distances.
+//! bitwise; fma, norm-trick and gemm within 1e-9 relative on distances.
 //!
-//! `--smoke` runs tiny shapes for CI (compile + correctness checks, no
-//! perf assertions) and does not touch `results/` — the committed JSON is
-//! always full-mode.
+//! ```text
+//! bench_kernel                  full grid, writes results/BENCH_PR6.json
+//! bench_kernel --smoke          tiny shapes for CI; asserts gemm beats
+//!                               scalar on the scaled headline shape and
+//!                               does not touch results/
+//! bench_kernel --tune-cache P   read/write autotuner decisions at P
+//!                               (CI caches this to exercise the
+//!                               cache-read path)
+//! ```
 
 use knor_bench::save_results;
 use knor_core::centroids::Centroids;
 use knor_core::distance::nearest;
-use knor_core::kernel::{assign_rows, centroid_sqnorms, KernelKind, ResolvedKernel};
+use knor_core::kernel::{assign_rows, centroid_sqnorms, fma_usable, KernelKind, ResolvedKernel};
+use knor_core::tune::TuneTable;
+use knor_core::ResolvedKind;
 use knor_workloads::uniform_matrix;
 
 struct Shape {
     n: usize,
     k: usize,
     d: usize,
+    /// Smoke mode asserts gemm-beats-scalar only on the headline shape
+    /// (tiny shapes are noise-dominated).
+    headline: bool,
 }
 
 fn time_passes<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -33,23 +47,52 @@ fn time_passes<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let tune_cache = args
+        .iter()
+        .position(|a| a == "--tune-cache")
+        .map(|i| std::path::PathBuf::from(args.get(i + 1).expect("--tune-cache needs a path")));
+
+    let sh = |n, k, d, headline| Shape { n, k, d, headline };
     let shapes: Vec<Shape> = if smoke {
-        vec![Shape { n: 2000, k: 8, d: 5 }, Shape { n: 1000, k: 12, d: 16 }]
+        vec![
+            sh(2000, 8, 5, false),
+            sh(1000, 12, 16, false),
+            // The headline (k, d) at CI-friendly n: big enough that the
+            // gemm-vs-scalar assertion is not timer noise.
+            sh(20_000, 64, 32, true),
+        ]
     } else {
         vec![
-            Shape { n: 100_000, k: 64, d: 32 }, // the headline workload
-            Shape { n: 100_000, k: 16, d: 16 },
-            Shape { n: 50_000, k: 32, d: 8 },
-            Shape { n: 20_000, k: 128, d: 64 },
-            Shape { n: 50_000, k: 10, d: 100 },
+            sh(100_000, 64, 32, true), // the headline workload
+            sh(100_000, 16, 16, false),
+            sh(50_000, 32, 8, false),
+            sh(20_000, 128, 64, false),
+            sh(50_000, 10, 100, false),
         ]
     };
-    let reps = if smoke { 2 } else { 9 };
+    let reps = if smoke { 3 } else { 9 };
+
+    // One shared tuner table for the whole sweep. With --tune-cache, prior
+    // decisions are read back (the CI cache-read path) and fresh ones
+    // persisted for the next run.
+    let table = TuneTable::new();
+    let cached_entries = match &tune_cache {
+        Some(p) => table.load_into(p).expect("read tune cache"),
+        None => 0,
+    };
+    if tune_cache.is_some() {
+        println!("tune cache: {cached_entries} cached decision(s) loaded");
+    }
 
     println!(
-        "{:>8} {:>5} {:>4} {:>12} {:>12} {:>12} {:>8} {:>8}",
-        "n", "k", "d", "scalar", "tiled", "norm", "tiledX", "normX"
+        "fma: {}",
+        if fma_usable() { "available" } else { "not available (portable fallback)" }
+    );
+    println!(
+        "{:>8} {:>5} {:>4} {:>11} {:>11} {:>11} {:>11} {:>11} {:>7} {:>7} {:>9}",
+        "n", "k", "d", "scalar", "tiled", "fma", "norm", "gemm", "fmaX", "gemmX", "tuned"
     );
     let mut rows = Vec::new();
     for s in &shapes {
@@ -59,75 +102,115 @@ fn main() {
         let mut cnorms = vec![0.0; s.k];
         centroid_sqnorms(&cents, &mut cnorms);
 
+        let (choice, fresh) = table.choose(ResolvedKind::Gemm, s.n, s.k, s.d, 42);
         let scalar_rk = KernelKind::Scalar.resolve(s.k, s.d, false);
         let tiled_rk = KernelKind::Tiled.resolve(s.k, s.d, false);
+        let fma_rk = KernelKind::Fma.resolve(s.k, s.d, false);
         let norm_rk = KernelKind::NormTrick.resolve(s.k, s.d, false);
+        let gemm_rk = KernelKind::Gemm.resolve(s.k, s.d, false).with_tiles(
+            choice.row_tile,
+            choice.cent_tile,
+            s.k,
+        );
         let run = |rk: &ResolvedKernel, best: &mut Vec<u32>, dist: &mut Vec<f64>| {
             assign_rows(data.as_slice(), s.d, &cents, rk, &cnorms, best, dist, true);
         };
 
-        // Correctness first: tiled bitwise, norm-trick within tolerance.
+        // Correctness first: tiled bitwise, the rest within tolerance.
         let (mut sb, mut sd) = (Vec::new(), Vec::new());
         let (mut tb, mut td) = (Vec::new(), Vec::new());
-        let (mut nb, mut nd) = (Vec::new(), Vec::new());
         run(&scalar_rk, &mut sb, &mut sd);
         run(&tiled_rk, &mut tb, &mut td);
-        run(&norm_rk, &mut nb, &mut nd);
         assert_eq!(sb, tb, "tiled kernel diverged from scalar");
         assert!(
             sd.iter().zip(&td).all(|(a, b)| a.to_bits() == b.to_bits()),
             "tiled distances not bitwise"
         );
-        for (i, (a, b)) in sd.iter().zip(&nd).enumerate() {
-            assert!((a - b).abs() <= 1e-9 * a.abs() + 1e-12, "norm-trick row {i}: {a} vs {b}");
-        }
+        // 1e-9 relative band plus an absolute floor for rows sitting on a
+        // centroid: the norm-trick/gemm cancellation leaves an O(ulp·‖x‖²)
+        // residual in the squared distance, which sqrt amplifies to ~1e-7
+        // when the true distance is 0 (far below any real inter-centroid
+        // scale).
+        let approx = |name: &str, rk: &ResolvedKernel| -> (Vec<u32>, Vec<f64>) {
+            let (mut b, mut dd) = (Vec::new(), Vec::new());
+            run(rk, &mut b, &mut dd);
+            for (i, (a, x)) in sd.iter().zip(&dd).enumerate() {
+                assert!((a - x).abs() <= 1e-9 * a.abs() + 1e-6, "{name} row {i}: {a} vs {x}");
+            }
+            (b, dd)
+        };
+        let (mut fb, mut fd) = approx("fma", &fma_rk);
+        let (mut nb, mut nd) = approx("norm-trick", &norm_rk);
+        let (mut gb, mut gd) = approx("gemm", &gemm_rk);
         // Spot-check the scalar reference itself.
         let (a0, d0) = nearest(data.row(0), &cents.means, s.k);
         assert_eq!((sb[0], sd[0]), (a0 as u32, d0));
 
         let scalar_ns = time_passes(reps, || run(&scalar_rk, &mut sb, &mut sd));
         let tiled_ns = time_passes(reps, || run(&tiled_rk, &mut tb, &mut td));
+        let fma_ns = time_passes(reps, || run(&fma_rk, &mut fb, &mut fd));
         let norm_ns = time_passes(reps, || run(&norm_rk, &mut nb, &mut nd));
-        let tiled_x = scalar_ns / tiled_ns;
-        let norm_x = scalar_ns / norm_ns;
+        let gemm_ns = time_passes(reps, || run(&gemm_rk, &mut gb, &mut gd));
+        let fma_x = scalar_ns / fma_ns;
+        let gemm_x = scalar_ns / gemm_ns;
         println!(
-            "{:>8} {:>5} {:>4} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>7.2}x {:>7.2}x",
+            "{:>8} {:>5} {:>4} {:>9.2}ms {:>9.2}ms {:>9.2}ms {:>9.2}ms {:>9.2}ms {:>6.2}x {:>6.2}x {:>4}x{:<4}",
             s.n,
             s.k,
             s.d,
             scalar_ns / 1e6,
             tiled_ns / 1e6,
+            fma_ns / 1e6,
             norm_ns / 1e6,
-            tiled_x,
-            norm_x
+            gemm_ns / 1e6,
+            fma_x,
+            gemm_x,
+            choice.row_tile,
+            choice.cent_tile
         );
+        if smoke && s.headline {
+            assert!(
+                gemm_ns < scalar_ns,
+                "gemm ({gemm_ns:.0} ns) must beat scalar ({scalar_ns:.0} ns) on the headline shape"
+            );
+        }
         rows.push(format!(
             concat!(
                 "    {{\"n\": {}, \"k\": {}, \"d\": {}, ",
-                "\"scalar_ns\": {:.0}, \"tiled_ns\": {:.0}, \"norm_ns\": {:.0}, ",
-                "\"tiled_speedup\": {:.3}, \"norm_speedup\": {:.3}, ",
-                "\"row_tile\": {}, \"cent_tile\": {}}}"
+                "\"scalar_ns\": {:.0}, \"tiled_ns\": {:.0}, \"fma_ns\": {:.0}, ",
+                "\"norm_ns\": {:.0}, \"gemm_ns\": {:.0}, ",
+                "\"fma_speedup\": {:.3}, \"gemm_speedup\": {:.3}, ",
+                "\"tuned_row_tile\": {}, \"tuned_cent_tile\": {}, \"tuned_fresh\": {}}}"
             ),
             s.n,
             s.k,
             s.d,
             scalar_ns,
             tiled_ns,
+            fma_ns,
             norm_ns,
-            tiled_x,
-            norm_x,
-            tiled_rk.row_tile,
-            tiled_rk.cent_tile
+            gemm_ns,
+            fma_x,
+            gemm_x,
+            choice.row_tile,
+            choice.cent_tile,
+            fresh
         ));
+    }
+
+    if let Some(p) = &tune_cache {
+        table.save(p).expect("write tune cache");
+        println!("tune cache: {} decision(s) saved to {}", table.len(), p.display());
     }
 
     let json = format!(
         concat!(
-            "{{\n  \"bench\": \"kernel_assign\",\n  \"pr\": 2,\n  \"mode\": \"{}\",\n",
-            "  \"reps\": {},\n  \"results\": [\n{}\n  ]\n}}\n"
+            "{{\n  \"bench\": \"kernel_assign\",\n  \"pr\": 6,\n  \"mode\": \"{}\",\n",
+            "  \"reps\": {},\n  \"fma_available\": {},\n  \"results\": [\n{}\n  ]\n}}\n"
         ),
         if smoke { "smoke" } else { "full" },
         reps,
+        fma_usable(),
         rows.join(",\n")
     );
     if smoke {
@@ -135,6 +218,6 @@ fn main() {
         // full-mode artifact with tiny-shape numbers.
         println!("\n[smoke mode: JSON not saved]\n{json}");
     } else {
-        save_results("BENCH_PR2.json", &json);
+        save_results("BENCH_PR6.json", &json);
     }
 }

@@ -72,6 +72,9 @@ pub struct DriverConfig {
     pub task_size: usize,
     /// Assignment kernel for full scans (see [`crate::kernel`]).
     pub kernel: KernelKind,
+    /// Autotuned `(row_tile, cent_tile)` override (see [`crate::tune`]);
+    /// `None` keeps the resolve-time heuristic tiles.
+    pub tiles: Option<(usize, usize)>,
     /// Global row id of local row 0 (knord passes its rank's slice start;
     /// single-machine engines pass 0). Algorithms that key on global row
     /// identity — mini-batch subsampling — see `row_offset + r`.
@@ -82,7 +85,18 @@ impl DriverConfig {
     /// The kernel this configuration resolves to (backends use this to size
     /// their per-worker [`KernelScratch`]).
     pub fn resolve_kernel(&self) -> ResolvedKernel {
-        self.kernel.resolve(self.k, self.d, self.pruning)
+        self.resolve_kernel_with(self.pruning)
+    }
+
+    /// [`DriverConfig::resolve_kernel`] with an explicit pruning flag (the
+    /// driver re-gates pruning on the algorithm's eligibility). Tuned
+    /// tiles, when present, replace the heuristic tile shape.
+    pub fn resolve_kernel_with(&self, pruning: bool) -> ResolvedKernel {
+        let rk = self.kernel.resolve(self.k, self.d, pruning);
+        match self.tiles {
+            Some((rt, ct)) => rk.with_tiles(rt, ct, self.k),
+            None => rk,
+        }
     }
 }
 
@@ -272,10 +286,10 @@ pub fn run_mm<B: LloydBackend>(
     let uses_weights = algo.uses_weights();
     algo.prepare_init(&mut init);
 
-    let rk = cfg.kernel.resolve(cfg.k, cfg.d, cfg_pruning);
-    // Norm-trick centroid-norm cache, seeded from the initial centroids and
-    // thereafter refreshed only for drifted centroids.
-    let cnorms_cell = ExclusiveCell::new(if rk.kind == ResolvedKind::NormTrick {
+    let rk = cfg.resolve_kernel_with(cfg_pruning);
+    // Norm-trick/GEMM centroid-norm cache, seeded from the initial
+    // centroids and thereafter refreshed only for drifted centroids.
+    let cnorms_cell = ExclusiveCell::new(if rk.kind.needs_cnorms() {
         let mut v = vec![0.0f64; k];
         centroid_sqnorms(&init, &mut v);
         v
@@ -489,8 +503,8 @@ pub fn run_mm<B: LloydBackend>(
                         {
                             // Safety: coordinator window.
                             let mut mti_mut = pruning.then(|| unsafe { mti.get_mut() });
-                            let mut cn = (rk.kind == ResolvedKind::NormTrick)
-                                .then(|| unsafe { cnorms_cell.get_mut() });
+                            let mut cn =
+                                rk.kind.needs_cnorms().then(|| unsafe { cnorms_cell.get_mut() });
                             for c in 0..k {
                                 let dr = dist(cents.mean(c), next.mean(c));
                                 max_drift = max_drift.max(dr);
@@ -1060,6 +1074,7 @@ mod tests {
             pruning,
             task_size: 16,
             kernel,
+            tiles: None,
             row_offset: 0,
         };
         let init =
@@ -1224,6 +1239,7 @@ mod tests {
             pruning: true,
             task_size: 8,
             kernel: KernelKind::Auto,
+            tiles: None,
             row_offset: 0,
         };
         let init =

@@ -29,6 +29,7 @@ use crate::plane::{DataPlane, PlaneBackend};
 use crate::pruning::Pruning;
 use crate::stats::{KmeansResult, MemoryFootprint};
 use crate::sync::ExclusiveCell;
+use crate::tune::Tuning;
 
 /// Configuration for a [`Kmeans`] run.
 #[derive(Debug, Clone)]
@@ -65,6 +66,8 @@ pub struct KmeansConfig {
     /// Clustering algorithm to run on the driver (see [`crate::algo`]).
     /// Non-Lloyd algorithms force MTI pruning off.
     pub algo: Algorithm,
+    /// Kernel autotuning policy (see [`crate::tune`]).
+    pub tuning: Tuning,
 }
 
 impl KmeansConfig {
@@ -87,6 +90,7 @@ impl KmeansConfig {
             compute_sse: true,
             kernel: KernelKind::Auto,
             algo: Algorithm::Lloyd,
+            tuning: Tuning::off(),
         }
     }
 
@@ -173,6 +177,12 @@ impl KmeansConfig {
         self.algo = v;
         self
     }
+
+    /// Set the kernel autotuning policy.
+    pub fn with_tuning(mut self, v: Tuning) -> Self {
+        self.tuning = v;
+        self
+    }
 }
 
 /// How the dataset is laid out in memory for a run.
@@ -251,7 +261,7 @@ impl Kmeans {
         let pruning_on = cfg.pruning.enabled() && algo.prune_eligible();
 
         let queue = TaskQueue::new(cfg.scheduler, &placement);
-        let driver_cfg = DriverConfig {
+        let mut driver_cfg = DriverConfig {
             k,
             d,
             n,
@@ -262,7 +272,12 @@ impl Kmeans {
             task_size: cfg.task_size,
             kernel: cfg.kernel,
             row_offset: 0,
+            tiles: None,
         };
+        // Tune on the resolved kind so the probe exercises the same code
+        // path the run will take (the override cannot change the kind).
+        let probe_kind = driver_cfg.resolve_kernel().kind;
+        driver_cfg.tiles = cfg.tuning.tiles_for(probe_kind, n, k, d);
         let rk = driver_cfg.resolve_kernel();
         let backend = ImBackend {
             cfg,

@@ -33,30 +33,101 @@ use crate::centroids::Centroids;
 use crate::distance::{nearest, sqdist};
 
 /// Which assignment kernel a run requests (the `DriverConfig` knob).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum KernelKind {
-    /// Pick per shape: scalar for tiny `k·d`, tiled otherwise.
+    /// Pick per shape: scalar for tiny `k·d`, GEMM for large unpruned
+    /// shapes, tiled otherwise.
     #[default]
     Auto,
     /// The per-row `nearest` scan (the pre-kernel behaviour).
     Scalar,
     /// Row-tile × centroid-tile blocked scan; bitwise equal to `Scalar`.
     Tiled,
-    /// `‖x‖² − 2x·c + ‖c‖²` with cached centroid norms; fastest, but only
+    /// The tiled scan with FMA/AVX2 micro-kernels. Fused rounding differs
+    /// from the reference, so this path carries a ≤ 1e-9 parity band and
+    /// downgrades to `Tiled` while MTI needs exact bounds.
+    Fma,
+    /// `‖x‖² − 2x·c + ‖c‖²` with cached centroid norms; only
     /// approximately equal (and ignored while MTI needs exact bounds).
     NormTrick,
+    /// The norm-trick assignment restructured as a blocked GEMM
+    /// (`−2XCᵀ` by k-panel × row-panel × d-block, FMA where available);
+    /// same ≤ 1e-9 band and MTI downgrade as `NormTrick`.
+    Gemm,
+}
+
+impl KernelKind {
+    /// Parse a CLI spelling (`--kernel …`).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "auto" => KernelKind::Auto,
+            "scalar" => KernelKind::Scalar,
+            "tiled" => KernelKind::Tiled,
+            "fma" => KernelKind::Fma,
+            "norm" | "normtrick" => KernelKind::NormTrick,
+            "gemm" => KernelKind::Gemm,
+            _ => return None,
+        })
+    }
+
+    /// The CLI spelling of this knob.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Auto => "auto",
+            KernelKind::Scalar => "scalar",
+            KernelKind::Tiled => "tiled",
+            KernelKind::Fma => "fma",
+            KernelKind::NormTrick => "norm",
+            KernelKind::Gemm => "gemm",
+        }
+    }
 }
 
 /// The kernel actually selected for a run, after the heuristic resolved
-/// `Auto` and legality downgraded `NormTrick` where bounds must be exact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `Auto` and legality downgraded the approximate paths where bounds must
+/// be exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResolvedKind {
     /// Per-row scans.
     Scalar,
     /// Blocked, bitwise-exact scans.
     Tiled,
+    /// Blocked scans with FMA micro-kernels (≤ 1e-9 band).
+    Fma,
     /// Blocked dot-product scans with cached norms.
     NormTrick,
+    /// Blocked-GEMM dot-product scans with cached norms (≤ 1e-9 band).
+    Gemm,
+}
+
+impl ResolvedKind {
+    /// Stable short name (tune-table serialization, `--stats`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ResolvedKind::Scalar => "scalar",
+            ResolvedKind::Tiled => "tiled",
+            ResolvedKind::Fma => "fma",
+            ResolvedKind::NormTrick => "norm",
+            ResolvedKind::Gemm => "gemm",
+        }
+    }
+
+    /// Inverse of [`ResolvedKind::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "scalar" => ResolvedKind::Scalar,
+            "tiled" => ResolvedKind::Tiled,
+            "fma" => ResolvedKind::Fma,
+            "norm" => ResolvedKind::NormTrick,
+            "gemm" => ResolvedKind::Gemm,
+            _ => return None,
+        })
+    }
+
+    /// Whether this path needs the cached centroid squared norms.
+    pub fn needs_cnorms(self) -> bool {
+        matches!(self, ResolvedKind::NormTrick | ResolvedKind::Gemm)
+    }
 }
 
 /// A resolved kernel selection: the path plus the tile shape.
@@ -70,9 +141,24 @@ pub struct ResolvedKernel {
     pub cent_tile: usize,
 }
 
+impl ResolvedKernel {
+    /// Replace the heuristic tile shape with a tuned choice, clamped to
+    /// legal bounds (`k` caps the centroid tile).
+    pub fn with_tiles(mut self, row_tile: usize, cent_tile: usize, k: usize) -> Self {
+        self.row_tile = row_tile.clamp(4, 4096);
+        self.cent_tile = cent_tile.clamp(1, k.max(1));
+        self
+    }
+}
+
 /// Below this many multiply-adds per row (`k·d`), staging a tile costs more
 /// than it saves and `Auto` falls back to the scalar path.
 pub const SCALAR_CUTOFF: usize = 64;
+
+/// At and above this many multiply-adds per row (`k·d`), the blocked-GEMM
+/// norm-trick path wins over the exact tiled scan and `Auto` selects it —
+/// but only where the ≤ 1e-9 band is legal (no MTI bounds in play).
+pub const GEMM_CUTOFF: usize = 2048;
 
 /// L1 budget (bytes) each of the centroid tile and the row tile should fit
 /// in — half a typical 32 KB L1d apiece.
@@ -80,26 +166,26 @@ const TILE_BYTES: usize = 16 * 1024;
 
 impl KernelKind {
     /// Resolve the requested kernel for a `(k, d)` problem. `pruning`
-    /// downgrades `NormTrick` to `Tiled`: the MTI clauses compare *upper
-    /// bounds* against exact thresholds, and a norm-trick distance can land
-    /// a hair below the true distance, silently invalidating Clause 1.
+    /// downgrades the approximate paths (`Fma`, `NormTrick`, `Gemm`) to
+    /// `Tiled`: the MTI clauses compare *upper bounds* against exact
+    /// thresholds, and a fused or norm-trick distance can land a hair
+    /// below the true distance, silently invalidating Clause 1.
     pub fn resolve(self, k: usize, d: usize, pruning: bool) -> ResolvedKernel {
         let row_bytes = (d.max(1)) * 8;
         let row_tile = (TILE_BYTES / row_bytes).clamp(8, 128);
         let cent_tile = (TILE_BYTES / row_bytes).max(4).min(k.max(1));
+        let exact_or = |kind| if pruning { ResolvedKind::Tiled } else { kind };
         let kind = match self {
             KernelKind::Scalar => ResolvedKind::Scalar,
             KernelKind::Tiled => ResolvedKind::Tiled,
-            KernelKind::NormTrick => {
-                if pruning {
-                    ResolvedKind::Tiled
-                } else {
-                    ResolvedKind::NormTrick
-                }
-            }
+            KernelKind::Fma => exact_or(ResolvedKind::Fma),
+            KernelKind::NormTrick => exact_or(ResolvedKind::NormTrick),
+            KernelKind::Gemm => exact_or(ResolvedKind::Gemm),
             KernelKind::Auto => {
                 if k * d <= SCALAR_CUTOFF {
                     ResolvedKind::Scalar
+                } else if !pruning && k * d >= GEMM_CUTOFF {
+                    ResolvedKind::Gemm
                 } else {
                     ResolvedKind::Tiled
                 }
@@ -192,6 +278,18 @@ pub fn assign_rows(
     best.resize(m, 0);
     best_dist.clear();
     best_dist.resize(m, 0.0);
+    if rk.kind == ResolvedKind::Gemm {
+        // One call for the whole block: the GEMM path's cache-resident
+        // object is the packed centroid panel, not a row tile, and rows
+        // stream through it exactly once — re-blocking would only repeat
+        // the pack per `row_tile` rows. Per-row results are independent,
+        // so this is numerically identical to the blocked dispatch below.
+        gemm_tile_scored(block, d, cents, cnorms, rk.cent_tile, best, best_dist);
+        if need_dist {
+            normtrick_finalize(block, d, best_dist);
+        }
+        return;
+    }
     let mut start = 0usize;
     while start < m {
         let end = (start + rk.row_tile).min(m);
@@ -212,7 +310,24 @@ pub fn assign_rows(
                 &mut best[start..end],
                 &mut best_dist[start..end],
             ),
+            ResolvedKind::Fma => fma_tile_scored(
+                sub,
+                d,
+                cents,
+                rk.cent_tile,
+                &mut best[start..end],
+                &mut best_dist[start..end],
+            ),
             ResolvedKind::NormTrick => normtrick_tile_scored(
+                sub,
+                d,
+                cents,
+                cnorms,
+                rk.cent_tile,
+                &mut best[start..end],
+                &mut best_dist[start..end],
+            ),
+            ResolvedKind::Gemm => gemm_tile_scored(
                 sub,
                 d,
                 cents,
@@ -227,12 +342,12 @@ pub fn assign_rows(
     if need_dist {
         match rk.kind {
             ResolvedKind::Scalar => {}
-            ResolvedKind::Tiled => {
+            ResolvedKind::Tiled | ResolvedKind::Fma => {
                 for x in best_dist.iter_mut() {
                     *x = x.sqrt();
                 }
             }
-            ResolvedKind::NormTrick => normtrick_finalize(block, d, best_dist),
+            ResolvedKind::NormTrick | ResolvedKind::Gemm => normtrick_finalize(block, d, best_dist),
         }
     }
 }
@@ -246,6 +361,31 @@ pub fn assign_rows(
 #[inline]
 fn avx_usable() -> bool {
     std::arch::is_x86_feature_detected!("avx")
+}
+
+/// True when the FMA/AVX2 micro-kernels are usable on this machine. The
+/// fused paths (`Fma`, `Gemm`) fall back to their un-fused counterparts
+/// where this is false, which trivially satisfies their ≤ 1e-9 contract.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub fn fma_usable() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+/// True when the 8-wide AVX-512 GEMM micro-kernel is usable. Only the GEMM
+/// path widens to 512-bit lanes — it is already inside the ≤ 1e-9 band, so
+/// the wider accumulator layout costs nothing contract-wise.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx512_usable() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+}
+
+/// Non-x86 fallback: the fused micro-kernels are never available.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn fma_usable() -> bool {
+    false
 }
 
 /// The shared tile-scan skeleton, monomorphized per micro-kernel set.
@@ -399,6 +539,27 @@ fn assign_tile_scored(
     );
 }
 
+/// The `Fma` path: [`assign_tile_scored`] with fused multiply-add
+/// micro-kernels where the hardware has them, the bitwise tiled scan
+/// otherwise. Fusing drops one rounding step per element, so results sit
+/// within the ≤ 1e-9 band of the reference rather than matching it bitwise.
+fn fma_tile_scored(
+    block: &[f64],
+    d: usize,
+    cents: &Centroids,
+    cent_tile: usize,
+    best: &mut [u32],
+    best_dist: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fma_usable() {
+        // Safety: FMA + AVX2 support verified at runtime.
+        unsafe { x86::assign_tile_fma(block, d, cents, cent_tile, best, best_dist) };
+        return;
+    }
+    assign_tile_scored(block, d, cents, cent_tile, best, best_dist);
+}
+
 /// AVX micro-kernels: 4-wide lanes map one-to-one onto [`sqdist`]'s four
 /// accumulator lanes, and sub/mul/add stay un-fused, so every pair's
 /// arithmetic — and therefore every result bit — matches the portable path.
@@ -463,6 +624,419 @@ mod x86 {
             dot,
             |c, dp| cnorms[c] - 2.0 * dp,
         );
+    }
+
+    /// [`super::fma_tile_scored`]'s scan: the exact tiled loop nest with
+    /// fused micro-kernels. AVX2 + FMA fuse the multiply and add of every
+    /// lane step, dropping one rounding per element — ≤ 1e-9 band, not
+    /// bitwise.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 + FMA support at runtime.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn assign_tile_fma(
+        block: &[f64],
+        d: usize,
+        cents: &Centroids,
+        cent_tile: usize,
+        best: &mut [u32],
+        best_dist: &mut [f64],
+    ) {
+        // Safety: closures inherit the enclosing function's target features.
+        tile_scan(
+            block,
+            d,
+            cents,
+            cent_tile,
+            best,
+            best_dist,
+            |rows, a, b| unsafe { sqdist4x2_fma(rows, a, b) },
+            |rows, c| unsafe { sqdist4_fma(rows, c) },
+            sqdist,
+            |_, s| s,
+        );
+    }
+
+    std::thread_local! {
+        /// Grow-only pack scratch for the fused GEMM path: the centroid
+        /// panel transposed to `d × k_padded` plus the padded norm vector.
+        /// Thread-local so steady-state iterations never allocate.
+        static GEMM_PACK: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+            const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+    }
+
+    /// [`super::gemm_tile_scored`]'s fused path: a register-blocked GEMM.
+    ///
+    /// The row-major centroid matrix is repacked **transposed** (`d ×
+    /// k_padded`, `k` rounded up to 8 with `+∞`-normed padding that can
+    /// never win a strict-`<` race), so that for a fixed dimension `j` the
+    /// values of eight consecutive centroids sit in two contiguous vector
+    /// lanes. The micro-kernel then evaluates **four rows × eight
+    /// centroids** per pass: one broadcast per row element, two packed
+    /// loads per dimension, eight independent FMA accumulators — ~16
+    /// double FLOPs per cycle on AVX2 ports, with every accumulator
+    /// staying in a register across the whole `d` loop (no score-panel
+    /// round-trip, any `d`). The winner pass scores `‖c‖² − 2·dot` in
+    /// ascending candidate order with a strict `<`, same tie discipline as
+    /// every other path; sequential-over-`j` accumulation re-orders the
+    /// sum vs the 4-lane reference dot, which the ≤ 1e-9 band absorbs.
+    ///
+    /// The pack costs `k·d` scalar writes per row block — under 1% of the
+    /// `m·k·d` multiply-adds it unlocks for any block ≥ the row tile.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 + FMA support at runtime.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn gemm_tile_fma(
+        block: &[f64],
+        d: usize,
+        cents: &Centroids,
+        cnorms: &[f64],
+        _cent_tile: usize,
+        best: &mut [u32],
+        best_dist: &mut [f64],
+    ) {
+        use std::arch::x86_64::*;
+        let m = block.len() / d.max(1);
+        let k = cents.k();
+        let kp = (k + 7) & !7;
+        debug_assert!(best.len() == m && best_dist.len() == m);
+        GEMM_PACK.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let (packed, cn) = &mut *scratch;
+            // Grow-only scratch: every slot below is overwritten — real
+            // columns by the transpose, pad columns explicitly — so no
+            // full clear is needed between calls (or shapes).
+            if packed.len() < kp * d {
+                packed.resize(kp * d, 0.0);
+            }
+            if cn.len() < kp {
+                cn.resize(kp, f64::INFINITY);
+            }
+            cn[..k].copy_from_slice(cnorms);
+            cn[k..kp].iter_mut().for_each(|x| *x = f64::INFINITY);
+            for (c, mean) in cents.means.chunks_exact(d.max(1)).enumerate() {
+                for (j, &v) in mean.iter().enumerate() {
+                    packed[j * kp + c] = v;
+                }
+            }
+            for j in 0..d {
+                packed[j * kp + k..j * kp + kp].iter_mut().for_each(|x| *x = 0.0);
+            }
+            let pk = packed.as_ptr();
+            let mut r = 0usize;
+            while r + 4 <= m {
+                let rows = [
+                    block.as_ptr().add(r * d),
+                    block.as_ptr().add((r + 1) * d),
+                    block.as_ptr().add((r + 2) * d),
+                    block.as_ptr().add((r + 3) * d),
+                ];
+                let mut bd = [f64::INFINITY; 4];
+                let mut bi = [0u32; 4];
+                let mut c8 = 0usize;
+                while c8 < kp {
+                    let pb = pk.add(c8);
+                    let mut acc = [_mm256_setzero_pd(); 8];
+                    for j in 0..d {
+                        let b0 = _mm256_loadu_pd(pb.add(j * kp));
+                        let b1 = _mm256_loadu_pd(pb.add(j * kp + 4));
+                        for (rr, row) in rows.iter().enumerate() {
+                            let a = _mm256_set1_pd(*row.add(j));
+                            acc[2 * rr] = _mm256_fmadd_pd(a, b0, acc[2 * rr]);
+                            acc[2 * rr + 1] = _mm256_fmadd_pd(a, b1, acc[2 * rr + 1]);
+                        }
+                    }
+                    for rr in 0..4 {
+                        let mut dp = [0.0f64; 8];
+                        _mm256_storeu_pd(dp.as_mut_ptr(), acc[2 * rr]);
+                        _mm256_storeu_pd(dp.as_mut_ptr().add(4), acc[2 * rr + 1]);
+                        for (ci, &dpv) in dp.iter().enumerate() {
+                            let sc = cn[c8 + ci] - 2.0 * dpv;
+                            if sc < bd[rr] {
+                                bd[rr] = sc;
+                                bi[rr] = (c8 + ci) as u32;
+                            }
+                        }
+                    }
+                    c8 += 8;
+                }
+                best_dist[r..r + 4].copy_from_slice(&bd);
+                best[r..r + 4].copy_from_slice(&bi);
+                r += 4;
+            }
+            // Remainder rows: the same packed panel, one row at a time.
+            for i in r..m {
+                let row = block.as_ptr().add(i * d);
+                let mut bd = f64::INFINITY;
+                let mut bi = 0u32;
+                let mut c8 = 0usize;
+                while c8 < kp {
+                    let pb = pk.add(c8);
+                    let mut a0 = _mm256_setzero_pd();
+                    let mut a1 = _mm256_setzero_pd();
+                    for j in 0..d {
+                        let a = _mm256_set1_pd(*row.add(j));
+                        a0 = _mm256_fmadd_pd(a, _mm256_loadu_pd(pb.add(j * kp)), a0);
+                        a1 = _mm256_fmadd_pd(a, _mm256_loadu_pd(pb.add(j * kp + 4)), a1);
+                    }
+                    let mut dp = [0.0f64; 8];
+                    _mm256_storeu_pd(dp.as_mut_ptr(), a0);
+                    _mm256_storeu_pd(dp.as_mut_ptr().add(4), a1);
+                    for (ci, &dpv) in dp.iter().enumerate() {
+                        let sc = cn[c8 + ci] - 2.0 * dpv;
+                        if sc < bd {
+                            bd = sc;
+                            bi = (c8 + ci) as u32;
+                        }
+                    }
+                    c8 += 8;
+                }
+                best_dist[i] = bd;
+                best[i] = bi;
+            }
+        });
+    }
+
+    /// The AVX-512 variant of [`gemm_tile_fma`]: the same packed-transpose
+    /// layout (`k` padded to 16) with a **four rows × sixteen centroids**
+    /// micro-kernel — two 8-wide panel loads and four broadcasts feed eight
+    /// independent zmm FMA accumulators per dimension, saturating both
+    /// 512-bit FMA ports where the hardware has them (~32 double FLOPs per
+    /// cycle).
+    ///
+    /// The winner scan is vectorized too: scores `‖c‖² − 2·dot` come from
+    /// one `fnmadd` per lane (the `2·dot` scale is exact, so each score
+    /// rounds exactly like the scalar formula), and a masked strict-`<`
+    /// blend keeps per-lane champions with candidates visited in ascending
+    /// index order. The final 8-lane reduction prefers strictly smaller
+    /// scores and breaks exact ties toward the lower index — precisely the
+    /// scalar first-minimum discipline. Same ≤ 1e-9 band as the 256-bit
+    /// path.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX-512F support at runtime.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gemm_tile_avx512(
+        block: &[f64],
+        d: usize,
+        cents: &Centroids,
+        cnorms: &[f64],
+        _cent_tile: usize,
+        best: &mut [u32],
+        best_dist: &mut [f64],
+    ) {
+        use std::arch::x86_64::*;
+        let m = block.len() / d.max(1);
+        let k = cents.k();
+        let kp = (k + 15) & !15;
+        debug_assert!(best.len() == m && best_dist.len() == m);
+        // Reduce one row's 8-lane champions (scores + indices) to the
+        // scalar first-minimum: strictly smaller score wins, an exactly
+        // equal score falls back to the lower candidate index.
+        let reduce = |vs: __m512d, vi: __m512i| -> (f64, u32) {
+            let mut sv = [0.0f64; 8];
+            let mut iv = [0i64; 8];
+            // Safety: the enclosing function already verified AVX-512F.
+            unsafe {
+                _mm512_storeu_pd(sv.as_mut_ptr(), vs);
+                _mm512_storeu_si512(iv.as_mut_ptr().cast(), vi);
+            }
+            let (mut bd, mut bi) = (f64::INFINITY, u32::MAX);
+            for l in 0..8 {
+                if sv[l] < bd || (sv[l] == bd && (iv[l] as u32) < bi) {
+                    bd = sv[l];
+                    bi = iv[l] as u32;
+                }
+            }
+            (bd, bi)
+        };
+        GEMM_PACK.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let (packed, cn) = &mut *scratch;
+            // Grow-only scratch: every slot below is overwritten — real
+            // columns by the transpose, pad columns explicitly — so no
+            // full clear is needed between calls (or shapes).
+            if packed.len() < kp * d {
+                packed.resize(kp * d, 0.0);
+            }
+            if cn.len() < kp {
+                cn.resize(kp, f64::INFINITY);
+            }
+            cn[..k].copy_from_slice(cnorms);
+            cn[k..kp].iter_mut().for_each(|x| *x = f64::INFINITY);
+            for (c, mean) in cents.means.chunks_exact(d.max(1)).enumerate() {
+                for (j, &v) in mean.iter().enumerate() {
+                    packed[j * kp + c] = v;
+                }
+            }
+            for j in 0..d {
+                packed[j * kp + k..j * kp + kp].iter_mut().for_each(|x| *x = 0.0);
+            }
+            let pk = packed.as_ptr();
+            let pcn = cn.as_ptr();
+            let iota = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+            let two = _mm512_set1_pd(2.0);
+            let inf = _mm512_set1_pd(f64::INFINITY);
+            let mut r = 0usize;
+            while r + 4 <= m {
+                let rows = [
+                    block.as_ptr().add(r * d),
+                    block.as_ptr().add((r + 1) * d),
+                    block.as_ptr().add((r + 2) * d),
+                    block.as_ptr().add((r + 3) * d),
+                ];
+                let mut vs = [inf; 4];
+                let mut vi = [_mm512_setzero_si512(); 4];
+                let mut c16 = 0usize;
+                while c16 < kp {
+                    let pb = pk.add(c16);
+                    let mut acc = [_mm512_setzero_pd(); 8];
+                    for j in 0..d {
+                        let b0 = _mm512_loadu_pd(pb.add(j * kp));
+                        let b1 = _mm512_loadu_pd(pb.add(j * kp + 8));
+                        for (rr, row) in rows.iter().enumerate() {
+                            let a = _mm512_set1_pd(*row.add(j));
+                            acc[2 * rr] = _mm512_fmadd_pd(a, b0, acc[2 * rr]);
+                            acc[2 * rr + 1] = _mm512_fmadd_pd(a, b1, acc[2 * rr + 1]);
+                        }
+                    }
+                    let cn0 = _mm512_loadu_pd(pcn.add(c16));
+                    let cn1 = _mm512_loadu_pd(pcn.add(c16 + 8));
+                    let idx0 = _mm512_add_epi64(iota, _mm512_set1_epi64(c16 as i64));
+                    let idx1 = _mm512_add_epi64(iota, _mm512_set1_epi64((c16 + 8) as i64));
+                    for rr in 0..4 {
+                        let s0 = _mm512_fnmadd_pd(two, acc[2 * rr], cn0);
+                        let m0 = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(s0, vs[rr]);
+                        vs[rr] = _mm512_mask_blend_pd(m0, vs[rr], s0);
+                        vi[rr] = _mm512_mask_blend_epi64(m0, vi[rr], idx0);
+                        let s1 = _mm512_fnmadd_pd(two, acc[2 * rr + 1], cn1);
+                        let m1 = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(s1, vs[rr]);
+                        vs[rr] = _mm512_mask_blend_pd(m1, vs[rr], s1);
+                        vi[rr] = _mm512_mask_blend_epi64(m1, vi[rr], idx1);
+                    }
+                    c16 += 16;
+                }
+                for rr in 0..4 {
+                    let (bd, bi) = reduce(vs[rr], vi[rr]);
+                    best_dist[r + rr] = bd;
+                    best[r + rr] = bi;
+                }
+                r += 4;
+            }
+            // Remainder rows: the same packed panel, one row at a time.
+            for i in r..m {
+                let row = block.as_ptr().add(i * d);
+                let mut vs = inf;
+                let mut vi = _mm512_setzero_si512();
+                let mut c16 = 0usize;
+                while c16 < kp {
+                    let pb = pk.add(c16);
+                    let mut a0 = _mm512_setzero_pd();
+                    let mut a1 = _mm512_setzero_pd();
+                    for j in 0..d {
+                        let a = _mm512_set1_pd(*row.add(j));
+                        a0 = _mm512_fmadd_pd(a, _mm512_loadu_pd(pb.add(j * kp)), a0);
+                        a1 = _mm512_fmadd_pd(a, _mm512_loadu_pd(pb.add(j * kp + 8)), a1);
+                    }
+                    let s0 = _mm512_fnmadd_pd(two, a0, _mm512_loadu_pd(pcn.add(c16)));
+                    let idx0 = _mm512_add_epi64(iota, _mm512_set1_epi64(c16 as i64));
+                    let m0 = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(s0, vs);
+                    vs = _mm512_mask_blend_pd(m0, vs, s0);
+                    vi = _mm512_mask_blend_epi64(m0, vi, idx0);
+                    let s1 = _mm512_fnmadd_pd(two, a1, _mm512_loadu_pd(pcn.add(c16 + 8)));
+                    let idx1 = _mm512_add_epi64(iota, _mm512_set1_epi64((c16 + 8) as i64));
+                    let m1 = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(s1, vs);
+                    vs = _mm512_mask_blend_pd(m1, vs, s1);
+                    vi = _mm512_mask_blend_epi64(m1, vi, idx1);
+                    c16 += 16;
+                }
+                let (bd, bi) = reduce(vs, vi);
+                best_dist[i] = bd;
+                best[i] = bi;
+            }
+        });
+    }
+
+    /// Squared distances of four rows to two centroids with fused
+    /// multiply-adds (`vfmadd`), sharing every row load.
+    ///
+    /// # Safety
+    /// As `sqdist4x2_avx`: only reachable from the feature-gated scans.
+    #[inline(always)]
+    unsafe fn sqdist4x2_fma(rows: &[&[f64]; 4], c0: &[f64], c1: &[f64]) -> ([f64; 4], [f64; 4]) {
+        use std::arch::x86_64::*;
+        let d = c0.len();
+        let full = d - d % 4;
+        let mut acc0 = [_mm256_setzero_pd(); 4];
+        let mut acc1 = [_mm256_setzero_pd(); 4];
+        let mut j = 0usize;
+        while j < full {
+            let cv0 = _mm256_loadu_pd(c0.as_ptr().add(j));
+            let cv1 = _mm256_loadu_pd(c1.as_ptr().add(j));
+            for (r, row) in rows.iter().enumerate() {
+                let rv = _mm256_loadu_pd(row.as_ptr().add(j));
+                let d0 = _mm256_sub_pd(rv, cv0);
+                acc0[r] = _mm256_fmadd_pd(d0, d0, acc0[r]);
+                let d1 = _mm256_sub_pd(rv, cv1);
+                acc1[r] = _mm256_fmadd_pd(d1, d1, acc1[r]);
+            }
+            j += 4;
+        }
+        let mut out0 = [0.0f64; 4];
+        let mut out1 = [0.0f64; 4];
+        for (r, row) in rows.iter().enumerate() {
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc0[r]);
+            let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+            for jj in full..d {
+                let diff = row[jj] - c0[jj];
+                sum += diff * diff;
+            }
+            out0[r] = sum;
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc1[r]);
+            let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+            for jj in full..d {
+                let diff = row[jj] - c1[jj];
+                sum += diff * diff;
+            }
+            out1[r] = sum;
+        }
+        (out0, out1)
+    }
+
+    /// Squared distances of four rows to one centroid, fused.
+    ///
+    /// # Safety
+    /// As `sqdist4x2_avx`: only reachable from the feature-gated scans.
+    #[inline(always)]
+    unsafe fn sqdist4_fma(rows: &[&[f64]; 4], c: &[f64]) -> [f64; 4] {
+        use std::arch::x86_64::*;
+        let d = c.len();
+        let full = d - d % 4;
+        let mut acc = [_mm256_setzero_pd(); 4];
+        let mut j = 0usize;
+        while j < full {
+            let cv = _mm256_loadu_pd(c.as_ptr().add(j));
+            for (r, row) in rows.iter().enumerate() {
+                let rv = _mm256_loadu_pd(row.as_ptr().add(j));
+                let diff = _mm256_sub_pd(rv, cv);
+                acc[r] = _mm256_fmadd_pd(diff, diff, acc[r]);
+            }
+            j += 4;
+        }
+        let mut out = [0.0f64; 4];
+        for (r, row) in rows.iter().enumerate() {
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc[r]);
+            let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+            for jj in full..d {
+                let diff = row[jj] - c[jj];
+                sum += diff * diff;
+            }
+            out[r] = sum;
+        }
+        out
     }
 
     /// Squared distances of four rows to two centroids, sharing every row
@@ -717,6 +1291,173 @@ fn normtrick_finalize(block: &[f64], d: usize, best_dist: &mut [f64]) {
     }
 }
 
+/// Dimensions per GEMM d-block: at 256 elements a 64-centroid panel slice
+/// is 128 KB — L2-resident while every row of the block streams past it.
+const GEMM_DBLOCK: usize = 256;
+
+std::thread_local! {
+    /// Grow-only dot-product panel for the GEMM path (`row_tile ×
+    /// cent_tile`). Thread-local so [`assign_rows`]' signature stays
+    /// scratch-free and steady-state iterations never allocate.
+    static GEMM_PANEL: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The blocked-GEMM primitive: treat the norm-trick assignment as
+/// `‖x‖² − 2XCᵀ + ‖c‖²` and compute the `XCᵀ` panel with a k-panel ×
+/// row-panel × d-block loop nest. The centroid panel's d-slice stays
+/// cache-resident across the whole row panel, dot products accumulate in
+/// a `row × cent_tile` score panel, and the winner pass scores
+/// `‖c‖² − 2·dot` in ascending candidate order with a strict `<` —
+/// the same tie discipline as every other path. `best_dist` is left
+/// holding the winning scores (the caller finalizes like the norm trick).
+fn gemm_tile_scored(
+    block: &[f64],
+    d: usize,
+    cents: &Centroids,
+    cnorms: &[f64],
+    cent_tile: usize,
+    best: &mut [u32],
+    best_dist: &mut [f64],
+) {
+    debug_assert_eq!(cnorms.len(), cents.k());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx512_usable() {
+            // Safety: AVX-512F support verified at runtime.
+            unsafe { x86::gemm_tile_avx512(block, d, cents, cnorms, cent_tile, best, best_dist) };
+            return;
+        }
+        if fma_usable() {
+            // Safety: FMA + AVX2 support verified at runtime.
+            unsafe { x86::gemm_tile_fma(block, d, cents, cnorms, cent_tile, best, best_dist) };
+            return;
+        }
+    }
+    if d <= GEMM_DBLOCK {
+        // Single d-block: skip the panel round-trip and score inline (see
+        // the fused variant for the argument; bitwise equal to the panel
+        // path it shortcuts).
+        tile_scan(
+            block,
+            d,
+            cents,
+            cent_tile,
+            best,
+            best_dist,
+            |rows, a, b| (dot4(rows, a), dot4(rows, b)),
+            dot4,
+            dot,
+            |c, dp| cnorms[c] - 2.0 * dp,
+        );
+        return;
+    }
+    gemm_scan(
+        block,
+        d,
+        cents,
+        cnorms,
+        cent_tile,
+        best,
+        best_dist,
+        |rows, a, b| (dot4(rows, a), dot4(rows, b)),
+        dot4,
+        dot,
+    );
+}
+
+/// The shared GEMM loop nest, monomorphized per micro-kernel set. The
+/// kernels receive *d-slices* of rows and centroids and return partial dot
+/// products, which accumulate into the panel across d-blocks.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_scan(
+    block: &[f64],
+    d: usize,
+    cents: &Centroids,
+    cnorms: &[f64],
+    cent_tile: usize,
+    best: &mut [u32],
+    best_dist: &mut [f64],
+    kern4x2: impl Fn(&[&[f64]; 4], &[f64], &[f64]) -> ([f64; 4], [f64; 4]),
+    kern4: impl Fn(&[&[f64]; 4], &[f64]) -> [f64; 4],
+    kern1: impl Fn(&[f64], &[f64]) -> f64,
+) {
+    let m = block.len() / d.max(1);
+    let k = cents.k();
+    debug_assert!(best.len() == m && best_dist.len() == m);
+    best_dist.iter_mut().for_each(|x| *x = f64::INFINITY);
+    best.iter_mut().for_each(|x| *x = 0);
+    let tile = cent_tile.max(1);
+    GEMM_PANEL.with(|cell| {
+        let mut panel = cell.borrow_mut();
+        let width = tile.min(k.max(1));
+        if panel.len() < m * width {
+            panel.resize(m * width, 0.0);
+        }
+        let mut c0 = 0usize;
+        while c0 < k {
+            let c1 = (c0 + tile).min(k);
+            let ctn = c1 - c0;
+            panel[..m * ctn].iter_mut().for_each(|x| *x = 0.0);
+            // d-block loop: the centroid panel slice stays hot while the
+            // whole row panel streams past it once per block.
+            let mut j0 = 0usize;
+            while j0 < d {
+                let j1 = (j0 + GEMM_DBLOCK).min(d);
+                let mut r = 0usize;
+                while r + 4 <= m {
+                    let rows = [
+                        &block[r * d + j0..r * d + j1],
+                        &block[(r + 1) * d + j0..(r + 1) * d + j1],
+                        &block[(r + 2) * d + j0..(r + 2) * d + j1],
+                        &block[(r + 3) * d + j0..(r + 3) * d + j1],
+                    ];
+                    let mut ci = 0usize;
+                    while ci + 2 <= ctn {
+                        let ca = &cents.means[(c0 + ci) * d + j0..(c0 + ci) * d + j1];
+                        let cb = &cents.means[(c0 + ci + 1) * d + j0..(c0 + ci + 1) * d + j1];
+                        let (s0, s1) = kern4x2(&rows, ca, cb);
+                        for i in 0..4 {
+                            panel[(r + i) * ctn + ci] += s0[i];
+                            panel[(r + i) * ctn + ci + 1] += s1[i];
+                        }
+                        ci += 2;
+                    }
+                    while ci < ctn {
+                        let cc = &cents.means[(c0 + ci) * d + j0..(c0 + ci) * d + j1];
+                        let s = kern4(&rows, cc);
+                        for i in 0..4 {
+                            panel[(r + i) * ctn + ci] += s[i];
+                        }
+                        ci += 1;
+                    }
+                    r += 4;
+                }
+                for i in r..m {
+                    let row = &block[i * d + j0..i * d + j1];
+                    for ci in 0..ctn {
+                        let cc = &cents.means[(c0 + ci) * d + j0..(c0 + ci) * d + j1];
+                        panel[i * ctn + ci] += kern1(row, cc);
+                    }
+                }
+                j0 = j1;
+            }
+            // Winner pass over the finished panel, ascending candidates.
+            for i in 0..m {
+                for ci in 0..ctn {
+                    let c = c0 + ci;
+                    let sc = cnorms[c] - 2.0 * panel[i * ctn + ci];
+                    if sc < best_dist[i] {
+                        best_dist[i] = sc;
+                        best[i] = c as u32;
+                    }
+                }
+            }
+            c0 = c1;
+        }
+    });
+}
+
 /// Chunked dot product (same shape as [`sqdist`] for vectorization).
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -859,18 +1600,134 @@ mod tests {
 
     #[test]
     fn auto_resolution_heuristics() {
-        // Tiny k·d falls back to scalar; larger problems tile.
+        // Tiny k·d falls back to scalar; mid-size problems tile; large
+        // unpruned problems take the blocked-GEMM path.
         assert_eq!(KernelKind::Auto.resolve(4, 8, false).kind, ResolvedKind::Scalar);
-        assert_eq!(KernelKind::Auto.resolve(64, 32, false).kind, ResolvedKind::Tiled);
-        // Norm-trick is illegal under pruning (bounds must be exact).
+        assert_eq!(KernelKind::Auto.resolve(16, 16, false).kind, ResolvedKind::Tiled);
+        assert_eq!(KernelKind::Auto.resolve(64, 32, false).kind, ResolvedKind::Gemm);
+        // Approximate paths are illegal under pruning (bounds must be
+        // exact), so `Auto` and the explicit knobs all downgrade.
+        assert_eq!(KernelKind::Auto.resolve(64, 32, true).kind, ResolvedKind::Tiled);
         assert_eq!(KernelKind::NormTrick.resolve(64, 32, true).kind, ResolvedKind::Tiled);
         assert_eq!(KernelKind::NormTrick.resolve(64, 32, false).kind, ResolvedKind::NormTrick);
+        assert_eq!(KernelKind::Fma.resolve(64, 32, true).kind, ResolvedKind::Tiled);
+        assert_eq!(KernelKind::Fma.resolve(64, 32, false).kind, ResolvedKind::Fma);
+        assert_eq!(KernelKind::Gemm.resolve(64, 32, true).kind, ResolvedKind::Tiled);
+        assert_eq!(KernelKind::Gemm.resolve(64, 32, false).kind, ResolvedKind::Gemm);
         // Tile sizes shrink as d grows.
         let small_d = KernelKind::Tiled.resolve(100, 4, false);
         let large_d = KernelKind::Tiled.resolve(100, 500, false);
         assert!(small_d.row_tile >= large_d.row_tile);
         assert!(small_d.cent_tile >= large_d.cent_tile);
         assert!(large_d.row_tile >= 8 && large_d.cent_tile >= 4);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            KernelKind::Auto,
+            KernelKind::Scalar,
+            KernelKind::Tiled,
+            KernelKind::Fma,
+            KernelKind::NormTrick,
+            KernelKind::Gemm,
+        ] {
+            assert_eq!(KernelKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(KernelKind::parse("normtrick"), Some(KernelKind::NormTrick));
+        assert_eq!(KernelKind::parse("warp"), None);
+        for kind in [
+            ResolvedKind::Scalar,
+            ResolvedKind::Tiled,
+            ResolvedKind::Fma,
+            ResolvedKind::NormTrick,
+            ResolvedKind::Gemm,
+        ] {
+            assert_eq!(ResolvedKind::parse(kind.name()), Some(kind));
+        }
+    }
+
+    /// The approximate kernels (FMA-fused tiled, blocked GEMM) must agree
+    /// with the scalar `nearest` reference within the 1e-9 band across the
+    /// awkward shapes: `d % 4 != 0`, `k = 1`, blocks smaller than a tile,
+    /// non-trivial multi-tile scans.
+    #[test]
+    fn fma_and_gemm_within_tolerance() {
+        for (m, k, d, seed) in [
+            (1, 1, 3, 11u64),
+            (3, 1, 5, 12),
+            (4, 7, 9, 13),
+            (50, 9, 6, 14),
+            (33, 16, 11, 15),
+            (67, 40, 13, 16),
+            (130, 65, 7, 17),
+        ] {
+            let (block, cents) = random_case(m, k, d, seed);
+            let mut cnorms = vec![0.0; k];
+            centroid_sqnorms(&cents, &mut cnorms);
+            let (rbest, rdist) = scalar_reference(&block, d, &cents);
+            for kernel in [KernelKind::Fma, KernelKind::Gemm] {
+                let rk = kernel.resolve(k, d, false);
+                let (mut best, mut dist) = (Vec::new(), Vec::new());
+                assign_rows(&block, d, &cents, &rk, &cnorms, &mut best, &mut dist, true);
+                for i in 0..m {
+                    let tol = 1e-9 * rdist[i].abs() + 1e-12;
+                    assert!(
+                        (dist[i] - rdist[i]).abs() <= tol,
+                        "{kernel:?} row {i} in case {m}x{k}x{d}: {} vs exact {}",
+                        dist[i],
+                        rdist[i]
+                    );
+                    // On random data there are no near-ties; winners agree.
+                    assert_eq!(best[i], rbest[i], "{kernel:?} winner, case {m}x{k}x{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_spans_multiple_d_blocks() {
+        // d > GEMM_DBLOCK forces panel accumulation across several
+        // d-blocks; the winner must still match the reference.
+        let (block, cents) = random_case(9, 5, 2 * GEMM_DBLOCK + 3, 21);
+        let d = 2 * GEMM_DBLOCK + 3;
+        let mut cnorms = vec![0.0; 5];
+        centroid_sqnorms(&cents, &mut cnorms);
+        let rk = KernelKind::Gemm.resolve(5, d, false);
+        let (mut best, mut dist) = (Vec::new(), Vec::new());
+        assign_rows(&block, d, &cents, &rk, &cnorms, &mut best, &mut dist, true);
+        let (rbest, rdist) = scalar_reference(&block, d, &cents);
+        assert_eq!(best, rbest);
+        for i in 0..9 {
+            assert!((dist[i] - rdist[i]).abs() <= 1e-9 * rdist[i].abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_ties_break_to_lower_index() {
+        // Two identical centroids produce identical dot products; the
+        // strict `<` winner pass must keep index 0, like `nearest`.
+        let block = vec![0.5, 0.5, 0.5, 0.5, 1.5, 1.5, 1.5, 1.5];
+        let cents = Centroids { means: vec![1.0; 8], counts: vec![0; 2], d: 4 };
+        let mut cnorms = vec![0.0; 2];
+        centroid_sqnorms(&cents, &mut cnorms);
+        let rk = KernelKind::Gemm.resolve(2, 4, false);
+        let (mut best, mut dist) = (Vec::new(), Vec::new());
+        assign_rows(&block, 4, &cents, &rk, &cnorms, &mut best, &mut dist, true);
+        assert_eq!(best, vec![0, 0]);
+    }
+
+    #[test]
+    fn tuned_tiles_override_is_clamped_and_exact() {
+        let (block, cents) = random_case(37, 11, 6, 22);
+        let rk = KernelKind::Tiled.resolve(11, 6, false).with_tiles(16, 64, 11);
+        assert_eq!((rk.row_tile, rk.cent_tile), (16, 11), "cent tile capped at k");
+        let (mut best, mut dist) = (Vec::new(), Vec::new());
+        assign_rows(&block, 6, &cents, &rk, &[], &mut best, &mut dist, true);
+        let (rbest, rdist) = scalar_reference(&block, 6, &cents);
+        assert_eq!(best, rbest);
+        assert_eq!(dist, rdist, "tuned tiles must not change exact results");
+        assert_eq!(KernelKind::Tiled.resolve(11, 6, false).with_tiles(0, 0, 11).row_tile, 4);
     }
 
     #[test]

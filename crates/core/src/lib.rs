@@ -58,13 +58,15 @@ pub mod quality;
 pub mod serial;
 pub mod stats;
 pub mod sync;
+pub mod tune;
 
 pub use algo::{Algorithm, MapOut, MmAlgorithm, Normalization, UpdateCtx};
 pub use centroids::{Centroids, LocalAccum};
 pub use driver::{DriverConfig, DriverOutcome, IterView, LloydBackend, ReduceReport, WorkerReport};
 pub use engine::{Kmeans, KmeansConfig};
 pub use init::InitMethod;
-pub use kernel::{KernelKind, KernelScratch, ResolvedKernel, ResolvedKind};
+pub use kernel::{fma_usable, KernelKind, KernelScratch, ResolvedKernel, ResolvedKind};
 pub use plane::{DataPlane, PlaneBackend, SlicePlane, StagedScratch, StagedSource};
 pub use pruning::Pruning;
 pub use stats::{IterStats, KmeansResult, MemoryFootprint};
+pub use tune::{TileChoice, TuneKey, TunePolicy, TuneTable, Tuning};

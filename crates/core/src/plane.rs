@@ -406,6 +406,7 @@ mod tests {
             pruning,
             task_size: 16,
             kernel,
+            tiles: None,
             row_offset: 0,
         };
         let init =

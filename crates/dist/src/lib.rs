@@ -56,6 +56,7 @@ use knor_core::plane::{DataPlane, SlicePlane};
 use knor_core::pruning::{PruneCounters, Pruning};
 use knor_core::stats::IterStats;
 use knor_core::sync::ExclusiveCell;
+use knor_core::tune::Tuning;
 use knor_matrix::DMatrix;
 use knor_mpi::collectives::{allreduce_f64, allreduce_max_u64};
 use knor_mpi::{Comm, LocalCluster, NetModel, ReduceAlgo};
@@ -120,6 +121,9 @@ pub struct DistConfig {
     /// Clustering algorithm to run on the driver (see `knor_core::algo`).
     /// Non-Lloyd algorithms force MTI pruning off.
     pub algo: Algorithm,
+    /// Kernel autotuning policy (see `knor_core::tune`). knord tunes once
+    /// from the global shape and shares the tiles across ranks.
+    pub tuning: Tuning,
     /// Per-rank data plane (see [`RankPlane`]). `Sem` requires
     /// [`DistKmeans::fit_file`].
     pub plane: RankPlane,
@@ -150,6 +154,7 @@ impl DistConfig {
             compute_sse: false,
             kernel: KernelKind::Auto,
             algo: Algorithm::Lloyd,
+            tuning: Tuning::off(),
             plane: RankPlane::InMemory,
             inject_prefetch_panic_rank: None,
         }
@@ -225,6 +230,12 @@ impl DistConfig {
     /// Choose the full-scan assignment kernel.
     pub fn with_kernel(mut self, v: KernelKind) -> Self {
         self.kernel = v;
+        self
+    }
+
+    /// Set the kernel autotuning policy.
+    pub fn with_tuning(mut self, v: Tuning) -> Self {
+        self.tuning = v;
         self
     }
 
@@ -382,6 +393,7 @@ impl DistKmeans {
         let algo_cfg = &cfg.algo;
         let pruning = cfg.pruning.enabled() && algo_cfg.prune_eligible();
 
+        let tiles = tuned_tiles(cfg, n, k, d, pruning);
         let ranges_ref = &ranges;
         let init_ref = &init;
         let results = LocalCluster::run(cfg.ranks, |comm| {
@@ -391,7 +403,8 @@ impl DistKmeans {
             // inputs; any per-run state (mini-batch cumulative counts)
             // advances identically because its inputs are allreduced.
             let mm = algo_cfg.resolve(k, n, cfg.seed);
-            let (driver_cfg, placement, queue) = rank_driver_setup(cfg, &rows, k, d, pruning);
+            let (driver_cfg, placement, queue) =
+                rank_driver_setup(cfg, &rows, k, d, pruning, tiles);
             let rk = driver_cfg.resolve_kernel();
             let plane = SlicePlane::new(local, &rk, cfg.threads_per_rank);
             let backend = RankBackend::new(cfg, &plane, &comm, mm.uses_weights(), k, d);
@@ -482,6 +495,7 @@ impl DistKmeans {
             pre.push(Mutex::new(Some(data)));
         }
 
+        let tiles = tuned_tiles(cfg, n, k, d, pruning);
         let ranges_ref = &ranges;
         let init_ref = &init;
         let pre_ref = &pre;
@@ -491,7 +505,8 @@ impl DistKmeans {
             let mut data =
                 pre_ref[rank].lock().expect("rank data lock").take().expect("rank data taken once");
             let mm = algo_cfg.resolve(k, n, cfg.seed);
-            let (driver_cfg, placement, queue) = rank_driver_setup(cfg, &rows, k, d, pruning);
+            let (driver_cfg, placement, queue) =
+                rank_driver_setup(cfg, &rows, k, d, pruning, tiles);
             let rk = driver_cfg.resolve_kernel();
             let outcome = {
                 let mem_plane;
@@ -541,6 +556,7 @@ fn rank_driver_setup(
     k: usize,
     d: usize,
     pruning: bool,
+    tiles: Option<(usize, usize)>,
 ) -> (DriverConfig, Placement, TaskQueue) {
     let topo = Topology::flat(cfg.threads_per_rank);
     let placement = Placement::new(&topo, rows.len(), cfg.threads_per_rank);
@@ -556,8 +572,25 @@ fn rank_driver_setup(
         task_size: cfg.task_size,
         kernel: cfg.kernel,
         row_offset: rows.start,
+        tiles,
     };
     (driver_cfg, placement, queue)
+}
+
+/// Tune once from the *global* shape, before any rank launches: rank row
+/// slices land in different `n` buckets, so per-rank probing could hand
+/// different ranks different tiles. One shared pre-probe keeps every
+/// rank's scan shape identical (and the trajectory reproducible across
+/// rank counts).
+fn tuned_tiles(
+    cfg: &DistConfig,
+    n: usize,
+    k: usize,
+    d: usize,
+    pruning: bool,
+) -> Option<(usize, usize)> {
+    let kind = cfg.kernel.resolve(k, d, pruning).kind;
+    cfg.tuning.tiles_for(kind, n, k, d)
 }
 
 /// Assemble rank outcomes into a [`DistResult`] (assignments concatenate

@@ -27,6 +27,7 @@ use knor_core::kernel::KernelKind;
 use knor_core::plane::PlaneBackend;
 use knor_core::pruning::Pruning;
 use knor_core::stats::{KmeansResult, MemoryFootprint};
+use knor_core::tune::Tuning;
 use knor_matrix::DMatrix;
 use knor_numa::{Placement, Topology};
 use knor_safs::DEFAULT_PAGE_SIZE;
@@ -88,6 +89,8 @@ pub struct SemConfig {
     /// Clustering algorithm to run on the driver (see `knor_core::algo`).
     /// Non-Lloyd algorithms force MTI pruning off.
     pub algo: Algorithm,
+    /// Kernel autotuning policy (see `knor_core::tune`).
+    pub tuning: Tuning,
 }
 
 impl SemConfig {
@@ -113,6 +116,7 @@ impl SemConfig {
             compute_sse: false,
             kernel: KernelKind::Auto,
             algo: Algorithm::Lloyd,
+            tuning: Tuning::off(),
         }
     }
 
@@ -200,6 +204,12 @@ impl SemConfig {
         self
     }
 
+    /// Set the kernel autotuning policy.
+    pub fn with_tuning(mut self, v: Tuning) -> Self {
+        self.tuning = v;
+        self
+    }
+
     /// Choose the full-scan assignment kernel.
     pub fn with_kernel(mut self, v: KernelKind) -> Self {
         self.kernel = v;
@@ -281,7 +291,7 @@ impl SemKmeans {
         let algo = cfg.algo.resolve(k, n, cfg.seed);
         let pruning = cfg.pruning.enabled() && algo.prune_eligible();
 
-        let driver_cfg = DriverConfig {
+        let mut driver_cfg = DriverConfig {
             k,
             d,
             n,
@@ -292,7 +302,10 @@ impl SemKmeans {
             task_size: cfg.task_size,
             kernel: cfg.kernel,
             row_offset: 0,
+            tiles: None,
         };
+        let probe_kind = driver_cfg.resolve_kernel().kind;
+        driver_cfg.tiles = cfg.tuning.tiles_for(probe_kind, n, k, d);
         let outcome =
             run_mm(&driver_cfg, init_cents, &placement, &queue, &PlaneBackend(&plane), &*algo);
 

@@ -59,7 +59,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use knor_core::distance::nearest;
-use knor_core::{Algorithm, KernelKind, ResolvedKernel};
+use knor_core::{Algorithm, KernelKind, ResolvedKernel, Tuning};
 use knor_matrix::DMatrix;
 use knor_numa::Topology;
 
@@ -126,6 +126,9 @@ pub struct ServeConfig {
     pub chunk_cap: usize,
     /// Time source for serving stats (inject [`ManualClock`] in tests).
     pub clock: Arc<dyn Clock>,
+    /// Kernel autotuning policy for predict scans (see `knor_core::tune`).
+    /// Models that carry their own trained tiles win over this.
+    pub tuning: Tuning,
 }
 
 impl Default for ServeConfig {
@@ -136,6 +139,7 @@ impl Default for ServeConfig {
             kernel: KernelKind::Auto,
             chunk_cap: 8192,
             clock: Arc::new(MonotonicClock::new()),
+            tuning: Tuning::off(),
         }
     }
 }
@@ -164,6 +168,12 @@ impl ServeConfig {
         self.clock = v;
         self
     }
+
+    /// Set the kernel autotuning policy.
+    pub fn with_tuning(mut self, v: Tuning) -> Self {
+        self.tuning = v;
+        self
+    }
 }
 
 struct ServeInner {
@@ -172,6 +182,7 @@ struct ServeInner {
     jobs: JobRunner,
     clock: Arc<dyn Clock>,
     kernel: KernelKind,
+    tuning: Tuning,
 }
 
 /// A handle to a running serving instance. Cheaply cloneable; the
@@ -208,6 +219,7 @@ impl ServeHandle {
                 jobs,
                 clock: cfg.clock,
                 kernel: cfg.kernel,
+                tuning: cfg.tuning,
             }),
         }
     }
@@ -252,7 +264,20 @@ impl ServeHandle {
             .registry
             .get(model)
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
-        let rk = resolve_predict_kernel(kernel, entry.model.k(), entry.model.d());
+        let (k, model_d) = (entry.model.k(), entry.model.d());
+        let mut rk = resolve_predict_kernel(kernel, k, model_d);
+        // Tile override: a model trained with autotuned tiles carries
+        // them; otherwise the serve-side tuner may probe for this batch
+        // shape. Tiles change only the scan order, never the arithmetic,
+        // so the bitwise predict contract is unaffected.
+        let m = queries.len().checked_div(d).unwrap_or(0);
+        let tiles = entry
+            .model
+            .tiles
+            .or_else(|| self.inner.tuning.tiles_for(rk.kind, m.max(1), k, model_d));
+        if let Some((rt, ct)) = tiles {
+            rk = rk.with_tiles(rt, ct, k);
+        }
         let t0 = self.inner.clock.now_ns();
         let (assignments, distances) = self.inner.pool.predict(&entry, rk, queries, d)?;
         let t1 = self.inner.clock.now_ns();
@@ -366,14 +391,45 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let q: Vec<f64> = (0..333 * 9).map(|_| rng.gen_range(-5.0..5.0)).collect();
         let reference = predict_serial(&h.registry().get("m").unwrap().model, &q, 9);
-        for kernel in
-            [KernelKind::Auto, KernelKind::Scalar, KernelKind::Tiled, KernelKind::NormTrick]
-        {
+        for kernel in [
+            KernelKind::Auto,
+            KernelKind::Scalar,
+            KernelKind::Tiled,
+            KernelKind::NormTrick,
+            KernelKind::Fma,
+            KernelKind::Gemm,
+        ] {
+            // Fma and Gemm resolve to Tiled in exact predict mode, so the
+            // bitwise contract holds for every knob value.
             let out = h.predict_rows_with("m", &q, 9, kernel).unwrap();
             assert_eq!(out.assignments, reference.assignments, "{kernel:?}");
             let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&out.distances), bits(&reference.distances), "{kernel:?}");
         }
+    }
+
+    #[test]
+    fn model_tiles_and_serve_tuning_stay_bitwise() {
+        // A model carrying trained tiles, served by an instance with the
+        // tuner on: both override paths engage and must not perturb a bit.
+        let tuning = Tuning::on();
+        let h =
+            ServeHandle::start(ServeConfig::default().with_threads(2).with_tuning(tuning.clone()));
+        h.registry().register_model_tuned(
+            "t",
+            Algorithm::Lloyd,
+            knor_core::Centroids::from_matrix(&random_cents(17, 9, 5)),
+            Some((32, 8)),
+        );
+        h.register_model("untiled", Algorithm::Lloyd, random_cents(17, 9, 5));
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let q: Vec<f64> = (0..257 * 9).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        for name in ["t", "untiled"] {
+            let reference = predict_serial(&h.registry().get(name).unwrap().model, &q, 9);
+            let out = h.predict_rows(name, &q, 9).unwrap();
+            assert_eq!(out, reference, "{name}");
+        }
+        assert!(!tuning.table.is_empty(), "the untiled model must have probed");
     }
 
     #[test]

@@ -220,8 +220,9 @@ impl WorkerPool {
     /// Assign every row of the `m × d` query block to its nearest centroid
     /// of `entry`'s model under resolved kernel `rk`. Blocks until every
     /// chunk completes; bitwise identical to the serial per-row scan. The
-    /// pool serves only exact kernels: a `NormTrick`-resolved `rk`
-    /// (whose scan would need centroid norms the pool does not carry) is
+    /// pool serves only exact kernels: an approximate-band resolved `rk`
+    /// (`NormTrick`/`Gemm`, whose scans would need centroid norms the pool
+    /// does not carry, and `Fma`, whose fused rounding differs) is
     /// downgraded to `Tiled` here, same tiles, exact arithmetic.
     pub fn predict(
         &self,
@@ -230,8 +231,9 @@ impl WorkerPool {
         queries: &[f64],
         d: usize,
     ) -> Result<(Vec<u32>, Vec<f64>), PredictError> {
-        if rk.kind == knor_core::ResolvedKind::NormTrick {
-            rk.kind = knor_core::ResolvedKind::Tiled;
+        use knor_core::ResolvedKind;
+        if matches!(rk.kind, ResolvedKind::NormTrick | ResolvedKind::Fma | ResolvedKind::Gemm) {
+            rk.kind = ResolvedKind::Tiled;
         }
         let model_d = entry.model.d();
         if d != model_d || !queries.len().is_multiple_of(d.max(1)) {
@@ -396,6 +398,13 @@ mod tests {
         let q = [0.5, 0.5, 0.5];
         let (a, _) = pool.predict(&entry, rk, &q, 3).unwrap();
         assert_eq!(a.len(), 1);
+        // The predict above may have run on the other worker while the
+        // injected chunk was still unwinding: wait for the counter rather
+        // than racing it.
+        let t0 = std::time::Instant::now();
+        while pool.caught_panics() == 0 && t0.elapsed().as_secs() < 10 {
+            std::thread::yield_now();
+        }
         assert!(pool.caught_panics() >= 1, "injected panic was not caught");
         pool.shutdown();
     }

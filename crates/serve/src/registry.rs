@@ -37,6 +37,10 @@ pub struct Model {
     pub normalization: Normalization,
     /// The trained `k × d` centroid set.
     pub centroids: Centroids,
+    /// Autotuned `(row_tile, cent_tile)` recorded at training time, if
+    /// any; predict scans prefer these over the heuristic. Persisted in
+    /// the `.meta` sidecar as optional `row_tile`/`cent_tile` keys.
+    pub tiles: Option<(usize, usize)>,
 }
 
 impl Model {
@@ -80,12 +84,24 @@ impl ModelRegistry {
 
     /// [`ModelRegistry::register`] for an already-built [`Centroids`].
     pub fn register_model(&self, name: &str, algo: Algorithm, centroids: Centroids) -> u32 {
+        self.register_model_tuned(name, algo, centroids, None)
+    }
+
+    /// [`ModelRegistry::register_model`] with autotuned predict tiles
+    /// recorded on the model (persisted on save, honored by predict).
+    pub fn register_model_tuned(
+        &self,
+        name: &str,
+        algo: Algorithm,
+        centroids: Centroids,
+        tiles: Option<(usize, usize)>,
+    ) -> u32 {
         let mut map = self.inner.write().expect("registry poisoned");
         let versions = map.entry(name.to_string()).or_default();
         let version = versions.last().map(|e| e.model.version).unwrap_or(0) + 1;
         let normalization = algo.normalization();
         versions.push(Arc::new(ModelEntry {
-            model: Model { name: name.to_string(), version, algo, normalization, centroids },
+            model: Model { name: name.to_string(), version, algo, normalization, centroids, tiles },
             stats: ServeStats::new(),
         }));
         version
@@ -133,7 +149,7 @@ impl ModelRegistry {
         let m = &entry.model;
         let stem = format!("{}-v{}", m.name, m.version);
         matrix_io::write_matrix(&dir.join(format!("{stem}.knor")), &m.centroids.to_matrix())?;
-        let meta = format!(
+        let mut meta = format!(
             "knor-serve-model v1\nname={}\nversion={}\nalgo={}\nnormalization={}\nk={}\nd={}\n",
             m.name,
             m.version,
@@ -142,6 +158,9 @@ impl ModelRegistry {
             m.k(),
             m.d(),
         );
+        if let Some((rt, ct)) = m.tiles {
+            meta.push_str(&format!("row_tile={rt}\ncent_tile={ct}\n"));
+        }
         let meta_path = dir.join(format!("{stem}.meta"));
         std::fs::write(&meta_path, meta)?;
         Ok(meta_path)
@@ -182,11 +201,28 @@ impl ModelRegistry {
         if cents.k() != k || cents.d != d {
             return Err(bad(format!("meta says {k}x{d} but matrix is {}x{}", cents.k(), cents.d)));
         }
+        // Optional autotuned tile keys (absent in pre-tuner metas; both or
+        // neither must be present).
+        let tiles = match (fields.get("row_tile"), fields.get("cent_tile")) {
+            (Some(rt), Some(ct)) => Some((
+                rt.parse().map_err(|e| bad(format!("row_tile: {e}")))?,
+                ct.parse().map_err(|e| bad(format!("cent_tile: {e}")))?,
+            )),
+            (None, None) => None,
+            _ => return Err(bad("row_tile/cent_tile must appear together".into())),
+        };
         let mut map = self.inner.write().expect("registry poisoned");
         let versions = map.entry(name.clone()).or_default();
         let version = versions.last().map(|e| e.model.version + 1).unwrap_or(version).max(1);
         versions.push(Arc::new(ModelEntry {
-            model: Model { name: name.clone(), version, algo, normalization, centroids: cents },
+            model: Model {
+                name: name.clone(),
+                version,
+                algo,
+                normalization,
+                centroids: cents,
+                tiles,
+            },
             stats: ServeStats::new(),
         }));
         Ok((name, version))
@@ -248,6 +284,32 @@ mod tests {
         // Loading into an occupied name appends a new version.
         let (_, v2) = fresh.load(&meta).unwrap();
         assert_eq!(v2, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tuned_tiles_persist_through_save_load() {
+        let dir = std::env::temp_dir().join(format!("knor-serve-tiles-{}", std::process::id()));
+        let r = ModelRegistry::new();
+        r.register_model_tuned(
+            "tuned",
+            Algorithm::Lloyd,
+            Centroids::from_matrix(&cents(4, 3, 1.0)),
+            Some((64, 16)),
+        );
+        let meta = r.save("tuned", &dir).unwrap();
+        let text = std::fs::read_to_string(&meta).unwrap();
+        assert!(text.contains("row_tile=64\ncent_tile=16\n"));
+
+        let fresh = ModelRegistry::new();
+        fresh.load(&meta).unwrap();
+        assert_eq!(fresh.get("tuned").unwrap().model.tiles, Some((64, 16)));
+
+        // A meta with only one of the two keys is corrupt.
+        let lone = dir.join("lone.meta");
+        std::fs::write(&lone, text.replace("cent_tile=16\n", "")).unwrap();
+        std::fs::copy(meta.with_extension("knor"), lone.with_extension("knor")).unwrap();
+        assert!(fresh.load(&lone).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -6,6 +6,7 @@
 //! ```text
 //! knor im   <file.knor> -k 10 [-i 100] [-t N] [--no-prune] [--init pp|forgy|random]
 //!           [--algo lloyd|spherical|fuzzy|minibatch] [--fuzz M] [--batch B]
+//!           [--kernel auto|scalar|tiled|fma|norm|gemm] [--tune on|off|cache]
 //! knor sem  <file.knor> -k 10 [--row-cache MB] [--page-cache MB] [--stats]
 //! knor dist <file.knor> -k 10 [--ranks R] [--star] [--plane im|sem] [--stats]
 //! knor gen  <file.knor> --dataset friendster8|friendster32|rm856m|rm1b|ru2b --scale f
@@ -42,6 +43,10 @@ struct Opts {
     plane: String,
     /// Print the per-iteration I/O / wire summary after the run.
     stats: bool,
+    /// Assignment kernel knob (`auto|scalar|tiled|fma|norm|gemm`).
+    kernel: String,
+    /// Autotuning policy (`off|on|cache`).
+    tune: String,
     dataset: String,
     scale: f64,
     algo: String,
@@ -62,6 +67,7 @@ fn usage() -> ! {
          \x20          [--no-prune] [--init pp|forgy|random] [--seed S]\n\
          \x20          [--algo lloyd|spherical|fuzzy|minibatch]\n\
          \x20          [--fuzz M] [--batch B]\n\
+         \x20          [--kernel auto|scalar|tiled|fma|norm|gemm] [--tune on|off|cache]\n\
          \x20          [--row-cache MB] [--page-cache MB] [--stats]    (sem)\n\
          \x20          [--ranks R] [--star] [--plane im|sem] [--stats] (dist)\n\
          \x20          [--dataset NAME] [--scale F]                    (gen)\n\
@@ -131,6 +137,8 @@ fn parse(args: &[String]) -> (String, Opts) {
         star: false,
         plane: "im".into(),
         stats: false,
+        kernel: "auto".into(),
+        tune: "off".into(),
         dataset: "friendster8".into(),
         scale: 0.001,
         algo: "lloyd".into(),
@@ -166,6 +174,20 @@ fn parse(args: &[String]) -> (String, Opts) {
             "--star" => o.star = true,
             "--plane" => o.plane = val(&mut i),
             "--stats" => o.stats = true,
+            // Validated right here so a bad value dies before any file I/O.
+            "--kernel" => {
+                o.kernel = val(&mut i);
+                let _ = kernel_kind(&o);
+            }
+            "--tune" => {
+                o.tune = val(&mut i);
+                if TunePolicy::parse(&o.tune).is_none() {
+                    die(&format!(
+                        "invalid value '{}' for --tune: expected on, off or cache",
+                        o.tune
+                    ));
+                }
+            }
             "--dataset" => o.dataset = val(&mut i),
             "--scale" => {
                 let s = val(&mut i);
@@ -211,6 +233,61 @@ fn pruning(o: &Opts) -> Pruning {
     } else {
         Pruning::None
     }
+}
+
+fn kernel_kind(o: &Opts) -> KernelKind {
+    KernelKind::parse(&o.kernel).unwrap_or_else(|| {
+        die(&format!(
+            "invalid value '{}' for --kernel: expected auto, scalar, tiled, fma, norm or gemm",
+            o.kernel
+        ))
+    })
+}
+
+/// Resolve `--tune`. `cache` persists decisions next to the data file
+/// (`<file>.tune`), so repeat runs on the same data skip the probe.
+fn tuning(o: &Opts) -> Tuning {
+    match TunePolicy::parse(&o.tune) {
+        Some(TunePolicy::Off) => Tuning::off(),
+        Some(TunePolicy::On) => Tuning::on().with_seed(o.seed),
+        Some(TunePolicy::Cache) => {
+            let mut p = o.file.clone().into_os_string();
+            p.push(".tune");
+            Tuning::cached(PathBuf::from(p)).with_seed(o.seed)
+        }
+        None => die(&format!("invalid value '{}' for --tune: expected on, off or cache", o.tune)),
+    }
+}
+
+/// The one-line `--stats` kernel note: which kernel/tiles actually ran.
+/// This is where a `--kernel gemm` (or fma/norm) request under MTI shows
+/// its downgrade to the exact tiled path, mirroring the engines' resolve.
+/// Reuses the run's `Tuning` (shared table), so no extra probe happens.
+fn kernel_note(
+    o: &Opts,
+    tuning: &Tuning,
+    n: usize,
+    k: usize,
+    d: usize,
+    algo: &Algorithm,
+) -> String {
+    let requested = kernel_kind(o);
+    let pruning_on = pruning(o).enabled() && algo.prune_eligible();
+    let rk0 = requested.resolve(k, d, pruning_on);
+    let tuned = tuning.tiles_for(rk0.kind, n, k, d);
+    let rk = match tuned {
+        Some((rt, ct)) => rk0.with_tiles(rt, ct, k),
+        None => rk0,
+    };
+    format!(
+        "kernel: requested={} resolved={} tiles={}x{} fma={} tuned={}",
+        requested.name(),
+        rk.kind.name(),
+        rk.row_tile,
+        rk.cent_tile,
+        if fma_usable() { "yes" } else { "no" },
+        if tuned.is_some() { "yes" } else { "no" },
+    )
 }
 
 /// Resolve `--algo` (the mini-batch default batch is `n/10`, at least 1).
@@ -264,11 +341,15 @@ fn main() {
         }
         "im" => {
             let data = matrix_io::read_matrix(&o.file).expect("read failed");
+            let algo = algorithm(&o, data.nrow());
+            let tune = tuning(&o);
             let mut cfg = KmeansConfig::new(o.k)
                 .with_init(init_method(&o))
                 .with_seed(o.seed)
                 .with_pruning(pruning(&o))
-                .with_algo(algorithm(&o, data.nrow()))
+                .with_algo(algo.clone())
+                .with_kernel(kernel_kind(&o))
+                .with_tuning(tune.clone())
                 .with_max_iters(o.iters);
             if let Some(t) = o.threads {
                 cfg = cfg.with_threads(t);
@@ -276,15 +357,23 @@ fn main() {
             let t0 = std::time::Instant::now();
             let r = Kmeans::new(cfg).fit(&data);
             report("knori", r.niters, r.converged, r.sse, t0.elapsed());
+            if o.stats {
+                println!("{}", kernel_note(&o, &tune, data.nrow(), o.k, data.ncol(), &algo));
+            }
         }
         "sem" => {
             // The header carries n, so the mini-batch default (`n/10`)
             // matches the other modes without a data pass.
-            let n = matrix_io::read_header(&o.file).expect("read header").nrow as usize;
+            let h = matrix_io::read_header(&o.file).expect("read header");
+            let (n, d) = (h.nrow as usize, h.ncol as usize);
+            let algo = algorithm(&o, n);
+            let tune = tuning(&o);
             let mut cfg = SemConfig::new(o.k)
                 .with_seed(o.seed)
                 .with_pruning(pruning(&o))
-                .with_algo(algorithm(&o, n))
+                .with_algo(algo.clone())
+                .with_kernel(kernel_kind(&o))
+                .with_tuning(tune.clone())
                 .with_row_cache_bytes(o.row_cache_mb << 20)
                 .with_page_cache_bytes(o.page_cache_mb << 20)
                 .with_max_iters(o.iters)
@@ -298,6 +387,7 @@ fn main() {
             let read: u64 = r.io.iter().map(|i| i.bytes_read).sum();
             println!("device bytes read: {:.1} MB", read as f64 / 1e6);
             if o.stats {
+                println!("{}", kernel_note(&o, &tune, n, o.k, d, &algo));
                 print_io_table(&r.io);
                 if r.panicked_io_threads > 0 {
                     println!("WARNING: {} prefetch thread(s) died mid-run", r.panicked_io_threads);
@@ -306,9 +396,18 @@ fn main() {
         }
         "dist" => {
             let threads = o.threads.unwrap_or(2);
+            if !matches!(o.plane.as_str(), "im" | "sem") {
+                die(&format!("invalid value '{}' for --plane: expected im or sem", o.plane));
+            }
+            let hdr = matrix_io::read_header(&o.file).expect("read header");
+            let (file_n, file_d) = (hdr.nrow as usize, hdr.ncol as usize);
+            let algo = algorithm(&o, file_n);
+            let tune = tuning(&o);
             let mut cfg = DistConfig::new(o.k, o.ranks, threads)
                 .with_seed(o.seed)
                 .with_pruning(pruning(&o))
+                .with_kernel(kernel_kind(&o))
+                .with_tuning(tune.clone())
                 .with_reduce(if o.star { ReduceAlgo::Star } else { ReduceAlgo::Ring })
                 .with_max_iters(o.iters)
                 .with_sse(true);
@@ -345,6 +444,7 @@ fn main() {
             };
             report("knord", r.niters, r.converged, r.sse, t0.elapsed());
             if o.stats {
+                println!("{}", kernel_note(&o, &tune, file_n, o.k, file_d, &algo));
                 print_dist_stats(&r);
             }
         }

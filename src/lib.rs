@@ -52,7 +52,8 @@ pub use knor_serve::{ServeConfig, ServeHandle};
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use knor_core::{
-        Algorithm, InitMethod, KernelKind, Kmeans, KmeansConfig, KmeansResult, Pruning,
+        fma_usable, Algorithm, InitMethod, KernelKind, Kmeans, KmeansConfig, KmeansResult, Pruning,
+        TunePolicy, Tuning,
     };
     pub use knor_dist::{DistConfig, DistKmeans, DistResult, RankIo, RankPlane};
     pub use knor_matrix::{io as matrix_io, DMatrix};

@@ -31,6 +31,9 @@ fn degenerate_numeric_flags_are_rejected_before_any_io() {
         vec!["gen", "/nonexistent/x.knor", "--scale", "-0.5"],
         vec!["gen", "/nonexistent/x.knor", "--scale", "NaN"],
         vec!["train", "--model", "m", "--file", "f", "--engine", "gpu"],
+        vec!["im", "/nonexistent/x.knor", "--kernel", "warp"],
+        vec!["im", "/nonexistent/x.knor", "--tune", "maybe"],
+        vec!["sem", "/nonexistent/x.knor", "--kernel", "avx512"],
     ] {
         let out = knor().args(&args).output().expect("spawn knor");
         assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
@@ -89,4 +92,81 @@ fn valid_flags_still_run_end_to_end() {
     assert!(stdout.contains("rank 1 io:"), "{stdout}");
 
     std::fs::remove_file(&file).unwrap();
+}
+
+#[test]
+fn kernel_and_tune_flags_report_what_actually_ran() {
+    let file = tmp("kern.knor");
+    let gen = knor()
+        .args(["gen", file.to_str().unwrap(), "--dataset", "friendster8", "--scale", "0.0002"])
+        .output()
+        .expect("spawn gen");
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+
+    // --kernel gemm under MTI (the default) downgrades to the exact tiled
+    // path; --stats must say so in one explicit line.
+    let gemm_mti = knor()
+        .args(["im", file.to_str().unwrap(), "-k", "4", "-i", "3", "--kernel", "gemm", "--stats"])
+        .output()
+        .expect("spawn im gemm");
+    assert!(gemm_mti.status.success(), "{}", String::from_utf8_lossy(&gemm_mti.stderr));
+    let stdout = String::from_utf8_lossy(&gemm_mti.stdout);
+    let note = stdout
+        .lines()
+        .find(|l| l.starts_with("kernel: "))
+        .unwrap_or_else(|| panic!("--stats must print the kernel note: {stdout}"));
+    assert!(note.contains("requested=gemm"), "{note}");
+    assert!(note.contains("resolved=tiled"), "{note}");
+
+    // Without pruning the request sticks, and --tune on reports tuned
+    // tiles in the same note.
+    let gemm_tuned = knor()
+        .args([
+            "im",
+            file.to_str().unwrap(),
+            "-k",
+            "4",
+            "-i",
+            "3",
+            "--no-prune",
+            "--kernel",
+            "gemm",
+            "--tune",
+            "on",
+            "--stats",
+        ])
+        .output()
+        .expect("spawn im gemm tuned");
+    assert!(gemm_tuned.status.success(), "{}", String::from_utf8_lossy(&gemm_tuned.stderr));
+    let stdout = String::from_utf8_lossy(&gemm_tuned.stdout);
+    let note = stdout.lines().find(|l| l.starts_with("kernel: ")).expect("kernel note");
+    assert!(note.contains("requested=gemm") && note.contains("resolved=gemm"), "{note}");
+    assert!(note.contains("tuned=yes"), "{note}");
+
+    // --tune cache writes the decision file next to the data and reuses
+    // it (k=16 over 8 dims resolves Tiled, which takes tiles; a scalar
+    // resolve would have nothing to tune).
+    let cache = std::path::PathBuf::from(format!("{}.tune", file.display()));
+    for _ in 0..2 {
+        let run = knor()
+            .args([
+                "sem",
+                file.to_str().unwrap(),
+                "-k",
+                "16",
+                "-i",
+                "3",
+                "--tune",
+                "cache",
+                "--stats",
+            ])
+            .output()
+            .expect("spawn sem tuned");
+        assert!(run.status.success(), "{}", String::from_utf8_lossy(&run.stderr));
+        let text = std::fs::read_to_string(&cache).expect("tune cache written");
+        assert!(text.starts_with("knor-tune v1"), "{text}");
+    }
+
+    std::fs::remove_file(&file).unwrap();
+    std::fs::remove_file(&cache).unwrap();
 }

@@ -143,6 +143,86 @@ fn tiled_kernel_bitwise_across_all_three_engines() {
     assert_eq!(dist.niters, serial.niters);
 }
 
+/// The approximate kernels' contract across engines: FMA and blocked-GEMM
+/// trajectories stay within the 1e-9 band of the serial reference, and in
+/// single-worker deterministic configurations the three engines agree with
+/// each other **bitwise** for a given kernel (same staging order, same
+/// arithmetic).
+#[test]
+fn fused_kernels_agree_across_all_three_engines() {
+    let (data, _) = workload(1200, 6, 303);
+    let k = 9;
+    let init = InitMethod::Forgy.initialize(&data, k, 31).to_matrix();
+    let max_iters = 70;
+    let serial = lloyd_serial(&data, k, &InitMethod::Given(init.clone()), 0, max_iters, 0.0);
+    assert!(serial.converged);
+
+    for kernel in [KernelKind::Fma, KernelKind::Gemm] {
+        let im = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init.clone()))
+                .with_threads(1)
+                .with_scheduler(SchedulerKind::Static)
+                .with_pruning(Pruning::None)
+                .with_kernel(kernel)
+                .with_max_iters(max_iters),
+        )
+        .fit(&data);
+        // Within the 1e-9 band of the exact trajectory: fused rounding can
+        // only shift distances, not reorder well-separated winners.
+        assert_eq!(im.niters, serial.niters, "{kernel:?} trajectory length diverged");
+        assert_eq!(im.assignments, serial.assignments, "{kernel:?} assignments");
+        for (a, b) in im.centroids.as_slice().iter().zip(serial.centroids.as_slice()) {
+            assert!(
+                (a - b).abs() <= 1e-9_f64.max(b.abs() * 1e-9),
+                "{kernel:?} centroid {a} vs exact {b}"
+            );
+        }
+
+        // knors, same kernel.
+        let mut path = std::env::temp_dir();
+        path.push(format!("knor-cross-fused-{}-{kernel:?}.knor", std::process::id()));
+        matrix_io::write_matrix(&path, &data).unwrap();
+        let sem = SemKmeans::new(
+            SemConfig::new(k)
+                .with_init(SemInit::Given(init.clone()))
+                .with_threads(1)
+                .with_scheduler(SchedulerKind::Static)
+                .with_page_size(512)
+                .with_task_size(128)
+                .with_pruning(Pruning::None)
+                .with_row_cache_bytes(0)
+                .with_kernel(kernel)
+                .with_max_iters(max_iters),
+        )
+        .fit(&path)
+        .unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(sem.kmeans.assignments, im.assignments, "{kernel:?} knors assignments");
+        assert_eq!(
+            sem.kmeans.centroids, im.centroids,
+            "{kernel:?} knors centroids must match knori bitwise"
+        );
+        assert_eq!(sem.kmeans.niters, im.niters);
+
+        // knord (one rank, one thread), same kernel.
+        let dist = DistKmeans::new(
+            DistConfig::new(k, 1, 1)
+                .with_init(InitMethod::Given(init.clone()))
+                .with_pruning(Pruning::None)
+                .with_kernel(kernel)
+                .with_max_iters(max_iters),
+        )
+        .fit(&data);
+        assert_eq!(dist.assignments, im.assignments, "{kernel:?} knord assignments");
+        assert_eq!(
+            dist.centroids, im.centroids,
+            "{kernel:?} knord centroids must match knori bitwise"
+        );
+        assert_eq!(dist.niters, im.niters);
+    }
+}
+
 /// The algorithm layer's core promise: write an algorithm once, get
 /// knori + knors + knord for free. In single-worker deterministic
 /// configurations all three engines stage rows in the same order and run

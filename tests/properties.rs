@@ -119,6 +119,94 @@ proptest! {
         }
     }
 
+    /// The FMA and blocked-GEMM kernels reproduce serial-scan distances
+    /// within the 1e-9 band across the same shape edge cases: remainder
+    /// dimensions (`d % 4 != 0`), `k == 1`, and blocks smaller than one
+    /// row tile.
+    #[test]
+    fn fused_kernels_within_tolerance_of_serial_scan(
+        data in arb_matrix(150, 9),
+        k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= data.nrow());
+        let (n, d) = (data.nrow(), data.ncol());
+        let cents = knor_core::Centroids::from_matrix(
+            &InitMethod::Forgy.initialize(&data, k, seed).to_matrix(),
+        );
+        let mut cnorms = vec![0.0; k];
+        knor_core::kernel::centroid_sqnorms(&cents, &mut cnorms);
+        for kernel in [KernelKind::Fma, KernelKind::Gemm] {
+            let rk = kernel.resolve(k, d, false);
+            let (mut best, mut best_dist) = (Vec::new(), Vec::new());
+            knor_core::kernel::assign_rows(
+                data.as_slice(), d, &cents, &rk, &cnorms, &mut best, &mut best_dist, true,
+            );
+            for r in 0..n {
+                let (_, da) = knor_core::distance::nearest(data.row(r), &cents.means, k);
+                let bd = best_dist[r];
+                // Squared-distance bound: the norm-trick cancellation term
+                // plus the fused-rounding 1e-9 relative band.
+                let xn = knor_core::kernel::sqnorm(data.row(r));
+                let cn = cnorms.iter().cloned().fold(0.0f64, f64::max);
+                let tol_sq = 1e-12 * (xn + cn + 1.0) + 1e-9 * da * da;
+                prop_assert!(
+                    (bd * bd - da * da).abs() <= tol_sq,
+                    "{:?} row {}: {} vs exact {}", kernel, r, bd, da
+                );
+                // Winners may legitimately flip on near-ties, but the
+                // chosen centroid must itself sit within the band of the
+                // true optimum.
+                let c = best[r] as usize;
+                let chosen_sq: f64 = data.row(r).iter()
+                    .zip(&cents.means[c * d..(c + 1) * d])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                prop_assert!(
+                    chosen_sq <= da * da + tol_sq,
+                    "{:?} row {}: chosen centroid {} not within band of optimum {}",
+                    kernel, r, chosen_sq.sqrt(), da
+                );
+            }
+        }
+    }
+
+    /// Autotuner picks depend only on shape and seed, never on thread
+    /// count: with an identical (injected, deterministic) prober, a
+    /// 1-thread and an N-thread run produce the same tune table and the
+    /// same clustering.
+    #[test]
+    fn autotuner_thread_count_invariance(seed in 0u64..200, threads in 2usize..6) {
+        fn det_prober(case: &knor_core::tune::ProbeCase) -> f64 {
+            (case.row_tile as f64).log2() * 3.0 + (case.cent_tile as f64 - 16.0).abs()
+        }
+        // k·d = 72 > the scalar cutoff, so the probed kind takes tiles
+        // and the table is guaranteed to gain an entry.
+        let data = MixtureSpec::friendster_like(400, 6, seed).generate().data;
+        let k = 12;
+        let init = InitMethod::Forgy.initialize(&data, k, seed).to_matrix();
+        let run = |nthreads: usize| {
+            let tuning = knor_core::Tuning::on()
+                .with_table(std::sync::Arc::new(knor_core::TuneTable::with_prober(det_prober)))
+                .with_seed(7);
+            let r = Kmeans::new(
+                KmeansConfig::new(k)
+                    .with_init(InitMethod::Given(init.clone()))
+                    .with_threads(nthreads)
+                    .with_max_iters(20)
+                    .with_tuning(tuning.clone()),
+            )
+            .fit(&data);
+            (r, tuning.table.to_text())
+        };
+        let (a, ta) = run(1);
+        let (b, tb) = run(threads);
+        prop_assert!(ta.lines().count() > 1, "tuner never probed:\n{}", ta);
+        prop_assert_eq!(ta, tb);
+        prop_assert_eq!(a.niters, b.niters);
+        prop_assert!(agreement(&a.assignments, &b.assignments, k) > 0.999);
+    }
+
     /// SSE never increases across Lloyd's iterations (the monotone
     /// convergence invariant), checked through the serial reference.
     #[test]
