@@ -1,0 +1,133 @@
+//! PR 7 NUMA-replication benchmark: shared vs node-replicated centroid
+//! reads on the headline shape (n = 100k, k = 64, d = 32), seeding
+//! `results/BENCH_PR7.json`.
+//!
+//! For each synthetic node count in {1, 2, 4}, the same 4-worker knori
+//! run clusters the same data from the same init twice — `--replication
+//! off` (every worker reads the one shared copy) and `on` (each node
+//! reads its local replica, refreshed per iteration by the op-log
+//! publish). Reported: iterations/s, assignment throughput in rows/s,
+//! replica publish bytes per iteration, and the on/off speedup.
+//!
+//! Replication must never change the answer, so each off/on pair is also
+//! asserted bitwise identical (assignments, centroids, iteration count)
+//! — the bench doubles as a cheap cross-shape identity check.
+//!
+//! `--smoke` runs a tiny shape for CI (wiring + identity checks, no perf
+//! assertions) and does **not** touch `results/` — the committed JSON is
+//! always full-mode.
+
+use knor_bench::save_results;
+use knor_core::{InitMethod, Kmeans, KmeansConfig, Pruning, Replication};
+use knor_numa::Topology;
+use knor_sched::SchedulerKind;
+use knor_workloads::MixtureSpec;
+
+struct Run {
+    nodes: usize,
+    replication: &'static str,
+    iters: usize,
+    wall_ns: u128,
+    publish_bytes: u64,
+    rows_per_sec: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, k, d, iters) = if smoke { (4_000, 8, 6, 4) } else { (100_000, 64, 32, 8) };
+    let threads = 4usize;
+    let data = MixtureSpec::friendster_like(n, d, 42).generate().data;
+    let init = InitMethod::Forgy.initialize(&data, k, 7).to_matrix();
+
+    println!(
+        "{:>6} {:>12} {:>8} {:>11} {:>10} {:>12} {:>14} {:>9}",
+        "nodes", "replication", "iters", "wall_ms", "iter/s", "rows/s", "publish_B/it", "speedup"
+    );
+    let mut runs: Vec<Run> = Vec::new();
+    for nodes in [1usize, 2, 4] {
+        // Same 4 workers, split over 1/2/4 synthetic nodes; the static
+        // scheduler keeps the off/on pair bitwise comparable.
+        let base = KmeansConfig::new(k)
+            .with_init(InitMethod::Given(init.clone()))
+            .with_topology(Topology::synthetic(nodes, threads.div_ceil(nodes)))
+            .with_scheduler(SchedulerKind::Static)
+            .with_pruning(Pruning::None)
+            .with_sse(false)
+            .with_max_iters(iters);
+        let mut pair = Vec::with_capacity(2);
+        for (name, rep) in [("off", Replication::Off), ("on", Replication::On)] {
+            let t0 = std::time::Instant::now();
+            let r = Kmeans::new(base.clone().with_replication(rep)).fit(&data);
+            let wall_ns = t0.elapsed().as_nanos();
+            assert_eq!(r.numa.nodes, nodes, "topology not honored");
+            assert_eq!(r.numa.replicated, rep == Replication::On, "knob not resolved");
+            let rows_per_sec = (n * r.niters) as f64 / (wall_ns as f64 / 1e9);
+            runs.push(Run {
+                nodes,
+                replication: name,
+                iters: r.niters,
+                wall_ns,
+                publish_bytes: r.total_publish_bytes(),
+                rows_per_sec,
+            });
+            pair.push(r);
+        }
+        // Replication is a memory-placement change, not a numeric one.
+        let (off, on) = (&pair[0], &pair[1]);
+        assert_eq!(on.niters, off.niters, "{nodes} nodes: trajectory diverged");
+        assert_eq!(on.assignments, off.assignments, "{nodes} nodes: assignments diverged");
+        assert_eq!(on.centroids, off.centroids, "{nodes} nodes: centroids not bitwise");
+        assert!(on.total_publish_bytes() > 0, "{nodes} nodes: replicas never published");
+        assert_eq!(off.total_publish_bytes(), 0, "{nodes} nodes: off must not publish");
+
+        let [off_r, on_r] = &runs[runs.len() - 2..] else { unreachable!() };
+        let speedup = on_r.rows_per_sec / off_r.rows_per_sec;
+        for r in [off_r, on_r] {
+            let per_iter = r.publish_bytes / r.iters.saturating_sub(1).max(1) as u64;
+            println!(
+                "{:>6} {:>12} {:>8} {:>9.2}ms {:>10.2} {:>12.0} {:>14} {:>9}",
+                r.nodes,
+                r.replication,
+                r.iters,
+                r.wall_ns as f64 / 1e6,
+                r.iters as f64 / (r.wall_ns as f64 / 1e9),
+                r.rows_per_sec,
+                per_iter,
+                if r.replication == "on" { format!("{speedup:.2}x") } else { "-".into() }
+            );
+        }
+    }
+
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"nodes\": {}, \"replication\": \"{}\", \"iters\": {}, ",
+                    "\"wall_ns\": {}, \"rows_per_sec\": {:.0}, \"publish_bytes\": {}}}"
+                ),
+                r.nodes, r.replication, r.iters, r.wall_ns, r.rows_per_sec, r.publish_bytes
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"numa_replication\",\n  \"pr\": 7,\n  \"mode\": \"{}\",\n",
+            "  \"n\": {}, \"k\": {}, \"d\": {}, \"threads\": {},\n",
+            "  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        n,
+        k,
+        d,
+        threads,
+        rows.join(",\n")
+    );
+    if smoke {
+        // CI runs smoke on every build; never clobber the committed
+        // full-mode artifact with tiny-shape numbers.
+        println!("\n[smoke mode: JSON not saved]\n{json}");
+    } else {
+        save_results("BENCH_PR7.json", &json);
+    }
+}

@@ -38,7 +38,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 
 use knor_matrix::shared::SharedRows;
-use knor_numa::{AccessTally, Placement};
+use knor_numa::{AccessTally, NodeId, Placement};
 use knor_sched::TaskQueue;
 
 use crate::algo::{LloydAlgo, MmAlgorithm, UpdateCtx};
@@ -48,6 +48,7 @@ use crate::kernel::{
     assign_rows, centroid_sqnorms, sqnorm, KernelKind, KernelScratch, ResolvedKernel, ResolvedKind,
 };
 use crate::pruning::{mti_assign, MtiIterState, PruneCounters};
+use crate::replica::{NodeReplicas, OpLog, ReplicaState};
 use crate::stats::IterStats;
 use crate::sync::ExclusiveCell;
 
@@ -79,6 +80,11 @@ pub struct DriverConfig {
     /// single-machine engines pass 0). Algorithms that key on global row
     /// identity — mini-batch subsampling — see `row_offset + r`.
     pub row_offset: usize,
+    /// Maintain per-NUMA-node read replicas of the iteration state (see
+    /// [`crate::replica`]). Engines resolve their
+    /// [`Replication`](crate::replica::Replication) knob against the
+    /// topology and hand the driver the decided flag.
+    pub replication: bool,
 }
 
 impl DriverConfig {
@@ -329,6 +335,17 @@ pub fn run_mm<B: LloydBackend>(
     let converged = AtomicBool::new(false);
     let barrier = Barrier::new(nthreads);
     let dim_slices = knor_matrix::partition_rows(k * d, nthreads);
+    // Per-node read replicas of the iteration state (see `crate::replica`):
+    // each populated node's slot is installed before the first iteration and
+    // op-log-updated after every centroid update by that node's designated
+    // writer (its lowest-id worker), always between barriers P and A.
+    let replicas = cfg.replication.then(|| NodeReplicas::new(placement.nnodes()));
+    let oplog = ExclusiveCell::new(OpLog::default());
+    // Nodes that host at least one worker — only their slots get a replica,
+    // and the `--stats` publish accounting counts exactly those copies.
+    let populated_nodes = (0..placement.nnodes())
+        .filter(|&nd| placement.threads_on_node(NodeId(nd)).next().is_some())
+        .count() as u64;
 
     queue.refill(placement, cfg.task_size);
 
@@ -355,9 +372,29 @@ pub fn run_mm<B: LloydBackend>(
             let cnorms_cell = &cnorms_cell;
             let sums_staging = &sums_staging;
             let cc_base = &cc_base;
+            let replicas = &replicas;
+            let oplog = &oplog;
             let dim_slice = dim_slices[w].clone();
             handles.push(s.spawn(move || {
                 backend.worker_start(w);
+                let my_node = placement.node_of_thread(w).0;
+                let is_writer = replicas.is_some()
+                    && placement.threads_on_node(NodeId(my_node)).next() == Some(w);
+                if let Some(reps) = replicas.as_ref() {
+                    if is_writer {
+                        // Clone the canonical state into this node's slot
+                        // *after* `worker_start` bound the thread, so
+                        // first-touch places the replica's pages on this
+                        // node. Safety: pre-loop install; every reader is on
+                        // the far side of the first barrier A.
+                        let seed = ReplicaState::from_canonical(
+                            unsafe { centroids.get() },
+                            unsafe { cnorms_cell.get() },
+                            unsafe { mti.get() },
+                        );
+                        unsafe { *reps.slot_mut(my_node) = Some(seed) };
+                    }
+                }
                 let pruning = cfg_pruning;
                 // Only the coordinator records; reserving the cap up front
                 // keeps the iteration loop allocation-free. The reserve is
@@ -385,17 +422,26 @@ pub fn run_mm<B: LloydBackend>(
 
                     // ---- compute super-phase (backend-specific) ----------
                     // Safety: barrier A separates us from the coordinator's
-                    // writes; nobody writes these cells during compute.
+                    // writes (and the node writers' replica publishes);
+                    // nobody writes these cells during compute. With
+                    // replication on, all read-shared state comes from this
+                    // worker's node-local replica — bitwise equal to the
+                    // canonical copy (see `crate::replica`), so the
+                    // trajectory is unchanged while the reads stay on-node.
+                    let replica = replicas.as_ref().map(|reps| unsafe { reps.get(my_node) });
                     let view = IterView {
                         iter,
                         pruning,
-                        cents: unsafe { centroids.get() },
-                        mti: unsafe { mti.get() },
+                        cents: replica.map_or_else(|| unsafe { centroids.get() }, |r| &r.cents),
+                        mti: replica.map_or_else(|| unsafe { mti.get() }, |r| &r.mti),
                         assign,
                         upper,
                         queue,
                         kernel: rk,
-                        cnorms: unsafe { cnorms_cell.get() },
+                        cnorms: replica.map_or_else(
+                            || unsafe { cnorms_cell.get() }.as_slice(),
+                            |r| r.cnorms.as_slice(),
+                        ),
                         algo,
                         row_offset: cfg.row_offset,
                         is_lloyd,
@@ -505,6 +551,17 @@ pub fn run_mm<B: LloydBackend>(
                             let mut mti_mut = pruning.then(|| unsafe { mti.get_mut() });
                             let mut cn =
                                 rk.kind.needs_cnorms().then(|| unsafe { cnorms_cell.get_mut() });
+                            // The drift pass doubles as the op-log recorder:
+                            // exactly the centroids whose state the canonical
+                            // copy refreshes are the ones the node writers
+                            // copy (iteration 0 publishes in full to root the
+                            // replicas' bitwise induction — their ccdist was
+                            // installed zeroed while the canonical rebuild
+                            // fills every pair).
+                            let mut log = replicas.is_some().then(|| unsafe { oplog.get_mut() });
+                            if let Some(l) = log.as_mut() {
+                                l.begin(iter == 0);
+                            }
                             for c in 0..k {
                                 let dr = dist(cents.mean(c), next.mean(c));
                                 max_drift = max_drift.max(dr);
@@ -512,6 +569,9 @@ pub fn run_mm<B: LloydBackend>(
                                     m.drift[c] = dr;
                                 }
                                 if dr != 0.0 {
+                                    if let Some(l) = log.as_mut() {
+                                        l.record(c);
+                                    }
                                     if let Some(cn) = cn.as_mut() {
                                         cn[c] = sqnorm(next.mean(c));
                                     }
@@ -543,6 +603,7 @@ pub fn run_mm<B: LloydBackend>(
                             queue: queue.stats(),
                             tallies,
                             max_drift,
+                            publish_bytes: 0,
                         });
                         reduces.push(reduce_report);
                         backend.end_iteration(iter, stats.last().expect("just pushed"), totals.aux);
@@ -557,6 +618,17 @@ pub fn run_mm<B: LloydBackend>(
                             stop.store(true, Ordering::Release);
                         } else {
                             queue.refill(placement, cfg.task_size);
+                            if replicas.is_some() {
+                                // Record what the publish phase below will
+                                // copy (one delta per populated node); the
+                                // final iteration publishes nothing.
+                                // Safety: coordinator window; read-only.
+                                let log = unsafe { oplog.get() };
+                                let s = stats.last_mut().expect("just pushed");
+                                s.publish_bytes =
+                                    log.bytes_per_node(k, d, pruning, rk.kind.needs_cnorms())
+                                        * populated_nodes;
+                            }
                         }
                     }
 
@@ -590,6 +662,31 @@ pub fn run_mm<B: LloydBackend>(
                             // Safety: coordinator-exclusive until the next
                             // barrier A.
                             unsafe { mti.get_mut() }.finalize_half_min();
+                        }
+                    }
+
+                    if let Some(reps) = replicas.as_ref() {
+                        // P — the canonical state (swapped centroids, norm
+                        // cache, serially-rebuilt or parallel-filled MTI
+                        // tables) is final for this iteration; order the
+                        // node writers' reads after all of those writes.
+                        //
+                        // On `parallel_cc` runs worker 0 finalizes half_min
+                        // between E and P with no barrier of its own — P is
+                        // what publishes that write too.
+                        barrier.wait();
+                        if is_writer && !stop.load(Ordering::Acquire) {
+                            // Safety: designated writer between P and the
+                            // next A; the canonical cells are read-only in
+                            // this phase and the slot is writer-exclusive.
+                            let log = unsafe { oplog.get() };
+                            let slot = unsafe { reps.slot_mut(my_node) };
+                            slot.as_mut().expect("writer installed its replica").apply(
+                                log,
+                                unsafe { centroids.get() },
+                                unsafe { cnorms_cell.get() },
+                                pruning.then(|| unsafe { mti.get() }),
+                            );
                         }
                     }
 
@@ -1061,7 +1158,21 @@ mod tests {
         threads: usize,
         kernel: KernelKind,
     ) -> DriverOutcome {
-        let topo = Topology::flat(threads);
+        run_replicated(data, n, d, k, pruning, threads, kernel, false, Topology::flat(threads))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_replicated(
+        data: &[f64],
+        n: usize,
+        d: usize,
+        k: usize,
+        pruning: bool,
+        threads: usize,
+        kernel: KernelKind,
+        replication: bool,
+        topo: Topology,
+    ) -> DriverOutcome {
         let placement = Placement::new(&topo, n, threads);
         let queue = TaskQueue::new(SchedulerKind::Static, &placement);
         let cfg = DriverConfig {
@@ -1076,6 +1187,7 @@ mod tests {
             kernel,
             tiles: None,
             row_offset: 0,
+            replication,
         };
         let init =
             Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(data[..k * d].to_vec(), k, d));
@@ -1196,6 +1308,87 @@ mod tests {
     }
 
     #[test]
+    fn replicated_runs_bitwise_match_shared_copy() {
+        // Replication must not perturb the trajectory by a single bit, for
+        // every kernel family, pruning on/off, and one or several synthetic
+        // nodes (including nodes > threads, which leaves slots empty).
+        let mut data = Vec::new();
+        for i in 0..360 {
+            let c = (i % 6) as f64 * 5.0;
+            data.push(c + (i as f64 * 0.23).sin() * 0.8);
+            data.push(-c + (i as f64 * 0.19).cos() * 0.8);
+            data.push((i as f64 * 0.31).sin() * 1.5);
+        }
+        let n = 360;
+        let (d, k) = (3, 12);
+        for kernel in [KernelKind::Scalar, KernelKind::Tiled, KernelKind::NormTrick] {
+            for pruning in [false, true] {
+                let base = run_kernel(&data, n, d, k, pruning, 4, kernel);
+                for topo in [
+                    Topology::flat(4),
+                    Topology::synthetic(2, 2),
+                    Topology::synthetic(4, 1),
+                    Topology::synthetic(6, 1), // more nodes than threads
+                ] {
+                    let nodes = topo.nodes();
+                    let rep = run_replicated(&data, n, d, k, pruning, 4, kernel, true, topo);
+                    assert_eq!(
+                        base.assignments, rep.assignments,
+                        "kernel={kernel:?} pruning={pruning} nodes={nodes}"
+                    );
+                    assert_eq!(base.centroids, rep.centroids);
+                    assert_eq!(base.iters.len(), rep.iters.len());
+                    for (a, b) in base.iters.iter().zip(&rep.iters) {
+                        assert_eq!(a.reassigned, b.reassigned);
+                        assert_eq!(a.prune, b.prune);
+                    }
+                    // Every non-final iteration published one delta per
+                    // populated node.
+                    let pubs = rep.iters.iter().filter(|i| i.publish_bytes > 0).count();
+                    assert_eq!(pubs, rep.iters.len() - 1, "nodes={nodes}");
+                    assert!(base.iters.iter().all(|i| i.publish_bytes == 0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_parallel_ccdist_matches() {
+        // Replication composed with the barrier D/E parallel distance-matrix
+        // phase (k > MIRROR_MAX_K): barrier P must also cover the
+        // finalize_half_min write.
+        let k = MIRROR_MAX_K + 8;
+        let per_blob = 10;
+        let n = k * per_blob;
+        let d = 2;
+        let mut data = Vec::with_capacity(n * d);
+        for i in 0..n {
+            let blob = i % k;
+            let jitter = (i / k) as f64 * 0.004;
+            data.push((blob % 9) as f64 * 50.0 + jitter);
+            data.push((blob / 9) as f64 * 50.0 - jitter);
+        }
+        let base = run_kernel(&data, n, d, k, true, 3, KernelKind::Auto);
+        let rep = run_replicated(
+            &data,
+            n,
+            d,
+            k,
+            true,
+            3,
+            KernelKind::Auto,
+            true,
+            Topology::synthetic(3, 1),
+        );
+        assert_eq!(base.assignments, rep.assignments);
+        assert_eq!(base.centroids, rep.centroids);
+        assert_eq!(base.iters.len(), rep.iters.len());
+        for (a, b) in base.iters.iter().zip(&rep.iters) {
+            assert_eq!(a.prune.clause1_rows, b.prune.clause1_rows, "iter {}", a.iter);
+        }
+    }
+
+    #[test]
     fn reduce_hook_sees_every_iteration() {
         use std::sync::atomic::AtomicUsize;
 
@@ -1241,6 +1434,7 @@ mod tests {
             kernel: KernelKind::Auto,
             tiles: None,
             row_offset: 0,
+            replication: false,
         };
         let init =
             Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(vec![0.0, 5.0, 10.0], 3, 1));

@@ -27,7 +27,8 @@ use crate::init::InitMethod;
 use crate::kernel::{KernelKind, KernelScratch};
 use crate::plane::{DataPlane, PlaneBackend};
 use crate::pruning::Pruning;
-use crate::stats::{KmeansResult, MemoryFootprint};
+use crate::replica::Replication;
+use crate::stats::{KmeansResult, MemoryFootprint, NumaReport};
 use crate::sync::ExclusiveCell;
 use crate::tune::Tuning;
 
@@ -68,6 +69,10 @@ pub struct KmeansConfig {
     pub algo: Algorithm,
     /// Kernel autotuning policy (see [`crate::tune`]).
     pub tuning: Tuning,
+    /// Per-NUMA-node read replicas of the iteration state (see
+    /// [`crate::replica`]); `Auto` replicates when the run is NUMA-aware
+    /// on a multi-node topology.
+    pub replication: Replication,
 }
 
 impl KmeansConfig {
@@ -91,6 +96,7 @@ impl KmeansConfig {
             kernel: KernelKind::Auto,
             algo: Algorithm::Lloyd,
             tuning: Tuning::off(),
+            replication: Replication::Auto,
         }
     }
 
@@ -183,6 +189,12 @@ impl KmeansConfig {
         self.tuning = v;
         self
     }
+
+    /// Set the NUMA replication knob.
+    pub fn with_replication(mut self, v: Replication) -> Self {
+        self.replication = v;
+        self
+    }
 }
 
 /// How the dataset is laid out in memory for a run.
@@ -260,6 +272,15 @@ impl Kmeans {
         let algo = cfg.algo.resolve(k, n, cfg.seed);
         let pruning_on = cfg.pruning.enabled() && algo.prune_eligible();
 
+        // `Auto` replicates only NUMA-aware multi-node runs: the replica
+        // node grouping follows the driver's placement, which is also how
+        // aware runs bind threads. (Forcing `On` works in oblivious mode
+        // too — still bitwise exact — but node-locality is then nominal.)
+        let replicate = match cfg.replication {
+            Replication::Auto => cfg.numa_aware && Replication::Auto.resolve(nnodes),
+            r => r.resolve(nnodes),
+        };
+
         let queue = TaskQueue::new(cfg.scheduler, &placement);
         let mut driver_cfg = DriverConfig {
             k,
@@ -273,6 +294,7 @@ impl Kmeans {
             kernel: cfg.kernel,
             row_offset: 0,
             tiles: None,
+            replication: replicate,
         };
         // Tune on the resolved kind so the probe exercises the same code
         // path the run will take (the override cannot change the kind).
@@ -316,6 +338,17 @@ impl Kmeans {
             cache_bytes: 0,
         };
 
+        let mut workers_per_node = vec![0usize; nnodes];
+        for t in &thread_node {
+            workers_per_node[t.0] += 1;
+        }
+        let numa = NumaReport {
+            nodes: nnodes,
+            workers_per_node,
+            requested: cfg.replication,
+            replicated: replicate,
+        };
+
         let niters = outcome.iters.len();
         KmeansResult {
             centroids: centroids_m,
@@ -325,6 +358,7 @@ impl Kmeans {
             iters: outcome.iters,
             memory,
             sse,
+            numa,
         }
     }
 }
@@ -515,6 +549,55 @@ mod tests {
         .fit(&data);
         assert!(aware.converged && oblivious.converged);
         assert!(agreement(&aware.assignments, &oblivious.assignments, k) > 0.999);
+    }
+
+    #[test]
+    fn replication_bitwise_identical_and_reported() {
+        // Same seed/init, replication forced on vs off, across kernels and
+        // pruning: trajectories must match bit-for-bit on a multi-node
+        // synthetic topology, and the NUMA report must reflect resolution.
+        let data = mixture(900, 6, 17);
+        let k = 7;
+        let init = forgy_centroids(&data, k, 23);
+        for kernel in [KernelKind::Scalar, KernelKind::Tiled, KernelKind::NormTrick] {
+            for pruning in [Pruning::None, Pruning::Mti] {
+                let base = KmeansConfig::new(k)
+                    .with_init(InitMethod::Given(init.clone()))
+                    .with_threads(4)
+                    .with_topology(Topology::synthetic(4, 1))
+                    .with_scheduler(SchedulerKind::Static)
+                    .with_kernel(kernel)
+                    .with_pruning(pruning)
+                    .with_max_iters(40);
+                let off = Kmeans::new(base.clone().with_replication(Replication::Off)).fit(&data);
+                let on = Kmeans::new(base.clone().with_replication(Replication::On)).fit(&data);
+                let auto = Kmeans::new(base.with_replication(Replication::Auto)).fit(&data);
+                assert_eq!(off.assignments, on.assignments, "{kernel:?} {pruning:?}");
+                assert_eq!(off.centroids, on.centroids, "{kernel:?} {pruning:?}");
+                assert_eq!(off.niters, on.niters);
+                assert_eq!(off.assignments, auto.assignments);
+                assert_eq!(off.centroids, auto.centroids);
+                assert!(!off.numa.replicated);
+                assert!(on.numa.replicated);
+                assert!(auto.numa.replicated, "Auto must resolve on at 4 nodes");
+                assert_eq!(on.numa.nodes, 4);
+                assert_eq!(on.numa.workers_per_node, vec![1, 1, 1, 1]);
+                assert_eq!(on.numa.requested, Replication::On);
+                assert!(on.total_publish_bytes() > 0);
+                assert_eq!(off.total_publish_bytes(), 0);
+            }
+        }
+        // Auto on a single node resolves off.
+        let single = Kmeans::new(
+            KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init))
+                .with_threads(2)
+                .with_topology(Topology::flat(2))
+                .with_max_iters(10),
+        )
+        .fit(&data);
+        assert!(!single.numa.replicated);
+        assert_eq!(single.numa.requested, Replication::Auto);
     }
 
     #[test]

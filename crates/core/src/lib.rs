@@ -55,6 +55,7 @@ pub mod kernel;
 pub mod plane;
 pub mod pruning;
 pub mod quality;
+pub mod replica;
 pub mod serial;
 pub mod stats;
 pub mod sync;
@@ -68,5 +69,6 @@ pub use init::InitMethod;
 pub use kernel::{fma_usable, KernelKind, KernelScratch, ResolvedKernel, ResolvedKind};
 pub use plane::{DataPlane, PlaneBackend, SlicePlane, StagedScratch, StagedSource};
 pub use pruning::Pruning;
-pub use stats::{IterStats, KmeansResult, MemoryFootprint};
+pub use replica::{NodeReplicas, OpLog, ReplicaState, Replication};
+pub use stats::{IterStats, KmeansResult, MemoryFootprint, NumaReport};
 pub use tune::{TileChoice, TuneKey, TunePolicy, TuneTable, Tuning};

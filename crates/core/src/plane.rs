@@ -408,6 +408,7 @@ mod tests {
             kernel,
             tiles: None,
             row_offset: 0,
+            replication: false,
         };
         let init =
             Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(data[..k * d].to_vec(), k, d));
@@ -463,6 +464,59 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// NUMA replication composes with the staged plane (knors's access
+    /// shape): node-local reads through `drain_queue_staged` must not move
+    /// the trajectory by a bit.
+    #[test]
+    fn staged_plane_replication_is_bitwise_identical() {
+        let mut data = Vec::new();
+        for i in 0..300 {
+            let c = (i % 5) as f64 * 6.0;
+            data.push(c + (i as f64 * 0.13).sin());
+            data.push(-c + (i as f64 * 0.29).cos());
+            data.push((i as f64 * 0.07).sin() * 2.0);
+        }
+        let (n, d, k, threads) = (300usize, 3usize, 12usize, 2usize);
+        for pruning in [false, true] {
+            let run = |replication: bool| {
+                let cfg = DriverConfig {
+                    k,
+                    d,
+                    n,
+                    nthreads: threads,
+                    max_iters: 40,
+                    tol: 0.0,
+                    pruning,
+                    task_size: 16,
+                    kernel: KernelKind::Tiled,
+                    tiles: None,
+                    row_offset: 0,
+                    replication,
+                };
+                let init = Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(
+                    data[..k * d].to_vec(),
+                    k,
+                    d,
+                ));
+                let topo = Topology::synthetic(2, 1);
+                let placement = Placement::new(&topo, n, threads);
+                let queue = TaskQueue::new(SchedulerKind::Static, &placement);
+                let staged = StagedTestPlane {
+                    src: MemSource { data: data.to_vec(), d },
+                    scratch: (0..threads)
+                        .map(|_| ExclusiveCell::new(StagedScratch::new()))
+                        .collect(),
+                };
+                run_lloyd(&cfg, init, &placement, &queue, &PlaneBackend(&staged))
+            };
+            let off = run(false);
+            let on = run(true);
+            assert_eq!(off.assignments, on.assignments, "pruning={pruning}");
+            assert_eq!(off.centroids, on.centroids, "pruning={pruning}");
+            assert_eq!(off.iters.len(), on.iters.len());
         }
     }
 }

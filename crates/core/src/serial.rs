@@ -63,6 +63,7 @@ pub fn lloyd_serial(
             queue: QueueStats::default(),
             tallies: None,
             max_drift,
+            publish_bytes: 0,
         });
         if reassigned == 0 || max_drift <= tol {
             converged = true;
@@ -87,6 +88,7 @@ pub fn lloyd_serial(
             cache_bytes: 0,
         },
         sse,
+        numa: crate::stats::NumaReport::default(),
     }
 }
 

@@ -1,6 +1,7 @@
 //! Per-iteration statistics, memory accounting and the result type.
 
 use crate::pruning::PruneCounters;
+use crate::replica::Replication;
 use knor_matrix::DMatrix;
 use knor_numa::AccessTally;
 use knor_sched::QueueStats;
@@ -25,6 +26,25 @@ pub struct IterStats {
     pub tallies: Option<Vec<AccessTally>>,
     /// Maximum centroid drift after the update.
     pub max_drift: f64,
+    /// Bytes copied into NUMA-node replicas for this iteration's op-log
+    /// publish, summed over all populated nodes (0 with replication off,
+    /// and on the final iteration, which publishes nothing).
+    pub publish_bytes: u64,
+}
+
+/// NUMA topology and replication report for one run (the `--stats` NUMA
+/// section).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NumaReport {
+    /// NUMA nodes in the resolved topology.
+    pub nodes: usize,
+    /// Worker threads bound to each node, in node order.
+    pub workers_per_node: Vec<usize>,
+    /// The replication knob as requested on the engine config.
+    pub requested: Replication,
+    /// Whether per-node read replicas were actually maintained (the
+    /// resolution of `requested` against the topology).
+    pub replicated: bool,
 }
 
 /// Heap-memory footprint of a run, following Table 1's decomposition.
@@ -76,6 +96,8 @@ pub struct KmeansResult {
     pub memory: MemoryFootprint,
     /// Final within-cluster sum of squared distances, when requested.
     pub sse: Option<f64>,
+    /// NUMA topology and replication report.
+    pub numa: NumaReport,
 }
 
 impl KmeansResult {
@@ -105,6 +127,11 @@ impl KmeansResult {
         }
         let done = self.total_prune().dist_computations;
         1.0 - done as f64 / total_possible as f64
+    }
+
+    /// Total replica publish bytes across the run (0 with replication off).
+    pub fn total_publish_bytes(&self) -> u64 {
+        self.iters.iter().map(|i| i.publish_bytes).sum()
     }
 }
 
@@ -136,6 +163,7 @@ mod tests {
             queue: QueueStats::default(),
             tallies: None,
             max_drift: 0.0,
+            publish_bytes: 12,
         };
         let r = KmeansResult {
             centroids: DMatrix::zeros(1, 1),
@@ -145,8 +173,10 @@ mod tests {
             iters: vec![mk_iter(100, 50), mk_iter(300, 50)],
             memory: MemoryFootprint::default(),
             sse: None,
+            numa: NumaReport::default(),
         };
         assert_eq!(r.mean_iter_ns(), 200.0);
+        assert_eq!(r.total_publish_bytes(), 24);
         assert_eq!(r.total_prune().dist_computations, 100);
         // n=10, k=10, 2 iters -> 200 possible, 100 done -> 0.5 pruned.
         assert!((r.prune_fraction(10, 10) - 0.5).abs() < 1e-12);

@@ -54,6 +54,7 @@ use knor_core::init::InitMethod;
 use knor_core::kernel::KernelKind;
 use knor_core::plane::{DataPlane, SlicePlane};
 use knor_core::pruning::{PruneCounters, Pruning};
+use knor_core::replica::Replication;
 use knor_core::stats::IterStats;
 use knor_core::sync::ExclusiveCell;
 use knor_core::tune::Tuning;
@@ -127,6 +128,11 @@ pub struct DistConfig {
     /// Per-rank data plane (see [`RankPlane`]). `Sem` requires
     /// [`DistKmeans::fit_file`].
     pub plane: RankPlane,
+    /// Per-node centroid replication inside each rank's engine (see
+    /// [`knor_core::replica`]). `Auto` resolves against the rank-local
+    /// worker topology: a single flat node unless `KNOR_SYNTH_NODES`
+    /// splits the rank's workers, so it stays off by default.
+    pub replication: Replication,
     /// Test hook: make one prefetch-pool thread of this rank's SEM plane
     /// panic right after spawn (exercises `panicked_io_threads`
     /// surfacing; ignored for in-memory ranks or when prefetch is off).
@@ -156,6 +162,7 @@ impl DistConfig {
             algo: Algorithm::Lloyd,
             tuning: Tuning::off(),
             plane: RankPlane::InMemory,
+            replication: Replication::Auto,
             inject_prefetch_panic_rank: None,
         }
     }
@@ -251,6 +258,12 @@ impl DistConfig {
         self
     }
 
+    /// Set the per-node replication knob for each rank's engine.
+    pub fn with_replication(mut self, v: Replication) -> Self {
+        self.replication = v;
+        self
+    }
+
     /// Test hook: inject a prefetch-pool panic into one SEM rank.
     #[doc(hidden)]
     pub fn with_inject_prefetch_panic_rank(mut self, v: usize) -> Self {
@@ -281,6 +294,9 @@ pub struct DistIterStats {
     pub max_rank_comm_bytes: u64,
     /// Modeled wire time of the reduction on the configured network.
     pub modeled_comm_ns: f64,
+    /// Intra-rank replica publish bytes at rank 0 (0 when replication is
+    /// off — see [`DistConfig::replication`]).
+    pub publish_bytes: u64,
 }
 
 /// Per-rank communication totals for a whole run.
@@ -558,7 +574,7 @@ fn rank_driver_setup(
     pruning: bool,
     tiles: Option<(usize, usize)>,
 ) -> (DriverConfig, Placement, TaskQueue) {
-    let topo = Topology::flat(cfg.threads_per_rank);
+    let topo = Topology::for_local_workers(cfg.threads_per_rank);
     let placement = Placement::new(&topo, rows.len(), cfg.threads_per_rank);
     let queue = TaskQueue::new(cfg.scheduler, &placement);
     let driver_cfg = DriverConfig {
@@ -573,6 +589,7 @@ fn rank_driver_setup(
         kernel: cfg.kernel,
         row_offset: rows.start,
         tiles,
+        replication: cfg.replication.resolve(topo.nodes()),
     };
     (driver_cfg, placement, queue)
 }
@@ -633,6 +650,7 @@ fn assemble(
             comm_bytes: r.comm_bytes,
             max_rank_comm_bytes: r.max_rank_comm_bytes,
             modeled_comm_ns: r.modeled_comm_ns,
+            publish_bytes: s.publish_bytes,
         })
         .collect();
 
@@ -971,6 +989,33 @@ mod tests {
         let data = mixture(50, 2, 1);
         let _ = DistKmeans::new(DistConfig::new(2, 2, 1).with_plane(RankPlane::sem_default()))
             .fit(&data);
+    }
+
+    #[test]
+    fn replication_on_is_bitwise_identical_across_ranks() {
+        // Forcing per-node replicas inside every rank's engine must not
+        // move the trajectory by a bit: the replicas are op-log copies of
+        // the canonical state each rank already agrees on post-allreduce.
+        let data = mixture(900, 5, 23);
+        let k = 7;
+        let init = InitMethod::Forgy.initialize(&data, k, 9).to_matrix();
+        for pruning in [Pruning::None, Pruning::Mti] {
+            let base = DistConfig::new(k, 3, 2)
+                .with_init(InitMethod::Given(init.clone()))
+                .with_scheduler(SchedulerKind::Static)
+                .with_pruning(pruning)
+                .with_max_iters(40);
+            let off = DistKmeans::new(base.clone().with_replication(Replication::Off)).fit(&data);
+            let on = DistKmeans::new(base.with_replication(Replication::On)).fit(&data);
+            assert_eq!(on.assignments, off.assignments, "{pruning:?}");
+            assert_eq!(on.centroids, off.centroids, "replicated knord must be bitwise");
+            assert_eq!(on.niters, off.niters);
+            // Rank 0 published its replica every non-final iteration…
+            let pubs = on.iters.iter().filter(|i| i.publish_bytes > 0).count();
+            assert_eq!(pubs, on.niters - 1);
+            // …and the shared-copy run published nothing.
+            assert!(off.iters.iter().all(|i| i.publish_bytes == 0));
+        }
     }
 
     #[test]

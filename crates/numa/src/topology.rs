@@ -51,10 +51,19 @@ impl Topology {
 
     /// Detect the host topology from `/sys/devices/system/node`.
     ///
-    /// Falls back to a single flat node covering
+    /// A `KNOR_SYNTH_NODES=N` environment override takes precedence and
+    /// yields an `N`-node *synthetic* topology spanning the host's CPUs
+    /// (`is_detected()` = false, so thread binds are simulated) — this is
+    /// how multi-node replication paths are exercised on single-node
+    /// containers and in CI.
+    ///
+    /// Otherwise falls back to a single flat node covering
     /// `std::thread::available_parallelism()` CPUs when sysfs is missing
     /// (non-Linux, containers with masked sysfs).
     pub fn detect() -> Self {
+        if let Some(t) = Self::synth_override() {
+            return t;
+        }
         match Self::detect_from_sysfs(Path::new("/sys/devices/system/node")) {
             Some(t) => t,
             None => {
@@ -66,17 +75,39 @@ impl Topology {
         }
     }
 
+    /// Topology for an engine that owns `nthreads` local workers and does
+    /// not model the host (knord's per-rank driver): a single flat node,
+    /// unless `KNOR_SYNTH_NODES` asks for a synthetic multi-node split of
+    /// those workers.
+    pub fn for_local_workers(nthreads: usize) -> Self {
+        let nthreads = nthreads.max(1);
+        match synth_nodes_env() {
+            Some(nodes) => Self::synthetic(nodes, nthreads.div_ceil(nodes).max(1)),
+            None => Self::flat(nthreads),
+        }
+    }
+
+    /// The `KNOR_SYNTH_NODES` override, when set and valid.
+    fn synth_override() -> Option<Self> {
+        let nodes = synth_nodes_env()?;
+        let ncpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Some(Self::synthetic(nodes, ncpus.div_ceil(nodes).max(1)))
+    }
+
     fn detect_from_sysfs(base: &Path) -> Option<Self> {
         let mut nodes: Vec<(usize, Vec<usize>)> = Vec::new();
+        // Tolerant walk: a single unreadable or malformed node entry
+        // (masked sysfs, hot-unplugged node) skips that entry rather than
+        // aborting the whole detection.
         for entry in std::fs::read_dir(base).ok()? {
-            let entry = entry.ok()?;
+            let Ok(entry) = entry else { continue };
             let name = entry.file_name();
-            let name = name.to_str()?;
+            let Some(name) = name.to_str() else { continue };
             let Some(idx) = name.strip_prefix("node").and_then(|s| s.parse::<usize>().ok()) else {
                 continue;
             };
-            let list = std::fs::read_to_string(entry.path().join("cpulist")).ok()?;
-            let cpus = parse_cpulist(list.trim())?;
+            let Ok(list) = std::fs::read_to_string(entry.path().join("cpulist")) else { continue };
+            let Some(cpus) = parse_cpulist(list.trim()) else { continue };
             if !cpus.is_empty() {
                 nodes.push((idx, cpus));
             }
@@ -114,6 +145,19 @@ impl Topology {
     pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> {
         (0..self.nodes()).map(NodeId)
     }
+}
+
+/// The validated `KNOR_SYNTH_NODES` node count, when the variable is set
+/// to a positive integer (anything else — unset, empty, garbage, zero —
+/// is ignored).
+fn synth_nodes_env() -> Option<usize> {
+    parse_synth_nodes(std::env::var("KNOR_SYNTH_NODES").ok()?.as_str())
+}
+
+/// Parse a `KNOR_SYNTH_NODES` value (split out so tests need not mutate
+/// process environment).
+fn parse_synth_nodes(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
 /// Parse a Linux `cpulist` string such as `"0-3,8,10-11"`.
@@ -173,6 +217,60 @@ mod tests {
         let t = Topology::detect();
         assert!(t.nodes() >= 1);
         assert!(t.ncpus() >= 1);
+        match parse_synth_nodes(&std::env::var("KNOR_SYNTH_NODES").unwrap_or_default()) {
+            // Under the synthetic override the topology does not describe
+            // the host (binds are simulated) and has exactly N nodes.
+            Some(n) => {
+                assert!(!t.is_detected());
+                assert_eq!(t.nodes(), n);
+            }
+            None => assert!(t.is_detected()),
+        }
+    }
+
+    #[test]
+    fn synth_nodes_value_parsing() {
+        assert_eq!(parse_synth_nodes("4"), Some(4));
+        assert_eq!(parse_synth_nodes(" 2 "), Some(2));
+        assert_eq!(parse_synth_nodes("0"), None);
+        assert_eq!(parse_synth_nodes(""), None);
+        assert_eq!(parse_synth_nodes("many"), None);
+    }
+
+    #[test]
+    fn for_local_workers_splits_threads() {
+        // Without the env override: one flat node over the workers.
+        // With it: the same worker count split over N nodes. Both shapes
+        // are asserted via the underlying constructors to stay env-free.
+        let flat = Topology::for_local_workers(8);
+        if std::env::var("KNOR_SYNTH_NODES").is_err() {
+            assert_eq!(flat.nodes(), 1);
+            assert_eq!(flat.ncpus(), 8);
+        } else {
+            assert!(flat.nodes() >= 1);
+            assert!(flat.ncpus() >= 8);
+        }
+        let synth = Topology::synthetic(4, 2);
+        assert_eq!(synth.nodes(), 4);
+        assert!(!synth.is_detected());
+    }
+
+    #[test]
+    fn tolerant_sysfs_parse_skips_bad_entries() {
+        // A directory with one valid node and several malformed entries
+        // must yield the valid node rather than failing detection.
+        let dir = std::env::temp_dir().join(format!("knor-topo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("node0")).unwrap();
+        std::fs::write(dir.join("node0").join("cpulist"), "0-3\n").unwrap();
+        std::fs::create_dir_all(dir.join("node1")).unwrap(); // no cpulist at all
+        std::fs::create_dir_all(dir.join("node2")).unwrap();
+        std::fs::write(dir.join("node2").join("cpulist"), "not-a-list\n").unwrap();
+        std::fs::create_dir_all(dir.join("notanode")).unwrap();
+        let t = Topology::detect_from_sysfs(&dir).expect("valid node must survive");
+        assert_eq!(t.nodes(), 1);
+        assert_eq!(t.cpus_of(NodeId(0)), &[0, 1, 2, 3]);
         assert!(t.is_detected());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

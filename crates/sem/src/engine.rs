@@ -26,7 +26,8 @@ use knor_core::driver::{run_mm, DriverConfig};
 use knor_core::kernel::KernelKind;
 use knor_core::plane::PlaneBackend;
 use knor_core::pruning::Pruning;
-use knor_core::stats::{KmeansResult, MemoryFootprint};
+use knor_core::replica::Replication;
+use knor_core::stats::{KmeansResult, MemoryFootprint, NumaReport};
 use knor_core::tune::Tuning;
 use knor_matrix::DMatrix;
 use knor_numa::{Placement, Topology};
@@ -91,6 +92,12 @@ pub struct SemConfig {
     pub algo: Algorithm,
     /// Kernel autotuning policy (see `knor_core::tune`).
     pub tuning: Tuning,
+    /// Machine topology; `None` = detect the host (which honors the
+    /// `KNOR_SYNTH_NODES` override).
+    pub topology: Option<Topology>,
+    /// Per-NUMA-node read replicas of the iteration state (see
+    /// `knor_core::replica`); `Auto` replicates on multi-node topologies.
+    pub replication: Replication,
 }
 
 impl SemConfig {
@@ -117,6 +124,8 @@ impl SemConfig {
             kernel: KernelKind::Auto,
             algo: Algorithm::Lloyd,
             tuning: Tuning::off(),
+            topology: None,
+            replication: Replication::Auto,
         }
     }
 
@@ -222,6 +231,18 @@ impl SemConfig {
         self
     }
 
+    /// Supply a topology (tests and modeled runs; default detects the host).
+    pub fn with_topology(mut self, v: Topology) -> Self {
+        self.topology = Some(v);
+        self
+    }
+
+    /// Set the NUMA replication knob.
+    pub fn with_replication(mut self, v: Replication) -> Self {
+        self.replication = v;
+        self
+    }
+
     /// The I/O-side subset of this configuration — what a [`SemPlane`]
     /// needs (knord builds one of these per SEM rank).
     pub fn plane_config(&self) -> SemPlaneConfig {
@@ -285,11 +306,12 @@ impl SemKmeans {
             }
         };
 
-        let topo = Topology::detect();
+        let topo = cfg.topology.clone().unwrap_or_else(Topology::detect);
         let placement = Placement::new(&topo, n, nthreads);
         let queue = TaskQueue::new(cfg.scheduler, &placement);
         let algo = cfg.algo.resolve(k, n, cfg.seed);
         let pruning = cfg.pruning.enabled() && algo.prune_eligible();
+        let replicate = cfg.replication.resolve(topo.nodes());
 
         let mut driver_cfg = DriverConfig {
             k,
@@ -303,6 +325,7 @@ impl SemKmeans {
             kernel: cfg.kernel,
             row_offset: 0,
             tiles: None,
+            replication: replicate,
         };
         let probe_kind = driver_cfg.resolve_kernel().kind;
         driver_cfg.tiles = cfg.tuning.tiles_for(probe_kind, n, k, d);
@@ -334,6 +357,17 @@ impl SemKmeans {
             cache_bytes: cfg.row_cache_bytes + cfg.page_cache_bytes,
         };
 
+        let mut workers_per_node = vec![0usize; topo.nodes()];
+        for t in 0..nthreads {
+            workers_per_node[placement.node_of_thread(t).0] += 1;
+        }
+        let numa = NumaReport {
+            nodes: topo.nodes(),
+            workers_per_node,
+            requested: cfg.replication,
+            replicated: replicate,
+        };
+
         let niters = outcome.iters.len();
         Ok(SemResult {
             kmeans: KmeansResult {
@@ -344,6 +378,7 @@ impl SemKmeans {
                 iters: outcome.iters,
                 memory,
                 sse,
+                numa,
             },
             io: report.io,
             panicked_io_threads: report.panicked_io_threads,
@@ -454,6 +489,44 @@ mod tests {
         assert_eq!(tiled.kmeans.assignments, scalar.kmeans.assignments);
         assert_eq!(tiled.kmeans.niters, scalar.kmeans.niters);
         assert!(tiled.io.iter().map(|i| i.rc_hits).sum::<u64>() > 0, "cache never hit");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn replication_bitwise_identical_on_sem() {
+        // Replicated knors must walk the shared-copy trajectory bit for
+        // bit, MTI on and off, on a multi-node synthetic topology.
+        let (data, path) = write_mixture(1200, 6, 31, "replica");
+        let k = 8;
+        let init = forgy(&data, k, 7);
+        for pruning in [Pruning::None, Pruning::Mti] {
+            let run = |replication: Replication| {
+                SemKmeans::new(
+                    SemConfig::new(k)
+                        .with_init(SemInit::Given(init.clone()))
+                        .with_threads(4)
+                        .with_scheduler(SchedulerKind::Static)
+                        .with_task_size(64)
+                        .with_page_size(512)
+                        .with_pruning(pruning)
+                        .with_row_cache_bytes(1 << 20)
+                        .with_topology(Topology::synthetic(4, 1))
+                        .with_replication(replication)
+                        .with_max_iters(40),
+                )
+                .fit(&path)
+                .unwrap()
+            };
+            let off = run(Replication::Off);
+            let on = run(Replication::On);
+            assert_eq!(off.kmeans.assignments, on.kmeans.assignments, "{pruning:?}");
+            assert_eq!(off.kmeans.centroids, on.kmeans.centroids, "{pruning:?}");
+            assert_eq!(off.kmeans.niters, on.kmeans.niters);
+            assert!(on.kmeans.numa.replicated);
+            assert!(!off.kmeans.numa.replicated);
+            assert_eq!(on.kmeans.numa.workers_per_node, vec![1, 1, 1, 1]);
+            assert!(on.kmeans.total_publish_bytes() > 0);
+        }
         std::fs::remove_file(path).unwrap();
     }
 

@@ -59,6 +59,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use knor_core::distance::nearest;
+use knor_core::replica::Replication;
 use knor_core::{Algorithm, KernelKind, ResolvedKernel, Tuning};
 use knor_matrix::DMatrix;
 use knor_numa::Topology;
@@ -129,6 +130,10 @@ pub struct ServeConfig {
     /// Kernel autotuning policy for predict scans (see `knor_core::tune`).
     /// Models that carry their own trained tiles win over this.
     pub tuning: Tuning,
+    /// Node-local model replicas in the worker pool
+    /// (see [`knor_core::replica::Replication`]; `Auto` replicates on
+    /// multi-node topologies). Bitwise identical either way.
+    pub replication: Replication,
 }
 
 impl Default for ServeConfig {
@@ -140,6 +145,7 @@ impl Default for ServeConfig {
             chunk_cap: 8192,
             clock: Arc::new(MonotonicClock::new()),
             tuning: Tuning::off(),
+            replication: Replication::Auto,
         }
     }
 }
@@ -172,6 +178,12 @@ impl ServeConfig {
     /// Set the kernel autotuning policy.
     pub fn with_tuning(mut self, v: Tuning) -> Self {
         self.tuning = v;
+        self
+    }
+
+    /// Set the pool's model-replication knob.
+    pub fn with_replication(mut self, v: Replication) -> Self {
+        self.replication = v;
         self
     }
 }
@@ -210,7 +222,8 @@ impl ServeHandle {
         let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
         let threads = cfg.threads.unwrap_or(hw).max(1);
         let registry = Arc::new(ModelRegistry::new());
-        let pool = WorkerPool::spawn(threads, &topo, cfg.chunk_cap.max(1));
+        let pool =
+            WorkerPool::spawn_replicated(threads, &topo, cfg.chunk_cap.max(1), cfg.replication);
         let jobs = JobRunner::start(Arc::clone(&registry));
         Self {
             inner: Arc::new(ServeInner {
@@ -228,6 +241,12 @@ impl ServeHandle {
     /// the convenience methods below).
     pub fn registry(&self) -> &ModelRegistry {
         &self.inner.registry
+    }
+
+    /// Whether the worker pool serves from node-local model clones
+    /// (the resolved [`ServeConfig::replication`] knob).
+    pub fn pool_replicated(&self) -> bool {
+        self.inner.pool.replicated()
     }
 
     /// Register a trained `k × d` centroid matrix; returns the version.

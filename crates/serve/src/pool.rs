@@ -16,6 +16,18 @@
 //! is caught (`catch_unwind`), the call reports an error instead of
 //! deadlocking, and the worker keeps serving later calls — mirroring the
 //! prefetch pool's no-silent-loss contract.
+//!
+//! **Node-local model replicas.** With replication resolved on
+//! ([`knor_core::replica::Replication`], `Auto` = multi-node topology),
+//! each worker keeps a small MRU cache of *cloned* models: the clone is
+//! allocated by the bound worker itself, so first-touch places the
+//! centroid rows on the worker's node and steady-state predict scans
+//! never read centroids across the interconnect. A per-worker clone is a
+//! refinement of the per-node replica the training engines keep (every
+//! worker's node-local copy is trivially its node's copy), and cloning is
+//! exact — answers stay bitwise identical to the shared-model path. The
+//! cache holds the source `Arc` alongside each clone, so a cache hit can
+//! never alias a dropped-and-reallocated registry entry.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -23,12 +35,13 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use knor_core::kernel::assign_rows;
+use knor_core::replica::Replication;
 use knor_core::{Normalization, ResolvedKernel};
 use knor_matrix::shared::SharedRows;
 use knor_numa::bind::bind_current_thread;
 use knor_numa::{NodeId, Topology};
 
-use crate::registry::ModelEntry;
+use crate::registry::{Model, ModelEntry};
 
 /// Grow-only per-worker buffers (staged/normalized rows + kernel outputs).
 struct Scratch {
@@ -68,14 +81,42 @@ struct CallCtx {
     panicked: AtomicBool,
 }
 
+/// One worker's MRU cache of node-local model clones (front = most
+/// recent). Small: predict traffic concentrates on few hot models, and an
+/// evicted model simply re-clones on its next chunk.
+const REPLICA_CACHE_CAP: usize = 4;
+
+/// Find or make this worker's clone of `entry`'s model. The source `Arc`
+/// is retained next to the clone so a pointer-equality hit can never match
+/// a different model reallocated at the same address.
+fn node_local_model<'c>(
+    cache: &'c mut Vec<(Arc<ModelEntry>, Model)>,
+    entry: &Arc<ModelEntry>,
+    clones: &AtomicU64,
+) -> &'c Model {
+    if let Some(i) = cache.iter().position(|(e, _)| Arc::ptr_eq(e, entry)) {
+        let hit = cache.remove(i);
+        cache.insert(0, hit);
+    } else {
+        if cache.len() >= REPLICA_CACHE_CAP {
+            cache.pop();
+        }
+        // The clone runs on the bound worker thread: first-touch lands the
+        // centroid rows on this worker's node.
+        cache.insert(0, (Arc::clone(entry), entry.model.clone()));
+        clones.fetch_add(1, Ordering::Relaxed);
+    }
+    &cache[0].1
+}
+
 impl CallCtx {
-    /// Process rows `[lo, hi)` of the call's query block.
-    fn run_chunk(&self, lo: usize, hi: usize, scratch: &mut Scratch) {
+    /// Process rows `[lo, hi)` of the call's query block against `model`
+    /// (the shared registry model, or the worker's node-local clone of it).
+    fn run_chunk(&self, lo: usize, hi: usize, scratch: &mut Scratch, model: &Model) {
         let d = self.d;
         let m = hi - lo;
         // Safety (RawRows): the caller's block outlives the latch.
         let rows = unsafe { std::slice::from_raw_parts(self.queries.ptr.add(lo * d), m * d) };
-        let model = &self.entry.model;
         let block: &[f64] = match model.normalization {
             Normalization::None => rows,
             norm => {
@@ -153,31 +194,56 @@ pub struct WorkerPool {
     threads: usize,
     chunk_cap: usize,
     panics: Arc<AtomicU64>,
+    replicated: bool,
+    replica_clones: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
     /// Spawn `threads` workers bound round-robin across `topo`'s nodes
     /// (binding is a no-op on synthetic topologies). `chunk_cap` bounds
-    /// rows per chunk for load balance on large batches.
+    /// rows per chunk for load balance on large batches. Model replication
+    /// resolves `Auto` against `topo` (see [`WorkerPool::spawn_replicated`]).
     pub fn spawn(threads: usize, topo: &Topology, chunk_cap: usize) -> Self {
+        Self::spawn_replicated(threads, topo, chunk_cap, Replication::Auto)
+    }
+
+    /// [`WorkerPool::spawn`] with an explicit model-replication knob.
+    /// When it resolves on, every worker serves chunks from its own
+    /// node-local clone of the model (see the module docs); answers are
+    /// bitwise identical either way.
+    pub fn spawn_replicated(
+        threads: usize,
+        topo: &Topology,
+        chunk_cap: usize,
+        replication: Replication,
+    ) -> Self {
         let threads = threads.max(1);
         let (tx, rx): (Sender<Task>, Receiver<Task>) = unbounded();
         let panics = Arc::new(AtomicU64::new(0));
+        let replica_clones = Arc::new(AtomicU64::new(0));
         let nnodes = topo.nodes().max(1);
+        let replicated = replication.resolve(nnodes);
         let handles = (0..threads)
             .map(|w| {
                 let rx = rx.clone();
                 let topo = topo.clone();
                 let panics = Arc::clone(&panics);
+                let clones = Arc::clone(&replica_clones);
                 std::thread::spawn(move || {
                     let _ = bind_current_thread(&topo, NodeId(w % nnodes));
                     let mut scratch =
                         Scratch { data: Vec::new(), best: Vec::new(), dist: Vec::new() };
+                    let mut cache: Vec<(Arc<ModelEntry>, Model)> = Vec::new();
                     while let Ok(task) = rx.recv() {
                         match task {
                             Task::Chunk { ctx, lo, hi } => {
+                                let model: &Model = if replicated {
+                                    node_local_model(&mut cache, &ctx.entry, &clones)
+                                } else {
+                                    &ctx.entry.model
+                                };
                                 let r = catch_unwind(AssertUnwindSafe(|| {
-                                    ctx.run_chunk(lo, hi, &mut scratch)
+                                    ctx.run_chunk(lo, hi, &mut scratch, model)
                                 }));
                                 if r.is_err() {
                                     ctx.panicked.store(true, Ordering::SeqCst);
@@ -191,12 +257,31 @@ impl WorkerPool {
                 })
             })
             .collect();
-        Self { tx, handles, threads, chunk_cap: chunk_cap.max(1), panics }
+        Self {
+            tx,
+            handles,
+            threads,
+            chunk_cap: chunk_cap.max(1),
+            panics,
+            replicated,
+            replica_clones,
+        }
     }
 
     /// Worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether workers serve from node-local model clones.
+    pub fn replicated(&self) -> bool {
+        self.replicated
+    }
+
+    /// Model clones made by workers so far (diagnostics; grows only on
+    /// cache misses, so steady-state traffic holds it constant).
+    pub fn replica_clones(&self) -> u64 {
+        self.replica_clones.load(Ordering::Relaxed)
     }
 
     /// Chunks a batch would be split into (bench/diagnostics).
@@ -353,6 +438,43 @@ mod tests {
             assert_eq!(a[i], ra as u32, "row {i}");
             assert_eq!(dist[i].to_bits(), rd.to_bits(), "row {i}");
         }
+    }
+
+    #[test]
+    fn replicated_pool_is_bitwise_identical_and_caches_clones() {
+        let (_reg, entry) = setup(8, 6, 21);
+        let topo = Topology::synthetic(2, 2);
+        // Auto resolves on for a multi-node topology, off for flat.
+        let shared = WorkerPool::spawn_replicated(4, &topo, 128, Replication::Off);
+        let replicated = WorkerPool::spawn(4, &topo, 128);
+        assert!(!shared.replicated());
+        assert!(replicated.replicated());
+        assert!(!WorkerPool::spawn(2, &Topology::flat(2), 64).replicated());
+
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let q: Vec<f64> = (0..700 * 6).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let rk = KernelKind::Auto.resolve(8, 6, false);
+        let (a0, d0) = shared.predict(&entry, rk, &q, 6).unwrap();
+        let (a1, d1) = replicated.predict(&entry, rk, &q, 6).unwrap();
+        assert_eq!(a1, a0, "node-local clones must not move any answer");
+        assert_eq!(
+            d1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            d0.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(shared.replica_clones(), 0);
+        // Steady state: however many batches flow, a worker clones a hot
+        // model at most once (chunk routing decides *when* each worker
+        // first sees it, so only the ceiling is deterministic).
+        for _ in 0..8 {
+            let _ = replicated.predict(&entry, rk, &q, 6).unwrap();
+        }
+        let clones = replicated.replica_clones();
+        assert!(
+            (1..=4).contains(&clones),
+            "each of 4 workers clones a hot model at most once, got {clones}"
+        );
+        shared.shutdown();
+        replicated.shutdown();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! knor im   <file.knor> -k 10 [-i 100] [-t N] [--no-prune] [--init pp|forgy|random]
 //!           [--algo lloyd|spherical|fuzzy|minibatch] [--fuzz M] [--batch B]
 //!           [--kernel auto|scalar|tiled|fma|norm|gemm] [--tune on|off|cache]
+//!           [--replication off|auto|on]
 //! knor sem  <file.knor> -k 10 [--row-cache MB] [--page-cache MB] [--stats]
 //! knor dist <file.knor> -k 10 [--ranks R] [--star] [--plane im|sem] [--stats]
 //! knor gen  <file.knor> --dataset friendster8|friendster32|rm856m|rm1b|ru2b --scale f
@@ -47,6 +48,8 @@ struct Opts {
     kernel: String,
     /// Autotuning policy (`off|on|cache`).
     tune: String,
+    /// Per-node centroid replication knob (`off|auto|on`).
+    replication: String,
     dataset: String,
     scale: f64,
     algo: String,
@@ -68,6 +71,7 @@ fn usage() -> ! {
          \x20          [--algo lloyd|spherical|fuzzy|minibatch]\n\
          \x20          [--fuzz M] [--batch B]\n\
          \x20          [--kernel auto|scalar|tiled|fma|norm|gemm] [--tune on|off|cache]\n\
+         \x20          [--replication off|auto|on]\n\
          \x20          [--row-cache MB] [--page-cache MB] [--stats]    (sem)\n\
          \x20          [--ranks R] [--star] [--plane im|sem] [--stats] (dist)\n\
          \x20          [--dataset NAME] [--scale F]                    (gen)\n\
@@ -139,6 +143,7 @@ fn parse(args: &[String]) -> (String, Opts) {
         stats: false,
         kernel: "auto".into(),
         tune: "off".into(),
+        replication: "auto".into(),
         dataset: "friendster8".into(),
         scale: 0.001,
         algo: "lloyd".into(),
@@ -188,6 +193,10 @@ fn parse(args: &[String]) -> (String, Opts) {
                     ));
                 }
             }
+            "--replication" => {
+                o.replication = val(&mut i);
+                let _ = replication(&o);
+            }
             "--dataset" => o.dataset = val(&mut i),
             "--scale" => {
                 let s = val(&mut i);
@@ -233,6 +242,15 @@ fn pruning(o: &Opts) -> Pruning {
     } else {
         Pruning::None
     }
+}
+
+fn replication(o: &Opts) -> Replication {
+    Replication::parse(&o.replication).unwrap_or_else(|| {
+        die(&format!(
+            "invalid value '{}' for --replication: expected off, auto or on",
+            o.replication
+        ))
+    })
 }
 
 fn kernel_kind(o: &Opts) -> KernelKind {
@@ -350,6 +368,7 @@ fn main() {
                 .with_algo(algo.clone())
                 .with_kernel(kernel_kind(&o))
                 .with_tuning(tune.clone())
+                .with_replication(replication(&o))
                 .with_max_iters(o.iters);
             if let Some(t) = o.threads {
                 cfg = cfg.with_threads(t);
@@ -359,6 +378,7 @@ fn main() {
             report("knori", r.niters, r.converged, r.sse, t0.elapsed());
             if o.stats {
                 println!("{}", kernel_note(&o, &tune, data.nrow(), o.k, data.ncol(), &algo));
+                print_numa(&r.numa, r.total_publish_bytes(), r.niters);
             }
         }
         "sem" => {
@@ -374,6 +394,7 @@ fn main() {
                 .with_algo(algo.clone())
                 .with_kernel(kernel_kind(&o))
                 .with_tuning(tune.clone())
+                .with_replication(replication(&o))
                 .with_row_cache_bytes(o.row_cache_mb << 20)
                 .with_page_cache_bytes(o.page_cache_mb << 20)
                 .with_max_iters(o.iters)
@@ -388,6 +409,7 @@ fn main() {
             println!("device bytes read: {:.1} MB", read as f64 / 1e6);
             if o.stats {
                 println!("{}", kernel_note(&o, &tune, n, o.k, d, &algo));
+                print_numa(&r.kmeans.numa, r.kmeans.total_publish_bytes(), r.kmeans.niters);
                 print_io_table(&r.io);
                 if r.panicked_io_threads > 0 {
                     println!("WARNING: {} prefetch thread(s) died mid-run", r.panicked_io_threads);
@@ -408,6 +430,7 @@ fn main() {
                 .with_pruning(pruning(&o))
                 .with_kernel(kernel_kind(&o))
                 .with_tuning(tune.clone())
+                .with_replication(replication(&o))
                 .with_reduce(if o.star { ReduceAlgo::Star } else { ReduceAlgo::Ring })
                 .with_max_iters(o.iters)
                 .with_sse(true);
@@ -449,7 +472,7 @@ fn main() {
             }
         }
         "serve" => {
-            let mut cfg = ServeConfig::default();
+            let mut cfg = ServeConfig::default().with_replication(replication(&o));
             if let Some(t) = o.threads {
                 cfg = cfg.with_threads(t);
             }
@@ -557,6 +580,24 @@ fn report(name: &str, niters: usize, converged: bool, sse: Option<f64>, t: std::
     }
 }
 
+/// The `--stats` NUMA section: the topology the run saw, how workers
+/// spread over its nodes, and what per-node centroid replication actually
+/// did — `requested->resolved` makes an `auto` that stayed off on a
+/// flat machine visible, mirroring the kernel note's requested/resolved
+/// pair. Publish bytes are the per-iteration op-log traffic into all
+/// replicas (0 when replication is off; the final iteration publishes
+/// nothing, hence the `niters - 1` divisor).
+fn print_numa(numa: &NumaReport, publish_total: u64, niters: usize) {
+    let spread = numa.workers_per_node.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+    let per_iter = publish_total / niters.saturating_sub(1).max(1) as u64;
+    println!(
+        "numa: nodes={} workers_per_node=[{spread}] replication={}->{} publish_B/iter={per_iter}",
+        numa.nodes,
+        numa.requested.name(),
+        if numa.replicated { "on" } else { "off" },
+    );
+}
+
 /// The per-iteration I/O summary engines collect (`--stats` for sem/dist).
 fn print_io_table(io: &[knor::sem::IoIterStats]) {
     println!(
@@ -598,6 +639,10 @@ fn print_dist_stats(r: &DistResult) {
             "{:>4} {:>10} {:>12} {:>14}",
             it.iter, it.reassigned, it.comm_bytes, it.max_rank_comm_bytes
         );
+    }
+    let publish: u64 = r.iters.iter().map(|i| i.publish_bytes).sum();
+    if publish > 0 {
+        println!("rank 0 replica publish: {publish} B total (intra-rank, off the wire)");
     }
     println!("{:>4} {:>9} {:>12} {:>12} {:>9}", "rank", "rows", "sent_B", "recv_B", "msgs");
     for c in &r.rank_comm {

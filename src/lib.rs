@@ -42,7 +42,8 @@ pub use knor_serve as serve;
 pub use knor_workloads as workloads;
 
 pub use knor_core::{
-    Algorithm, InitMethod, IterStats, Kmeans, KmeansConfig, KmeansResult, Pruning,
+    Algorithm, InitMethod, IterStats, Kmeans, KmeansConfig, KmeansResult, NumaReport, Pruning,
+    Replication,
 };
 pub use knor_dist::{DistConfig, DistKmeans, DistResult, RankIo, RankPlane};
 pub use knor_matrix::DMatrix;
@@ -52,8 +53,8 @@ pub use knor_serve::{ServeConfig, ServeHandle};
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use knor_core::{
-        fma_usable, Algorithm, InitMethod, KernelKind, Kmeans, KmeansConfig, KmeansResult, Pruning,
-        TunePolicy, Tuning,
+        fma_usable, Algorithm, InitMethod, KernelKind, Kmeans, KmeansConfig, KmeansResult,
+        NumaReport, Pruning, Replication, TunePolicy, Tuning,
     };
     pub use knor_dist::{DistConfig, DistKmeans, DistResult, RankIo, RankPlane};
     pub use knor_matrix::{io as matrix_io, DMatrix};
