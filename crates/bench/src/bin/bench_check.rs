@@ -20,11 +20,13 @@
 //! ```
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use knor_bench::regression::{compare, parse_metrics, render_metrics, Metric, DEFAULT_TOLERANCE};
 use knor_core::centroids::Centroids;
 use knor_core::kernel::{assign_rows, centroid_sqnorms, KernelKind};
-use knor_core::{Algorithm, InitMethod, Kmeans, KmeansConfig, Replication};
+use knor_core::trace::TraceBuf;
+use knor_core::{Algorithm, InitMethod, Kmeans, KmeansConfig, Pruning, Replication};
 use knor_dist::{DistConfig, DistKmeans, RankPlane};
 use knor_matrix::{io as matrix_io, DMatrix};
 use knor_numa::Topology;
@@ -106,6 +108,49 @@ fn gemm_headline_gate(out: &mut Vec<Metric>) {
             "GEMM SPEEDUP GATE FAILED: {:.0} rows/s is {:.2}x PR2 tiled / {:.2}x PR2 norm; \
              the floor is {GEMM_SPEEDUP_FLOOR}x for both",
             gemm_rate, vs_tiled, vs_norm
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Tracing must stay measurement-only in cost as well as in results: with
+/// a recorder attached, the headline knori configuration (n = 100 000,
+/// k = 64, d = 32, full scans) may run at most this factor slower than the
+/// untraced run (steady-state ns/iter, best of 3 each).
+const TRACE_OVERHEAD_CEILING: f64 = 1.02;
+
+/// Measure traced vs untraced steady iteration time at the headline
+/// (k, d) and enforce [`TRACE_OVERHEAD_CEILING`]. Always emits
+/// `trace.overhead` (untraced/traced throughput ratio, ≈ 1.0) so the
+/// baseline comparison also notices if this gate silently disappears.
+fn trace_overhead_gate(out: &mut Vec<Metric>) {
+    let (n, k, d, iters) = (100_000, 64, 32, 8);
+    let data = uniform_matrix(n, d, 42);
+    let run = |trace: Option<Arc<TraceBuf>>| {
+        let mut cfg = KmeansConfig::new(k)
+            .with_init(InitMethod::Forgy)
+            .with_seed(3)
+            .with_pruning(Pruning::None)
+            .with_sse(false)
+            .with_max_iters(iters);
+        if let Some(b) = trace {
+            cfg = cfg.with_trace(b);
+        }
+        knor_bench::steady_iter_ns(&Kmeans::new(cfg).fit(&data))
+    };
+    let best = |mut f: Box<dyn FnMut() -> f64>| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    let off_ns = best(Box::new(|| run(None)));
+    let on_ns = best(Box::new(|| run(Some(Arc::new(TraceBuf::new())))));
+    let ratio = on_ns / off_ns;
+    out.push(Metric { name: "trace.overhead".into(), per_sec: off_ns / on_ns });
+    println!(
+        "  trace overhead ({k}x{d}): {ratio:.3}x traced vs untraced \
+         (ceiling {TRACE_OVERHEAD_CEILING}x)"
+    );
+    if ratio > TRACE_OVERHEAD_CEILING {
+        eprintln!(
+            "TRACE OVERHEAD GATE FAILED: traced steady iter {on_ns:.0} ns vs untraced \
+             {off_ns:.0} ns — {ratio:.3}x exceeds the {TRACE_OVERHEAD_CEILING}x ceiling"
         );
         std::process::exit(1);
     }
@@ -251,6 +296,7 @@ fn main() {
     let mut fresh: Vec<Metric> = Vec::new();
     kernel_metrics(&mut fresh);
     gemm_headline_gate(&mut fresh);
+    trace_overhead_gate(&mut fresh);
     engine_metrics(&mut fresh);
     plane_metrics(&mut fresh);
     numa_metrics(&mut fresh);

@@ -1,0 +1,71 @@
+//! CI smoke validator for `--trace` output (`trace_check`).
+//!
+//! ```text
+//! trace_check <file.json> [phase ...]
+//! ```
+//!
+//! Exit 0 when the file is well-formed chrome-trace JSON (parsed with the
+//! bench harness's own parser — this workspace has no serde) and every
+//! named phase appears in at least one duration span; exit 1 otherwise.
+//! CI runs it against fresh `knor im --trace` / `knor dist --trace`
+//! output, so a regression that silently stops recording a barrier phase
+//! fails the job instead of shipping an empty timeline.
+
+use std::collections::BTreeSet;
+
+use knor_bench::regression::Json;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(file) = args.first() else {
+        fail("usage: trace_check <file.json> [phase ...]");
+    };
+    let text =
+        std::fs::read_to_string(file).unwrap_or_else(|e| fail(&format!("cannot read {file}: {e}")));
+    let doc =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("{file} is not valid JSON: {e}")));
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(&format!("{file} has no traceEvents array")));
+
+    let mut phases = BTreeSet::new();
+    let mut tracks = BTreeSet::new();
+    let mut spans = 0u64;
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        spans += 1;
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(&format!("{file}: span without a name")));
+        phases.insert(name.to_string());
+        tracks.insert((
+            e.get("pid").and_then(Json::as_f64).map(|p| p as u64),
+            e.get("tid").and_then(Json::as_f64).map(|t| t as u64),
+        ));
+    }
+    if spans == 0 {
+        fail(&format!("{file} contains no duration spans"));
+    }
+    let missing: Vec<&str> =
+        args[1..].iter().map(String::as_str).filter(|p| !phases.contains(*p)).collect();
+    if !missing.is_empty() {
+        fail(&format!(
+            "{file}: phase(s) {missing:?} absent (recorded: {:?})",
+            phases.iter().collect::<Vec<_>>()
+        ));
+    }
+    println!(
+        "trace_check: {file} OK — {spans} spans on {} track(s), phases {:?}",
+        tracks.len(),
+        phases.iter().collect::<Vec<_>>()
+    );
+}

@@ -51,6 +51,7 @@ use crate::pruning::{mti_assign, MtiIterState, PruneCounters};
 use crate::replica::{NodeReplicas, OpLog, ReplicaState};
 use crate::stats::IterStats;
 use crate::sync::ExclusiveCell;
+use crate::trace::{Phase, PhaseBreakdown, TraceHandle, WorkerTracer};
 
 /// Backend-independent parameters of a driver run.
 #[derive(Debug, Clone)]
@@ -85,6 +86,9 @@ pub struct DriverConfig {
     /// [`Replication`](crate::replica::Replication) knob against the
     /// topology and hand the driver the decided flag.
     pub replication: bool,
+    /// Span recorder for this run (see [`crate::trace`]); `None` keeps
+    /// the hot path to a single branch and zero recording cost.
+    pub trace: Option<TraceHandle>,
 }
 
 impl DriverConfig {
@@ -161,6 +165,10 @@ pub struct IterView<'a> {
     pub is_lloyd: bool,
     /// Cached `algo.subsamples()` — false skips the per-row scope call.
     pub scoped: bool,
+    /// This worker's span recorder for the iteration, when tracing is on.
+    /// Backends with staged I/O (knors) record their fetch/hit/miss/
+    /// scatter intervals through it; measurement-only by construction.
+    pub tracer: Option<WorkerTracer<'a>>,
 }
 
 impl IterView<'_> {
@@ -243,6 +251,8 @@ pub struct DriverOutcome {
     pub reduces: Vec<ReduceReport>,
     /// Whether the run converged before the iteration cap.
     pub converged: bool,
+    /// Per-phase fold of this run's spans (`Some` iff tracing was on).
+    pub phases: Option<PhaseBreakdown>,
 }
 
 /// Run the full ||Lloyd's protocol: spawn `cfg.nthreads` workers, iterate
@@ -349,6 +359,10 @@ pub fn run_mm<B: LloydBackend>(
 
     queue.refill(placement, cfg.task_size);
 
+    // All trace allocation happens here, before any worker spawns; the
+    // traced-off path below is a single `Option` branch per record site.
+    let tgroup = cfg.trace.as_ref().map(|h| h.buf.register(h.pid, nthreads, 0));
+
     let mut iter_stats: Vec<IterStats> = Vec::new();
     let mut reduce_reports: Vec<ReduceReport> = Vec::new();
     std::thread::scope(|s| {
@@ -374,6 +388,7 @@ pub fn run_mm<B: LloydBackend>(
             let cc_base = &cc_base;
             let replicas = &replicas;
             let oplog = &oplog;
+            let tgroup = &tgroup;
             let dim_slice = dim_slices[w].clone();
             handles.push(s.spawn(move || {
                 backend.worker_start(w);
@@ -411,14 +426,24 @@ pub fn run_mm<B: LloydBackend>(
                 let mut iter = 0usize;
 
                 loop {
+                    // Safety: each worker claims only its own slot, and all
+                    // trace reads happen after the scope joins.
+                    let tr = tgroup
+                        .as_deref()
+                        .map(|g| unsafe { g.tracer(w, my_node as u32, iter as u32) });
                     if w == 0 {
                         backend.pre_iteration(iter);
                     }
+                    let ta = tr.as_ref().map(|t| t.now());
                     barrier.wait(); // A — state published by coordinator
+                    if let (Some(t), Some(ta)) = (tr.as_ref(), ta) {
+                        t.record(Phase::BarrierA, ta, 0);
+                    }
                     if stop.load(Ordering::Acquire) {
                         break;
                     }
                     let t0 = std::time::Instant::now();
+                    let tc = tr.as_ref().map(|t| t.now());
 
                     // ---- compute super-phase (backend-specific) ----------
                     // Safety: barrier A separates us from the coordinator's
@@ -446,15 +471,26 @@ pub fn run_mm<B: LloydBackend>(
                         row_offset: cfg.row_offset,
                         is_lloyd,
                         scoped,
+                        tracer: tr,
                     };
                     let accum = unsafe { accums[w].get_mut() };
                     let report = backend.compute(w, &view, accum);
+                    if let (Some(t), Some(tc)) = (tr.as_ref(), tc) {
+                        // Compute covers the whole drain; staged-I/O spans
+                        // recorded by the backend nest inside it.
+                        t.record(Phase::Compute, tc, report.rows_accessed * (d as u64) * 8);
+                    }
                     // Safety: own slot; read by worker 0 only after B.
                     unsafe { *reports[w].get_mut() = report };
 
+                    let tb = tr.as_ref().map(|t| t.now());
                     barrier.wait(); // B — all accumulators and reports final
+                    if let (Some(t), Some(tb)) = (tr.as_ref(), tb) {
+                        t.record(Phase::BarrierB, tb, 0);
+                    }
 
                     // ---- parallel merge (dimension-sliced) ---------------
+                    let tm = tr.as_ref().map(|t| t.now());
                     for j in dim_slice.clone() {
                         let mut sum = 0.0;
                         for a in accums.iter() {
@@ -481,8 +517,17 @@ pub fn run_mm<B: LloydBackend>(
                         }
                     }
 
-                    barrier.wait(); // C — merged sums/counts complete
+                    if let (Some(t), Some(tm)) = (tr.as_ref(), tm) {
+                        t.record(Phase::Merge, tm, dim_slice.len() as u64 * 8);
+                    }
 
+                    let tcw = tr.as_ref().map(|t| t.now());
+                    barrier.wait(); // C — merged sums/counts complete
+                    if let (Some(t), Some(tcw)) = (tr.as_ref(), tcw) {
+                        t.record(Phase::BarrierC, tcw, 0);
+                    }
+
+                    let tu = tr.as_ref().map(|t| t.now());
                     if w == 0 {
                         // ---- coordinator window --------------------------
                         // Safety: exclusive window between C and next A.
@@ -630,11 +675,19 @@ pub fn run_mm<B: LloydBackend>(
                                         * populated_nodes;
                             }
                         }
+                        if let (Some(t), Some(tu)) = (tr.as_ref(), tu) {
+                            t.record(Phase::Update, tu, 0);
+                        }
                     }
 
                     if parallel_cc {
+                        let td = tr.as_ref().map(|t| t.now());
                         barrier.wait(); // D — updated centroids published
+                        if let (Some(t), Some(td)) = (tr.as_ref(), td) {
+                            t.record(Phase::BarrierD, td, 0);
+                        }
                         if !stop.load(Ordering::Acquire) {
+                            let tcc = tr.as_ref().map(|t| t.now());
                             // Each worker owns rows i ≡ w (mod T) of the
                             // distance matrix; interleaving balances the
                             // shrinking triangle rows. Only the upper
@@ -656,8 +709,15 @@ pub fn run_mm<B: LloydBackend>(
                                 }
                                 i += nthreads;
                             }
+                            if let (Some(t), Some(tcc)) = (tr.as_ref(), tcc) {
+                                t.record(Phase::CcDist, tcc, 0);
+                            }
                         }
+                        let te = tr.as_ref().map(|t| t.now());
                         barrier.wait(); // E — distance matrix complete
+                        if let (Some(t), Some(te)) = (tr.as_ref(), te) {
+                            t.record(Phase::BarrierE, te, 0);
+                        }
                         if w == 0 && !stop.load(Ordering::Acquire) {
                             // Safety: coordinator-exclusive until the next
                             // barrier A.
@@ -674,8 +734,13 @@ pub fn run_mm<B: LloydBackend>(
                         // On `parallel_cc` runs worker 0 finalizes half_min
                         // between E and P with no barrier of its own — P is
                         // what publishes that write too.
+                        let tp = tr.as_ref().map(|t| t.now());
                         barrier.wait();
+                        if let (Some(t), Some(tp)) = (tr.as_ref(), tp) {
+                            t.record(Phase::BarrierP, tp, 0);
+                        }
                         if is_writer && !stop.load(Ordering::Acquire) {
+                            let tpub = tr.as_ref().map(|t| t.now());
                             // Safety: designated writer between P and the
                             // next A; the canonical cells are read-only in
                             // this phase and the slot is writer-exclusive.
@@ -687,6 +752,11 @@ pub fn run_mm<B: LloydBackend>(
                                 unsafe { cnorms_cell.get() },
                                 pruning.then(|| unsafe { mti.get() }),
                             );
+                            if let (Some(t), Some(tpub)) = (tr.as_ref(), tpub) {
+                                let bytes =
+                                    log.bytes_per_node(k, d, pruning, rk.kind.needs_cnorms());
+                                t.record(Phase::Publish, tpub, bytes);
+                            }
                         }
                     }
 
@@ -713,6 +783,10 @@ pub fn run_mm<B: LloydBackend>(
         iters: iter_stats,
         reduces: reduce_reports,
         converged: converged.load(Ordering::Acquire),
+        // All workers joined above, so the group's rings are quiescent.
+        // The fold covers only this run's group; engines that share one
+        // buffer across ranks (knord) fold the buffer instead.
+        phases: tgroup.as_deref().map(|g| g.breakdown()),
     }
 }
 
@@ -1188,6 +1262,7 @@ mod tests {
             tiles: None,
             row_offset: 0,
             replication,
+            trace: None,
         };
         let init =
             Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(data[..k * d].to_vec(), k, d));
@@ -1435,6 +1510,7 @@ mod tests {
             tiles: None,
             row_offset: 0,
             replication: false,
+            trace: None,
         };
         let init =
             Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(vec![0.0, 5.0, 10.0], 3, 1));

@@ -30,7 +30,10 @@ use crate::pruning::Pruning;
 use crate::replica::Replication;
 use crate::stats::{KmeansResult, MemoryFootprint, NumaReport};
 use crate::sync::ExclusiveCell;
+use crate::trace::{TraceBuf, TraceHandle};
 use crate::tune::Tuning;
+
+use std::sync::Arc;
 
 /// Configuration for a [`Kmeans`] run.
 #[derive(Debug, Clone)]
@@ -73,6 +76,9 @@ pub struct KmeansConfig {
     /// [`crate::replica`]); `Auto` replicates when the run is NUMA-aware
     /// on a multi-node topology.
     pub replication: Replication,
+    /// Span recorder to attach to the run (see [`crate::trace`]); `None`
+    /// (the default) records nothing and costs nothing.
+    pub trace: Option<Arc<TraceBuf>>,
 }
 
 impl KmeansConfig {
@@ -97,6 +103,7 @@ impl KmeansConfig {
             algo: Algorithm::Lloyd,
             tuning: Tuning::off(),
             replication: Replication::Auto,
+            trace: None,
         }
     }
 
@@ -193,6 +200,12 @@ impl KmeansConfig {
     /// Set the NUMA replication knob.
     pub fn with_replication(mut self, v: Replication) -> Self {
         self.replication = v;
+        self
+    }
+
+    /// Attach a span recorder to the run.
+    pub fn with_trace(mut self, v: Arc<TraceBuf>) -> Self {
+        self.trace = Some(v);
         self
     }
 }
@@ -295,6 +308,7 @@ impl Kmeans {
             row_offset: 0,
             tiles: None,
             replication: replicate,
+            trace: cfg.trace.clone().map(TraceHandle::new),
         };
         // Tune on the resolved kind so the probe exercises the same code
         // path the run will take (the override cannot change the kind).
@@ -359,6 +373,7 @@ impl Kmeans {
             memory,
             sse,
             numa,
+            phases: outcome.phases,
         }
     }
 }

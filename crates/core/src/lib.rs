@@ -59,6 +59,7 @@ pub mod replica;
 pub mod serial;
 pub mod stats;
 pub mod sync;
+pub mod trace;
 pub mod tune;
 
 pub use algo::{Algorithm, MapOut, MmAlgorithm, Normalization, UpdateCtx};
@@ -71,4 +72,5 @@ pub use plane::{DataPlane, PlaneBackend, SlicePlane, StagedScratch, StagedSource
 pub use pruning::Pruning;
 pub use replica::{NodeReplicas, OpLog, ReplicaState, Replication};
 pub use stats::{IterStats, KmeansResult, MemoryFootprint, NumaReport};
+pub use trace::{Phase, PhaseBreakdown, PhaseGroup, Span, TraceBuf, TraceHandle, WorkerTracer};
 pub use tune::{TileChoice, TuneKey, TunePolicy, TuneTable, Tuning};

@@ -39,6 +39,7 @@ use crate::driver::{
 use crate::kernel::{KernelScratch, ResolvedKernel, ResolvedKind};
 use crate::stats::IterStats;
 use crate::sync::ExclusiveCell;
+use crate::trace::{Phase, WorkerTracer};
 
 /// How an engine's workers obtain row data. One instance is shared by all
 /// workers of one driver run; per-worker mutable state lives inside the
@@ -169,8 +170,16 @@ pub trait StagedSource: Sync {
     /// row order: fast-tier hits copy straight into their slot; misses are
     /// recorded in `scratch.miss_idx`/`miss_rows`, fetched from the
     /// backing tier in one merged request, and scattered into place.
-    /// Returns the number of fast-tier hits.
-    fn stage(&self, w: usize, needed: &[usize], scratch: &mut StagedScratch) -> u64;
+    /// Returns the number of fast-tier hits. When `tracer` is present the
+    /// source records its hit/miss/scatter intervals through it
+    /// (measurement-only — see [`crate::trace`]).
+    fn stage(
+        &self,
+        w: usize,
+        needed: &[usize],
+        scratch: &mut StagedScratch,
+        tracer: Option<&WorkerTracer<'_>>,
+    ) -> u64;
 
     /// Whether staged backing-tier rows should be retained in the fast
     /// tier this iteration (the row-cache refresh decision, made by the
@@ -232,7 +241,11 @@ pub fn drain_queue_staged<S: StagedSource + ?Sized>(
             let mut needed = scratch.free_needed.pop().unwrap_or_default();
             filter_task_into(&task, view, &mut rep.counters, &mut needed);
             if !needed.is_empty() {
+                let t0 = view.tracer.as_ref().map(|t| t.now());
                 src.prefetch(&needed);
+                if let (Some(t), Some(t0)) = (view.tracer.as_ref(), t0) {
+                    t.record(Phase::IoFetch, t0, (needed.len() * d * 8) as u64);
+                }
             }
             needed
         });
@@ -245,7 +258,7 @@ pub fn drain_queue_staged<S: StagedSource + ?Sized>(
             continue;
         };
         if !needed.is_empty() {
-            rep.aux += src.stage(w, &needed, scratch);
+            rep.aux += src.stage(w, &needed, scratch, view.tracer.as_ref());
             commit_staged(&needed, view, accum, rep, scratch);
             if refreshing {
                 for &i in &scratch.miss_idx {
@@ -352,7 +365,13 @@ mod tests {
             self.d
         }
 
-        fn stage(&self, _w: usize, needed: &[usize], scratch: &mut StagedScratch) -> u64 {
+        fn stage(
+            &self,
+            _w: usize,
+            needed: &[usize],
+            scratch: &mut StagedScratch,
+            _tracer: Option<&WorkerTracer<'_>>,
+        ) -> u64 {
             let d = self.d;
             scratch.miss_idx.clear();
             scratch.miss_rows.clear();
@@ -409,6 +428,7 @@ mod tests {
             tiles: None,
             row_offset: 0,
             replication: false,
+            trace: None,
         };
         let init =
             Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(data[..k * d].to_vec(), k, d));
@@ -495,6 +515,7 @@ mod tests {
                     tiles: None,
                     row_offset: 0,
                     replication,
+                    trace: None,
                 };
                 let init = Centroids::from_matrix(&knor_matrix::DMatrix::from_vec(
                     data[..k * d].to_vec(),

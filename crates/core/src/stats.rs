@@ -2,6 +2,7 @@
 
 use crate::pruning::PruneCounters;
 use crate::replica::Replication;
+use crate::trace::PhaseBreakdown;
 use knor_matrix::DMatrix;
 use knor_numa::AccessTally;
 use knor_sched::QueueStats;
@@ -98,15 +99,27 @@ pub struct KmeansResult {
     pub sse: Option<f64>,
     /// NUMA topology and replication report.
     pub numa: NumaReport,
+    /// Per-phase trace fold for the run (`Some` iff a recorder was
+    /// attached — see [`crate::trace`]).
+    pub phases: Option<PhaseBreakdown>,
 }
 
 impl KmeansResult {
-    /// Mean measured wall time per iteration, in nanoseconds.
+    /// Mean measured wall time per *steady-state* iteration, in
+    /// nanoseconds.
+    ///
+    /// Iteration 0 is the initial full-assignment pass: it has no prior
+    /// assignments, so MTI cannot prune and every row takes a full
+    /// `k`-way scan — structurally different work from every later
+    /// iteration. When the run has more than one iteration it is
+    /// excluded from the mean; a single-iteration run returns that
+    /// iteration's wall time (there is nothing steadier to report).
     pub fn mean_iter_ns(&self) -> f64 {
-        if self.iters.is_empty() {
-            return 0.0;
+        match self.iters.len() {
+            0 => 0.0,
+            1 => self.iters[0].wall_ns as f64,
+            len => self.iters[1..].iter().map(|i| i.wall_ns as f64).sum::<f64>() / (len - 1) as f64,
         }
-        self.iters.iter().map(|i| i.wall_ns as f64).sum::<f64>() / self.iters.len() as f64
     }
 
     /// Sum of pruning counters across iterations.
@@ -118,14 +131,25 @@ impl KmeansResult {
         total
     }
 
-    /// Fraction of candidate distance computations avoided across the run,
-    /// relative to the unpruned `n·k` per iteration.
+    /// Fraction of candidate distance computations avoided across the
+    /// *prunable* iterations, relative to the unpruned `n·k` per
+    /// iteration.
+    ///
+    /// Iteration 0 establishes the initial assignments — there are no
+    /// prior assignments to prune against, so MTI always does the full
+    /// `n·k` there. Counting it would dilute the reported fraction by
+    /// `1/niters` regardless of how well the clauses work, so the
+    /// denominator covers iterations `1..` only. A run with no prunable
+    /// iterations (0 or 1 total) reports `0.0`.
     pub fn prune_fraction(&self, n: u64, k: u64) -> f64 {
-        let total_possible = n * k * self.iters.len() as u64;
+        if self.iters.len() < 2 {
+            return 0.0;
+        }
+        let total_possible = n * k * (self.iters.len() as u64 - 1);
         if total_possible == 0 {
             return 0.0;
         }
-        let done = self.total_prune().dist_computations;
+        let done: u64 = self.iters[1..].iter().map(|i| i.prune.dist_computations).sum();
         1.0 - done as f64 / total_possible as f64
     }
 
@@ -174,11 +198,49 @@ mod tests {
             memory: MemoryFootprint::default(),
             sse: None,
             numa: NumaReport::default(),
+            phases: None,
         };
-        assert_eq!(r.mean_iter_ns(), 200.0);
+        // Iteration 0 (the initial assignment pass) is excluded from the
+        // steady-state mean: only the 300 ns iteration counts.
+        assert_eq!(r.mean_iter_ns(), 300.0);
         assert_eq!(r.total_publish_bytes(), 24);
         assert_eq!(r.total_prune().dist_computations, 100);
-        // n=10, k=10, 2 iters -> 200 possible, 100 done -> 0.5 pruned.
+        // n=10, k=10: one prunable iteration -> 100 possible, 50 done.
         assert!((r.prune_fraction(10, 10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_zero_edge_cases() {
+        let mk_iter = |wall: u64, comps: u64| IterStats {
+            iter: 0,
+            reassigned: 0,
+            rows_accessed: 0,
+            prune: PruneCounters { dist_computations: comps, ..Default::default() },
+            wall_ns: wall,
+            queue: QueueStats::default(),
+            tallies: None,
+            max_drift: 0.0,
+            publish_bytes: 0,
+        };
+        let mk = |iters: Vec<IterStats>| KmeansResult {
+            centroids: DMatrix::zeros(1, 1),
+            assignments: vec![],
+            niters: iters.len(),
+            converged: true,
+            iters,
+            memory: MemoryFootprint::default(),
+            sse: None,
+            numa: NumaReport::default(),
+            phases: None,
+        };
+        // No iterations at all.
+        let empty = mk(vec![]);
+        assert_eq!(empty.mean_iter_ns(), 0.0);
+        assert_eq!(empty.prune_fraction(10, 10), 0.0);
+        // A single iteration: only the unprunable initial pass ran, so the
+        // mean falls back to it and the prune fraction is undefined -> 0.
+        let one = mk(vec![mk_iter(700, 100)]);
+        assert_eq!(one.mean_iter_ns(), 700.0);
+        assert_eq!(one.prune_fraction(10, 10), 0.0);
     }
 }

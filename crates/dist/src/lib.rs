@@ -45,7 +45,7 @@
 
 use std::ops::Range;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use knor_core::algo::Algorithm;
 use knor_core::centroids::{Centroids, LocalAccum};
@@ -57,6 +57,7 @@ use knor_core::pruning::{PruneCounters, Pruning};
 use knor_core::replica::Replication;
 use knor_core::stats::IterStats;
 use knor_core::sync::ExclusiveCell;
+use knor_core::trace::{Phase, PhaseBreakdown, TraceBuf, TraceGroup, TraceHandle};
 use knor_core::tune::Tuning;
 use knor_matrix::DMatrix;
 use knor_mpi::collectives::{allreduce_f64, allreduce_max_u64};
@@ -138,6 +139,11 @@ pub struct DistConfig {
     /// surfacing; ignored for in-memory ranks or when prefetch is off).
     #[doc(hidden)]
     pub inject_prefetch_panic_rank: Option<usize>,
+    /// Optional span recorder (see [`knor_core::trace`]). Every rank's
+    /// engine registers its workers under `pid = rank`, and each rank's
+    /// allreduce window records onto a dedicated comm track. Measurement
+    /// only: attaching a buffer never moves the trajectory.
+    pub trace: Option<Arc<TraceBuf>>,
 }
 
 impl DistConfig {
@@ -164,6 +170,7 @@ impl DistConfig {
             plane: RankPlane::InMemory,
             replication: Replication::Auto,
             inject_prefetch_panic_rank: None,
+            trace: None,
         }
     }
 
@@ -270,6 +277,12 @@ impl DistConfig {
         self.inject_prefetch_panic_rank = Some(v);
         self
     }
+
+    /// Attach a span recorder shared by every rank.
+    pub fn with_trace(mut self, v: Arc<TraceBuf>) -> Self {
+        self.trace = Some(v);
+        self
+    }
 }
 
 /// Statistics for one knord iteration: the engine counters (globalized
@@ -348,6 +361,10 @@ pub struct DistResult {
     pub rank_io: Vec<RankIo>,
     /// Final within-cluster sum of squared distances, when requested.
     pub sse: Option<f64>,
+    /// Per-phase trace fold over every rank's tracks, including each
+    /// rank's allreduce comm track (`Some` iff [`DistConfig::trace`] was
+    /// attached).
+    pub phases: Option<PhaseBreakdown>,
 }
 
 impl DistResult {
@@ -420,7 +437,7 @@ impl DistKmeans {
             // advances identically because its inputs are allreduced.
             let mm = algo_cfg.resolve(k, n, cfg.seed);
             let (driver_cfg, placement, queue) =
-                rank_driver_setup(cfg, &rows, k, d, pruning, tiles);
+                rank_driver_setup(cfg, comm.rank(), &rows, k, d, pruning, tiles);
             let rk = driver_cfg.resolve_kernel();
             let plane = SlicePlane::new(local, &rk, cfg.threads_per_rank);
             let backend = RankBackend::new(cfg, &plane, &comm, mm.uses_weights(), k, d);
@@ -445,6 +462,8 @@ impl DistKmeans {
             .compute_sse
             .then(|| knor_core::quality::sse(data, &out.centroids, &out.assignments));
         out.rank_io = Vec::new(); // in-memory entry point: no I/O record
+                                  // All rank threads have joined: folding the shared buffer is safe.
+        out.phases = cfg.trace.as_ref().map(|b| b.breakdown());
         out
     }
 
@@ -522,7 +541,7 @@ impl DistKmeans {
                 pre_ref[rank].lock().expect("rank data lock").take().expect("rank data taken once");
             let mm = algo_cfg.resolve(k, n, cfg.seed);
             let (driver_cfg, placement, queue) =
-                rank_driver_setup(cfg, &rows, k, d, pruning, tiles);
+                rank_driver_setup(cfg, rank, &rows, k, d, pruning, tiles);
             let rk = driver_cfg.resolve_kernel();
             let outcome = {
                 let mem_plane;
@@ -560,6 +579,8 @@ impl DistKmeans {
                 out.sse = Some(streamed_sse(&reader, &out.centroids, &out.assignments)?);
             }
         }
+        // All rank threads have joined: folding the shared buffer is safe.
+        out.phases = cfg.trace.as_ref().map(|b| b.breakdown());
         Ok(out)
     }
 }
@@ -568,6 +589,7 @@ impl DistKmeans {
 /// config, thread placement and task queue over its local row range.
 fn rank_driver_setup(
     cfg: &DistConfig,
+    rank: usize,
     rows: &Range<usize>,
     k: usize,
     d: usize,
@@ -590,6 +612,7 @@ fn rank_driver_setup(
         row_offset: rows.start,
         tiles,
         replication: cfg.replication.resolve(topo.nodes()),
+        trace: cfg.trace.clone().map(|b| TraceHandle::with_pid(b, rank as u32)),
     };
     (driver_cfg, placement, queue)
 }
@@ -664,6 +687,7 @@ fn assemble(
         rank_comm,
         rank_io,
         sse: None,
+        phases: None,
     }
 }
 
@@ -687,6 +711,10 @@ struct RankBackend<'a> {
     prev_sent: ExclusiveCell<u64>,
     /// Coordinator-only allreduce staging, reused across iterations.
     reduce_buf: ExclusiveCell<Vec<f64>>,
+    /// Dedicated single-slot trace track for this rank's allreduce
+    /// windows, registered past the worker tids (`tid_base = threads`).
+    /// Only the coordinator records onto it, inside its exclusive window.
+    comm_track: Option<Arc<TraceGroup>>,
 }
 
 impl<'a> RankBackend<'a> {
@@ -699,6 +727,10 @@ impl<'a> RankBackend<'a> {
         d: usize,
     ) -> Self {
         let lanes = k * d + k + if carry_weights { k } else { 0 } + SCALARS;
+        let comm_track = cfg
+            .trace
+            .as_ref()
+            .map(|b| b.register(comm.rank() as u32, 1, cfg.threads_per_rank as u32));
         Self {
             plane,
             comm,
@@ -708,6 +740,7 @@ impl<'a> RankBackend<'a> {
             carry_weights,
             prev_sent: ExclusiveCell::new(0),
             reduce_buf: ExclusiveCell::new(Vec::with_capacity(lanes)),
+            comm_track,
         }
     }
 }
@@ -758,7 +791,7 @@ impl LloydBackend for RankBackend<'_> {
 
     fn reduce(
         &self,
-        _iter: usize,
+        iter: usize,
         sums: &mut [f64],
         counts: &mut [i64],
         weights: &mut [f64],
@@ -769,7 +802,14 @@ impl LloydBackend for RankBackend<'_> {
             ReduceAlgo::Ring => self.net.ring_allreduce_ns(self.reduce_payload, r),
             ReduceAlgo::Star => self.net.star_allreduce_ns(self.reduce_payload, r),
         };
+        // Safety: reduce runs in the coordinator's exclusive window, the
+        // only writer of the single-slot comm track.
+        let tr = self.comm_track.as_deref().map(|g| unsafe { g.tracer(0, 0, iter as u32) });
+        let t0 = tr.as_ref().map(|t| t.now());
         if r == 1 {
+            if let (Some(t), Some(t0)) = (tr.as_ref(), t0) {
+                t.record(Phase::Allreduce, t0, 0);
+            }
             return ReduceReport { comm_bytes: 0, max_rank_comm_bytes: 0, modeled_comm_ns };
         }
 
@@ -810,6 +850,9 @@ impl LloydBackend for RankBackend<'_> {
         let max_rank_comm_bytes = allreduce_max_u64(self.comm, comm_bytes);
         *prev_sent = self.comm.stats().snapshot().0;
 
+        if let (Some(t), Some(t0)) = (tr.as_ref(), t0) {
+            t.record(Phase::Allreduce, t0, comm_bytes);
+        }
         ReduceReport { comm_bytes, max_rank_comm_bytes, modeled_comm_ns }
     }
 }

@@ -19,6 +19,7 @@
 //! also what lets knord mount one [`SemPlane`] per rank.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use knor_core::algo::Algorithm;
 use knor_core::centroids::Centroids;
@@ -28,6 +29,7 @@ use knor_core::plane::PlaneBackend;
 use knor_core::pruning::Pruning;
 use knor_core::replica::Replication;
 use knor_core::stats::{KmeansResult, MemoryFootprint, NumaReport};
+use knor_core::trace::{TraceBuf, TraceHandle};
 use knor_core::tune::Tuning;
 use knor_matrix::DMatrix;
 use knor_numa::{Placement, Topology};
@@ -98,6 +100,9 @@ pub struct SemConfig {
     /// Per-NUMA-node read replicas of the iteration state (see
     /// `knor_core::replica`); `Auto` replicates on multi-node topologies.
     pub replication: Replication,
+    /// Span recorder to attach to the run (see `knor_core::trace`);
+    /// `None` (the default) records nothing and costs nothing.
+    pub trace: Option<Arc<TraceBuf>>,
 }
 
 impl SemConfig {
@@ -126,6 +131,7 @@ impl SemConfig {
             tuning: Tuning::off(),
             topology: None,
             replication: Replication::Auto,
+            trace: None,
         }
     }
 
@@ -243,6 +249,12 @@ impl SemConfig {
         self
     }
 
+    /// Attach a span recorder to the run.
+    pub fn with_trace(mut self, v: Arc<TraceBuf>) -> Self {
+        self.trace = Some(v);
+        self
+    }
+
     /// The I/O-side subset of this configuration — what a [`SemPlane`]
     /// needs (knord builds one of these per SEM rank).
     pub fn plane_config(&self) -> SemPlaneConfig {
@@ -326,6 +338,7 @@ impl SemKmeans {
             row_offset: 0,
             tiles: None,
             replication: replicate,
+            trace: cfg.trace.clone().map(TraceHandle::new),
         };
         let probe_kind = driver_cfg.resolve_kernel().kind;
         driver_cfg.tiles = cfg.tuning.tiles_for(probe_kind, n, k, d);
@@ -379,6 +392,7 @@ impl SemKmeans {
                 memory,
                 sse,
                 numa,
+                phases: outcome.phases,
             },
             io: report.io,
             panicked_io_threads: report.panicked_io_threads,

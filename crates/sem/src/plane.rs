@@ -29,6 +29,7 @@ use knor_core::driver::{IterView, WorkerReport};
 use knor_core::plane::{drain_queue_staged, DataPlane, StagedScratch, StagedSource};
 use knor_core::stats::IterStats;
 use knor_core::sync::ExclusiveCell;
+use knor_core::trace::{Phase, WorkerTracer};
 use knor_matrix::DMatrix;
 use knor_safs::stats::{IoSnapshot, IoStats};
 use knor_safs::{Prefetcher, RowStore, SafsReader, DEFAULT_PAGE_SIZE};
@@ -258,13 +259,20 @@ impl StagedSource for SemPlane {
         pf.request(self.reader.pages_for_rows_offset(needed, self.base));
     }
 
-    fn stage(&self, _w: usize, needed: &[usize], scratch: &mut StagedScratch) -> u64 {
+    fn stage(
+        &self,
+        _w: usize,
+        needed: &[usize],
+        scratch: &mut StagedScratch,
+        tracer: Option<&WorkerTracer<'_>>,
+    ) -> u64 {
         let d = self.d;
         scratch.miss_idx.clear();
         scratch.miss_rows.clear();
         if scratch.data.len() < needed.len() * d {
             scratch.data.resize(needed.len() * d, 0.0);
         }
+        let t_hit = tracer.map(|t| t.now());
         let mut hits = 0u64;
         for (i, &r) in needed.iter().enumerate() {
             let dst = &mut scratch.data[i * d..(i + 1) * d];
@@ -275,15 +283,28 @@ impl StagedSource for SemPlane {
                 scratch.miss_rows.push(self.base + r);
             }
         }
+        if let (Some(t), Some(t0)) = (tracer, t_hit) {
+            if hits > 0 {
+                t.record(Phase::IoHit, t0, hits * (d as u64) * 8);
+            }
+        }
         if !scratch.miss_rows.is_empty() {
             // One merged fetch for the misses, scattered into their
             // task-row-order slots.
+            let t_miss = tracer.map(|t| t.now());
             self.reader
                 .fetch_rows(&scratch.miss_rows, &mut scratch.fetch)
                 .expect("SEM device read failed");
+            if let (Some(t), Some(t0)) = (tracer, t_miss) {
+                t.record(Phase::IoMiss, t0, (scratch.miss_rows.len() * d * 8) as u64);
+            }
+            let t_scatter = tracer.map(|t| t.now());
             for (j, &i) in scratch.miss_idx.iter().enumerate() {
                 scratch.data[i * d..(i + 1) * d]
                     .copy_from_slice(&scratch.fetch[j * d..(j + 1) * d]);
+            }
+            if let (Some(t), Some(t0)) = (tracer, t_scatter) {
+                t.record(Phase::IoScatter, t0, (scratch.miss_rows.len() * d * 8) as u64);
             }
         }
         hits
@@ -453,7 +474,7 @@ mod tests {
         assert_eq!(plane.nrow(), 200);
         let mut scratch = StagedScratch::new();
         let needed: Vec<usize> = (0..50).collect(); // local ids
-        let hits = plane.stage(0, &needed, &mut scratch);
+        let hits = plane.stage(0, &needed, &mut scratch, None);
         assert_eq!(hits, 0, "cold cache");
         for (i, &r) in needed.iter().enumerate() {
             assert_eq!(&scratch.data[i * 4..(i + 1) * 4], data.row(200 + r), "local row {r}");

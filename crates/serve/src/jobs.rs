@@ -14,12 +14,12 @@ use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use knor_core::{Algorithm, Kmeans, KmeansConfig};
+use knor_core::{Algorithm, Centroids, Kmeans, KmeansConfig};
 use knor_dist::{DistConfig, DistKmeans, RankPlane};
 use knor_matrix::{io as matrix_io, DMatrix};
 use knor_sem::{SemConfig, SemKmeans};
 
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, TrainDiag};
 
 /// Which engine a training job runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -234,20 +234,27 @@ impl Drop for JobRunner {
 /// Engine panics (degenerate specs trip `assert!`s, e.g. `k > n`) are
 /// caught and reported like errors.
 fn run_job(registry: &ModelRegistry, spec: &TrainSpec) -> Result<u32, String> {
-    let centroids = catch_unwind(AssertUnwindSafe(|| train(spec))).map_err(|p| match p
-        .downcast_ref::<String>()
-    {
-        Some(s) => format!("engine panicked: {s}"),
-        None => match p.downcast_ref::<&str>() {
+    let (centroids, diag) = catch_unwind(AssertUnwindSafe(|| train(spec))).map_err(|p| {
+        match p.downcast_ref::<String>() {
             Some(s) => format!("engine panicked: {s}"),
-            None => "engine panicked".to_string(),
-        },
+            None => match p.downcast_ref::<&str>() {
+                Some(s) => format!("engine panicked: {s}"),
+                None => "engine panicked".to_string(),
+            },
+        }
     })??;
-    Ok(registry.register(&spec.model, spec.algo.clone(), centroids))
+    Ok(registry.register_model_trained(
+        &spec.model,
+        spec.algo.clone(),
+        Centroids::from_matrix(&centroids),
+        None,
+        diag,
+    ))
 }
 
-/// Run the configured engine and return the trained centroid matrix.
-fn train(spec: &TrainSpec) -> Result<DMatrix, String> {
+/// Run the configured engine; returns the trained centroid matrix plus
+/// the run's health diagnostics (surfaced by the `STATS` reply).
+fn train(spec: &TrainSpec) -> Result<(DMatrix, TrainDiag), String> {
     let load = |p: &PathBuf| matrix_io::read_matrix(p).map_err(|e| format!("read {p:?}: {e}"));
     match spec.engine {
         EngineKind::Im => {
@@ -263,7 +270,9 @@ fn train(spec: &TrainSpec) -> Result<DMatrix, String> {
             if let Some(t) = spec.threads {
                 cfg = cfg.with_threads(t);
             }
-            Ok(Kmeans::new(cfg).fit(&data).centroids)
+            let r = Kmeans::new(cfg).fit(&data);
+            let diag = TrainDiag { panicked_io_threads: 0, publish_bytes: r.total_publish_bytes() };
+            Ok((r.centroids, diag))
         }
         EngineKind::Sem => {
             let path = match &spec.source {
@@ -278,7 +287,11 @@ fn train(spec: &TrainSpec) -> Result<DMatrix, String> {
                 cfg = cfg.with_threads(t);
             }
             let r = SemKmeans::new(cfg).fit(&path).map_err(|e| format!("sem run: {e}"))?;
-            Ok(r.kmeans.centroids)
+            let diag = TrainDiag {
+                panicked_io_threads: r.panicked_io_threads,
+                publish_bytes: r.kmeans.total_publish_bytes(),
+            };
+            Ok((r.kmeans.centroids, diag))
         }
         EngineKind::Dist => {
             let cfg = DistConfig::new(spec.k, spec.ranks.max(1), spec.threads.unwrap_or(2))
@@ -286,6 +299,10 @@ fn train(spec: &TrainSpec) -> Result<DMatrix, String> {
                 .with_algo(spec.algo.clone())
                 .with_plane(spec.plane.clone())
                 .with_max_iters(spec.max_iters);
+            let dist_diag = |r: &knor_dist::DistResult| TrainDiag {
+                panicked_io_threads: r.rank_io.iter().map(|io| io.panicked_io_threads).sum(),
+                publish_bytes: r.iters.iter().map(|i| i.publish_bytes).sum(),
+            };
             if matches!(spec.plane, RankPlane::Sem(_)) {
                 // SEM ranks stream their byte ranges, so the job needs a
                 // file and never materializes the matrix in this process.
@@ -300,13 +317,16 @@ fn train(spec: &TrainSpec) -> Result<DMatrix, String> {
                 let r = DistKmeans::new(cfg)
                     .fit_file(&path)
                     .map_err(|e| format!("dist+sem run: {e}"))?;
-                return Ok(r.centroids);
+                let diag = dist_diag(&r);
+                return Ok((r.centroids, diag));
             }
             let data = match &spec.source {
                 TrainSource::File(p) => load(p)?,
                 TrainSource::Matrix(m) => m.clone(),
             };
-            Ok(DistKmeans::new(cfg).fit(&data).centroids)
+            let r = DistKmeans::new(cfg).fit(&data);
+            let diag = dist_diag(&r);
+            Ok((r.centroids, diag))
         }
     }
 }

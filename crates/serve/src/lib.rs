@@ -50,6 +50,7 @@
 //! ```
 
 pub mod jobs;
+pub mod metrics;
 pub mod pool;
 pub mod registry;
 pub mod stats;
@@ -65,9 +66,12 @@ use knor_matrix::DMatrix;
 use knor_numa::Topology;
 
 pub use jobs::{EngineKind, JobId, JobStatus, TrainSource, TrainSpec};
-pub use pool::PredictError;
-pub use registry::{Model, ModelEntry, ModelRegistry};
-pub use stats::{Clock, LatencyHistogram, ManualClock, MonotonicClock, ServeStats, StatsSnapshot};
+pub use metrics::render_prometheus;
+pub use pool::{PredictError, PredictTiming};
+pub use registry::{Model, ModelEntry, ModelRegistry, TrainDiag};
+pub use stats::{
+    Clock, LatencyHistogram, ManualClock, MonotonicClock, ServeStats, StatsSnapshot, REQUEST_PHASES,
+};
 
 use jobs::JobRunner;
 use pool::WorkerPool;
@@ -278,6 +282,7 @@ impl ServeHandle {
         d: usize,
         kernel: KernelKind,
     ) -> Result<Prediction, ServeError> {
+        let t_req = self.inner.clock.now_ns();
         let entry = self
             .inner
             .registry
@@ -298,9 +303,16 @@ impl ServeHandle {
             rk = rk.with_tiles(rt, ct, k);
         }
         let t0 = self.inner.clock.now_ns();
-        let (assignments, distances) = self.inner.pool.predict(&entry, rk, queries, d)?;
+        let (assignments, distances, timing) =
+            self.inner.pool.predict_timed(&entry, rk, queries, d, Some(&*self.inner.clock))?;
         let t1 = self.inner.clock.now_ns();
         entry.stats.record_batch(assignments.len() as u64, t0, t1);
+        entry.stats.record_phases([
+            t0.saturating_sub(t_req),
+            timing.dispatch_ns,
+            timing.kernel_ns,
+            timing.reply_ns,
+        ]);
         Ok(Prediction { assignments, distances })
     }
 

@@ -42,6 +42,22 @@ use knor_numa::bind::bind_current_thread;
 use knor_numa::{NodeId, Topology};
 
 use crate::registry::{Model, ModelEntry};
+use crate::stats::Clock;
+
+/// Wall-time decomposition of one predict call on the injected clock
+/// (all zero when no clock was passed): chunk fan-out onto the task
+/// channel, worker scan time including queue wait, and output
+/// collection. The request's `enqueue` phase (lookup + kernel
+/// resolution) happens before the pool and is timed by the caller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictTiming {
+    /// Sending every chunk onto the task channel, ns.
+    pub dispatch_ns: u64,
+    /// Last chunk send → latch close (queue wait + kernel scans), ns.
+    pub kernel_ns: u64,
+    /// Latch close → outputs snapshotted, ns.
+    pub reply_ns: u64,
+}
 
 /// Grow-only per-worker buffers (staged/normalized rows + kernel outputs).
 struct Scratch {
@@ -312,10 +328,25 @@ impl WorkerPool {
     pub fn predict(
         &self,
         entry: &Arc<ModelEntry>,
-        mut rk: ResolvedKernel,
+        rk: ResolvedKernel,
         queries: &[f64],
         d: usize,
     ) -> Result<(Vec<u32>, Vec<f64>), PredictError> {
+        self.predict_timed(entry, rk, queries, d, None).map(|(a, dist, _)| (a, dist))
+    }
+
+    /// [`WorkerPool::predict`] that also decomposes the call's wall time
+    /// on `clock` (dispatch / kernel / reply — see [`PredictTiming`]).
+    /// Timing is measurement-only: answers are identical with or without
+    /// a clock.
+    pub fn predict_timed(
+        &self,
+        entry: &Arc<ModelEntry>,
+        mut rk: ResolvedKernel,
+        queries: &[f64],
+        d: usize,
+        clock: Option<&dyn Clock>,
+    ) -> Result<(Vec<u32>, Vec<f64>, PredictTiming), PredictError> {
         use knor_core::ResolvedKind;
         if matches!(rk.kind, ResolvedKind::NormTrick | ResolvedKind::Fma | ResolvedKind::Gemm) {
             rk.kind = ResolvedKind::Tiled;
@@ -326,8 +357,10 @@ impl WorkerPool {
         }
         let m = queries.len() / d.max(1);
         if m == 0 {
-            return Ok((Vec::new(), Vec::new()));
+            return Ok((Vec::new(), Vec::new(), PredictTiming::default()));
         }
+        let now = || clock.map_or(0, |c| c.now_ns());
+        let t0 = now();
         let chunk = self.chunk_rows(m);
         let nchunks = m.div_ceil(chunk);
         let ctx = Arc::new(CallCtx {
@@ -350,6 +383,7 @@ impl WorkerPool {
                 .expect("worker pool channel closed");
             lo = hi;
         }
+        let t1 = now();
         // The latch: predict must not return (releasing the caller's query
         // borrow) while any worker still holds a RawRows view.
         {
@@ -358,10 +392,18 @@ impl WorkerPool {
                 left = ctx.done.wait(left).expect("predict latch poisoned");
             }
         }
+        let t2 = now();
         if ctx.panicked.load(Ordering::SeqCst) {
             return Err(PredictError::WorkerPanic);
         }
-        Ok((ctx.out_assign.snapshot(), ctx.out_dist.snapshot()))
+        let out = (ctx.out_assign.snapshot(), ctx.out_dist.snapshot());
+        let t3 = now();
+        let timing = PredictTiming {
+            dispatch_ns: t1.saturating_sub(t0),
+            kernel_ns: t2.saturating_sub(t1),
+            reply_ns: t3.saturating_sub(t2),
+        };
+        Ok((out.0, out.1, timing))
     }
 
     /// Stop and join every worker.

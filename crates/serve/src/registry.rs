@@ -55,12 +55,28 @@ impl Model {
     }
 }
 
+/// Health/accounting diagnostics of the training run that produced a
+/// model (all zero for models that were loaded from disk or registered
+/// directly rather than trained in-process).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrainDiag {
+    /// Prefetch-pool threads found dead at training shutdown, summed
+    /// across SEM planes/ranks (0 = healthy; non-zero means lost I/O
+    /// overlap, never lost rows).
+    pub panicked_io_threads: u64,
+    /// Bytes copied into NUMA-node centroid replicas across the run
+    /// (0 with replication off).
+    pub publish_bytes: u64,
+}
+
 /// A registered model plus its live serving stats.
 pub struct ModelEntry {
     /// The immutable model.
     pub model: Model,
     /// Mutating serving counters.
     pub stats: ServeStats,
+    /// Diagnostics of the training run that produced the model.
+    pub train: TrainDiag,
 }
 
 /// Thread-safe name → versions map. Reads (the predict hot path) take a
@@ -96,6 +112,19 @@ impl ModelRegistry {
         centroids: Centroids,
         tiles: Option<(usize, usize)>,
     ) -> u32 {
+        self.register_model_trained(name, algo, centroids, tiles, TrainDiag::default())
+    }
+
+    /// [`ModelRegistry::register_model_tuned`] with the training run's
+    /// diagnostics attached (the job runner's registration path).
+    pub fn register_model_trained(
+        &self,
+        name: &str,
+        algo: Algorithm,
+        centroids: Centroids,
+        tiles: Option<(usize, usize)>,
+        train: TrainDiag,
+    ) -> u32 {
         let mut map = self.inner.write().expect("registry poisoned");
         let versions = map.entry(name.to_string()).or_default();
         let version = versions.last().map(|e| e.model.version).unwrap_or(0) + 1;
@@ -103,6 +132,7 @@ impl ModelRegistry {
         versions.push(Arc::new(ModelEntry {
             model: Model { name: name.to_string(), version, algo, normalization, centroids, tiles },
             stats: ServeStats::new(),
+            train,
         }));
         version
     }
@@ -224,8 +254,19 @@ impl ModelRegistry {
                 tiles,
             },
             stats: ServeStats::new(),
+            train: TrainDiag::default(),
         }));
         Ok((name, version))
+    }
+
+    /// The latest version of every model, sorted by name (the metrics
+    /// export walks this).
+    pub fn latest_entries(&self) -> Vec<Arc<ModelEntry>> {
+        let map = self.inner.read().expect("registry poisoned");
+        let mut out: Vec<Arc<ModelEntry>> =
+            map.values().filter_map(|vs| vs.last().cloned()).collect();
+        out.sort_by(|a, b| a.model.name.cmp(&b.model.name));
+        out
     }
 }
 

@@ -77,12 +77,13 @@ pub const BUCKETS: usize = 40;
 pub struct LatencyHistogram {
     counts: [u64; BUCKETS],
     total: u64,
+    sum_ns: u64,
 }
 
 impl LatencyHistogram {
     /// Empty histogram.
     pub fn new() -> Self {
-        Self { counts: [0; BUCKETS], total: 0 }
+        Self { counts: [0; BUCKETS], total: 0, sum_ns: 0 }
     }
 
     #[inline]
@@ -94,11 +95,28 @@ impl LatencyHistogram {
     pub fn record(&mut self, ns: u64) {
         self.counts[Self::bucket(ns)] += 1;
         self.total += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
     }
 
     /// Samples recorded.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Sum of recorded samples (saturating), ns — the Prometheus
+    /// `_sum` series.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Per-bucket counts (bucket `i` covers `[2^i, 2^{i+1})` ns).
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Upper edge of bucket `i`, in ns — the Prometheus `le` label.
+    pub fn bucket_edge_ns(i: usize) -> u64 {
+        1u64 << (i + 1).min(63)
     }
 
     /// The `q`-quantile (`0 < q <= 1`) as the upper edge of its bucket, in
@@ -113,7 +131,7 @@ impl LatencyHistogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return 1u64 << (i + 1).min(63);
+                return Self::bucket_edge_ns(i);
             }
         }
         1u64 << 63
@@ -126,11 +144,19 @@ impl Default for LatencyHistogram {
     }
 }
 
+/// Names of the four request-handling phases tracked per model, in
+/// [`ServeStats::phase_ns`] order: model lookup + kernel resolution
+/// (`enqueue`), chunk fan-out to the pool (`dispatch`), worker scan time
+/// including queue wait (`kernel`), and output collection (`reply`).
+pub const REQUEST_PHASES: [&str; 4] = ["enqueue", "dispatch", "kernel", "reply"];
+
 /// Thread-safe serving statistics for one model (all mutation under one
 /// short-lived lock; queries also mirrored in an atomic for lock-free
 /// listing).
 pub struct ServeStats {
     queries_atomic: AtomicU64,
+    /// Cumulative ns per request phase, [`REQUEST_PHASES`] order.
+    phase_ns: [AtomicU64; 4],
     inner: Mutex<StatsInner>,
 }
 
@@ -147,6 +173,7 @@ impl ServeStats {
     pub fn new() -> Self {
         Self {
             queries_atomic: AtomicU64::new(0),
+            phase_ns: Default::default(),
             inner: Mutex::new(StatsInner {
                 batches: 0,
                 rows: 0,
@@ -174,6 +201,24 @@ impl ServeStats {
     /// Lock-free query count (for listings).
     pub fn queries(&self) -> u64 {
         self.queries_atomic.load(Ordering::Relaxed)
+    }
+
+    /// Add one request's per-phase ns ([`REQUEST_PHASES`] order).
+    pub fn record_phases(&self, ns: [u64; 4]) {
+        for (slot, v) in self.phase_ns.iter().zip(ns) {
+            slot.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Cumulative per-phase ns ([`REQUEST_PHASES`] order).
+    pub fn phase_ns(&self) -> [u64; 4] {
+        [0, 1, 2, 3].map(|i| self.phase_ns[i].load(Ordering::Relaxed))
+    }
+
+    /// A point-in-time copy of the latency histogram (the Prometheus
+    /// cumulative-bucket export reads this).
+    pub fn histogram(&self) -> LatencyHistogram {
+        self.inner.lock().expect("serve stats poisoned").hist.clone()
     }
 
     /// Consistent point-in-time snapshot.
@@ -282,6 +327,53 @@ mod tests {
         assert!((s.qps - expect_qps).abs() < 1e-6);
         assert!(s.render().contains("queries=129"));
         assert_eq!(stats.queries(), 129);
+    }
+
+    #[test]
+    fn histogram_quantile_edges() {
+        // Empty: every quantile is 0, and the export accessors agree.
+        let h = LatencyHistogram::new();
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 0);
+        }
+        assert_eq!(h.sum_ns(), 0);
+        assert!(h.bucket_counts().iter().all(|&c| c == 0));
+
+        // A single occupied bucket: every quantile lands on its upper
+        // edge, including 0 (bucket 0 also takes it) and the bucket's
+        // inclusive lower edge.
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.quantile_ns(0.5), 2, "0 lands in bucket 0, edge 2^1");
+        let mut h = LatencyHistogram::new();
+        h.record(1024); // exactly 2^10: bucket 10, edge 2^11
+        for q in [0.01, 0.5, 1.0] {
+            assert_eq!(h.quantile_ns(q), 2048);
+        }
+        assert_eq!(h.bucket_counts()[10], 1);
+        assert_eq!(h.sum_ns(), 1024);
+
+        // Max-bucket overflow: everything >= 2^39 saturates into bucket
+        // 39 whose reported edge is 2^40, and the sum saturates instead
+        // of wrapping.
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_counts()[BUCKETS - 1], 2);
+        assert_eq!(h.quantile_ns(0.5), 1 << 40);
+        assert_eq!(h.quantile_ns(1.0), 1 << 40);
+        assert_eq!(h.sum_ns(), u64::MAX, "sum must saturate, not wrap");
+        assert_eq!(LatencyHistogram::bucket_edge_ns(BUCKETS - 1), 1 << 40);
+    }
+
+    #[test]
+    fn phase_counters_accumulate() {
+        let stats = ServeStats::new();
+        assert_eq!(stats.phase_ns(), [0; 4]);
+        stats.record_phases([1, 10, 100, 1000]);
+        stats.record_phases([2, 20, 200, 2000]);
+        assert_eq!(stats.phase_ns(), [3, 30, 300, 3000]);
+        assert_eq!(REQUEST_PHASES.len(), 4);
     }
 
     #[test]

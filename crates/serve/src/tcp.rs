@@ -8,7 +8,8 @@
 //! TRAIN <model> <engine> <algospec> <k> <iters> <seed> <path>  → OK job <id>
 //! STATUS <job>                                  → OK queued|running|done <v>|failed <msg>
 //! QUERY <model> <m> <d> <f0> <f1> … <f(m·d−1)>  → OK <m> <c>:<dist> …
-//! STATS <model>                                 → OK queries=… p50_us=… qps=…
+//! STATS <model>                                 → OK queries=… qps=… panicked_io_threads=… publish_bytes=…
+//! METRICS                                       → OK <prometheus text, newline-escaped>
 //! LIST                                          → OK <name>:v<ver>:<queries> …
 //! SAVE <model> <dir>                            → OK saved <metapath>
 //! SHUTDOWN                                      → OK bye (server stops accepting)
@@ -185,9 +186,16 @@ fn try_dispatch(handle: &ServeHandle, line: &str) -> Result<String, String> {
         }
         "STATS" => {
             let model = tokens.next().ok_or("STATS: missing model")?;
-            let s: StatsSnapshot = handle.stats(model).ok_or("unknown model")?;
-            Ok(s.render())
+            let entry = handle.registry().get(model).ok_or("unknown model")?;
+            let s: StatsSnapshot = entry.stats.snapshot();
+            Ok(format!(
+                "{} panicked_io_threads={} publish_bytes={}",
+                s.render(),
+                entry.train.panicked_io_threads,
+                entry.train.publish_bytes,
+            ))
         }
+        "METRICS" => Ok(crate::metrics::escape_line(&crate::metrics::render_prometheus(handle))),
         "LIST" => {
             let list = handle.list();
             if list.is_empty() {
@@ -355,6 +363,12 @@ impl Client {
         self.round_trip(&format!("STATS {model}"))
     }
 
+    /// Fetch the Prometheus text-format metrics snapshot (multi-line;
+    /// the wire escaping is undone here).
+    pub fn metrics(&mut self) -> io::Result<String> {
+        Ok(crate::metrics::unescape_line(&self.round_trip("METRICS")?))
+    }
+
     /// Fetch the model listing.
     pub fn list(&mut self) -> io::Result<String> {
         self.round_trip("LIST")
@@ -422,6 +436,15 @@ mod tests {
 
         let stats = c.stats("gmm").unwrap();
         assert!(stats.contains("queries=32"), "{stats}");
+        assert!(stats.contains("panicked_io_threads=0"), "{stats}");
+        assert!(stats.contains("publish_bytes="), "{stats}");
+        let metrics = c.metrics().unwrap();
+        assert!(
+            metrics.contains("knor_serve_queries_total{model=\"gmm\",version=\"1\"} 32"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("# TYPE knor_serve_batch_latency_ns histogram"), "{metrics}");
+        assert!(metrics.lines().count() > 10, "metrics must arrive multi-line after unescaping");
         assert!(c.list().unwrap().contains("gmm:v1"), "listing");
         let (out_bytes, in_bytes) = c.wire_bytes();
         assert!(out_bytes > 0 && in_bytes > 0);

@@ -8,8 +8,9 @@
 //!           [--algo lloyd|spherical|fuzzy|minibatch] [--fuzz M] [--batch B]
 //!           [--kernel auto|scalar|tiled|fma|norm|gemm] [--tune on|off|cache]
 //!           [--replication off|auto|on]
-//! knor sem  <file.knor> -k 10 [--row-cache MB] [--page-cache MB] [--stats]
-//! knor dist <file.knor> -k 10 [--ranks R] [--star] [--plane im|sem] [--stats]
+//!           [--stats] [--trace out.json]
+//! knor sem  <file.knor> -k 10 [--row-cache MB] [--page-cache MB] [--stats] [--trace out.json]
+//! knor dist <file.knor> -k 10 [--ranks R] [--star] [--plane im|sem] [--stats] [--trace out.json]
 //! knor gen  <file.knor> --dataset friendster8|friendster32|rm856m|rm1b|ru2b --scale f
 //!
 //! knor serve --addr H:P [-t N]                      run a serving instance
@@ -17,13 +18,14 @@
 //!            [--engine im|sem|dist|dist-sem] [--algo ...] [-i N] [--seed S] [--wait]
 //! knor query --addr H:P --model M --file Q.knor     stream queries, print stats
 //!            [--limit N] [--batch B]
-//! knor ctl   --addr H:P list|stats M|save M DIR|shutdown
+//! knor ctl   --addr H:P list|stats M|metrics|save M DIR|shutdown
 //! ```
 
 use knor::prelude::*;
 use knor::serve::tcp::{Client, TcpServer};
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::Arc;
 
 struct Opts {
     file: PathBuf,
@@ -44,6 +46,8 @@ struct Opts {
     plane: String,
     /// Print the per-iteration I/O / wire summary after the run.
     stats: bool,
+    /// Write a chrome-trace JSON timeline of the run here (`--trace`).
+    trace: Option<PathBuf>,
     /// Assignment kernel knob (`auto|scalar|tiled|fma|norm|gemm`).
     kernel: String,
     /// Autotuning policy (`off|on|cache`).
@@ -72,14 +76,15 @@ fn usage() -> ! {
          \x20          [--fuzz M] [--batch B]\n\
          \x20          [--kernel auto|scalar|tiled|fma|norm|gemm] [--tune on|off|cache]\n\
          \x20          [--replication off|auto|on]\n\
-         \x20          [--row-cache MB] [--page-cache MB] [--stats]    (sem)\n\
-         \x20          [--ranks R] [--star] [--plane im|sem] [--stats] (dist)\n\
+         \x20          [--stats] [--trace out.json]\n\
+         \x20          [--row-cache MB] [--page-cache MB]              (sem)\n\
+         \x20          [--ranks R] [--star] [--plane im|sem]           (dist)\n\
          \x20          [--dataset NAME] [--scale F]                    (gen)\n\
          \x20      knor serve --addr H:P [-t THREADS]\n\
          \x20      knor train --addr H:P --model M --file F.knor [-k K] [-i N]\n\
          \x20          [--engine im|sem|dist|dist-sem] [--algo A] [--seed S] [--wait]\n\
          \x20      knor query --addr H:P --model M --file Q.knor [--limit N] [--batch B]\n\
-         \x20      knor ctl --addr H:P <list | stats MODEL | save MODEL DIR | shutdown>"
+         \x20      knor ctl --addr H:P <list | stats MODEL | metrics | save MODEL DIR | shutdown>"
     );
     exit(2)
 }
@@ -141,6 +146,7 @@ fn parse(args: &[String]) -> (String, Opts) {
         star: false,
         plane: "im".into(),
         stats: false,
+        trace: None,
         kernel: "auto".into(),
         tune: "off".into(),
         replication: "auto".into(),
@@ -179,6 +185,7 @@ fn parse(args: &[String]) -> (String, Opts) {
             "--star" => o.star = true,
             "--plane" => o.plane = val(&mut i),
             "--stats" => o.stats = true,
+            "--trace" => o.trace = Some(PathBuf::from(val(&mut i))),
             // Validated right here so a bad value dies before any file I/O.
             "--kernel" => {
                 o.kernel = val(&mut i);
@@ -308,6 +315,28 @@ fn kernel_note(
     )
 }
 
+/// The shared span recorder, allocated only when some sink will read it
+/// (`--stats` prints the phase table, `--trace` writes the timeline);
+/// otherwise the engines keep their zero-overhead `None` path.
+fn trace_buf(o: &Opts) -> Option<Arc<TraceBuf>> {
+    (o.stats || o.trace.is_some()).then(|| Arc::new(TraceBuf::new()))
+}
+
+/// Post-run trace sinks: chrome-trace JSON to the `--trace` file and the
+/// phase-group breakdown table under `--stats`.
+fn finish_trace(o: &Opts, buf: Option<&Arc<TraceBuf>>, phases: Option<&PhaseBreakdown>) {
+    if let (Some(path), Some(buf)) = (o.trace.as_ref(), buf) {
+        std::fs::write(path, buf.chrome_trace_json())
+            .unwrap_or_else(|e| die(&format!("cannot write trace to {}: {e}", path.display())));
+        println!("trace: wrote {}", path.display());
+    }
+    if o.stats {
+        if let Some(p) = phases.filter(|p| !p.is_empty()) {
+            print!("{}", p.render());
+        }
+    }
+}
+
 /// Resolve `--algo` (the mini-batch default batch is `n/10`, at least 1).
 fn algorithm(o: &Opts, n: usize) -> Algorithm {
     match o.algo.as_str() {
@@ -373,6 +402,10 @@ fn main() {
             if let Some(t) = o.threads {
                 cfg = cfg.with_threads(t);
             }
+            let trace = trace_buf(&o);
+            if let Some(b) = &trace {
+                cfg = cfg.with_trace(b.clone());
+            }
             let t0 = std::time::Instant::now();
             let r = Kmeans::new(cfg).fit(&data);
             report("knori", r.niters, r.converged, r.sse, t0.elapsed());
@@ -380,6 +413,7 @@ fn main() {
                 println!("{}", kernel_note(&o, &tune, data.nrow(), o.k, data.ncol(), &algo));
                 print_numa(&r.numa, r.total_publish_bytes(), r.niters);
             }
+            finish_trace(&o, trace.as_ref(), r.phases.as_ref());
         }
         "sem" => {
             // The header carries n, so the mini-batch default (`n/10`)
@@ -402,6 +436,10 @@ fn main() {
             if let Some(t) = o.threads {
                 cfg = cfg.with_threads(t);
             }
+            let trace = trace_buf(&o);
+            if let Some(b) = &trace {
+                cfg = cfg.with_trace(b.clone());
+            }
             let t0 = std::time::Instant::now();
             let r = SemKmeans::new(cfg).fit(&o.file).expect("SEM run failed");
             report("knors", r.kmeans.niters, r.kmeans.converged, r.kmeans.sse, t0.elapsed());
@@ -415,6 +453,7 @@ fn main() {
                     println!("WARNING: {} prefetch thread(s) died mid-run", r.panicked_io_threads);
                 }
             }
+            finish_trace(&o, trace.as_ref(), r.kmeans.phases.as_ref());
         }
         "dist" => {
             let threads = o.threads.unwrap_or(2);
@@ -434,6 +473,10 @@ fn main() {
                 .with_reduce(if o.star { ReduceAlgo::Star } else { ReduceAlgo::Ring })
                 .with_max_iters(o.iters)
                 .with_sse(true);
+            let trace = trace_buf(&o);
+            if let Some(b) = &trace {
+                cfg = cfg.with_trace(b.clone());
+            }
             let t0 = std::time::Instant::now();
             let r = match o.plane.as_str() {
                 "im" => {
@@ -470,6 +513,7 @@ fn main() {
                 println!("{}", kernel_note(&o, &tune, file_n, o.k, file_d, &algo));
                 print_dist_stats(&r);
             }
+            finish_trace(&o, trace.as_ref(), r.phases.as_ref());
         }
         "serve" => {
             let mut cfg = ServeConfig::default().with_replication(replication(&o));
@@ -554,10 +598,13 @@ fn main() {
             let out = match (cmd, o.rest.get(1), o.rest.get(2)) {
                 ("list", None, None) => c.list(),
                 ("stats", Some(model), None) => c.stats(model),
+                ("metrics", None, None) => c.metrics(),
                 ("save", Some(model), Some(dir)) => c.save(model, std::path::Path::new(dir)),
                 ("shutdown", None, None) => c.shutdown().map(|()| "bye".to_string()),
                 _ => {
-                    eprintln!("ctl expects: list | stats MODEL | save MODEL DIR | shutdown");
+                    eprintln!(
+                        "ctl expects: list | stats MODEL | metrics | save MODEL DIR | shutdown"
+                    );
                     usage()
                 }
             };
@@ -598,59 +645,90 @@ fn print_numa(numa: &NumaReport, publish_total: u64, niters: usize) {
     );
 }
 
+/// The one `--stats` table renderer: right-aligned columns sized to the
+/// widest cell (header included), one space between columns. The I/O,
+/// wire and rank summaries all feed it instead of keeping their own
+/// hand-tuned format strings in sync.
+fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let render = |cells: &mut dyn Iterator<Item = &str>| {
+        let line =
+            cells.zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join(" ");
+        println!("{}", line.trim_end());
+    };
+    render(&mut header.iter().copied());
+    for row in rows {
+        render(&mut row.iter().map(String::as_str));
+    }
+}
+
 /// The per-iteration I/O summary engines collect (`--stats` for sem/dist).
 fn print_io_table(io: &[knor::sem::IoIterStats]) {
-    println!(
-        "{:>4} {:>9} {:>9} {:>9} {:>12} {:>12} {:>9} {:>9} {:>9} {:>5}",
-        "iter",
-        "active",
-        "rc_hit",
-        "rc_miss",
-        "req_B",
-        "read_B",
-        "pg_hit",
-        "pg_miss",
-        "rc_rows",
-        "refr"
+    let rows: Vec<Vec<String>> = io
+        .iter()
+        .map(|it| {
+            vec![
+                it.iter.to_string(),
+                it.active_rows.to_string(),
+                it.rc_hits.to_string(),
+                it.rc_misses.to_string(),
+                it.bytes_requested.to_string(),
+                it.bytes_read.to_string(),
+                it.page_hits.to_string(),
+                it.page_misses.to_string(),
+                it.rc_resident_rows.to_string(),
+                if it.rc_refreshed { "yes".into() } else { String::new() },
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "iter", "active", "rc_hit", "rc_miss", "req_B", "read_B", "pg_hit", "pg_miss",
+            "rc_rows", "refr",
+        ],
+        &rows,
     );
-    for it in io {
-        println!(
-            "{:>4} {:>9} {:>9} {:>9} {:>12} {:>12} {:>9} {:>9} {:>9} {:>5}",
-            it.iter,
-            it.active_rows,
-            it.rc_hits,
-            it.rc_misses,
-            it.bytes_requested,
-            it.bytes_read,
-            it.page_hits,
-            it.page_misses,
-            it.rc_resident_rows,
-            if it.rc_refreshed { "yes" } else { "" }
-        );
-    }
 }
 
 /// `--stats` for dist: per-iteration wire traffic, per-rank totals, and —
 /// for SEM-plane runs — each rank's private I/O record.
 fn print_dist_stats(r: &DistResult) {
-    println!("{:>4} {:>10} {:>12} {:>14}", "iter", "reassign", "wire_B", "max_rank_wire_B");
-    for it in &r.iters {
-        println!(
-            "{:>4} {:>10} {:>12} {:>14}",
-            it.iter, it.reassigned, it.comm_bytes, it.max_rank_comm_bytes
-        );
-    }
+    let iter_rows: Vec<Vec<String>> = r
+        .iters
+        .iter()
+        .map(|it| {
+            vec![
+                it.iter.to_string(),
+                it.reassigned.to_string(),
+                it.comm_bytes.to_string(),
+                it.max_rank_comm_bytes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["iter", "reassign", "wire_B", "max_rank_wire_B"], &iter_rows);
     let publish: u64 = r.iters.iter().map(|i| i.publish_bytes).sum();
     if publish > 0 {
         println!("rank 0 replica publish: {publish} B total (intra-rank, off the wire)");
     }
-    println!("{:>4} {:>9} {:>12} {:>12} {:>9}", "rank", "rows", "sent_B", "recv_B", "msgs");
-    for c in &r.rank_comm {
-        println!(
-            "{:>4} {:>9} {:>12} {:>12} {:>9}",
-            c.rank, c.rows, c.bytes_sent, c.bytes_received, c.messages_sent
-        );
-    }
+    let rank_rows: Vec<Vec<String>> = r
+        .rank_comm
+        .iter()
+        .map(|c| {
+            vec![
+                c.rank.to_string(),
+                c.rows.to_string(),
+                c.bytes_sent.to_string(),
+                c.bytes_received.to_string(),
+                c.messages_sent.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["rank", "rows", "sent_B", "recv_B", "msgs"], &rank_rows);
     for rio in &r.rank_io {
         if rio.io.is_empty() {
             continue;
