@@ -265,6 +265,47 @@ fn serve_metrics(out: &mut Vec<Metric>) {
     }
 }
 
+/// Mux front-end metrics (PR 9): aggregate queries/s with 32 concurrent
+/// small-batch TCP clients through the event loop + coalescer, and the
+/// end-to-end p99 as its inverse (1e9 / p99_ns, so "bigger is better"
+/// like every other metric). The p99 is deadline-dominated (flush
+/// deadline + kernel time), which keeps the gate stable across hosts.
+fn serve_mux_metrics(out: &mut Vec<Metric>) {
+    use knor_serve::tcp::Client;
+    use knor_serve::{MuxConfig, MuxServer};
+    let (k, d) = (16, 16);
+    let data = uniform_matrix(8_192, d, 42);
+    let mut cents = DMatrix::zeros(k, d);
+    cents.as_mut_slice().copy_from_slice(&data.as_slice()[..k * d]);
+    let handle = ServeHandle::start(ServeConfig::default().with_kernel(KernelKind::Tiled));
+    handle.register_model("gate", Algorithm::Lloyd, cents);
+    let cfg = MuxConfig::default().with_max_delay_us(3_000);
+    let server = MuxServer::bind(handle.clone(), "127.0.0.1:0", cfg).expect("bind mux");
+    let addr = server.addr();
+    let (conns, batch, rounds) = (32usize, 8usize, 32usize);
+    let n = data.nrow();
+    let flat = data.as_slice();
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..conns {
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for r in 0..rounds {
+                    let lo = ((t * rounds + r) * batch) % (n - batch);
+                    c.query_block("gate", &flat[lo * d..(lo + batch) * d], d).expect("query");
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let rows = (conns * batch * rounds) as f64;
+    server.stop();
+    let snap = handle.registry().get("gate").unwrap().stats.snapshot();
+    assert_eq!(snap.queries as f64, rows, "mux gate dropped queries");
+    out.push(Metric { name: "serve.mux.qps".into(), per_sec: rows / secs });
+    out.push(Metric { name: "serve.mux.p99inv".into(), per_sec: 1e9 / snap.req_p99_ns as f64 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut write_baseline = false;
@@ -301,6 +342,7 @@ fn main() {
     plane_metrics(&mut fresh);
     numa_metrics(&mut fresh);
     serve_metrics(&mut fresh);
+    serve_mux_metrics(&mut fresh);
     for m in &fresh {
         println!("  {:<20} {:>14.0} /s", m.name, m.per_sec);
     }

@@ -21,4 +21,4 @@ pub mod net;
 
 pub use cluster::{Comm, CommStats, LocalCluster};
 pub use collectives::ReduceAlgo;
-pub use net::{LineConn, NetModel};
+pub use net::{poll_fds, FrameBuf, LineConn, NetModel, PollFd};

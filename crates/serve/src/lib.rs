@@ -49,8 +49,10 @@
 //! assert_eq!(out.assignments, vec![0, 1]);
 //! ```
 
+pub mod coalesce;
 pub mod jobs;
 pub mod metrics;
+pub mod mux;
 pub mod pool;
 pub mod registry;
 pub mod stats;
@@ -67,6 +69,7 @@ use knor_numa::Topology;
 
 pub use jobs::{EngineKind, JobId, JobStatus, TrainSource, TrainSpec};
 pub use metrics::render_prometheus;
+pub use mux::{MuxConfig, MuxServer};
 pub use pool::{PredictError, PredictTiming};
 pub use registry::{Model, ModelEntry, ModelRegistry, TrainDiag};
 pub use stats::{
@@ -247,6 +250,13 @@ impl ServeHandle {
         &self.inner.registry
     }
 
+    /// The instance's injected time source (the mux front end timestamps
+    /// request admission with this so end-to-end latency shares the same
+    /// clock as the kernel phases).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.inner.clock
+    }
+
     /// Whether the worker pool serves from node-local model clones
     /// (the resolved [`ServeConfig::replication`] knob).
     pub fn pool_replicated(&self) -> bool {
@@ -282,12 +292,36 @@ impl ServeHandle {
         d: usize,
         kernel: KernelKind,
     ) -> Result<Prediction, ServeError> {
-        let t_req = self.inner.clock.now_ns();
         let entry = self
             .inner
             .registry
             .get(model)
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        self.predict_entry_with(&entry, queries, d, kernel)
+    }
+
+    /// Predict against a specific, already-resolved model entry with the
+    /// instance's default kernel knob. The mux coalescer uses this so
+    /// every request in a coalesced batch runs against the exact version
+    /// it was admitted with, regardless of swaps in between.
+    pub fn predict_entry(
+        &self,
+        entry: &Arc<ModelEntry>,
+        queries: &[f64],
+        d: usize,
+    ) -> Result<Prediction, ServeError> {
+        self.predict_entry_with(entry, queries, d, self.inner.kernel)
+    }
+
+    /// [`ServeHandle::predict_entry`] with an explicit kernel knob.
+    pub fn predict_entry_with(
+        &self,
+        entry: &Arc<ModelEntry>,
+        queries: &[f64],
+        d: usize,
+        kernel: KernelKind,
+    ) -> Result<Prediction, ServeError> {
+        let t_req = self.inner.clock.now_ns();
         let (k, model_d) = (entry.model.k(), entry.model.d());
         let mut rk = resolve_predict_kernel(kernel, k, model_d);
         // Tile override: a model trained with autotuned tiles carries
@@ -304,7 +338,7 @@ impl ServeHandle {
         }
         let t0 = self.inner.clock.now_ns();
         let (assignments, distances, timing) =
-            self.inner.pool.predict_timed(&entry, rk, queries, d, Some(&*self.inner.clock))?;
+            self.inner.pool.predict_timed(entry, rk, queries, d, Some(&*self.inner.clock))?;
         let t1 = self.inner.clock.now_ns();
         entry.stats.record_batch(assignments.len() as u64, t0, t1);
         entry.stats.record_phases([

@@ -14,9 +14,10 @@ use crate::stats::{LatencyHistogram, BUCKETS, REQUEST_PHASES};
 use crate::ServeHandle;
 
 /// Render a Prometheus text-format snapshot of every model's serving
-/// counters (latest version per name, name order).
+/// counters (the **served** version per name — pinned by SWAP/ROLLBACK or
+/// the latest — in name order, so dashboards track what queries hit).
 pub fn render_prometheus(handle: &ServeHandle) -> String {
-    let entries = handle.registry().latest_entries();
+    let entries = handle.registry().served_entries();
     let mut out = String::with_capacity(1024);
 
     let counter = |out: &mut String, name: &str, help: &str| {
@@ -61,11 +62,73 @@ pub fn render_prometheus(handle: &ServeHandle) -> String {
         }
     }
 
+    counter(
+        &mut out,
+        "knor_serve_busy_total",
+        "Requests rejected with BUSY because the pending-row budget was full.",
+    );
+    for e in &entries {
+        let _ = writeln!(
+            out,
+            "knor_serve_busy_total{{model=\"{}\"}} {}",
+            e.model.name,
+            e.stats.busy_rejections()
+        );
+    }
+
     let _ = writeln!(out, "# HELP knor_serve_batch_latency_ns Batch latency histogram.");
     let _ = writeln!(out, "# TYPE knor_serve_batch_latency_ns histogram");
     for e in &entries {
         let hist = e.stats.histogram();
         render_histogram(&mut out, "knor_serve_batch_latency_ns", &e.model.name, &hist);
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP knor_serve_coalesced_rows \
+         Coalesced kernel-batch sizes under the mux front end (unit: rows, not ns)."
+    );
+    let _ = writeln!(out, "# TYPE knor_serve_coalesced_rows histogram");
+    for e in &entries {
+        let hist = e.stats.coalesced_histogram();
+        render_histogram(&mut out, "knor_serve_coalesced_rows", &e.model.name, &hist);
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP knor_serve_request_latency_ns \
+         End-to-end request latency under the mux front end (admission to reply, \
+         including coalescer queue wait)."
+    );
+    let _ = writeln!(out, "# TYPE knor_serve_request_latency_ns histogram");
+    for e in &entries {
+        let hist = e.stats.request_histogram();
+        render_histogram(&mut out, "knor_serve_request_latency_ns", &e.model.name, &hist);
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP knor_serve_pending_rows Rows admitted by the mux front end, not yet answered."
+    );
+    let _ = writeln!(out, "# TYPE knor_serve_pending_rows gauge");
+    for e in &entries {
+        let _ = writeln!(
+            out,
+            "knor_serve_pending_rows{{model=\"{}\"}} {}",
+            e.model.name,
+            e.stats.pending_rows()
+        );
+    }
+
+    let _ =
+        writeln!(out, "# HELP knor_serve_served_version The model version queries are routed to.");
+    let _ = writeln!(out, "# TYPE knor_serve_served_version gauge");
+    for e in &entries {
+        let _ = writeln!(
+            out,
+            "knor_serve_served_version{{model=\"{}\"}} {}",
+            e.model.name, e.model.version
+        );
     }
 
     let _ = writeln!(
@@ -193,9 +256,18 @@ mod tests {
         assert!(text.contains("phase=\"kernel\""));
         assert!(text.contains("knor_serve_train_panicked_io_threads{model=\"demo\"} 0"));
         assert!(text.contains("knor_serve_train_publish_bytes{model=\"demo\"} 0"));
-        // Cumulative buckets are monotonically nondecreasing.
+        assert!(text.contains("knor_serve_busy_total{model=\"demo\"} 0"));
+        assert!(text.contains("knor_serve_pending_rows{model=\"demo\"} 0"));
+        assert!(text.contains("knor_serve_served_version{model=\"demo\"} 1"));
+        assert!(text.contains("# TYPE knor_serve_coalesced_rows histogram"));
+        assert!(text.contains("# TYPE knor_serve_request_latency_ns histogram"));
+        // Cumulative buckets are monotonically nondecreasing (per metric; the
+        // empty coalesced/request histograms restart their own series at 0).
         let mut prev = 0u64;
-        for line in text.lines().filter(|l| l.contains("_bucket{model=\"demo\"")) {
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("knor_serve_batch_latency_ns_bucket{model=\"demo\""))
+        {
             let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
             assert!(v >= prev, "{line}");
             prev = v;

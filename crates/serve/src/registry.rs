@@ -79,10 +79,28 @@ pub struct ModelEntry {
     pub train: TrainDiag,
 }
 
+/// All versions registered under one name plus the serve pin.
+#[derive(Default)]
+struct Versions {
+    entries: Vec<Arc<ModelEntry>>,
+    /// Pinned served version. `None` = serve the latest (new registrations
+    /// auto-flip); `Some(v)` = hold at `v` (SWAP / ROLLBACK).
+    pin: Option<u32>,
+}
+
+impl Versions {
+    fn served(&self) -> Option<Arc<ModelEntry>> {
+        match self.pin {
+            Some(v) => self.entries.iter().find(|e| e.model.version == v).cloned(),
+            None => self.entries.last().cloned(),
+        }
+    }
+}
+
 /// Thread-safe name → versions map. Reads (the predict hot path) take a
 /// shared lock and clone one `Arc`.
 pub struct ModelRegistry {
-    inner: RwLock<HashMap<String, Vec<Arc<ModelEntry>>>>,
+    inner: RwLock<HashMap<String, Versions>>,
 }
 
 impl ModelRegistry {
@@ -127,9 +145,9 @@ impl ModelRegistry {
     ) -> u32 {
         let mut map = self.inner.write().expect("registry poisoned");
         let versions = map.entry(name.to_string()).or_default();
-        let version = versions.last().map(|e| e.model.version).unwrap_or(0) + 1;
+        let version = versions.entries.last().map(|e| e.model.version).unwrap_or(0) + 1;
         let normalization = algo.normalization();
-        versions.push(Arc::new(ModelEntry {
+        versions.entries.push(Arc::new(ModelEntry {
             model: Model { name: name.to_string(), version, algo, normalization, centroids, tiles },
             stats: ServeStats::new(),
             train,
@@ -137,9 +155,11 @@ impl ModelRegistry {
         version
     }
 
-    /// Latest version of `name`.
+    /// The **served** version of `name`: the pinned version if a SWAP /
+    /// ROLLBACK set one, otherwise the latest (so a fresh registration
+    /// atomically flips what this returns).
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
-        self.inner.read().expect("registry poisoned").get(name)?.last().cloned()
+        self.inner.read().expect("registry poisoned").get(name)?.served()
     }
 
     /// A specific version of `name`.
@@ -148,9 +168,50 @@ impl ModelRegistry {
             .read()
             .expect("registry poisoned")
             .get(name)?
+            .entries
             .iter()
             .find(|e| e.model.version == version)
             .cloned()
+    }
+
+    /// Pin (or unpin) the served version of `name`: `Some(v)` holds serving
+    /// at `v`, `None` restores serve-the-latest (auto-flip on training).
+    /// Returns the version now being served.
+    pub fn serve_pin(&self, name: &str, pin: Option<u32>) -> Result<u32, String> {
+        let mut map = self.inner.write().expect("registry poisoned");
+        let versions = map.get_mut(name).ok_or_else(|| format!("unknown model `{name}`"))?;
+        if let Some(v) = pin {
+            if !versions.entries.iter().any(|e| e.model.version == v) {
+                return Err(format!("{name}: no version v{v}"));
+            }
+        }
+        versions.pin = pin;
+        Ok(versions.served().map(|e| e.model.version).unwrap_or(0))
+    }
+
+    /// Roll the served version of `name` back one step (to the version
+    /// registered just before the one currently served) and pin it there.
+    /// Returns the version now being served.
+    pub fn rollback(&self, name: &str) -> Result<u32, String> {
+        let mut map = self.inner.write().expect("registry poisoned");
+        let versions = map.get_mut(name).ok_or_else(|| format!("unknown model `{name}`"))?;
+        let cur = versions.served().ok_or_else(|| format!("{name}: no versions"))?.model.version;
+        let idx = versions
+            .entries
+            .iter()
+            .position(|e| e.model.version == cur)
+            .expect("served version must be registered");
+        if idx == 0 {
+            return Err(format!("{name}: no version earlier than v{cur} to roll back to"));
+        }
+        let prev = versions.entries[idx - 1].model.version;
+        versions.pin = Some(prev);
+        Ok(prev)
+    }
+
+    /// The version of `name` currently served, if any.
+    pub fn served_version(&self, name: &str) -> Option<u32> {
+        self.inner.read().expect("registry poisoned").get(name)?.served().map(|e| e.model.version)
     }
 
     /// `(name, latest version, total queries across versions)` per model,
@@ -160,8 +221,8 @@ impl ModelRegistry {
         let mut out: Vec<(String, u32, u64)> = map
             .iter()
             .map(|(name, vs)| {
-                let latest = vs.last().map(|e| e.model.version).unwrap_or(0);
-                let queries = vs.iter().map(|e| e.stats.queries()).sum();
+                let latest = vs.entries.last().map(|e| e.model.version).unwrap_or(0);
+                let queries = vs.entries.iter().map(|e| e.stats.queries()).sum();
                 (name.clone(), latest, queries)
             })
             .collect();
@@ -243,8 +304,9 @@ impl ModelRegistry {
         };
         let mut map = self.inner.write().expect("registry poisoned");
         let versions = map.entry(name.clone()).or_default();
-        let version = versions.last().map(|e| e.model.version + 1).unwrap_or(version).max(1);
-        versions.push(Arc::new(ModelEntry {
+        let version =
+            versions.entries.last().map(|e| e.model.version + 1).unwrap_or(version).max(1);
+        versions.entries.push(Arc::new(ModelEntry {
             model: Model {
                 name: name.clone(),
                 version,
@@ -259,12 +321,20 @@ impl ModelRegistry {
         Ok((name, version))
     }
 
-    /// The latest version of every model, sorted by name (the metrics
-    /// export walks this).
+    /// The latest version of every model, sorted by name.
     pub fn latest_entries(&self) -> Vec<Arc<ModelEntry>> {
         let map = self.inner.read().expect("registry poisoned");
         let mut out: Vec<Arc<ModelEntry>> =
-            map.values().filter_map(|vs| vs.last().cloned()).collect();
+            map.values().filter_map(|vs| vs.entries.last().cloned()).collect();
+        out.sort_by(|a, b| a.model.name.cmp(&b.model.name));
+        out
+    }
+
+    /// The **served** version of every model, sorted by name (the metrics
+    /// export walks this so dashboards reflect what queries actually hit).
+    pub fn served_entries(&self) -> Vec<Arc<ModelEntry>> {
+        let map = self.inner.read().expect("registry poisoned");
+        let mut out: Vec<Arc<ModelEntry>> = map.values().filter_map(|vs| vs.served()).collect();
         out.sort_by(|a, b| a.model.name.cmp(&b.model.name));
         out
     }
@@ -304,6 +374,41 @@ mod tests {
         let list = r.list();
         assert_eq!(list.len(), 2);
         assert_eq!(list[0], ("m".into(), 2, 0));
+    }
+
+    #[test]
+    fn swap_rollback_and_auto_flip() {
+        let r = ModelRegistry::new();
+        r.register("m", Algorithm::Lloyd, cents(3, 2, 1.0));
+        assert_eq!(r.served_version("m"), Some(1));
+
+        // Unpinned: a fresh registration atomically flips the served version.
+        r.register("m", Algorithm::Lloyd, cents(3, 2, 2.0));
+        assert_eq!(r.served_version("m"), Some(2));
+        assert_eq!(r.get("m").unwrap().model.version, 2);
+
+        // Rollback pins to the previous version; v2 stays queryable.
+        assert_eq!(r.rollback("m"), Ok(1));
+        assert_eq!(r.get("m").unwrap().model.version, 1);
+        assert_eq!(r.get_version("m", 2).unwrap().model.version, 2);
+        assert_eq!(r.served_entries()[0].model.version, 1);
+        assert_eq!(r.latest_entries()[0].model.version, 2);
+
+        // While pinned, new training does NOT flip.
+        r.register("m", Algorithm::Lloyd, cents(3, 2, 3.0));
+        assert_eq!(r.served_version("m"), Some(1));
+        assert_eq!(r.rollback("m"), Err("m: no version earlier than v1 to roll back to".into()));
+
+        // Explicit swap to a version, then unpin back to latest.
+        assert_eq!(r.serve_pin("m", Some(2)), Ok(2));
+        assert_eq!(r.get("m").unwrap().model.version, 2);
+        assert_eq!(r.serve_pin("m", None), Ok(3));
+        assert_eq!(r.get("m").unwrap().model.version, 3);
+
+        assert_eq!(r.serve_pin("m", Some(9)), Err("m: no version v9".into()));
+        assert_eq!(r.serve_pin("nope", None), Err("unknown model `nope`".into()));
+        assert_eq!(r.rollback("nope"), Err("unknown model `nope`".into()));
+        assert_eq!(r.served_version("nope"), None);
     }
 
     #[test]

@@ -12,12 +12,22 @@
 //! METRICS                                       → OK <prometheus text, newline-escaped>
 //! LIST                                          → OK <name>:v<ver>:<queries> …
 //! SAVE <model> <dir>                            → OK saved <metapath>
+//! SWAP <model> <version|latest>                 → OK serving <model> v<V>
+//! ROLLBACK <model>                              → OK serving <model> v<V>
 //! SHUTDOWN                                      → OK bye (server stops accepting)
 //! anything else                                 → ERR <message>
 //! ```
 //!
+//! (`FLUSH <model>` additionally exists on the mux front end, where there
+//! is a coalescer to flush; see `crate::mux`. The full protocol reference
+//! lives in `docs/PROTOCOL.md`.)
+//!
 //! The server spawns one thread per connection; all of them share the
 //! [`ServeHandle`], whose registry/pool/job-runner are already concurrent.
+//! The readiness-driven alternative — one event-loop thread multiplexing
+//! every connection, with request coalescing — is [`crate::mux`]; both
+//! front ends speak this protocol through the same [`dispatch`], so
+//! replies are byte-identical.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -166,23 +176,9 @@ fn try_dispatch(handle: &ServeHandle, line: &str) -> Result<String, String> {
             let m: usize = parse_tok(&mut tokens, "QUERY: m")?;
             let d: usize = parse_tok(&mut tokens, "QUERY: d")?;
             let total = m.checked_mul(d).ok_or("QUERY: m*d overflows")?;
-            // Don't pre-reserve from client-claimed sizes: a bogus header
-            // like `m=10^9` must fail on the missing payload tokens below,
-            // not abort the process in the allocator. Real payload growth
-            // is bounded by bytes actually received on the line.
-            let mut q = Vec::with_capacity(total.min(64 * 1024));
-            for i in 0..total {
-                let tok = tokens.next().ok_or_else(|| format!("QUERY: missing value {i}"))?;
-                q.push(tok.parse::<f64>().map_err(|e| format!("QUERY: value {i}: {e}"))?);
-            }
+            let q = parse_query_values(&mut tokens, total)?;
             let out = handle.predict_rows(&model, &q, d).map_err(|e| e.to_string())?;
-            let mut resp = String::with_capacity(m * 16 + 8);
-            resp.push_str(&m.to_string());
-            for (a, dist) in out.assignments.iter().zip(&out.distances) {
-                resp.push(' ');
-                resp.push_str(&format!("{a}:{dist:?}"));
-            }
-            Ok(resp)
+            Ok(format_predict_reply(&out.assignments, &out.distances))
         }
         "STATS" => {
             let model = tokens.next().ok_or("STATS: missing model")?;
@@ -217,6 +213,21 @@ fn try_dispatch(handle: &ServeHandle, line: &str) -> Result<String, String> {
             let meta = handle.save_model(&model, Path::new(&dir)).map_err(|e| e.to_string())?;
             Ok(format!("saved {}", meta.display()))
         }
+        "SWAP" => {
+            let model = tokens.next().ok_or("SWAP: missing model")?;
+            let vtok = tokens.next().ok_or("SWAP: missing version (number or `latest`)")?;
+            let pin = match vtok {
+                "latest" => None,
+                v => Some(v.parse::<u32>().map_err(|e| format!("SWAP: version: {e}"))?),
+            };
+            let v = handle.registry().serve_pin(model, pin)?;
+            Ok(format!("serving {model} v{v}"))
+        }
+        "ROLLBACK" => {
+            let model = tokens.next().ok_or("ROLLBACK: missing model")?;
+            let v = handle.registry().rollback(model)?;
+            Ok(format!("serving {model} v{v}"))
+        }
         "SHUTDOWN" => Ok("bye".into()),
         other => Err(format!("unknown verb {other:?}")),
     }
@@ -231,6 +242,40 @@ where
 {
     let tok = tokens.next().ok_or_else(|| format!("{what}: missing"))?;
     tok.parse().map_err(|e| format!("{what}: {e}"))
+}
+
+/// Parse exactly `total` float tokens with the QUERY error contract
+/// (`QUERY: missing value <i>` / `QUERY: value <i>: <parse error>`).
+/// Shared by the blocking dispatch above and the mux coalescer, so both
+/// front ends reject malformed payloads with identical messages.
+///
+/// Pre-reservation is capped: a bogus header like `m=10^9` must fail on
+/// the missing payload tokens, not abort the process in the allocator —
+/// real growth is bounded by bytes actually received on the line.
+pub(crate) fn parse_query_values<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    total: usize,
+) -> Result<Vec<f64>, String> {
+    let mut q = Vec::with_capacity(total.min(64 * 1024));
+    for i in 0..total {
+        let tok = tokens.next().ok_or_else(|| format!("QUERY: missing value {i}"))?;
+        q.push(tok.parse::<f64>().map_err(|e| format!("QUERY: value {i}: {e}"))?);
+    }
+    Ok(q)
+}
+
+/// Format a QUERY success payload: `<m> <c>:<dist> …` with `{:?}` floats
+/// (exact `f64` round trip). One definition, used by both front ends, is
+/// what makes mux replies bitwise identical to the blocking path.
+pub(crate) fn format_predict_reply(assignments: &[u32], distances: &[f64]) -> String {
+    let m = assignments.len();
+    let mut resp = String::with_capacity(m * 16 + 8);
+    resp.push_str(&m.to_string());
+    for (a, dist) in assignments.iter().zip(distances) {
+        resp.push(' ');
+        resp.push_str(&format!("{a}:{dist:?}"));
+    }
+    resp
 }
 
 /// A CLI-side client for the protocol above.
@@ -378,6 +423,28 @@ impl Client {
     pub fn save(&mut self, model: &str, dir: &Path) -> io::Result<String> {
         Self::check_name(model)?;
         self.round_trip(&format!("SAVE {model} {}", dir.display()))
+    }
+
+    /// Pin the served version of a model (`None` = back to latest, i.e.
+    /// auto-flip on training). Returns the server's `serving …` line.
+    pub fn swap(&mut self, model: &str, version: Option<u32>) -> io::Result<String> {
+        Self::check_name(model)?;
+        let vtok = version.map_or("latest".to_string(), |v| v.to_string());
+        self.round_trip(&format!("SWAP {model} {vtok}"))
+    }
+
+    /// Roll the served version back one step (and pin it there).
+    pub fn rollback(&mut self, model: &str) -> io::Result<String> {
+        Self::check_name(model)?;
+        self.round_trip(&format!("ROLLBACK {model}"))
+    }
+
+    /// Force the mux coalescer to flush a model's pending queries now
+    /// (mux front end only; the blocking server has nothing to flush and
+    /// answers ERR).
+    pub fn flush(&mut self, model: &str) -> io::Result<String> {
+        Self::check_name(model)?;
+        self.round_trip(&format!("FLUSH {model}"))
     }
 
     /// Stop the server.

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Doc-drift gate: every flag `knor --help` advertises (all subcommands
+# share one usage text) must appear in the README's flag reference.
+#
+#   scripts/check_doc_drift.sh <knor-binary> <README.md>
+#
+# Exits 1 listing each missing flag. The same extraction runs as a Rust
+# test (tests/cli.rs::help_flags_are_documented_in_readme), so CI catches
+# drift on every leg even without this script.
+set -euo pipefail
+
+bin=${1:?usage: check_doc_drift.sh <knor-binary> <readme>}
+readme=${2:?usage: check_doc_drift.sh <knor-binary> <readme>}
+
+help_text=$("$bin" --help)
+
+# Tokenize on whitespace and the usage metacharacters []|, keep tokens
+# that look like flags: --long-flag or a single-letter short flag.
+flags=$(printf '%s\n' "$help_text" | tr '[]|' '   ' | tr -s ' ' '\n' \
+  | grep -E '^(--[a-z][a-z0-9-]*|-[a-zA-Z])$' | sort -u)
+
+if [ -z "$flags" ]; then
+  echo "check_doc_drift: extracted no flags from '$bin --help' — extraction broken?" >&2
+  exit 1
+fi
+
+missing=0
+for f in $flags; do
+  if ! grep -qF -- "$f" "$readme"; then
+    echo "doc drift: flag '$f' from 'knor --help' is missing from $readme" >&2
+    missing=1
+  fi
+done
+
+count=$(printf '%s\n' "$flags" | wc -l)
+if [ "$missing" -ne 0 ]; then
+  echo "check_doc_drift: FAILED ($count flags checked)" >&2
+  exit 1
+fi
+echo "check_doc_drift: OK ($count flags all documented in $readme)"

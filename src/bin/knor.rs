@@ -13,16 +13,21 @@
 //! knor dist <file.knor> -k 10 [--ranks R] [--star] [--plane im|sem] [--stats] [--trace out.json]
 //! knor gen  <file.knor> --dataset friendster8|friendster32|rm856m|rm1b|ru2b --scale f
 //!
-//! knor serve --addr H:P [-t N]                      run a serving instance
+//! knor serve --addr H:P [-t N] [--mux] [--coalesce-rows R]           run a serving instance
+//!            [--coalesce-deadline-us U] [--pending-budget R]
 //! knor train --addr H:P --model M --file F -k 10    submit a train job
 //!            [--engine im|sem|dist|dist-sem] [--algo ...] [-i N] [--seed S] [--wait]
 //! knor query --addr H:P --model M --file Q.knor     stream queries, print stats
 //!            [--limit N] [--batch B]
-//! knor ctl   --addr H:P list|stats M|metrics|save M DIR|shutdown
+//! knor ctl   --addr H:P list|stats M|metrics|save M DIR|swap M V|rollback M|flush M|shutdown
 //! ```
+//!
+//! The full line protocol behind serve/train/query/ctl is documented in
+//! `docs/PROTOCOL.md`.
 
 use knor::prelude::*;
 use knor::serve::tcp::{Client, TcpServer};
+use knor::serve::{MuxConfig, MuxServer};
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
@@ -64,28 +69,47 @@ struct Opts {
     engine: String,
     wait: bool,
     limit: usize,
+    /// Serve with the readiness-driven multiplexed front end (`--mux`).
+    mux: bool,
+    /// Mux coalescer target kernel-batch size in rows.
+    coalesce_rows: usize,
+    /// Mux coalescer flush deadline in microseconds.
+    coalesce_deadline_us: u64,
+    /// Mux admission budget: pending rows per model before BUSY.
+    pending_budget: usize,
     /// Positional words after the mode (the `ctl` subcommand).
     rest: Vec<String>,
 }
 
+/// The one usage text. `--help` prints it to stdout (exit 0); a flag
+/// mistake prints it to stderr (exit 2). Every flag the parser accepts
+/// must appear here — `scripts/check_doc_drift.sh` and the CLI tests
+/// diff this text against the README flag table.
+const HELP: &str =
+    "usage: knor <im|sem|dist|gen> <file.knor> [-k K] [-i|--iters ITERS] [-t|--threads THREADS]
+           [--no-prune] [--init pp|forgy|random] [--seed S]
+           [--algo lloyd|spherical|fuzzy|minibatch]
+           [--fuzz M] [--batch B]
+           [--kernel auto|scalar|tiled|fma|norm|gemm] [--tune on|off|cache]
+           [--replication off|auto|on]
+           [--stats] [--trace out.json]
+           [--row-cache MB] [--page-cache MB]              (sem)
+           [--ranks R] [--star] [--plane im|sem]           (dist)
+           [--dataset NAME] [--scale F]                    (gen)
+       knor serve --addr H:P [-t|--threads THREADS] [--mux]
+           [--coalesce-rows R] [--coalesce-deadline-us U] [--pending-budget ROWS]
+       knor train --addr H:P --model M --file F.knor [-k K] [-i N]
+           [--engine im|sem|dist|dist-sem] [--algo A] [--seed S] [--wait]
+       knor query --addr H:P --model M --file Q.knor [--limit N] [--batch B]
+       knor ctl --addr H:P <list | stats MODEL | metrics | save MODEL DIR
+           | swap MODEL VERSION|latest | rollback MODEL | flush MODEL | shutdown>
+       knor --help | -h | help                             print this text
+
+The serve line protocol (verbs, framing, error replies) is documented in
+docs/PROTOCOL.md; the README has a per-flag reference table.";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: knor <im|sem|dist|gen> <file.knor> [-k K] [-i ITERS] [-t THREADS]\n\
-         \x20          [--no-prune] [--init pp|forgy|random] [--seed S]\n\
-         \x20          [--algo lloyd|spherical|fuzzy|minibatch]\n\
-         \x20          [--fuzz M] [--batch B]\n\
-         \x20          [--kernel auto|scalar|tiled|fma|norm|gemm] [--tune on|off|cache]\n\
-         \x20          [--replication off|auto|on]\n\
-         \x20          [--stats] [--trace out.json]\n\
-         \x20          [--row-cache MB] [--page-cache MB]              (sem)\n\
-         \x20          [--ranks R] [--star] [--plane im|sem]           (dist)\n\
-         \x20          [--dataset NAME] [--scale F]                    (gen)\n\
-         \x20      knor serve --addr H:P [-t THREADS]\n\
-         \x20      knor train --addr H:P --model M --file F.knor [-k K] [-i N]\n\
-         \x20          [--engine im|sem|dist|dist-sem] [--algo A] [--seed S] [--wait]\n\
-         \x20      knor query --addr H:P --model M --file Q.knor [--limit N] [--batch B]\n\
-         \x20      knor ctl --addr H:P <list | stats MODEL | metrics | save MODEL DIR | shutdown>"
-    );
+    eprintln!("{HELP}");
     exit(2)
 }
 
@@ -124,6 +148,10 @@ fn parse(args: &[String]) -> (String, Opts) {
     if args.is_empty() {
         usage();
     }
+    if args.iter().any(|a| a == "--help" || a == "-h") || args[0] == "help" {
+        println!("{HELP}");
+        exit(0)
+    }
     let mode = args[0].clone();
     // The training/generation modes take a positional file; the serving
     // modes are flag-driven (ctl keeps trailing words as its subcommand).
@@ -160,6 +188,10 @@ fn parse(args: &[String]) -> (String, Opts) {
         engine: "im".into(),
         wait: false,
         limit: 0,
+        mux: false,
+        coalesce_rows: 1024,
+        coalesce_deadline_us: 2_000,
+        pending_budget: 64 * 1024,
         rest: Vec::new(),
     };
     let mut i = if positional_file { 2 } else { 1 };
@@ -221,6 +253,12 @@ fn parse(args: &[String]) -> (String, Opts) {
             "--file" => o.file = PathBuf::from(val(&mut i)),
             "--wait" => o.wait = true,
             "--limit" => o.limit = num("--limit", &val(&mut i)),
+            "--mux" => o.mux = true,
+            "--coalesce-rows" => o.coalesce_rows = pos("--coalesce-rows", &val(&mut i)),
+            "--coalesce-deadline-us" => {
+                o.coalesce_deadline_us = num("--coalesce-deadline-us", &val(&mut i))
+            }
+            "--pending-budget" => o.pending_budget = pos("--pending-budget", &val(&mut i)),
             // Only `ctl` takes trailing positional words (its subcommand);
             // anywhere else a stray word is a mistake, not ignorable.
             word if !word.starts_with('-') && mode == "ctl" => o.rest.push(word.to_string()),
@@ -521,9 +559,19 @@ fn main() {
                 cfg = cfg.with_threads(t);
             }
             let handle = ServeHandle::start(cfg);
-            let server = TcpServer::bind(handle, &*o.addr).expect("bind failed");
-            println!("knor-serve listening on {}", server.addr());
-            server.join();
+            if o.mux {
+                let mcfg = MuxConfig::default()
+                    .with_batch_rows(o.coalesce_rows)
+                    .with_max_delay_us(o.coalesce_deadline_us)
+                    .with_pending_budget(o.pending_budget);
+                let server = MuxServer::bind(handle, &*o.addr, mcfg).expect("bind failed");
+                println!("knor-serve (mux) listening on {}", server.addr());
+                server.join();
+            } else {
+                let server = TcpServer::bind(handle, &*o.addr).expect("bind failed");
+                println!("knor-serve listening on {}", server.addr());
+                server.join();
+            }
             println!("knor-serve stopped");
         }
         "train" => {
@@ -600,10 +648,18 @@ fn main() {
                 ("stats", Some(model), None) => c.stats(model),
                 ("metrics", None, None) => c.metrics(),
                 ("save", Some(model), Some(dir)) => c.save(model, std::path::Path::new(dir)),
+                ("swap", Some(model), Some(ver)) => {
+                    let pin =
+                        if ver == "latest" { None } else { Some(num::<u32>("swap VERSION", ver)) };
+                    c.swap(model, pin)
+                }
+                ("rollback", Some(model), None) => c.rollback(model),
+                ("flush", Some(model), None) => c.flush(model),
                 ("shutdown", None, None) => c.shutdown().map(|()| "bye".to_string()),
                 _ => {
                     eprintln!(
-                        "ctl expects: list | stats MODEL | metrics | save MODEL DIR | shutdown"
+                        "ctl expects: list | stats MODEL | metrics | save MODEL DIR | \
+                         swap MODEL VERSION|latest | rollback MODEL | flush MODEL | shutdown"
                     );
                     usage()
                 }

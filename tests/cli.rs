@@ -15,6 +15,58 @@ fn tmp(name: &str) -> std::path::PathBuf {
 }
 
 #[test]
+fn help_exits_zero_and_bad_flags_exit_two() {
+    for args in [vec!["--help"], vec!["-h"], vec!["help"], vec!["im", "x.knor", "--help"]] {
+        let out = knor().args(&args).output().expect("spawn knor");
+        assert_eq!(out.status.code(), Some(0), "{args:?} must exit 0");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.starts_with("usage: knor"), "{args:?} → {text:?}");
+    }
+    // No arguments, or an unknown flag, is still a usage error on stderr.
+    for args in [vec![], vec!["im", "x.knor", "--no-such-flag"]] {
+        let out = knor().args(&args).output().expect("spawn knor");
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        assert!(String::from_utf8_lossy(&out.stderr).starts_with("usage: knor"));
+    }
+}
+
+/// Extract every flag token (`--long` or single-letter `-x`) from a usage
+/// text — the same tokenization `scripts/check_doc_drift.sh` uses.
+fn extract_flags(help: &str) -> Vec<String> {
+    let mut flags: Vec<String> = help
+        .split(|c: char| c.is_whitespace() || matches!(c, '[' | ']' | '|'))
+        .filter(|t| {
+            let long = t.starts_with("--")
+                && t.len() > 2
+                && t[2..].chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+            let short = t.len() == 2
+                && t.starts_with('-')
+                && t[1..].chars().all(|c| c.is_ascii_alphabetic());
+            long || short
+        })
+        .map(str::to_string)
+        .collect();
+    flags.sort();
+    flags.dedup();
+    flags
+}
+
+/// The doc-drift gate as a test: every flag `knor --help` advertises must
+/// appear in the README (which keeps a per-flag reference table).
+#[test]
+fn help_flags_are_documented_in_readme() {
+    let out = knor().arg("--help").output().expect("spawn knor");
+    assert!(out.status.success());
+    let help = String::from_utf8_lossy(&out.stdout).into_owned();
+    let flags = extract_flags(&help);
+    assert!(flags.len() >= 30, "flag extraction broke: only {flags:?}");
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("read README.md");
+    let missing: Vec<&String> = flags.iter().filter(|f| !readme.contains(f.as_str())).collect();
+    assert!(missing.is_empty(), "flags in `knor --help` but not in README.md: {missing:?}");
+}
+
+#[test]
 fn degenerate_numeric_flags_are_rejected_before_any_io() {
     // None of these files exist; every rejection must fire at parse time.
     for args in [

@@ -1,0 +1,349 @@
+//! Multiplexed front-end integration tests: wire-level parity with the
+//! blocking server, slow-client isolation, BUSY admission control, and
+//! hot model swap with in-flight queries (ISSUE 9 acceptance).
+
+use knor::mpi::LineConn;
+use knor::prelude::*;
+use knor::serve::tcp::{Client, TcpServer};
+use knor::serve::{predict_serial, MuxConfig, MuxServer};
+use knor_core::Algorithm;
+
+fn handle() -> ServeHandle {
+    ServeHandle::start(ServeConfig::default().with_threads(2))
+}
+
+/// Deterministic centroids/queries that exercise kernel remainders
+/// (d not a multiple of the lane width) without proptest machinery.
+fn centroids(k: usize, d: usize, salt: u64) -> DMatrix {
+    let vals: Vec<f64> =
+        (0..k * d).map(|i| ((i as u64 * 2654435761 + salt) % 97) as f64 - 48.0).collect();
+    DMatrix::from_vec(vals, k, d)
+}
+
+fn queries(m: usize, d: usize, salt: u64) -> Vec<f64> {
+    (0..m * d).map(|i| ((i as u64 * 40503 + salt) % 101) as f64 * 0.5 - 25.0).collect()
+}
+
+fn query_line(model: &str, q: &[f64], d: usize) -> String {
+    let mut line = format!("QUERY {model} {} {d}", q.len() / d);
+    for x in q {
+        line.push(' ');
+        line.push_str(&format!("{x:?}"));
+    }
+    line
+}
+
+/// The acceptance bar: for every algorithm (whose normalization changes
+/// the kernel) across shapes that resolve to different kernels, the mux
+/// reply line is **byte-identical** to the blocking server's for the
+/// same request — and both match the serial reference bit for bit.
+#[test]
+fn mux_replies_byte_identical_to_blocking_front_end() {
+    let h = handle();
+    let algos = [
+        Algorithm::Lloyd,
+        Algorithm::Spherical,
+        Algorithm::Fuzzy { m: 2.0 },
+        Algorithm::MiniBatch { batch: 8 },
+    ];
+    // (k, d) pairs that resolve Auto to different kernels (tiny scalar
+    // shapes up through GEMM-eligible ones).
+    let shapes = [(2usize, 3usize), (8, 4), (16, 9), (24, 16)];
+    let mut names = Vec::new();
+    for algo in &algos {
+        for &(k, d) in &shapes {
+            let name = format!("{}-{k}x{d}", algo.name());
+            h.register_model(&name, algo.clone(), centroids(k, d, k as u64 * 31 + d as u64));
+            names.push((name, k, d));
+        }
+    }
+
+    let blocking = TcpServer::bind(h.clone(), "127.0.0.1:0").expect("bind blocking");
+    let mux =
+        MuxServer::bind(h.clone(), "127.0.0.1:0", MuxConfig::default().with_max_delay_us(500))
+            .expect("bind mux");
+    let mut cb = LineConn::connect(blocking.addr()).unwrap();
+    let mut cm = LineConn::connect(mux.addr()).unwrap();
+
+    for (name, _k, d) in &names {
+        for m in [1usize, 7, 33] {
+            let q = queries(m, *d, *d as u64 + m as u64);
+            let line = query_line(name, &q, *d);
+            cb.send_line(&line).unwrap();
+            cm.send_line(&line).unwrap();
+            let rb = cb.recv_line().unwrap().expect("blocking reply");
+            let rm = cm.recv_line().unwrap().expect("mux reply");
+            assert_eq!(rb, rm, "front ends disagree for {name} m={m}");
+            let entry = h.registry().get(name).unwrap();
+            let reference = predict_serial(&entry.model, &q, *d);
+            let mut expect = format!("OK {m}");
+            for (a, dist) in reference.assignments.iter().zip(&reference.distances) {
+                expect.push_str(&format!(" {a}:{dist:?}"));
+            }
+            assert_eq!(rm, expect, "serial reference mismatch for {name} m={m}");
+        }
+    }
+
+    // Error replies agree byte-for-byte too.
+    for line in
+        ["QUERY ghost 1 2 0.0 0.0", "QUERY lloyd-2x3 1 9 0 0 0 0 0 0 0 0 0", "NONSENSE verb"]
+    {
+        cb.send_line(line).unwrap();
+        cm.send_line(line).unwrap();
+        let rb = cb.recv_line().unwrap().unwrap();
+        let rm = cm.recv_line().unwrap().unwrap();
+        assert!(rb.starts_with("ERR "), "{rb}");
+        assert_eq!(rb, rm, "error replies disagree for {line:?}");
+    }
+
+    // Zero-row queries answer inline on both.
+    let line = "QUERY lloyd-2x3 0 3";
+    cb.send_line(line).unwrap();
+    cm.send_line(line).unwrap();
+    assert_eq!(cb.recv_line().unwrap().unwrap(), "OK 0");
+    assert_eq!(cm.recv_line().unwrap().unwrap(), "OK 0");
+
+    let mut ctl = Client::connect(mux.addr()).unwrap();
+    ctl.shutdown().unwrap();
+    mux.join();
+    blocking.stop();
+}
+
+/// A client that stops reading its replies must not stall anyone else:
+/// the loop drops its read interest once the write buffer passes the cap,
+/// while a second connection keeps round-tripping. Once the slow client
+/// starts reading again it receives every reply, in order.
+#[test]
+fn slow_client_does_not_stall_other_connections() {
+    let h = handle();
+    h.register_model("m", Algorithm::Lloyd, centroids(4, 2, 7));
+    let cfg = MuxConfig::default().with_max_delay_us(500).with_write_buf_cap(256);
+    let mux = MuxServer::bind(h.clone(), "127.0.0.1:0", cfg).expect("bind mux");
+
+    // The slow client floods queries and reads nothing yet. Distinct
+    // payloads so reply order is checkable.
+    let mut slow = LineConn::connect(mux.addr()).unwrap();
+    let rounds = 200usize;
+    for i in 0..rounds {
+        let q = [i as f64 * 0.25, -(i as f64)];
+        slow.send_line(&query_line("m", &q, 2)).unwrap();
+    }
+
+    // Meanwhile a well-behaved client round-trips without delay.
+    let mut fast = Client::connect(mux.addr()).unwrap();
+    for i in 0..20 {
+        let q = [i as f64, i as f64];
+        let out = fast.query_block("m", &q, 2).expect("fast client stalled");
+        assert_eq!(out.len(), 1);
+    }
+
+    // Now the slow client drains: every reply arrives, in request order.
+    let entry = h.registry().get("m").unwrap();
+    for i in 0..rounds {
+        let q = [i as f64 * 0.25, -(i as f64)];
+        let reference = predict_serial(&entry.model, &q, 2);
+        let got = slow.recv_line().unwrap().expect("slow reply");
+        let expect = format!("OK 1 {}:{:?}", reference.assignments[0], reference.distances[0]);
+        assert_eq!(got, expect, "slow reply {i} out of order or wrong");
+    }
+    mux.stop();
+}
+
+/// Admission control: once a model's pending-row budget is full, further
+/// QUERYs answer `ERR BUSY …` immediately instead of queueing, and the
+/// rejection is counted. FLUSH releases the backlog.
+#[test]
+fn busy_rejection_when_pending_budget_saturated() {
+    let h = handle();
+    h.register_model("m", Algorithm::Lloyd, centroids(2, 2, 1));
+    // Huge deadline + huge batch target: admitted queries just pend.
+    let cfg = MuxConfig::default()
+        .with_max_delay_us(60_000_000)
+        .with_batch_rows(1 << 20)
+        .with_pending_budget(4);
+    let mux = MuxServer::bind(h.clone(), "127.0.0.1:0", cfg).expect("bind mux");
+
+    let mut filler = LineConn::connect(mux.addr()).unwrap();
+    filler.send_line(&query_line("m", &queries(4, 2, 3), 2)).unwrap();
+
+    // The budget (4 rows) is now exactly full; wait until the event loop
+    // has admitted the filler, then a 1-row query must bounce.
+    let entry = h.registry().get("m").unwrap();
+    for _ in 0..500 {
+        if entry.stats.pending_rows() == 4 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert_eq!(entry.stats.pending_rows(), 4, "filler never admitted");
+
+    let mut probe = Client::connect(mux.addr()).unwrap();
+    let err = probe.query_block("m", &[0.0, 0.0], 2).expect_err("must be BUSY");
+    assert_eq!(err.to_string(), "ERR BUSY model=m pending=4 budget=4");
+
+    // FLUSH forces the pending batch through; the filler gets its reply
+    // and the budget frees up.
+    assert_eq!(probe.flush("m").unwrap(), "flushed m");
+    let reply = filler.recv_line().unwrap().expect("filler reply");
+    assert!(reply.starts_with("OK 4 "), "{reply}");
+    for _ in 0..500 {
+        if entry.stats.pending_rows() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert_eq!(entry.stats.pending_rows(), 0, "budget must free after flush");
+    // A fresh query is admitted again (released by another FLUSH, since
+    // this config's deadline/size triggers are effectively infinite).
+    filler.send_line(&query_line("m", &queries(1, 2, 8), 2)).unwrap();
+    for _ in 0..500 {
+        if entry.stats.pending_rows() == 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert_eq!(entry.stats.pending_rows(), 1, "budget must admit again after flush");
+    probe.flush("m").unwrap();
+    let reply = filler.recv_line().unwrap().expect("post-flush reply");
+    assert!(reply.starts_with("OK 1 "), "{reply}");
+    assert_eq!(entry.stats.busy_rejections(), 1);
+    let stats = probe.stats("m").unwrap();
+    assert!(stats.contains("busy=1"), "{stats}");
+    mux.stop();
+}
+
+/// Hot swap with traffic in flight: a query admitted against v1 answers
+/// with v1 centroids even after v2 is registered mid-flight; new queries
+/// hit v2; ROLLBACK pins v1 again; SWAP selects explicit versions.
+#[test]
+fn hot_swap_in_flight_queries_and_rollback() {
+    let h = handle();
+    let c1 = centroids(2, 2, 11);
+    h.register_model("m", Algorithm::Lloyd, c1);
+    let cfg = MuxConfig::default().with_max_delay_us(60_000_000).with_batch_rows(1 << 20);
+    let mux = MuxServer::bind(h.clone(), "127.0.0.1:0", cfg).expect("bind mux");
+
+    let v1 = h.registry().get("m").unwrap();
+    let q = queries(3, 2, 9);
+    let v1_ref = predict_serial(&v1.model, &q, 2);
+
+    // Admit against v1; the huge deadline keeps it pending.
+    let mut pinned = LineConn::connect(mux.addr()).unwrap();
+    pinned.send_line(&query_line("m", &q, 2)).unwrap();
+    for _ in 0..500 {
+        if v1.stats.pending_rows() == 3 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert_eq!(v1.stats.pending_rows(), 3, "query never admitted");
+
+    // v2 flips the served version while the v1 query is still queued.
+    // Offset centroids guarantee different distances for the same rows.
+    let mut c2v = v1.model.centroids.means.as_slice().to_vec();
+    for x in &mut c2v {
+        *x += 1000.0;
+    }
+    assert_eq!(h.register_model("m", Algorithm::Lloyd, DMatrix::from_vec(c2v, 2, 2)), 2);
+    let v2 = h.registry().get("m").unwrap();
+    assert_eq!(v2.model.version, 2);
+    let v2_ref = predict_serial(&v2.model, &q, 2);
+
+    // Drain: the in-flight query must answer against v1, not v2.
+    let mut ctl = Client::connect(mux.addr()).unwrap();
+    ctl.flush("m").unwrap();
+    let reply = pinned.recv_line().unwrap().expect("pinned reply");
+    let render = |r: &knor::serve::Prediction| {
+        let mut s = "OK 3".to_string();
+        for (a, dist) in r.assignments.iter().zip(&r.distances) {
+            s.push_str(&format!(" {a}:{dist:?}"));
+        }
+        s
+    };
+    assert_eq!(reply, render(&v1_ref), "in-flight query must complete on v1");
+    assert_ne!(reply, render(&v2_ref), "centroid offset failed to change distances");
+
+    // Fresh queries route to v2 (small-deadline round trip via FLUSH).
+    let round_trip = |conn: &mut LineConn, ctl: &mut Client| {
+        conn.send_line(&query_line("m", &q, 2)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ctl.flush("m").unwrap();
+        conn.recv_line().unwrap().expect("reply")
+    };
+    assert_eq!(round_trip(&mut pinned, &mut ctl), render(&v2_ref), "new query must hit v2");
+
+    // ROLLBACK pins v1; SWAP selects versions explicitly.
+    assert_eq!(ctl.rollback("m").unwrap(), "serving m v1");
+    assert_eq!(round_trip(&mut pinned, &mut ctl), render(&v1_ref), "rollback must restore v1");
+    assert_eq!(ctl.swap("m", Some(2)).unwrap(), "serving m v2");
+    assert_eq!(round_trip(&mut pinned, &mut ctl), render(&v2_ref));
+    assert_eq!(ctl.swap("m", None).unwrap(), "serving m v2");
+    assert!(ctl.swap("m", Some(9)).is_err(), "pinning a missing version must fail");
+    assert!(ctl.swap("ghost", Some(1)).is_err());
+    mux.stop();
+}
+
+/// Many concurrent small clients coalesce into large kernel batches: 16
+/// round-tripping clients sending 4-row queries must average well above
+/// their own batch size per kernel call.
+#[test]
+fn concurrent_small_clients_coalesce_into_large_batches() {
+    let h = handle();
+    h.register_model("m", Algorithm::Lloyd, centroids(8, 4, 5));
+    let cfg = MuxConfig::default().with_max_delay_us(20_000);
+    let mux = MuxServer::bind(h.clone(), "127.0.0.1:0", cfg).expect("bind mux");
+    let addr = mux.addr();
+
+    let clients = 16usize;
+    let rounds = 4usize;
+    std::thread::scope(|s| {
+        for t in 0..clients {
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for r in 0..rounds {
+                    let q = queries(4, 4, (t * 31 + r) as u64);
+                    let out = c.query_block("m", &q, 4).expect("query");
+                    assert_eq!(out.len(), 4);
+                }
+            });
+        }
+    });
+
+    let entry = h.registry().get("m").unwrap();
+    let snap = entry.stats.snapshot();
+    assert_eq!(snap.queries, (clients * rounds * 4) as u64);
+    assert!(
+        snap.coalesced_mean >= 8.0,
+        "coalesced mean {:.1} rows over {} batches — expected >= 2 requests per kernel call",
+        snap.coalesced_mean,
+        snap.coalesced_batches
+    );
+    assert_eq!(snap.pending, 0);
+    mux.stop();
+}
+
+/// Pipelined requests on one connection answer strictly in request order
+/// even when a cheap inline verb (LIST) finishes before a pending QUERY.
+#[test]
+fn pipelined_replies_stay_in_request_order() {
+    let h = handle();
+    h.register_model("m", Algorithm::Lloyd, centroids(2, 2, 2));
+    let cfg = MuxConfig::default().with_max_delay_us(60_000_000).with_batch_rows(1 << 20);
+    let mux = MuxServer::bind(h.clone(), "127.0.0.1:0", cfg).expect("bind mux");
+
+    let mut conn = LineConn::connect(mux.addr()).unwrap();
+    conn.send_line(&query_line("m", &[1.0, 1.0], 2)).unwrap();
+    conn.send_line("LIST").unwrap();
+
+    // Give the loop time to finish LIST while the QUERY still pends, then
+    // release the QUERY from another connection.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let mut ctl = Client::connect(mux.addr()).unwrap();
+    ctl.flush("m").unwrap();
+
+    let first = conn.recv_line().unwrap().expect("first reply");
+    let second = conn.recv_line().unwrap().expect("second reply");
+    assert!(first.starts_with("OK 1 "), "QUERY must answer first: {first}");
+    assert!(second.starts_with("OK ") && second.contains("m:v1"), "LIST second: {second}");
+    mux.stop();
+}
