@@ -1,10 +1,17 @@
-//! Yinyang k-means (Ding et al., ICML'15) — the `O(nt)` group-bound
-//! competitor discussed in Related Work.
+//! Serial Yinyang k-means (Ding et al., ICML'15) — the parity mirror for
+//! the parallel group-bound path the engines run as
+//! [`knor_core::Pruning::Yinyang`].
 //!
 //! Centroids are clustered into `t = max(1, k/10)` groups once at start;
 //! each point keeps one lower bound per *group* plus a global upper bound.
 //! Memory sits between Lloyd's and full Elkan — exactly the trade-off the
 //! paper positions MTI against.
+//!
+//! This single-threaded version is kept as the readable statement of the
+//! algorithm and as the cross-check that the driver's parallel,
+//! delta-accumulated implementation lands on the same clustering (see
+//! `baseline_mirrors_driver_yinyang_path`). The engines are the
+//! production path; prefer them for anything but reference runs.
 
 use knor_core::centroids::{finalize_means, Centroids, LocalAccum};
 use knor_core::distance::{dist, nearest};
@@ -154,9 +161,14 @@ pub fn yinyang_kmeans(data: &DMatrix, init: &DMatrix, max_iters: usize) -> Yinya
                     counters.dist_computations += 1;
                     if dc < u {
                         // Old assignment's distance becomes a bound for
-                        // its group.
+                        // its group: folded into this scan's minimum if it
+                        // lives here, min-written into its slot otherwise.
                         let old_g = group_of[a];
-                        if u < lower[i * t + old_g] {
+                        if old_g == g {
+                            if u < new_group_lower {
+                                new_group_lower = u;
+                            }
+                        } else if u < lower[i * t + old_g] {
                             lower[i * t + old_g] = u;
                         }
                         a = c;
@@ -165,9 +177,11 @@ pub fn yinyang_kmeans(data: &DMatrix, init: &DMatrix, max_iters: usize) -> Yinya
                         new_group_lower = dc;
                     }
                 }
-                if new_group_lower < lower[i * t + g] {
-                    lower[i * t + g] = new_group_lower;
-                }
+                // A scanned group's bound is exact afterwards — overwrite
+                // the slot so a stale loosened bound cannot pin the group
+                // below its true distance forever (which would force a
+                // re-scan every later iteration).
+                lower[i * t + g] = new_group_lower;
             }
             if assignments[i] != a as u32 {
                 assignments[i] = a as u32;
@@ -225,6 +239,34 @@ mod tests {
         let y_sse = sse(&data, &y.centroids, &y.assignments);
         let rel = (y_sse - reference.sse.unwrap()).abs() / reference.sse.unwrap();
         assert!(rel < 0.05, "Yinyang quality diverged: {rel}");
+    }
+
+    #[test]
+    fn baseline_mirrors_driver_yinyang_path() {
+        // Well-separated grid clusters with one init centroid in each
+        // (row i belongs to cluster i % k): the serial mirror and the
+        // parallel engine walk exact-bound trajectories, so on separated
+        // data they must land on the same clustering.
+        let (data, init) = knor_workloads::grid_clusters(1200, 6, 20);
+        let k = 20;
+        let y = yinyang_kmeans(&data, &init, 60);
+        let engine = knor_core::Kmeans::new(
+            knor_core::KmeansConfig::new(k)
+                .with_init(InitMethod::Given(init))
+                .with_pruning(knor_core::Pruning::Yinyang)
+                .with_threads(2)
+                .with_max_iters(60)
+                .with_sse(true),
+        )
+        .fit(&data);
+        assert_eq!(y.assignments, engine.assignments);
+        let y_sse = sse(&data, &y.centroids, &y.assignments);
+        let rel = (y_sse - engine.sse.unwrap()).abs() / engine.sse.unwrap();
+        assert!(rel < 1e-9, "mirror and engine SSE diverged: {rel}");
+        // Both pruned: the mirror and the engine each did well under the
+        // unpruned n·k work per steady iteration.
+        assert!(y.prune.clause1_rows > 0);
+        assert!(engine.total_prune().clause1_rows > 0);
     }
 
     #[test]

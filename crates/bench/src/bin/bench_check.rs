@@ -12,6 +12,11 @@
 //! baseline file: the blocked-GEMM path must hold ≥ 1.5× rows/s over PR 2's
 //! committed tiled *and* norm-trick headline numbers (k = 64, d = 32).
 //!
+//! PR 10 adds `prune.yinyang` plus hard bars against a same-build MTI run
+//! (see [`prune_gate`]): Yinyang's steady-state distance evaluations must
+//! stay at or below 0.5× MTI's and its steady iterations/s at or above
+//! MTI's, on the separated-grid workload at the headline (k, d).
+//!
 //! ```text
 //! bench_check                      gate against results/BENCH_BASELINE.json
 //! bench_check --write-baseline     refresh the committed baseline
@@ -108,6 +113,68 @@ fn gemm_headline_gate(out: &mut Vec<Metric>) {
             "GEMM SPEEDUP GATE FAILED: {:.0} rows/s is {:.2}x PR2 tiled / {:.2}x PR2 norm; \
              the floor is {GEMM_SPEEDUP_FLOOR}x for both",
             gemm_rate, vs_tiled, vs_norm
+        );
+        std::process::exit(1);
+    }
+}
+
+/// PR 10 acceptance bars for Yinyang group-bound pruning, measured on the
+/// grid workload at the headline (k, d): steady-state distance
+/// evaluations at most this fraction of MTI's, and steady iterations/s at
+/// least this fraction of MTI's. Both runs walk the identical trajectory
+/// (exact bounds), which the gate also asserts.
+const YY_DIST_CEILING: f64 = 0.5;
+const YY_SPEED_FLOOR: f64 = 1.0;
+
+/// Measure MTI vs Yinyang on the separated-grid workload (CI-friendly n;
+/// the per-row pruning behavior is n-invariant) over the steady window —
+/// the second half of the iterations, past the reassignment cascade.
+/// Records `prune.yinyang` (steady iterations/s) and enforces
+/// [`YY_DIST_CEILING`] / [`YY_SPEED_FLOOR`] against the MTI run.
+fn prune_gate(out: &mut Vec<Metric>) {
+    let (n, k, d) = (20_000, 64, 32);
+    let (data, _) = knor_workloads::grid_clusters(n, d, k);
+    let init = InitMethod::Forgy.initialize(&data, k, 7).to_matrix();
+    let steady = |r: &knor_core::KmeansResult| {
+        let w = &r.iters[r.iters.len() / 2..];
+        let ns = w.iter().map(|i| i.wall_ns as f64).sum::<f64>() / w.len() as f64;
+        let dists =
+            w.iter().map(|i| i.prune.dist_computations as f64).sum::<f64>() / w.len() as f64;
+        (ns, dists)
+    };
+    let run = |scheme: Pruning| {
+        let cfg = KmeansConfig::new(k)
+            .with_init(InitMethod::Given(init.clone()))
+            .with_threads(4)
+            .with_pruning(scheme)
+            .with_sse(false)
+            .with_max_iters(60);
+        let a = Kmeans::new(cfg.clone()).fit(&data);
+        let b = Kmeans::new(cfg).fit(&data);
+        if steady(&a).0 <= steady(&b).0 {
+            a
+        } else {
+            b
+        }
+    };
+    let mti = run(Pruning::Mti);
+    let yy = run(Pruning::Yinyang);
+    assert_eq!(yy.niters, mti.niters, "yinyang/mti trajectories diverged");
+    assert_eq!(yy.assignments, mti.assignments, "yinyang/mti assignments diverged");
+    let (mti_ns, mti_dists) = steady(&mti);
+    let (yy_ns, yy_dists) = steady(&yy);
+    let dist_ratio = yy_dists / mti_dists;
+    let speed_ratio = mti_ns / yy_ns;
+    out.push(Metric { name: "prune.yinyang".into(), per_sec: 1e9 / yy_ns });
+    println!(
+        "  prune gate ({k}x{d}): yinyang {dist_ratio:.3}x mti's steady dists \
+         (ceiling {YY_DIST_CEILING}x), {speed_ratio:.2}x mti's iter/s (floor {YY_SPEED_FLOOR}x)"
+    );
+    if dist_ratio > YY_DIST_CEILING || speed_ratio < YY_SPEED_FLOOR {
+        eprintln!(
+            "PRUNE GATE FAILED: yinyang steady dists {yy_dists:.0}/iter vs mti {mti_dists:.0} \
+             ({dist_ratio:.3}x, ceiling {YY_DIST_CEILING}x); steady iter {yy_ns:.0} ns vs mti \
+             {mti_ns:.0} ns ({speed_ratio:.2}x iter/s, floor {YY_SPEED_FLOOR}x)"
         );
         std::process::exit(1);
     }
@@ -337,6 +404,7 @@ fn main() {
     let mut fresh: Vec<Metric> = Vec::new();
     kernel_metrics(&mut fresh);
     gemm_headline_gate(&mut fresh);
+    prune_gate(&mut fresh);
     trace_overhead_gate(&mut fresh);
     engine_metrics(&mut fresh);
     plane_metrics(&mut fresh);

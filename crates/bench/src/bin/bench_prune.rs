@@ -1,0 +1,165 @@
+//! PR 10 pruning benchmark: `none` vs `mti` vs `yinyang` on the headline
+//! shape (n = 100k, k = 64, d = 32), seeding `results/BENCH_PR10.json`.
+//!
+//! The workload is the deterministic well-separated grid
+//! ([`knor_workloads::grid_clusters`]) under a Forgy init: random init
+//! rows collide, so several natural clusters start split or unclaimed and
+//! the run takes a realistic ~35-iteration convergence cascade instead of
+//! the two iterations a one-centroid-per-cluster init needs. Bound
+//! pruning exists for exactly this regime — separated clusters, long
+//! settling tail.
+//!
+//! Reported per scheme over the **steady window** (the second half of the
+//! iterations, past the reassignment cascade; iteration 0 is excluded
+//! everywhere — Yinyang pays `2k − 1` distances per row there to seed its
+//! bounds): distance evaluations per iteration, iterations/s (best of 3
+//! fits), and resident bound bytes. All three schemes use exact bounds,
+//! so the bench also asserts the three trajectories are identical
+//! (assignments + iteration count) — it doubles as a cross-scheme
+//! exactness check.
+//!
+//! `--smoke` runs a tiny shape for CI (wiring + identity checks, no perf
+//! assertions) and does **not** touch `results/` — the committed JSON is
+//! always full-mode.
+
+use knor_bench::save_results;
+use knor_core::{InitMethod, Kmeans, KmeansConfig, KmeansResult, Pruning};
+use knor_workloads::grid_clusters;
+
+struct Run {
+    scheme: &'static str,
+    iters: usize,
+    steady_ns: f64,
+    dists_per_iter: f64,
+    bound_bytes: u64,
+}
+
+/// The steady window: the second half of the iterations, where the
+/// reassignment cascade has died down and per-iteration cost reflects the
+/// scheme's converged behavior.
+fn steady_window(r: &KmeansResult) -> &[knor_core::IterStats] {
+    &r.iters[r.iters.len() / 2..]
+}
+
+fn steady_iter_ns(r: &KmeansResult) -> f64 {
+    let w = steady_window(r);
+    w.iter().map(|i| i.wall_ns as f64).sum::<f64>() / w.len() as f64
+}
+
+fn steady_dists_per_iter(r: &KmeansResult) -> f64 {
+    let w = steady_window(r);
+    w.iter().map(|i| i.prune.dist_computations as f64).sum::<f64>() / w.len() as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, k, d) = if smoke { (8_000, 20, 8) } else { (100_000, 64, 32) };
+    let (threads, max_iters, reps) = (4usize, 60usize, 3usize);
+    let (data, _) = grid_clusters(n, d, k);
+    let init = InitMethod::Forgy.initialize(&data, k, 7).to_matrix();
+
+    println!(
+        "{:>8} {:>7} {:>12} {:>10} {:>14} {:>12} {:>9}",
+        "scheme", "iters", "steady_ms", "iter/s", "dists/iter", "bound_B", "vs_none"
+    );
+    let mut runs: Vec<Run> = Vec::new();
+    let mut reference: Option<KmeansResult> = None;
+    for scheme in [Pruning::None, Pruning::Mti, Pruning::Yinyang] {
+        let cfg = KmeansConfig::new(k)
+            .with_init(InitMethod::Given(init.clone()))
+            .with_threads(threads)
+            .with_pruning(scheme)
+            .with_sse(false)
+            .with_max_iters(max_iters);
+        let mut best: Option<KmeansResult> = None;
+        for _ in 0..reps {
+            let r = Kmeans::new(cfg.clone()).fit(&data);
+            if best.as_ref().is_none_or(|b| steady_iter_ns(&r) < steady_iter_ns(b)) {
+                best = Some(r);
+            }
+        }
+        let r = best.unwrap();
+        // Exact bounds: every scheme must walk the unpruned trajectory.
+        if let Some(base) = &reference {
+            assert_eq!(r.niters, base.niters, "{}: iteration count diverged", scheme.name());
+            assert_eq!(r.assignments, base.assignments, "{}: assignments diverged", scheme.name());
+        }
+        let steady_ns = steady_iter_ns(&r);
+        let dists = steady_dists_per_iter(&r);
+        let full_scan = (n * k) as f64;
+        // Bound state = per-row bounds (per_row_bytes minus the n·u32
+        // assignment vector every scheme keeps) + scheme-global tables.
+        let bound_bytes = r.memory.per_row_bytes - (n as u64 * 4) + r.memory.pruning_bytes;
+        println!(
+            "{:>8} {:>7} {:>10.2}ms {:>10.2} {:>14.0} {:>12} {:>8.1}%",
+            scheme.name(),
+            r.niters,
+            steady_ns / 1e6,
+            1e9 / steady_ns,
+            dists,
+            bound_bytes,
+            100.0 * dists / full_scan
+        );
+        runs.push(Run {
+            scheme: scheme.name(),
+            iters: r.niters,
+            steady_ns,
+            dists_per_iter: dists,
+            bound_bytes,
+        });
+        if reference.is_none() {
+            reference = Some(r);
+        }
+    }
+
+    let [none, mti, yy] = &runs[..] else { unreachable!() };
+    println!(
+        "\nmti prunes to {:.1}% of unpruned dists, yinyang to {:.1}% \
+         ({:.2}x vs mti; iter/s {:.2}x mti)",
+        100.0 * mti.dists_per_iter / none.dists_per_iter,
+        100.0 * yy.dists_per_iter / none.dists_per_iter,
+        yy.dists_per_iter / mti.dists_per_iter,
+        mti.steady_ns / yy.steady_ns
+    );
+
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"scheme\": \"{}\", \"iters\": {}, \"steady_iter_ns\": {:.0}, ",
+                    "\"iters_per_sec\": {:.2}, \"dists_per_iter\": {:.0}, \"bound_bytes\": {}}}"
+                ),
+                r.scheme,
+                r.iters,
+                r.steady_ns,
+                1e9 / r.steady_ns,
+                r.dists_per_iter,
+                r.bound_bytes
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"prune_schemes\",\n  \"pr\": 10,\n  \"mode\": \"{}\",\n",
+            "  \"n\": {}, \"k\": {}, \"d\": {}, \"threads\": {},\n",
+            "  \"yy_vs_mti_dists\": {:.4},\n  \"yy_vs_mti_speed\": {:.4},\n",
+            "  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        n,
+        k,
+        d,
+        threads,
+        yy.dists_per_iter / mti.dists_per_iter,
+        mti.steady_ns / yy.steady_ns,
+        rows.join(",\n")
+    );
+    if smoke {
+        // CI runs smoke on every build; never clobber the committed
+        // full-mode artifact with tiny-shape numbers.
+        println!("\n[smoke mode: JSON not saved]\n{json}");
+    } else {
+        save_results("BENCH_PR10.json", &json);
+    }
+}

@@ -17,9 +17,9 @@
 //!
 //! * **compute** — each worker drains the task queue and fills its private
 //!   [`LocalAccum`]; the backend decides how a row's bytes are obtained.
-//!   The helpers [`filter_row`], [`process_row_mti`] and
-//!   [`process_row_full`] implement the per-row MTI/full-scan state machine
-//!   so backends share that logic too.
+//!   The helpers [`filter_row`], [`process_row_mti`], [`filter_row_yy`],
+//!   [`process_row_yy`] and [`process_row_full`] implement the per-row
+//!   pruning/full-scan state machine so backends share that logic too.
 //! * **merge** — the `k·d` accumulator dimensions are sliced across
 //!   workers; each worker sums one slice across all `T` accumulators.
 //! * **reduce** — a hook between the local merge and the centroid update.
@@ -47,7 +47,7 @@ use crate::distance::{dist, nearest, MIRROR_MAX_K};
 use crate::kernel::{
     assign_rows, centroid_sqnorms, sqnorm, KernelKind, KernelScratch, ResolvedKernel, ResolvedKind,
 };
-use crate::pruning::{mti_assign, MtiIterState, PruneCounters};
+use crate::pruning::{mti_assign, MtiIterState, PruneCounters, Pruning, YinyangState};
 use crate::replica::{NodeReplicas, OpLog, ReplicaState};
 use crate::stats::IterStats;
 use crate::sync::ExclusiveCell;
@@ -68,8 +68,8 @@ pub struct DriverConfig {
     pub max_iters: usize,
     /// Drift tolerance (0.0 = reassignment-only convergence).
     pub tol: f64,
-    /// MTI pruning on/off.
-    pub pruning: bool,
+    /// Pruning scheme (`None | Mti | Yinyang`).
+    pub pruning: Pruning,
     /// Rows per scheduler task.
     pub task_size: usize,
     /// Assignment kernel for full scans (see [`crate::kernel`]).
@@ -95,7 +95,7 @@ impl DriverConfig {
     /// The kernel this configuration resolves to (backends use this to size
     /// their per-worker [`KernelScratch`]).
     pub fn resolve_kernel(&self) -> ResolvedKernel {
-        self.resolve_kernel_with(self.pruning)
+        self.resolve_kernel_with(self.pruning.enabled())
     }
 
     /// [`DriverConfig::resolve_kernel`] with an explicit pruning flag (the
@@ -140,16 +140,26 @@ impl WorkerReport {
 pub struct IterView<'a> {
     /// Current iteration, 0-based.
     pub iter: usize,
-    /// Whether MTI pruning is active.
+    /// Whether any pruning scheme is active (`scheme.enabled()`, cached
+    /// because it gates the hot per-row dispatch).
     pub pruning: bool,
+    /// The active pruning scheme.
+    pub scheme: Pruning,
     /// Current centroids (`C^t`).
     pub cents: &'a Centroids,
-    /// MTI drift/threshold state for this iteration.
+    /// MTI drift/threshold state for this iteration (zero-sized unless the
+    /// scheme is [`Pruning::Mti`]).
     pub mti: &'a MtiIterState,
+    /// Yinyang grouping/drift state (zero-sized unless the scheme is
+    /// [`Pruning::Yinyang`]).
+    pub yy: &'a YinyangState,
     /// Per-row assignments (disjoint task ownership).
     pub assign: &'a SharedRows<u32>,
-    /// Per-row MTI upper bounds.
+    /// Per-row upper bounds (MTI and Yinyang).
     pub upper: &'a SharedRows<f64>,
+    /// Per-row × per-group Yinyang lower bounds (`n·t`, row-major; empty
+    /// unless the scheme is [`Pruning::Yinyang`]).
+    pub lower: &'a SharedRows<f64>,
     /// The iteration's task queue.
     pub queue: &'a TaskQueue,
     /// The resolved assignment kernel for this run.
@@ -224,6 +234,16 @@ pub trait LloydBackend: Sync {
         ReduceReport::default()
     }
 
+    /// Coordinator hook after the drift pass of a Yinyang iteration:
+    /// globalize the per-group drift maxima. Every rank computes identical
+    /// values from the identically-reduced centroids, so knord's
+    /// max-allreduce here is bitwise a no-op — it exists to keep ranks
+    /// lockstep-verified and to account the O(t) wire extension. Returns
+    /// the wire bytes this process sent (0 for single-machine engines).
+    fn sync_group_drift(&self, _iter: usize, _group_drift: &mut [f64]) -> u64 {
+        0
+    }
+
     /// Coordinator hook after the iteration's statistics are final
     /// (knors records its I/O statistics here). `aux_total` is the sum of
     /// the workers' backend-defined [`WorkerReport::aux`] counters.
@@ -296,7 +316,9 @@ pub fn run_mm<B: LloydBackend>(
 
     // Pruning requires the algorithm's blessing (engines also gate this;
     // the recompute here makes the invariant local).
-    let cfg_pruning = cfg.pruning && algo.prune_eligible();
+    let scheme = if algo.prune_eligible() { cfg.pruning } else { Pruning::None };
+    let cfg_pruning = scheme.enabled();
+    let yinyang = scheme == Pruning::Yinyang;
     let is_lloyd = algo.is_lloyd();
     let scoped = algo.subsamples();
     let uses_weights = algo.uses_weights();
@@ -315,12 +337,20 @@ pub fn run_mm<B: LloydBackend>(
     // For large k the O(k²·d) distance-matrix recompute dominates the
     // coordinator window; the workers are idling at the next barrier, so
     // they fill disjoint row slices of the (unmirrored) triangle instead.
-    let parallel_cc = cfg_pruning && nthreads > 1 && k > MIRROR_MAX_K;
+    // Yinyang has no distance matrix — its per-iteration state is O(k+t).
+    let parallel_cc = scheme == Pruning::Mti && nthreads > 1 && k > MIRROR_MAX_K;
+
+    // One-time Yinyang centroid grouping, before any worker spawns. It is
+    // deterministic in `init`, so every knord rank derives the identical
+    // grouping without a wire exchange.
+    let yy_init = if yinyang { YinyangState::group(&init) } else { YinyangState::empty() };
+    let ngroups = yy_init.t();
 
     // Shared engine state (see module docs for the barrier protocol).
     let centroids = ExclusiveCell::new(init);
     let next_cents = ExclusiveCell::new(Centroids::zeros(k, d));
-    let mti = ExclusiveCell::new(MtiIterState::new(k));
+    let mti = ExclusiveCell::new(MtiIterState::new(if scheme == Pruning::Mti { k } else { 0 }));
+    let yy_cell = ExclusiveCell::new(yy_init);
     // Base of the ccdist buffer for the parallel recompute phase. The
     // coordinator re-derives this every iteration from its live exclusive
     // borrow (keeping the pointer's provenance valid — no `&mut` to the MTI
@@ -329,6 +359,11 @@ pub fn run_mm<B: LloydBackend>(
     let cc_base = ExclusiveCell::new(RawSlicePtr(std::ptr::null_mut()));
     let assign: SharedRows<u32> = SharedRows::new(n, u32::MAX);
     let upper: SharedRows<f64> = SharedRows::new(n, f64::INFINITY);
+    // Yinyang per-row group lower bounds (`n·t`, row-major). Allocated
+    // zeroed so pages stay lazy; iteration 0 writes every slot from the
+    // row's owning worker, first-touching the bound pages on that worker's
+    // NUMA node — the same persistent-bound discipline as `upper`.
+    let lower: SharedRows<f64> = SharedRows::new(if yinyang { n * ngroups } else { 0 }, 0.0);
     let merged_sums: SharedRows<f64> = SharedRows::new(k * d, 0.0);
     let merged_counts = ExclusiveCell::new(vec![0i64; k]);
     let merged_weights = ExclusiveCell::new(vec![0.0f64; k]);
@@ -371,8 +406,10 @@ pub fn run_mm<B: LloydBackend>(
             let centroids = &centroids;
             let next_cents = &next_cents;
             let mti = &mti;
+            let yy_cell = &yy_cell;
             let assign = &assign;
             let upper = &upper;
+            let lower = &lower;
             let merged_sums = &merged_sums;
             let merged_counts = &merged_counts;
             let merged_weights = &merged_weights;
@@ -406,6 +443,7 @@ pub fn run_mm<B: LloydBackend>(
                             unsafe { centroids.get() },
                             unsafe { cnorms_cell.get() },
                             unsafe { mti.get() },
+                            unsafe { yy_cell.get() },
                         );
                         unsafe { *reps.slot_mut(my_node) = Some(seed) };
                     }
@@ -457,10 +495,13 @@ pub fn run_mm<B: LloydBackend>(
                     let view = IterView {
                         iter,
                         pruning,
+                        scheme,
                         cents: replica.map_or_else(|| unsafe { centroids.get() }, |r| &r.cents),
                         mti: replica.map_or_else(|| unsafe { mti.get() }, |r| &r.mti),
+                        yy: replica.map_or_else(|| unsafe { yy_cell.get() }, |r| &r.yy),
                         assign,
                         upper,
+                        lower,
                         queue,
                         kernel: rk,
                         cnorms: replica.map_or_else(
@@ -556,12 +597,14 @@ pub fn run_mm<B: LloydBackend>(
                             *s = unsafe { *merged_sums.get(j) };
                         }
                         let mw = unsafe { merged_weights.get_mut() };
-                        let reduce_report = backend.reduce(iter, sums_view, mc, mw, &mut totals);
+                        let mut reduce_report =
+                            backend.reduce(iter, sums_view, mc, mw, &mut totals);
 
                         if pruning {
-                            // MTI delta path — Lloyd only (the eligibility
-                            // hook guarantees it), so the update is the
-                            // mean over the persistent global sums.
+                            // Bound-pruned delta path (MTI and Yinyang) —
+                            // Lloyd only (the eligibility hook guarantees
+                            // it), so the update is the mean over the
+                            // persistent global sums.
                             for (p, s) in psums.iter_mut().zip(sums_view.iter()) {
                                 *p += s;
                             }
@@ -593,7 +636,9 @@ pub fn run_mm<B: LloydBackend>(
                         let mut max_drift = 0.0f64;
                         {
                             // Safety: coordinator window.
-                            let mut mti_mut = pruning.then(|| unsafe { mti.get_mut() });
+                            let mut mti_mut =
+                                (scheme == Pruning::Mti).then(|| unsafe { mti.get_mut() });
+                            let mut yy_mut = yinyang.then(|| unsafe { yy_cell.get_mut() });
                             let mut cn =
                                 rk.kind.needs_cnorms().then(|| unsafe { cnorms_cell.get_mut() });
                             // The drift pass doubles as the op-log recorder:
@@ -612,6 +657,9 @@ pub fn run_mm<B: LloydBackend>(
                                 max_drift = max_drift.max(dr);
                                 if let Some(m) = mti_mut.as_mut() {
                                     m.drift[c] = dr;
+                                }
+                                if let Some(y) = yy_mut.as_mut() {
+                                    y.drift[c] = dr;
                                 }
                                 if dr != 0.0 {
                                     if let Some(l) = log.as_mut() {
@@ -633,9 +681,22 @@ pub fn run_mm<B: LloydBackend>(
                                 }
                             }
                         }
-                        if pruning && !parallel_cc {
+                        if scheme == Pruning::Mti && !parallel_cc {
                             // Safety: coordinator window.
                             unsafe { mti.get_mut() }.rebuild(next);
+                        }
+                        if yinyang {
+                            // Fold per-centroid drifts into per-group maxima
+                            // and let the backend globalize them (knord's
+                            // O(t) allreduce extension; identity elsewhere).
+                            // Runs before barrier P so replicas copy the
+                            // synced values.
+                            // Safety: coordinator window.
+                            let y = unsafe { yy_cell.get_mut() };
+                            y.update_group_drift();
+                            let gd_bytes = backend.sync_group_drift(iter, &mut y.group_drift);
+                            reduce_report.comm_bytes += gd_bytes;
+                            reduce_report.max_rank_comm_bytes += gd_bytes;
                         }
                         std::mem::swap(cents, next);
 
@@ -670,9 +731,13 @@ pub fn run_mm<B: LloydBackend>(
                                 // Safety: coordinator window; read-only.
                                 let log = unsafe { oplog.get() };
                                 let s = stats.last_mut().expect("just pushed");
-                                s.publish_bytes =
-                                    log.bytes_per_node(k, d, pruning, rk.kind.needs_cnorms())
-                                        * populated_nodes;
+                                s.publish_bytes = log.bytes_per_node(
+                                    k,
+                                    d,
+                                    scheme,
+                                    ngroups,
+                                    rk.kind.needs_cnorms(),
+                                ) * populated_nodes;
                             }
                         }
                         if let (Some(t), Some(tu)) = (tr.as_ref(), tu) {
@@ -750,11 +815,17 @@ pub fn run_mm<B: LloydBackend>(
                                 log,
                                 unsafe { centroids.get() },
                                 unsafe { cnorms_cell.get() },
-                                pruning.then(|| unsafe { mti.get() }),
+                                (scheme == Pruning::Mti).then(|| unsafe { mti.get() }),
+                                yinyang.then(|| unsafe { yy_cell.get() }),
                             );
                             if let (Some(t), Some(tpub)) = (tr.as_ref(), tpub) {
-                                let bytes =
-                                    log.bytes_per_node(k, d, pruning, rk.kind.needs_cnorms());
+                                let bytes = log.bytes_per_node(
+                                    k,
+                                    d,
+                                    scheme,
+                                    ngroups,
+                                    rk.kind.needs_cnorms(),
+                                );
                                 t.record(Phase::Publish, tpub, bytes);
                             }
                         }
@@ -886,6 +957,7 @@ pub fn process_block_kernel<I>(
     );
     rep.rows_accessed += m as u64;
     rep.counters.dist_computations += (m * view.cents.k()) as u64;
+    let yy_init = view.scheme == Pruning::Yinyang && view.iter == 0;
     for (i, r) in rows.enumerate() {
         let v = &block[i * d..(i + 1) * d];
         rep.reassigned += u64::from(apply_full_assign(
@@ -898,6 +970,20 @@ pub fn process_block_kernel<I>(
             view.upper,
             accum,
         ));
+        if yy_init {
+            // Establish the row's group lower bounds right after the
+            // kernel's bound-establishing pass (second scalar pass, as the
+            // Yinyang paper's initial iteration does).
+            yy_init_bounds(
+                r,
+                v,
+                best[i] as usize,
+                view.cents,
+                view.yy,
+                view.lower,
+                &mut rep.counters,
+            );
+        }
     }
 }
 
@@ -1019,9 +1105,37 @@ pub fn drain_queue<'data, F>(
 ) where
     F: FnMut(usize) -> &'data [f64],
 {
+    let yy_on = view.scheme == Pruning::Yinyang;
     while let Some(task) = view.queue.next(w) {
         for r in task.rows {
             if view.iter > 0 && view.pruning {
+                if yy_on {
+                    // Global filter: decided before touching row data.
+                    if !filter_row_yy(
+                        r,
+                        view.assign,
+                        view.upper,
+                        view.lower,
+                        view.yy,
+                        &mut rep.counters,
+                    ) {
+                        continue;
+                    }
+                    let v = fetch(r);
+                    rep.rows_accessed += 1;
+                    rep.reassigned += u64::from(process_row_yy(
+                        r,
+                        v,
+                        view.cents,
+                        view.yy,
+                        view.assign,
+                        view.upper,
+                        view.lower,
+                        accum,
+                        &mut rep.counters,
+                    ));
+                    continue;
+                }
                 // Clause 1: decided before touching row data.
                 if !filter_row(r, view.assign, view.upper, view.mti, &mut rep.counters) {
                     continue;
@@ -1052,6 +1166,12 @@ pub fn drain_queue<'data, F>(
                     accum,
                     &mut rep.counters,
                 ));
+                if yy_on && view.iter == 0 {
+                    // Safety: task-exclusive row ownership; the full pass
+                    // above just stored this row's assignment.
+                    let a = unsafe { *view.assign.get(r) } as usize;
+                    yy_init_bounds(r, v, a, view.cents, view.yy, view.lower, &mut rep.counters);
+                }
             }
         }
     }
@@ -1115,6 +1235,198 @@ pub fn process_row_mti(
         unsafe { *assign.get_mut(r) = new_a as u32 };
     }
     unsafe { *upper.get_mut(r) = new_ub };
+    reassigned
+}
+
+/// Establish row `r`'s Yinyang group lower bounds after its iteration-0
+/// full scan assigned it to `a`: `lower[g] = min d(v, c)` over the
+/// non-assigned members `c` of group `g` (`+∞` for groups with no such
+/// member). Costs `k − 1` scalar distances, exactly the Yinyang paper's
+/// second initial pass.
+///
+/// # Safety contract
+/// As [`filter_row`]: the caller's task owns row `r`.
+#[inline]
+pub fn yy_init_bounds(
+    r: usize,
+    v: &[f64],
+    a: usize,
+    cents: &Centroids,
+    yy: &YinyangState,
+    lower: &SharedRows<f64>,
+    counters: &mut PruneCounters,
+) {
+    let t = yy.t();
+    for g in 0..t {
+        // Safety: task-exclusive row ownership (see doc).
+        unsafe { *lower.get_mut(r * t + g) = f64::INFINITY };
+    }
+    for (c, &g) in yy.group_of.iter().enumerate() {
+        if c == a {
+            continue;
+        }
+        let dc = dist(v, cents.mean(c));
+        counters.dist_computations += 1;
+        let slot = unsafe { lower.get_mut(r * t + g as usize) };
+        if dc < *slot {
+            *slot = dc;
+        }
+    }
+}
+
+/// Yinyang global filter for one row of a task (`iter > 0`).
+///
+/// Loosens the row's upper bound by its centroid's drift and every group
+/// lower bound by that group's maximum drift, writing all of them back.
+/// Returns `true` when the row's data must be fetched (the global filter
+/// did not fire). On a skip the row costs neither data access nor I/O —
+/// the same Clause-1 discipline as MTI, but against the min of the group
+/// bounds instead of the `½·min` centroid-separation threshold.
+///
+/// # Safety contract
+/// As [`filter_row`]: the caller's task owns row `r`.
+#[inline]
+pub fn filter_row_yy(
+    r: usize,
+    assign: &SharedRows<u32>,
+    upper: &SharedRows<f64>,
+    lower: &SharedRows<f64>,
+    yy: &YinyangState,
+    counters: &mut PruneCounters,
+) -> bool {
+    let t = yy.t();
+    // Safety: task-exclusive row ownership (see doc).
+    let a = unsafe { *assign.get(r) } as usize;
+    let u = unsafe { *upper.get(r) } + yy.drift[a];
+    unsafe { *upper.get_mut(r) = u };
+    let mut global_lower = f64::INFINITY;
+    for g in 0..t {
+        let slot = unsafe { lower.get_mut(r * t + g) };
+        let lb = (*slot - yy.group_drift[g]).max(0.0);
+        *slot = lb;
+        if lb < global_lower {
+            global_lower = lb;
+        }
+    }
+    if u <= global_lower {
+        counters.clause1_rows += 1;
+        false
+    } else {
+        true
+    }
+}
+
+/// Process a fetched row under Yinyang (`iter > 0`): bounds were already
+/// drift-loosened by [`filter_row_yy`]. Tightens the upper bound with one
+/// exact distance, re-tests the global filter (Clause 3), then scans only
+/// the groups whose lower bound is violated (Clause 2), maintaining the
+/// group bounds from the scanned distances. Returns `true` when the
+/// assignment changed. Accumulates *deltas* into `accum`.
+///
+/// Counter ledger (steady state): every row satisfies
+/// `clause2 + clause3 + dists = k` — with the Clause-1 rows contributing
+/// `k` each — so `clause1·k + clause2 + clause3 + dists = n·k` exactly.
+///
+/// # Safety contract
+/// As [`filter_row`]: the caller's task owns row `r`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn process_row_yy(
+    r: usize,
+    v: &[f64],
+    cents: &Centroids,
+    yy: &YinyangState,
+    assign: &SharedRows<u32>,
+    upper: &SharedRows<f64>,
+    lower: &SharedRows<f64>,
+    accum: &mut LocalAccum,
+    counters: &mut PruneCounters,
+) -> bool {
+    let t = yy.t();
+    let k = cents.k();
+    // Safety: task-exclusive row ownership (see doc).
+    let a0 = unsafe { *assign.get(r) } as usize;
+    // Tighten with one exact distance and re-test the global filter.
+    let mut u = dist(v, cents.mean(a0));
+    counters.dist_computations += 1;
+    let mut global_lower = f64::INFINITY;
+    for g in 0..t {
+        let lb = unsafe { *lower.get(r * t + g) };
+        if lb < global_lower {
+            global_lower = lb;
+        }
+    }
+    if u <= global_lower {
+        counters.clause3_prunes += (k - 1) as u64;
+        unsafe { *upper.get_mut(r) = u };
+        return false;
+    }
+    let g0 = yy.group_of[a0] as usize;
+    let u0 = u;
+    let mut a = a0;
+    for g in 0..t {
+        let lb = unsafe { *lower.get(r * t + g) };
+        let members = yy.members(g);
+        if u <= lb {
+            // Group filter: every non-assigned member pruned at once. (At
+            // this point `a` is either `a0` or a member of an *earlier*
+            // group, so the candidate count is exact.)
+            counters.clause2_prunes += (members.len() - usize::from(g == g0)) as u64;
+            continue;
+        }
+        let mut new_group_lower = f64::INFINITY;
+        for &c in members {
+            let c = c as usize;
+            // `c == a` can only be the original assignment here (a
+            // reassignment target is never revisited), whose distance `u`
+            // is already exact — skipping it is a pure work elimination.
+            if c == a0 || c == a {
+                continue;
+            }
+            let dc = dist(v, cents.mean(c));
+            counters.dist_computations += 1;
+            if dc < u {
+                // The dethroned centroid's exact distance becomes a lower
+                // bound for its group: folded into this scan's minimum if
+                // it lives here, min-written into its own group's slot
+                // otherwise (an earlier group's exact refresh stays exact;
+                // a later group re-scans or folds `u0` below).
+                let old_g = yy.group_of[a] as usize;
+                if old_g == g {
+                    if u < new_group_lower {
+                        new_group_lower = u;
+                    }
+                } else {
+                    let old_slot = unsafe { lower.get_mut(r * t + old_g) };
+                    if u < *old_slot {
+                        *old_slot = u;
+                    }
+                }
+                a = c;
+                u = dc;
+            } else if dc < new_group_lower {
+                new_group_lower = dc;
+            }
+        }
+        // A scanned group's bound is *exact* afterwards, so overwrite the
+        // slot rather than min-ing into it — a stale loosened bound must
+        // not pin the group below its true distance forever (that would
+        // make every later iteration re-scan it). The exceptions are
+        // exact distances the scan skipped: `a0`'s (if it lives here and
+        // was dethroned — its distance is the pre-scan `u0`).
+        let mut exact = new_group_lower;
+        if g == g0 && a != a0 && u0 < exact {
+            exact = u0;
+        }
+        unsafe { *lower.get_mut(r * t + g) = exact };
+    }
+    let reassigned = a != a0;
+    if reassigned {
+        accum.sub(a0, v);
+        accum.add(a, v);
+        unsafe { *assign.get_mut(r) = a as u32 };
+    }
+    unsafe { *upper.get_mut(r) = u };
     reassigned
 }
 
@@ -1216,7 +1528,7 @@ mod tests {
         n: usize,
         d: usize,
         k: usize,
-        pruning: bool,
+        pruning: Pruning,
         threads: usize,
     ) -> DriverOutcome {
         run_kernel(data, n, d, k, pruning, threads, KernelKind::Auto)
@@ -1228,7 +1540,7 @@ mod tests {
         n: usize,
         d: usize,
         k: usize,
-        pruning: bool,
+        pruning: Pruning,
         threads: usize,
         kernel: KernelKind,
     ) -> DriverOutcome {
@@ -1241,7 +1553,7 @@ mod tests {
         n: usize,
         d: usize,
         k: usize,
-        pruning: bool,
+        pruning: Pruning,
         threads: usize,
         kernel: KernelKind,
         replication: bool,
@@ -1280,7 +1592,7 @@ mod tests {
             }
         }
         let n = data.len();
-        let out = run(&data, n, 1, 3, false, 3);
+        let out = run(&data, n, 1, 3, Pruning::None, 3);
         assert!(out.converged);
         assert_eq!(out.assignments.len(), n);
         // All members of a block share an assignment.
@@ -1299,11 +1611,84 @@ mod tests {
             data.push(-c + (i as f64 * 0.11).cos() * 0.4);
         }
         let n = 240;
-        let a = run(&data, n, 2, 4, true, 2);
-        let b = run(&data, n, 2, 4, false, 2);
-        assert_eq!(a.assignments, b.assignments);
-        assert_eq!(a.iters.len(), b.iters.len());
-        assert!(a.iters.iter().map(|i| i.prune.clause1_rows).sum::<u64>() > 0);
+        let b = run(&data, n, 2, 4, Pruning::None, 2);
+        for scheme in [Pruning::Mti, Pruning::Yinyang] {
+            let a = run(&data, n, 2, 4, scheme, 2);
+            assert_eq!(a.assignments, b.assignments, "{scheme:?}");
+            assert_eq!(a.iters.len(), b.iters.len(), "{scheme:?}");
+            assert!(a.iters.iter().map(|i| i.prune.clause1_rows).sum::<u64>() > 0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn yinyang_matches_unpruned_across_group_counts() {
+        // k = 20 → t = 2 groups; k = 8 → t = 1 (degenerate single group).
+        // Both must walk the unpruned trajectory and prune in steady state.
+        let mut data = Vec::new();
+        for i in 0..600 {
+            let c = (i % 20) as f64;
+            data.push((c % 5.0) * 11.0 + (i as f64 * 0.37).sin() * 0.4);
+            data.push((c / 5.0).floor() * 11.0 + (i as f64 * 0.11).cos() * 0.4);
+        }
+        let n = 600;
+        for k in [20usize, 8] {
+            let yy = run(&data, n, 2, k, Pruning::Yinyang, 3);
+            let none = run(&data, n, 2, k, Pruning::None, 3);
+            assert_eq!(yy.assignments, none.assignments, "k={k}");
+            assert_eq!(yy.iters.len(), none.iters.len(), "k={k}");
+            let skipped: u64 = yy.iters.iter().map(|i| i.prune.clause1_rows).sum();
+            assert!(skipped > 0, "k={k}: global filter never fired");
+        }
+    }
+
+    #[test]
+    fn yinyang_counter_ledger_is_exact() {
+        // Steady-state accounting: every candidate distance is pruned by
+        // exactly one clause or computed — clause1·k + clause2 + clause3 +
+        // dists = n·k, with no double counting and no leaks.
+        let mut data = Vec::new();
+        for i in 0..500 {
+            let c = (i % 25) as f64;
+            data.push((c % 5.0) * 9.0 + (i as f64 * 0.29).sin() * 0.9);
+            data.push((c / 5.0).floor() * 9.0 + (i as f64 * 0.17).cos() * 0.9);
+        }
+        let n = 500;
+        let k = 25; // t = 2
+        for threads in [1usize, 3] {
+            let out = run(&data, n, 2, k, Pruning::Yinyang, threads);
+            assert!(out.iters.len() > 1, "need steady-state iterations");
+            for it in &out.iters[1..] {
+                let p = &it.prune;
+                let total = p.clause1_rows * k as u64
+                    + p.clause2_prunes
+                    + p.clause3_prunes
+                    + p.dist_computations;
+                assert_eq!(total, (n * k) as u64, "iter {} threads {threads}: {p:?}", it.iter);
+            }
+            // Iteration 0 is the bound-establishing pass: k kernel dists
+            // plus k-1 group-bound dists per row.
+            assert_eq!(out.iters[0].prune.dist_computations, (n * (2 * k - 1)) as u64);
+        }
+    }
+
+    #[test]
+    fn yinyang_scalar_and_tiled_bitwise_match() {
+        let mut data = Vec::new();
+        for i in 0..360 {
+            let c = (i % 12) as f64 * 6.0;
+            data.push(c + (i as f64 * 0.13).sin());
+            data.push(-c + (i as f64 * 0.29).cos());
+            data.push((i as f64 * 0.07).sin() * 2.0);
+        }
+        let n = 360;
+        let scalar = run_kernel(&data, n, 3, 12, Pruning::Yinyang, 2, KernelKind::Scalar);
+        let tiled = run_kernel(&data, n, 3, 12, Pruning::Yinyang, 2, KernelKind::Tiled);
+        assert_eq!(scalar.assignments, tiled.assignments);
+        assert_eq!(scalar.centroids, tiled.centroids, "yinyang must be kernel-bitwise");
+        assert_eq!(scalar.iters.len(), tiled.iters.len());
+        for (a, b) in scalar.iters.iter().zip(&tiled.iters) {
+            assert_eq!(a.prune, b.prune);
+        }
     }
 
     #[test]
@@ -1316,11 +1701,11 @@ mod tests {
             data.push((i as f64 * 0.07).sin() * 2.0);
         }
         let n = 300;
-        for pruning in [false, true] {
+        for pruning in [Pruning::None, Pruning::Mti, Pruning::Yinyang] {
             let scalar = run_kernel(&data, n, 3, 12, pruning, 2, KernelKind::Scalar);
             let tiled = run_kernel(&data, n, 3, 12, pruning, 2, KernelKind::Tiled);
-            assert_eq!(scalar.assignments, tiled.assignments, "pruning={pruning}");
-            assert_eq!(scalar.centroids, tiled.centroids, "pruning={pruning}");
+            assert_eq!(scalar.assignments, tiled.assignments, "pruning={pruning:?}");
+            assert_eq!(scalar.centroids, tiled.centroids, "pruning={pruning:?}");
             assert_eq!(scalar.iters.len(), tiled.iters.len());
             for (a, b) in scalar.iters.iter().zip(&tiled.iters) {
                 assert_eq!(a.reassigned, b.reassigned);
@@ -1339,8 +1724,8 @@ mod tests {
             data.push(c - (i as f64 * 0.17).cos() * 0.3);
         }
         let n = 400;
-        let exact = run_kernel(&data, n, 2, 16, false, 2, KernelKind::Tiled);
-        let norm = run_kernel(&data, n, 2, 16, false, 2, KernelKind::NormTrick);
+        let exact = run_kernel(&data, n, 2, 16, Pruning::None, 2, KernelKind::Tiled);
+        let norm = run_kernel(&data, n, 2, 16, Pruning::None, 2, KernelKind::NormTrick);
         assert_eq!(exact.assignments, norm.assignments);
         assert_eq!(exact.iters.len(), norm.iters.len());
         for (a, b) in exact.centroids.means.iter().zip(&norm.centroids.means) {
@@ -1367,8 +1752,8 @@ mod tests {
             data.push((blob % 9) as f64 * 50.0 + jitter);
             data.push((blob / 9) as f64 * 50.0 - jitter);
         }
-        let par = run_kernel(&data, n, d, k, true, 3, KernelKind::Auto);
-        let ser = run_kernel(&data, n, d, k, true, 1, KernelKind::Auto);
+        let par = run_kernel(&data, n, d, k, Pruning::Mti, 3, KernelKind::Auto);
+        let ser = run_kernel(&data, n, d, k, Pruning::Mti, 1, KernelKind::Auto);
         assert!(par.converged && ser.converged);
         assert_eq!(par.assignments, ser.assignments);
         assert_eq!(par.iters.len(), ser.iters.len());
@@ -1397,7 +1782,7 @@ mod tests {
         let n = 360;
         let (d, k) = (3, 12);
         for kernel in [KernelKind::Scalar, KernelKind::Tiled, KernelKind::NormTrick] {
-            for pruning in [false, true] {
+            for pruning in [Pruning::None, Pruning::Mti, Pruning::Yinyang] {
                 let base = run_kernel(&data, n, d, k, pruning, 4, kernel);
                 for topo in [
                     Topology::flat(4),
@@ -1409,7 +1794,7 @@ mod tests {
                     let rep = run_replicated(&data, n, d, k, pruning, 4, kernel, true, topo);
                     assert_eq!(
                         base.assignments, rep.assignments,
-                        "kernel={kernel:?} pruning={pruning} nodes={nodes}"
+                        "kernel={kernel:?} pruning={pruning:?} nodes={nodes}"
                     );
                     assert_eq!(base.centroids, rep.centroids);
                     assert_eq!(base.iters.len(), rep.iters.len());
@@ -1443,13 +1828,13 @@ mod tests {
             data.push((blob % 9) as f64 * 50.0 + jitter);
             data.push((blob / 9) as f64 * 50.0 - jitter);
         }
-        let base = run_kernel(&data, n, d, k, true, 3, KernelKind::Auto);
+        let base = run_kernel(&data, n, d, k, Pruning::Mti, 3, KernelKind::Auto);
         let rep = run_replicated(
             &data,
             n,
             d,
             k,
-            true,
+            Pruning::Mti,
             3,
             KernelKind::Auto,
             true,
@@ -1504,7 +1889,7 @@ mod tests {
             nthreads: 2,
             max_iters: 20,
             tol: 0.0,
-            pruning: true,
+            pruning: Pruning::Mti,
             task_size: 8,
             kernel: KernelKind::Auto,
             tiles: None,

@@ -26,7 +26,7 @@ use crate::driver::{drain_queue_kernel, run_mm, DriverConfig, IterView, WorkerRe
 use crate::init::InitMethod;
 use crate::kernel::{KernelKind, KernelScratch};
 use crate::plane::{DataPlane, PlaneBackend};
-use crate::pruning::Pruning;
+use crate::pruning::{yinyang_groups, Pruning};
 use crate::replica::Replication;
 use crate::stats::{KmeansResult, MemoryFootprint, NumaReport};
 use crate::sync::ExclusiveCell;
@@ -49,7 +49,7 @@ pub struct KmeansConfig {
     pub init: InitMethod,
     /// Seed for initialization randomness.
     pub seed: u64,
-    /// MTI pruning on (knori) or off (knori-).
+    /// Pruning scheme: MTI (knori), Yinyang group bounds, or none (knori-).
     pub pruning: Pruning,
     /// Task queue policy (Fig. 5).
     pub scheduler: SchedulerKind,
@@ -131,7 +131,7 @@ impl KmeansConfig {
         self
     }
 
-    /// Enable/disable MTI pruning.
+    /// Choose the pruning scheme.
     pub fn with_pruning(mut self, v: Pruning) -> Self {
         self.pruning = v;
         self
@@ -283,7 +283,8 @@ impl Kmeans {
 
         let init_cents = cfg.init.initialize_parallel(data, k, cfg.seed, nthreads);
         let algo = cfg.algo.resolve(k, n, cfg.seed);
-        let pruning_on = cfg.pruning.enabled() && algo.prune_eligible();
+        let scheme = if algo.prune_eligible() { cfg.pruning } else { Pruning::None };
+        let pruning_on = scheme.enabled();
 
         // `Auto` replicates only NUMA-aware multi-node runs: the replica
         // node grouping follows the driver's placement, which is also how
@@ -302,7 +303,7 @@ impl Kmeans {
             nthreads,
             max_iters: cfg.max_iters,
             tol: cfg.tol,
-            pruning: pruning_on,
+            pruning: scheme,
             task_size: cfg.task_size,
             kernel: cfg.kernel,
             row_offset: 0,
@@ -342,13 +343,21 @@ impl Kmeans {
         let centroids_m = outcome.centroids.to_matrix();
         let sse = cfg.compute_sse.then(|| crate::quality::sse(data, &centroids_m, &assignments));
 
+        let ngroups = yinyang_groups(k);
         let memory = MemoryFootprint {
             data_bytes: layout.data_bytes(),
             centroid_bytes: (2 * k * d * 8) as u64
                 + if pruning_on { (k * d * 8 + k * 8) as u64 } else { 0 },
             accum_bytes: (nthreads * (k * d * 8 + k * 8)) as u64,
-            per_row_bytes: (n * 4) as u64 + if pruning_on { (n * 8) as u64 } else { 0 },
-            pruning_bytes: if pruning_on { ((k * k + 2 * k) * 8) as u64 } else { 0 },
+            per_row_bytes: (n * 4) as u64
+                + if pruning_on { (n * 8) as u64 } else { 0 }
+                + if scheme == Pruning::Yinyang { (n * ngroups * 8) as u64 } else { 0 },
+            pruning_bytes: match scheme {
+                Pruning::None => 0,
+                Pruning::Mti => ((k * k + 2 * k) * 8) as u64,
+                // Grouping tables (u32) plus drift and group-drift vectors.
+                Pruning::Yinyang => ((2 * k + ngroups + 1) * 4 + (k + ngroups) * 8) as u64,
+            },
             cache_bytes: 0,
         };
 
@@ -543,6 +552,54 @@ mod tests {
     }
 
     #[test]
+    fn yinyang_matches_unpruned_run() {
+        // 20 well-separated clusters, one init centroid in each (row i
+        // belongs to cluster i % 20, so the first k rows cover all of
+        // them): group bounds stay tight once the churn settles. k = 20
+        // gives t = 2 groups.
+        let (n, d, k) = (1500usize, 8usize, 20usize);
+        let mut data = Vec::new();
+        for i in 0..n {
+            let c = (i % k) as f64;
+            data.push((c % 5.0) * 6.0 + (i as f64 * 0.37).sin() * 0.8);
+            data.push((c / 5.0).floor() * 6.0 + (i as f64 * 0.11).cos() * 0.8);
+            for j in 2..d {
+                data.push(((i * (j + 3)) as f64 * 0.23).sin() * 0.8);
+            }
+        }
+        let data = DMatrix::from_vec(data, n, d);
+        let init = DMatrix::from_vec(data.as_slice()[..k * d].to_vec(), k, d);
+        let base = KmeansConfig::new(k)
+            .with_init(InitMethod::Given(init))
+            .with_threads(2)
+            .with_scheduler(SchedulerKind::Static)
+            .with_max_iters(60);
+        let yy = Kmeans::new(base.clone().with_pruning(Pruning::Yinyang)).fit(&data);
+        let full = Kmeans::new(base.with_pruning(Pruning::None)).fit(&data);
+        // Exact bounds never change the trajectory: on separated data the
+        // delta-accumulation rounding of the pruned centroid update cannot
+        // flip an assignment.
+        assert_eq!(yy.niters, full.niters, "pruning must not change the trajectory");
+        assert_eq!(yy.assignments, full.assignments);
+        let rel = (yy.sse.unwrap() - full.sse.unwrap()).abs() / full.sse.unwrap();
+        assert!(rel < 1e-9, "SSE diverged by {rel}");
+        let p = yy.total_prune();
+        assert!(p.clause1_rows > 0, "group filter never fired on separated clusters");
+        // Steady-state work comparison: iteration 0 is the structurally
+        // different init pass (Yinyang pays 2k−1 distances per row there to
+        // seed its group bounds), so the savings claim is over iters 1…
+        let steady = |r: &KmeansResult| {
+            r.iters.iter().skip(1).map(|i| i.prune.dist_computations).sum::<u64>()
+        };
+        assert!(
+            steady(&yy) < steady(&full) / 2,
+            "Yinyang saved too little in steady state: {} vs {}",
+            steady(&yy),
+            steady(&full)
+        );
+    }
+
+    #[test]
     fn numa_oblivious_mode_same_result() {
         let data = mixture(1200, 4, 9);
         let k = 6;
@@ -575,7 +632,7 @@ mod tests {
         let k = 7;
         let init = forgy_centroids(&data, k, 23);
         for kernel in [KernelKind::Scalar, KernelKind::Tiled, KernelKind::NormTrick] {
-            for pruning in [Pruning::None, Pruning::Mti] {
+            for pruning in [Pruning::None, Pruning::Mti, Pruning::Yinyang] {
                 let base = KmeansConfig::new(k)
                     .with_init(InitMethod::Given(init.clone()))
                     .with_threads(4)
@@ -727,6 +784,15 @@ mod tests {
         assert!(with.memory.pruning_bytes > 0);
         assert_eq!(without.memory.pruning_bytes, 0);
         assert_eq!(with.memory.data_bytes, 1000 * 8 * 8);
+        // Yinyang trades O(k²) ccdist for O(n·t) lower bounds: per-row
+        // grows by one f64 per group, scheme tables stay O(k + t).
+        let yy = Kmeans::new(
+            KmeansConfig::new(4).with_threads(2).with_pruning(Pruning::Yinyang).with_max_iters(5),
+        )
+        .fit(&data);
+        assert_eq!(yy.memory.per_row_bytes, with.memory.per_row_bytes + 1000 * 8);
+        assert!(yy.memory.pruning_bytes > 0);
+        assert!(yy.memory.pruning_bytes < with.memory.pruning_bytes);
     }
 
     #[test]

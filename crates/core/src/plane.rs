@@ -33,10 +33,11 @@ use knor_sched::Task;
 
 use crate::centroids::LocalAccum;
 use crate::driver::{
-    self, filter_row, process_block_algo, process_block_kernel, process_row_full, process_row_mti,
-    IterView, LloydBackend, WorkerReport,
+    self, filter_row, filter_row_yy, process_block_algo, process_block_kernel, process_row_full,
+    process_row_mti, process_row_yy, yy_init_bounds, IterView, LloydBackend, WorkerReport,
 };
 use crate::kernel::{KernelScratch, ResolvedKernel, ResolvedKind};
+use crate::pruning::Pruning;
 use crate::stats::IterStats;
 use crate::sync::ExclusiveCell;
 use crate::trace::{Phase, WorkerTracer};
@@ -190,11 +191,15 @@ pub trait StagedSource: Sync {
     fn retain(&self, _r: usize, _v: &[f64]) {}
 }
 
-/// Clause-1 filter for a whole task: collects the rows that must be
+/// Row-level filter for a whole task: collects the rows that must be
 /// fetched into `needed` (cleared first) and drift-updates the bounds of
 /// the skipped ones. Subsampling algorithms drop out-of-scope rows here —
 /// before any byte is requested, so a skipped row costs no I/O, exactly
-/// like a Clause-1 skip.
+/// like a Clause-1 skip. Under Yinyang the group filter plays the same
+/// role: a row whose loosened upper bound clears every group lower bound
+/// needs no centroid scan, so the staged plane never fetches it. Skips
+/// are tallied in `io_skip_rows` (a subset of `clause1_rows`) so the
+/// fetch-avoidance is visible separately from distance pruning.
 pub fn filter_task_into(
     task: &Task,
     view: &IterView<'_>,
@@ -210,9 +215,17 @@ pub fn filter_task_into(
         }
         return;
     }
+    let yy = view.scheme == Pruning::Yinyang;
     for r in task.rows.clone() {
-        if filter_row(r, view.assign, view.upper, view.mti, counters) {
+        let keep = if yy {
+            filter_row_yy(r, view.assign, view.upper, view.lower, view.yy, counters)
+        } else {
+            filter_row(r, view.assign, view.upper, view.mti, counters)
+        };
+        if keep {
             needed.push(r);
+        } else {
+            counters.io_skip_rows += 1;
         }
     }
 }
@@ -313,23 +326,38 @@ fn commit_staged(
         );
         return;
     }
+    let yy = view.scheme == Pruning::Yinyang;
     for (i, &r) in rows.iter().enumerate() {
         let v = &block[i * d..(i + 1) * d];
         rep.rows_accessed += 1;
         let reassigned = if view.iter > 0 && view.pruning {
-            // Upper bound was already drift-updated in the filter.
-            process_row_mti(
-                r,
-                v,
-                view.cents,
-                view.mti,
-                view.assign,
-                view.upper,
-                accum,
-                &mut rep.counters,
-            )
+            // Bounds were already drift-loosened in the filter.
+            if yy {
+                process_row_yy(
+                    r,
+                    v,
+                    view.cents,
+                    view.yy,
+                    view.assign,
+                    view.upper,
+                    view.lower,
+                    accum,
+                    &mut rep.counters,
+                )
+            } else {
+                process_row_mti(
+                    r,
+                    v,
+                    view.cents,
+                    view.mti,
+                    view.assign,
+                    view.upper,
+                    accum,
+                    &mut rep.counters,
+                )
+            }
         } else {
-            process_row_full(
+            let re = process_row_full(
                 r,
                 v,
                 view.cents,
@@ -338,7 +366,12 @@ fn commit_staged(
                 view.upper,
                 accum,
                 &mut rep.counters,
-            )
+            );
+            if yy && view.iter == 0 {
+                let a = unsafe { *view.assign.get(r) } as usize;
+                yy_init_bounds(r, v, a, view.cents, view.yy, view.lower, &mut rep.counters);
+            }
+            re
         };
         rep.reassigned += u64::from(reassigned);
     }
@@ -411,7 +444,7 @@ mod tests {
         n: usize,
         d: usize,
         k: usize,
-        pruning: bool,
+        pruning: Pruning,
         kernel: KernelKind,
         threads: usize,
     ) -> (DriverOutcome, DriverOutcome) {
@@ -459,17 +492,17 @@ mod tests {
             data.push(-c + (i as f64 * 0.29).cos());
             data.push((i as f64 * 0.07).sin() * 2.0);
         }
-        for pruning in [false, true] {
+        for pruning in [Pruning::None, Pruning::Mti, Pruning::Yinyang] {
             for kernel in [KernelKind::Scalar, KernelKind::Tiled] {
                 for threads in [1usize, 2] {
                     let (direct, staged) = run_planes(&data, 300, 3, 12, pruning, kernel, threads);
                     assert_eq!(
                         direct.assignments, staged.assignments,
-                        "pruning={pruning} kernel={kernel:?} threads={threads}"
+                        "pruning={pruning:?} kernel={kernel:?} threads={threads}"
                     );
                     assert_eq!(
                         direct.centroids, staged.centroids,
-                        "pruning={pruning} kernel={kernel:?} threads={threads}"
+                        "pruning={pruning:?} kernel={kernel:?} threads={threads}"
                     );
                     assert_eq!(direct.iters.len(), staged.iters.len());
                     for (a, b) in direct.iters.iter().zip(&staged.iters) {
@@ -481,6 +514,10 @@ mod tests {
                             "iter {}",
                             a.iter
                         );
+                        // Only the staged plane skips fetches; its skip
+                        // tally can never exceed the shared clause-1 rows.
+                        assert_eq!(a.prune.io_skip_rows, 0, "iter {}", a.iter);
+                        assert!(b.prune.io_skip_rows <= b.prune.clause1_rows, "iter {}", a.iter);
                     }
                 }
             }
@@ -500,7 +537,7 @@ mod tests {
             data.push((i as f64 * 0.07).sin() * 2.0);
         }
         let (n, d, k, threads) = (300usize, 3usize, 12usize, 2usize);
-        for pruning in [false, true] {
+        for pruning in [Pruning::None, Pruning::Mti, Pruning::Yinyang] {
             let run = |replication: bool| {
                 let cfg = DriverConfig {
                     k,
@@ -535,8 +572,8 @@ mod tests {
             };
             let off = run(false);
             let on = run(true);
-            assert_eq!(off.assignments, on.assignments, "pruning={pruning}");
-            assert_eq!(off.centroids, on.centroids, "pruning={pruning}");
+            assert_eq!(off.assignments, on.assignments, "pruning={pruning:?}");
+            assert_eq!(off.centroids, on.centroids, "pruning={pruning:?}");
             assert_eq!(off.iters.len(), on.iters.len());
         }
     }

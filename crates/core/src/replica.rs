@@ -43,7 +43,7 @@
 //! writers' stores against all node-local readers.
 
 use crate::centroids::Centroids;
-use crate::pruning::MtiIterState;
+use crate::pruning::{MtiIterState, Pruning, YinyangState};
 use crate::sync::ExclusiveCell;
 
 /// The replication knob carried on every engine config.
@@ -100,30 +100,41 @@ pub struct ReplicaState {
     /// Node-local copy of the norm-trick `‖c‖²` cache (empty when the
     /// resolved kernel does not use it).
     pub cnorms: Vec<f64>,
-    /// Node-local copy of the MTI ccdist/half-min/drift tables (zeroed
-    /// and never read when pruning is off).
+    /// Node-local copy of the MTI ccdist/half-min/drift tables (zero-sized
+    /// and never read unless the scheme is MTI).
     pub mti: MtiIterState,
+    /// Node-local copy of the Yinyang grouping + drift state (zero-sized
+    /// and never read unless the scheme is Yinyang; the grouping tables
+    /// are immutable after install, only the drifts are re-published).
+    pub yy: YinyangState,
 }
 
 impl ReplicaState {
     /// Clone the canonical state. Called by the node writer *on its bound
     /// thread* before the first iteration, so first-touch places the
     /// replica's pages on the writer's node.
-    pub fn from_canonical(cents: &Centroids, cnorms: &[f64], mti: &MtiIterState) -> Self {
-        Self { cents: cents.clone(), cnorms: cnorms.to_vec(), mti: mti.clone() }
+    pub fn from_canonical(
+        cents: &Centroids,
+        cnorms: &[f64],
+        mti: &MtiIterState,
+        yy: &YinyangState,
+    ) -> Self {
+        Self { cents: cents.clone(), cnorms: cnorms.to_vec(), mti: mti.clone(), yy: yy.clone() }
     }
 
     /// Apply one iteration's op-log: copy the drifted means, their
     /// refreshed norms and the touched ccdist rows/columns (plus the
-    /// always-rewritten counts, drift and half-min vectors) from the
-    /// canonical state. Returns the bytes copied — by construction equal
-    /// to [`OpLog::bytes_per_node`] for the same shapes.
+    /// always-rewritten counts, drift and half-min vectors; under Yinyang
+    /// the per-centroid and per-group drift vectors) from the canonical
+    /// state. Returns the bytes copied — by construction equal to
+    /// [`OpLog::bytes_per_node`] for the same shapes.
     pub fn apply(
         &mut self,
         log: &OpLog,
         cents: &Centroids,
         cnorms: &[f64],
         mti: Option<&MtiIterState>,
+        yy: Option<&YinyangState>,
     ) -> u64 {
         let k = cents.k();
         let d = cents.d;
@@ -169,6 +180,13 @@ impl ReplicaState {
                 bytes += (2 * log.drifted.len() * k * 8) as u64;
             }
         }
+        if let Some(y) = yy {
+            // Drift and group drift are rewritten each iteration; the
+            // grouping tables were installed once and never change.
+            self.yy.drift.copy_from_slice(&y.drift);
+            self.yy.group_drift.copy_from_slice(&y.group_drift);
+            bytes += ((y.drift.len() + y.group_drift.len()) * 8) as u64;
+        }
         bytes
     }
 }
@@ -207,21 +225,35 @@ impl OpLog {
 
     /// Bytes [`ReplicaState::apply`] copies into *one* node replica for
     /// this delta (the `--stats` publish accounting multiplies by the
-    /// populated node count).
-    pub fn bytes_per_node(&self, k: usize, d: usize, pruning: bool, has_cnorms: bool) -> u64 {
+    /// populated node count). `ngroups` is the Yinyang group count `t`
+    /// (ignored for other schemes).
+    pub fn bytes_per_node(
+        &self,
+        k: usize,
+        d: usize,
+        scheme: Pruning,
+        ngroups: usize,
+        has_cnorms: bool,
+    ) -> u64 {
         let nd = if self.full { k } else { self.drifted.len() };
         let mut bytes = (k * 8) as u64; // counts
         bytes += (nd * d * 8) as u64; // means
         if has_cnorms {
             bytes += (nd * 8) as u64;
         }
-        if pruning {
-            bytes += (2 * k * 8) as u64; // drift + half_min
-            bytes += if self.copies_full_ccdist(k) {
-                (k * k * 8) as u64
-            } else {
-                (2 * self.drifted.len() * k * 8) as u64
-            };
+        match scheme {
+            Pruning::None => {}
+            Pruning::Mti => {
+                bytes += (2 * k * 8) as u64; // drift + half_min
+                bytes += if self.copies_full_ccdist(k) {
+                    (k * k * 8) as u64
+                } else {
+                    (2 * self.drifted.len() * k * 8) as u64
+                };
+            }
+            Pruning::Yinyang => {
+                bytes += ((k + ngroups) * 8) as u64; // drift + group_drift
+            }
         }
         bytes
     }
@@ -311,12 +343,13 @@ mod tests {
         let mut cn0 = vec![0.0; k];
         crate::kernel::centroid_sqnorms(&c0, &mut cn0);
 
-        let mut rep = ReplicaState::from_canonical(&c0, &cn0, &MtiIterState::new(k));
+        let mut rep =
+            ReplicaState::from_canonical(&c0, &cn0, &MtiIterState::new(k), &YinyangState::empty());
         // Iteration 0: full publish.
         let mut log = OpLog::default();
         log.begin(true);
-        let bytes = rep.apply(&log, &c0, &cn0, Some(&mti0));
-        assert_eq!(bytes, log.bytes_per_node(k, d, true, true));
+        let bytes = rep.apply(&log, &c0, &cn0, Some(&mti0), None);
+        assert_eq!(bytes, log.bytes_per_node(k, d, Pruning::Mti, 0, true));
         assert_eq!(rep.cents, c0);
         assert_eq!(rep.cnorms, cn0);
         assert_eq!(rep.mti.ccdist, mti0.ccdist);
@@ -342,8 +375,8 @@ mod tests {
             }
         }
         assert_eq!(log.drifted, vec![2, 5]);
-        let bytes = rep.apply(&log, &c1, &cn1, Some(&mti1));
-        assert_eq!(bytes, log.bytes_per_node(k, d, true, true));
+        let bytes = rep.apply(&log, &c1, &cn1, Some(&mti1), None);
+        assert_eq!(bytes, log.bytes_per_node(k, d, Pruning::Mti, 0, true));
         assert_eq!(rep.cents, c1);
         assert_eq!(rep.cnorms, cn1);
         // The canonical rebuild recomputed every pair, but entries between
@@ -365,7 +398,7 @@ mod tests {
         assert!(log.copies_full_ccdist(k), "2·nd == k copies the matrix");
         // Accounting follows the same rule: counts + 2 drifted means of
         // d=2 + drift/half_min + full ccdist.
-        let b = log.bytes_per_node(k, 2, true, false);
+        let b = log.bytes_per_node(k, 2, Pruning::Mti, 0, false);
         assert_eq!(b, (k * 8 + 2 * 2 * 8 + 2 * k * 8 + k * k * 8) as u64);
     }
 
@@ -376,9 +409,37 @@ mod tests {
         log.record(3);
         let (k, d) = (8, 4);
         // No pruning, no cnorms: counts + one mean row.
-        assert_eq!(log.bytes_per_node(k, d, false, false), (k * 8 + d * 8) as u64);
+        assert_eq!(log.bytes_per_node(k, d, Pruning::None, 0, false), (k * 8 + d * 8) as u64);
         // cnorms adds one entry.
-        assert_eq!(log.bytes_per_node(k, d, false, true), (k * 8 + d * 8 + 8) as u64);
+        assert_eq!(log.bytes_per_node(k, d, Pruning::None, 0, true), (k * 8 + d * 8 + 8) as u64);
+        // Yinyang publishes the per-centroid + per-group drifts, never an
+        // O(k²) matrix.
+        let t = 2;
+        assert_eq!(
+            log.bytes_per_node(k, d, Pruning::Yinyang, t, false),
+            (k * 8 + d * 8 + (k + t) * 8) as u64
+        );
+    }
+
+    #[test]
+    fn yinyang_delta_apply_tracks_canonical() {
+        let (k, d) = (20, 3);
+        let c0 = cents(k, d, 1.0);
+        let mut canon = YinyangState::group(&c0);
+        let mut state = ReplicaState::from_canonical(&c0, &[], &MtiIterState::new(0), &canon);
+        // A later iteration's canonical drift pass…
+        for (c, dr) in canon.drift.iter_mut().enumerate() {
+            *dr = (c as f64 * 0.13).sin().abs();
+        }
+        canon.update_group_drift();
+        // …lands bitwise on the replica through the O(k + t) delta.
+        let mut log = OpLog::default();
+        log.begin(false);
+        let bytes = state.apply(&log, &c0, &[], None, Some(&canon));
+        assert_eq!(bytes, log.bytes_per_node(k, d, Pruning::Yinyang, canon.t(), false));
+        assert_eq!(state.yy.drift, canon.drift);
+        assert_eq!(state.yy.group_drift, canon.group_drift);
+        assert_eq!(state.yy.group_of, canon.group_of);
     }
 
     #[test]
@@ -388,7 +449,12 @@ mod tests {
         let c = cents(3, 2, 1.0);
         // Single-threaded stand-in for the barrier-ordered protocol.
         unsafe {
-            *reps.slot_mut(1) = Some(ReplicaState::from_canonical(&c, &[], &MtiIterState::new(3)));
+            *reps.slot_mut(1) = Some(ReplicaState::from_canonical(
+                &c,
+                &[],
+                &MtiIterState::new(3),
+                &YinyangState::empty(),
+            ));
             assert_eq!(reps.get(1).cents, c);
         }
     }

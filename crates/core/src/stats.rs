@@ -59,9 +59,11 @@ pub struct MemoryFootprint {
     /// Per-thread accumulators: `O(Tkd)`.
     pub accum_bytes: u64,
     /// Per-row engine state: assignments `O(n)` (4 bytes/row), plus — when
-    /// MTI is on — upper bounds (8 bytes/row).
+    /// pruning is on — upper bounds (8 bytes/row), plus — under Yinyang —
+    /// `t` group lower bounds per row (`8t` bytes/row).
     pub per_row_bytes: u64,
-    /// MTI `O(k²)` centroid-distance structures.
+    /// Scheme-global pruning structures: MTI's `O(k²)` centroid-distance
+    /// matrix, or Yinyang's `O(k + t)` grouping/drift tables.
     pub pruning_bytes: u64,
     /// Caches (row cache + page cache) for SEM runs.
     pub cache_bytes: u64,

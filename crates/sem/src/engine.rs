@@ -26,7 +26,7 @@ use knor_core::centroids::Centroids;
 use knor_core::driver::{run_mm, DriverConfig};
 use knor_core::kernel::KernelKind;
 use knor_core::plane::PlaneBackend;
-use knor_core::pruning::Pruning;
+use knor_core::pruning::{yinyang_groups, Pruning};
 use knor_core::replica::Replication;
 use knor_core::stats::{KmeansResult, MemoryFootprint, NumaReport};
 use knor_core::trace::{TraceBuf, TraceHandle};
@@ -61,7 +61,7 @@ pub struct SemConfig {
     pub init: SemInit,
     /// RNG seed.
     pub seed: u64,
-    /// MTI on (knors) or off (knors-).
+    /// Pruning scheme: MTI (knors), Yinyang group bounds, or none (knors-).
     pub pruning: Pruning,
     /// Worker threads.
     pub threads: Option<usize>,
@@ -153,7 +153,7 @@ impl SemConfig {
         self
     }
 
-    /// Enable/disable MTI (off = knors-).
+    /// Choose the pruning scheme (off = knors-).
     pub fn with_pruning(mut self, v: Pruning) -> Self {
         self.pruning = v;
         self
@@ -322,7 +322,8 @@ impl SemKmeans {
         let placement = Placement::new(&topo, n, nthreads);
         let queue = TaskQueue::new(cfg.scheduler, &placement);
         let algo = cfg.algo.resolve(k, n, cfg.seed);
-        let pruning = cfg.pruning.enabled() && algo.prune_eligible();
+        let scheme = if algo.prune_eligible() { cfg.pruning } else { Pruning::None };
+        let pruning = scheme.enabled();
         let replicate = cfg.replication.resolve(topo.nodes());
 
         let mut driver_cfg = DriverConfig {
@@ -332,7 +333,7 @@ impl SemKmeans {
             nthreads,
             max_iters: cfg.max_iters,
             tol: cfg.tol,
-            pruning,
+            pruning: scheme,
             task_size: cfg.task_size,
             kernel: cfg.kernel,
             row_offset: 0,
@@ -360,13 +361,21 @@ impl SemKmeans {
         };
         let report = plane.finish();
 
+        let ngroups = yinyang_groups(k);
         let memory = MemoryFootprint {
             data_bytes: 0, // O(nd) stays on the device — the point of SEM
             centroid_bytes: (2 * k * d * 8) as u64
                 + if pruning { (k * d * 8 + k * 8) as u64 } else { 0 },
             accum_bytes: (nthreads * (k * d * 8 + k * 8)) as u64,
-            per_row_bytes: (n * 4) as u64 + if pruning { (n * 8) as u64 } else { 0 },
-            pruning_bytes: if pruning { ((k * k + 2 * k) * 8) as u64 } else { 0 },
+            per_row_bytes: (n * 4) as u64
+                + if pruning { (n * 8) as u64 } else { 0 }
+                + if scheme == Pruning::Yinyang { (n * ngroups * 8) as u64 } else { 0 },
+            pruning_bytes: match scheme {
+                Pruning::None => 0,
+                Pruning::Mti => ((k * k + 2 * k) * 8) as u64,
+                // Grouping tables (u32) plus drift and group-drift vectors.
+                Pruning::Yinyang => ((2 * k + ngroups + 1) * 4 + (k + ngroups) * 8) as u64,
+            },
             cache_bytes: cfg.row_cache_bytes + cfg.page_cache_bytes,
         };
 
@@ -513,7 +522,7 @@ mod tests {
         let (data, path) = write_mixture(1200, 6, 31, "replica");
         let k = 8;
         let init = forgy(&data, k, 7);
-        for pruning in [Pruning::None, Pruning::Mti] {
+        for pruning in [Pruning::None, Pruning::Mti, Pruning::Yinyang] {
             let run = |replication: Replication| {
                 SemKmeans::new(
                     SemConfig::new(k)
@@ -581,6 +590,50 @@ mod tests {
             assert_eq!(it.bytes_requested, per_iter);
             assert_eq!(it.active_rows, 2000);
         }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn yinyang_group_filter_saves_io() {
+        // The tentpole's SEM payoff: a row whose group filter eliminates
+        // every non-assigned group is never fetched — Clause-1-style I/O
+        // avoidance, tallied separately as `io_skip_rows`. k = 20 gives
+        // t = 2 groups: the real multi-group filter, not the t = 1 case
+        // where one churning centroid's drift crushes every row's single
+        // bound. Forgy on grid data seeds duplicate/vacant clusters, so
+        // the run has a long reassignment cascade to prune through.
+        let (data, _) = knor_workloads::grid_clusters(2000, 8, 20);
+        let mut path = std::env::temp_dir();
+        path.push(format!("knor-sem-yyio-{}-2000x8.knor", std::process::id()));
+        write_matrix(&path, &data).unwrap();
+        let k = 20;
+        let init = forgy(&data, k, 7);
+        let run = |pruning: Pruning| {
+            SemKmeans::new(
+                SemConfig::new(k)
+                    .with_init(SemInit::Given(init.clone()))
+                    .with_threads(2)
+                    .with_task_size(128)
+                    .with_page_size(256)
+                    .with_pruning(pruning)
+                    .with_row_cache_bytes(0) // isolate the filter effect
+                    .with_max_iters(40),
+            )
+            .fit(&path)
+            .unwrap()
+        };
+        let yy = run(Pruning::Yinyang);
+        let none = run(Pruning::None);
+        let req: u64 = yy.io.iter().map(|i| i.bytes_requested).sum();
+        let req_none: u64 = none.io.iter().map(|i| i.bytes_requested).sum();
+        assert!(req * 2 < req_none, "group filter should cut requested bytes: {req} vs {req_none}");
+        // On a staged plane every filter skip is a fetch skip, and the
+        // direct-plane-only counter stays distinct from distance pruning.
+        let skipped: u64 = yy.kmeans.iters.iter().map(|i| i.prune.io_skip_rows).sum();
+        let c1: u64 = yy.kmeans.iters.iter().map(|i| i.prune.clause1_rows).sum();
+        assert!(skipped > 0, "no fetches skipped");
+        assert_eq!(skipped, c1, "SEM must skip the fetch of every filtered row");
+        assert_eq!(none.kmeans.iters.iter().map(|i| i.prune.io_skip_rows).sum::<u64>(), 0);
         std::fs::remove_file(path).unwrap();
     }
 

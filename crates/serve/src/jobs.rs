@@ -14,7 +14,7 @@ use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use knor_core::{Algorithm, Centroids, Kmeans, KmeansConfig};
+use knor_core::{Algorithm, Centroids, Kmeans, KmeansConfig, Pruning};
 use knor_dist::{DistConfig, DistKmeans, RankPlane};
 use knor_matrix::{io as matrix_io, DMatrix};
 use knor_sem::{SemConfig, SemKmeans};
@@ -77,6 +77,8 @@ pub struct TrainSpec {
     pub max_iters: usize,
     /// Seed for initialization.
     pub seed: u64,
+    /// Pruning scheme the engines run under (`none|mti|yinyang`).
+    pub pruning: Pruning,
     /// Worker threads (None = engine default).
     pub threads: Option<usize>,
     /// Simulated ranks for the dist engine.
@@ -98,6 +100,7 @@ impl TrainSpec {
             k,
             max_iters: 30,
             seed: 1,
+            pruning: Pruning::default(),
             threads: None,
             ranks: 2,
             plane: RankPlane::InMemory,
@@ -264,6 +267,7 @@ fn train(spec: &TrainSpec) -> Result<(DMatrix, TrainDiag), String> {
             };
             let mut cfg = KmeansConfig::new(spec.k)
                 .with_seed(spec.seed)
+                .with_pruning(spec.pruning)
                 .with_algo(spec.algo.clone())
                 .with_max_iters(spec.max_iters)
                 .with_sse(false);
@@ -271,7 +275,11 @@ fn train(spec: &TrainSpec) -> Result<(DMatrix, TrainDiag), String> {
                 cfg = cfg.with_threads(t);
             }
             let r = Kmeans::new(cfg).fit(&data);
-            let diag = TrainDiag { panicked_io_threads: 0, publish_bytes: r.total_publish_bytes() };
+            let diag = TrainDiag {
+                panicked_io_threads: 0,
+                publish_bytes: r.total_publish_bytes(),
+                io_skip_rows: r.total_prune().io_skip_rows,
+            };
             Ok((r.centroids, diag))
         }
         EngineKind::Sem => {
@@ -281,6 +289,7 @@ fn train(spec: &TrainSpec) -> Result<(DMatrix, TrainDiag), String> {
             };
             let mut cfg = SemConfig::new(spec.k)
                 .with_seed(spec.seed)
+                .with_pruning(spec.pruning)
                 .with_algo(spec.algo.clone())
                 .with_max_iters(spec.max_iters);
             if let Some(t) = spec.threads {
@@ -290,18 +299,21 @@ fn train(spec: &TrainSpec) -> Result<(DMatrix, TrainDiag), String> {
             let diag = TrainDiag {
                 panicked_io_threads: r.panicked_io_threads,
                 publish_bytes: r.kmeans.total_publish_bytes(),
+                io_skip_rows: r.kmeans.total_prune().io_skip_rows,
             };
             Ok((r.kmeans.centroids, diag))
         }
         EngineKind::Dist => {
             let cfg = DistConfig::new(spec.k, spec.ranks.max(1), spec.threads.unwrap_or(2))
                 .with_seed(spec.seed)
+                .with_pruning(spec.pruning)
                 .with_algo(spec.algo.clone())
                 .with_plane(spec.plane.clone())
                 .with_max_iters(spec.max_iters);
             let dist_diag = |r: &knor_dist::DistResult| TrainDiag {
                 panicked_io_threads: r.rank_io.iter().map(|io| io.panicked_io_threads).sum(),
                 publish_bytes: r.iters.iter().map(|i| i.publish_bytes).sum(),
+                io_skip_rows: r.total_prune().io_skip_rows,
             };
             if matches!(spec.plane, RankPlane::Sem(_)) {
                 // SEM ranks stream their byte ranges, so the job needs a

@@ -159,6 +159,20 @@ pub fn render_prometheus(handle: &ServeHandle) -> String {
         );
     }
 
+    let _ = writeln!(
+        out,
+        "# HELP knor_serve_train_io_skip_rows \
+         Row fetches the staged plane skipped via bound pruning when the model trained."
+    );
+    let _ = writeln!(out, "# TYPE knor_serve_train_io_skip_rows gauge");
+    for e in &entries {
+        let _ = writeln!(
+            out,
+            "knor_serve_train_io_skip_rows{{model=\"{}\"}} {}",
+            e.model.name, e.train.io_skip_rows
+        );
+    }
+
     out
 }
 
@@ -256,6 +270,7 @@ mod tests {
         assert!(text.contains("phase=\"kernel\""));
         assert!(text.contains("knor_serve_train_panicked_io_threads{model=\"demo\"} 0"));
         assert!(text.contains("knor_serve_train_publish_bytes{model=\"demo\"} 0"));
+        assert!(text.contains("knor_serve_train_io_skip_rows{model=\"demo\"} 0"));
         assert!(text.contains("knor_serve_busy_total{model=\"demo\"} 0"));
         assert!(text.contains("knor_serve_pending_rows{model=\"demo\"} 0"));
         assert!(text.contains("knor_serve_served_version{model=\"demo\"} 1"));

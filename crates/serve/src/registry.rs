@@ -67,6 +67,10 @@ pub struct TrainDiag {
     /// Bytes copied into NUMA-node centroid replicas across the run
     /// (0 with replication off).
     pub publish_bytes: u64,
+    /// Rows whose *fetch* the staged (SEM) plane skipped because bound
+    /// pruning eliminated them before their data was needed (always 0 on
+    /// direct planes — distance-pruning there saves compute, not I/O).
+    pub io_skip_rows: u64,
 }
 
 /// A registered model plus its live serving stats.

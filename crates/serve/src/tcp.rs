@@ -5,10 +5,11 @@
 //! which round-trips `f64` exactly, so even the text protocol is bitwise):
 //!
 //! ```text
-//! TRAIN <model> <engine> <algospec> <k> <iters> <seed> <path>  → OK job <id>
+//! TRAIN <model> <engine> <algospec> <k> <iters> <seed> [pruning=<none|mti|yinyang>] <path>
+//!                                               → OK job <id>
 //! STATUS <job>                                  → OK queued|running|done <v>|failed <msg>
 //! QUERY <model> <m> <d> <f0> <f1> … <f(m·d−1)>  → OK <m> <c>:<dist> …
-//! STATS <model>                                 → OK queries=… qps=… panicked_io_threads=… publish_bytes=…
+//! STATS <model>                                 → OK queries=… qps=… panicked_io_threads=… publish_bytes=… io_skip_rows=…
 //! METRICS                                       → OK <prometheus text, newline-escaped>
 //! LIST                                          → OK <name>:v<ver>:<queries> …
 //! SAVE <model> <dir>                            → OK saved <metapath>
@@ -35,7 +36,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use knor_core::Algorithm;
+use knor_core::{Algorithm, Pruning};
 use knor_mpi::LineConn;
 
 use crate::jobs::{EngineKind, JobId, TrainSource, TrainSpec};
@@ -150,6 +151,17 @@ fn try_dispatch(handle: &ServeHandle, line: &str) -> Result<String, String> {
             let k: usize = parse_tok(&mut tokens, "TRAIN: k")?;
             let max_iters: usize = parse_tok(&mut tokens, "TRAIN: iters")?;
             let seed: u64 = parse_tok(&mut tokens, "TRAIN: seed")?;
+            // Optional `pruning=<spec>` rides between the fixed fields and
+            // the path, so lines from older clients stay valid.
+            let mut tokens = tokens.peekable();
+            let pruning = match tokens.peek().and_then(|t| t.strip_prefix("pruning=")) {
+                Some(spec) => {
+                    let p = Pruning::parse(spec).ok_or("TRAIN: bad pruning (none|mti|yinyang)")?;
+                    tokens.next();
+                    p
+                }
+                None => Pruning::default(),
+            };
             // The path is the final field: take the rest of the line so
             // paths containing spaces survive the tokenizer.
             let path = tokens.collect::<Vec<_>>().join(" ");
@@ -161,6 +173,7 @@ fn try_dispatch(handle: &ServeHandle, line: &str) -> Result<String, String> {
                 algo,
                 max_iters,
                 seed,
+                pruning,
                 plane,
                 ..TrainSpec::new(&model, k, TrainSource::File(PathBuf::from(path)))
             });
@@ -185,10 +198,11 @@ fn try_dispatch(handle: &ServeHandle, line: &str) -> Result<String, String> {
             let entry = handle.registry().get(model).ok_or("unknown model")?;
             let s: StatsSnapshot = entry.stats.snapshot();
             Ok(format!(
-                "{} panicked_io_threads={} publish_bytes={}",
+                "{} panicked_io_threads={} publish_bytes={} io_skip_rows={}",
                 s.render(),
                 entry.train.panicked_io_threads,
                 entry.train.publish_bytes,
+                entry.train.io_skip_rows,
             ))
         }
         "METRICS" => Ok(crate::metrics::escape_line(&crate::metrics::render_prometheus(handle))),
@@ -316,7 +330,8 @@ impl Client {
     }
 
     /// Submit a training job; returns the job id. `engine` is the wire
-    /// token (`im`, `sem`, `dist`, or `dist-sem` for SEM-plane ranks).
+    /// token (`im`, `sem`, `dist`, or `dist-sem` for SEM-plane ranks);
+    /// `pruning` is sent as the optional `pruning=<spec>` token.
     #[allow(clippy::too_many_arguments)]
     pub fn train(
         &mut self,
@@ -326,12 +341,14 @@ impl Client {
         k: usize,
         iters: usize,
         seed: u64,
+        pruning: Pruning,
         path: &Path,
     ) -> io::Result<u64> {
         Self::check_name(model)?;
         let resp = self.round_trip(&format!(
-            "TRAIN {model} {engine} {} {k} {iters} {seed} {}",
+            "TRAIN {model} {engine} {} {k} {iters} {seed} pruning={} {}",
             algo.spec_string(),
+            pruning.name(),
             path.display()
         ))?;
         resp.strip_prefix("job ")
@@ -483,7 +500,7 @@ mod tests {
         matrix_io::write_matrix(&path, &data).unwrap();
 
         let mut c = Client::connect(addr).unwrap();
-        let job = c.train("gmm", "im", &Algorithm::Lloyd, 5, 20, 1, &path).unwrap();
+        let job = c.train("gmm", "im", &Algorithm::Lloyd, 5, 20, 1, Pruning::Mti, &path).unwrap();
         let status = c.wait(job, std::time::Duration::from_millis(5)).unwrap();
         assert!(status.starts_with("done 1"), "{status}");
 
@@ -536,6 +553,7 @@ mod tests {
             "FROB x",
             "TRAIN only-a-name",
             "TRAIN m gpu lloyd 3 5 1 /tmp/x",
+            "TRAIN m im lloyd 3 5 1 pruning=banana /tmp/x.knor",
             "QUERY m 2 2 0.0", // too few values
             "STATUS notanumber",
         ] {
@@ -548,6 +566,9 @@ mod tests {
         assert!(resp.starts_with("OK job "), "{resp}");
         // dist-sem is a valid engine token (SEM-plane ranks).
         let resp = dispatch(&handle, "TRAIN m2 dist-sem lloyd 3 5 1 /tmp/x.knor");
+        assert!(resp.starts_with("OK job "), "{resp}");
+        // The optional pruning token parses and never eats the path.
+        let resp = dispatch(&handle, "TRAIN m3 im lloyd 3 5 1 pruning=yinyang /tmp/x.knor");
         assert!(resp.starts_with("OK job "), "{resp}");
         // Client-side: model names must be single tokens.
         let mut c = Client::connect(TcpServer::bind(handle, "127.0.0.1:0").unwrap().addr())

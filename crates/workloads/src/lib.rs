@@ -14,11 +14,17 @@
 //! [`catalog`] names each paper dataset and scales it (default 1/1000) so
 //! the whole evaluation runs on a laptop; the generators are deterministic
 //! given a seed.
+//!
+//! [`grid`] adds a third, non-paper workload: deterministic well-separated
+//! grid clusters where bound pruning (MTI, Yinyang) is maximally
+//! effective — the benchmark counterpart to the RM/RU worst case.
 
 pub mod catalog;
 pub mod gmm;
+pub mod grid;
 pub mod uniform;
 
 pub use catalog::{PaperDataset, ScaledDataset};
 pub use gmm::{Balance, MixtureSpec, PlantedMixture};
+pub use grid::grid_clusters;
 pub use uniform::{uniform_matrix, univariate_matrix};

@@ -4,7 +4,7 @@
 //! binaries.
 //!
 //! ```text
-//! knor im   <file.knor> -k 10 [-i 100] [-t N] [--no-prune] [--init pp|forgy|random]
+//! knor im   <file.knor> -k 10 [-i 100] [-t N] [--pruning none|mti|yinyang] [--init pp|forgy|random]
 //!           [--algo lloyd|spherical|fuzzy|minibatch] [--fuzz M] [--batch B]
 //!           [--kernel auto|scalar|tiled|fma|norm|gemm] [--tune on|off|cache]
 //!           [--replication off|auto|on]
@@ -25,6 +25,7 @@
 //! The full line protocol behind serve/train/query/ctl is documented in
 //! `docs/PROTOCOL.md`.
 
+use knor::core::pruning::{yinyang_groups, PruneCounters};
 use knor::prelude::*;
 use knor::serve::tcp::{Client, TcpServer};
 use knor::serve::{MuxConfig, MuxServer};
@@ -37,7 +38,8 @@ struct Opts {
     k: usize,
     iters: usize,
     threads: Option<usize>,
-    prune: bool,
+    /// Pruning scheme (`none|mti|yinyang`).
+    pruning: String,
     init: String,
     /// Whether `--init` was passed explicitly (dist+sem defaults to forgy
     /// only when the user expressed no preference).
@@ -87,7 +89,7 @@ struct Opts {
 /// diff this text against the README flag table.
 const HELP: &str =
     "usage: knor <im|sem|dist|gen> <file.knor> [-k K] [-i|--iters ITERS] [-t|--threads THREADS]
-           [--no-prune] [--init pp|forgy|random] [--seed S]
+           [--pruning none|mti|yinyang] [--init pp|forgy|random] [--seed S]
            [--algo lloyd|spherical|fuzzy|minibatch]
            [--fuzz M] [--batch B]
            [--kernel auto|scalar|tiled|fma|norm|gemm] [--tune on|off|cache]
@@ -164,7 +166,7 @@ fn parse(args: &[String]) -> (String, Opts) {
         k: 10,
         iters: 100,
         threads: None,
-        prune: true,
+        pruning: "mti".into(),
         init: "pp".into(),
         init_set: false,
         seed: 1,
@@ -205,7 +207,11 @@ fn parse(args: &[String]) -> (String, Opts) {
             "-k" => o.k = pos("-k", &val(&mut i)),
             "-i" | "--iters" => o.iters = pos("-i", &val(&mut i)),
             "-t" | "--threads" => o.threads = Some(pos("-t", &val(&mut i))),
-            "--no-prune" => o.prune = false,
+            // Validated right here so a bad value dies before any file I/O.
+            "--pruning" => {
+                o.pruning = val(&mut i);
+                let _ = pruning(&o);
+            }
             "--init" => {
                 o.init = val(&mut i);
                 o.init_set = true;
@@ -282,11 +288,9 @@ fn init_method(o: &Opts) -> InitMethod {
 }
 
 fn pruning(o: &Opts) -> Pruning {
-    if o.prune {
-        Pruning::Mti
-    } else {
-        Pruning::None
-    }
+    Pruning::parse(&o.pruning).unwrap_or_else(|| {
+        die(&format!("invalid value '{}' for --pruning: expected none, mti or yinyang", o.pruning))
+    })
 }
 
 fn replication(o: &Opts) -> Replication {
@@ -449,6 +453,7 @@ fn main() {
             report("knori", r.niters, r.converged, r.sse, t0.elapsed());
             if o.stats {
                 println!("{}", kernel_note(&o, &tune, data.nrow(), o.k, data.ncol(), &algo));
+                print_prune(&o, &algo, data.nrow(), &r.total_prune());
                 print_numa(&r.numa, r.total_publish_bytes(), r.niters);
             }
             finish_trace(&o, trace.as_ref(), r.phases.as_ref());
@@ -485,6 +490,7 @@ fn main() {
             println!("device bytes read: {:.1} MB", read as f64 / 1e6);
             if o.stats {
                 println!("{}", kernel_note(&o, &tune, n, o.k, d, &algo));
+                print_prune(&o, &algo, n, &r.kmeans.total_prune());
                 print_numa(&r.kmeans.numa, r.kmeans.total_publish_bytes(), r.kmeans.niters);
                 print_io_table(&r.io);
                 if r.panicked_io_threads > 0 {
@@ -549,6 +555,7 @@ fn main() {
             report("knord", r.niters, r.converged, r.sse, t0.elapsed());
             if o.stats {
                 println!("{}", kernel_note(&o, &tune, file_n, o.k, file_d, &algo));
+                print_prune(&o, &algo, file_n, &r.total_prune());
                 print_dist_stats(&r);
             }
             finish_trace(&o, trace.as_ref(), r.phases.as_ref());
@@ -590,7 +597,7 @@ fn main() {
             let algo = algorithm(&o, n.max(1));
             let mut c = Client::connect(&*o.addr).expect("connect failed");
             let job = c
-                .train(&o.model, &o.engine, &algo, o.k, o.iters, o.seed, &o.file)
+                .train(&o.model, &o.engine, &algo, o.k, o.iters, o.seed, pruning(&o), &o.file)
                 .expect("train submit failed");
             println!("submitted job {job} (model {}, engine {})", o.model, o.engine);
             if o.wait {
@@ -681,6 +688,32 @@ fn report(name: &str, niters: usize, converged: bool, sse: Option<f64>, t: std::
     if let Some(s) = sse {
         println!("SSE = {s:.4}");
     }
+}
+
+/// The `--stats` pruning section: the resolved scheme, the Yinyang group
+/// count, the bytes the bounds occupy (per-row upper/lower bounds plus
+/// the scheme's global tables — MTI's `O(k²)` centroid-distance matrix or
+/// Yinyang's grouping/drift tables), and the per-clause outcome totals.
+/// `io_skip_rows` is the staged-plane fetch-avoidance subset of clause 1
+/// (always 0 on direct planes).
+fn print_prune(o: &Opts, algo: &Algorithm, n: usize, total: &PruneCounters) {
+    let scheme = if algo.prune_eligible() { pruning(o) } else { Pruning::None };
+    let (k, t) = (o.k, yinyang_groups(o.k));
+    let bound_bytes = match scheme {
+        Pruning::None => 0,
+        Pruning::Mti => (n * 8 + (k * k + 2 * k) * 8) as u64,
+        Pruning::Yinyang => (n * 8 + n * t * 8) as u64 + ((2 * k + t + 1) * 4 + (k + t) * 8) as u64,
+    };
+    println!(
+        "prune: scheme={} groups={} bound_B={bound_bytes} c1_rows={} c2={} c3={} dists={} io_skip_rows={}",
+        scheme.name(),
+        if scheme == Pruning::Yinyang { t } else { 0 },
+        total.clause1_rows,
+        total.clause2_prunes,
+        total.clause3_prunes,
+        total.dist_computations,
+        total.io_skip_rows,
+    );
 }
 
 /// The `--stats` NUMA section: the topology the run saw, how workers

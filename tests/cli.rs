@@ -85,7 +85,9 @@ fn degenerate_numeric_flags_are_rejected_before_any_io() {
         vec!["train", "--model", "m", "--file", "f", "--engine", "gpu"],
         vec!["im", "/nonexistent/x.knor", "--kernel", "warp"],
         vec!["im", "/nonexistent/x.knor", "--tune", "maybe"],
+        vec!["im", "/nonexistent/x.knor", "--pruning", "banana"],
         vec!["sem", "/nonexistent/x.knor", "--kernel", "avx512"],
+        vec!["dist", "/nonexistent/x.knor", "--pruning", "elkan"],
     ] {
         let out = knor().args(&args).output().expect("spawn knor");
         assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
@@ -109,6 +111,34 @@ fn valid_flags_still_run_end_to_end() {
         .output()
         .expect("spawn im");
     assert!(im.status.success(), "{}", String::from_utf8_lossy(&im.stderr));
+
+    // Yinyang end to end, with the pruning section of --stats.
+    let yy = knor()
+        .args([
+            "im",
+            file.to_str().unwrap(),
+            "-k",
+            "4",
+            "-i",
+            "5",
+            "-t",
+            "2",
+            "--pruning",
+            "yinyang",
+            "--stats",
+        ])
+        .output()
+        .expect("spawn im yinyang");
+    assert!(yy.status.success(), "{}", String::from_utf8_lossy(&yy.stderr));
+    let stdout = String::from_utf8_lossy(&yy.stdout);
+    let prune = stdout
+        .lines()
+        .find(|l| l.starts_with("prune: "))
+        .unwrap_or_else(|| panic!("--stats must print the prune line: {stdout}"));
+    assert!(prune.contains("scheme=yinyang"), "{prune}");
+    assert!(prune.contains("groups=1"), "k=4 → t=1: {prune}");
+    assert!(prune.contains("bound_B="), "{prune}");
+    assert!(prune.contains("io_skip_rows=0"), "direct plane never skips I/O: {prune}");
 
     // Post-parse domain checks still reject cleanly (fuzzifier domain).
     let fuzz = knor()
@@ -180,7 +210,8 @@ fn kernel_and_tune_flags_report_what_actually_ran() {
             "4",
             "-i",
             "3",
-            "--no-prune",
+            "--pruning",
+            "none",
             "--kernel",
             "gemm",
             "--tune",

@@ -292,6 +292,82 @@ proptest! {
     }
 
     /// Distributed rank count never changes the clustering.
+    /// Yinyang's exactness invariant: after drift loosening, every group
+    /// lower bound still under-estimates the true distance to every
+    /// non-assigned centroid of its group (and the loosened upper bound
+    /// still over-estimates the assigned distance) — so a row the global
+    /// filter settles really does keep its nearest centroid.
+    #[test]
+    fn yinyang_loosened_bounds_stay_valid(
+        data in arb_matrix(60, 4),
+        k in 2usize..24,
+        seed in 0u64..50,
+    ) {
+        use knor::core::centroids::Centroids;
+        use knor::core::distance::{dist, nearest};
+        use knor::core::driver::{filter_row_yy, yy_init_bounds};
+        use knor::core::pruning::{PruneCounters, YinyangState};
+        use knor::matrix::shared::SharedRows;
+
+        prop_assume!(k <= data.nrow());
+        let (n, d) = (data.nrow(), data.ncol());
+        let init = InitMethod::Forgy.initialize(&data, k, seed).to_matrix();
+        let cents = Centroids::from_matrix(&init);
+        let mut yy = YinyangState::group(&cents);
+        let t = yy.t();
+        let assign: SharedRows<u32> = SharedRows::new(n, 0);
+        let upper: SharedRows<f64> = SharedRows::new(n, 0.0);
+        let lower: SharedRows<f64> = SharedRows::new(n * t, 0.0);
+        let mut counters = PruneCounters::default();
+        // Exact init pass: nearest assignment + per-group bounds.
+        for r in 0..n {
+            let v = data.row(r);
+            let (a, du) = nearest(v, &cents.means, k);
+            // Safety: single-threaded test, no concurrent rows.
+            unsafe {
+                *assign.get_mut(r) = a as u32;
+                *upper.get_mut(r) = du;
+            }
+            yy_init_bounds(r, v, a, &cents, &yy, &lower, &mut counters);
+        }
+        // Move every centroid by a deterministic perturbation and record
+        // the true drifts, exactly as the coordinator window does.
+        let mut moved = init.as_slice().to_vec();
+        for (i, x) in moved.iter_mut().enumerate() {
+            *x += ((i as f64 * 0.7 + seed as f64) * 1.3).sin() * 1.5;
+        }
+        let moved = Centroids::from_matrix(&DMatrix::from_vec(moved, k, d));
+        for c in 0..k {
+            yy.drift[c] = dist(cents.mean(c), moved.mean(c));
+        }
+        yy.update_group_drift();
+        for r in 0..n {
+            let keep = filter_row_yy(r, &assign, &upper, &lower, &yy, &mut counters);
+            let v = data.row(r);
+            // Safety: single-threaded test.
+            let a = unsafe { *assign.get(r) } as usize;
+            for c in 0..k {
+                if c == a {
+                    continue;
+                }
+                let g = yy.group_of[c] as usize;
+                let lb = unsafe { *lower.get(r * t + g) };
+                let true_d = dist(v, moved.mean(c));
+                prop_assert!(
+                    lb <= true_d + 1e-9,
+                    "row {}: loosened bound {} overshot d(v, c{}) = {}", r, lb, c, true_d
+                );
+            }
+            let u = unsafe { *upper.get(r) };
+            let ua = dist(v, moved.mean(a));
+            prop_assert!(u + 1e-9 >= ua, "row {}: upper {} lost its assignment at {}", r, u, ua);
+            if !keep {
+                let (best, _) = nearest(v, &moved.means, k);
+                prop_assert!(best == a, "clause-1 settled row {} moved to {}", r, best);
+            }
+        }
+    }
+
     #[test]
     fn rank_count_invariance(seed in 0u64..200, ranks in 1usize..5) {
         let data = MixtureSpec::friendster_like(300, 4, seed).generate().data;
